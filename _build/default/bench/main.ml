@@ -1,0 +1,255 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every table of the paper's evaluation section
+   (Tables 1-12 — the paper has no figures) and prints measured values
+   next to the paper's, with a per-table shape score.
+
+   Part 2 runs Bechamel micro-benchmarks of the substrate primitives —
+   one Test.make per reproduced table, timing the dominant primitive of
+   that experiment — plus the storage engines' commit paths. *)
+
+let separator title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: the paper's tables                                          *)
+(* ------------------------------------------------------------------ *)
+
+let run_tables () =
+  separator "Reproduction of Agrawal & DeWitt (1985), Tables 1-12";
+  Printf.printf "(each cell: measured [paper]; all times in ms)\n";
+  let scores =
+    List.map
+      (fun t ->
+        print_newline ();
+        print_string (Dbm_core.Report.to_string t);
+        let score = Dbm_core.Report.mean_abs_log_ratio t in
+        Printf.printf "shape score (mean |log measured/paper|): %.3f\n" score;
+        (t.Dbm_core.Report.id, score))
+      (Dbm_core.Tables.all ())
+  in
+  separator "Shape summary";
+  List.iter (fun (id, s) -> Printf.printf "%-9s %.3f\n" id s) scores;
+  let mean =
+    List.fold_left (fun acc (_, s) -> acc +. s) 0.0 scores /. float_of_int (List.length scores)
+  in
+  Printf.printf "%-9s %.3f  (0 = exact; 0.7 ~ 2x average miss)\n" "overall" mean
+
+(* Sweep shapes, at a glance. *)
+let run_charts () =
+  separator "Sweep shapes";
+  let cell_of table ~row ~col =
+    let t = Dbm_core.Tables.by_id table in
+    let r = List.nth t.Dbm_core.Report.rows row in
+    (List.nth r.Dbm_core.Report.cells col).Dbm_core.Report.measured
+  in
+  Printf.printf "\nTable 3: execution time per page vs number of log disks (cyclic):\n";
+  print_string
+    (Dbm_core.Report.ascii_bars
+       (List.init 5 (fun i ->
+            (Printf.sprintf "%d log disk%s" (i + 1) (if i > 0 then "s" else ""),
+             cell_of 3 ~row:i ~col:0))
+       @ [ ("no logging", cell_of 3 ~row:5 ~col:0) ]));
+  Printf.printf "\nTable 11: execution time per page vs differential size (Conventional-Random):\n";
+  print_string
+    (Dbm_core.Report.ascii_bars
+       (List.mapi
+          (fun i label -> (label, cell_of 11 ~row:0 ~col:i))
+          [ "bare"; "10%"; "15%"; "20%" ]))
+
+let run_ablations () =
+  separator "Ablations (design-choice experiments beyond the paper)";
+  List.iter
+    (fun t ->
+      print_newline ();
+      print_string (Dbm_core.Report.to_string t))
+    (Dbm_core.Ablations.all ())
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel micro-benchmarks                                   *)
+(* ------------------------------------------------------------------ *)
+
+open Bechamel
+open Toolkit
+
+(* Table 1/2 dominant primitive: assembling and writing log pages ->
+   the event engine + drive service path. *)
+let bench_event_engine =
+  Test.make ~name:"table1-2: event engine schedule+run (1k events)"
+    (Staged.stage (fun () ->
+         let e = Dbm_sim.Engine.create () in
+         for i = 1 to 1000 do
+           ignore (Dbm_sim.Engine.schedule e ~delay:(float_of_int (i mod 17)) (fun () -> ()))
+         done;
+         Dbm_sim.Engine.run e))
+
+(* Table 3: log fragment distribution -> PRNG + selection. *)
+let bench_prng =
+  Test.make ~name:"table3: prng draws (10k)"
+    (Staged.stage (fun () ->
+         let rng = Dbm_util.Prng.create 1 in
+         let acc = ref 0 in
+         for _ = 1 to 10_000 do
+           acc := !acc + Dbm_util.Prng.int rng 5
+         done;
+         ignore !acc))
+
+(* Table 4/5: page-table indirection -> drive access-time model. *)
+let bench_drive_model =
+  Test.make ~name:"table4-5: conventional drive service (256 pages)"
+    (Staged.stage (fun () ->
+         let e = Dbm_sim.Engine.create () in
+         let d =
+           Dbm_disk.Drive.create e ~params:Dbm_disk.Params.ibm_3350
+             ~layout:Dbm_disk.Layout.Sequential ~name:"bench" ()
+         in
+         for p = 0 to 255 do
+           Dbm_disk.Drive.submit d Dbm_disk.Drive.Read ~pages:[ p * 31 mod 60000 ] (fun () -> ())
+         done;
+         Dbm_sim.Engine.run e))
+
+(* Table 6: page-table buffer -> LRU operations. *)
+let bench_lru =
+  Test.make ~name:"table6: lru find/add (10k ops, cap 50)"
+    (Staged.stage (fun () ->
+         let l = Dbm_util.Lru.create ~capacity:50 () in
+         for i = 0 to 9_999 do
+           let k = i * 7919 mod 200 in
+           match Dbm_util.Lru.find l k with
+           | Some _ -> ()
+           | None -> ignore (Dbm_util.Lru.add l k k)
+         done))
+
+(* Table 7/8: scrambled placement -> layout permutation. *)
+let bench_layout =
+  Test.make ~name:"table7-8: scrambled locate (10k pages)"
+    (Staged.stage (fun () ->
+         let layout = Dbm_disk.Layout.Scrambled 11 in
+         let acc = ref 0 in
+         for p = 0 to 9_999 do
+           acc :=
+             !acc + (Dbm_disk.Layout.locate Dbm_disk.Params.ibm_3350 layout ~page:p).Dbm_disk.Layout.cylinder
+         done;
+         ignore !acc))
+
+(* Table 9-11: differential files -> page record set operations. *)
+let bench_page_ops =
+  Test.make ~name:"table9-11: page update/lookup (1k ops)"
+    (Staged.stage (fun () ->
+         let p = Dbm_storage.Page.empty ~page_size:2048 in
+         for i = 0 to 999 do
+           Dbm_storage.Page.update p ~key:(i mod 16) ~value:(Some "value");
+           ignore (Dbm_storage.Page.lookup p ~key:(i mod 16))
+         done))
+
+(* Table 12 (grand comparison): a whole miniature simulation run. *)
+let bench_mini_simulation =
+  Test.make ~name:"table12: full machine run (5 txns)"
+    (Staged.stage (fun () ->
+         let machine = { Dbm_machine.Config.paper_base with Dbm_machine.Config.db_pages = 16384 } in
+         let workload =
+           Dbm_workload.Workload.generate
+             {
+               Dbm_workload.Workload.default with
+               Dbm_workload.Workload.n_transactions = 5;
+               max_pages = 40;
+               db_pages = 16384;
+             }
+         in
+         ignore
+           (Dbm_machine.Machine.run ~config:machine
+              ~make_arch:(fun _ -> Dbm_machine.Arch.bare)
+              ~workload)))
+
+(* Storage-engine commit paths (the functional counterparts). *)
+let bench_engine (module E : Dbm_storage.Kv.S) =
+  Test.make ~name:(Printf.sprintf "engine %s: 32-put txn commit" E.engine_name)
+    (Staged.stage (fun () ->
+         let e = E.create ~n_keys:64 () in
+         let t = E.begin_txn e in
+         for k = 0 to 31 do
+           E.put t k "benchmark-value"
+         done;
+         E.commit t))
+
+let bench_relation_select =
+  Test.make ~name:"relation: optimal select over (B u A) - D (400 tuples)"
+    (Staged.stage
+       (let r =
+          Dbm_relation.Diff_relation.create ~tuples_per_page:8
+            (List.init 400 (fun i -> { Dbm_relation.Diff_relation.key = i; value = "v" }))
+        in
+        List.iteri
+          (fun i () ->
+            if i mod 3 = 0 then Dbm_relation.Diff_relation.delete r ~key:(i * 7 mod 400)
+            else
+              Dbm_relation.Diff_relation.insert r
+                { Dbm_relation.Diff_relation.key = i * 11 mod 400; value = "u" })
+          (List.init 40 (fun _ -> ()));
+        fun () ->
+          ignore
+            (Dbm_relation.Diff_relation.select r ~strategy:Dbm_relation.Diff_relation.Optimal
+               (fun t -> t.Dbm_relation.Diff_relation.key mod 7 = 0))))
+
+let bench_wal_codec =
+  Test.make ~name:"wal encode+decode (full-page images)"
+    (Staged.stage (fun () ->
+         let r =
+           Dbm_storage.Wal.Update
+             {
+               lsn = 12;
+               txn = 3;
+               page = 9;
+               before = Bytes.make 1024 'b';
+               after = Bytes.make 1024 'a';
+             }
+         in
+         ignore (Dbm_storage.Wal.decode (Dbm_storage.Wal.encode r))))
+
+let benchmarks =
+  [
+    bench_event_engine;
+    bench_prng;
+    bench_drive_model;
+    bench_lru;
+    bench_layout;
+    bench_page_ops;
+    bench_mini_simulation;
+    bench_relation_select;
+    bench_wal_codec;
+    bench_engine (module Dbm_storage.Engine_log);
+    bench_engine (module Dbm_storage.Engine_shadow);
+    bench_engine (module Dbm_storage.Engine_versel);
+    bench_engine (module Dbm_storage.Engine_overwrite.No_undo);
+    bench_engine (module Dbm_storage.Engine_overwrite.No_redo);
+    bench_engine (module Dbm_storage.Engine_diff);
+  ]
+
+let run_benchmarks () =
+  separator "Micro-benchmarks (Bechamel)";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:(Some 200) () in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg instances (Test.make_grouped ~name:"g" ~fmt:"%s %s" [ test ])
+      in
+      let ols =
+        Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+          Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "%-55s %12.1f ns/run\n" name est
+          | _ -> Printf.printf "%-55s (no estimate)\n" name)
+        ols)
+    benchmarks
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  run_tables ();
+  run_charts ();
+  run_ablations ();
+  run_benchmarks ();
+  Printf.printf "\ntotal wall time: %.1f s\n" (Unix.gettimeofday () -. t0)

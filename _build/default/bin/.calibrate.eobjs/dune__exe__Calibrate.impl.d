@@ -1,0 +1,1 @@
+bin/calibrate.ml: Dbm_core Dbm_machine Dbm_recovery Experiment List Option Printf Scenario

@@ -1,0 +1,1 @@
+bin/dbmsim.ml: Arg Array Char Cmd Cmdliner Dbm_core Dbm_disk Dbm_machine Dbm_recovery Dbm_sim Dbm_storage Dbm_util Dbm_workload Filename Format List Option Printf String Sys Term

@@ -1,0 +1,37 @@
+(* Developer tool: prints the bare-machine metrics for the four paper
+   configurations next to the paper's Table 1 values, plus key
+   architecture runs.  Used to calibrate the simulator's constants. *)
+
+let () =
+  let open Dbm_core in
+  Printf.printf "%-26s %10s %10s %12s %12s %8s %8s\n" "configuration" "exec/page" "paper"
+    "completion" "paper" "disk" "qp";
+  let paper_exec = [ 18.0; 16.6; 11.0; 1.9 ] in
+  let paper_comp = [ 7398.4; 6476.0; 4016.5; 758.1 ] in
+  List.iteri
+    (fun i sc ->
+      let r = Experiment.bare sc in
+      Printf.printf "%-26s %10.2f %10.2f %12.1f %12.1f %8.2f %8.2f\n" (Scenario.name sc)
+        r.Dbm_machine.Results.exec_ms_per_page (List.nth paper_exec i)
+        r.Dbm_machine.Results.mean_completion_ms (List.nth paper_comp i)
+        (Dbm_machine.Results.data_disk_utilization r)
+        r.Dbm_machine.Results.qp_utilization)
+    Scenario.all;
+
+  (* Logging, 1 log disk (Table 1 "With Log" column). *)
+  Printf.printf "\nWith logging (1 log disk, logical):\n";
+  List.iter
+    (fun sc ->
+      let r =
+        Experiment.on_scenario
+          ~key:("cal-log/" ^ Scenario.name sc)
+          sc
+          (Dbm_recovery.Logging.make Dbm_recovery.Logging.default)
+      in
+      let log_util =
+        Option.value (Dbm_machine.Results.find_extra r "log_disk_util") ~default:0.0
+      in
+      Printf.printf "%-26s %10.2f %12.1f  log_util=%.3f blocked=%.1f\n" (Scenario.name sc)
+        r.Dbm_machine.Results.exec_ms_per_page r.Dbm_machine.Results.mean_completion_ms log_util
+        r.Dbm_machine.Results.mean_frames_blocked_on_log)
+    Scenario.all

@@ -1,0 +1,1 @@
+examples/bank_transfers.ml: Dbm_storage Dbm_util List Option Printf

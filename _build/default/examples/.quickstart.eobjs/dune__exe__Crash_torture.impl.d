@@ -1,0 +1,1 @@
+examples/crash_torture.ml: Array Dbm_storage Dbm_util List Printf Sys

@@ -1,0 +1,1 @@
+examples/differential_queries.ml: Dbm_relation Dbm_util List Printf

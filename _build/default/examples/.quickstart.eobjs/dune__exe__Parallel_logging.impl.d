@@ -1,0 +1,1 @@
+examples/parallel_logging.ml: Dbm_core Dbm_machine Dbm_recovery Dbm_workload List Option Printf

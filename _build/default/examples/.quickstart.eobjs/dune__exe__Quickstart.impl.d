@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dbm_core Dbm_machine Dbm_recovery Dbm_storage Dbm_workload List Option Printf

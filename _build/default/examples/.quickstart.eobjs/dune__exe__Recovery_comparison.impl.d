@@ -1,0 +1,1 @@
+examples/recovery_comparison.ml: Dbm_core Dbm_machine Dbm_recovery Dbm_workload List Printf

@@ -1,0 +1,55 @@
+(* Parallel logging: sweep the number of log disks and the
+   log-processor selection policy on the big (Table 3) machine with
+   physical logging — the regime where a single log disk becomes the
+   bottleneck and the WAL rule backs dirty pages up into the cache.
+
+   Run with: dune exec examples/parallel_logging.exe *)
+
+module Logging = Dbm_recovery.Logging
+module Results = Dbm_machine.Results
+
+let () =
+  let machine = Dbm_core.Scenario.table3_machine in
+  let workload =
+    Dbm_workload.Workload.generate (Dbm_core.Scenario.table3_workload ~n_transactions:20 ())
+  in
+  let policies =
+    [
+      ("cyclic", Logging.Cyclic);
+      ("random", Logging.Random);
+      ("qp-mod", Logging.Qp_mod);
+      ("txn-mod", Logging.Txn_mod);
+    ]
+  in
+  Printf.printf
+    "75 query processors, 2 parallel-access data disks, 150 cache frames,\n\
+     sequential transactions, PHYSICAL logging (two image pages per update).\n\n";
+  Printf.printf "%-10s %12s %14s %12s %16s\n" "log disks" "policy" "exec/page ms" "log util"
+    "frames blocked";
+  let bare =
+    Dbm_machine.Machine.run ~config:machine
+      ~make_arch:(fun _ -> Dbm_machine.Arch.bare)
+      ~workload
+  in
+  for n = 1 to 5 do
+    List.iter
+      (fun (pname, selection) ->
+        let r =
+          Dbm_machine.Machine.run ~config:machine
+            ~make_arch:
+              (Logging.make
+                 { Logging.default with Logging.n_log_processors = n; selection;
+                   mode = Logging.Physical })
+            ~workload
+        in
+        let util = Option.value (Results.find_extra r "log_disk_util") ~default:0.0 in
+        Printf.printf "%-10d %12s %14.2f %12.2f %16.1f\n" n pname r.Results.exec_ms_per_page
+          util r.Results.mean_frames_blocked_on_log)
+      policies
+  done;
+  Printf.printf "%-10s %12s %14.2f\n" "none" "-" bare.Results.exec_ms_per_page;
+  print_newline ();
+  print_endline
+    "Watch for: one log disk saturates and blocks most of the cache; adding log\n\
+     disks recovers the lost throughput; txn-mod selection lags because it\n\
+     concentrates each transaction's fragments on a single log processor."

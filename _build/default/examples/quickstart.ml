@@ -1,0 +1,51 @@
+(* Quickstart: simulate the paper's database machine under parallel
+   logging, then run the same recovery mechanism "for real" on the
+   functional storage engine, crash it, and recover.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* -- 1. The simulation study -------------------------------------- *)
+  print_endline "=== Simulating the multiprocessor database machine ===";
+  let scenario = Dbm_core.Scenario.Conventional_random in
+  let machine = Dbm_core.Scenario.machine_config scenario in
+  let workload =
+    Dbm_workload.Workload.generate (Dbm_core.Scenario.workload_config ~n_transactions:20 scenario)
+  in
+  let bare =
+    Dbm_machine.Machine.run ~config:machine
+      ~make_arch:(fun _ -> Dbm_machine.Arch.bare)
+      ~workload
+  in
+  let logged =
+    Dbm_machine.Machine.run ~config:machine
+      ~make_arch:(Dbm_recovery.Logging.make Dbm_recovery.Logging.default)
+      ~workload
+  in
+  Printf.printf "%-28s %12s %12s\n" "" "bare machine" "with logging";
+  Printf.printf "%-28s %12.2f %12.2f\n" "execution time/page (ms)"
+    bare.Dbm_machine.Results.exec_ms_per_page logged.Dbm_machine.Results.exec_ms_per_page;
+  Printf.printf "%-28s %12.1f %12.1f\n" "txn completion time (ms)"
+    bare.Dbm_machine.Results.mean_completion_ms logged.Dbm_machine.Results.mean_completion_ms;
+  Printf.printf
+    "\nThe paper's headline holds: collecting recovery data by parallel logging\n\
+     overlaps with data processing and barely affects throughput.\n\n";
+
+  (* -- 2. The functional engine ------------------------------------- *)
+  print_endline "=== The same mechanism as a real storage engine ===";
+  let module E = Dbm_storage.Engine_log in
+  let store = E.create ~n_keys:16 () in
+  let t = E.begin_txn store in
+  E.put t 0 "committed before the crash";
+  E.commit t;
+  let t = E.begin_txn store in
+  E.put t 1 "uncommitted when the lights went out";
+  Printf.printf "key 1 inside the txn: %s\n"
+    (Option.value (E.get t 1) ~default:"<absent>");
+  E.crash_and_recover store;
+  let t = E.begin_txn store in
+  Printf.printf "after crash+recovery:\n";
+  Printf.printf "  key 0 = %s\n" (Option.value (E.get t 0) ~default:"<absent>");
+  Printf.printf "  key 1 = %s\n" (Option.value (E.get t 1) ~default:"<absent>");
+  E.abort t;
+  List.iter (fun (k, v) -> Printf.printf "  %s = %d\n" k v) (E.stats store)

@@ -1,0 +1,1 @@
+lib/core/ablations.ml: Dbm_machine Dbm_recovery Dbm_workload Experiment List Option Printf Report Scenario

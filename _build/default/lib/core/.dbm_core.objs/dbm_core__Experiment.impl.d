@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Dbm_machine Dbm_workload Hashtbl Scenario

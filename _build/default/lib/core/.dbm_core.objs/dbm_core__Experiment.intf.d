@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Dbm_machine Dbm_workload Scenario

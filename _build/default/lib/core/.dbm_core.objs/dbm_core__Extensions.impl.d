@@ -1,0 +1,1 @@
+lib/core/extensions.ml: Array Dbm_machine Dbm_recovery Dbm_util Dbm_workload Experiment List Printf Report Scenario

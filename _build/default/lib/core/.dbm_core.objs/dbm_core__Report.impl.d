@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Buffer Float Format List Printf String

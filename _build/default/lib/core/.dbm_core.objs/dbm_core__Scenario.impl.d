@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Dbm_machine Dbm_workload

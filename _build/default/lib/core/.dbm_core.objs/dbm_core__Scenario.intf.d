@@ -1,0 +1,1 @@
+lib/core/scenario.mli: Dbm_machine Dbm_workload

@@ -1,0 +1,1 @@
+lib/core/shape_checks.ml: Dbm_machine Dbm_recovery Experiment Float List Option Printf Scenario

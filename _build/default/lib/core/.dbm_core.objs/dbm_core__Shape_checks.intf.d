@@ -1,0 +1,1 @@
+lib/core/shape_checks.mli:

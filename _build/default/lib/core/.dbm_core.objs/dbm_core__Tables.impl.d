@@ -1,0 +1,1 @@
+lib/core/tables.ml: Dbm_machine Dbm_recovery Experiment List Option Paper Printf Report Scenario

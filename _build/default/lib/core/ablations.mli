@@ -1,0 +1,43 @@
+(** Ablation experiments for the design choices called out in
+    DESIGN.md.
+
+    These go beyond the paper: each table switches off (or sweeps) one
+    modelling decision to show how much of the reproduced behaviour it
+    carries.  Cells have no paper counterpart, so the tables print
+    measured values only. *)
+
+val wal_rule : unit -> Report.table
+(** The write-ahead rule on vs off under physical logging on the
+    Table 3 machine: the WAL blocking of dirty frames is what collapses
+    the cache when the log disk saturates. *)
+
+val release_batching : unit -> Report.table
+(** Batched vs per-update release of logged data pages (logical
+    logging): the source of the same-cylinder write coalescing of
+    Section 4.1.2. *)
+
+val scratch_placement : unit -> Report.table
+(** Overwriting with the scratch ring adjacent to the data zone vs at
+    the far end of the disk: the arm-travel component of Table 7/8. *)
+
+val diff_qualify : unit -> Report.table
+(** Sensitivity of the optimal differential strategy to the
+    qualification probability (how selective the short-circuit scan
+    is). *)
+
+val pt_buffer_sweep : unit -> Report.table
+(** Fine-grained page-table buffer sweep (beyond Table 6's three
+    points). *)
+
+val mpl_sweep : unit -> Report.table
+(** Multiprogramming-level sensitivity of the bare machine. *)
+
+val read_batch_sweep : unit -> Report.table
+(** Anticipatory-paging batch size vs parallel-access effectiveness. *)
+
+val version_selection : unit -> Report.table
+(** The version-selection shadow variant, actually simulated (the paper
+    rejects it analytically in Section 4.2.5): every read transfers both
+    adjacent copies. *)
+
+val all : unit -> Report.table list

@@ -1,0 +1,21 @@
+let cache : (string, Dbm_machine.Results.t) Hashtbl.t = Hashtbl.create 64
+
+let clear_cache () = Hashtbl.reset cache
+
+let run ~key ~machine ~workload ~make_arch () =
+  match Hashtbl.find_opt cache key with
+  | Some r -> r
+  | None ->
+    let txns = Dbm_workload.Workload.generate workload in
+    let r = Dbm_machine.Machine.run ~config:machine ~make_arch ~workload:txns in
+    Hashtbl.replace cache key r;
+    r
+
+let on_scenario ~key ?scramble scenario make_arch =
+  run ~key
+    ~machine:(Scenario.machine_config ?scramble scenario)
+    ~workload:(Scenario.workload_config scenario)
+    ~make_arch ()
+
+let bare scenario =
+  on_scenario ~key:("bare/" ^ Scenario.name scenario) scenario (fun _ -> Dbm_machine.Arch.bare)

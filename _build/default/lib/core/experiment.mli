@@ -1,0 +1,27 @@
+(** Experiment runner with memoization.
+
+    A run is identified by a [key]; repeated requests for the same key
+    (e.g. the bare machine baseline shared by most tables) reuse the
+    first result.  All runs are deterministic, so memoization is
+    semantically transparent. *)
+
+val run :
+  key:string ->
+  machine:Dbm_machine.Config.t ->
+  workload:Dbm_workload.Workload.config ->
+  make_arch:(Dbm_machine.Arch.ctx -> Dbm_machine.Arch.t) ->
+  unit ->
+  Dbm_machine.Results.t
+
+val bare : Scenario.t -> Dbm_machine.Results.t
+(** Baseline (no recovery) run of a configuration. *)
+
+val on_scenario :
+  key:string ->
+  ?scramble:int ->
+  Scenario.t ->
+  (Dbm_machine.Arch.ctx -> Dbm_machine.Arch.t) ->
+  Dbm_machine.Results.t
+(** Run an architecture on one of the paper's four configurations. *)
+
+val clear_cache : unit -> unit

@@ -1,0 +1,23 @@
+(** Extension experiments beyond the paper's evaluation.
+
+    The paper's workloads reference pages uniformly, so its page-level
+    locking scheduler never becomes visible in the numbers.  These
+    experiments add the missing dimensions. *)
+
+val hotspot_contention : unit -> Report.table
+(** Skewed reference strings (a small hot region drawing most
+    accesses): exclusive locks on hot pages serialize admissions, the
+    effective multiprogramming level collapses, and throughput follows
+    — for both the bare machine and the best recovery architecture
+    (logging). *)
+
+val mixed_size_fairness : unit -> Report.table
+(** Small transactions mixed with very large ones: completion time of
+    each class under the static-locking admission policy. *)
+
+val open_system_load : unit -> Report.table
+(** Poisson arrivals instead of the paper's closed batch: mean and max
+    response time as the offered load approaches the machine's
+    capacity. *)
+
+val all : unit -> Report.table list

@@ -1,0 +1,51 @@
+(** The numbers reported in the paper's Tables 1-12, transcribed
+    verbatim for side-by-side comparison.
+
+    Row order everywhere is the paper's: Conventional-Random,
+    Parallel-Random, Conventional-Sequential, Parallel-Sequential
+    (except Table 3, which is indexed by the number of log disks). *)
+
+val table1_exec : (float * float) list
+(** (without log, with log) execution time per page, per configuration. *)
+
+val table1_completion : (float * float) list
+
+val table2_log_util : float list
+
+val table3_exec : (int * float list) list
+(** (log disks, [cyclic; random; qp mod; txn mod]); the pseudo-row 0
+    is the without-logging baseline replicated across policies. *)
+
+val table3_completion : (int * float list) list
+
+val table4_exec : (float * float * float) list
+(** (bare, 1 page-table processor, 2 page-table processors). *)
+
+val table4_completion : (float * float * float) list
+
+val table5_util : (float * float * float * float * float) list
+(** (bare data, 1pt pt-disk, 1pt data, 2pt pt-disk, 2pt data). *)
+
+val table6_exec : (string * float * float list) list
+(** (disk type, bare, [buffer 10; 25; 50]). *)
+
+val table7_exec : (string * float * float * float * float) list
+(** (disk type, bare, clustered, scrambled, overwriting). *)
+
+val table8_exec : (string * float * float * float) list
+(** (disk type, bare, thru page-table, overwriting). *)
+
+val table9_exec : (float * float * float) list
+(** (bare, basic, optimal). *)
+
+val table9_completion : (float * float * float) list
+
+val table10_exec : (float * float list) list
+(** (bare, [output fraction 10 %; 20 %; 50 %]). *)
+
+val table11_exec : (float * float list) list
+(** (bare, [diff size 10 %; 15 %; 20 %]). *)
+
+val table12_exec : (string * float list) list
+(** (configuration, [bare; logging; pt buf10; pt buf50; 2 pt; scrambled;
+    overwriting; differential]). *)

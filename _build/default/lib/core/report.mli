@@ -1,0 +1,37 @@
+(** Table rendering for the reproduced experiments.
+
+    Every cell carries the measured value and, when available, the
+    paper's reported value, so a rendered table reads
+    [measured \[paper\]] side by side. *)
+
+type cell = { measured : float; paper : float option }
+
+type row = { row_label : string; cells : cell list }
+
+type table = {
+  id : string;  (** e.g. "Table 3" *)
+  title : string;
+  columns : string list;
+  rows : row list;
+  notes : string list;
+}
+
+val cell : ?paper:float -> float -> cell
+
+val pp : Format.formatter -> table -> unit
+
+val to_string : table -> string
+
+val to_csv : table -> string
+(** Machine-readable dump: [row,column,measured,paper]. *)
+
+val ascii_bars : ?width:int -> (string * float) list -> string
+(** Render labelled values as a horizontal ASCII bar chart (longest bar
+    = [width], default 50 columns).  Used by the bench harness to show
+    sweep shapes (log-disk scaling, buffer sweeps) at a glance.
+    Non-positive and non-finite values render as empty bars. *)
+
+val mean_abs_log_ratio : table -> float
+(** Shape metric: mean over cells (with paper values > 0) of
+    [|log (measured / paper)|].  0 = perfect reproduction; 0.7 ~ a 2x
+    average discrepancy. *)

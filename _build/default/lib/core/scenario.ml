@@ -1,0 +1,46 @@
+module Config = Dbm_machine.Config
+module Workload = Dbm_workload.Workload
+
+type t =
+  | Conventional_random
+  | Parallel_random
+  | Conventional_sequential
+  | Parallel_sequential
+
+let all =
+  [ Conventional_random; Parallel_random; Conventional_sequential; Parallel_sequential ]
+
+let name = function
+  | Conventional_random -> "Conventional-Random"
+  | Parallel_random -> "Parallel-Random"
+  | Conventional_sequential -> "Conventional-Sequential"
+  | Parallel_sequential -> "Parallel-Sequential"
+
+let base = { Config.paper_base with db_pages = 65536 }
+
+let machine_config ?scramble t =
+  let cfg =
+    match t with
+    | Conventional_random | Conventional_sequential -> base
+    | Parallel_random | Parallel_sequential -> Config.with_parallel_disks base
+  in
+  match scramble with None -> cfg | Some seed -> Config.with_scramble seed cfg
+
+let workload_config ?(n_transactions = 50) ?(seed = 42) t =
+  let pattern =
+    match t with
+    | Conventional_random | Parallel_random -> Workload.Random_access
+    | Conventional_sequential | Parallel_sequential -> Workload.Sequential
+  in
+  { Workload.default with Workload.n_transactions; pattern; seed; db_pages = base.Config.db_pages }
+
+let table3_machine = { Config.table3_machine with db_pages = base.Config.db_pages }
+
+let table3_workload ?(n_transactions = 50) ?(seed = 42) () =
+  {
+    Workload.default with
+    Workload.n_transactions;
+    pattern = Workload.Sequential;
+    seed;
+    db_pages = table3_machine.Config.db_pages;
+  }

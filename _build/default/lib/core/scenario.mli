@@ -1,0 +1,33 @@
+(** The four experimental configurations of Section 4.
+
+    Conventional vs parallel-access data disks, crossed with random vs
+    sequential transaction reference strings.  The baseline machine has
+    25 query processors, 100 cache frames and 2 data disks; transactions
+    access 1-250 pages uniformly and update a random 20 % subset. *)
+
+type t =
+  | Conventional_random
+  | Parallel_random
+  | Conventional_sequential
+  | Parallel_sequential
+
+val all : t list
+
+val name : t -> string
+(** e.g. ["Conventional-Random"], as printed in the paper's tables. *)
+
+val machine_config : ?scramble:int -> t -> Dbm_machine.Config.t
+(** The baseline machine for this configuration.  [scramble] scatters
+    the data pages within each disk's data zone (the shadow-mechanism
+    drift experiment of Table 7). *)
+
+val workload_config : ?n_transactions:int -> ?seed:int -> t -> Dbm_workload.Workload.config
+(** The paper's workload for this configuration (50 transactions by
+    default). *)
+
+val table3_machine : Dbm_machine.Config.t
+(** The Section 4.1.2 machine: 75 query processors, 150 cache frames,
+    2 parallel-access data disks. *)
+
+val table3_workload : ?n_transactions:int -> ?seed:int -> unit -> Dbm_workload.Workload.config
+(** Sequential transactions for the Table 3 machine. *)

@@ -1,0 +1,19 @@
+(** The paper's qualitative claims, codified.
+
+    Each check names one conclusion from the paper's evaluation and
+    tests it against the regenerated tables: orderings ("overwriting is
+    the worst architecture on conventional disks"), crossovers
+    ("overwriting beats scrambled shadow only on parallel-access
+    sequential loads"), and invariances ("logging does not affect
+    throughput").  `dbmsim validate` prints them; the test suite
+    asserts they all hold. *)
+
+type check = {
+  claim : string;  (** the paper's claim, quoted or paraphrased *)
+  where : string;  (** paper section / table *)
+  holds : bool;
+}
+
+val all : unit -> check list
+
+val failures : unit -> check list

@@ -1,0 +1,426 @@
+module Results = Dbm_machine.Results
+module Logging = Dbm_recovery.Logging
+module Shadow = Dbm_recovery.Shadow
+module Diff_file = Dbm_recovery.Diff_file
+
+let scenarios = Scenario.all
+
+(* ---------------------------------------------------------------- *)
+(* Memoized runs shared across tables                                 *)
+(* ---------------------------------------------------------------- *)
+
+let bare = Experiment.bare
+
+let logging1 sc =
+  Experiment.on_scenario
+    ~key:("log1/" ^ Scenario.name sc)
+    sc
+    (Logging.make Logging.default)
+
+let shadow_pt ~n_pt ~buf sc =
+  Experiment.on_scenario
+    ~key:(Printf.sprintf "shadow/%d/%d/%s" n_pt buf (Scenario.name sc))
+    sc
+    (Shadow.make (Shadow.thru ~n_pt_processors:n_pt ~buffer_pages:buf))
+
+let shadow_scrambled sc =
+  Experiment.on_scenario
+    ~key:("shadow-scrambled/" ^ Scenario.name sc)
+    ~scramble:1009 sc
+    (Shadow.make (Shadow.thru ~n_pt_processors:1 ~buffer_pages:10))
+
+let overwriting sc =
+  Experiment.on_scenario
+    ~key:("overwrite/" ^ Scenario.name sc)
+    sc
+    (Shadow.make Shadow.overwrite_no_undo)
+
+let diff ?(size = 0.10) ?(out = 0.10) ~strategy sc =
+  let cfg =
+    {
+      Diff_file.default with
+      Diff_file.size_fraction = size;
+      output_fraction = out;
+      strategy;
+    }
+  in
+  let sname = match strategy with Diff_file.Basic -> "basic" | Diff_file.Optimal -> "opt" in
+  Experiment.on_scenario
+    ~key:(Printf.sprintf "diff/%s/%.2f/%.2f/%s" sname size out (Scenario.name sc))
+    sc (Diff_file.make cfg)
+
+(* ---------------------------------------------------------------- *)
+
+let cell = Report.cell
+
+let exec (r : Results.t) = r.Results.exec_ms_per_page
+
+let completion (r : Results.t) = r.Results.mean_completion_ms
+
+let extra key (r : Results.t) = Option.value (Results.find_extra r key) ~default:0.0
+
+let table1 () =
+  let rows =
+    List.map2
+      (fun sc ((pe_wo, pe_w), (pc_wo, pc_w)) ->
+        let b = bare sc and l = logging1 sc in
+        {
+          Report.row_label = Scenario.name sc;
+          cells =
+            [
+              cell ~paper:pe_wo (exec b);
+              cell ~paper:pe_w (exec l);
+              cell ~paper:pc_wo (completion b);
+              cell ~paper:pc_w (completion l);
+            ];
+        })
+      scenarios
+      (List.combine Paper.table1_exec Paper.table1_completion)
+  in
+  {
+    Report.id = "Table 1";
+    title = "Impact of Logging";
+    columns =
+      [ "exec/page w/o log"; "exec/page with log"; "completion w/o log"; "completion with log" ];
+    rows;
+    notes = [ "one log processor, logical logging, dedicated 1 MB/s interconnect" ];
+  }
+
+let table2 () =
+  let rows =
+    List.map2
+      (fun sc p ->
+        let l = logging1 sc in
+        { Report.row_label = Scenario.name sc; cells = [ cell ~paper:p (extra "log_disk_util" l) ] })
+      scenarios Paper.table2_log_util
+  in
+  {
+    Report.id = "Table 2";
+    title = "Log Characteristics (one log processor)";
+    columns = [ "log disk utilization" ];
+    rows;
+    notes = [];
+  }
+
+(* Table 3: 75 QPs, 2 parallel-access data disks, 150 frames,
+   sequential transactions, physical logging. *)
+let table3_run ~n_log ~selection =
+  let sel_name =
+    match selection with
+    | Logging.Cyclic -> "cyclic"
+    | Logging.Random -> "random"
+    | Logging.Qp_mod -> "qp-mod"
+    | Logging.Txn_mod -> "txn-mod"
+  in
+  let make_arch =
+    if n_log = 0 then fun _ -> Dbm_machine.Arch.bare
+    else
+      Logging.make
+        { Logging.default with Logging.n_log_processors = n_log; selection; mode = Logging.Physical }
+  in
+  Experiment.run
+    ~key:(Printf.sprintf "table3/%d/%s" n_log (if n_log = 0 then "bare" else sel_name))
+    ~machine:Scenario.table3_machine
+    ~workload:(Scenario.table3_workload ())
+    ~make_arch ()
+
+let selections = [ Logging.Cyclic; Logging.Random; Logging.Qp_mod; Logging.Txn_mod ]
+
+let table3 () =
+  let row ~metric ~label n_log papers =
+    {
+      Report.row_label = label;
+      cells =
+        List.map2
+          (fun selection paper -> cell ~paper (metric (table3_run ~n_log ~selection)))
+          selections papers;
+    }
+  in
+  let make metric paper_rows suffix =
+    List.map
+      (fun (n, papers) ->
+        let label =
+          if n = 0 then "w/o logging" ^ suffix
+          else Printf.sprintf "%d log disk%s%s" n (if n > 1 then "s" else "") suffix
+        in
+        row ~metric ~label n papers)
+      paper_rows
+  in
+  {
+    Report.id = "Table 3";
+    title =
+      "Parallel Logging and Log Processor Selection (75 QPs, 2 parallel-access disks, 150 \
+       frames, physical logging)";
+    columns = [ "cyclic"; "random"; "QpNo mod"; "TranNo mod" ];
+    rows =
+      make exec Paper.table3_exec " (exec/page)"
+      @ make completion Paper.table3_completion " (completion)";
+    notes = [];
+  }
+
+let table4 () =
+  let rows =
+    List.map2
+      (fun sc ((pe_b, pe_1, pe_2), (pc_b, pc_1, pc_2)) ->
+        let b = bare sc in
+        let s1 = shadow_pt ~n_pt:1 ~buf:10 sc in
+        let s2 = shadow_pt ~n_pt:2 ~buf:10 sc in
+        {
+          Report.row_label = Scenario.name sc;
+          cells =
+            [
+              cell ~paper:pe_b (exec b);
+              cell ~paper:pe_1 (exec s1);
+              cell ~paper:pe_2 (exec s2);
+              cell ~paper:pc_b (completion b);
+              cell ~paper:pc_1 (completion s1);
+              cell ~paper:pc_2 (completion s2);
+            ];
+        })
+      scenarios
+      (List.combine Paper.table4_exec Paper.table4_completion)
+  in
+  {
+    Report.id = "Table 4";
+    title = "Impact of the Shadow Mechanism";
+    columns =
+      [
+        "exec bare"; "exec 1 PT proc"; "exec 2 PT procs"; "compl bare"; "compl 1 PT";
+        "compl 2 PT";
+      ];
+    rows;
+    notes = [ "page-table buffer of 10 pages" ];
+  }
+
+let table5 () =
+  let data_util (r : Results.t) = Results.data_disk_utilization r in
+  let rows =
+    List.map2
+      (fun sc (p_bare, p1_pt, p1_data, p2_pt, p2_data) ->
+        let b = bare sc in
+        let s1 = shadow_pt ~n_pt:1 ~buf:10 sc in
+        let s2 = shadow_pt ~n_pt:2 ~buf:10 sc in
+        {
+          Report.row_label = Scenario.name sc;
+          cells =
+            [
+              cell ~paper:p_bare (data_util b);
+              cell ~paper:p1_pt (extra "pt_disk_util" s1);
+              cell ~paper:p1_data (data_util s1);
+              cell ~paper:p2_pt (extra "pt_disk_util" s2);
+              cell ~paper:p2_data (data_util s2);
+            ];
+        })
+      scenarios Paper.table5_util
+  in
+  {
+    Report.id = "Table 5";
+    title = "Average Utilization of Data and Page-Table Disks";
+    columns = [ "bare: data"; "1 PT: pt disk"; "1 PT: data"; "2 PT: pt disk"; "2 PT: data" ];
+    rows;
+    notes = [];
+  }
+
+let table6 () =
+  let buffer_sizes = [ 10; 25; 50 ] in
+  let rows =
+    List.map2
+      (fun sc (label, p_bare, papers) ->
+        let b = bare sc in
+        {
+          Report.row_label = label;
+          cells =
+            cell ~paper:p_bare (exec b)
+            :: List.map2
+                 (fun buf paper -> cell ~paper (exec (shadow_pt ~n_pt:1 ~buf sc)))
+                 buffer_sizes papers;
+        })
+      [ Scenario.Conventional_random; Scenario.Parallel_random ]
+      Paper.table6_exec
+  in
+  {
+    Report.id = "Table 6";
+    title = "Execution Time per Page vs Page-Table Buffer Size (random transactions, 1 PT \
+             processor)";
+    columns = [ "bare"; "buffer 10"; "buffer 25"; "buffer 50" ];
+    rows;
+    notes = [];
+  }
+
+let table7 () =
+  let rows =
+    List.map2
+      (fun sc (label, p_bare, p_clu, p_scr, p_ow) ->
+        {
+          Report.row_label = label;
+          cells =
+            [
+              cell ~paper:p_bare (exec (bare sc));
+              cell ~paper:p_clu (exec (shadow_pt ~n_pt:1 ~buf:10 sc));
+              cell ~paper:p_scr (exec (shadow_scrambled sc));
+              cell ~paper:p_ow (exec (overwriting sc));
+            ];
+        })
+      [ Scenario.Conventional_sequential; Scenario.Parallel_sequential ]
+      Paper.table7_exec
+  in
+  {
+    Report.id = "Table 7";
+    title = "Execution Time per Page (Sequential Transactions)";
+    columns = [ "bare"; "clustered (thru PT)"; "scrambled (thru PT)"; "overwriting" ];
+    rows;
+    notes = [];
+  }
+
+let table8 () =
+  let rows =
+    List.map2
+      (fun sc (label, p_bare, p_pt, p_ow) ->
+        {
+          Report.row_label = label;
+          cells =
+            [
+              cell ~paper:p_bare (exec (bare sc));
+              cell ~paper:p_pt (exec (shadow_pt ~n_pt:1 ~buf:10 sc));
+              cell ~paper:p_ow (exec (overwriting sc));
+            ];
+        })
+      [ Scenario.Conventional_random; Scenario.Parallel_random ]
+      Paper.table8_exec
+  in
+  {
+    Report.id = "Table 8";
+    title = "Execution Time per Page (Random Transactions)";
+    columns = [ "bare"; "thru page-table"; "overwriting" ];
+    rows;
+    notes = [];
+  }
+
+let table9 () =
+  let rows =
+    List.map2
+      (fun sc ((pe_b, pe_ba, pe_o), (pc_b, pc_ba, pc_o)) ->
+        let b = bare sc in
+        let ba = diff ~strategy:Diff_file.Basic sc in
+        let o = diff ~strategy:Diff_file.Optimal sc in
+        {
+          Report.row_label = Scenario.name sc;
+          cells =
+            [
+              cell ~paper:pe_b (exec b);
+              cell ~paper:pe_ba (exec ba);
+              cell ~paper:pe_o (exec o);
+              cell ~paper:pc_b (completion b);
+              cell ~paper:pc_ba (completion ba);
+              cell ~paper:pc_o (completion o);
+            ];
+        })
+      scenarios
+      (List.combine Paper.table9_exec Paper.table9_completion)
+  in
+  {
+    Report.id = "Table 9";
+    title = "Impact of the Differential File Mechanism";
+    columns =
+      [ "exec bare"; "exec basic"; "exec optimal"; "compl bare"; "compl basic"; "compl optimal" ];
+    rows;
+    notes = [ "differential files sized at 10% of the base file" ];
+  }
+
+let table10 () =
+  let fractions = [ 0.10; 0.20; 0.50 ] in
+  let rows =
+    List.map2
+      (fun sc (p_bare, papers) ->
+        {
+          Report.row_label = Scenario.name sc;
+          cells =
+            cell ~paper:p_bare (exec (bare sc))
+            :: List.map2
+                 (fun out paper -> cell ~paper (exec (diff ~out ~strategy:Diff_file.Optimal sc)))
+                 fractions papers;
+        })
+      scenarios Paper.table10_exec
+  in
+  {
+    Report.id = "Table 10";
+    title = "Effect of Output Fraction on Execution Time per Page";
+    columns = [ "bare"; "10%"; "20%"; "50%" ];
+    rows;
+    notes = [];
+  }
+
+let table11 () =
+  let sizes = [ 0.10; 0.15; 0.20 ] in
+  let rows =
+    List.map2
+      (fun sc (p_bare, papers) ->
+        {
+          Report.row_label = Scenario.name sc;
+          cells =
+            cell ~paper:p_bare (exec (bare sc))
+            :: List.map2
+                 (fun size paper -> cell ~paper (exec (diff ~size ~strategy:Diff_file.Optimal sc)))
+                 sizes papers;
+        })
+      scenarios Paper.table11_exec
+  in
+  {
+    Report.id = "Table 11";
+    title = "Effect of Size of Differential Files on Execution Time per Page";
+    columns = [ "bare"; "10%"; "15%"; "20%" ];
+    rows;
+    notes = [];
+  }
+
+let table12 () =
+  let rows =
+    List.map2
+      (fun sc (label, papers) ->
+        let measured =
+          [
+            exec (bare sc);
+            exec (logging1 sc);
+            exec (shadow_pt ~n_pt:1 ~buf:10 sc);
+            exec (shadow_pt ~n_pt:1 ~buf:50 sc);
+            exec (shadow_pt ~n_pt:2 ~buf:10 sc);
+            exec (shadow_scrambled sc);
+            exec (overwriting sc);
+            exec (diff ~strategy:Diff_file.Optimal sc);
+          ]
+        in
+        { Report.row_label = label; cells = List.map2 (fun m p -> cell ~paper:p m) measured papers })
+      scenarios Paper.table12_exec
+  in
+  {
+    Report.id = "Table 12";
+    title = "Average Execution Time per Page: All Recovery Architectures";
+    columns =
+      [
+        "bare"; "logging (1 disk)"; "PT buf=10"; "PT buf=50"; "2 PT procs"; "scrambled";
+        "overwriting"; "diff file";
+      ];
+    rows;
+    notes = [];
+  }
+
+let all () =
+  [
+    table1 (); table2 (); table3 (); table4 (); table5 (); table6 (); table7 (); table8 ();
+    table9 (); table10 (); table11 (); table12 ();
+  ]
+
+let by_id = function
+  | 1 -> table1 ()
+  | 2 -> table2 ()
+  | 3 -> table3 ()
+  | 4 -> table4 ()
+  | 5 -> table5 ()
+  | 6 -> table6 ()
+  | 7 -> table7 ()
+  | 8 -> table8 ()
+  | 9 -> table9 ()
+  | 10 -> table10 ()
+  | 11 -> table11 ()
+  | 12 -> table12 ()
+  | n -> invalid_arg (Printf.sprintf "Tables.by_id: no table %d (1-12)" n)

@@ -1,0 +1,1 @@
+lib/disk/drive.ml: Dbm_sim Dbm_util Layout List Params

@@ -1,0 +1,1 @@
+lib/disk/drive.mli: Dbm_sim Layout Params

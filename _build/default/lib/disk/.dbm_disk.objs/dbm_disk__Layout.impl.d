@@ -1,0 +1,1 @@
+lib/disk/layout.ml: Dbm_util Hashtbl Int List Params

@@ -1,0 +1,1 @@
+lib/disk/layout.mli: Params

@@ -1,0 +1,144 @@
+type kind = Read | Write
+
+type request = {
+  kind : kind;
+  mutable remaining : int list;
+  extra_transfers : int;
+  on_complete : unit -> unit;
+}
+
+type t = {
+  engine : Dbm_sim.Engine.t;
+  params : Params.t;
+  layout : Layout.t;
+  name : string;
+  coalesce : bool;
+  mutable queue : request list; (* FCFS order; head is oldest *)
+  mutable busy : bool;
+  mutable head_cylinder : int;
+  busy_acc : Dbm_util.Stats.Busy.t;
+  qlen : Dbm_util.Stats.Timeweighted.t;
+  mutable accesses : int;
+  mutable pages : int;
+}
+
+let create engine ~params ~layout ~name ?(coalesce = true) () =
+  {
+    engine;
+    params;
+    layout;
+    name;
+    coalesce;
+    queue = [];
+    busy = false;
+    head_cylinder = 0;
+    busy_acc = Dbm_util.Stats.Busy.create ();
+    qlen = Dbm_util.Stats.Timeweighted.create ~t0:(Dbm_sim.Engine.now engine) ();
+    accesses = 0;
+    pages = 0;
+  }
+
+let name t = t.name
+let params t = t.params
+let queue_length t = List.length t.queue
+let busy t = t.busy
+let access_count t = t.accesses
+let pages_transferred t = t.pages
+let utilization t =
+  Dbm_util.Stats.Busy.utilization t.busy_acc ~elapsed:(Dbm_sim.Engine.now t.engine) ~servers:1
+
+let mean_queue_length t = Dbm_util.Stats.Timeweighted.mean t.qlen ~now:(Dbm_sim.Engine.now t.engine)
+
+let note_queue t =
+  Dbm_util.Stats.Timeweighted.update t.qlen ~now:(Dbm_sim.Engine.now t.engine)
+    ~level:(float_of_int (List.length t.queue))
+
+let cylinder_of t page = (Layout.locate t.params t.layout ~page).Layout.cylinder
+
+(* One conventional access per page; arm position carried along. *)
+let conventional_service t ~extra_transfers pages =
+  let per_page_transfer =
+    float_of_int (1 + extra_transfers) *. t.params.Params.page_transfer_ms
+  in
+  List.fold_left
+    (fun acc page ->
+      let cyl = cylinder_of t page in
+      let seek = Params.seek_time t.params ~from_cyl:t.head_cylinder ~to_cyl:cyl in
+      t.head_cylinder <- cyl;
+      t.accesses <- t.accesses + 1;
+      t.pages <- t.pages + 1;
+      acc +. seek +. Params.avg_rotational_latency t.params +. per_page_transfer)
+    0.0 pages
+
+(* One parallel access: every page served lives in [target] cylinder. *)
+let parallel_service t ~extra_transfers target served =
+  let seek = Params.seek_time t.params ~from_cyl:t.head_cylinder ~to_cyl:target in
+  t.head_cylinder <- target;
+  t.accesses <- t.accesses + 1;
+  t.pages <- t.pages + List.length served;
+  let slots =
+    Layout.slot_positions t.params t.layout served + (extra_transfers * List.length served)
+  in
+  seek
+  +. Params.avg_rotational_latency t.params
+  +. (float_of_int slots *. t.params.Params.page_transfer_ms)
+
+let finish_completed t =
+  let done_, rest = List.partition (fun r -> r.remaining = []) t.queue in
+  t.queue <- rest;
+  note_queue t;
+  List.iter (fun r -> r.on_complete ()) done_
+
+let rec serve t =
+  if (not t.busy) && t.queue <> [] then begin
+    match t.queue with
+    | [] -> ()
+    | head :: _ ->
+      let service =
+        if not t.params.Params.parallel_access then begin
+          let pages = head.remaining in
+          head.remaining <- [];
+          conventional_service t ~extra_transfers:head.extra_transfers pages
+        end
+        else begin
+          match head.remaining with
+          | [] -> 0.0
+          | first :: _ ->
+            let target = cylinder_of t first in
+            (* Absorb, from every queued same-kind request, the pages that
+               live in the target cylinder. *)
+            let served = ref [] in
+            let candidates = if t.coalesce then t.queue else [ head ] in
+            List.iter
+              (fun r ->
+                if r.kind = head.kind then begin
+                  let hit, miss =
+                    List.partition (fun p -> cylinder_of t p = target) r.remaining
+                  in
+                  if hit <> [] then begin
+                    r.remaining <- miss;
+                    served := List.rev_append hit !served
+                  end
+                end)
+              candidates;
+            parallel_service t ~extra_transfers:head.extra_transfers target !served
+        end
+      in
+      t.busy <- true;
+      Dbm_util.Stats.Busy.add_busy t.busy_acc service;
+      ignore
+        (Dbm_sim.Engine.schedule t.engine ~delay:service (fun () ->
+             t.busy <- false;
+             finish_completed t;
+             serve t))
+  end
+
+let submit t ?(extra_transfers = 0) kind ~pages on_complete =
+  let r = { kind; remaining = pages; extra_transfers; on_complete } in
+  if pages = [] then
+    ignore (Dbm_sim.Engine.schedule t.engine ~delay:0.0 on_complete)
+  else begin
+    t.queue <- t.queue @ [ r ];
+    note_queue t;
+    serve t
+  end

@@ -1,0 +1,34 @@
+(** Mapping from logical page numbers to physical disk locations.
+
+    [Sequential] keeps logically adjacent pages physically adjacent
+    (slot-major within a track, track-major within a cylinder), the
+    clustering assumption of Section 4.2.  [Scrambled] applies a
+    deterministic pseudo-random permutation first, modelling the
+    shadow-mechanism drift in which "logically adjacent pages are
+    scattered all over the data disk" (Table 7). *)
+
+type loc = { cylinder : int; track : int; slot : int }
+
+type t =
+  | Sequential
+  | Scrambled of int  (** permutation seed *)
+
+val locate : Params.t -> t -> page:int -> loc
+(** Physical location of logical [page].  Pages wrap modulo the disk's
+    capacity, so any non-negative page number is valid.
+    @raise Invalid_argument on a negative page number. *)
+
+val same_cylinder : Params.t -> t -> int -> int -> bool
+
+val slot_positions : Params.t -> t -> int list -> int
+(** Number of distinct rotational slot positions covered by the given
+    pages: the transfer-count term of a parallel-access access. *)
+
+val cylinders_spanned : Params.t -> t -> int list -> int list
+(** Sorted list of distinct cylinders covered by the given pages. *)
+
+val permutation : seed:int -> n:int -> int -> int
+(** [permutation ~seed ~n] is a deterministic bijection on [0, n)
+    (an affine map with a large multiplier) that scatters adjacent
+    inputs far apart.  Used to scramble data pages within a zone.
+    @raise Invalid_argument on inputs outside [0, n). *)

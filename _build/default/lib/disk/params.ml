@@ -1,0 +1,46 @@
+type t = {
+  name : string;
+  cylinders : int;
+  tracks_per_cylinder : int;
+  pages_per_track : int;
+  track_to_track_seek_ms : float;
+  seek_ms_per_cylinder : float;
+  rotation_ms : float;
+  page_transfer_ms : float;
+  parallel_access : bool;
+}
+
+(* IBM 3350: 555 cylinders, 30 tracks/cylinder, 19,069 bytes/track (four
+   4 KB pages), 25 ms average seek, 10 ms track-to-track, 16.7 ms
+   revolution, 1.198 MB/s transfer (3.4 ms per 4 KB page).  The linear
+   seek coefficient is chosen so the mean seek over random distances
+   (~ cylinders / 3) is 25 ms. *)
+let ibm_3350 =
+  {
+    name = "ibm-3350";
+    cylinders = 555;
+    tracks_per_cylinder = 30;
+    pages_per_track = 4;
+    track_to_track_seek_ms = 10.0;
+    seek_ms_per_cylinder = 0.082;
+    rotation_ms = 16.7;
+    page_transfer_ms = 3.4;
+    parallel_access = false;
+  }
+
+let parallel_access = { ibm_3350 with name = "parallel-access"; parallel_access = true }
+
+let pages_per_cylinder t = t.tracks_per_cylinder * t.pages_per_track
+
+let total_pages t = t.cylinders * pages_per_cylinder t
+
+let seek_time t ~from_cyl ~to_cyl =
+  let d = abs (to_cyl - from_cyl) in
+  if d = 0 then 0.0
+  else t.track_to_track_seek_ms +. (t.seek_ms_per_cylinder *. float_of_int (d - 1))
+
+let avg_rotational_latency t = t.rotation_ms /. 2.0
+
+let avg_seek t =
+  let mean_distance = float_of_int t.cylinders /. 3.0 in
+  t.track_to_track_seek_ms +. (t.seek_ms_per_cylinder *. (mean_distance -. 1.0))

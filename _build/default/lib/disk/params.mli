@@ -1,0 +1,49 @@
+(** Disk geometry and timing parameters.
+
+    Two presets match the paper's hardware: {!ibm_3350}, the conventional
+    moving-head drive the data and log disks were modelled after, and
+    {!parallel_access}, the SURE/DBC-style drive on which "all pages on
+    the different tracks of the same cylinder may be read or written in
+    parallel in one disk access" (Section 4).
+
+    Timing model:
+    - a {e conventional} drive transfers one page per access:
+      [seek + rotational latency + one page transfer];
+    - a {e parallel-access} drive transfers, in one access, up to one page
+      per track for every rotational slot position it sweeps:
+      [seek + rotational latency + (distinct slot positions) * transfer]. *)
+
+type t = {
+  name : string;
+  cylinders : int;
+  tracks_per_cylinder : int;
+  pages_per_track : int;
+  track_to_track_seek_ms : float;  (** minimum (adjacent-cylinder) seek *)
+  seek_ms_per_cylinder : float;  (** linear seek-distance coefficient *)
+  rotation_ms : float;  (** one full revolution *)
+  page_transfer_ms : float;  (** one 4 KB page *)
+  parallel_access : bool;
+}
+
+val ibm_3350 : t
+(** 555 cylinders x 30 tracks x 4 pages; ~25 ms average seek, 16.7 ms
+    revolution, ~3.4 ms page transfer. *)
+
+val parallel_access : t
+(** Same geometry and timing as {!ibm_3350} but with per-cylinder
+    parallel transfer, as proposed by SURE [17] and DBC [18]. *)
+
+val pages_per_cylinder : t -> int
+
+val total_pages : t -> int
+
+val seek_time : t -> from_cyl:int -> to_cyl:int -> float
+(** 0 when the cylinders are equal, otherwise
+    [track_to_track + per_cylinder * (distance - 1)]. *)
+
+val avg_rotational_latency : t -> float
+(** Half a revolution. *)
+
+val avg_seek : t -> float
+(** Expected seek time over uniformly random start/end cylinders
+    (mean distance ~ cylinders/3). *)

@@ -1,0 +1,1 @@
+lib/machine/arch.ml: Config Dbm_disk Dbm_sim Dbm_util Dbm_workload

@@ -1,0 +1,1 @@
+lib/machine/arch.mli: Config Dbm_disk Dbm_sim Dbm_util Dbm_workload

@@ -1,0 +1,1 @@
+lib/machine/lock_table.ml: Hashtbl List

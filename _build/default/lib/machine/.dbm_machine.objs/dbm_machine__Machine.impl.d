@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Arch Array Config Dbm_disk Dbm_sim Dbm_util Dbm_workload Float Hashtbl List Lock_table Option Printf Results String

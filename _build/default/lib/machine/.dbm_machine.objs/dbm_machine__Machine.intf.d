@@ -1,0 +1,1 @@
+lib/machine/machine.mli: Arch Config Dbm_sim Dbm_workload Results

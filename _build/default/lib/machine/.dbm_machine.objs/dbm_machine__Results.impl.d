@@ -1,0 +1,1 @@
+lib/machine/results.ml: Format List

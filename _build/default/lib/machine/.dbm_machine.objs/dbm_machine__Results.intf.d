@@ -1,0 +1,1 @@
+lib/machine/results.mli: Format

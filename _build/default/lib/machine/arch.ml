@@ -1,0 +1,61 @@
+type ctx = {
+  engine : Dbm_sim.Engine.t;
+  rng : Dbm_util.Prng.t;
+  config : Config.t;
+  data_drives : Dbm_disk.Drive.t array;
+  drive_of_page : int -> Dbm_disk.Drive.t * int;
+  scratch_page : disk:int -> int;
+  diff_read_pages : disk:int -> n:int -> int list;
+  diff_append_page : disk:int -> int;
+  take_frames : int -> bool;
+  release_frames : int -> unit;
+}
+
+type t = {
+  arch_name : string;
+  extra_read_pages : n_base:int -> int;
+  read_extra_transfers : int;
+  before_read : txn:Dbm_workload.Workload.txn -> page:int -> k:(unit -> unit) -> unit;
+  cpu_extra_ms : txn:Dbm_workload.Workload.txn -> page:int -> write:bool -> float;
+  on_update :
+    txn:Dbm_workload.Workload.txn -> page:int -> qp:int -> release:(unit -> unit) -> unit;
+  write_back :
+    (txn:Dbm_workload.Workload.txn -> page:int -> written:(unit -> unit) -> unit) option;
+  on_commit : txn:Dbm_workload.Workload.txn -> k:(unit -> unit) -> unit;
+  extra_stats : unit -> (string * float) list;
+}
+
+let no_extra_reads ~n_base:_ = 0
+let pass_read ~txn:_ ~page:_ ~k = k ()
+let no_cpu ~txn:_ ~page:_ ~write:_ = 0.0
+let immediate_release ~txn:_ ~page:_ ~qp:_ ~release = release ()
+let immediate_commit ~txn:_ ~k = k ()
+let no_stats () = []
+
+let bare =
+  {
+    arch_name = "bare";
+    extra_read_pages = no_extra_reads;
+    read_extra_transfers = 0;
+    before_read = pass_read;
+    cpu_extra_ms = no_cpu;
+    on_update = immediate_release;
+    write_back = None;
+    on_commit = immediate_commit;
+    extra_stats = no_stats;
+  }
+
+let make ?(extra_read_pages = no_extra_reads) ?(read_extra_transfers = 0)
+    ?(before_read = pass_read) ?(cpu_extra_ms = no_cpu) ?(on_update = immediate_release)
+    ?write_back ?(on_commit = immediate_commit) ?(extra_stats = no_stats) arch_name =
+  {
+    arch_name;
+    extra_read_pages;
+    read_extra_transfers;
+    before_read;
+    cpu_extra_ms;
+    on_update;
+    write_back;
+    on_commit;
+    extra_stats;
+  }

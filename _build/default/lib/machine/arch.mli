@@ -1,0 +1,77 @@
+(** The interface between the database machine and a recovery
+    architecture.
+
+    A recovery architecture is a bundle of hooks the back-end controller
+    calls at the points where recovery work can occur.  Every hook that
+    may take simulated time is continuation-passing: the architecture
+    calls the supplied continuation (possibly later, via the event
+    engine) when the machine may proceed.  The bare machine ({!bare})
+    completes every hook immediately. *)
+
+type ctx = {
+  engine : Dbm_sim.Engine.t;
+  rng : Dbm_util.Prng.t;
+  config : Config.t;
+  data_drives : Dbm_disk.Drive.t array;
+  drive_of_page : int -> Dbm_disk.Drive.t * int;
+      (** logical data page -> (drive, drive-local page) *)
+  scratch_page : disk:int -> int;
+      (** next page of the disk's scratch ring (overwriting archs) *)
+  diff_read_pages : disk:int -> n:int -> int list;
+      (** [n] pages from the disk's differential zone, for reads *)
+  diff_append_page : disk:int -> int;
+      (** next append slot of the disk's differential zone *)
+  take_frames : int -> bool;
+      (** claim cache frames (for log fragments routed through the
+          cache); [false] when not enough are free *)
+  release_frames : int -> unit;
+}
+(** Facilities the machine exposes to an architecture. *)
+
+type t = {
+  arch_name : string;
+  extra_read_pages : n_base:int -> int;
+      (** extra same-drive pages to fetch with a batch of [n_base] data
+          pages (differential A and D pages); 0 for other architectures *)
+  read_extra_transfers : int;
+      (** additional block transfers charged per data page read (the
+          version-selection architecture reads both adjacent copies);
+          0 elsewhere *)
+  before_read : txn:Dbm_workload.Workload.txn -> page:int -> k:(unit -> unit) -> unit;
+      (** gate the read of a data page (shadow page-table lookup) *)
+  cpu_extra_ms : txn:Dbm_workload.Workload.txn -> page:int -> write:bool -> float;
+      (** extra query-processor time to process one page *)
+  on_update :
+    txn:Dbm_workload.Workload.txn -> page:int -> qp:int -> release:(unit -> unit) -> unit;
+      (** query processor [qp] updated [page]; call [release] when the
+          dirty frame may be written to disk (the WAL rule) *)
+  write_back :
+    (txn:Dbm_workload.Workload.txn -> page:int -> written:(unit -> unit) -> unit) option;
+      (** override the write-back of a dirty page ([None] = write to the
+          page's home location); call [written] when the frame may be
+          freed *)
+  on_commit : txn:Dbm_workload.Workload.txn -> k:(unit -> unit) -> unit;
+      (** commit protocol, run after all the transaction's pages are
+          processed and all its dirty frames written; call [k] when the
+          transaction is durable *)
+  extra_stats : unit -> (string * float) list;
+      (** architecture-specific statistics appended to the results *)
+}
+
+val bare : t
+(** The machine with no provision for recovery (the paper's baseline). *)
+
+val make :
+  ?extra_read_pages:(n_base:int -> int) ->
+  ?read_extra_transfers:int ->
+  ?before_read:(txn:Dbm_workload.Workload.txn -> page:int -> k:(unit -> unit) -> unit) ->
+  ?cpu_extra_ms:(txn:Dbm_workload.Workload.txn -> page:int -> write:bool -> float) ->
+  ?on_update:
+    (txn:Dbm_workload.Workload.txn -> page:int -> qp:int -> release:(unit -> unit) -> unit) ->
+  ?write_back:(txn:Dbm_workload.Workload.txn -> page:int -> written:(unit -> unit) -> unit) ->
+  ?on_commit:(txn:Dbm_workload.Workload.txn -> k:(unit -> unit) -> unit) ->
+  ?extra_stats:(unit -> (string * float) list) ->
+  string ->
+  t
+(** [make name] builds an architecture from the given hooks; omitted
+    hooks behave like {!bare}'s. *)

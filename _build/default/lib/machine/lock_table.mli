@@ -1,0 +1,37 @@
+(** Page-level lock table for the back-end controller's scheduler.
+
+    The paper assumes "a scheduler, located in the back-end controller,
+    which employs page-level locking" (Section 3).  Because a compiled
+    transaction's page references are known when it reaches the
+    controller, the machine uses static (pre-declared) locking: a
+    transaction acquires its whole lock set atomically at admission and
+    releases it at completion, which is deadlock-free by construction. *)
+
+type t
+
+type mode = Shared | Exclusive
+
+val create : unit -> t
+
+val compatible : mode -> mode -> bool
+(** [compatible held requested]: only [Shared]/[Shared] is compatible. *)
+
+val can_acquire_all : t -> owner:int -> locks:(int * mode) list -> bool
+(** Would the whole set be grantable right now?  Locks already held by
+    [owner] never conflict with its own request. *)
+
+val acquire_all : t -> owner:int -> locks:(int * mode) list -> bool
+(** All-or-nothing: acquire every lock or none.  Returns whether the
+    acquisition succeeded.  Requesting the same page twice upgrades to
+    the stronger mode. *)
+
+val release_all : t -> owner:int -> unit
+(** Release every lock held by [owner]. *)
+
+val holds : t -> owner:int -> page:int -> mode option
+
+val locked_pages : t -> int
+(** Number of pages with at least one lock. *)
+
+val owners : t -> int list
+(** Distinct owners currently holding locks, unordered. *)

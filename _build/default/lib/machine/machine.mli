@@ -1,0 +1,42 @@
+(** The multiprocessor-cache database machine (Section 2 of the paper).
+
+    One {!run} simulates the execution of a transaction workload on a
+    machine with a back-end controller, a pool of query processors, a
+    page-addressable disk cache, and a set of data disks, under a given
+    recovery architecture:
+
+    - the back-end controller admits transactions up to the
+      multiprogramming level, acquiring their page locks (static
+      page-level locking) at admission;
+    - for each admitted transaction it performs anticipatory paging:
+      batches of up to [read_batch] pages are fetched into free cache
+      frames, each gated by the architecture's [before_read] hook;
+    - pages that arrive in the cache are handed to free query
+      processors; processing an updated page triggers the architecture's
+      [on_update] hook, and the dirty frame is written back (through the
+      architecture's write path) once the hook releases it — the WAL
+      rule of Section 3.1;
+    - when every page is processed and every dirty frame flushed, the
+      architecture's commit protocol runs and the transaction completes.
+
+    The simulation is fully deterministic given the machine seed and the
+    workload. *)
+
+val run :
+  config:Config.t ->
+  make_arch:(Arch.ctx -> Arch.t) ->
+  workload:Dbm_workload.Workload.txn array ->
+  Results.t
+(** @raise Invalid_argument on an invalid configuration.
+    @raise Failure if the simulation stalls (an architecture hook never
+    completed). *)
+
+val run_traced :
+  trace:Dbm_sim.Trace.t ->
+  config:Config.t ->
+  make_arch:(Arch.ctx -> Arch.t) ->
+  workload:Dbm_workload.Workload.txn array ->
+  Results.t
+(** Like {!run}, additionally emitting one trace event per machine
+    state transition (admission, read batch issue, commit start,
+    completion). *)

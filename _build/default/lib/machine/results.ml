@@ -1,0 +1,38 @@
+type disk_report = {
+  disk_name : string;
+  utilization : float;
+  accesses : int;
+  pages : int;
+}
+
+type t = {
+  makespan_ms : float;
+  pages_processed : int;
+  exec_ms_per_page : float;
+  mean_completion_ms : float;
+  max_completion_ms : float;
+  n_transactions : int;
+  data_disks : disk_report list;
+  qp_utilization : float;
+  mean_frames_blocked_on_log : float;
+  mean_free_frames : float;
+  mean_active_txns : float;
+  data_disk_accesses : int;
+  completions : (int * float) list;
+  extra : (string * float) list;
+}
+
+let data_disk_utilization t =
+  match t.data_disks with
+  | [] -> 0.0
+  | ds -> List.fold_left (fun acc d -> acc +. d.utilization) 0.0 ds /. float_of_int (List.length ds)
+
+let find_extra t key = List.assoc_opt key t.extra
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>makespan: %.1f ms@ pages: %d@ exec/page: %.2f ms@ mean completion: %.1f ms@ \
+     qp utilization: %.2f@ data-disk utilization: %.2f@ data-disk accesses: %d@ effective \
+     MPL: %.2f@]"
+    t.makespan_ms t.pages_processed t.exec_ms_per_page t.mean_completion_ms t.qp_utilization
+    (data_disk_utilization t) t.data_disk_accesses t.mean_active_txns

@@ -1,0 +1,47 @@
+(** Results of one simulation run.
+
+    The paper's two headline metrics (Section 4):
+    - {e execution time per page}: machine time to execute the whole
+      transaction load divided by the total number of pages processed;
+    - {e transaction completion time}: from the allocation of a
+      transaction's first cache frame to the write of its last updated
+      page. *)
+
+type disk_report = {
+  disk_name : string;
+  utilization : float;
+  accesses : int;
+  pages : int;
+}
+
+type t = {
+  makespan_ms : float;
+  pages_processed : int;
+  exec_ms_per_page : float;
+  mean_completion_ms : float;
+  max_completion_ms : float;
+  n_transactions : int;
+  data_disks : disk_report list;
+  qp_utilization : float;
+  mean_frames_blocked_on_log : float;
+      (** time-weighted mean number of dirty frames held in the cache
+          waiting for their log records to reach stable storage *)
+  mean_free_frames : float;
+  mean_active_txns : float;
+      (** time-weighted mean number of admitted transactions — the
+          effective multiprogramming level (lock conflicts at admission
+          push it below the configured MPL) *)
+  data_disk_accesses : int;  (** summed over the data disks *)
+  completions : (int * float) list;
+      (** (transaction id, completion time in ms), in completion order *)
+  extra : (string * float) list;
+      (** architecture-specific statistics (log-disk utilization,
+          page-table disk utilization, ...) *)
+}
+
+val data_disk_utilization : t -> float
+(** Mean utilization across the data disks. *)
+
+val find_extra : t -> string -> float option
+
+val pp : Format.formatter -> t -> unit

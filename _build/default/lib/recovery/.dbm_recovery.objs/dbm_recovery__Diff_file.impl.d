@@ -1,0 +1,1 @@
+lib/recovery/diff_file.ml: Array Dbm_disk Dbm_machine Dbm_util Dbm_workload Float Hashtbl Printf

@@ -1,0 +1,1 @@
+lib/recovery/diff_file.mli: Dbm_machine

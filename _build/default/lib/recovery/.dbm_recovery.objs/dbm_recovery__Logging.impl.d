@@ -1,0 +1,1 @@
+lib/recovery/logging.ml: Array Dbm_disk Dbm_machine Dbm_sim Dbm_util Dbm_workload Hashtbl List Printf

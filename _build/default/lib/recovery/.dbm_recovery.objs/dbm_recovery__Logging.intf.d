@@ -1,0 +1,1 @@
+lib/recovery/logging.mli: Dbm_disk Dbm_machine

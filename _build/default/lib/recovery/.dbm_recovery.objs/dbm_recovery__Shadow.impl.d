@@ -1,0 +1,1 @@
+lib/recovery/shadow.ml: Array Dbm_disk Dbm_machine Dbm_util Dbm_workload Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/recovery/shadow.mli: Dbm_disk Dbm_machine

@@ -1,0 +1,1 @@
+lib/recovery/version_select.ml: Dbm_disk Dbm_machine Option Printf

@@ -1,0 +1,1 @@
+lib/recovery/version_select.mli: Dbm_disk Dbm_machine

@@ -1,0 +1,239 @@
+module Arch = Dbm_machine.Arch
+module Drive = Dbm_disk.Drive
+module Engine = Dbm_sim.Engine
+module Workload = Dbm_workload.Workload
+
+type selection = Cyclic | Random | Qp_mod | Txn_mod
+
+type mode = Logical | Physical
+
+type routing = Dedicated of float | Via_cache
+
+type config = {
+  n_log_processors : int;
+  selection : selection;
+  mode : mode;
+  routing : routing;
+  fragment_bytes : int;
+  log_disk : Dbm_disk.Params.t;
+  fragment_cpu_ms : float;
+  enforce_wal : bool;
+  batch_release : bool;
+}
+
+let default =
+  {
+    n_log_processors = 1;
+    selection = Cyclic;
+    mode = Logical;
+    routing = Dedicated 1.0;
+    fragment_bytes = 600;
+    log_disk = Dbm_disk.Params.ibm_3350;
+    fragment_cpu_ms = 2.0;
+    enforce_wal = true;
+    batch_release = true;
+  }
+
+(* A log processor: a log disk plus the log page being assembled. *)
+type lp = {
+  drive : Drive.t;
+  mutable next_page : int;  (* monotonically increasing append position *)
+  mutable fill_bytes : int;
+  mutable buffered : (int * (unit -> unit)) list;  (* (txn id, release) *)
+}
+
+type txn_track = { mutable pending : int; mutable commit_k : (unit -> unit) option }
+
+let make config (ctx : Arch.ctx) =
+  if config.n_log_processors < 1 then invalid_arg "Logging.make: need a log processor";
+  if config.fragment_bytes <= 0 then invalid_arg "Logging.make: bad fragment size";
+  let engine = ctx.Arch.engine in
+  let page_bytes = ctx.Arch.config.Dbm_machine.Config.page_size_bytes in
+  let lps =
+    Array.init config.n_log_processors (fun i ->
+        {
+          drive =
+            Drive.create engine ~params:config.log_disk
+              ~layout:Dbm_disk.Layout.Sequential
+              ~name:(Printf.sprintf "log-%d" i) ();
+          next_page = 0;
+          fill_bytes = 0;
+          buffered = [];
+        })
+  in
+  let tracks : (int, txn_track) Hashtbl.t = Hashtbl.create 64 in
+  (* Transactions whose commit protocol has begun: any fragment of
+     theirs that is still in transit must be forced as soon as it
+     reaches its log processor. *)
+  let force_on_arrival : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let track txn_id =
+    match Hashtbl.find_opt tracks txn_id with
+    | Some t -> t
+    | None ->
+      let t = { pending = 0; commit_k = None } in
+      Hashtbl.replace tracks txn_id t;
+      t
+  in
+  let log_pages_written = ref 0 in
+  let log_forces = ref 0 in
+
+  let settle txn_id =
+    let t = track txn_id in
+    t.pending <- t.pending - 1;
+    if t.pending = 0 then begin
+      Hashtbl.remove force_on_arrival txn_id;
+      match t.commit_k with
+      | Some k ->
+        t.commit_k <- None;
+        k ()
+      | None -> ()
+    end
+  in
+
+  (* Write the lp's current buffer as one log page; every buffered
+     fragment's release fires when the page reaches stable storage. *)
+  let flush lp =
+    if lp.buffered <> [] || lp.fill_bytes > 0 then begin
+      let releases = List.rev lp.buffered in
+      lp.buffered <- [];
+      lp.fill_bytes <- 0;
+      let page = lp.next_page in
+      lp.next_page <- lp.next_page + 1;
+      incr log_pages_written;
+      Drive.submit lp.drive Drive.Write ~pages:[ page ] (fun () ->
+          if config.batch_release then
+            List.iter
+              (fun (txn_id, release) ->
+                release ();
+                settle txn_id)
+              releases
+          else
+            (* Ablation: hand the updated pages to the data-disk queues
+               one at a time (as physical logging does), destroying the
+               same-cylinder write coalescing of Section 4.1.2. *)
+            List.iteri
+              (fun i (txn_id, release) ->
+                ignore
+                  (Engine.schedule engine ~delay:(0.05 *. float_of_int i) (fun () ->
+                       release ();
+                       settle txn_id)))
+              releases)
+    end
+  in
+
+  let add_fragment lp ~txn_id ~bytes ~release =
+    if lp.fill_bytes + bytes > page_bytes then flush lp;
+    lp.fill_bytes <- lp.fill_bytes + bytes;
+    lp.buffered <- (txn_id, release) :: lp.buffered;
+    if lp.fill_bytes >= page_bytes || Hashtbl.mem force_on_arrival txn_id then flush lp
+  in
+
+  (* Physical logging: each update writes its own pair of image pages. *)
+  let write_images lp ~txn_id ~release =
+    let first = lp.next_page in
+    lp.next_page <- lp.next_page + 2;
+    log_pages_written := !log_pages_written + 2;
+    Drive.submit lp.drive Drive.Write ~pages:[ first; first + 1 ] (fun () ->
+        release ();
+        settle txn_id)
+  in
+
+  let n_lp = config.n_log_processors in
+  let cyclic_counter = ref 0 in
+  let select ~qp (txn : Workload.txn) =
+    let i =
+      match config.selection with
+      | Cyclic ->
+        let c = !cyclic_counter in
+        incr cyclic_counter;
+        c mod n_lp
+      | Random -> Dbm_util.Prng.int ctx.Arch.rng n_lp
+      | Qp_mod -> qp mod n_lp
+      | Txn_mod -> txn.Workload.id mod n_lp
+    in
+    lps.(i)
+  in
+
+  let transmission_ms bytes =
+    match config.routing with
+    | Dedicated mb_per_s ->
+      if mb_per_s <= 0.0 then invalid_arg "Logging: non-positive bandwidth";
+      float_of_int bytes /. (mb_per_s *. 1000.0)
+    | Via_cache ->
+      (* Staged through the cache: a write by the QP plus a read by the
+         log processor, both at memory speed. *)
+      0.2
+  in
+
+  let on_update ~txn ~page:_ ~qp ~release =
+    (* Ablation: without the write-ahead rule the dirty frame goes to
+       disk at once; the fragment is still logged (and still counted),
+       but nothing waits for it. *)
+    let release =
+      if config.enforce_wal then release
+      else begin
+        release ();
+        fun () -> ()
+      end
+    in
+    let t = track txn.Workload.id in
+    t.pending <- t.pending + 1;
+    let lp = select ~qp txn in
+    let bytes =
+      match config.mode with Logical -> config.fragment_bytes | Physical -> 2 * page_bytes
+    in
+    let deliver () =
+      match config.mode with
+      | Logical -> add_fragment lp ~txn_id:txn.Workload.id ~bytes ~release
+      | Physical -> write_images lp ~txn_id:txn.Workload.id ~release
+    in
+    let delay = transmission_ms bytes in
+    match config.routing with
+    | Dedicated _ -> ignore (Engine.schedule engine ~delay deliver)
+    | Via_cache ->
+      (* Hold a cache frame while the fragment is in transit, when one
+         is available; the paper found frames are not the constraint. *)
+      let took = ctx.Arch.take_frames 1 in
+      ignore
+        (Engine.schedule engine ~delay (fun () ->
+             if took then ctx.Arch.release_frames 1;
+             deliver ()))
+  in
+
+  let on_commit ~txn ~k =
+    let t = track txn.Workload.id in
+    (* Force the partial log pages still holding this transaction's
+       fragments; fragments still in transit are forced on arrival. *)
+    Array.iter
+      (fun lp ->
+        if List.exists (fun (id, _) -> id = txn.Workload.id) lp.buffered then begin
+          incr log_forces;
+          flush lp
+        end)
+      lps;
+    if t.pending = 0 then k ()
+    else begin
+      Hashtbl.replace force_on_arrival txn.Workload.id ();
+      t.commit_k <- Some k
+    end
+  in
+
+  let cpu_extra_ms ~txn:_ ~page:_ ~write =
+    if write then
+      config.fragment_cpu_ms
+      +. (match config.routing with Via_cache -> 1.0 | Dedicated _ -> 0.0)
+    else 0.0
+  in
+
+  let extra_stats () =
+    let utils = Array.map (fun lp -> Drive.utilization lp.drive) lps in
+    let mean = Array.fold_left ( +. ) 0.0 utils /. float_of_int n_lp in
+    ("log_disk_util", mean)
+    :: ("log_pages_written", float_of_int !log_pages_written)
+    :: ("log_forces", float_of_int !log_forces)
+    :: Array.to_list (Array.mapi (fun i u -> (Printf.sprintf "log_disk_util_%d" i, u)) utils)
+  in
+
+  Arch.make ~cpu_extra_ms ~on_update ~on_commit ~extra_stats
+    (Printf.sprintf "logging-%d-%s" n_lp
+       (match config.mode with Logical -> "logical" | Physical -> "physical"))

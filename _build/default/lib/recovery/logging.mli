@@ -1,0 +1,60 @@
+(** The parallel logging recovery architecture (Section 3.1).
+
+    [N >= 1] log processors, each with its own log disk.  When a query
+    processor updates a page it creates a log fragment, selects a log
+    processor and ships the fragment to it; the log processor assembles
+    fragments into log pages and writes full pages to its log disk.  A
+    dirty data page may not be flushed before the log page holding its
+    fragment is on stable storage (write-ahead logging), and committing
+    forces the partial log pages that still hold the transaction's
+    fragments.
+
+    With {e logical} logging a fragment is a few hundred bytes, so one
+    log page carries many updates and all of the corresponding data
+    pages are released to the data-disk queues at the same instant.
+    With {e physical} logging every update writes two full log pages
+    (before and after images), so data pages trickle out one at a time
+    (Section 4.1.2). *)
+
+type selection =
+  | Cyclic  (** query processors cycle among the log processors *)
+  | Random
+  | Qp_mod  (** query-processor number mod number of log processors *)
+  | Txn_mod  (** transaction number mod number of log processors *)
+
+type mode = Logical | Physical
+
+type routing =
+  | Dedicated of float
+      (** dedicated interconnect with the given bandwidth in MB/s *)
+  | Via_cache
+      (** fragments are staged through disk-cache frames *)
+
+type config = {
+  n_log_processors : int;
+  selection : selection;
+  mode : mode;
+  routing : routing;
+  fragment_bytes : int;  (** logical log-fragment size *)
+  log_disk : Dbm_disk.Params.t;
+  fragment_cpu_ms : float;  (** QP time to construct a fragment *)
+  enforce_wal : bool;
+      (** ablation switch: when [false], dirty data pages are released
+          for write-back immediately, before their log records are
+          stable — UNSAFE for recovery, used only to measure what the
+          write-ahead rule costs (DESIGN.md ablations) *)
+  batch_release : bool;
+      (** ablation switch: when [false], even logical logging releases
+          each data page individually as its fragment is logged instead
+          of releasing a whole log page's worth at once, removing the
+          same-cylinder coalescing benefit of Section 4.1.2 *)
+}
+
+val default : config
+(** One log processor, cyclic selection, logical logging, a dedicated
+    1 MB/s interconnect, 600-byte fragments on an IBM 3350 log disk. *)
+
+val make : config -> Dbm_machine.Arch.ctx -> Dbm_machine.Arch.t
+(** Extra statistics reported: ["log_disk_util"] (mean over the log
+    disks), ["log_disk_util_<i>"] per disk, ["log_pages_written"], and
+    ["log_forces"] (commit-time partial-page flushes). *)

@@ -1,0 +1,276 @@
+module Arch = Dbm_machine.Arch
+module Config = Dbm_machine.Config
+module Drive = Dbm_disk.Drive
+module Workload = Dbm_workload.Workload
+
+type variant =
+  | Thru_page_table of { n_pt_processors : int; buffer_pages : int }
+  | Overwrite_no_undo
+  | Overwrite_no_redo
+
+type config = {
+  variant : variant;
+  pt_disk : Dbm_disk.Params.t;
+  entries_per_pt_page : int;
+  pt_lookup_cpu_ms : float;
+  pt_page_spacing : int;
+}
+
+let thru ~n_pt_processors ~buffer_pages =
+  {
+    variant = Thru_page_table { n_pt_processors; buffer_pages };
+    pt_disk = Dbm_disk.Params.ibm_3350;
+    entries_per_pt_page = 1024;
+    pt_lookup_cpu_ms = 0.5;
+    pt_page_spacing = 650;
+  }
+
+let default_thru = thru ~n_pt_processors:1 ~buffer_pages:10
+
+let overwrite_no_undo =
+  {
+    variant = Overwrite_no_undo;
+    pt_disk = Dbm_disk.Params.ibm_3350;
+    entries_per_pt_page = 1024;
+    pt_lookup_cpu_ms = 0.5;
+    pt_page_spacing = 650;
+  }
+
+let overwrite_no_redo = { overwrite_no_undo with variant = Overwrite_no_redo }
+
+(* ------------------------------------------------------------------ *)
+(* Thru page-table                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let make_thru config ~n_pt ~buffer_pages (ctx : Arch.ctx) =
+  if n_pt < 1 then invalid_arg "Shadow: need a page-table processor";
+  if buffer_pages < 1 then invalid_arg "Shadow: need a page-table buffer";
+  let engine = ctx.Arch.engine in
+  let pt_drives =
+    Array.init n_pt (fun i ->
+        Drive.create engine ~params:config.pt_disk ~layout:Dbm_disk.Layout.Sequential
+          ~name:(Printf.sprintf "pagetable-%d" i) ())
+  in
+  (* Page-table page [p] lives on page-table disk [p mod n_pt].  The
+     page-table disk holds the page tables of all the relations, so
+     consecutive page-table pages of one relation are spread apart and
+     successive accesses pay short seeks. *)
+  let pt_home p = (pt_drives.(p mod n_pt), p / n_pt * config.pt_page_spacing) in
+  let buffer : (int, unit) Dbm_util.Lru.t = Dbm_util.Lru.create ~capacity:buffer_pages () in
+  let pending : (int, (unit -> unit) list) Hashtbl.t = Hashtbl.create 16 in
+  (* A lookup that finds the entry buffered, or piggybacks on a fetch
+     already in flight, costs no page-table disk read: both count as
+     hits. *)
+  let pt_lookups = ref 0 in
+  let pt_hits = ref 0 in
+  let pt_reads = ref 0 in
+  let pt_writes = ref 0 in
+  let pt_commit_rereads = ref 0 in
+  (* Page-table pages each transaction has updated. *)
+  let touched : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 16 in
+
+  let write_pt_page p ~k =
+    incr pt_writes;
+    let drive, local = pt_home p in
+    Drive.submit drive Drive.Write ~pages:[ local ] k
+  in
+  let install p =
+    match Dbm_util.Lru.add buffer p () with
+    | None -> ()
+    | Some { Dbm_util.Lru.key; dirty; _ } ->
+      (* A dirty entry pushed out before commit must be written now and
+         reread at commit time: the buffer-size penalty of Table 6. *)
+      if dirty then write_pt_page key ~k:(fun () -> ())
+  in
+  let fetch_pt_page p ~k =
+    match Hashtbl.find_opt pending p with
+    | Some ks -> Hashtbl.replace pending p (k :: ks)
+    | None ->
+      Hashtbl.replace pending p [ k ];
+      incr pt_reads;
+      let drive, local = pt_home p in
+      Drive.submit drive Drive.Read ~pages:[ local ] (fun () ->
+          let ks = Option.value (Hashtbl.find_opt pending p) ~default:[] in
+          Hashtbl.remove pending p;
+          install p;
+          List.iter (fun k -> k ()) ks)
+  in
+
+  let pt_page_of page = page / config.entries_per_pt_page in
+
+  let before_read ~txn:_ ~page ~k =
+    let p = pt_page_of page in
+    incr pt_lookups;
+    match Dbm_util.Lru.find buffer p with
+    | Some () ->
+      incr pt_hits;
+      k ()
+    | None ->
+      if Hashtbl.mem pending p then incr pt_hits;
+      fetch_pt_page p ~k
+  in
+
+  let on_update ~txn ~page ~qp:_ ~release =
+    let p = pt_page_of page in
+    (* The new block address becomes an intention: the entry is dirty in
+       the buffer and must reach the page-table disk at commit. *)
+    Dbm_util.Lru.set_dirty buffer p true;
+    let set =
+      match Hashtbl.find_opt touched txn.Workload.id with
+      | Some s -> s
+      | None ->
+        let s = Hashtbl.create 8 in
+        Hashtbl.replace touched txn.Workload.id s;
+        s
+    in
+    Hashtbl.replace set p ();
+    release ()
+  in
+
+  let on_commit ~txn ~k =
+    match Hashtbl.find_opt touched txn.Workload.id with
+    | None -> k ()
+    | Some set ->
+      Hashtbl.remove touched txn.Workload.id;
+      let outstanding = ref (Hashtbl.length set) in
+      if !outstanding = 0 then k ()
+      else begin
+        let one_done () =
+          decr outstanding;
+          if !outstanding = 0 then k ()
+        in
+        Hashtbl.iter
+          (fun p () ->
+            if Dbm_util.Lru.mem buffer p then begin
+              Dbm_util.Lru.set_dirty buffer p false;
+              write_pt_page p ~k:one_done
+            end
+            else begin
+              (* Evicted before commit: reread, update, write back. *)
+              incr pt_commit_rereads;
+              fetch_pt_page p ~k:(fun () ->
+                  Dbm_util.Lru.set_dirty buffer p false;
+                  write_pt_page p ~k:one_done)
+            end)
+          set
+      end
+  in
+
+  let extra_stats () =
+    let utils = Array.map Drive.utilization pt_drives in
+    let mean = Array.fold_left ( +. ) 0.0 utils /. float_of_int n_pt in
+    let hit_rate =
+      if !pt_lookups = 0 then 0.0 else float_of_int !pt_hits /. float_of_int !pt_lookups
+    in
+    ("pt_disk_util", mean)
+    :: ("pt_buffer_hit_rate", hit_rate)
+    :: ("pt_reads", float_of_int !pt_reads)
+    :: ("pt_writes", float_of_int !pt_writes)
+    :: ("pt_commit_rereads", float_of_int !pt_commit_rereads)
+    :: Array.to_list (Array.mapi (fun i u -> (Printf.sprintf "pt_disk_util_%d" i, u)) utils)
+  in
+
+  Arch.make ~before_read ~on_update ~on_commit ~extra_stats
+    (Printf.sprintf "shadow-pt-%d-buf%d" n_pt buffer_pages)
+
+(* ------------------------------------------------------------------ *)
+(* Overwriting                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let make_overwrite ~no_undo (ctx : Arch.ctx) =
+  let cfg = ctx.Arch.config in
+  let scratch_writes = ref 0 in
+  let scratch_reads = ref 0 in
+  let install_writes = ref 0 in
+  (* Per-transaction list of (disk, scratch page, home page) triples. *)
+  let staged : (int, (int * int * int) list ref) Hashtbl.t = Hashtbl.create 16 in
+  let stage txn_id entry =
+    match Hashtbl.find_opt staged txn_id with
+    | Some l -> l := entry :: !l
+    | None -> Hashtbl.replace staged txn_id (ref [ entry ])
+  in
+
+  let extra_stats () =
+    [
+      ("scratch_writes", float_of_int !scratch_writes);
+      ("scratch_reads", float_of_int !scratch_reads);
+      ("install_writes", float_of_int !install_writes);
+    ]
+  in
+
+  if no_undo then begin
+    (* Updated pages go to the scratch ring; at commit they are read
+       back and overwrite the shadows in place. *)
+    let write_back ~txn ~page ~written =
+      let d, home = Config.locate cfg ~page in
+      let scratch = ctx.Arch.scratch_page ~disk:d in
+      stage txn.Workload.id (d, scratch, home);
+      incr scratch_writes;
+      Drive.submit ctx.Arch.data_drives.(d) Drive.Write ~pages:[ scratch ] written
+    in
+    let on_commit ~txn ~k =
+      match Hashtbl.find_opt staged txn.Workload.id with
+      | None -> k ()
+      | Some l ->
+        Hashtbl.remove staged txn.Workload.id;
+        let by_disk = Hashtbl.create 4 in
+        List.iter
+          (fun (d, scratch, home) ->
+            let prev = Option.value (Hashtbl.find_opt by_disk d) ~default:[] in
+            Hashtbl.replace by_disk d ((scratch, home) :: prev))
+          !l;
+        (* On a parallel-access drive the scratch pages are read back
+           and the shadows overwritten in very few accesses (one batched
+           read request, one batched write request).  A conventional
+           drive overwrites the shadows one page at a time, the arm
+           travelling between the scratch area and the data area for
+           every page (Section 4.2.4). *)
+        let parallel = ctx.Arch.config.Config.disk.Dbm_disk.Params.parallel_access in
+        let n_disks = Hashtbl.length by_disk in
+        let disks_done = ref 0 in
+        let disk_finished () =
+          incr disks_done;
+          if !disks_done = n_disks then k ()
+        in
+        Hashtbl.iter
+          (fun d pairs ->
+            let drive = ctx.Arch.data_drives.(d) in
+            let n = List.length pairs in
+            scratch_reads := !scratch_reads + n;
+            install_writes := !install_writes + n;
+            if parallel then begin
+              let scratches = List.map fst pairs and homes = List.map snd pairs in
+              Drive.submit drive Drive.Read ~pages:scratches (fun () ->
+                  Drive.submit drive Drive.Write ~pages:homes disk_finished)
+            end
+            else begin
+              let rec install = function
+                | [] -> disk_finished ()
+                | (scratch, home) :: rest ->
+                  Drive.submit drive Drive.Read ~pages:[ scratch ] (fun () ->
+                      Drive.submit drive Drive.Write ~pages:[ home ] (fun () -> install rest))
+              in
+              install pairs
+            end)
+          by_disk
+    in
+    Arch.make ~write_back ~on_commit ~extra_stats "shadow-overwrite-no-undo"
+  end
+  else begin
+    (* No-redo: save the shadow (before image) to scratch before the
+       home location may be overwritten in place. *)
+    let on_update ~txn:_ ~page ~qp:_ ~release =
+      let d, _home = Config.locate cfg ~page in
+      let scratch = ctx.Arch.scratch_page ~disk:d in
+      incr scratch_writes;
+      Drive.submit ctx.Arch.data_drives.(d) Drive.Write ~pages:[ scratch ] release
+    in
+    Arch.make ~on_update ~extra_stats "shadow-overwrite-no-redo"
+  end
+
+let make config ctx =
+  match config.variant with
+  | Thru_page_table { n_pt_processors; buffer_pages } ->
+    make_thru config ~n_pt:n_pt_processors ~buffer_pages ctx
+  | Overwrite_no_undo -> make_overwrite ~no_undo:true ctx
+  | Overwrite_no_redo -> make_overwrite ~no_undo:false ctx

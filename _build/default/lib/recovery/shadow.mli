@@ -1,0 +1,53 @@
+(** The shadow recovery architectures (Section 3.2).
+
+    {b Thru page-table}: data pages are reached through a page table
+    kept on dedicated page-table disks served by page-table processors
+    under the back-end controller.  Every data-page read first fetches
+    the page's table entry (buffered in an LRU page-table buffer);
+    updated entries are written back at commit, rereading any entry that
+    the buffer evicted in the meantime.  Whether logically adjacent data
+    pages stay physically clustered is the machine's layout
+    configuration ([Sequential] vs [Scrambled]).
+
+    {b Overwriting (no-undo)}: while a transaction is active its updated
+    pages are written to a scratch ring on the same disk; at commit the
+    updated pages are read back from the scratch area and overwrite the
+    shadows in place, preserving physical clustering and eliminating the
+    page table (Section 3.2.2.2).
+
+    {b Overwriting (no-redo)}: the original of each page is first copied
+    to the scratch area; updates then overwrite the home location in
+    place, and commit requires no further installation. *)
+
+type variant =
+  | Thru_page_table of { n_pt_processors : int; buffer_pages : int }
+  | Overwrite_no_undo
+  | Overwrite_no_redo
+
+type config = {
+  variant : variant;
+  pt_disk : Dbm_disk.Params.t;
+  entries_per_pt_page : int;  (** 1024 four-byte entries in a 4 KB page *)
+  pt_lookup_cpu_ms : float;  (** page-table processor time per lookup *)
+  pt_page_spacing : int;
+      (** distance in pages between consecutive page-table pages on the
+          page-table disk (it holds the tables of all relations, so a
+          relation's page-table pages are not contiguous) *)
+}
+
+val default_thru : config
+(** One page-table processor, a 10-page page-table buffer, IBM 3350
+    page-table disk. *)
+
+val thru : n_pt_processors:int -> buffer_pages:int -> config
+
+val overwrite_no_undo : config
+
+val overwrite_no_redo : config
+
+val make : config -> Dbm_machine.Arch.ctx -> Dbm_machine.Arch.t
+(** Extra statistics: thru page-table reports ["pt_disk_util"] (mean),
+    ["pt_disk_util_<i>"], ["pt_buffer_hit_rate"], ["pt_reads"],
+    ["pt_writes"], ["pt_commit_rereads"]; the overwriting variants
+    report ["scratch_writes"], ["scratch_reads"] and
+    ["install_writes"]. *)

@@ -1,0 +1,40 @@
+module Params = Dbm_disk.Params
+
+type analysis = {
+  plain_read_ms : float;
+  versioned_read_ms : float;
+  read_penalty : float;
+  space_overhead : float;
+  thru_pt_overlapped : bool;
+}
+
+let analyze ?avg_seek_ms params =
+  let seek = Option.value avg_seek_ms ~default:(Params.avg_seek params) in
+  let latency = Params.avg_rotational_latency params in
+  let xfer = params.Params.page_transfer_ms in
+  let plain = seek +. latency +. xfer in
+  (* Both copies are physically adjacent: one extra block transfer on
+     the same track. *)
+  let versioned = seek +. latency +. (2.0 *. xfer) in
+  {
+    plain_read_ms = plain;
+    versioned_read_ms = versioned;
+    read_penalty = versioned /. plain;
+    space_overhead = 2.0;
+    thru_pt_overlapped = true;
+  }
+
+let verdict a =
+  Printf.sprintf
+    "every read slows by %.1f%% on an I/O-bound machine and disk space doubles, while the \
+     page-table lookup it avoids can be fully overlapped: version selection is dominated by \
+     the thru-page-table architecture"
+    ((a.read_penalty -. 1.0) *. 100.0)
+
+(* Simulated variant: the only machine-visible costs are the doubled
+   read transfer and a small version-selection CPU charge.  Writes go to
+   the adjacent slot of the same block pair: same cylinder, same cost as
+   a home write. *)
+let make_sim (_ctx : Dbm_machine.Arch.ctx) =
+  let cpu_extra_ms ~txn:_ ~page:_ ~write:_ = 0.2 (* select the newer of two stamps *) in
+  Dbm_machine.Arch.make ~read_extra_transfers:1 ~cpu_extra_ms "version-selection"

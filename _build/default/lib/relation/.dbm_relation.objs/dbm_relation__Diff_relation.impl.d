@@ -1,0 +1,1 @@
+lib/relation/diff_relation.ml: Array Hashtbl Int List

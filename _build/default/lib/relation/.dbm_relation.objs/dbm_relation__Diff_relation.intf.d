@@ -1,0 +1,1 @@
+lib/relation/diff_relation.mli:

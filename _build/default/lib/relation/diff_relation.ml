@@ -1,0 +1,187 @@
+type tuple = { key : int; value : string }
+
+type strategy = Basic | Optimal
+
+(* Differential records are stamped so the newest for a key wins. *)
+type diff_record = { stamp : int; dkey : int; dvalue : string option }
+
+type stats = { pages_scanned : int; setdiff_ops : int; qualifying_pages : int }
+
+type t = {
+  base : tuple array array;  (* pages of key-sorted tuples *)
+  mutable a_file : diff_record list;  (* newest first *)
+  mutable d_file : diff_record list;  (* newest first *)
+  mutable next_stamp : int;
+  mutable stats : stats;
+}
+
+let no_stats = { pages_scanned = 0; setdiff_ops = 0; qualifying_pages = 0 }
+
+let dedup_sorted tuples =
+  (* later duplicates win: keep the last occurrence of each key *)
+  let tbl = Hashtbl.create (List.length tuples) in
+  List.iter (fun tp -> Hashtbl.replace tbl tp.key tp.value) tuples;
+  let all = Hashtbl.fold (fun key value acc -> { key; value } :: acc) tbl [] in
+  List.sort (fun a b -> Int.compare a.key b.key) all
+
+let create ?(tuples_per_page = 8) tuples =
+  if tuples_per_page <= 0 then invalid_arg "Diff_relation.create: bad page size";
+  let sorted = Array.of_list (dedup_sorted tuples) in
+  let n = Array.length sorted in
+  let n_pages = (n + tuples_per_page - 1) / tuples_per_page in
+  let base =
+    Array.init n_pages (fun p ->
+        Array.sub sorted (p * tuples_per_page) (min tuples_per_page (n - (p * tuples_per_page))))
+  in
+  { base; a_file = []; d_file = []; next_stamp = 1; stats = no_stats }
+
+let stamp t =
+  let s = t.next_stamp in
+  t.next_stamp <- s + 1;
+  s
+
+let insert t tp = t.a_file <- { stamp = stamp t; dkey = tp.key; dvalue = Some tp.value } :: t.a_file
+
+let delete t ~key = t.d_file <- { stamp = stamp t; dkey = key; dvalue = None } :: t.d_file
+
+let base_pages t = Array.length t.base
+
+let a_size t = List.length t.a_file
+
+let d_size t = List.length t.d_file
+
+(* The newest differential record for a key, searching A and D (both
+   newest-first). *)
+let newest_diff t ~key =
+  let rec best acc = function
+    | [] -> acc
+    | r :: rest ->
+      let acc =
+        if r.dkey = key then
+          match acc with Some b when b.stamp >= r.stamp -> acc | _ -> Some r
+        else acc
+      in
+      best acc rest
+  in
+  best (best None t.a_file) t.d_file
+
+let base_lookup t ~key =
+  let found = ref None in
+  Array.iter
+    (fun page ->
+      Array.iter (fun tp -> if tp.key = key then found := Some tp.value) page)
+    t.base;
+  !found
+
+let lookup t ~key =
+  match newest_diff t ~key with
+  | Some { dvalue; _ } -> dvalue
+  | None -> base_lookup t ~key
+
+(* Is a base/A tuple dead or superseded?  A page-level set-difference:
+   scan the D (and newer A) records relevant to the candidates. *)
+let surviving t candidates =
+  List.filter
+    (fun (tp, src_stamp) ->
+      match newest_diff t ~key:tp.key with
+      | Some r -> r.stamp <= src_stamp  (* our record is the newest *)
+      | None -> src_stamp = 0 (* base tuple with no differential history *))
+    candidates
+  |> List.map fst
+
+(* One unit of select work: scan a batch of (tuple, stamp) candidates
+   with the predicate; the set-difference against the differential
+   files runs per the strategy. *)
+let select_batch t ~strategy ~p candidates counters =
+  let pages_scanned, setdiff_ops, qualifying = counters in
+  incr pages_scanned;
+  let matching = List.filter (fun (tp, _) -> p tp) candidates in
+  if matching <> [] then incr qualifying;
+  match strategy with
+  | Basic ->
+    incr setdiff_ops;
+    surviving t matching
+  | Optimal ->
+    if matching = [] then []
+    else begin
+      incr setdiff_ops;
+      surviving t matching
+    end
+
+(* A-file records grouped into pseudo-pages of the same size as base
+   pages, so the work counters treat A like the paper does ("B or A
+   page"). *)
+let a_pages t ~tuples_per_page =
+  let adds =
+    List.filter_map
+      (fun r -> match r.dvalue with Some v -> Some ({ key = r.dkey; value = v }, r.stamp) | None -> None)
+      t.a_file
+  in
+  let rec chunk = function
+    | [] -> []
+    | l ->
+      let rec take n acc = function
+        | x :: rest when n > 0 -> take (n - 1) (x :: acc) rest
+        | rest -> (List.rev acc, rest)
+      in
+      let page, rest = take tuples_per_page [] l in
+      page :: chunk rest
+  in
+  chunk adds
+
+let run_select t ~strategy ~p ~pages =
+  let pages_scanned = ref 0 and setdiff_ops = ref 0 and qualifying = ref 0 in
+  let counters = (pages_scanned, setdiff_ops, qualifying) in
+  let out =
+    List.concat_map (fun page -> select_batch t ~strategy ~p page counters) pages
+  in
+  t.stats <-
+    {
+      pages_scanned = !pages_scanned;
+      setdiff_ops = !setdiff_ops;
+      qualifying_pages = !qualifying;
+    };
+  (* distinct keys, ascending; newest-wins already applied by surviving *)
+  dedup_sorted out
+
+let all_pages t =
+  let base =
+    Array.to_list (Array.map (fun page -> List.map (fun tp -> (tp, 0)) (Array.to_list page)) t.base)
+  in
+  let per_page = if Array.length t.base > 0 then Array.length t.base.(0) else 8 in
+  base @ a_pages t ~tuples_per_page:(max 1 per_page)
+
+let select t ~strategy p = run_select t ~strategy ~p ~pages:(all_pages t)
+
+let select_parallel t ~workers ~strategy p =
+  if workers <= 0 then invalid_arg "Diff_relation.select_parallel: workers must be positive";
+  let pages = all_pages t in
+  (* Deal the pages round-robin over the workers; each worker evaluates
+     its partition independently (no shared state beyond the read-only
+     differential files), then the results are concatenated.  The
+     counters accumulate across workers so total work is comparable. *)
+  let partitions = Array.make workers [] in
+  List.iteri (fun i page -> partitions.(i mod workers) <- page :: partitions.(i mod workers)) pages;
+  let pages_scanned = ref 0 and setdiff_ops = ref 0 and qualifying = ref 0 in
+  let counters = (pages_scanned, setdiff_ops, qualifying) in
+  let out =
+    Array.to_list partitions
+    |> List.concat_map (fun partition ->
+           List.concat_map (fun page -> select_batch t ~strategy ~p page counters) partition)
+  in
+  t.stats <-
+    {
+      pages_scanned = !pages_scanned;
+      setdiff_ops = !setdiff_ops;
+      qualifying_pages = !qualifying;
+    };
+  dedup_sorted out
+
+let materialize t = select t ~strategy:Basic (fun _ -> true)
+
+let merge t =
+  let view = materialize t in
+  let per_page = if Array.length t.base > 0 then Array.length t.base.(0) else 8 in
+  create ~tuples_per_page:(max 1 per_page) view
+
+let last_stats t = t.stats

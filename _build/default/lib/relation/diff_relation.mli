@@ -1,0 +1,76 @@
+(** Differential relations and their query operators (Section 3.3).
+
+    A relation [R] is stored as the view [R = (B u A) - D]: a read-only
+    paged base file [B], an additions file [A] and a deletions file [D]
+    (Severance & Lohman [19], decomposed as in Stonebraker [20]).  The
+    paper {e assumes} the parallel algorithms of its companion report
+    [21] for operating on this representation; this module implements
+    the operators so their properties are checkable:
+
+    - {!select} evaluates a predicate over the view with either the
+      {e basic} strategy (every B/A page pays the set-difference
+      against the relevant D entries) or the {e optimal} strategy (the
+      set-difference runs only for pages whose initial scan yields at
+      least one qualifying tuple).  Both return identical results; the
+      operation counters differ — the work model behind Table 9.
+    - {!select_parallel} partitions the pages over [workers] and
+      evaluates each partition independently (the [21] theme);
+      the result equals the serial evaluation for every worker count.
+    - {!merge} folds the committed differential records into a new base
+      (the reorganization Table 11's growth makes necessary).
+
+    Tuples are [(key, value)] pairs with set semantics per key; the
+    newest differential record for a key wins. *)
+
+type tuple = { key : int; value : string }
+
+type t
+
+type strategy = Basic | Optimal
+
+val create : ?tuples_per_page:int -> tuple list -> t
+(** Build a relation whose base holds the given tuples (later
+    duplicates win), paged [tuples_per_page] (default 8) per base page.
+    @raise Invalid_argument if [tuples_per_page <= 0]. *)
+
+val insert : t -> tuple -> unit
+(** Append to the A file (also used for updates: newest wins). *)
+
+val delete : t -> key:int -> unit
+(** Append to the D file. *)
+
+val base_pages : t -> int
+
+val a_size : t -> int
+
+val d_size : t -> int
+
+val lookup : t -> key:int -> string option
+(** The view's value for [key]. *)
+
+val select : t -> strategy:strategy -> (tuple -> bool) -> tuple list
+(** All view tuples satisfying the predicate, in ascending key order.
+    Both strategies return the same list; see {!last_stats} for the
+    work difference. *)
+
+val select_parallel : t -> workers:int -> strategy:strategy -> (tuple -> bool) -> tuple list
+(** Partition the base pages (and the differential files) over
+    [workers] and evaluate independently; equal to {!select} for any
+    positive worker count.  @raise Invalid_argument if [workers <= 0]. *)
+
+val materialize : t -> tuple list
+(** The whole view [(B u A) - D], ascending keys. *)
+
+val merge : t -> t
+(** A new relation whose base is the materialized view and whose
+    differential files are empty. *)
+
+type stats = {
+  pages_scanned : int;
+  setdiff_ops : int;  (** page-level set-difference evaluations *)
+  qualifying_pages : int;  (** pages whose scan yielded >= 1 result *)
+}
+
+val last_stats : t -> stats
+(** Work counters of the most recent {!select} /
+    {!select_parallel} / {!materialize} call. *)

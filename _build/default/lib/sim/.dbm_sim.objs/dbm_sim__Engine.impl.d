@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Dbm_util Float Int

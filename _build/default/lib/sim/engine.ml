@@ -1,0 +1,76 @@
+type event = {
+  time : float;
+  seq : int;
+  action : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type event_id = event
+
+type t = {
+  agenda : event Dbm_util.Heap.t;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable live : int; (* scheduled and not cancelled/fired *)
+}
+
+let compare_events a b =
+  let c = Float.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create () =
+  { agenda = Dbm_util.Heap.create ~cmp:compare_events (); clock = 0.0; next_seq = 0; live = 0 }
+
+let now t = t.clock
+
+let schedule_at t ~time action =
+  if not (Float.is_finite time) then invalid_arg "Engine.schedule_at: non-finite time";
+  if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+  let ev = { time; seq = t.next_seq; action; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  t.live <- t.live + 1;
+  Dbm_util.Heap.push t.agenda ev;
+  ev
+
+let schedule t ~delay action =
+  if not (Float.is_finite delay) || delay < 0.0 then
+    invalid_arg "Engine.schedule: negative or non-finite delay";
+  schedule_at t ~time:(t.clock +. delay) action
+
+let cancel t ev =
+  if not ev.cancelled then begin
+    ev.cancelled <- true;
+    t.live <- t.live - 1
+  end
+
+let pending t = t.live
+
+let step t =
+  let rec next () =
+    match Dbm_util.Heap.pop t.agenda with
+    | None -> false
+    | Some ev when ev.cancelled -> next ()
+    | Some ev ->
+      t.clock <- ev.time;
+      t.live <- t.live - 1;
+      ev.action ();
+      true
+  in
+  next ()
+
+let run ?until ?max_events t =
+  let fired = ref 0 in
+  let within_budget () =
+    match max_events with
+    | None -> true
+    | Some m -> !fired < m
+  in
+  let within_horizon () =
+    match until, Dbm_util.Heap.peek t.agenda with
+    | _, None -> false
+    | None, Some _ -> true
+    | Some horizon, Some ev -> ev.time <= horizon || ev.cancelled
+  in
+  while within_budget () && within_horizon () && step t do
+    incr fired
+  done

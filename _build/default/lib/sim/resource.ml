@@ -1,0 +1,63 @@
+type job = { service : float; k : unit -> unit }
+
+type t = {
+  engine : Engine.t;
+  name : string;
+  servers : int;
+  queue : job Queue.t;
+  mutable busy : int;
+  busy_acc : Dbm_util.Stats.Busy.t;
+  qlen : Dbm_util.Stats.Timeweighted.t;
+  mutable completed : int;
+}
+
+let create engine ~name ~servers () =
+  if servers <= 0 then invalid_arg "Resource.create: servers must be positive";
+  {
+    engine;
+    name;
+    servers;
+    queue = Queue.create ();
+    busy = 0;
+    busy_acc = Dbm_util.Stats.Busy.create ();
+    qlen = Dbm_util.Stats.Timeweighted.create ~t0:(Engine.now engine) ();
+    completed = 0;
+  }
+
+let name t = t.name
+let servers t = t.servers
+let busy_servers t = t.busy
+let queue_length t = Queue.length t.queue
+let completed t = t.completed
+
+let note_queue t =
+  Dbm_util.Stats.Timeweighted.update t.qlen ~now:(Engine.now t.engine)
+    ~level:(float_of_int (Queue.length t.queue))
+
+let rec start_next t =
+  if t.busy < t.servers && not (Queue.is_empty t.queue) then begin
+    let job = Queue.pop t.queue in
+    note_queue t;
+    t.busy <- t.busy + 1;
+    Dbm_util.Stats.Busy.add_busy t.busy_acc job.service;
+    let finish () =
+      t.busy <- t.busy - 1;
+      t.completed <- t.completed + 1;
+      job.k ();
+      start_next t
+    in
+    ignore (Engine.schedule t.engine ~delay:job.service finish);
+    start_next t
+  end
+
+let submit t ~service k =
+  if not (Float.is_finite service) || service < 0.0 then
+    invalid_arg "Resource.submit: negative or non-finite service time";
+  Queue.push { service; k } t.queue;
+  note_queue t;
+  start_next t
+
+let utilization t =
+  Dbm_util.Stats.Busy.utilization t.busy_acc ~elapsed:(Engine.now t.engine) ~servers:t.servers
+
+let mean_queue_length t = Dbm_util.Stats.Timeweighted.mean t.qlen ~now:(Engine.now t.engine)

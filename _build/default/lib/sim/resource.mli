@@ -1,0 +1,35 @@
+(** A pool of identical FCFS servers driven by the event {!Engine}.
+
+    Jobs carry a service time and a completion callback.  When a server
+    is free the oldest queued job is started; its callback fires when the
+    service time elapses.  The pool records busy time (for utilization)
+    and the time-weighted queue length, which is how the paper reports
+    processor and disk statistics (Tables 2 and 5). *)
+
+type t
+
+val create : Engine.t -> name:string -> servers:int -> unit -> t
+(** @raise Invalid_argument if [servers <= 0]. *)
+
+val name : t -> string
+
+val servers : t -> int
+
+val submit : t -> service:float -> (unit -> unit) -> unit
+(** [submit t ~service k] enqueues a job that will occupy one server for
+    [service] ms and then call [k].
+    @raise Invalid_argument if [service] is negative or not finite. *)
+
+val busy_servers : t -> int
+
+val queue_length : t -> int
+(** Jobs waiting (excluding those in service). *)
+
+val completed : t -> int
+
+val utilization : t -> float
+(** Busy time divided by [servers * now], as of the engine's current
+    time. *)
+
+val mean_queue_length : t -> float
+(** Time-weighted mean number of waiting jobs, as of now. *)

@@ -1,0 +1,1 @@
+lib/storage/engine_diff.ml: Hashtbl Journal Kv List Page Printf String Vdisk

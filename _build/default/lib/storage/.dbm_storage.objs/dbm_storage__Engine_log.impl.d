@@ -1,0 +1,1 @@
+lib/storage/engine_log.ml: Array Bytes Hashtbl Int Journal Kv List Option Page Printf Vdisk Wal

@@ -1,0 +1,1 @@
+lib/storage/engine_overwrite.ml: Array Hashtbl Journal Kv List Page Printf String Vdisk

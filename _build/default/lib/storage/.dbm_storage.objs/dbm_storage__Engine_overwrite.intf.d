@@ -1,0 +1,1 @@
+lib/storage/engine_overwrite.mli: Kv

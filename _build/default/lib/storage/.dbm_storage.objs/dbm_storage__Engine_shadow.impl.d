@@ -1,0 +1,1 @@
+lib/storage/engine_shadow.ml: Array Bytes Hashtbl Int64 Kv List Page Printf Vdisk

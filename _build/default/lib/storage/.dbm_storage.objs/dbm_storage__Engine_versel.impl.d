@@ -1,0 +1,1 @@
+lib/storage/engine_versel.ml: Bytes Hashtbl Int64 Journal Kv List Page Printf Vdisk

@@ -1,0 +1,1 @@
+lib/storage/lock_mgr.ml: Hashtbl List

@@ -1,0 +1,1 @@
+lib/storage/page.ml: Bytes Hashtbl Int Int32 Int64 List String

@@ -1,0 +1,1 @@
+lib/storage/scheduler.ml: Int Kv List Lock_mgr

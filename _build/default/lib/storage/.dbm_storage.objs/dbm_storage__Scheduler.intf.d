@@ -1,0 +1,1 @@
+lib/storage/scheduler.mli: Kv

@@ -1,0 +1,1 @@
+lib/storage/wal.ml: Buffer Bytes Char Format Int64 List Printf String

@@ -1,0 +1,127 @@
+type frame = {
+  page : int;
+  data : bytes;
+  mutable pins : int;
+  mutable dirty : bool;
+  mutable last_use : int;  (* logical clock for LRU *)
+}
+
+type t = {
+  disk : Vdisk.t;
+  capacity : int;
+  table : (int, frame) Hashtbl.t;
+  can_evict : page:int -> lsn:int -> bool;
+  before_evict : page:int -> lsn:int -> unit;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+exception No_free_frame
+
+let create disk ~frames ?(can_evict = fun ~page:_ ~lsn:_ -> true)
+    ?(before_evict = fun ~page:_ ~lsn:_ -> ()) () =
+  if frames <= 0 then invalid_arg "Buffer_pool.create: need at least one frame";
+  {
+    disk;
+    capacity = frames;
+    table = Hashtbl.create frames;
+    can_evict;
+    before_evict;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let frames t = t.capacity
+
+let in_use t = Hashtbl.length t.table
+
+let pinned t = Hashtbl.fold (fun _ f acc -> if f.pins > 0 then acc + 1 else acc) t.table 0
+
+let touch t f =
+  t.clock <- t.clock + 1;
+  f.last_use <- t.clock
+
+let write_back t f =
+  let lsn = Page.get_lsn f.data in
+  t.before_evict ~page:f.page ~lsn;
+  if not (t.can_evict ~page:f.page ~lsn) then false
+  else begin
+    Vdisk.write t.disk f.page f.data;
+    f.dirty <- false;
+    true
+  end
+
+(* Evict the least-recently-used unpinned (and evictable) frame. *)
+let evict_one t =
+  let candidates =
+    Hashtbl.fold (fun _ f acc -> if f.pins = 0 then f :: acc else acc) t.table []
+  in
+  let ordered = List.sort (fun a b -> Int.compare a.last_use b.last_use) candidates in
+  let rec try_evict = function
+    | [] -> raise No_free_frame
+    | f :: rest ->
+      if f.dirty && not (write_back t f) then try_evict rest
+      else begin
+        Hashtbl.remove t.table f.page;
+        t.evictions <- t.evictions + 1
+      end
+  in
+  try_evict ordered
+
+let get t page =
+  match Hashtbl.find_opt t.table page with
+  | Some f ->
+    t.hits <- t.hits + 1;
+    f.pins <- f.pins + 1;
+    touch t f;
+    f.data
+  | None ->
+    t.misses <- t.misses + 1;
+    if Hashtbl.length t.table >= t.capacity then evict_one t;
+    let f = { page; data = Vdisk.read t.disk page; pins = 1; dirty = false; last_use = 0 } in
+    touch t f;
+    Hashtbl.replace t.table page f;
+    f.data
+
+let find_exn t page ~what =
+  match Hashtbl.find_opt t.table page with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Buffer_pool.%s: page %d not resident" what page)
+
+let unpin t page =
+  let f = find_exn t page ~what:"unpin" in
+  if f.pins <= 0 then invalid_arg (Printf.sprintf "Buffer_pool.unpin: page %d not pinned" page);
+  f.pins <- f.pins - 1
+
+let mark_dirty t page =
+  let f = find_exn t page ~what:"mark_dirty" in
+  f.dirty <- true
+
+let is_dirty t page =
+  match Hashtbl.find_opt t.table page with Some f -> f.dirty | None -> false
+
+let resident t page = Hashtbl.mem t.table page
+
+let flush_page t page =
+  let f = find_exn t page ~what:"flush_page" in
+  if f.dirty && not (write_back t f) then
+    failwith (Printf.sprintf "Buffer_pool.flush_page: WAL gate refuses page %d" page)
+
+let flush_all t =
+  Hashtbl.iter
+    (fun _ f ->
+      if f.dirty && not (write_back t f) then
+        failwith
+          (Printf.sprintf "Buffer_pool.flush_all: WAL gate refuses page %d" f.page))
+    t.table;
+  Vdisk.sync t.disk
+
+let hits t = t.hits
+
+let misses t = t.misses
+
+let evictions t = t.evictions

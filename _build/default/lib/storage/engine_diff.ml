@@ -1,0 +1,272 @@
+(* A record: "stamp txn key value" (value base64-free: we store the raw
+   value after a length prefix to keep parsing unambiguous).
+   D record: "stamp txn key".  Commit marker journal: txn ids.  Stamps
+   are globally ordered so (B u A) - D resolves by newest-wins. *)
+
+type store = {
+  n_keys : int;
+  keys_per_page : int;
+  n_pages : int;
+  base : Vdisk.t;
+  a_file : Journal.t;
+  d_file : Journal.t;
+  commits : Journal.t;
+  committed : (int, unit) Hashtbl.t;
+  mutable next_txn : int;
+  mutable next_stamp : int;
+  mutable epoch : int;
+  mutable live : int;
+  auto_merge_records : int option;
+  mutable recoveries : int;
+  mutable merge_count : int;
+}
+
+type t = store
+
+type txn = { st : store; id : int; born : int; mutable finished : bool }
+
+let engine_name = "differential-file"
+
+let page_size = 1024
+
+let encode_a ~stamp ~txn ~key ~value =
+  Printf.sprintf "%d %d %d %d:%s" stamp txn key (String.length value) value
+
+let encode_d ~stamp ~txn ~key = Printf.sprintf "%d %d %d" stamp txn key
+
+let decode_a r =
+  match String.index_opt r ':' with
+  | None -> invalid_arg ("Engine_diff: corrupt A record " ^ r)
+  | Some colon ->
+    let head = String.sub r 0 colon in
+    (match String.split_on_char ' ' head with
+    | [ stamp; txn; key; len ] ->
+      let len = int_of_string len in
+      let value = String.sub r (colon + 1) len in
+      (int_of_string stamp, int_of_string txn, int_of_string key, value)
+    | _ -> invalid_arg ("Engine_diff: corrupt A record " ^ r))
+
+let decode_d r =
+  match String.split_on_char ' ' r with
+  | [ stamp; txn; key ] -> (int_of_string stamp, int_of_string txn, int_of_string key)
+  | _ -> invalid_arg ("Engine_diff: corrupt D record " ^ r)
+
+let create_with ?(n_keys = 256) ?(keys_per_page = 4) ?auto_merge_records () =
+  if n_keys <= 0 then invalid_arg "Engine_diff.create: need at least one key";
+  if keys_per_page <= 0 then invalid_arg "Engine_diff.create: bad keys_per_page";
+  (match auto_merge_records with
+  | Some n when n <= 0 -> invalid_arg "Engine_diff.create: bad auto_merge_records"
+  | _ -> ());
+  let n_pages = (n_keys + keys_per_page - 1) / keys_per_page in
+  {
+    n_keys;
+    keys_per_page;
+    n_pages;
+    base = Vdisk.create ~pages:n_pages ~page_size ();
+    a_file = Journal.create ();
+    d_file = Journal.create ();
+    commits = Journal.create ();
+    committed = Hashtbl.create 32;
+    auto_merge_records;
+    next_txn = 1;
+    next_stamp = 1;
+    epoch = 0;
+    live = 0;
+    recoveries = 0;
+    merge_count = 0;
+  }
+
+let create ?n_keys () = create_with ?n_keys ()
+
+let max_keys t = t.n_keys
+
+(* A and D records are appended per key, so the locking granule is the
+   key itself even though the base file is paged. *)
+let keys_per_page _ = 1
+
+let check_key t k =
+  if k < 0 || k >= t.n_keys then invalid_arg (Printf.sprintf "key %d out of range" k)
+
+let page_of t key = key / t.keys_per_page
+
+(* Set once [checkpoint] (the merge) is defined below. *)
+let maybe_auto_merge : (store -> unit) ref = ref (fun _ -> ())
+
+let begin_txn t =
+  let id = t.next_txn in
+  t.next_txn <- id + 1;
+  t.live <- t.live + 1;
+  { st = t; id; born = t.epoch; finished = false }
+
+let check h = if h.finished || h.born <> h.st.epoch then raise Kv.Txn_finished
+
+let stamp t =
+  let s = t.next_stamp in
+  t.next_stamp <- s + 1;
+  s
+
+(* The view (B u A) - D for one key, as seen by [own]: among the A and
+   D records for the key whose writer is committed or [own], the one
+   with the newest stamp decides; otherwise the base file does. *)
+let get h k =
+  check h;
+  check_key h.st k;
+  let t = h.st in
+  let visible txn = txn = h.id || Hashtbl.mem t.committed txn in
+  let best = ref None in
+  let consider stamp outcome =
+    match !best with
+    | Some (s, _) when s >= stamp -> ()
+    | _ -> best := Some (stamp, outcome)
+  in
+  List.iter
+    (fun r ->
+      let stamp, txn, key, value = decode_a r in
+      if key = k && visible txn then consider stamp (Some value))
+    (Journal.read_live t.a_file);
+  List.iter
+    (fun r ->
+      let stamp, txn, key = decode_d r in
+      if key = k && visible txn then consider stamp None)
+    (Journal.read_live t.d_file);
+  match !best with
+  | Some (_, outcome) -> outcome
+  | None -> Page.lookup (Vdisk.read t.base (page_of t k)) ~key:k
+
+let put h k v =
+  check h;
+  check_key h.st k;
+  let t = h.st in
+  ignore (Journal.append t.a_file (encode_a ~stamp:(stamp t) ~txn:h.id ~key:k ~value:v))
+
+let delete h k =
+  check h;
+  check_key h.st k;
+  let t = h.st in
+  ignore (Journal.append t.d_file (encode_d ~stamp:(stamp t) ~txn:h.id ~key:k))
+
+let finish h =
+  h.finished <- true;
+  h.st.live <- h.st.live - 1
+
+let commit h =
+  check h;
+  let t = h.st in
+  (* The differential files ARE the recovery data: force them, then the
+     commit marker. *)
+  Journal.sync t.a_file;
+  Journal.sync t.d_file;
+  ignore (Journal.append t.commits (string_of_int h.id));
+  Journal.sync t.commits;
+  Hashtbl.replace t.committed h.id ();
+  finish h;
+  !maybe_auto_merge t
+
+let abort h =
+  check h;
+  (* Appended records of an uncommitted transaction are never visible:
+     nothing to undo. *)
+  finish h;
+  !maybe_auto_merge h.st
+
+let recover t =
+  Hashtbl.reset t.committed;
+  List.iter (fun r -> Hashtbl.replace t.committed (int_of_string r) ()) (Journal.read_all t.commits);
+  let max_txn = ref 0 and max_stamp = ref 0 in
+  List.iter
+    (fun r ->
+      let s, txn, _, _ = decode_a r in
+      max_stamp := max !max_stamp s;
+      max_txn := max !max_txn txn)
+    (Journal.read_all t.a_file);
+  List.iter
+    (fun r ->
+      let s, txn, _ = decode_d r in
+      max_stamp := max !max_stamp s;
+      max_txn := max !max_txn txn)
+    (Journal.read_all t.d_file);
+  Hashtbl.iter (fun id () -> max_txn := max !max_txn id) t.committed;
+  t.next_txn <- !max_txn + 1;
+  t.next_stamp <- !max_stamp + 1;
+  t.live <- 0;
+  t.recoveries <- t.recoveries + 1
+
+let crash_and_recover t =
+  Vdisk.crash t.base;
+  Journal.crash t.a_file;
+  Journal.crash t.d_file;
+  Journal.crash t.commits;
+  t.epoch <- t.epoch + 1;
+  recover t
+
+(* Merge the committed differential records into the base file and
+   truncate A and D — the periodic reorganization the paper notes must
+   bound the differential files' size.  Requires quiescence so no
+   uncommitted record is lost by the truncation. *)
+let checkpoint t =
+  if t.live > 0 then failwith "Engine_diff.checkpoint: merge requires no live transactions";
+  let resolve_key k =
+    let best = ref None in
+    let consider stamp outcome =
+      match !best with Some (s, _) when s >= stamp -> () | _ -> best := Some (stamp, outcome)
+    in
+    List.iter
+      (fun r ->
+        let stamp, txn, key, value = decode_a r in
+        if key = k && Hashtbl.mem t.committed txn then consider stamp (Some value))
+      (Journal.read_all t.a_file);
+    List.iter
+      (fun r ->
+        let stamp, txn, key = decode_d r in
+        if key = k && Hashtbl.mem t.committed txn then consider stamp None)
+      (Journal.read_all t.d_file);
+    !best
+  in
+  for p = 0 to t.n_pages - 1 do
+    let page = Vdisk.read t.base p in
+    let changed = ref false in
+    for k = p * t.keys_per_page to min ((p + 1) * t.keys_per_page) t.n_keys - 1 do
+      match resolve_key k with
+      | None -> ()
+      | Some (_, outcome) ->
+        Page.update page ~key:k ~value:outcome;
+        changed := true
+    done;
+    if !changed then Vdisk.write t.base p page
+  done;
+  (* Base durable first; replaying the (idempotent) records after a
+     badly-timed crash is harmless, losing base pages is not. *)
+  Vdisk.sync t.base;
+  Journal.truncate t.a_file ~keep_from:(Journal.synced t.a_file);
+  Journal.truncate t.d_file ~keep_from:(Journal.synced t.d_file);
+  t.merge_count <- t.merge_count + 1
+
+let () =
+  maybe_auto_merge :=
+    fun t ->
+      match t.auto_merge_records with
+      | Some threshold
+        when t.live = 0
+             && List.length (Journal.read_all t.a_file)
+                + List.length (Journal.read_all t.d_file)
+                >= threshold ->
+        checkpoint t
+      | Some _ | None -> ()
+
+let a_size t = List.length (Journal.read_all t.a_file)
+
+let d_size t = List.length (Journal.read_all t.d_file)
+
+let merges t = t.merge_count
+
+let stats t =
+  [
+    ("disk_reads", Vdisk.reads t.base);
+    ("disk_writes", Vdisk.writes t.base);
+    ("a_records", a_size t);
+    ("d_records", d_size t);
+    ("committed", Hashtbl.length t.committed);
+    ("live_txns", t.live);
+    ("recoveries", t.recoveries);
+    ("merges", t.merge_count);
+  ]

@@ -1,0 +1,33 @@
+(** The differential-file recovery engine (Section 3.3, functional).
+
+    The store is the view [(B u A) - D]: a read-only base [B] (pages on
+    a virtual disk) plus append-only differential files — [A] for
+    additions/updates and [D] for deletions.  A lookup consults the
+    committed (or own) A and D records for the key, newest first, and
+    falls back to the base: precisely the set-union/set-difference the
+    paper charges the query processors for.
+
+    Writes never touch the base, so the recovery data {e is} the data:
+    commit forces the A and D files and appends a commit marker;
+    records of uncommitted transactions are simply never selected, so
+    crash recovery does no work.  {!checkpoint} runs the merge the
+    paper mentions (folding committed A/D records into the base and
+    truncating the differential files), which requires quiescence.
+
+    Satisfies {!Kv.S}; extras below. *)
+
+include Kv.S
+
+val create_with : ?n_keys:int -> ?keys_per_page:int -> ?auto_merge_records:int -> unit -> t
+(** [auto_merge_records], when set, runs the merge automatically at the
+    first quiescent transaction boundary once the differential files
+    hold at least that many records — the periodic reorganization the
+    paper says must bound their size (Section 4.3.3). *)
+
+val a_size : t -> int
+(** Records currently in the additions file. *)
+
+val d_size : t -> int
+(** Records currently in the deletions file. *)
+
+val merges : t -> int

@@ -1,0 +1,391 @@
+type selection = Cyclic | By_txn | By_page
+
+type recovery_strategy = Sorted | Unmerged
+
+type store = {
+  n_keys : int;
+  keys_per_page : int;
+  page_size : int;
+  data : Vdisk.t;
+  logs : Journal.t array;
+  (* Per log disk: (journal sequence number, lsn, txn) of each retained
+     record, oldest first — the index checkpointing needs to know how
+     far each log may be truncated. *)
+  indexes : (int * int * int) list ref array;
+  selection : selection;
+  mutable next_lsn : int;
+  mutable next_txn : int;
+  mutable cyclic : int;
+  mutable epoch : int;
+  active : (int, (int, bytes) Hashtbl.t) Hashtbl.t;
+      (* txn -> page -> before image of the txn's first update *)
+  used_logs : (int, (int, unit) Hashtbl.t) Hashtbl.t;  (* txn -> log disks used *)
+  mutable records_logged : int;
+  mutable records_since_checkpoint : int;
+  auto_checkpoint_records : int option;
+  mutable strategy : recovery_strategy;
+  mutable recoveries : int;
+  mutable checkpoints : int;
+}
+
+type t = store
+
+type txn = { st : store; id : int; born : int; mutable finished : bool }
+
+let engine_name = "logging"
+
+let default_keys = 256
+
+let create_with ?(n_keys = default_keys) ?(n_log_disks = 2) ?(selection = Cyclic)
+    ?(keys_per_page = 4) ?auto_checkpoint_records () =
+  (match auto_checkpoint_records with
+  | Some n when n <= 0 -> invalid_arg "Engine_log.create: bad auto_checkpoint_records"
+  | _ -> ());
+  if n_keys <= 0 then invalid_arg "Engine_log.create: need at least one key";
+  if n_log_disks <= 0 then invalid_arg "Engine_log.create: need a log disk";
+  if keys_per_page <= 0 then invalid_arg "Engine_log.create: bad keys_per_page";
+  let n_pages = (n_keys + keys_per_page - 1) / keys_per_page in
+  let page_size = 1024 in
+  {
+    n_keys;
+    keys_per_page;
+    page_size;
+    data = Vdisk.create ~pages:n_pages ~page_size ();
+    logs = Array.init n_log_disks (fun _ -> Journal.create ());
+    indexes = Array.init n_log_disks (fun _ -> ref []);
+    selection;
+    next_lsn = 1;
+    next_txn = 1;
+    cyclic = 0;
+    epoch = 0;
+    active = Hashtbl.create 8;
+    used_logs = Hashtbl.create 8;
+    records_logged = 0;
+    records_since_checkpoint = 0;
+    auto_checkpoint_records;
+    strategy = Sorted;
+    recoveries = 0;
+    checkpoints = 0;
+  }
+
+let create ?n_keys () = create_with ?n_keys ()
+
+let max_keys t = t.n_keys
+
+let keys_per_page t = t.keys_per_page
+
+let log_disks t = Array.length t.logs
+
+let records_logged t = t.records_logged
+
+let page_of t key = key / t.keys_per_page
+
+let check_key t k =
+  if k < 0 || k >= t.n_keys then invalid_arg (Printf.sprintf "key %d out of range" k)
+
+let select_log t ~txn ~page =
+  match t.selection with
+  | Cyclic ->
+    let i = t.cyclic in
+    t.cyclic <- (t.cyclic + 1) mod Array.length t.logs;
+    i
+  | By_txn -> txn mod Array.length t.logs
+  | By_page -> page mod Array.length t.logs
+
+let append_log t ~disk record =
+  let seq = Journal.append t.logs.(disk) (Wal.encode record) in
+  t.records_logged <- t.records_logged + 1;
+  t.records_since_checkpoint <- t.records_since_checkpoint + 1;
+  (match Wal.txn_of record with
+  | Some txn -> t.indexes.(disk) := !(t.indexes.(disk)) @ [ (seq, Wal.lsn record, txn) ]
+  | None -> ());
+  seq
+
+(* Set after [checkpoint] is defined; commit/abort call through it so
+   automatic checkpoints run at transaction boundaries. *)
+let maybe_auto_checkpoint : (store -> unit) ref = ref (fun _ -> ())
+
+let fresh_lsn t =
+  let l = t.next_lsn in
+  t.next_lsn <- l + 1;
+  l
+
+let begin_txn t =
+  let id = t.next_txn in
+  t.next_txn <- id + 1;
+  Hashtbl.replace t.active id (Hashtbl.create 4);
+  Hashtbl.replace t.used_logs id (Hashtbl.create 2);
+  { st = t; id; born = t.epoch; finished = false }
+
+let check txn = if txn.finished || txn.born <> txn.st.epoch then raise Kv.Txn_finished
+
+let get txn k =
+  check txn;
+  check_key txn.st k;
+  Page.lookup (Vdisk.read txn.st.data (page_of txn.st k)) ~key:k
+
+(* In-place update with write-ahead logging: append the before/after
+   images to a log disk, then update the data page (volatile). *)
+let update_key txn k value =
+  check txn;
+  check_key txn.st k;
+  let t = txn.st in
+  let p = page_of t k in
+  let before = Vdisk.read t.data p in
+  let after = Bytes.copy before in
+  Page.update after ~key:k ~value;
+  let lsn = fresh_lsn t in
+  Page.set_lsn after lsn;
+  let disk = select_log t ~txn:txn.id ~page:p in
+  ignore (append_log t ~disk (Wal.Update { lsn; txn = txn.id; page = p; before; after }));
+  (match Hashtbl.find_opt t.used_logs txn.id with
+  | Some set -> Hashtbl.replace set disk ()
+  | None -> assert false);
+  (* Remember the first before image per page for in-flight abort. *)
+  (match Hashtbl.find_opt t.active txn.id with
+  | Some firsts -> if not (Hashtbl.mem firsts p) then Hashtbl.replace firsts p before
+  | None -> assert false);
+  Vdisk.write t.data p after
+
+let put txn k v = update_key txn k (Some v)
+
+let delete txn k = update_key txn k None
+
+let finish txn =
+  txn.finished <- true;
+  Hashtbl.remove txn.st.active txn.id;
+  Hashtbl.remove txn.st.used_logs txn.id
+
+let commit txn =
+  check txn;
+  let t = txn.st in
+  (* WAL commit rule: every log disk is forced before the commit record
+     is appended and forced.  Forcing ALL the disks (not just the ones
+     this transaction used) is what makes group commit sound: a pending
+     group-committed transaction can never have its commit record made
+     durable by someone else's force while its update records on another
+     log disk are still volatile — the partial-durability window that
+     would let recovery apply half a transaction. *)
+  Array.iter Journal.sync t.logs;
+  let disk = select_log t ~txn:txn.id ~page:0 in
+  ignore (append_log t ~disk (Wal.Commit { lsn = fresh_lsn t; txn = txn.id }));
+  Journal.sync t.logs.(disk);
+  finish txn;
+  !maybe_auto_checkpoint t
+
+(* Group commit: the commit record is appended but the force is left
+   to a later [force_commits]; until then the transaction is committed
+   in memory but not durable. *)
+let commit_group txn =
+  check txn;
+  let t = txn.st in
+  let disk = select_log t ~txn:txn.id ~page:0 in
+  ignore (append_log t ~disk (Wal.Commit { lsn = fresh_lsn t; txn = txn.id }));
+  finish txn
+
+let force_commits t = Array.iter Journal.sync t.logs
+
+let abort txn =
+  check txn;
+  let t = txn.st in
+  (* Undo in place from the saved before images; recovery would reach
+     the same state from the logged before images. *)
+  (match Hashtbl.find_opt t.active txn.id with
+  | Some firsts ->
+    Hashtbl.iter
+      (fun p before ->
+        let lsn = fresh_lsn t in
+        let restored = Bytes.copy before in
+        Page.set_lsn restored lsn;
+        Vdisk.write t.data p restored)
+      firsts
+  | None -> ());
+  let disk = select_log t ~txn:txn.id ~page:0 in
+  ignore (append_log t ~disk (Wal.Abort { lsn = fresh_lsn t; txn = txn.id }));
+  finish txn;
+  !maybe_auto_checkpoint t
+
+let flush t =
+  Array.iter Journal.sync t.logs;
+  Vdisk.sync t.data
+
+(* --- restart recovery --------------------------------------------- *)
+
+let all_durable_records t =
+  Array.to_list t.logs
+  |> List.concat_map (fun j -> List.map Wal.decode (Journal.read_all j))
+
+(* Rebuild the per-disk index from the durable journals. *)
+let rebuild_indexes t =
+  Array.iteri
+    (fun d j ->
+      let base = Journal.synced j - List.length (Journal.read_all j) in
+      t.indexes.(d) <-
+        ref
+          (List.mapi
+             (fun i r ->
+               let rec_ = Wal.decode r in
+               (base + i, Wal.lsn rec_, Option.value (Wal.txn_of rec_) ~default:(-1)))
+             (Journal.read_all j)))
+    t.logs
+
+(* Textbook recovery: gather the distributed records, order them per
+   page, and rebuild: last committed after-image wins; a page touched
+   only by losers reverts to the before image of its earliest retained
+   update. *)
+let recover_sorted t records committed =
+  let by_page : (int, (int * int * bytes * bytes) list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      match r with
+      | Wal.Update { lsn; txn; page; before; after } ->
+        let prev = Option.value (Hashtbl.find_opt by_page page) ~default:[] in
+        Hashtbl.replace by_page page ((lsn, txn, before, after) :: prev)
+      | _ -> ())
+    records;
+  Hashtbl.iter
+    (fun page updates ->
+      let ordered = List.sort (fun (a, _, _, _) (b, _, _, _) -> Int.compare a b) updates in
+      let state =
+        List.fold_left
+          (fun acc (_, txn, before, after) ->
+            if Hashtbl.mem committed txn then Some after
+            else match acc with None -> Some before | Some _ -> acc)
+          None ordered
+      in
+      match state with
+      | Some image -> Vdisk.write t.data page image
+      | None -> ())
+    by_page
+
+(* The companion algorithm [13]: no merging, no global sort.  Each log
+   disk is processed independently.
+
+   Redo pass (any order, any interleaving across disks): a committed
+   after-image is applied iff its LSN exceeds the page's current LSN.
+   Full-page images make this idempotent and order-insensitive: whatever
+   order the logs are walked in, the committed image with the highest
+   LSN ends up on the page.
+
+   Undo pass: under page-level strict 2PL a page's writers are serial,
+   so if the page's final LSN belongs to a loser record, restoring that
+   record's before image peels one loser write off; repeating to a
+   fixpoint (a loser may have updated the same page several times)
+   leaves either the last committed image or the pre-history state. *)
+let recover_unmerged t logs committed =
+  let decoded = Array.map (fun j -> List.map Wal.decode (Journal.read_all j)) logs in
+  (* Redo, one log at a time, no coordination between them. *)
+  Array.iter
+    (fun records ->
+      List.iter
+        (fun r ->
+          match r with
+          | Wal.Update { lsn; txn; page; after; _ } when Hashtbl.mem committed txn ->
+            let current = Vdisk.read t.data page in
+            if lsn > Page.get_lsn current then Vdisk.write t.data page after
+          | _ -> ())
+        records)
+    decoded;
+  (* Undo to fixpoint, again per log with no coordination. *)
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    Array.iter
+      (fun records ->
+        List.iter
+          (fun r ->
+            match r with
+            | Wal.Update { lsn; txn; page; before; _ }
+              when not (Hashtbl.mem committed txn) ->
+              let current = Vdisk.read t.data page in
+              if Page.get_lsn current = lsn then begin
+                Vdisk.write t.data page before;
+                progress := true
+              end
+            | _ -> ())
+          records)
+      decoded
+  done
+
+let recover t =
+  let records = all_durable_records t in
+  let committed = Hashtbl.create 16 in
+  List.iter
+    (fun r -> match r with Wal.Commit { txn; _ } -> Hashtbl.replace committed txn () | _ -> ())
+    records;
+  (match t.strategy with
+  | Sorted -> recover_sorted t records committed
+  | Unmerged -> recover_unmerged t t.logs committed);
+  Vdisk.sync t.data;
+  let max_lsn = List.fold_left (fun acc r -> max acc (Wal.lsn r)) 0 records in
+  let max_txn =
+    List.fold_left (fun acc r -> max acc (Option.value (Wal.txn_of r) ~default:0)) 0 records
+  in
+  t.next_lsn <- max_lsn + 1;
+  t.next_txn <- max max_txn t.next_txn + 1;
+  Hashtbl.reset t.active;
+  Hashtbl.reset t.used_logs;
+  rebuild_indexes t;
+  t.recoveries <- t.recoveries + 1
+
+let crash_and_recover t =
+  Vdisk.crash t.data;
+  Array.iter Journal.crash t.logs;
+  t.epoch <- t.epoch + 1;
+  recover t
+
+(* Fuzzy checkpoint: force logs and data, then truncate every log disk
+   up to the earliest record still needed by a live transaction. *)
+let checkpoint t =
+  Array.iter Journal.sync t.logs;
+  Vdisk.sync t.data;
+  let active = Hashtbl.fold (fun id _ acc -> id :: acc) t.active [] in
+  let disk = 0 in
+  ignore (append_log t ~disk (Wal.Checkpoint { lsn = fresh_lsn t; active }));
+  Journal.sync t.logs.(disk);
+  Array.iteri
+    (fun d j ->
+      let needed =
+        List.filter_map
+          (fun (seq, _, txn) -> if List.mem txn active then Some seq else None)
+          !(t.indexes.(d))
+      in
+      let keep_from =
+        match needed with
+        | [] -> Journal.synced j
+        | seqs -> List.fold_left min max_int seqs
+      in
+      (* Never truncate the checkpoint record we just wrote on disk 0:
+         it documents the active set for auditing. *)
+      let keep_from = if d = 0 then min keep_from (Journal.synced j - 1) else keep_from in
+      Journal.truncate j ~keep_from;
+      t.indexes.(d) := List.filter (fun (seq, _, _) -> seq >= keep_from) !(t.indexes.(d)))
+    t.logs;
+  t.records_since_checkpoint <- 0;
+  t.checkpoints <- t.checkpoints + 1
+
+let () =
+  maybe_auto_checkpoint :=
+    fun t ->
+      match t.auto_checkpoint_records with
+      | Some threshold when t.records_since_checkpoint >= threshold -> checkpoint t
+      | Some _ | None -> ()
+
+let set_recovery_strategy t s = t.strategy <- s
+
+let recovery_strategy t = t.strategy
+
+let dump_log t ~disk = List.map Wal.decode (Journal.read_all t.logs.(disk))
+
+let stats t =
+  [
+    ("disk_reads", Vdisk.reads t.data);
+    ("disk_writes", Vdisk.writes t.data);
+    ("log_disks", Array.length t.logs);
+    ("records_logged", t.records_logged);
+    ("live_txns", Hashtbl.length t.active);
+    ("recoveries", t.recoveries);
+    ("checkpoints", t.checkpoints);
+    ("durable_records", Array.fold_left (fun acc j -> acc + List.length (Journal.read_all j)) 0 t.logs);
+    ("log_syncs", Array.fold_left (fun acc j -> acc + Journal.sync_count j) 0 t.logs);
+  ]

@@ -1,0 +1,71 @@
+(** The parallel-logging recovery engine (Section 3.1, functional).
+
+    A steal / no-force page store: updates are applied in place after a
+    full before/after-image log record is appended to one of [N] log
+    disks (write-ahead rule), commit forces every log disk holding the
+    transaction's fragments, and restart recovery rebuilds each page
+    from the distributed logs {e without merging them into one physical
+    log} — global LSNs plus full-page images make per-page
+    reconstruction order-insensitive, the property the paper's
+    companion algorithm [13] exploits.
+
+    Satisfies {!Kv.S}; extras below. *)
+
+include Kv.S
+
+type selection = Cyclic | By_txn | By_page
+
+val create_with :
+  ?n_keys:int ->
+  ?n_log_disks:int ->
+  ?selection:selection ->
+  ?keys_per_page:int ->
+  ?auto_checkpoint_records:int ->
+  unit ->
+  t
+(** [create] is [create_with] with 2 log disks, cyclic selection,
+    4 keys per page and no automatic checkpointing.
+    [auto_checkpoint_records], when set, runs a fuzzy checkpoint at the
+    first transaction boundary after that many log records have
+    accumulated since the last checkpoint, bounding both the log size
+    and the restart-recovery work. *)
+
+val commit_group : txn -> unit
+(** Group commit: append the commit record but do {e not} force the
+    log.  The transaction becomes durable at the next {!force_commits}
+    (or any other log force); a crash before that loses it — exactly
+    the group-commit durability window.  Amortizes the per-commit log
+    force across a batch of transactions. *)
+
+val force_commits : t -> unit
+(** Force every log disk: all group-committed transactions become
+    durable. *)
+
+val flush : t -> unit
+(** Force the log disks and then the data disk: the "steal" path (a
+    dirty page may reach disk before commit, but never before its log
+    records — the WAL rule). *)
+
+type recovery_strategy =
+  | Sorted  (** group the distributed records per page and replay them
+                in LSN order (the textbook formulation) *)
+  | Unmerged
+      (** the paper's companion algorithm [13]: process each log disk
+          {e independently} with no global sort — redo applies a
+          committed after-image iff its LSN exceeds the page's current
+          LSN (idempotent, order-insensitive), and an undo fixpoint
+          rolls loser images off the pages they still own.  The two
+          strategies are provably equivalent; the property tests check
+          it on random crash histories. *)
+
+val set_recovery_strategy : t -> recovery_strategy -> unit
+(** Default [Sorted].  Takes effect at the next [crash_and_recover]. *)
+
+val recovery_strategy : t -> recovery_strategy
+
+val log_disks : t -> int
+
+val records_logged : t -> int
+
+val dump_log : t -> disk:int -> Wal.record list
+(** Durable records of one log disk, for inspection and tests. *)

@@ -1,0 +1,357 @@
+(* Shared core of the two overwriting variants.  Disk layout: home
+   blocks [0, n_logical), scratch ring [n_logical, n_logical+slots).
+   The meta journal records intentions and transaction outcomes:
+     "I txn page slot"  - page is shadowed/staged in scratch slot
+     "C txn"            - transaction committed
+     "R txn"            - transaction resolved: its scratch slots are
+                          dead and may be reused (installed, restored,
+                          or discarded)
+   A slot is reusable only once its transaction's R record is durable;
+   otherwise a later recovery could replay an intention against a slot
+   that has been recycled. *)
+
+type variant = No_undo_v | No_redo_v
+
+type store = {
+  variant : variant;
+  n_keys : int;
+  keys_per_page : int;
+  n_logical : int;
+  scratch_slots : int;
+  disk : Vdisk.t;
+  meta : Journal.t;
+  busy : bool array;  (* scratch slot -> in use *)
+  staged : (int, (int * int) list ref) Hashtbl.t;  (* txn -> (page, slot) *)
+  mutable next_txn : int;
+  mutable epoch : int;
+  mutable live : int;
+  mutable recoveries : int;
+  mutable installs : int;
+}
+
+type txn_h = { st : store; id : int; born : int; mutable finished : bool }
+
+let page_size = 1024
+
+let parse_meta r =
+  match String.split_on_char ' ' r with
+  | [ "I"; txn; page; slot ] -> `Intent (int_of_string txn, int_of_string page, int_of_string slot)
+  | [ "C"; txn ] -> `Commit (int_of_string txn)
+  | [ "R"; txn ] -> `Resolved (int_of_string txn)
+  | _ -> invalid_arg ("Engine_overwrite: corrupt meta record " ^ r)
+
+let intent_record ~txn ~page ~slot = Printf.sprintf "I %d %d %d" txn page slot
+
+let make_store variant ?(n_keys = 256) ?(keys_per_page = 4) ?(scratch_slots = 64) () =
+  if n_keys <= 0 then invalid_arg "Engine_overwrite.create: need at least one key";
+  if keys_per_page <= 0 || scratch_slots <= 0 then invalid_arg "Engine_overwrite.create: bad sizes";
+  let n_logical = (n_keys + keys_per_page - 1) / keys_per_page in
+  {
+    variant;
+    n_keys;
+    keys_per_page;
+    n_logical;
+    scratch_slots;
+    disk = Vdisk.create ~pages:(n_logical + scratch_slots) ~page_size ();
+    meta = Journal.create ();
+    busy = Array.make scratch_slots false;
+    staged = Hashtbl.create 8;
+    next_txn = 1;
+    epoch = 0;
+    live = 0;
+    recoveries = 0;
+    installs = 0;
+  }
+
+let scratch_addr t slot = t.n_logical + slot
+
+let alloc_slot t =
+  let rec find i = if i >= t.scratch_slots then raise Kv.Scratch_full
+    else if not t.busy.(i) then i
+    else find (i + 1)
+  in
+  let s = find 0 in
+  t.busy.(s) <- true;
+  s
+
+let resolve t txn_id =
+  ignore (Journal.append t.meta (Printf.sprintf "R %d" txn_id));
+  Journal.sync t.meta;
+  (match Hashtbl.find_opt t.staged txn_id with
+  | Some l -> List.iter (fun (_, slot) -> t.busy.(slot) <- false) !l
+  | None -> ());
+  Hashtbl.remove t.staged txn_id
+
+let check_key t k =
+  if k < 0 || k >= t.n_keys then invalid_arg (Printf.sprintf "key %d out of range" k)
+
+let page_of t key = key / t.keys_per_page
+
+let begin_txn_ t =
+  let id = t.next_txn in
+  t.next_txn <- id + 1;
+  t.live <- t.live + 1;
+  Hashtbl.replace t.staged id (ref []);
+  { st = t; id; born = t.epoch; finished = false }
+
+let check h = if h.finished || h.born <> h.st.epoch then raise Kv.Txn_finished
+
+let finish h =
+  h.finished <- true;
+  h.st.live <- h.st.live - 1
+
+let staged_slot t txn_id p =
+  match Hashtbl.find_opt t.staged txn_id with
+  | None -> None
+  | Some l -> List.assoc_opt p !l
+
+let stage t txn_id p slot =
+  match Hashtbl.find_opt t.staged txn_id with
+  | Some l -> l := (p, slot) :: !l
+  | None -> Hashtbl.replace t.staged txn_id (ref [ (p, slot) ])
+
+(* ---- recovery, shared -------------------------------------------- *)
+
+let recover t =
+  let records = List.map parse_meta (Journal.read_all t.meta) in
+  let committed = Hashtbl.create 8 and resolved = Hashtbl.create 8 in
+  let intents = Hashtbl.create 8 in
+  List.iter
+    (function
+      | `Commit id -> Hashtbl.replace committed id ()
+      | `Resolved id -> Hashtbl.replace resolved id ()
+      | `Intent (id, page, slot) ->
+        let l = match Hashtbl.find_opt intents id with
+          | Some l -> l
+          | None ->
+            let l = ref [] in
+            Hashtbl.replace intents id l;
+            l
+        in
+        l := (page, slot) :: !l)
+    records;
+  Array.fill t.busy 0 t.scratch_slots false;
+  Hashtbl.reset t.staged;
+  let max_id = ref 0 in
+  List.iter
+    (function
+      | `Commit id | `Resolved id -> max_id := max !max_id id
+      | `Intent (id, _, _) -> max_id := max !max_id id)
+    records;
+  Hashtbl.iter
+    (fun id l ->
+      if not (Hashtbl.mem resolved id) then begin
+        let is_committed = Hashtbl.mem committed id in
+        let copy_scratch_to_home (page, slot) =
+          Vdisk.write t.disk page (Vdisk.read t.disk (scratch_addr t slot))
+        in
+        (match t.variant, is_committed with
+        | No_undo_v, true ->
+          (* Committed but not installed: re-install (idempotent). *)
+          List.iter copy_scratch_to_home !l;
+          t.installs <- t.installs + List.length !l
+        | No_undo_v, false ->
+          (* Homes were never touched: nothing to do. *)
+          ()
+        | No_redo_v, true ->
+          (* All updates were on disk before the commit record. *)
+          ()
+        | No_redo_v, false ->
+          (* Restore the shadows of the uncommitted transaction. *)
+          List.iter copy_scratch_to_home !l);
+        Vdisk.sync t.disk;
+        ignore (Journal.append t.meta (Printf.sprintf "R %d" id));
+        Journal.sync t.meta
+      end)
+    intents;
+  t.next_txn <- !max_id + 1;
+  t.live <- 0;
+  t.recoveries <- t.recoveries + 1
+
+let crash_and_recover_ t =
+  Vdisk.crash t.disk;
+  Journal.crash t.meta;
+  t.epoch <- t.epoch + 1;
+  recover t
+
+(* ---- the two variants --------------------------------------------- *)
+
+module No_undo = struct
+  type t = store
+  type txn = txn_h
+
+  let engine_name = "overwrite-no-undo"
+
+  let create_with = make_store No_undo_v
+  let create ?n_keys () = create_with ?n_keys ()
+  let max_keys t = t.n_keys
+  let keys_per_page t = t.keys_per_page
+  let begin_txn = begin_txn_
+
+  (* Reads see the transaction's own staged copy first; committed state
+     is always installed in the home location while the system is up. *)
+  let get h k =
+    check h;
+    check_key h.st k;
+    let t = h.st in
+    let p = page_of t k in
+    let image =
+      match staged_slot t h.id p with
+      | Some slot -> Vdisk.read t.disk (scratch_addr t slot)
+      | None -> Vdisk.read t.disk p
+    in
+    Page.lookup image ~key:k
+
+  let update_key h k value =
+    check h;
+    check_key h.st k;
+    let t = h.st in
+    let p = page_of t k in
+    let slot, image =
+      match staged_slot t h.id p with
+      | Some slot -> (slot, Vdisk.read t.disk (scratch_addr t slot))
+      | None ->
+        let slot = alloc_slot t in
+        stage t h.id p slot;
+        ignore (Journal.append t.meta (intent_record ~txn:h.id ~page:p ~slot));
+        (slot, Vdisk.read t.disk p)
+    in
+    Page.update image ~key:k ~value;
+    Vdisk.write t.disk (scratch_addr t slot) image
+
+  let put h k v = update_key h k (Some v)
+  let delete h k = update_key h k None
+
+  let commit h =
+    check h;
+    let t = h.st in
+    (* 1. All updated pages durable in the scratch space... *)
+    Vdisk.sync t.disk;
+    (* 2. ...then the commit record: the transaction is now committed. *)
+    ignore (Journal.append t.meta (Printf.sprintf "C %d" h.id));
+    Journal.sync t.meta;
+    (* 3. Install: overwrite the shadows with the current copies.  The
+       paper releases the page locks only after this pass. *)
+    (match Hashtbl.find_opt t.staged h.id with
+    | Some l ->
+      List.iter
+        (fun (p, slot) -> Vdisk.write t.disk p (Vdisk.read t.disk (scratch_addr t slot)))
+        !l;
+      t.installs <- t.installs + List.length !l;
+      Vdisk.sync t.disk
+    | None -> ());
+    resolve t h.id;
+    finish h
+
+  let abort h =
+    check h;
+    (* The homes were never touched; just retire the scratch slots. *)
+    resolve h.st h.id;
+    finish h
+
+  (* Test hook: durably committed, install pass not yet run. *)
+  let commit_without_install h =
+    check h;
+    let t = h.st in
+    Vdisk.sync t.disk;
+    ignore (Journal.append t.meta (Printf.sprintf "C %d" h.id));
+    Journal.sync t.meta;
+    finish h
+
+  let crash_and_recover = crash_and_recover_
+  let checkpoint _ = ()
+  let scratch_in_use t = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 t.busy
+
+  let stats t =
+    [
+      ("disk_reads", Vdisk.reads t.disk);
+      ("disk_writes", Vdisk.writes t.disk);
+      ("scratch_in_use", scratch_in_use t);
+      ("scratch_slots", t.scratch_slots);
+      ("live_txns", t.live);
+      ("recoveries", t.recoveries);
+      ("installs", t.installs);
+    ]
+end
+
+module No_redo = struct
+  type t = store
+  type txn = txn_h
+
+  let engine_name = "overwrite-no-redo"
+
+  let create_with = make_store No_redo_v
+  let create ?n_keys () = create_with ?n_keys ()
+  let max_keys t = t.n_keys
+  let keys_per_page t = t.keys_per_page
+  let begin_txn = begin_txn_
+
+  (* Updates are in place, so the home block is always current. *)
+  let get h k =
+    check h;
+    check_key h.st k;
+    Page.lookup (Vdisk.read h.st.disk (page_of h.st k)) ~key:k
+
+  let update_key h k value =
+    check h;
+    check_key h.st k;
+    let t = h.st in
+    let p = page_of t k in
+    (match staged_slot t h.id p with
+    | Some _ -> ()  (* the shadow is already safe *)
+    | None ->
+      (* Force the original to the scratch space, with a durable
+         intention, BEFORE the home location may be overwritten. *)
+      let slot = alloc_slot t in
+      stage t h.id p slot;
+      Vdisk.write t.disk (scratch_addr t slot) (Vdisk.read t.disk p);
+      Vdisk.sync t.disk;
+      ignore (Journal.append t.meta (intent_record ~txn:h.id ~page:p ~slot));
+      Journal.sync t.meta);
+    let image = Vdisk.read t.disk p in
+    Page.update image ~key:k ~value;
+    Vdisk.write t.disk p image
+
+  let put h k v = update_key h k (Some v)
+  let delete h k = update_key h k None
+
+  let commit h =
+    check h;
+    let t = h.st in
+    (* A transaction is committed only after all its updates are on
+       disk; then the commit record makes that durable fact explicit. *)
+    Vdisk.sync t.disk;
+    ignore (Journal.append t.meta (Printf.sprintf "C %d" h.id));
+    Journal.sync t.meta;
+    resolve t h.id;
+    finish h
+
+  let abort h =
+    check h;
+    let t = h.st in
+    (* Undo in place: restore every shadow from the scratch space. *)
+    (match Hashtbl.find_opt t.staged h.id with
+    | Some l ->
+      List.iter
+        (fun (p, slot) -> Vdisk.write t.disk p (Vdisk.read t.disk (scratch_addr t slot)))
+        !l;
+      Vdisk.sync t.disk
+    | None -> ());
+    resolve t h.id;
+    finish h
+
+  let crash_and_recover = crash_and_recover_
+  let checkpoint _ = ()
+  let scratch_in_use t = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 t.busy
+
+  let stats t =
+    [
+      ("disk_reads", Vdisk.reads t.disk);
+      ("disk_writes", Vdisk.writes t.disk);
+      ("scratch_in_use", scratch_in_use t);
+      ("scratch_slots", t.scratch_slots);
+      ("live_txns", t.live);
+      ("recoveries", t.recoveries);
+      ("installs", t.installs);
+    ]
+end

@@ -1,0 +1,175 @@
+(* Slot layout: [version:8][writer txn:8][embedded 1024-byte data page].
+   Logical page p owns adjacent slots 2p and 2p+1. *)
+
+let payload_size = 1024
+
+let slot_size = 16 + payload_size
+
+type store = {
+  n_keys : int;
+  keys_per_page : int;
+  n_logical : int;
+  disk : Vdisk.t;
+  commit_list : Journal.t;
+  committed : (int, unit) Hashtbl.t;
+  mutable next_txn : int;
+  mutable epoch : int;
+  mutable live : int;
+  mutable recoveries : int;
+}
+
+type t = store
+
+type txn = { st : store; id : int; born : int; mutable finished : bool }
+
+let engine_name = "version-selection"
+
+let create_with ?(n_keys = 256) ?(keys_per_page = 4) () =
+  if n_keys <= 0 then invalid_arg "Engine_versel.create: need at least one key";
+  if keys_per_page <= 0 then invalid_arg "Engine_versel.create: bad keys_per_page";
+  let n_logical = (n_keys + keys_per_page - 1) / keys_per_page in
+  {
+    n_keys;
+    keys_per_page;
+    n_logical;
+    disk = Vdisk.create ~pages:(2 * n_logical) ~page_size:slot_size ();
+    commit_list = Journal.create ();
+    committed = Hashtbl.create 32;
+    next_txn = 1;
+    epoch = 0;
+    live = 0;
+    recoveries = 0;
+  }
+
+let create ?n_keys () = create_with ?n_keys ()
+
+let max_keys t = t.n_keys
+
+let keys_per_page t = t.keys_per_page
+
+let check_key t k =
+  if k < 0 || k >= t.n_keys then invalid_arg (Printf.sprintf "key %d out of range" k)
+
+let page_of t key = key / t.keys_per_page
+
+let slot_version slot = Int64.to_int (Bytes.get_int64_le slot 0)
+
+let slot_writer slot = Int64.to_int (Bytes.get_int64_le slot 8)
+
+let slot_payload slot = Bytes.sub slot 16 payload_size
+
+let make_slot ~version ~writer payload =
+  let b = Bytes.make slot_size '\000' in
+  Bytes.set_int64_le b 0 (Int64.of_int version);
+  Bytes.set_int64_le b 8 (Int64.of_int writer);
+  Bytes.blit payload 0 b 16 payload_size;
+  b
+
+let begin_txn t =
+  let id = t.next_txn in
+  t.next_txn <- id + 1;
+  t.live <- t.live + 1;
+  { st = t; id; born = t.epoch; finished = false }
+
+let check txn = if txn.finished || txn.born <> txn.st.epoch then raise Kv.Txn_finished
+
+(* The version-selection algorithm: read BOTH slots, keep those whose
+   writer is durable-committed (writer 0 is the initial empty state) or
+   is the asking transaction, select the highest version. *)
+let select t ~own p =
+  let s0 = Vdisk.read t.disk (2 * p) and s1 = Vdisk.read t.disk ((2 * p) + 1) in
+  let valid s =
+    let w = slot_writer s in
+    w = 0 || Hashtbl.mem t.committed w || w = own
+  in
+  match valid s0, valid s1 with
+  | true, true -> if slot_version s0 >= slot_version s1 then (0, s0, s1) else (1, s1, s0)
+  | true, false -> (0, s0, s1)
+  | false, true -> (1, s1, s0)
+  | false, false -> (0, make_slot ~version:0 ~writer:0 (Page.empty ~page_size:payload_size), s1)
+
+let get txn k =
+  check txn;
+  check_key txn.st k;
+  let _, current, _ = select txn.st ~own:txn.id (page_of txn.st k) in
+  Page.lookup (slot_payload current) ~key:k
+
+let update_key txn k value =
+  check txn;
+  check_key txn.st k;
+  let t = txn.st in
+  let p = page_of t k in
+  let current_idx, current, _ = select t ~own:txn.id p in
+  let payload = slot_payload current in
+  Page.update payload ~key:k ~value;
+  let s0 = Vdisk.read t.disk (2 * p) and s1 = Vdisk.read t.disk ((2 * p) + 1) in
+  let next_version = 1 + max (slot_version s0) (slot_version s1) in
+  (* Overwrite our own earlier uncommitted version in place; otherwise
+     take the slot not holding the current committed copy. *)
+  let target =
+    if slot_writer current = txn.id then current_idx else 1 - current_idx
+  in
+  Vdisk.write t.disk ((2 * p) + target) (make_slot ~version:next_version ~writer:txn.id payload)
+
+let put txn k v = update_key txn k (Some v)
+
+let delete txn k = update_key txn k None
+
+let finish txn =
+  txn.finished <- true;
+  txn.st.live <- txn.st.live - 1
+
+let commit txn =
+  check txn;
+  let t = txn.st in
+  (* Data slots first, then the committed list: a crash between the two
+     leaves the writes invisible (the txn is simply not committed). *)
+  Vdisk.sync t.disk;
+  ignore (Journal.append t.commit_list (string_of_int txn.id));
+  Journal.sync t.commit_list;
+  Hashtbl.replace t.committed txn.id ();
+  finish txn
+
+let abort txn =
+  check txn;
+  (* Nothing to undo: the uncommitted slots are never selected. *)
+  finish txn
+
+let recover t =
+  Hashtbl.reset t.committed;
+  List.iter (fun r -> Hashtbl.replace t.committed (int_of_string r) ()) (Journal.read_all t.commit_list);
+  (* Transaction ids must never be reused: a recycled id would make a
+     crashed transaction's garbage slot look live.  Scan every slot. *)
+  let max_tag = ref 0 in
+  for s = 0 to (2 * t.n_logical) - 1 do
+    max_tag := max !max_tag (slot_writer (Vdisk.read t.disk s))
+  done;
+  Hashtbl.iter (fun id () -> max_tag := max !max_tag id) t.committed;
+  t.next_txn <- !max_tag + 1;
+  t.live <- 0;
+  t.recoveries <- t.recoveries + 1
+
+let crash_and_recover t =
+  Vdisk.crash t.disk;
+  Journal.crash t.commit_list;
+  t.epoch <- t.epoch + 1;
+  recover t
+
+let checkpoint _ = ()
+
+let committed_count t = Hashtbl.length t.committed
+
+let slot_versions t ~page =
+  if page < 0 || page >= t.n_logical then invalid_arg "Engine_versel.slot_versions";
+  ( slot_version (Vdisk.read t.disk (2 * page)),
+    slot_version (Vdisk.read t.disk ((2 * page) + 1)) )
+
+let stats t =
+  [
+    ("disk_reads", Vdisk.reads t.disk);
+    ("disk_writes", Vdisk.writes t.disk);
+    ("committed", Hashtbl.length t.committed);
+    ("live_txns", t.live);
+    ("recoveries", t.recoveries);
+    ("slots", 2 * t.n_logical);
+  ]

@@ -1,0 +1,29 @@
+(** The version-selection recovery engine (Section 3.2.2.1,
+    functional).
+
+    Every logical page owns two physically adjacent disk slots.  An
+    update writes the new image into the slot {e not} holding the
+    latest committed version, tagged with a version number and the
+    writing transaction; nothing is ever overwritten in place while it
+    is still the current copy.  A read fetches {e both} slots and runs
+    the version-selection algorithm: among slots whose writer is on the
+    durable committed list (or is the reading transaction itself), the
+    higher version wins.
+
+    Commit is: sync the data slots, then append the transaction id to
+    the committed list and sync it.  Crash recovery is free — slots
+    written by transactions missing from the committed list are simply
+    never selected.  The price the paper charges this design (every
+    read transfers two blocks, disk space doubles) is visible here as
+    the two-slot layout and the double read in [select].
+
+    Satisfies {!Kv.S}; extras below. *)
+
+include Kv.S
+
+val create_with : ?n_keys:int -> ?keys_per_page:int -> unit -> t
+
+val committed_count : t -> int
+
+val slot_versions : t -> page:int -> int * int
+(** The version tags of the two slots of a logical page (tests). *)

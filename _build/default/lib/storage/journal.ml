@@ -1,0 +1,56 @@
+type t = {
+  mutable durable : string list;  (* reversed: newest first *)
+  mutable durable_count : int;
+  mutable pending : string list;  (* reversed: newest first *)
+  mutable pending_count : int;
+  mutable base : int;  (* sequence number of the oldest retained record *)
+  mutable sync_count : int;
+}
+
+let create () =
+  { durable = []; durable_count = 0; pending = []; pending_count = 0; base = 0; sync_count = 0 }
+
+let append t r =
+  let seq = t.base + t.durable_count + t.pending_count in
+  t.pending <- r :: t.pending;
+  t.pending_count <- t.pending_count + 1;
+  seq
+
+let sync t =
+  t.sync_count <- t.sync_count + 1;
+  t.durable <- t.pending @ t.durable;
+  t.durable_count <- t.durable_count + t.pending_count;
+  t.pending <- [];
+  t.pending_count <- 0
+
+let crash t =
+  t.pending <- [];
+  t.pending_count <- 0
+
+let read_all t = List.rev t.durable
+
+let read_live t = List.rev_append t.pending [] |> List.append (List.rev t.durable)
+
+let appended t = t.base + t.durable_count + t.pending_count
+
+let synced t = t.base + t.durable_count
+
+let sync_count t = t.sync_count
+
+let truncate t ~keep_from =
+  if keep_from < t.base then ()
+  else if keep_from > t.base + t.durable_count then
+    invalid_arg "Journal.truncate: keep_from beyond the synced records"
+  else begin
+    let drop = keep_from - t.base in
+    (* durable is newest-first; drop the [drop] oldest records. *)
+    let keep = t.durable_count - drop in
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: rest -> x :: take (n - 1) rest
+    in
+    t.durable <- take keep t.durable;
+    t.durable_count <- keep;
+    t.base <- keep_from
+  end

@@ -1,0 +1,49 @@
+(** Append-only journal of binary records with crash semantics.
+
+    The stable-storage analogue of a sequential log file: {!append}
+    buffers a record, {!sync} makes every buffered record durable, and
+    {!crash} discards the tail that was never synced.  Records are
+    length-prefixed and checksummed, so a record that was only half
+    "on disk" at a crash is detected and the scan stops there — exactly
+    how a real log tail is handled.
+
+    The logging engine's log disks, the overwriting engines' intention
+    lists, and the version-selection commit list are all journals. *)
+
+type t
+
+val create : unit -> t
+
+val append : t -> string -> int
+(** Buffer a record; returns its sequence number within this journal
+    (0-based, counting every record ever appended). *)
+
+val sync : t -> unit
+
+val crash : t -> unit
+(** Drop the unsynced tail.  A record is durable as a unit or not at
+    all: the length-prefix-and-checksum framing a real log uses to
+    detect a torn tail is what makes that abstraction sound. *)
+
+val read_all : t -> string list
+(** The durable records, in append order.  Valid after a crash. *)
+
+val read_live : t -> string list
+(** Durable records followed by the still-buffered tail: the view an
+    up-and-running reader has (a crash loses the tail). *)
+
+val appended : t -> int
+(** Records appended so far (including unsynced ones). *)
+
+val synced : t -> int
+(** Records currently durable. *)
+
+val sync_count : t -> int
+(** Number of {!sync} calls over the journal's lifetime — the "disk
+    forces" a commit protocol pays (what group commit amortizes). *)
+
+val truncate : t -> keep_from:int -> unit
+(** Discard durable records with sequence number < [keep_from]
+    (checkpointing).  Sequence numbers of the remaining records are
+    unchanged.  @raise Invalid_argument if [keep_from] exceeds the
+    synced count. *)

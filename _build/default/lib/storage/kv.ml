@@ -1,0 +1,101 @@
+exception Txn_finished
+
+exception Scratch_full
+
+module type S = sig
+  type t
+  type txn
+
+  val engine_name : string
+  val create : ?n_keys:int -> unit -> t
+  val max_keys : t -> int
+  val keys_per_page : t -> int
+  val begin_txn : t -> txn
+  val get : txn -> int -> string option
+  val put : txn -> int -> string -> unit
+  val delete : txn -> int -> unit
+  val commit : txn -> unit
+  val abort : txn -> unit
+  val crash_and_recover : t -> unit
+  val checkpoint : t -> unit
+  val stats : t -> (string * int) list
+end
+
+module Model : S = struct
+  type t = {
+    n_keys : int;
+    committed : (int, string) Hashtbl.t;
+    mutable epoch : int;
+    mutable live : int;
+  }
+
+  type txn = {
+    store : t;
+    born : int;
+    writes : (int, string option) Hashtbl.t;
+    mutable finished : bool;
+  }
+
+  let engine_name = "model"
+
+  let create ?(n_keys = 256) () =
+    if n_keys <= 0 then invalid_arg "Model.create: need at least one key";
+    { n_keys; committed = Hashtbl.create 64; epoch = 0; live = 0 }
+
+  let max_keys t = t.n_keys
+
+  let keys_per_page _ = 1
+
+  let check_key t k =
+    if k < 0 || k >= t.n_keys then invalid_arg (Printf.sprintf "key %d out of range" k)
+
+  let begin_txn t =
+    t.live <- t.live + 1;
+    { store = t; born = t.epoch; writes = Hashtbl.create 8; finished = false }
+
+  let check txn =
+    if txn.finished || txn.born <> txn.store.epoch then raise Txn_finished
+
+  let get txn k =
+    check txn;
+    check_key txn.store k;
+    match Hashtbl.find_opt txn.writes k with
+    | Some v -> v
+    | None -> Hashtbl.find_opt txn.store.committed k
+
+  let put txn k v =
+    check txn;
+    check_key txn.store k;
+    Hashtbl.replace txn.writes k (Some v)
+
+  let delete txn k =
+    check txn;
+    check_key txn.store k;
+    Hashtbl.replace txn.writes k None
+
+  let finish txn =
+    txn.finished <- true;
+    txn.store.live <- txn.store.live - 1
+
+  let commit txn =
+    check txn;
+    Hashtbl.iter
+      (fun k v ->
+        match v with
+        | Some v -> Hashtbl.replace txn.store.committed k v
+        | None -> Hashtbl.remove txn.store.committed k)
+      txn.writes;
+    finish txn
+
+  let abort txn =
+    check txn;
+    finish txn
+
+  let crash_and_recover t =
+    t.epoch <- t.epoch + 1;
+    t.live <- 0
+
+  let checkpoint _ = ()
+
+  let stats t = [ ("committed_keys", Hashtbl.length t.committed); ("live_txns", t.live) ]
+end

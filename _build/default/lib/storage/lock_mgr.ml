@@ -1,0 +1,155 @@
+type mode = S | X
+
+type outcome = Granted | Would_block | Deadlock of int list
+
+type entry = {
+  mutable holders : (int * mode) list;
+  mutable waiters : (int * mode) list;  (* FIFO: oldest first *)
+}
+
+type t = { pages : (int, entry) Hashtbl.t }
+
+let create () = { pages = Hashtbl.create 64 }
+
+let entry t page =
+  match Hashtbl.find_opt t.pages page with
+  | Some e -> e
+  | None ->
+    let e = { holders = []; waiters = [] } in
+    Hashtbl.replace t.pages page e;
+    e
+
+let compatible held requested =
+  match held, requested with
+  | S, S -> true
+  | _ -> false
+
+let conflicts_with t ~txn ~page ~mode =
+  match Hashtbl.find_opt t.pages page with
+  | None -> []
+  | Some e ->
+    List.filter_map
+      (fun (o, held) -> if o <> txn && not (compatible held mode) then Some o else None)
+      e.holders
+
+(* Waiters at positions strictly before [txn] in the FIFO queue whose
+   requests are incompatible with [mode]. *)
+let waiters_ahead e ~txn ~mode =
+  let rec go acc = function
+    | [] -> List.rev acc  (* txn not queued yet: everyone ahead *)
+    | (w, _) :: _ when w = txn -> List.rev acc
+    | (w, wmode) :: rest ->
+      go (if compatible wmode mode then acc else w :: acc) rest
+  in
+  go [] e.waiters
+
+(* Waits-for edges implied by the recorded waiters: a waiter waits for
+   every incompatible holder of its page and for every incompatible
+   waiter queued ahead of it (FIFO fairness). *)
+let blockers t txn =
+  Hashtbl.fold
+    (fun _page e acc ->
+      List.fold_left
+        (fun acc (w, mode) ->
+          if w = txn then
+            let from_holders =
+              List.fold_left
+                (fun acc (o, held) ->
+                  if o <> txn && not (compatible held mode) then o :: acc else acc)
+                acc e.holders
+            in
+            List.rev_append (waiters_ahead e ~txn ~mode) from_holders
+          else acc)
+        acc e.waiters)
+    t.pages []
+
+(* Would adding edge [txn -> targets] close a cycle?  DFS over the
+   waits-for graph from each target looking for [txn]. *)
+let find_cycle t ~txn ~targets =
+  let visited = Hashtbl.create 16 in
+  let rec dfs path node =
+    if node = txn then Some (List.rev (node :: path))
+    else if Hashtbl.mem visited node then None
+    else begin
+      Hashtbl.replace visited node ();
+      let next = blockers t node in
+      List.fold_left
+        (fun acc n -> match acc with Some _ -> acc | None -> dfs (node :: path) n)
+        None next
+    end
+  in
+  List.fold_left
+    (fun acc target -> match acc with Some _ -> acc | None -> dfs [] target)
+    None targets
+
+let record_waiter e ~txn ~mode =
+  if not (List.exists (fun (w, m) -> w = txn && m = mode) e.waiters) then
+    e.waiters <- e.waiters @ [ (txn, mode) ]
+
+let remove_waiter e ~txn = e.waiters <- List.filter (fun (w, _) -> w <> txn) e.waiters
+
+let acquire t ~txn ~page ~mode =
+  let e = entry t page in
+  match List.assoc_opt txn e.holders with
+  | Some held when held = X || mode = S ->
+    (* Already held in a sufficient mode. *)
+    remove_waiter e ~txn;
+    Granted
+  | Some _ ->
+    (* Upgrade S -> X: allowed when we are the only holder. *)
+    if List.for_all (fun (o, _) -> o = txn) e.holders then begin
+      e.holders <- [ (txn, X) ];
+      remove_waiter e ~txn;
+      Granted
+    end
+    else begin
+      let others = List.filter_map (fun (o, _) -> if o <> txn then Some o else None) e.holders in
+      match find_cycle t ~txn ~targets:others with
+      | Some cycle -> Deadlock (txn :: cycle)
+      | None ->
+        record_waiter e ~txn ~mode;
+        Would_block
+    end
+  | None ->
+    let conflicting = conflicts_with t ~txn ~page ~mode in
+    (* FIFO fairness: an incompatible waiter queued ahead of us also
+       blocks us (prevents writer starvation behind a reader stream). *)
+    let blocking_waiters = waiters_ahead e ~txn ~mode in
+    if conflicting = [] && blocking_waiters = [] then begin
+      e.holders <- (txn, mode) :: e.holders;
+      remove_waiter e ~txn;
+      Granted
+    end
+    else begin
+      match find_cycle t ~txn ~targets:(conflicting @ blocking_waiters) with
+      | Some cycle -> Deadlock (txn :: cycle)
+      | None ->
+        record_waiter e ~txn ~mode;
+        Would_block
+    end
+
+let withdraw t ~txn ~page =
+  match Hashtbl.find_opt t.pages page with
+  | None -> ()
+  | Some e -> remove_waiter e ~txn
+
+let release_all t ~txn =
+  let empty_pages = ref [] in
+  Hashtbl.iter
+    (fun page e ->
+      e.holders <- List.filter (fun (o, _) -> o <> txn) e.holders;
+      remove_waiter e ~txn;
+      if e.holders = [] && e.waiters = [] then empty_pages := page :: !empty_pages)
+    t.pages;
+  List.iter (Hashtbl.remove t.pages) !empty_pages
+
+let holds t ~txn ~page =
+  match Hashtbl.find_opt t.pages page with
+  | None -> None
+  | Some e -> List.assoc_opt txn e.holders
+
+let locked_pages t =
+  Hashtbl.fold (fun _ e acc -> if e.holders <> [] then acc + 1 else acc) t.pages 0
+
+let waiting t ~txn =
+  Hashtbl.fold (fun _ e acc -> acc || List.exists (fun (w, _) -> w = txn) e.waiters) t.pages false

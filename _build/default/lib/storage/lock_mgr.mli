@@ -1,0 +1,37 @@
+(** Page-level two-phase locking with deadlock detection.
+
+    Non-blocking interface: {!acquire} either grants the lock, reports
+    that the caller would block behind the current holders, or reports
+    that waiting would close a cycle in the waits-for graph (deadlock).
+    On [Would_block] the requester is recorded as waiting; the waits-for
+    edges persist until the request is granted on a retry, withdrawn,
+    or the transaction releases its locks.  The caller (the back-end
+    controller in the paper's design) chooses the victim and aborts
+    it. *)
+
+type t
+
+type mode = S | X
+
+type outcome =
+  | Granted
+  | Would_block
+  | Deadlock of int list  (** the cycle of transaction ids, requester first *)
+
+val create : unit -> t
+
+val acquire : t -> txn:int -> page:int -> mode:mode -> outcome
+(** Re-acquiring a held lock is granted; an upgrade (S held, X
+    requested) is granted when the requester is the only holder. *)
+
+val withdraw : t -> txn:int -> page:int -> unit
+(** Forget a pending (blocked) request, removing its waits-for edges. *)
+
+val release_all : t -> txn:int -> unit
+(** Release every lock held by [txn] and any pending requests. *)
+
+val holds : t -> txn:int -> page:int -> mode option
+
+val locked_pages : t -> int
+
+val waiting : t -> txn:int -> bool

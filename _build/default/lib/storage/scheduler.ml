@@ -1,0 +1,112 @@
+type op = Get of int | Put of int * string | Delete of int
+
+type script = op list
+
+type report = { commit_order : int list; restarts : int; steps : int }
+
+let key_of = function Get k -> k | Put (k, _) -> k | Delete k -> k
+
+let mode_of = function Get _ -> Lock_mgr.S | Put _ | Delete _ -> Lock_mgr.X
+
+module Make (E : Kv.S) = struct
+  type state = {
+    id : int;
+    index : int;  (* position among the scripts, for distinct backoffs *)
+    script : script;
+    mutable remaining : script;
+    mutable txn : E.txn option;
+    mutable done_ : bool;
+    mutable restart_count : int;
+    mutable backoff : int;  (* scheduler turns to sit out after a restart *)
+  }
+
+  let run ?(max_steps = 100_000) engine ~scripts =
+    let ids = List.map fst scripts in
+    if List.length (List.sort_uniq Int.compare ids) <> List.length ids then
+      invalid_arg "Scheduler.run: duplicate script ids";
+    let locks = Lock_mgr.create () in
+    let states =
+      List.mapi
+        (fun index (id, script) ->
+          {
+            id;
+            index;
+            script;
+            remaining = script;
+            txn = None;
+            done_ = false;
+            restart_count = 0;
+            backoff = 0;
+          })
+        scripts
+    in
+    let commit_order = ref [] in
+    let restarts = ref 0 in
+    let steps = ref 0 in
+    (* Deadlock victims back off before retrying.  The backoff grows
+       with the script's restart count and differs per script, so two
+       scripts that keep colliding under deterministic round-robin
+       eventually desynchronize (without this, repeated mutual restarts
+       can livelock). *)
+    let restart st =
+      (match st.txn with Some t -> E.abort t | None -> ());
+      Lock_mgr.release_all locks ~txn:st.id;
+      st.txn <- None;
+      st.remaining <- st.script;
+      st.restart_count <- st.restart_count + 1;
+      st.backoff <- st.restart_count * (st.index + 1);
+      incr restarts
+    in
+    let txn_of st =
+      match st.txn with
+      | Some t -> t
+      | None ->
+        let t = E.begin_txn engine in
+        st.txn <- Some t;
+        t
+    in
+    (* One scheduler step for a script: try to advance by one operation
+       (or commit).  Returns true on progress. *)
+    let advance st =
+      match st.remaining with
+      | [] ->
+        (match st.txn with
+        | Some t -> E.commit t
+        | None ->
+          (* empty script: an empty transaction still commits *)
+          E.commit (txn_of st));
+        Lock_mgr.release_all locks ~txn:st.id;
+        st.done_ <- true;
+        commit_order := st.id :: !commit_order;
+        true
+      | op :: rest -> (
+        let page = key_of op / E.keys_per_page engine in
+        match Lock_mgr.acquire locks ~txn:st.id ~page ~mode:(mode_of op) with
+        | Lock_mgr.Granted ->
+          let t = txn_of st in
+          (match op with
+          | Get k -> ignore (E.get t k)
+          | Put (k, v) -> E.put t k v
+          | Delete k -> E.delete t k);
+          st.remaining <- rest;
+          true
+        | Lock_mgr.Would_block -> false
+        | Lock_mgr.Deadlock _ ->
+          (* strict 2PL victim: roll back and start over *)
+          restart st;
+          true)
+    in
+    let all_done () = List.for_all (fun st -> st.done_) states in
+    while (not (all_done ())) && !steps < max_steps do
+      List.iter
+        (fun st ->
+          if not st.done_ then begin
+            incr steps;
+            if st.backoff > 0 then st.backoff <- st.backoff - 1
+            else ignore (advance st)
+          end)
+        states
+    done;
+    if not (all_done ()) then failwith "Scheduler.run: scripts did not complete (livelock?)";
+    { commit_order = List.rev !commit_order; restarts = !restarts; steps = !steps }
+end

@@ -1,0 +1,35 @@
+(** Concurrent transaction execution with strict two-phase locking.
+
+    The paper assumes a page-level-locking scheduler in the back-end
+    controller (Section 3); this module is its functional counterpart:
+    it interleaves a set of transaction {e scripts} over any recovery
+    engine, acquiring page locks (at the engine's {!Kv.S.keys_per_page} granule) through {!Lock_mgr} as operations
+    execute, parking scripts that would block, and resolving deadlocks
+    by aborting and restarting the requester (strict 2PL: all locks are
+    held until commit).
+
+    Because acquisition is incremental and the victim restarts from the
+    beginning, every run is serializable: the committed scripts are
+    equivalent to executing them serially in commit order (a property
+    the test suite checks against the model). *)
+
+type op =
+  | Get of int
+  | Put of int * string
+  | Delete of int
+
+type script = op list
+
+type report = {
+  commit_order : int list;  (** script ids, in commit order *)
+  restarts : int;  (** deadlock-victim restarts *)
+  steps : int;  (** scheduler steps taken *)
+}
+
+module Make (E : Kv.S) : sig
+  val run : ?max_steps:int -> E.t -> scripts:(int * script) list -> report
+  (** Run the scripts to completion, round-robin.  Script ids must be
+      distinct.
+      @raise Failure if the scripts have not all committed within
+      [max_steps] scheduler steps (default 100,000). *)
+end

@@ -1,0 +1,60 @@
+type t = {
+  page_size : int;
+  stable : bytes array;
+  cache : (int, bytes) Hashtbl.t;
+  mutable reads : int;
+  mutable writes : int;
+  mutable syncs : int;
+}
+
+let create ~pages ~page_size () =
+  if pages <= 0 || page_size <= 0 then invalid_arg "Vdisk.create: non-positive size";
+  {
+    page_size;
+    stable = Array.init pages (fun _ -> Bytes.make page_size '\000');
+    cache = Hashtbl.create 64;
+    reads = 0;
+    writes = 0;
+    syncs = 0;
+  }
+
+let pages t = Array.length t.stable
+
+let page_size t = t.page_size
+
+let check_page t p =
+  if p < 0 || p >= Array.length t.stable then
+    invalid_arg (Printf.sprintf "Vdisk: page %d out of range [0,%d)" p (Array.length t.stable))
+
+let read t p =
+  check_page t p;
+  t.reads <- t.reads + 1;
+  match Hashtbl.find_opt t.cache p with
+  | Some b -> Bytes.copy b
+  | None -> Bytes.copy t.stable.(p)
+
+let write t p b =
+  check_page t p;
+  if Bytes.length b <> t.page_size then
+    invalid_arg
+      (Printf.sprintf "Vdisk.write: buffer is %d bytes, page size is %d" (Bytes.length b)
+         t.page_size);
+  t.writes <- t.writes + 1;
+  Hashtbl.replace t.cache p (Bytes.copy b)
+
+let sync t =
+  t.syncs <- t.syncs + 1;
+  Hashtbl.iter (fun p b -> Bytes.blit b 0 t.stable.(p) 0 t.page_size) t.cache;
+  Hashtbl.reset t.cache
+
+let write_sync t p b =
+  write t p b;
+  sync t
+
+let crash t = Hashtbl.reset t.cache
+
+let unsynced_pages t = Hashtbl.length t.cache
+
+let reads t = t.reads
+let writes t = t.writes
+let syncs t = t.syncs

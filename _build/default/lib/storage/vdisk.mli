@@ -1,0 +1,47 @@
+(** Virtual stable storage with crash injection.
+
+    A [Vdisk.t] is an array of fixed-size pages with the semantics of a
+    disk behind a volatile write cache: {!write} lands in the cache,
+    {!sync} makes every cached write durable, and {!crash} throws away
+    whatever was not yet synced.  Page writes are atomic (no torn
+    pages), the standard assumption of the recovery literature the
+    paper builds on.
+
+    Every storage engine in this library sits on one or more vdisks;
+    the crash-recovery property tests drive {!crash} at arbitrary
+    points and then check atomicity and durability. *)
+
+type t
+
+val create : pages:int -> page_size:int -> unit -> t
+(** A fresh disk of zeroed pages.  @raise Invalid_argument on
+    non-positive sizes. *)
+
+val pages : t -> int
+
+val page_size : t -> int
+
+val read : t -> int -> bytes
+(** [read t p] returns a copy of page [p]'s current contents (cached
+    write if any, else the durable image).
+    @raise Invalid_argument on an out-of-range page. *)
+
+val write : t -> int -> bytes -> unit
+(** Volatile until the next {!sync}.  The buffer must be exactly
+    [page_size] long.  @raise Invalid_argument otherwise. *)
+
+val sync : t -> unit
+(** Make all cached writes durable. *)
+
+val write_sync : t -> int -> bytes -> unit
+(** [write t p b] followed by {!sync}. *)
+
+val crash : t -> unit
+(** Drop every write since the last {!sync}. *)
+
+val unsynced_pages : t -> int
+(** Number of pages with cached (not yet durable) writes. *)
+
+val reads : t -> int
+val writes : t -> int
+val syncs : t -> int

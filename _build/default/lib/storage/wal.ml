@@ -1,0 +1,111 @@
+exception Corrupt of string
+
+type record =
+  | Update of { lsn : int; txn : int; page : int; before : bytes; after : bytes }
+  | Commit of { lsn : int; txn : int }
+  | Abort of { lsn : int; txn : int }
+  | Checkpoint of { lsn : int; active : int list }
+
+let lsn = function
+  | Update { lsn; _ } | Commit { lsn; _ } | Abort { lsn; _ } | Checkpoint { lsn; _ } -> lsn
+
+let txn_of = function
+  | Update { txn; _ } | Commit { txn; _ } | Abort { txn; _ } -> Some txn
+  | Checkpoint _ -> None
+
+(* --- binary encoding ---------------------------------------------- *)
+
+let add_int buf v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int v);
+  Buffer.add_bytes buf b
+
+let add_bytes buf s =
+  add_int buf (Bytes.length s);
+  Buffer.add_bytes buf s
+
+let checksum s =
+  let h = ref 0 in
+  String.iter (fun c -> h := ((!h * 31) + Char.code c) land 0x3FFFFFFF) s;
+  !h
+
+let encode r =
+  let buf = Buffer.create 64 in
+  (match r with
+  | Update { lsn; txn; page; before; after } ->
+    Buffer.add_char buf 'U';
+    add_int buf lsn;
+    add_int buf txn;
+    add_int buf page;
+    add_bytes buf before;
+    add_bytes buf after
+  | Commit { lsn; txn } ->
+    Buffer.add_char buf 'C';
+    add_int buf lsn;
+    add_int buf txn
+  | Abort { lsn; txn } ->
+    Buffer.add_char buf 'A';
+    add_int buf lsn;
+    add_int buf txn
+  | Checkpoint { lsn; active } ->
+    Buffer.add_char buf 'K';
+    add_int buf lsn;
+    add_int buf (List.length active);
+    List.iter (add_int buf) active);
+  let body = Buffer.contents buf in
+  let tail = Bytes.create 8 in
+  Bytes.set_int64_le tail 0 (Int64.of_int (checksum body));
+  body ^ Bytes.to_string tail
+
+type cursor = { s : string; mutable pos : int }
+
+let take_int c =
+  if c.pos + 8 > String.length c.s then raise (Corrupt "truncated integer");
+  let v = Int64.to_int (String.get_int64_le c.s c.pos) in
+  c.pos <- c.pos + 8;
+  v
+
+let take_bytes c =
+  let len = take_int c in
+  if len < 0 || c.pos + len > String.length c.s then raise (Corrupt "truncated payload");
+  let b = Bytes.of_string (String.sub c.s c.pos len) in
+  c.pos <- c.pos + len;
+  b
+
+let decode s =
+  if String.length s < 9 then raise (Corrupt "record too short");
+  let body = String.sub s 0 (String.length s - 8) in
+  let stored = Int64.to_int (String.get_int64_le s (String.length s - 8)) in
+  if checksum body <> stored then raise (Corrupt "checksum mismatch");
+  let c = { s = body; pos = 1 } in
+  match body.[0] with
+  | 'U' ->
+    let lsn = take_int c in
+    let txn = take_int c in
+    let page = take_int c in
+    let before = take_bytes c in
+    let after = take_bytes c in
+    Update { lsn; txn; page; before; after }
+  | 'C' ->
+    let lsn = take_int c in
+    let txn = take_int c in
+    Commit { lsn; txn }
+  | 'A' ->
+    let lsn = take_int c in
+    let txn = take_int c in
+    Abort { lsn; txn }
+  | 'K' ->
+    let lsn = take_int c in
+    let n = take_int c in
+    if n < 0 then raise (Corrupt "negative active count");
+    let active = List.init n (fun _ -> take_int c) in
+    Checkpoint { lsn; active }
+  | tag -> raise (Corrupt (Printf.sprintf "unknown tag %C" tag))
+
+let pp ppf = function
+  | Update { lsn; txn; page; _ } -> Format.fprintf ppf "Update(lsn=%d txn=%d page=%d)" lsn txn page
+  | Commit { lsn; txn } -> Format.fprintf ppf "Commit(lsn=%d txn=%d)" lsn txn
+  | Abort { lsn; txn } -> Format.fprintf ppf "Abort(lsn=%d txn=%d)" lsn txn
+  | Checkpoint { lsn; active } ->
+    Format.fprintf ppf "Checkpoint(lsn=%d active=[%s])" lsn
+      (String.concat ";" (List.map string_of_int active))

@@ -1,0 +1,28 @@
+(** Write-ahead log records and their binary encoding.
+
+    Update records carry full before and after images of the page, as
+    in the paper's physical logging; LSNs are globally ordered across
+    all log disks, which is what lets recovery proceed without merging
+    the distributed logs into one physical log (Section 3.1, [13]). *)
+
+exception Corrupt of string
+
+type record =
+  | Update of { lsn : int; txn : int; page : int; before : bytes; after : bytes }
+  | Commit of { lsn : int; txn : int }
+  | Abort of { lsn : int; txn : int }
+  | Checkpoint of { lsn : int; active : int list }
+
+val lsn : record -> int
+
+val txn_of : record -> int option
+(** [None] for checkpoints. *)
+
+val encode : record -> string
+(** Binary encoding with a trailing checksum. *)
+
+val decode : string -> record
+(** @raise Corrupt on a damaged or truncated encoding (checksum
+    mismatch, bad tag, short buffer). *)
+
+val pp : Format.formatter -> record -> unit

@@ -1,0 +1,27 @@
+(** Imperative binary min-heap.
+
+    The comparison function is fixed at creation time.  Used as the agenda
+    of the discrete-event engine, where keys are [(time, sequence)] pairs
+    so that simultaneous events fire in scheduling order. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> unit -> 'a t
+(** Fresh empty heap ordered by [cmp] (smallest element on top). *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val clear : 'a t -> unit
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. *)
+
+val to_sorted_list : 'a t -> 'a list
+(** Non-destructive: the heap's contents in ascending order. *)

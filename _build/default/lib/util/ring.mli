@@ -1,0 +1,35 @@
+(** Fixed-capacity FIFO ring buffer.
+
+    Models the scratch space of the overwriting shadow architectures
+    (Section 3.2.2.2), which the paper manages "as a ring buffer", and is
+    reused by the storage engines for their scratch areas. *)
+
+type 'a t
+
+val create : capacity:int -> unit -> 'a t
+(** @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val is_full : 'a t -> bool
+
+val push : 'a t -> 'a -> bool
+(** [push t x] appends [x]; returns [false] (and drops [x]) when full. *)
+
+val push_exn : 'a t -> 'a -> unit
+(** @raise Failure when the buffer is full (the paper's "overflow"
+    condition that overwriting architectures must special-case). *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the oldest element. *)
+
+val peek : 'a t -> 'a option
+
+val to_list : 'a t -> 'a list
+(** Oldest first.  Non-destructive. *)
+
+val clear : 'a t -> unit

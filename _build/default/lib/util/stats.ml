@@ -1,0 +1,107 @@
+module Acc = struct
+  type t = {
+    mutable count : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable total : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () = { count = 0; mean = 0.0; m2 = 0.0; total = 0.0; min = infinity; max = neg_infinity }
+
+  let add t x =
+    t.count <- t.count + 1;
+    t.total <- t.total +. x;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.count
+  let total t = t.total
+  let mean t = if t.count = 0 then 0.0 else t.mean
+  let variance t = if t.count < 2 then 0.0 else t.m2 /. float_of_int t.count
+  let stddev t = sqrt (variance t)
+
+  let min t =
+    if t.count = 0 then invalid_arg "Stats.Acc.min: empty accumulator";
+    t.min
+
+  let max t =
+    if t.count = 0 then invalid_arg "Stats.Acc.max: empty accumulator";
+    t.max
+
+  let merge a b =
+    if a.count = 0 then { b with count = b.count }
+    else if b.count = 0 then { a with count = a.count }
+    else begin
+      let n = a.count + b.count in
+      let delta = b.mean -. a.mean in
+      let mean = a.mean +. (delta *. float_of_int b.count /. float_of_int n) in
+      let m2 =
+        a.m2 +. b.m2
+        +. (delta *. delta *. float_of_int a.count *. float_of_int b.count /. float_of_int n)
+      in
+      {
+        count = n;
+        mean;
+        m2;
+        total = a.total +. b.total;
+        min = Float.min a.min b.min;
+        max = Float.max a.max b.max;
+      }
+    end
+end
+
+module Timeweighted = struct
+  type t = {
+    t0 : float;
+    mutable last_time : float;
+    mutable level : float;
+    mutable area : float;
+  }
+
+  let create ?(t0 = 0.0) () = { t0; last_time = t0; level = 0.0; area = 0.0 }
+
+  let update t ~now ~level =
+    assert (now >= t.last_time);
+    t.area <- t.area +. (t.level *. (now -. t.last_time));
+    t.last_time <- now;
+    t.level <- level
+
+  let level t = t.level
+
+  let mean t ~now =
+    let span = now -. t.t0 in
+    if span <= 0.0 then 0.0
+    else (t.area +. (t.level *. (now -. t.last_time))) /. span
+end
+
+let percentile xs ~p =
+  if xs = [] then invalid_arg "Stats.percentile: empty sample";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of [0,100]";
+  let a = Array.of_list xs in
+  Array.sort Float.compare a;
+  let n = Array.length a in
+  if n = 1 then a.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+  end
+
+module Busy = struct
+  type t = { mutable busy : float }
+
+  let create () = { busy = 0.0 }
+  let add_busy t d = t.busy <- t.busy +. d
+  let busy_time t = t.busy
+
+  let utilization t ~elapsed ~servers =
+    if elapsed <= 0.0 || servers <= 0 then 0.0
+    else Float.min 1.0 (Float.max 0.0 (t.busy /. (elapsed *. float_of_int servers)))
+end

@@ -1,0 +1,67 @@
+(** Online statistics used by the simulator's metric collection.
+
+    {!Acc} is a Welford accumulator for sample statistics (transaction
+    completion times, access times).  {!Timeweighted} tracks the
+    time-weighted average of a step function (queue lengths, number of
+    cache frames blocked on the log).  {!Busy} accumulates server busy
+    time for utilization reports. *)
+
+module Acc : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val total : t -> float
+  val mean : t -> float
+  (** 0 when empty. *)
+
+  val variance : t -> float
+  (** Population variance; 0 when fewer than two samples. *)
+
+  val stddev : t -> float
+  val min : t -> float
+  (** @raise Invalid_argument when empty. *)
+
+  val max : t -> float
+  (** @raise Invalid_argument when empty. *)
+
+  val merge : t -> t -> t
+  (** Combine two accumulators as if all samples were added to one. *)
+end
+
+module Timeweighted : sig
+  type t
+
+  val create : ?t0:float -> unit -> t
+
+  val update : t -> now:float -> level:float -> unit
+  (** Record that the tracked quantity has value [level] from [now]
+      onwards.  [now] must be monotonically non-decreasing. *)
+
+  val level : t -> float
+  (** Current level. *)
+
+  val mean : t -> now:float -> float
+  (** Time-weighted mean over [\[t0, now\]]; 0 over an empty interval. *)
+end
+
+val percentile : float list -> p:float -> float
+(** [percentile xs ~p] is the [p]-th percentile (0-100) of the samples,
+    by linear interpolation between order statistics.
+    @raise Invalid_argument on an empty list or p outside [0,100]. *)
+
+module Busy : sig
+  type t
+
+  val create : unit -> t
+
+  val add_busy : t -> float -> unit
+  (** Accumulate a busy interval of the given duration. *)
+
+  val busy_time : t -> float
+
+  val utilization : t -> elapsed:float -> servers:int -> float
+  (** [busy_time / (elapsed * servers)], clamped to [\[0, 1\]]; 0 over an
+      empty interval. *)
+end

@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Array Buffer Dbm_util Float Hashtbl List Printf String

@@ -1,0 +1,150 @@
+type pattern =
+  | Random_access
+  | Sequential
+  | Hotspot of { hot_fraction : float; hot_access_prob : float }
+
+type txn = { id : int; pages : int array; writes : bool array }
+
+type config = {
+  n_transactions : int;
+  min_pages : int;
+  max_pages : int;
+  write_fraction : float;
+  pattern : pattern;
+  db_pages : int;
+  seed : int;
+}
+
+let default =
+  {
+    n_transactions = 50;
+    min_pages = 1;
+    max_pages = 250;
+    write_fraction = 0.20;
+    pattern = Random_access;
+    db_pages = 16384;
+    seed = 42;
+  }
+
+let validate c =
+  if c.n_transactions < 0 then invalid_arg "Workload: negative transaction count";
+  if c.min_pages < 1 || c.max_pages < c.min_pages then
+    invalid_arg "Workload: bad page-count range";
+  if c.db_pages < c.max_pages then invalid_arg "Workload: database smaller than max_pages";
+  if c.write_fraction < 0.0 || c.write_fraction > 1.0 then
+    invalid_arg "Workload: write_fraction out of [0,1]";
+  match c.pattern with
+  | Hotspot { hot_fraction; hot_access_prob } ->
+    if hot_fraction <= 0.0 || hot_fraction >= 1.0 then
+      invalid_arg "Workload: hot_fraction out of (0,1)";
+    if hot_access_prob < 0.0 || hot_access_prob > 1.0 then
+      invalid_arg "Workload: hot_access_prob out of [0,1]";
+    if int_of_float (hot_fraction *. float_of_int c.db_pages) < c.max_pages then
+      invalid_arg "Workload: hot region smaller than max_pages"
+  | Random_access | Sequential -> ()
+
+let gen_txn rng c id =
+  let n = Dbm_util.Prng.int_in rng ~lo:c.min_pages ~hi:c.max_pages in
+  let pages =
+    match c.pattern with
+    | Random_access -> Dbm_util.Prng.sample_distinct rng ~n ~lo:0 ~hi:(c.db_pages - 1)
+    | Sequential ->
+      let start = Dbm_util.Prng.int rng (c.db_pages - n + 1) in
+      Array.init n (fun i -> start + i)
+    | Hotspot { hot_fraction; hot_access_prob } ->
+      (* Hot pages live in a prefix of the database.  Draw each page
+         from the hot or cold region and reject duplicates so the
+         reference string stays a set, as with Random_access. *)
+      let hot_pages = int_of_float (hot_fraction *. float_of_int c.db_pages) in
+      let seen = Hashtbl.create (2 * n) in
+      let out = Array.make n 0 in
+      let filled = ref 0 in
+      while !filled < n do
+        let p =
+          if Dbm_util.Prng.bool rng ~p:hot_access_prob then Dbm_util.Prng.int rng hot_pages
+          else hot_pages + Dbm_util.Prng.int rng (c.db_pages - hot_pages)
+        in
+        if not (Hashtbl.mem seen p) then begin
+          Hashtbl.add seen p ();
+          out.(!filled) <- p;
+          incr filled
+        end
+      done;
+      out
+  in
+  (* The write set is a random subset of the read set: mark
+     [round (write_fraction * n)] distinct positions. *)
+  let n_writes =
+    let w = int_of_float (Float.round (c.write_fraction *. float_of_int n)) in
+    min n (max 0 w)
+  in
+  let writes = Array.make n false in
+  let positions = Dbm_util.Prng.sample_distinct rng ~n:n_writes ~lo:0 ~hi:(n - 1) in
+  Array.iter (fun i -> writes.(i) <- true) positions;
+  { id; pages; writes }
+
+let generate c =
+  validate c;
+  let rng = Dbm_util.Prng.create c.seed in
+  Array.init c.n_transactions (fun id -> gen_txn rng c id)
+
+let read_set_size t = Array.length t.pages
+
+let write_set_size t = Array.fold_left (fun acc w -> if w then acc + 1 else acc) 0 t.writes
+
+let write_pages t =
+  let out = ref [] in
+  for i = Array.length t.pages - 1 downto 0 do
+    if t.writes.(i) then out := t.pages.(i) :: !out
+  done;
+  !out
+
+let total_pages txns = Array.fold_left (fun acc t -> acc + read_set_size t) 0 txns
+
+let total_writes txns = Array.fold_left (fun acc t -> acc + write_set_size t) 0 txns
+
+let to_string txns =
+  let buf = Buffer.create 4096 in
+  Array.iter
+    (fun t ->
+      Buffer.add_string buf (string_of_int t.id);
+      Array.iteri
+        (fun i page ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf (string_of_int page);
+          if t.writes.(i) then Buffer.add_char buf '!')
+        t.pages;
+      Buffer.add_char buf '\n')
+    txns;
+  Buffer.contents buf
+
+let of_string s =
+  let parse_line line =
+    match String.split_on_char ' ' (String.trim line) with
+    | [] | [ "" ] -> None
+    | id :: tokens ->
+      let id =
+        try int_of_string id
+        with _ -> invalid_arg (Printf.sprintf "Workload.of_string: bad id %S" id)
+      in
+      let parse_token tok =
+        let n = String.length tok in
+        if n = 0 then invalid_arg "Workload.of_string: empty page token"
+        else if tok.[n - 1] = '!' then
+          ( (try int_of_string (String.sub tok 0 (n - 1))
+             with _ -> invalid_arg (Printf.sprintf "Workload.of_string: bad page %S" tok)),
+            true )
+        else
+          ( (try int_of_string tok
+             with _ -> invalid_arg (Printf.sprintf "Workload.of_string: bad page %S" tok)),
+            false )
+      in
+      let parsed = List.map parse_token tokens in
+      Some
+        {
+          id;
+          pages = Array.of_list (List.map fst parsed);
+          writes = Array.of_list (List.map snd parsed);
+        }
+  in
+  s |> String.split_on_char '\n' |> List.filter_map parse_line |> Array.of_list

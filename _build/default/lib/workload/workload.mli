@@ -1,0 +1,66 @@
+(** Transaction workload generator.
+
+    Follows Section 4 of the paper: a transaction is modelled by the
+    pages it accesses; the number of pages is uniform on
+    [\[min_pages, max_pages\]] (1 to 250 in the paper); the reference
+    string is either random (distinct pages drawn uniformly from the
+    database) or sequential (a run of consecutive pages from a random
+    starting point); and the write set is a random subset of the read
+    set, [write_fraction] (20 %) of the pages read. *)
+
+type pattern =
+  | Random_access
+  | Sequential
+  | Hotspot of { hot_fraction : float; hot_access_prob : float }
+      (** extension beyond the paper: a [hot_fraction] of the database
+          receives [hot_access_prob] of the accesses (e.g. 0.05/0.8 for
+          a 5%% region drawing 80%% of references), producing the page
+          lock contention a uniform reference string never shows *)
+
+type txn = {
+  id : int;
+  pages : int array;  (** logical page numbers, in reference order *)
+  writes : bool array;  (** [writes.(i)] - [pages.(i)] is updated *)
+}
+
+type config = {
+  n_transactions : int;
+  min_pages : int;
+  max_pages : int;
+  write_fraction : float;
+  pattern : pattern;
+  db_pages : int;  (** database size in pages *)
+  seed : int;
+}
+
+val default : config
+(** The paper's workload: 1-250 pages uniform, 20 % writes, random
+    pattern, 50 transactions over a 16,384-page database, seed 42. *)
+
+val generate : config -> txn array
+(** Deterministic in [config.seed].
+    @raise Invalid_argument on nonsensical configurations (empty
+    database, [max_pages > db_pages], bad hotspot parameters,
+    negative sizes, ...). *)
+
+val read_set_size : txn -> int
+
+val write_set_size : txn -> int
+
+val write_pages : txn -> int list
+(** Pages updated by the transaction, in reference order. *)
+
+val total_pages : txn array -> int
+(** Sum of read-set sizes: the "total number of pages processed by the
+    machine" used as the denominator of execution time per page. *)
+
+val total_writes : txn array -> int
+
+val to_string : txn array -> string
+(** Text serialization (one transaction per line: id, then
+    [page] / [page!] tokens, [!] marking the write set).  Lets a
+    workload be saved, inspected, diffed, and replayed exactly. *)
+
+val of_string : string -> txn array
+(** Inverse of {!to_string}.  @raise Invalid_argument on malformed
+    input. *)

@@ -1,0 +1,1 @@
+test/test_disk.ml: Alcotest Array Dbm_disk Dbm_sim Hashtbl List

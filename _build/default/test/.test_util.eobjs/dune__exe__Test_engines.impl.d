@@ -1,0 +1,1 @@
+test/test_engines.ml: Alcotest Dbm_storage Int List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Dbm_disk Dbm_machine Dbm_workload Hashtbl Int List Option QCheck QCheck_alcotest

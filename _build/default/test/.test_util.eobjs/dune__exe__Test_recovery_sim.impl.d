@@ -1,0 +1,1 @@
+test/test_recovery_sim.ml: Alcotest Dbm_disk Dbm_machine Dbm_recovery Dbm_workload Float List Option Printf String

@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Dbm_relation Format Hashtbl Int List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_scheduler.ml: Alcotest Dbm_storage List Printf QCheck QCheck_alcotest String

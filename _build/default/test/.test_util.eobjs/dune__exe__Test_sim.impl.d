@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Dbm_machine Dbm_sim Dbm_workload List

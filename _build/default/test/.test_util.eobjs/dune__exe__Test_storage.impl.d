@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Bytes Char Dbm_storage Format Gen Hashtbl List QCheck QCheck_alcotest String

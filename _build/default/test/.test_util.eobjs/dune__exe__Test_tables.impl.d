@@ -1,0 +1,1 @@
+test/test_tables.ml: Alcotest Dbm_core Dbm_machine Dbm_recovery Dbm_workload Float List Printf String

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Dbm_util Float Gen Int List Printf QCheck QCheck_alcotest

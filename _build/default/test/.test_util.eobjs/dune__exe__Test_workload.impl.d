@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Dbm_workload Float Int List

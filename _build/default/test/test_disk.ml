@@ -1,0 +1,268 @@
+(* Tests for the disk models: parameters, layouts, drives. *)
+
+module Engine = Dbm_sim.Engine
+module Params = Dbm_disk.Params
+module Layout = Dbm_disk.Layout
+module Drive = Dbm_disk.Drive
+
+let check = Alcotest.check
+
+let p3350 = Params.ibm_3350
+
+(* --- Params ----------------------------------------------------------- *)
+
+let test_geometry () =
+  check Alcotest.int "pages per cylinder" 120 (Params.pages_per_cylinder p3350);
+  check Alcotest.int "total pages" (555 * 120) (Params.total_pages p3350)
+
+let test_seek_time () =
+  check (Alcotest.float 1e-9) "same cylinder" 0.0 (Params.seek_time p3350 ~from_cyl:7 ~to_cyl:7);
+  check (Alcotest.float 1e-9) "adjacent" 10.0 (Params.seek_time p3350 ~from_cyl:7 ~to_cyl:8);
+  let far = Params.seek_time p3350 ~from_cyl:0 ~to_cyl:554 in
+  check Alcotest.bool "max seek near 55ms" true (far > 45.0 && far < 60.0);
+  check (Alcotest.float 1e-9) "symmetric" far (Params.seek_time p3350 ~from_cyl:554 ~to_cyl:0)
+
+let test_avg_seek_calibration () =
+  let avg = Params.avg_seek p3350 in
+  check Alcotest.bool "average seek ~25ms (IBM 3350)" true (avg > 22.0 && avg < 28.0)
+
+let test_rotational_latency () =
+  check (Alcotest.float 1e-9) "half revolution" 8.35 (Params.avg_rotational_latency p3350)
+
+(* --- Layout ----------------------------------------------------------- *)
+
+let test_sequential_locate () =
+  let loc = Layout.locate p3350 Layout.Sequential ~page:0 in
+  check Alcotest.int "cyl 0" 0 loc.Layout.cylinder;
+  check Alcotest.int "track 0" 0 loc.Layout.track;
+  check Alcotest.int "slot 0" 0 loc.Layout.slot;
+  let loc = Layout.locate p3350 Layout.Sequential ~page:5 in
+  (* slot-major: page 5 = track 1, slot 1 *)
+  check Alcotest.int "track" 1 loc.Layout.track;
+  check Alcotest.int "slot" 1 loc.Layout.slot;
+  let loc = Layout.locate p3350 Layout.Sequential ~page:120 in
+  check Alcotest.int "next cylinder" 1 loc.Layout.cylinder
+
+let test_sequential_adjacency () =
+  (* consecutive pages stay in the same cylinder 119 times out of 120 *)
+  let same = ref 0 in
+  for p = 0 to 118 do
+    if Layout.same_cylinder p3350 Layout.Sequential p (p + 1) then incr same
+  done;
+  check Alcotest.int "clustered" 119 !same
+
+let test_scrambled_bijective () =
+  let seen = Hashtbl.create 1024 in
+  let layout = Layout.Scrambled 99 in
+  for p = 0 to 999 do
+    let loc = Layout.locate p3350 layout ~page:p in
+    let phys = (loc.Layout.cylinder * 120) + (loc.Layout.track * 4) + loc.Layout.slot in
+    if Hashtbl.mem seen phys then Alcotest.failf "collision at page %d" p;
+    Hashtbl.replace seen phys ()
+  done
+
+let test_scrambled_scatters () =
+  let layout = Layout.Scrambled 99 in
+  let same = ref 0 in
+  for p = 0 to 199 do
+    if Layout.same_cylinder p3350 layout p (p + 1) then incr same
+  done;
+  check Alcotest.bool "adjacent pages land on different cylinders" true (!same < 20)
+
+let test_scrambled_deterministic () =
+  let a = Layout.locate p3350 (Layout.Scrambled 7) ~page:42 in
+  let b = Layout.locate p3350 (Layout.Scrambled 7) ~page:42 in
+  let c = Layout.locate p3350 (Layout.Scrambled 8) ~page:42 in
+  check Alcotest.bool "same seed same place" true (a = b);
+  check Alcotest.bool "different seed different place" true (a <> c)
+
+let test_slot_positions () =
+  (* pages 0..3 on track 0 occupy slots 0..3; pages 4..7 the same slots
+     on track 1 -> 8 consecutive pages still span only 4 slots *)
+  check Alcotest.int "4 slots" 4
+    (Layout.slot_positions p3350 Layout.Sequential [ 0; 1; 2; 3; 4; 5; 6; 7 ]);
+  check Alcotest.int "1 slot" 1 (Layout.slot_positions p3350 Layout.Sequential [ 0; 4; 8 ])
+
+let test_permutation_bijective () =
+  let n = 1000 in
+  let seen = Array.make n false in
+  for x = 0 to n - 1 do
+    let y = Layout.permutation ~seed:5 ~n x in
+    if seen.(y) then Alcotest.failf "permutation collision at %d" x;
+    seen.(y) <- true
+  done
+
+let test_permutation_out_of_range () =
+  Alcotest.check_raises "negative" (Invalid_argument "Layout.permutation: input out of range")
+    (fun () -> ignore (Layout.permutation ~seed:1 ~n:10 (-1)))
+
+(* --- Drive ------------------------------------------------------------ *)
+
+let run_read engine drive pages =
+  let t0 = Engine.now engine in
+  let finished = ref nan in
+  Drive.submit drive Drive.Read ~pages (fun () -> finished := Engine.now engine);
+  Engine.run engine;
+  !finished -. t0
+
+let test_conventional_one_page_per_access () =
+  let e = Engine.create () in
+  let d = Drive.create e ~params:p3350 ~layout:Layout.Sequential ~name:"d" () in
+  let t = run_read e d [ 0 ] in
+  (* latency + transfer, no seek from cylinder 0 *)
+  check (Alcotest.float 1e-6) "single page" (8.35 +. 3.4) t;
+  check Alcotest.int "one access" 1 (Drive.access_count d)
+
+let test_conventional_train () =
+  let e = Engine.create () in
+  let d = Drive.create e ~params:p3350 ~layout:Layout.Sequential ~name:"d" () in
+  let t = run_read e d [ 0; 1; 2; 3 ] in
+  (* four accesses, all same cylinder: 4 * (latency + transfer) *)
+  check (Alcotest.float 1e-6) "4-page train" (4.0 *. (8.35 +. 3.4)) t;
+  check Alcotest.int "4 accesses" 4 (Drive.access_count d);
+  check Alcotest.int "4 pages" 4 (Drive.pages_transferred d)
+
+let test_conventional_seek_charged () =
+  let e = Engine.create () in
+  let d = Drive.create e ~params:p3350 ~layout:Layout.Sequential ~name:"d" () in
+  let near = run_read e d [ 0 ] in
+  let far = run_read e d [ 120 * 300 ] in
+  check Alcotest.bool "far page pays seek" true (far > near +. 20.0)
+
+let test_parallel_batches_cylinder () =
+  let e = Engine.create () in
+  let d =
+    Drive.create e ~params:Params.parallel_access ~layout:Layout.Sequential ~name:"d" ()
+  in
+  (* 12 consecutive pages: 3 tracks x 4 slots -> one access, 4 transfers *)
+  let t = run_read e d (List.init 12 (fun i -> i)) in
+  check (Alcotest.float 1e-6) "one access" (8.35 +. (4.0 *. 3.4)) t;
+  check Alcotest.int "single access" 1 (Drive.access_count d);
+  check Alcotest.int "12 pages" 12 (Drive.pages_transferred d)
+
+let test_parallel_cheaper_than_conventional () =
+  let pages = List.init 24 (fun i -> i) in
+  let e1 = Engine.create () in
+  let conv = Drive.create e1 ~params:p3350 ~layout:Layout.Sequential ~name:"c" () in
+  let t_conv = run_read e1 conv pages in
+  let e2 = Engine.create () in
+  let par = Drive.create e2 ~params:Params.parallel_access ~layout:Layout.Sequential ~name:"p" () in
+  let t_par = run_read e2 par pages in
+  check Alcotest.bool "parallel-access much faster on a sequential batch" true
+    (t_par *. 5.0 < t_conv)
+
+let test_parallel_absorbs_queued_same_cylinder () =
+  let e = Engine.create () in
+  let d =
+    Drive.create e ~params:Params.parallel_access ~layout:Layout.Sequential ~name:"d" ()
+  in
+  let completions = ref 0 in
+  (* keep the drive busy on a far-away read so the two same-cylinder
+     writes are both queued when it becomes free: they merge into one
+     access *)
+  Drive.submit d Drive.Read ~pages:[ 120 * 400 ] (fun () -> ());
+  Drive.submit d Drive.Write ~pages:[ 0; 1 ] (fun () -> incr completions);
+  Drive.submit d Drive.Write ~pages:[ 2; 3 ] (fun () -> incr completions);
+  Engine.run e;
+  check Alcotest.int "both done" 2 !completions;
+  check Alcotest.int "merged into one access" 2 (Drive.access_count d)
+
+let test_parallel_no_merge_across_kinds () =
+  let e = Engine.create () in
+  let d =
+    Drive.create e ~params:Params.parallel_access ~layout:Layout.Sequential ~name:"d" ()
+  in
+  Drive.submit d Drive.Read ~pages:[ 0 ] (fun () -> ());
+  Drive.submit d Drive.Write ~pages:[ 1 ] (fun () -> ());
+  Engine.run e;
+  check Alcotest.int "read and write stay separate" 2 (Drive.access_count d)
+
+let test_empty_request_completes () =
+  let e = Engine.create () in
+  let d = Drive.create e ~params:p3350 ~layout:Layout.Sequential ~name:"d" () in
+  let fired = ref false in
+  Drive.submit d Drive.Read ~pages:[] (fun () -> fired := true);
+  Engine.run e;
+  check Alcotest.bool "empty request still completes" true !fired;
+  check Alcotest.int "no access" 0 (Drive.access_count d)
+
+let test_fcfs_completion_order () =
+  let e = Engine.create () in
+  let d = Drive.create e ~params:p3350 ~layout:Layout.Sequential ~name:"d" () in
+  let order = ref [] in
+  Drive.submit d Drive.Read ~pages:[ 100 ] (fun () -> order := 1 :: !order);
+  Drive.submit d Drive.Read ~pages:[ 200 ] (fun () -> order := 2 :: !order);
+  Engine.run e;
+  check (Alcotest.list Alcotest.int) "fcfs" [ 1; 2 ] (List.rev !order)
+
+let test_extra_transfers_conventional () =
+  let e = Engine.create () in
+  let d = Drive.create e ~params:p3350 ~layout:Layout.Sequential ~name:"d" () in
+  let base = run_read e d [ 0 ] in
+  let finished = ref nan in
+  let t0 = Engine.now e in
+  Drive.submit d ~extra_transfers:1 Drive.Read ~pages:[ 0 ] (fun () ->
+      finished := Engine.now e);
+  Engine.run e;
+  check (Alcotest.float 1e-6) "one extra block transfer" (base +. 3.4) (!finished -. t0)
+
+let test_extra_transfers_parallel () =
+  let e = Engine.create () in
+  let d =
+    Drive.create e ~params:Params.parallel_access ~layout:Layout.Sequential ~name:"d" ()
+  in
+  let finished = ref nan in
+  Drive.submit d ~extra_transfers:1 Drive.Read ~pages:[ 0; 1; 2; 3 ] (fun () ->
+      finished := Engine.now e);
+  Engine.run e;
+  (* 4 slots + 4 extra transfers *)
+  check (Alcotest.float 1e-6) "per-page extras" (8.35 +. (8.0 *. 3.4)) !finished
+
+let test_utilization_sane () =
+  let e = Engine.create () in
+  let d = Drive.create e ~params:p3350 ~layout:Layout.Sequential ~name:"d" () in
+  ignore (run_read e d [ 0; 1 ]);
+  (* drive was continuously busy from t=0 to completion *)
+  check Alcotest.bool "fully busy" true (Drive.utilization d > 0.99)
+
+let () =
+  Alcotest.run "dbm_disk"
+    [
+      ( "params",
+        [
+          Alcotest.test_case "geometry" `Quick test_geometry;
+          Alcotest.test_case "seek time" `Quick test_seek_time;
+          Alcotest.test_case "avg seek calibration" `Quick test_avg_seek_calibration;
+          Alcotest.test_case "rotational latency" `Quick test_rotational_latency;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "sequential locate" `Quick test_sequential_locate;
+          Alcotest.test_case "sequential adjacency" `Quick test_sequential_adjacency;
+          Alcotest.test_case "scrambled bijective" `Quick test_scrambled_bijective;
+          Alcotest.test_case "scrambled scatters" `Quick test_scrambled_scatters;
+          Alcotest.test_case "scrambled deterministic" `Quick test_scrambled_deterministic;
+          Alcotest.test_case "slot positions" `Quick test_slot_positions;
+          Alcotest.test_case "permutation bijective" `Quick test_permutation_bijective;
+          Alcotest.test_case "permutation range check" `Quick test_permutation_out_of_range;
+        ] );
+      ( "drive",
+        [
+          Alcotest.test_case "conventional: one page per access" `Quick
+            test_conventional_one_page_per_access;
+          Alcotest.test_case "conventional: train" `Quick test_conventional_train;
+          Alcotest.test_case "conventional: seek charged" `Quick test_conventional_seek_charged;
+          Alcotest.test_case "parallel: cylinder batch" `Quick test_parallel_batches_cylinder;
+          Alcotest.test_case "parallel beats conventional" `Quick
+            test_parallel_cheaper_than_conventional;
+          Alcotest.test_case "parallel absorbs queue" `Quick
+            test_parallel_absorbs_queued_same_cylinder;
+          Alcotest.test_case "no merge across kinds" `Quick test_parallel_no_merge_across_kinds;
+          Alcotest.test_case "empty request" `Quick test_empty_request_completes;
+          Alcotest.test_case "fcfs order" `Quick test_fcfs_completion_order;
+          Alcotest.test_case "extra transfers (conventional)" `Quick
+            test_extra_transfers_conventional;
+          Alcotest.test_case "extra transfers (parallel)" `Quick test_extra_transfers_parallel;
+          Alcotest.test_case "utilization" `Quick test_utilization_sane;
+        ] );
+    ]

@@ -1,0 +1,698 @@
+(* Crash-recovery tests for every storage engine.
+
+   The generic part runs random operation sequences (puts, deletes,
+   commits, aborts, crashes, checkpoints) simultaneously against an
+   engine and against the executable specification (Kv.Model), checking
+   full-state equality after every crash and at the end: committed data
+   is durable, uncommitted data is invisible — atomicity + durability
+   for each of the paper's recovery mechanisms. *)
+
+module Kv = Dbm_storage.Kv
+module Engine_log = Dbm_storage.Engine_log
+module Engine_shadow = Dbm_storage.Engine_shadow
+module Engine_versel = Dbm_storage.Engine_versel
+module Engine_overwrite = Dbm_storage.Engine_overwrite
+module Engine_diff = Dbm_storage.Engine_diff
+
+let check = Alcotest.check
+
+let n_keys = 64
+
+type op =
+  | Put of int * string
+  | Delete of int
+  | Commit
+  | Abort
+  | Crash
+  | Checkpoint
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (6, map2 (fun k v -> Put (k, v)) (int_range 0 (n_keys - 1)) (string_size (int_range 0 12)));
+        (2, map (fun k -> Delete k) (int_range 0 (n_keys - 1)));
+        (3, return Commit);
+        (1, return Abort);
+        (2, return Crash);
+        (1, return Checkpoint);
+      ])
+
+let ops_arbitrary =
+  let print ops =
+    String.concat ";"
+      (List.map
+         (function
+           | Put (k, v) -> Printf.sprintf "Put(%d,%S)" k v
+           | Delete k -> Printf.sprintf "Del(%d)" k
+           | Commit -> "Commit"
+           | Abort -> "Abort"
+           | Crash -> "Crash"
+           | Checkpoint -> "Ckpt")
+         ops)
+  in
+  QCheck.make ~print (QCheck.Gen.list_size (QCheck.Gen.int_range 0 60) op_gen)
+
+module Crash_harness (E : Kv.S) = struct
+  (* Compare the full committed state of engine and model. *)
+  let states_equal e m =
+    let te = E.begin_txn e and tm = Kv.Model.begin_txn m in
+    let ok = ref true in
+    for k = 0 to n_keys - 1 do
+      if E.get te k <> Kv.Model.get tm k then ok := false
+    done;
+    E.abort te;
+    Kv.Model.abort tm;
+    !ok
+
+  let run_ops ops =
+    let e = E.create ~n_keys () and m = Kv.Model.create ~n_keys () in
+    let live = ref None in
+    let ensure_live () =
+      match !live with
+      | Some pair -> pair
+      | None ->
+        let pair = (E.begin_txn e, Kv.Model.begin_txn m) in
+        live := Some pair;
+        pair
+    in
+    let ok = ref true in
+    List.iter
+      (fun op ->
+        match op with
+        | Put (k, v) ->
+          let te, tm = ensure_live () in
+          E.put te k v;
+          Kv.Model.put tm k v
+        | Delete k ->
+          let te, tm = ensure_live () in
+          E.delete te k;
+          Kv.Model.delete tm k
+        | Commit ->
+          (match !live with
+          | Some (te, tm) ->
+            E.commit te;
+            Kv.Model.commit tm;
+            live := None
+          | None -> ())
+        | Abort ->
+          (match !live with
+          | Some (te, tm) ->
+            E.abort te;
+            Kv.Model.abort tm;
+            live := None
+          | None -> ())
+        | Crash ->
+          E.crash_and_recover e;
+          Kv.Model.crash_and_recover m;
+          live := None;
+          if not (states_equal e m) then ok := false
+        | Checkpoint ->
+          (* Checkpoints/merges require quiescence in some engines;
+             exercise them only between transactions. *)
+          if !live = None then begin
+            E.checkpoint e;
+            Kv.Model.checkpoint m
+          end)
+      ops;
+    (match !live with
+    | Some (te, tm) ->
+      E.commit te;
+      Kv.Model.commit tm
+    | None -> ());
+    !ok && states_equal e m
+
+  let property =
+    QCheck.Test.make
+      ~name:(E.engine_name ^ " matches the model under crashes")
+      ~count:150 ops_arbitrary run_ops
+
+  (* --- deterministic scenarios, one per core guarantee -------------- *)
+
+  let test_committed_survives_crash () =
+    let e = E.create ~n_keys () in
+    let t = E.begin_txn e in
+    E.put t 1 "alpha";
+    E.put t 2 "beta";
+    E.commit t;
+    E.crash_and_recover e;
+    let t = E.begin_txn e in
+    check (Alcotest.option Alcotest.string) "key 1 durable" (Some "alpha") (E.get t 1);
+    check (Alcotest.option Alcotest.string) "key 2 durable" (Some "beta") (E.get t 2);
+    E.abort t
+
+  let test_uncommitted_invisible_after_crash () =
+    let e = E.create ~n_keys () in
+    let t = E.begin_txn e in
+    E.put t 1 "committed";
+    E.commit t;
+    let t = E.begin_txn e in
+    E.put t 1 "torn";
+    E.put t 5 "torn";
+    E.crash_and_recover e;
+    let t2 = E.begin_txn e in
+    check (Alcotest.option Alcotest.string) "old value back" (Some "committed") (E.get t2 1);
+    check (Alcotest.option Alcotest.string) "never-committed key empty" None (E.get t2 5);
+    E.abort t2;
+    (* the dead handle is unusable *)
+    match E.get t 1 with
+    | exception Kv.Txn_finished -> ()
+    | _ -> Alcotest.fail "stale handle still usable"
+
+  let test_abort_undoes () =
+    let e = E.create ~n_keys () in
+    let t = E.begin_txn e in
+    E.put t 3 "keep";
+    E.commit t;
+    let t = E.begin_txn e in
+    E.put t 3 "drop";
+    E.delete t 3;
+    E.put t 4 "drop";
+    E.abort t;
+    let t = E.begin_txn e in
+    check (Alcotest.option Alcotest.string) "abort undone" (Some "keep") (E.get t 3);
+    check (Alcotest.option Alcotest.string) "no leak" None (E.get t 4);
+    E.abort t
+
+  let test_read_own_writes () =
+    let e = E.create ~n_keys () in
+    let t = E.begin_txn e in
+    E.put t 7 "mine";
+    check (Alcotest.option Alcotest.string) "own write visible" (Some "mine") (E.get t 7);
+    E.delete t 7;
+    check (Alcotest.option Alcotest.string) "own delete visible" None (E.get t 7);
+    E.abort t
+
+  let test_delete_then_crash () =
+    let e = E.create ~n_keys () in
+    let t = E.begin_txn e in
+    E.put t 9 "gone soon";
+    E.commit t;
+    let t = E.begin_txn e in
+    E.delete t 9;
+    E.commit t;
+    E.crash_and_recover e;
+    let t = E.begin_txn e in
+    check (Alcotest.option Alcotest.string) "committed delete durable" None (E.get t 9);
+    E.abort t
+
+  let test_double_crash () =
+    let e = E.create ~n_keys () in
+    let t = E.begin_txn e in
+    E.put t 2 "v";
+    E.commit t;
+    E.crash_and_recover e;
+    E.crash_and_recover e;
+    let t = E.begin_txn e in
+    check (Alcotest.option Alcotest.string) "stable across repeated recovery" (Some "v")
+      (E.get t 2);
+    E.abort t
+
+  let test_checkpoint_preserves_state () =
+    let e = E.create ~n_keys () in
+    let t = E.begin_txn e in
+    E.put t 11 "a";
+    E.put t 12 "b";
+    E.commit t;
+    E.checkpoint e;
+    E.crash_and_recover e;
+    let t = E.begin_txn e in
+    check (Alcotest.option Alcotest.string) "after checkpoint+crash" (Some "a") (E.get t 11);
+    check (Alcotest.option Alcotest.string) "after checkpoint+crash 2" (Some "b") (E.get t 12);
+    E.abort t
+
+  let test_key_bounds () =
+    let e = E.create ~n_keys () in
+    let t = E.begin_txn e in
+    (match E.put t n_keys "x" with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "out-of-range key accepted");
+    E.abort t
+
+  let suite =
+    ( E.engine_name,
+      [
+        Alcotest.test_case "committed survives crash" `Quick test_committed_survives_crash;
+        Alcotest.test_case "uncommitted invisible after crash" `Quick
+          test_uncommitted_invisible_after_crash;
+        Alcotest.test_case "abort undoes" `Quick test_abort_undoes;
+        Alcotest.test_case "read own writes" `Quick test_read_own_writes;
+        Alcotest.test_case "delete then crash" `Quick test_delete_then_crash;
+        Alcotest.test_case "double crash" `Quick test_double_crash;
+        Alcotest.test_case "checkpoint preserves state" `Quick test_checkpoint_preserves_state;
+        Alcotest.test_case "key bounds" `Quick test_key_bounds;
+        QCheck_alcotest.to_alcotest property;
+      ] )
+end
+
+(* Engine variants under test. *)
+
+module Log_default = Crash_harness (Engine_log)
+
+module Log3_by_txn = Crash_harness (struct
+  include Engine_log
+
+  let engine_name = "logging-3-disks-by-txn"
+  let create ?n_keys () = create_with ?n_keys ~n_log_disks:3 ~selection:Engine_log.By_txn ()
+end)
+
+module Log_by_page = Crash_harness (struct
+  include Engine_log
+
+  let engine_name = "logging-2-disks-by-page"
+  let create ?n_keys () = create_with ?n_keys ~n_log_disks:2 ~selection:Engine_log.By_page ()
+end)
+
+module Log_unmerged = Crash_harness (struct
+  include Engine_log
+
+  let engine_name = "logging-unmerged-recovery"
+
+  let create ?n_keys () =
+    let e = create_with ?n_keys ~n_log_disks:3 () in
+    set_recovery_strategy e Engine_log.Unmerged;
+    e
+end)
+
+module Shadow_h = Crash_harness (Engine_shadow)
+module Versel_h = Crash_harness (Engine_versel)
+module No_undo_h = Crash_harness (Engine_overwrite.No_undo)
+module No_redo_h = Crash_harness (Engine_overwrite.No_redo)
+module Diff_h = Crash_harness (Engine_diff)
+module Model_h = Crash_harness (Kv.Model)
+
+(* --- engine-specific behaviours -------------------------------------- *)
+
+let test_log_wal_order () =
+  let e = Engine_log.create () in
+  let t = Engine_log.begin_txn e in
+  Engine_log.put t 0 "x";
+  Engine_log.commit t;
+  (* somewhere in the logs there is an Update for page 0 followed (in
+     LSN order) by a Commit of the same transaction *)
+  let records =
+    List.concat
+      (List.init (Engine_log.log_disks e) (fun d -> Engine_log.dump_log e ~disk:d))
+  in
+  let ordered = List.sort (fun a b -> Int.compare (Dbm_storage.Wal.lsn a) (Dbm_storage.Wal.lsn b)) records in
+  let rec scan saw_update = function
+    | [] -> Alcotest.fail "no commit after update"
+    | Dbm_storage.Wal.Update _ :: rest -> scan true rest
+    | Dbm_storage.Wal.Commit _ :: _ when saw_update -> ()
+    | _ :: rest -> scan saw_update rest
+  in
+  scan false ordered
+
+let test_log_distributes_over_disks () =
+  let e = Engine_log.create_with ~n_log_disks:3 ~selection:Engine_log.Cyclic () in
+  let t = Engine_log.begin_txn e in
+  for k = 0 to 20 do
+    Engine_log.put t k "v"
+  done;
+  Engine_log.commit t;
+  for d = 0 to 2 do
+    if Engine_log.dump_log e ~disk:d = [] then Alcotest.failf "log disk %d unused" d
+  done
+
+let test_log_checkpoint_truncates () =
+  let e = Engine_log.create () in
+  for i = 0 to 9 do
+    let t = Engine_log.begin_txn e in
+    Engine_log.put t i "v";
+    Engine_log.commit t
+  done;
+  let before = List.assoc "durable_records" (Engine_log.stats e) in
+  Engine_log.checkpoint e;
+  let after = List.assoc "durable_records" (Engine_log.stats e) in
+  check Alcotest.bool "log shrank" true (after < before);
+  Engine_log.crash_and_recover e;
+  let t = Engine_log.begin_txn e in
+  check (Alcotest.option Alcotest.string) "state preserved" (Some "v") (Engine_log.get t 4);
+  Engine_log.abort t
+
+let test_log_fuzzy_checkpoint_with_active_txn () =
+  let e = Engine_log.create () in
+  let t1 = Engine_log.begin_txn e in
+  Engine_log.put t1 1 "uncommitted";
+  (* fuzzy checkpoint with t1 still active *)
+  Engine_log.checkpoint e;
+  Engine_log.crash_and_recover e;
+  let t = Engine_log.begin_txn e in
+  check (Alcotest.option Alcotest.string) "active txn undone despite checkpoint" None
+    (Engine_log.get t 1);
+  Engine_log.abort t
+
+let test_log_flush_steal_then_crash () =
+  let e = Engine_log.create () in
+  let t = Engine_log.begin_txn e in
+  Engine_log.put t 1 "dirty";
+  (* steal: the dirty page reaches disk before commit *)
+  Engine_log.flush e;
+  Engine_log.crash_and_recover e;
+  let t2 = Engine_log.begin_txn e in
+  check (Alcotest.option Alcotest.string) "stolen page rolled back" None (Engine_log.get t2 1);
+  Engine_log.abort t2;
+  match Engine_log.get t 1 with
+  | exception Kv.Txn_finished -> ()
+  | _ -> Alcotest.fail "stale handle usable"
+
+let test_log_unmerged_equals_sorted () =
+  (* drive two engines through the same history (including a steal and
+     an uncommitted tail), crash both, recover with the two strategies,
+     and compare every key *)
+  let build () =
+    let e = Engine_log.create_with ~n_log_disks:3 () in
+    let t = Engine_log.begin_txn e in
+    Engine_log.put t 1 "a1";
+    Engine_log.put t 2 "a2";
+    Engine_log.commit t;
+    let t = Engine_log.begin_txn e in
+    Engine_log.put t 1 "b1";
+    Engine_log.commit t;
+    let loser = Engine_log.begin_txn e in
+    Engine_log.put loser 1 "loser";
+    Engine_log.put loser 3 "loser";
+    (* steal: the loser's dirty pages reach the disk *)
+    Engine_log.flush e;
+    e
+  in
+  let sorted = build () in
+  let unmerged = build () in
+  Engine_log.set_recovery_strategy unmerged Engine_log.Unmerged;
+  Engine_log.crash_and_recover sorted;
+  Engine_log.crash_and_recover unmerged;
+  let ts = Engine_log.begin_txn sorted and tu = Engine_log.begin_txn unmerged in
+  for k = 0 to 63 do
+    check (Alcotest.option Alcotest.string)
+      (Printf.sprintf "key %d equal under both strategies" k)
+      (Engine_log.get ts k) (Engine_log.get tu k)
+  done;
+  check (Alcotest.option Alcotest.string) "winner survived" (Some "b1") (Engine_log.get tu 1);
+  check (Alcotest.option Alcotest.string) "stolen loser page rolled back" None
+    (Engine_log.get tu 3);
+  Engine_log.abort ts;
+  Engine_log.abort tu
+
+let test_log_auto_checkpoint_bounds_log () =
+  let e = Engine_log.create_with ~auto_checkpoint_records:40 () in
+  for i = 0 to 49 do
+    let t = Engine_log.begin_txn e in
+    Engine_log.put t (i mod 32) (Printf.sprintf "v%d" i);
+    Engine_log.commit t
+  done;
+  let durable = List.assoc "durable_records" (Engine_log.stats e) in
+  check Alcotest.bool "log stays bounded" true (durable < 60);
+  check Alcotest.bool "checkpoints ran" true (List.assoc "checkpoints" (Engine_log.stats e) > 0);
+  (* state is intact across a crash despite the truncations *)
+  Engine_log.crash_and_recover e;
+  let t = Engine_log.begin_txn e in
+  check (Alcotest.option Alcotest.string) "latest value survived" (Some "v49")
+    (Engine_log.get t 17);
+  Engine_log.abort t
+
+let test_log_auto_checkpoint_keeps_active_undo () =
+  let e = Engine_log.create_with ~auto_checkpoint_records:5 () in
+  let long = Engine_log.begin_txn e in
+  Engine_log.put long 1 "uncommitted";
+  (* churn enough committed txns to trigger several auto checkpoints *)
+  for i = 0 to 19 do
+    let t = Engine_log.begin_txn e in
+    Engine_log.put t (8 + (i mod 8)) "churn";
+    Engine_log.commit t
+  done;
+  Engine_log.crash_and_recover e;
+  let t = Engine_log.begin_txn e in
+  check (Alcotest.option Alcotest.string) "active txn still undone" None (Engine_log.get t 1);
+  check (Alcotest.option Alcotest.string) "churn survived" (Some "churn") (Engine_log.get t 8);
+  Engine_log.abort t;
+  ignore long
+
+let test_shadow_blocks_move () =
+  let e = Engine_shadow.create () in
+  let b0 = Engine_shadow.current_block e ~page:0 in
+  let t = Engine_shadow.begin_txn e in
+  Engine_shadow.put t 0 "moved";
+  Engine_shadow.commit t;
+  let b1 = Engine_shadow.current_block e ~page:0 in
+  check Alcotest.bool "update relocated the page" true (b0 <> b1)
+
+let test_shadow_free_blocks_conserved () =
+  let e = Engine_shadow.create () in
+  let before = Engine_shadow.free_blocks e in
+  let t = Engine_shadow.begin_txn e in
+  Engine_shadow.put t 0 "x";
+  Engine_shadow.commit t;
+  check Alcotest.int "one old block freed, one new used" before (Engine_shadow.free_blocks e);
+  let t = Engine_shadow.begin_txn e in
+  Engine_shadow.put t 4 "y";
+  Engine_shadow.abort t;
+  check Alcotest.int "abort returns the block" before (Engine_shadow.free_blocks e)
+
+let test_shadow_crash_keeps_generation () =
+  let e = Engine_shadow.create () in
+  let t = Engine_shadow.begin_txn e in
+  Engine_shadow.put t 0 "committed";
+  Engine_shadow.commit t;
+  let flips = Engine_shadow.table_flips e in
+  let t = Engine_shadow.begin_txn e in
+  Engine_shadow.put t 0 "uncommitted";
+  Engine_shadow.crash_and_recover e;
+  check Alcotest.int "flips survive" flips (Engine_shadow.table_flips e);
+  ignore t
+
+let test_versel_versions_grow () =
+  let e = Engine_versel.create () in
+  let t = Engine_versel.begin_txn e in
+  Engine_versel.put t 0 "v1";
+  Engine_versel.commit t;
+  let a1, b1 = Engine_versel.slot_versions e ~page:0 in
+  let t = Engine_versel.begin_txn e in
+  Engine_versel.put t 0 "v2";
+  Engine_versel.commit t;
+  let a2, b2 = Engine_versel.slot_versions e ~page:0 in
+  check Alcotest.bool "version advanced" true (max a2 b2 > max a1 b1);
+  check Alcotest.bool "both slots populated" true (min a2 b2 > 0)
+
+let test_versel_txn_ids_not_reused_after_crash () =
+  let e = Engine_versel.create () in
+  let t = Engine_versel.begin_txn e in
+  Engine_versel.put t 0 "garbage";
+  (* crash with the uncommitted slot written but not selected *)
+  Engine_versel.crash_and_recover e;
+  (* a new transaction must NOT pick up the crashed transaction's id,
+     or the garbage slot would suddenly become visible on its commit *)
+  let t2 = Engine_versel.begin_txn e in
+  Engine_versel.put t2 5 "fresh";
+  Engine_versel.commit t2;
+  let t3 = Engine_versel.begin_txn e in
+  check (Alcotest.option Alcotest.string) "garbage still invisible" None (Engine_versel.get t3 0);
+  Engine_versel.abort t3
+
+let test_overwrite_scratch_released () =
+  let e = Engine_overwrite.No_undo.create () in
+  let t = Engine_overwrite.No_undo.begin_txn e in
+  Engine_overwrite.No_undo.put t 0 "a";
+  Engine_overwrite.No_undo.put t 10 "b";
+  check Alcotest.int "two slots held" 2 (Engine_overwrite.No_undo.scratch_in_use e);
+  Engine_overwrite.No_undo.commit t;
+  check Alcotest.int "slots released after install" 0 (Engine_overwrite.No_undo.scratch_in_use e)
+
+let test_overwrite_scratch_overflow () =
+  let e = Engine_overwrite.No_undo.create_with ~n_keys:64 ~scratch_slots:2 () in
+  let t = Engine_overwrite.No_undo.begin_txn e in
+  Engine_overwrite.No_undo.put t 0 "a";
+  Engine_overwrite.No_undo.put t 4 "b";
+  match Engine_overwrite.No_undo.put t 8 "c" with
+  | exception Kv.Scratch_full -> ()
+  | _ -> Alcotest.fail "scratch overflow not detected"
+
+let test_overwrite_no_undo_reinstall_after_crash () =
+  let e = Engine_overwrite.No_undo.create () in
+  let t = Engine_overwrite.No_undo.begin_txn e in
+  Engine_overwrite.No_undo.put t 3 "durable";
+  (* committed, but the install pass never ran *)
+  Engine_overwrite.No_undo.commit_without_install t;
+  Engine_overwrite.No_undo.crash_and_recover e;
+  let t2 = Engine_overwrite.No_undo.begin_txn e in
+  check (Alcotest.option Alcotest.string) "recovery re-installed" (Some "durable")
+    (Engine_overwrite.No_undo.get t2 3);
+  Engine_overwrite.No_undo.abort t2;
+  check Alcotest.int "slots reclaimed" 0 (Engine_overwrite.No_undo.scratch_in_use e)
+
+let test_overwrite_no_redo_restores_after_crash () =
+  let e = Engine_overwrite.No_redo.create () in
+  let t = Engine_overwrite.No_redo.begin_txn e in
+  Engine_overwrite.No_redo.put t 3 "old";
+  Engine_overwrite.No_redo.commit t;
+  let t = Engine_overwrite.No_redo.begin_txn e in
+  Engine_overwrite.No_redo.put t 3 "overwritten in place";
+  (* the home block now holds uncommitted data; crash *)
+  Engine_overwrite.No_redo.crash_and_recover e;
+  let t2 = Engine_overwrite.No_redo.begin_txn e in
+  check (Alcotest.option Alcotest.string) "shadow restored" (Some "old")
+    (Engine_overwrite.No_redo.get t2 3);
+  Engine_overwrite.No_redo.abort t2;
+  ignore t
+
+let test_shadow_out_of_blocks () =
+  (* spare_factor 1 gives one spare block per logical page; a single
+     transaction can shadow every page, but two concurrent ones cannot *)
+  let e = Engine_shadow.create_with ~n_keys:8 ~keys_per_page:4 ~spare_factor:1 () in
+  let t1 = Engine_shadow.begin_txn e in
+  Engine_shadow.put t1 0 "a";
+  Engine_shadow.put t1 4 "b";
+  let t2 = Engine_shadow.begin_txn e in
+  (match Engine_shadow.put t2 0 "c" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "block exhaustion not reported");
+  Engine_shadow.abort t2;
+  Engine_shadow.commit t1;
+  (* after commit the old blocks are free again *)
+  let t3 = Engine_shadow.begin_txn e in
+  Engine_shadow.put t3 0 "d";
+  Engine_shadow.commit t3
+
+let test_journal_truncate_then_crash_recovery () =
+  (* checkpoint truncation followed by a crash must still recover: the
+     truncated history's effects are on the durable data disk *)
+  let e = Engine_log.create () in
+  for i = 0 to 5 do
+    let t = Engine_log.begin_txn e in
+    Engine_log.put t i (Printf.sprintf "v%d" i);
+    Engine_log.commit t
+  done;
+  Engine_log.checkpoint e;
+  let t = Engine_log.begin_txn e in
+  Engine_log.put t 0 "after-checkpoint";
+  Engine_log.commit t;
+  Engine_log.crash_and_recover e;
+  let t = Engine_log.begin_txn e in
+  check (Alcotest.option Alcotest.string) "pre-checkpoint data" (Some "v5") (Engine_log.get t 5);
+  check (Alcotest.option Alcotest.string) "post-checkpoint data" (Some "after-checkpoint")
+    (Engine_log.get t 0);
+  Engine_log.abort t
+
+let test_versel_interleaved_commits () =
+  (* two transactions on different pages, interleaved commit order *)
+  let e = Engine_versel.create () in
+  let t1 = Engine_versel.begin_txn e in
+  let t2 = Engine_versel.begin_txn e in
+  Engine_versel.put t1 0 "from-t1";
+  Engine_versel.put t2 8 "from-t2";
+  Engine_versel.commit t2;
+  Engine_versel.commit t1;
+  Engine_versel.crash_and_recover e;
+  let t = Engine_versel.begin_txn e in
+  check (Alcotest.option Alcotest.string) "t1 durable" (Some "from-t1") (Engine_versel.get t 0);
+  check (Alcotest.option Alcotest.string) "t2 durable" (Some "from-t2") (Engine_versel.get t 8);
+  Engine_versel.abort t
+
+let test_diff_files_grow_then_merge () =
+  let e = Engine_diff.create () in
+  let t = Engine_diff.begin_txn e in
+  Engine_diff.put t 0 "a";
+  Engine_diff.put t 1 "b";
+  Engine_diff.delete t 2;
+  Engine_diff.commit t;
+  check Alcotest.int "A records" 2 (Engine_diff.a_size e);
+  check Alcotest.int "D records" 1 (Engine_diff.d_size e);
+  Engine_diff.checkpoint e;
+  check Alcotest.int "A merged away" 0 (Engine_diff.a_size e);
+  check Alcotest.int "D merged away" 0 (Engine_diff.d_size e);
+  check Alcotest.int "one merge" 1 (Engine_diff.merges e);
+  let t = Engine_diff.begin_txn e in
+  check (Alcotest.option Alcotest.string) "base holds the value" (Some "a") (Engine_diff.get t 0);
+  Engine_diff.abort t
+
+let test_diff_auto_merge_bounds_files () =
+  let e = Engine_diff.create_with ~auto_merge_records:20 () in
+  for i = 0 to 59 do
+    let t = Engine_diff.begin_txn e in
+    Engine_diff.put t (i mod 32) (Printf.sprintf "v%d" i);
+    if i mod 7 = 6 then Engine_diff.delete t ((i + 1) mod 32);
+    Engine_diff.commit t
+  done;
+  check Alcotest.bool "differential files stay bounded" true
+    (Engine_diff.a_size e + Engine_diff.d_size e < 25);
+  check Alcotest.bool "merges ran" true (Engine_diff.merges e >= 2);
+  Engine_diff.crash_and_recover e;
+  let t = Engine_diff.begin_txn e in
+  check (Alcotest.option Alcotest.string) "data survives auto-merges and a crash"
+    (Some "v59") (Engine_diff.get t 27);
+  Engine_diff.abort t
+
+let test_diff_merge_requires_quiescence () =
+  let e = Engine_diff.create () in
+  let t = Engine_diff.begin_txn e in
+  Engine_diff.put t 0 "x";
+  (match Engine_diff.checkpoint e with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "merge with a live transaction accepted");
+  Engine_diff.abort t
+
+let test_diff_newest_wins () =
+  let e = Engine_diff.create () in
+  let t = Engine_diff.begin_txn e in
+  Engine_diff.put t 0 "first";
+  Engine_diff.commit t;
+  let t = Engine_diff.begin_txn e in
+  Engine_diff.delete t 0;
+  Engine_diff.commit t;
+  let t = Engine_diff.begin_txn e in
+  Engine_diff.put t 0 "second";
+  Engine_diff.commit t;
+  let t = Engine_diff.begin_txn e in
+  check (Alcotest.option Alcotest.string) "A beats older D" (Some "second") (Engine_diff.get t 0);
+  Engine_diff.abort t
+
+let specific =
+  [
+    Alcotest.test_case "log: WAL order" `Quick test_log_wal_order;
+    Alcotest.test_case "log: distributes over disks" `Quick test_log_distributes_over_disks;
+    Alcotest.test_case "log: checkpoint truncates" `Quick test_log_checkpoint_truncates;
+    Alcotest.test_case "log: fuzzy checkpoint keeps undo" `Quick
+      test_log_fuzzy_checkpoint_with_active_txn;
+    Alcotest.test_case "log: steal then crash rolls back" `Quick test_log_flush_steal_then_crash;
+    Alcotest.test_case "log: unmerged recovery = sorted recovery" `Quick
+      test_log_unmerged_equals_sorted;
+    Alcotest.test_case "log: auto-checkpoint bounds the log" `Quick
+      test_log_auto_checkpoint_bounds_log;
+    Alcotest.test_case "log: auto-checkpoint keeps active undo" `Quick
+      test_log_auto_checkpoint_keeps_active_undo;
+    Alcotest.test_case "shadow: blocks move" `Quick test_shadow_blocks_move;
+    Alcotest.test_case "shadow: free blocks conserved" `Quick test_shadow_free_blocks_conserved;
+    Alcotest.test_case "shadow: crash keeps generation" `Quick test_shadow_crash_keeps_generation;
+    Alcotest.test_case "versel: versions grow" `Quick test_versel_versions_grow;
+    Alcotest.test_case "versel: txn ids not reused" `Quick
+      test_versel_txn_ids_not_reused_after_crash;
+    Alcotest.test_case "overwrite: scratch released" `Quick test_overwrite_scratch_released;
+    Alcotest.test_case "overwrite: scratch overflow" `Quick test_overwrite_scratch_overflow;
+    Alcotest.test_case "overwrite: no-undo reinstall" `Quick
+      test_overwrite_no_undo_reinstall_after_crash;
+    Alcotest.test_case "overwrite: no-redo restore" `Quick
+      test_overwrite_no_redo_restores_after_crash;
+    Alcotest.test_case "shadow: out of blocks" `Quick test_shadow_out_of_blocks;
+    Alcotest.test_case "log: truncate then crash" `Quick
+      test_journal_truncate_then_crash_recovery;
+    Alcotest.test_case "versel: interleaved commits" `Quick test_versel_interleaved_commits;
+    Alcotest.test_case "diff: grow then merge" `Quick test_diff_files_grow_then_merge;
+    Alcotest.test_case "diff: auto-merge bounds files" `Quick test_diff_auto_merge_bounds_files;
+    Alcotest.test_case "diff: merge needs quiescence" `Quick test_diff_merge_requires_quiescence;
+    Alcotest.test_case "diff: newest wins" `Quick test_diff_newest_wins;
+  ]
+
+let () =
+  Alcotest.run "dbm_storage engines"
+    [
+      Model_h.suite;
+      Log_default.suite;
+      Log3_by_txn.suite;
+      Log_by_page.suite;
+      Log_unmerged.suite;
+      Shadow_h.suite;
+      Versel_h.suite;
+      No_undo_h.suite;
+      No_redo_h.suite;
+      Diff_h.suite;
+      ("engine specifics", specific);
+    ]

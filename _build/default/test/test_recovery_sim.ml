@@ -1,0 +1,287 @@
+(* Behavioural tests of the simulated recovery architectures: WAL
+   blocking, log-processor selection, page-table buffering, overwriting
+   disk traffic, differential-file overheads. *)
+
+module Config = Dbm_machine.Config
+module Machine = Dbm_machine.Machine
+module Arch = Dbm_machine.Arch
+module Results = Dbm_machine.Results
+module W = Dbm_workload.Workload
+module Logging = Dbm_recovery.Logging
+module Shadow = Dbm_recovery.Shadow
+module Diff_file = Dbm_recovery.Diff_file
+module Version_select = Dbm_recovery.Version_select
+
+let check = Alcotest.check
+
+let machine = { Config.paper_base with Config.db_pages = 16384 }
+
+let workload ?(pattern = W.Random_access) ?(n = 12) ?(seed = 3) () =
+  W.generate
+    { W.default with W.n_transactions = n; pattern; db_pages = 16384; max_pages = 60; seed }
+
+let run ?(machine = machine) ?pattern ?n make_arch =
+  Machine.run ~config:machine ~make_arch ~workload:(workload ?pattern ?n ())
+
+let extra key (r : Results.t) = Option.value (Results.find_extra r key) ~default:0.0
+
+(* --- logging ----------------------------------------------------------- *)
+
+let test_logging_completes () =
+  let r = run (Logging.make Logging.default) in
+  check Alcotest.int "all txns" 12 r.Results.n_transactions
+
+let test_logging_writes_log_pages () =
+  let r = run (Logging.make Logging.default) in
+  check Alcotest.bool "log pages written" true (extra "log_pages_written" r > 0.0)
+
+let test_physical_logs_two_pages_per_update () =
+  let txns = workload () in
+  let r =
+    Machine.run ~config:machine
+      ~make_arch:(Logging.make { Logging.default with Logging.mode = Logging.Physical })
+      ~workload:txns
+  in
+  let writes = float_of_int (W.total_writes txns) in
+  check (Alcotest.float 0.1) "2 log pages per update" (2.0 *. writes) (extra "log_pages_written" r)
+
+let test_logical_fewer_log_pages_than_physical () =
+  let logical = run (Logging.make Logging.default) in
+  let physical =
+    run (Logging.make { Logging.default with Logging.mode = Logging.Physical })
+  in
+  check Alcotest.bool "assembly amortizes log volume" true
+    (extra "log_pages_written" logical < extra "log_pages_written" physical /. 4.0)
+
+let test_wal_blocks_frames () =
+  let r = run (Logging.make Logging.default) in
+  check Alcotest.bool "some frames wait for the log" true
+    (r.Results.mean_frames_blocked_on_log > 0.0)
+
+let test_txn_mod_concentrates () =
+  (* With 3 log disks and txn-mod selection, all updates of a txn hit
+     one disk: per-disk utilizations should be more skewed than cyclic. *)
+  let spread selection =
+    let r =
+      run
+        (Logging.make
+           { Logging.default with Logging.n_log_processors = 3; selection;
+             mode = Logging.Physical })
+    in
+    let utils = List.init 3 (fun i -> extra (Printf.sprintf "log_disk_util_%d" i) r) in
+    let mx = List.fold_left Float.max 0.0 utils
+    and mn = List.fold_left Float.min infinity utils in
+    mx -. mn
+  in
+  check Alcotest.bool "txn-mod is more skewed than cyclic" true
+    (spread Logging.Txn_mod >= spread Logging.Cyclic)
+
+let test_more_log_disks_never_slower () =
+  let exec n =
+    (run
+       (Logging.make
+          { Logging.default with Logging.n_log_processors = n; mode = Logging.Physical }))
+      .Results.exec_ms_per_page
+  in
+  check Alcotest.bool "3 log disks <= 1 log disk" true (exec 3 <= exec 1 +. 0.2)
+
+let test_unbatched_release_works () =
+  let r =
+    run (Logging.make { Logging.default with Logging.batch_release = false })
+  in
+  check Alcotest.int "completes with per-update release" 12 r.Results.n_transactions
+
+let test_via_cache_routing_works () =
+  let r = run (Logging.make { Logging.default with Logging.routing = Logging.Via_cache }) in
+  check Alcotest.int "completes via cache" 12 r.Results.n_transactions
+
+let test_commit_forces_partial_pages () =
+  let r = run (Logging.make Logging.default) in
+  check Alcotest.bool "commit forces happen" true (extra "log_forces" r > 0.0)
+
+(* --- shadow ------------------------------------------------------------ *)
+
+let test_shadow_pt_reads_happen () =
+  let r = run (Shadow.make Shadow.default_thru) in
+  check Alcotest.bool "pt reads" true (extra "pt_reads" r > 0.0);
+  check Alcotest.bool "pt writes at commit" true (extra "pt_writes" r > 0.0)
+
+let test_shadow_bigger_buffer_hits_more () =
+  let small = run (Shadow.make (Shadow.thru ~n_pt_processors:1 ~buffer_pages:2)) in
+  let large = run (Shadow.make (Shadow.thru ~n_pt_processors:1 ~buffer_pages:50)) in
+  check Alcotest.bool "hit rate grows with buffer" true
+    (extra "pt_buffer_hit_rate" large > extra "pt_buffer_hit_rate" small)
+
+let test_shadow_two_pt_processors_split_load () =
+  let r = run (Shadow.make (Shadow.thru ~n_pt_processors:2 ~buffer_pages:10)) in
+  check Alcotest.bool "disk 0 used" true (extra "pt_disk_util_0" r > 0.0);
+  check Alcotest.bool "disk 1 used" true (extra "pt_disk_util_1" r > 0.0)
+
+let test_shadow_sequential_needs_few_pt_pages () =
+  let r = run ~pattern:W.Sequential (Shadow.make Shadow.default_thru) in
+  (* a 60-page sequential run touches at most 2 page-table pages, so
+     page-table disk reads are rare relative to data pages *)
+  check Alcotest.bool "few pt reads" true
+    (extra "pt_reads" r < 0.1 *. float_of_int r.Results.pages_processed);
+  check Alcotest.bool "mostly buffer hits" true (extra "pt_buffer_hit_rate" r > 0.5)
+
+let test_overwrite_three_ops_per_update () =
+  let txns = workload () in
+  let r =
+    Machine.run ~config:machine
+      ~make_arch:(Shadow.make Shadow.overwrite_no_undo)
+      ~workload:txns
+  in
+  let w = float_of_int (W.total_writes txns) in
+  check (Alcotest.float 0.1) "scratch writes" w (extra "scratch_writes" r);
+  check (Alcotest.float 0.1) "scratch reads" w (extra "scratch_reads" r);
+  check (Alcotest.float 0.1) "install writes" w (extra "install_writes" r)
+
+let test_overwrite_slower_than_bare () =
+  let bare = run (fun _ -> Arch.bare) in
+  let ow = run (Shadow.make Shadow.overwrite_no_undo) in
+  check Alcotest.bool "overwriting costs disk time" true
+    (ow.Results.exec_ms_per_page > bare.Results.exec_ms_per_page)
+
+let test_overwrite_no_redo_runs () =
+  let r = run (Shadow.make Shadow.overwrite_no_redo) in
+  check Alcotest.int "completes" 12 r.Results.n_transactions;
+  check Alcotest.bool "shadows saved" true (extra "scratch_writes" r > 0.0)
+
+let test_scrambled_hurts_sequential () =
+  let txns = workload ~pattern:W.Sequential () in
+  let clustered =
+    Machine.run ~config:machine ~make_arch:(Shadow.make Shadow.default_thru) ~workload:txns
+  in
+  let scrambled =
+    Machine.run
+      ~config:(Config.with_scramble 17 machine)
+      ~make_arch:(Shadow.make Shadow.default_thru) ~workload:txns
+  in
+  check Alcotest.bool "scrambling destroys sequentiality" true
+    (scrambled.Results.exec_ms_per_page > 1.5 *. clustered.Results.exec_ms_per_page)
+
+(* --- differential files -------------------------------------------------- *)
+
+let test_diff_reads_extra_pages () =
+  let txns = workload () in
+  let r =
+    Machine.run ~config:machine ~make_arch:(Diff_file.make Diff_file.default) ~workload:txns
+  in
+  let expected = 0.10 *. float_of_int (W.total_pages txns) in
+  let got = extra "diff_pages_read" r in
+  check Alcotest.bool "~10% extra pages" true
+    (got > 0.8 *. expected && got < 1.2 *. expected)
+
+let test_diff_writes_fraction_of_updates () =
+  let txns = workload () in
+  let r =
+    Machine.run ~config:machine ~make_arch:(Diff_file.make Diff_file.default) ~workload:txns
+  in
+  let updates = float_of_int (W.total_writes txns) in
+  let out = extra "output_pages_written" r in
+  (* ~10% of an output page per update, rounded up per transaction *)
+  check Alcotest.bool "far fewer output pages than updates" true (out < 0.5 *. updates);
+  check Alcotest.bool "but at least one per updating txn" true (out >= 1.0)
+
+let test_diff_basic_slower_than_optimal () =
+  let basic = run (Diff_file.make Diff_file.basic) in
+  let optimal = run (Diff_file.make Diff_file.default) in
+  check Alcotest.bool "basic is slower" true
+    (basic.Results.exec_ms_per_page > optimal.Results.exec_ms_per_page)
+
+let test_diff_bigger_files_slower () =
+  let at size =
+    (run (Diff_file.make { Diff_file.default with Diff_file.size_fraction = size }))
+      .Results.exec_ms_per_page
+  in
+  let s10 = at 0.10 and s20 = at 0.20 in
+  check Alcotest.bool "20% slower than 10%" true (s20 > s10)
+
+let test_diff_config_validation () =
+  (match run (Diff_file.make { Diff_file.default with Diff_file.output_fraction = 0.0 }) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "output fraction 0 accepted");
+  match run (Diff_file.make { Diff_file.default with Diff_file.size_fraction = -0.1 }) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative size accepted"
+
+(* --- version selection ---------------------------------------------------- *)
+
+let test_version_select_simulated () =
+  let bare = run (fun _ -> Arch.bare) in
+  let vs = run Version_select.make_sim in
+  check Alcotest.bool "version selection slower than bare" true
+    (vs.Results.exec_ms_per_page > bare.Results.exec_ms_per_page);
+  (* the penalty is worst where transfer time dominates: sequential on
+     parallel-access drives *)
+  let bare_seq =
+    Machine.run
+      ~config:(Config.with_parallel_disks machine)
+      ~make_arch:(fun _ -> Arch.bare)
+      ~workload:(workload ~pattern:W.Sequential ())
+  in
+  let vs_seq =
+    Machine.run
+      ~config:(Config.with_parallel_disks machine)
+      ~make_arch:Version_select.make_sim
+      ~workload:(workload ~pattern:W.Sequential ())
+  in
+  check Alcotest.bool "large relative penalty on par-seq" true
+    (vs_seq.Results.exec_ms_per_page > 1.5 *. bare_seq.Results.exec_ms_per_page)
+
+let test_version_select_analysis () =
+  let a = Version_select.analyze Dbm_disk.Params.ibm_3350 in
+  check Alcotest.bool "penalty is one extra transfer" true
+    (a.Version_select.versioned_read_ms -. a.Version_select.plain_read_ms -. 3.4 < 1e-9);
+  check Alcotest.bool "penalty > 1" true (a.Version_select.read_penalty > 1.0);
+  check (Alcotest.float 1e-9) "space doubles" 2.0 a.Version_select.space_overhead;
+  check Alcotest.bool "verdict text" true (String.length (Version_select.verdict a) > 0)
+
+let () =
+  Alcotest.run "dbm_recovery"
+    [
+      ( "logging",
+        [
+          Alcotest.test_case "completes" `Quick test_logging_completes;
+          Alcotest.test_case "writes log pages" `Quick test_logging_writes_log_pages;
+          Alcotest.test_case "physical: 2 pages/update" `Quick
+            test_physical_logs_two_pages_per_update;
+          Alcotest.test_case "logical amortizes volume" `Quick
+            test_logical_fewer_log_pages_than_physical;
+          Alcotest.test_case "WAL blocks frames" `Quick test_wal_blocks_frames;
+          Alcotest.test_case "txn-mod concentrates" `Quick test_txn_mod_concentrates;
+          Alcotest.test_case "more log disks never slower" `Quick
+            test_more_log_disks_never_slower;
+          Alcotest.test_case "via-cache routing" `Quick test_via_cache_routing_works;
+          Alcotest.test_case "per-update release" `Quick test_unbatched_release_works;
+          Alcotest.test_case "commit forces" `Quick test_commit_forces_partial_pages;
+        ] );
+      ( "shadow",
+        [
+          Alcotest.test_case "pt traffic" `Quick test_shadow_pt_reads_happen;
+          Alcotest.test_case "buffer size helps" `Quick test_shadow_bigger_buffer_hits_more;
+          Alcotest.test_case "2 pt processors split load" `Quick
+            test_shadow_two_pt_processors_split_load;
+          Alcotest.test_case "sequential needs few pt pages" `Quick
+            test_shadow_sequential_needs_few_pt_pages;
+          Alcotest.test_case "overwrite: 3 ops per update" `Quick
+            test_overwrite_three_ops_per_update;
+          Alcotest.test_case "overwrite slower than bare" `Quick test_overwrite_slower_than_bare;
+          Alcotest.test_case "overwrite no-redo runs" `Quick test_overwrite_no_redo_runs;
+          Alcotest.test_case "scrambled hurts sequential" `Quick test_scrambled_hurts_sequential;
+        ] );
+      ( "diff_file",
+        [
+          Alcotest.test_case "extra reads" `Quick test_diff_reads_extra_pages;
+          Alcotest.test_case "output fraction" `Quick test_diff_writes_fraction_of_updates;
+          Alcotest.test_case "basic slower than optimal" `Quick test_diff_basic_slower_than_optimal;
+          Alcotest.test_case "bigger files slower" `Quick test_diff_bigger_files_slower;
+          Alcotest.test_case "config validation" `Quick test_diff_config_validation;
+        ] );
+      ( "version_select",
+        [
+          Alcotest.test_case "analysis" `Quick test_version_select_analysis;
+          Alcotest.test_case "simulated" `Quick test_version_select_simulated;
+        ] );
+    ]

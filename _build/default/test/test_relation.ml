@@ -1,0 +1,205 @@
+(* Tests for the differential-relation operators: (B u A) - D semantics,
+   basic vs optimal strategy equivalence, parallel-evaluation
+   equivalence, merge, and the work counters behind Table 9. *)
+
+module R = Dbm_relation.Diff_relation
+
+let check = Alcotest.check
+
+let tuple_list =
+  Alcotest.testable
+    (fun ppf ts ->
+      Format.fprintf ppf "[%s]"
+        (String.concat "; "
+           (List.map (fun t -> Printf.sprintf "%d=%s" t.R.key t.R.value) ts)))
+    ( = )
+
+let tp key value = { R.key; value }
+
+(* --- deterministic behaviour ------------------------------------------- *)
+
+let sample () =
+  let r = R.create ~tuples_per_page:4 [ tp 1 "one"; tp 2 "two"; tp 3 "three"; tp 4 "four" ] in
+  R.insert r (tp 5 "five");
+  R.insert r (tp 2 "TWO");  (* update via A *)
+  R.delete r ~key:3;
+  r
+
+let test_view_semantics () =
+  let r = sample () in
+  check (Alcotest.option Alcotest.string) "base survives" (Some "one") (R.lookup r ~key:1);
+  check (Alcotest.option Alcotest.string) "A overrides B" (Some "TWO") (R.lookup r ~key:2);
+  check (Alcotest.option Alcotest.string) "D deletes" None (R.lookup r ~key:3);
+  check (Alcotest.option Alcotest.string) "pure addition" (Some "five") (R.lookup r ~key:5);
+  check tuple_list "materialized view"
+    [ tp 1 "one"; tp 2 "TWO"; tp 4 "four"; tp 5 "five" ]
+    (R.materialize r)
+
+let test_newest_wins_across_files () =
+  let r = R.create [ tp 1 "base" ] in
+  R.delete r ~key:1;
+  R.insert r (tp 1 "reborn");
+  check (Alcotest.option Alcotest.string) "A after D" (Some "reborn") (R.lookup r ~key:1);
+  R.delete r ~key:1;
+  check (Alcotest.option Alcotest.string) "D after A" None (R.lookup r ~key:1)
+
+let test_create_dedups () =
+  let r = R.create [ tp 1 "old"; tp 1 "new" ] in
+  check (Alcotest.option Alcotest.string) "later duplicate wins" (Some "new")
+    (R.lookup r ~key:1)
+
+let test_select_strategies_agree () =
+  let r = sample () in
+  let p t = t.R.key mod 2 = 0 in
+  check tuple_list "basic = optimal" (R.select r ~strategy:R.Basic p)
+    (R.select r ~strategy:R.Optimal p)
+
+let test_optimal_skips_setdiffs () =
+  let r =
+    R.create ~tuples_per_page:2 (List.init 20 (fun i -> tp i (string_of_int i)))
+  in
+  R.delete r ~key:0;
+  (* a very selective predicate: only one page qualifies *)
+  let p t = t.R.key = 7 in
+  ignore (R.select r ~strategy:R.Basic p);
+  let basic = R.last_stats r in
+  ignore (R.select r ~strategy:R.Optimal p);
+  let optimal = R.last_stats r in
+  check Alcotest.int "basic pays one set-difference per page" basic.R.pages_scanned
+    basic.R.setdiff_ops;
+  check Alcotest.bool "optimal pays only for qualifying pages" true
+    (optimal.R.setdiff_ops < basic.R.setdiff_ops);
+  check Alcotest.int "optimal setdiffs = qualifying pages" optimal.R.qualifying_pages
+    optimal.R.setdiff_ops
+
+let test_parallel_equals_serial () =
+  let r = sample () in
+  let p t = t.R.key <> 4 in
+  let serial = R.select r ~strategy:R.Optimal p in
+  List.iter
+    (fun workers ->
+      check tuple_list
+        (Printf.sprintf "%d workers" workers)
+        serial
+        (R.select_parallel r ~workers ~strategy:R.Optimal p))
+    [ 1; 2; 3; 7 ]
+
+let test_parallel_validation () =
+  let r = sample () in
+  match R.select_parallel r ~workers:0 ~strategy:R.Basic (fun _ -> true) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "0 workers accepted"
+
+let test_merge () =
+  let r = sample () in
+  let before = R.materialize r in
+  let merged = R.merge r in
+  check tuple_list "merge preserves the view" before (R.materialize merged);
+  check Alcotest.int "A emptied" 0 (R.a_size merged);
+  check Alcotest.int "D emptied" 0 (R.d_size merged);
+  check Alcotest.bool "base holds everything" true (R.base_pages merged > 0)
+
+(* --- properties ---------------------------------------------------------- *)
+
+type op = Ins of int * string | Del of int
+
+let apply_model m = function
+  | Ins (k, v) -> Hashtbl.replace m k v
+  | Del k -> Hashtbl.remove m k
+
+let apply_rel r = function
+  | Ins (k, v) -> R.insert r (tp k v)
+  | Del k -> R.delete r ~key:k
+
+let ops_gen =
+  QCheck.Gen.(
+    list_size (int_range 0 40)
+      (frequency
+         [
+           (3, map2 (fun k v -> Ins (k, v)) (int_range 0 30) (string_size (int_range 1 4)));
+           (1, map (fun k -> Del k) (int_range 0 30));
+         ]))
+
+let base_gen =
+  QCheck.Gen.(
+    list_size (int_range 0 25)
+      (map2 (fun k v -> tp k v) (int_range 0 30) (string_size (int_range 1 4))))
+
+let scenario = QCheck.make QCheck.Gen.(pair base_gen ops_gen)
+
+let model_of base ops =
+  let m = Hashtbl.create 32 in
+  List.iter (fun t -> Hashtbl.replace m t.R.key t.R.value) base;
+  List.iter (apply_model m) ops;
+  m
+
+let rel_of base ops =
+  let r = R.create ~tuples_per_page:4 base in
+  List.iter (apply_rel r) ops;
+  r
+
+let prop_view_matches_model =
+  QCheck.Test.make ~name:"(B u A) - D matches an assoc-map model" ~count:300 scenario
+    (fun (base, ops) ->
+      let m = model_of base ops and r = rel_of base ops in
+      let expected =
+        Hashtbl.fold (fun key value acc -> { R.key; value } :: acc) m []
+        |> List.sort (fun a b -> Int.compare a.R.key b.R.key)
+      in
+      R.materialize r = expected)
+
+let prop_strategies_equal =
+  QCheck.Test.make ~name:"basic and optimal select agree" ~count:200 scenario
+    (fun (base, ops) ->
+      let r = rel_of base ops in
+      let p t = t.R.key mod 3 = 0 in
+      R.select r ~strategy:R.Basic p = R.select r ~strategy:R.Optimal p)
+
+let prop_parallel_equal =
+  QCheck.Test.make ~name:"parallel select equals serial for any worker count" ~count:200
+    (QCheck.make QCheck.Gen.(triple base_gen ops_gen (int_range 1 8)))
+    (fun (base, ops, workers) ->
+      let r = rel_of base ops in
+      let p t = t.R.key land 1 = 0 in
+      R.select_parallel r ~workers ~strategy:R.Optimal p = R.select r ~strategy:R.Optimal p)
+
+let prop_merge_preserves =
+  QCheck.Test.make ~name:"merge preserves the materialized view" ~count:200 scenario
+    (fun (base, ops) ->
+      let r = rel_of base ops in
+      R.materialize (R.merge r) = R.materialize r)
+
+let prop_optimal_never_more_work =
+  QCheck.Test.make ~name:"optimal never does more set-differences than basic" ~count:200 scenario
+    (fun (base, ops) ->
+      let r = rel_of base ops in
+      let p t = t.R.key mod 5 = 0 in
+      ignore (R.select r ~strategy:R.Basic p);
+      let b = (R.last_stats r).R.setdiff_ops in
+      ignore (R.select r ~strategy:R.Optimal p);
+      let o = (R.last_stats r).R.setdiff_ops in
+      o <= b)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_view_matches_model; prop_strategies_equal; prop_parallel_equal;
+      prop_merge_preserves; prop_optimal_never_more_work;
+    ]
+
+let () =
+  Alcotest.run "dbm_relation"
+    [
+      ( "differential relation",
+        [
+          Alcotest.test_case "view semantics" `Quick test_view_semantics;
+          Alcotest.test_case "newest wins across files" `Quick test_newest_wins_across_files;
+          Alcotest.test_case "create dedups" `Quick test_create_dedups;
+          Alcotest.test_case "strategies agree" `Quick test_select_strategies_agree;
+          Alcotest.test_case "optimal skips set-differences" `Quick test_optimal_skips_setdiffs;
+          Alcotest.test_case "parallel equals serial" `Quick test_parallel_equals_serial;
+          Alcotest.test_case "parallel validation" `Quick test_parallel_validation;
+          Alcotest.test_case "merge" `Quick test_merge;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,223 @@
+(* Tests for the discrete-event engine and queued resources. *)
+
+module Engine = Dbm_sim.Engine
+module Resource = Dbm_sim.Resource
+module Trace = Dbm_sim.Trace
+
+let check = Alcotest.check
+
+let test_event_order () =
+  let e = Engine.create () in
+  let order = ref [] in
+  let note tag () = order := tag :: !order in
+  ignore (Engine.schedule e ~delay:5.0 (note "c"));
+  ignore (Engine.schedule e ~delay:1.0 (note "a"));
+  ignore (Engine.schedule e ~delay:3.0 (note "b"));
+  Engine.run e;
+  check (Alcotest.list Alcotest.string) "time order" [ "a"; "b"; "c" ] (List.rev !order);
+  check (Alcotest.float 1e-9) "clock at last event" 5.0 (Engine.now e)
+
+let test_fifo_ties () =
+  let e = Engine.create () in
+  let order = ref [] in
+  for i = 1 to 5 do
+    ignore (Engine.schedule e ~delay:2.0 (fun () -> order := i :: !order))
+  done;
+  Engine.run e;
+  check (Alcotest.list Alcotest.int) "scheduling order breaks ties" [ 1; 2; 3; 4; 5 ]
+    (List.rev !order)
+
+let test_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let id = Engine.schedule e ~delay:1.0 (fun () -> fired := true) in
+  check Alcotest.int "pending" 1 (Engine.pending e);
+  Engine.cancel e id;
+  check Alcotest.int "cancelled" 0 (Engine.pending e);
+  Engine.run e;
+  check Alcotest.bool "never fires" false !fired;
+  (* double cancel is a no-op *)
+  Engine.cancel e id
+
+let test_nested_scheduling () =
+  let e = Engine.create () in
+  let times = ref [] in
+  ignore
+    (Engine.schedule e ~delay:1.0 (fun () ->
+         times := Engine.now e :: !times;
+         ignore (Engine.schedule e ~delay:2.0 (fun () -> times := Engine.now e :: !times))));
+  Engine.run e;
+  check (Alcotest.list (Alcotest.float 1e-9)) "chained events" [ 1.0; 3.0 ] (List.rev !times)
+
+let test_run_until () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  List.iter
+    (fun d -> ignore (Engine.schedule e ~delay:d (fun () -> fired := d :: !fired)))
+    [ 1.0; 2.0; 3.0 ];
+  Engine.run ~until:2.0 e;
+  check (Alcotest.list (Alcotest.float 1e-9)) "horizon inclusive" [ 1.0; 2.0 ] (List.rev !fired);
+  Engine.run e;
+  check Alcotest.int "resumes" 3 (List.length !fired)
+
+let test_invalid_schedules () =
+  let e = Engine.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule: negative or non-finite delay") (fun () ->
+      ignore (Engine.schedule e ~delay:(-1.0) (fun () -> ())));
+  ignore (Engine.schedule e ~delay:4.0 (fun () -> ()));
+  Engine.run e;
+  Alcotest.check_raises "past time" (Invalid_argument "Engine.schedule_at: time in the past")
+    (fun () -> ignore (Engine.schedule_at e ~time:1.0 (fun () -> ())))
+
+let test_step () =
+  let e = Engine.create () in
+  let n = ref 0 in
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> incr n));
+  ignore (Engine.schedule e ~delay:2.0 (fun () -> incr n));
+  check Alcotest.bool "step 1" true (Engine.step e);
+  check Alcotest.int "one fired" 1 !n;
+  check Alcotest.bool "step 2" true (Engine.step e);
+  check Alcotest.bool "exhausted" false (Engine.step e)
+
+(* --- Resource -------------------------------------------------------- *)
+
+let test_resource_serializes () =
+  let e = Engine.create () in
+  let r = Resource.create e ~name:"cpu" ~servers:1 () in
+  let done_at = ref [] in
+  for _ = 1 to 3 do
+    Resource.submit r ~service:10.0 (fun () -> done_at := Engine.now e :: !done_at)
+  done;
+  Engine.run e;
+  check (Alcotest.list (Alcotest.float 1e-9)) "sequential completions" [ 10.0; 20.0; 30.0 ]
+    (List.rev !done_at);
+  check Alcotest.int "completed" 3 (Resource.completed r)
+
+let test_resource_parallel_servers () =
+  let e = Engine.create () in
+  let r = Resource.create e ~name:"cpu" ~servers:3 () in
+  let done_at = ref [] in
+  for _ = 1 to 3 do
+    Resource.submit r ~service:10.0 (fun () -> done_at := Engine.now e :: !done_at)
+  done;
+  Engine.run e;
+  check (Alcotest.list (Alcotest.float 1e-9)) "parallel completions" [ 10.0; 10.0; 10.0 ]
+    (List.rev !done_at)
+
+let test_resource_utilization () =
+  let e = Engine.create () in
+  let r = Resource.create e ~name:"cpu" ~servers:2 () in
+  (* 2 jobs of 10 on 2 servers, then idle until t=40 *)
+  Resource.submit r ~service:10.0 (fun () -> ());
+  Resource.submit r ~service:10.0 (fun () -> ());
+  ignore (Engine.schedule e ~delay:40.0 (fun () -> ()));
+  Engine.run e;
+  check (Alcotest.float 1e-9) "utilization 20/80" 0.25 (Resource.utilization r)
+
+let test_resource_fcfs () =
+  let e = Engine.create () in
+  let r = Resource.create e ~name:"cpu" ~servers:1 () in
+  let order = ref [] in
+  List.iter
+    (fun tag -> Resource.submit r ~service:1.0 (fun () -> order := tag :: !order))
+    [ "first"; "second"; "third" ];
+  Engine.run e;
+  check (Alcotest.list Alcotest.string) "fcfs" [ "first"; "second"; "third" ] (List.rev !order)
+
+let test_resource_queue_length () =
+  let e = Engine.create () in
+  let r = Resource.create e ~name:"cpu" ~servers:1 () in
+  for _ = 1 to 4 do
+    Resource.submit r ~service:5.0 (fun () -> ())
+  done;
+  check Alcotest.int "three waiting" 3 (Resource.queue_length r);
+  check Alcotest.int "one busy" 1 (Resource.busy_servers r);
+  Engine.run e;
+  check Alcotest.int "drained" 0 (Resource.queue_length r)
+
+(* --- Trace ------------------------------------------------------------ *)
+
+let test_trace_order_and_filter () =
+  let t = Trace.create () in
+  Trace.emit t ~time:1.0 ~source:"a" ~tag:"x" ~detail:"first";
+  Trace.emit t ~time:2.0 ~source:"b" ~tag:"y" ~detail:"second";
+  Trace.emit t ~time:3.0 ~source:"a" ~tag:"x" ~detail:"third";
+  check Alcotest.int "all retained" 3 (List.length (Trace.events t));
+  check Alcotest.int "total" 3 (Trace.total t);
+  let xs = Trace.with_tag t "x" in
+  check Alcotest.int "filtered" 2 (List.length xs);
+  check Alcotest.string "oldest first" "first" (List.hd xs).Trace.detail
+
+let test_trace_bounded () =
+  let t = Trace.create ~capacity:2 () in
+  for i = 1 to 5 do
+    Trace.emit t ~time:(float_of_int i) ~source:"s" ~tag:"t" ~detail:(string_of_int i)
+  done;
+  check Alcotest.int "bounded" 2 (List.length (Trace.events t));
+  check Alcotest.int "total counts drops" 5 (Trace.total t);
+  check Alcotest.string "keeps newest" "4" (List.hd (Trace.events t)).Trace.detail
+
+let test_trace_machine_integration () =
+  let machine = { Dbm_machine.Config.paper_base with Dbm_machine.Config.db_pages = 16384 } in
+  let workload =
+    Dbm_workload.Workload.generate
+      {
+        Dbm_workload.Workload.default with
+        Dbm_workload.Workload.n_transactions = 3;
+        max_pages = 20;
+        db_pages = 16384;
+      }
+  in
+  let trace = Trace.create () in
+  let r =
+    Dbm_machine.Machine.run_traced ~trace ~config:machine
+      ~make_arch:(fun _ -> Dbm_machine.Arch.bare)
+      ~workload
+  in
+  check Alcotest.int "one admit per txn" 3 (List.length (Trace.with_tag trace "admit"));
+  check Alcotest.int "one finish per txn" 3 (List.length (Trace.with_tag trace "finish"));
+  check Alcotest.bool "reads traced" true (Trace.with_tag trace "read" <> []);
+  (* traced and untraced runs are identical *)
+  let r' =
+    Dbm_machine.Machine.run ~config:machine
+      ~make_arch:(fun _ -> Dbm_machine.Arch.bare)
+      ~workload
+  in
+  check (Alcotest.float 1e-9) "tracing does not perturb the run"
+    r'.Dbm_machine.Results.makespan_ms r.Dbm_machine.Results.makespan_ms;
+  (* events are time-ordered *)
+  let rec ordered = function
+    | a :: (b :: _ as rest) -> a.Trace.time <= b.Trace.time && ordered rest
+    | _ -> true
+  in
+  check Alcotest.bool "monotone timeline" true (ordered (Trace.events trace))
+
+let () =
+  Alcotest.run "dbm_sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "event order" `Quick test_event_order;
+          Alcotest.test_case "fifo ties" `Quick test_fifo_ties;
+          Alcotest.test_case "cancel" `Quick test_cancel;
+          Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
+          Alcotest.test_case "run until" `Quick test_run_until;
+          Alcotest.test_case "invalid schedules" `Quick test_invalid_schedules;
+          Alcotest.test_case "step" `Quick test_step;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "order and filter" `Quick test_trace_order_and_filter;
+          Alcotest.test_case "bounded ring" `Quick test_trace_bounded;
+          Alcotest.test_case "machine integration" `Quick test_trace_machine_integration;
+        ] );
+      ( "resource",
+        [
+          Alcotest.test_case "single server serializes" `Quick test_resource_serializes;
+          Alcotest.test_case "parallel servers" `Quick test_resource_parallel_servers;
+          Alcotest.test_case "utilization" `Quick test_resource_utilization;
+          Alcotest.test_case "fcfs order" `Quick test_resource_fcfs;
+          Alcotest.test_case "queue length" `Quick test_resource_queue_length;
+        ] );
+    ]

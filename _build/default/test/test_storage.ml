@@ -1,0 +1,463 @@
+(* Tests for the storage substrate: virtual disk, journal, pages, WAL
+   records, lock manager. *)
+
+module Vdisk = Dbm_storage.Vdisk
+module Journal = Dbm_storage.Journal
+module Page = Dbm_storage.Page
+module Wal = Dbm_storage.Wal
+module Lock = Dbm_storage.Lock_mgr
+
+let check = Alcotest.check
+
+let bytes_testable = Alcotest.testable (fun ppf b -> Format.fprintf ppf "%S" (Bytes.to_string b))
+    Bytes.equal
+
+(* --- Vdisk ------------------------------------------------------------- *)
+
+let page_of_string size s =
+  let b = Bytes.make size '\000' in
+  Bytes.blit_string s 0 b 0 (String.length s);
+  b
+
+let test_vdisk_read_write () =
+  let d = Vdisk.create ~pages:4 ~page_size:16 () in
+  let b = page_of_string 16 "hello" in
+  Vdisk.write d 2 b;
+  check bytes_testable "read back cached" b (Vdisk.read d 2);
+  check Alcotest.int "one unsynced" 1 (Vdisk.unsynced_pages d)
+
+let test_vdisk_crash_drops_unsynced () =
+  let d = Vdisk.create ~pages:4 ~page_size:16 () in
+  Vdisk.write d 0 (page_of_string 16 "lost");
+  Vdisk.crash d;
+  check bytes_testable "back to zeros" (Bytes.make 16 '\000') (Vdisk.read d 0)
+
+let test_vdisk_sync_persists () =
+  let d = Vdisk.create ~pages:4 ~page_size:16 () in
+  let b = page_of_string 16 "kept" in
+  Vdisk.write d 1 b;
+  Vdisk.sync d;
+  Vdisk.crash d;
+  check bytes_testable "survives crash" b (Vdisk.read d 1);
+  check Alcotest.int "cache empty" 0 (Vdisk.unsynced_pages d)
+
+let test_vdisk_write_isolated () =
+  let d = Vdisk.create ~pages:2 ~page_size:8 () in
+  let b = page_of_string 8 "x" in
+  Vdisk.write d 0 b;
+  Bytes.set b 0 'y';
+  check bytes_testable "defensive copy" (page_of_string 8 "x") (Vdisk.read d 0)
+
+let test_vdisk_bounds () =
+  let d = Vdisk.create ~pages:2 ~page_size:8 () in
+  (match Vdisk.read d 2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range read accepted");
+  match Vdisk.write d 0 (Bytes.create 7) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "short buffer accepted"
+
+(* --- Journal ------------------------------------------------------------ *)
+
+let test_journal_order () =
+  let j = Journal.create () in
+  ignore (Journal.append j "a");
+  ignore (Journal.append j "b");
+  Journal.sync j;
+  check (Alcotest.list Alcotest.string) "append order" [ "a"; "b" ] (Journal.read_all j)
+
+let test_journal_crash () =
+  let j = Journal.create () in
+  ignore (Journal.append j "durable");
+  Journal.sync j;
+  ignore (Journal.append j "volatile");
+  Journal.crash j;
+  check (Alcotest.list Alcotest.string) "tail dropped" [ "durable" ] (Journal.read_all j);
+  check Alcotest.int "synced count" 1 (Journal.synced j)
+
+let test_journal_seq_numbers () =
+  let j = Journal.create () in
+  check Alcotest.int "first" 0 (Journal.append j "a");
+  check Alcotest.int "second" 1 (Journal.append j "b");
+  Journal.sync j;
+  check Alcotest.int "third" 2 (Journal.append j "c")
+
+let test_journal_truncate () =
+  let j = Journal.create () in
+  List.iter (fun s -> ignore (Journal.append j s)) [ "a"; "b"; "c"; "d" ];
+  Journal.sync j;
+  Journal.truncate j ~keep_from:2;
+  check (Alcotest.list Alcotest.string) "kept suffix" [ "c"; "d" ] (Journal.read_all j);
+  (* sequence numbers keep counting from where they were *)
+  check Alcotest.int "next seq" 4 (Journal.append j "e");
+  Journal.sync j;
+  check (Alcotest.list Alcotest.string) "append after truncate" [ "c"; "d"; "e" ]
+    (Journal.read_all j)
+
+let test_journal_truncate_bounds () =
+  let j = Journal.create () in
+  ignore (Journal.append j "a");
+  match Journal.truncate j ~keep_from:1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "truncating unsynced records accepted"
+
+(* --- Page ---------------------------------------------------------------- *)
+
+let test_page_roundtrip () =
+  let p = Page.empty ~page_size:256 in
+  Page.set_records p [ (3, "three"); (1, "one"); (2, "two") ];
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.string))
+    "sorted roundtrip"
+    [ (1, "one"); (2, "two"); (3, "three") ]
+    (Page.records p)
+
+let test_page_lsn () =
+  let p = Page.empty ~page_size:64 in
+  check Alcotest.int "initial lsn" 0 (Page.get_lsn p);
+  Page.set_lsn p 42;
+  check Alcotest.int "lsn set" 42 (Page.get_lsn p);
+  Page.set_records p [ (1, "v") ];
+  check Alcotest.int "records keep lsn" 42 (Page.get_lsn p)
+
+let test_page_update_lookup () =
+  let p = Page.empty ~page_size:256 in
+  Page.update p ~key:5 ~value:(Some "five");
+  check (Alcotest.option Alcotest.string) "lookup" (Some "five") (Page.lookup p ~key:5);
+  Page.update p ~key:5 ~value:(Some "FIVE");
+  check (Alcotest.option Alcotest.string) "overwrite" (Some "FIVE") (Page.lookup p ~key:5);
+  Page.update p ~key:5 ~value:None;
+  check (Alcotest.option Alcotest.string) "delete" None (Page.lookup p ~key:5)
+
+let test_page_full () =
+  let p = Page.empty ~page_size:64 in
+  match Page.set_records p [ (1, String.make 100 'x') ] with
+  | exception Page.Page_full -> ()
+  | _ -> Alcotest.fail "overfull page accepted"
+
+let test_page_duplicate_keys_last_wins () =
+  let p = Page.empty ~page_size:128 in
+  Page.set_records p [ (1, "old"); (1, "new") ];
+  check (Alcotest.option Alcotest.string) "last wins" (Some "new") (Page.lookup p ~key:1);
+  check Alcotest.int "single record" 1 (List.length (Page.records p))
+
+let prop_page_roundtrip =
+  QCheck.Test.make ~name:"page records roundtrip" ~count:300
+    QCheck.(small_list (pair (int_range 0 50) (string_of_size (Gen.int_range 0 10))))
+    (fun kvs ->
+      let p = Page.empty ~page_size:2048 in
+      Page.set_records p kvs;
+      let expected =
+        let tbl = Hashtbl.create 16 in
+        List.iter (fun (k, v) -> Hashtbl.replace tbl k v) kvs;
+        List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+      in
+      Page.records p = expected)
+
+(* --- Wal ------------------------------------------------------------------ *)
+
+let sample_records =
+  [
+    Wal.Update { lsn = 7; txn = 3; page = 9; before = Bytes.of_string "abc"; after = Bytes.of_string "xyz" };
+    Wal.Commit { lsn = 8; txn = 3 };
+    Wal.Abort { lsn = 9; txn = 4 };
+    Wal.Checkpoint { lsn = 10; active = [ 5; 6 ] };
+    Wal.Checkpoint { lsn = 11; active = [] };
+  ]
+
+let test_wal_roundtrip () =
+  List.iter
+    (fun r ->
+      let r' = Wal.decode (Wal.encode r) in
+      if r <> r' then Alcotest.failf "roundtrip failed for %s" (Format.asprintf "%a" Wal.pp r))
+    sample_records
+
+let test_wal_checksum_detects_corruption () =
+  let s = Wal.encode (Wal.Commit { lsn = 1; txn = 2 }) in
+  let b = Bytes.of_string s in
+  Bytes.set b 3 (Char.chr (Char.code (Bytes.get b 3) lxor 0xFF));
+  match Wal.decode (Bytes.to_string b) with
+  | exception Wal.Corrupt _ -> ()
+  | _ -> Alcotest.fail "corruption not detected"
+
+let test_wal_truncated () =
+  let s = Wal.encode (Wal.Commit { lsn = 1; txn = 2 }) in
+  match Wal.decode (String.sub s 0 5) with
+  | exception Wal.Corrupt _ -> ()
+  | _ -> Alcotest.fail "truncated record accepted"
+
+let test_wal_accessors () =
+  check Alcotest.int "lsn" 8 (Wal.lsn (Wal.Commit { lsn = 8; txn = 3 }));
+  check (Alcotest.option Alcotest.int) "txn" (Some 3) (Wal.txn_of (Wal.Commit { lsn = 8; txn = 3 }));
+  check (Alcotest.option Alcotest.int) "checkpoint has no txn" None
+    (Wal.txn_of (Wal.Checkpoint { lsn = 1; active = [] }))
+
+let prop_wal_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      oneof
+        [
+          map2 (fun lsn txn -> Wal.Commit { lsn; txn }) (int_range 0 1000) (int_range 0 1000);
+          map2 (fun lsn txn -> Wal.Abort { lsn; txn }) (int_range 0 1000) (int_range 0 1000);
+          map
+            (fun (lsn, txn, page, b, a) ->
+              Wal.Update
+                { lsn; txn; page; before = Bytes.of_string b; after = Bytes.of_string a })
+            (tup5 (int_range 0 1000) (int_range 0 1000) (int_range 0 1000)
+               (string_size (int_range 0 40))
+               (string_size (int_range 0 40)));
+          map2
+            (fun lsn active -> Wal.Checkpoint { lsn; active })
+            (int_range 0 1000)
+            (small_list (int_range 0 100));
+        ])
+  in
+  QCheck.Test.make ~name:"wal encode/decode roundtrip" ~count:500 (QCheck.make gen) (fun r ->
+      Wal.decode (Wal.encode r) = r)
+
+(* --- Buffer_pool ------------------------------------------------------------ *)
+
+module Pool = Dbm_storage.Buffer_pool
+
+let make_pool ?can_evict ?before_evict ~frames () =
+  let d = Vdisk.create ~pages:16 ~page_size:64 () in
+  (* give the disk distinguishable contents *)
+  for p = 0 to 15 do
+    let b = Bytes.make 64 '\000' in
+    Bytes.set b 16 (Char.chr (Char.code 'a' + p));
+    Vdisk.write d p b
+  done;
+  Vdisk.sync d;
+  (d, Pool.create d ~frames ?can_evict ?before_evict ())
+
+let test_pool_hit_miss () =
+  let _, pool = make_pool ~frames:2 () in
+  let b = Pool.get pool 3 in
+  check Alcotest.char "fetched from disk" 'd' (Bytes.get b 16);
+  Pool.unpin pool 3;
+  ignore (Pool.get pool 3);
+  Pool.unpin pool 3;
+  check Alcotest.int "one miss" 1 (Pool.misses pool);
+  check Alcotest.int "one hit" 1 (Pool.hits pool)
+
+let test_pool_eviction_lru () =
+  let _, pool = make_pool ~frames:2 () in
+  ignore (Pool.get pool 0);
+  Pool.unpin pool 0;
+  ignore (Pool.get pool 1);
+  Pool.unpin pool 1;
+  ignore (Pool.get pool 0);  (* touch 0: 1 becomes LRU *)
+  Pool.unpin pool 0;
+  ignore (Pool.get pool 2);
+  Pool.unpin pool 2;
+  check Alcotest.bool "page 1 evicted" false (Pool.resident pool 1);
+  check Alcotest.bool "page 0 kept" true (Pool.resident pool 0);
+  check Alcotest.int "one eviction" 1 (Pool.evictions pool)
+
+let test_pool_pinned_not_evicted () =
+  let _, pool = make_pool ~frames:1 () in
+  ignore (Pool.get pool 0);  (* pinned *)
+  match Pool.get pool 1 with
+  | exception Pool.No_free_frame -> ()
+  | _ -> Alcotest.fail "evicted a pinned frame"
+
+let test_pool_dirty_writeback () =
+  let d, pool = make_pool ~frames:1 () in
+  let b = Pool.get pool 0 in
+  Bytes.set b 16 'Z';
+  Pool.mark_dirty pool 0;
+  Pool.unpin pool 0;
+  (* force eviction: the dirty frame must reach the disk *)
+  ignore (Pool.get pool 1);
+  Pool.unpin pool 1;
+  check Alcotest.char "dirty page written back" 'Z' (Bytes.get (Vdisk.read d 0) 16)
+
+let test_pool_wal_gate () =
+  let allowed = ref false in
+  let forced = ref 0 in
+  let _, pool =
+    make_pool ~frames:1
+      ~can_evict:(fun ~page:_ ~lsn:_ -> !allowed)
+      ~before_evict:(fun ~page:_ ~lsn:_ -> incr forced)
+      ()
+  in
+  let b = Pool.get pool 0 in
+  Bytes.set b 16 'Z';
+  Pool.mark_dirty pool 0;
+  Pool.unpin pool 0;
+  (* gate closed: the only candidate is unevictable *)
+  (match Pool.get pool 1 with
+  | exception Pool.No_free_frame -> ()
+  | _ -> Alcotest.fail "evicted past a closed WAL gate");
+  check Alcotest.bool "before_evict ran (a chance to force the log)" true (!forced > 0);
+  allowed := true;
+  ignore (Pool.get pool 1);
+  Pool.unpin pool 1;
+  check Alcotest.bool "evicted once the gate opened" true (Pool.resident pool 1)
+
+let test_pool_flush_all () =
+  let d, pool = make_pool ~frames:4 () in
+  List.iter
+    (fun p ->
+      let b = Pool.get pool p in
+      Bytes.set b 16 'X';
+      Pool.mark_dirty pool p;
+      Pool.unpin pool p)
+    [ 0; 1; 2 ];
+  Pool.flush_all pool;
+  Vdisk.crash d;
+  List.iter
+    (fun p -> check Alcotest.char "durable after flush_all" 'X' (Bytes.get (Vdisk.read d p) 16))
+    [ 0; 1; 2 ];
+  check Alcotest.bool "frames clean" false (Pool.is_dirty pool 0)
+
+let test_pool_nested_pins () =
+  let _, pool = make_pool ~frames:2 () in
+  ignore (Pool.get pool 0);
+  ignore (Pool.get pool 0);
+  Pool.unpin pool 0;
+  check Alcotest.int "still pinned" 1 (Pool.pinned pool);
+  Pool.unpin pool 0;
+  check Alcotest.int "fully unpinned" 0 (Pool.pinned pool);
+  match Pool.unpin pool 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "over-unpin accepted"
+
+(* --- Lock_mgr --------------------------------------------------------------- *)
+
+let test_lock_grant_and_conflict () =
+  let t = Lock.create () in
+  check Alcotest.bool "S granted" true (Lock.acquire t ~txn:1 ~page:1 ~mode:Lock.S = Lock.Granted);
+  check Alcotest.bool "S shared" true (Lock.acquire t ~txn:2 ~page:1 ~mode:Lock.S = Lock.Granted);
+  check Alcotest.bool "X blocks" true (Lock.acquire t ~txn:3 ~page:1 ~mode:Lock.X = Lock.Would_block);
+  check Alcotest.bool "t3 recorded waiting" true (Lock.waiting t ~txn:3)
+
+let test_lock_release_then_grant () =
+  let t = Lock.create () in
+  ignore (Lock.acquire t ~txn:1 ~page:1 ~mode:Lock.X);
+  check Alcotest.bool "blocked" true (Lock.acquire t ~txn:2 ~page:1 ~mode:Lock.X = Lock.Would_block);
+  Lock.release_all t ~txn:1;
+  check Alcotest.bool "granted after release" true
+    (Lock.acquire t ~txn:2 ~page:1 ~mode:Lock.X = Lock.Granted)
+
+let test_lock_upgrade () =
+  let t = Lock.create () in
+  ignore (Lock.acquire t ~txn:1 ~page:1 ~mode:Lock.S);
+  check Alcotest.bool "sole holder upgrades" true
+    (Lock.acquire t ~txn:1 ~page:1 ~mode:Lock.X = Lock.Granted);
+  check Alcotest.bool "holds X" true (Lock.holds t ~txn:1 ~page:1 = Some Lock.X)
+
+let test_lock_upgrade_blocked_by_other_reader () =
+  let t = Lock.create () in
+  ignore (Lock.acquire t ~txn:1 ~page:1 ~mode:Lock.S);
+  ignore (Lock.acquire t ~txn:2 ~page:1 ~mode:Lock.S);
+  check Alcotest.bool "upgrade must wait" true
+    (Lock.acquire t ~txn:1 ~page:1 ~mode:Lock.X = Lock.Would_block)
+
+let test_lock_deadlock_detected () =
+  let t = Lock.create () in
+  ignore (Lock.acquire t ~txn:1 ~page:1 ~mode:Lock.X);
+  ignore (Lock.acquire t ~txn:2 ~page:2 ~mode:Lock.X);
+  check Alcotest.bool "t1 waits for p2" true
+    (Lock.acquire t ~txn:1 ~page:2 ~mode:Lock.X = Lock.Would_block);
+  match Lock.acquire t ~txn:2 ~page:1 ~mode:Lock.X with
+  | Lock.Deadlock cycle ->
+    check Alcotest.bool "cycle mentions both" true (List.mem 1 cycle && List.mem 2 cycle)
+  | _ -> Alcotest.fail "deadlock not detected"
+
+let test_lock_three_way_deadlock () =
+  let t = Lock.create () in
+  ignore (Lock.acquire t ~txn:1 ~page:1 ~mode:Lock.X);
+  ignore (Lock.acquire t ~txn:2 ~page:2 ~mode:Lock.X);
+  ignore (Lock.acquire t ~txn:3 ~page:3 ~mode:Lock.X);
+  ignore (Lock.acquire t ~txn:1 ~page:2 ~mode:Lock.X);
+  ignore (Lock.acquire t ~txn:2 ~page:3 ~mode:Lock.X);
+  match Lock.acquire t ~txn:3 ~page:1 ~mode:Lock.X with
+  | Lock.Deadlock cycle -> check Alcotest.bool "3-cycle" true (List.length cycle >= 3)
+  | _ -> Alcotest.fail "3-way deadlock not detected"
+
+let test_lock_fifo_fairness () =
+  let t = Lock.create () in
+  ignore (Lock.acquire t ~txn:1 ~page:1 ~mode:Lock.S);
+  (* writer queues behind the reader *)
+  check Alcotest.bool "writer waits" true
+    (Lock.acquire t ~txn:2 ~page:1 ~mode:Lock.X = Lock.Would_block);
+  (* a later reader may not overtake the queued writer *)
+  check Alcotest.bool "reader cannot overtake writer" true
+    (Lock.acquire t ~txn:3 ~page:1 ~mode:Lock.S = Lock.Would_block)
+
+let test_lock_withdraw () =
+  let t = Lock.create () in
+  ignore (Lock.acquire t ~txn:1 ~page:1 ~mode:Lock.X);
+  ignore (Lock.acquire t ~txn:2 ~page:1 ~mode:Lock.X);
+  Lock.withdraw t ~txn:2 ~page:1;
+  check Alcotest.bool "no longer waiting" false (Lock.waiting t ~txn:2)
+
+let test_lock_locked_pages () =
+  let t = Lock.create () in
+  ignore (Lock.acquire t ~txn:1 ~page:1 ~mode:Lock.X);
+  ignore (Lock.acquire t ~txn:1 ~page:2 ~mode:Lock.S);
+  check Alcotest.int "two pages" 2 (Lock.locked_pages t);
+  Lock.release_all t ~txn:1;
+  check Alcotest.int "none" 0 (Lock.locked_pages t)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_page_roundtrip; prop_wal_roundtrip ]
+
+let () =
+  Alcotest.run "dbm_storage substrate"
+    [
+      ( "vdisk",
+        [
+          Alcotest.test_case "read/write" `Quick test_vdisk_read_write;
+          Alcotest.test_case "crash drops unsynced" `Quick test_vdisk_crash_drops_unsynced;
+          Alcotest.test_case "sync persists" `Quick test_vdisk_sync_persists;
+          Alcotest.test_case "defensive copies" `Quick test_vdisk_write_isolated;
+          Alcotest.test_case "bounds" `Quick test_vdisk_bounds;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "order" `Quick test_journal_order;
+          Alcotest.test_case "crash" `Quick test_journal_crash;
+          Alcotest.test_case "sequence numbers" `Quick test_journal_seq_numbers;
+          Alcotest.test_case "truncate" `Quick test_journal_truncate;
+          Alcotest.test_case "truncate bounds" `Quick test_journal_truncate_bounds;
+        ] );
+      ( "page",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_page_roundtrip;
+          Alcotest.test_case "lsn" `Quick test_page_lsn;
+          Alcotest.test_case "update/lookup" `Quick test_page_update_lookup;
+          Alcotest.test_case "page full" `Quick test_page_full;
+          Alcotest.test_case "duplicate keys" `Quick test_page_duplicate_keys_last_wins;
+        ] );
+      ( "wal",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_wal_roundtrip;
+          Alcotest.test_case "checksum" `Quick test_wal_checksum_detects_corruption;
+          Alcotest.test_case "truncated" `Quick test_wal_truncated;
+          Alcotest.test_case "accessors" `Quick test_wal_accessors;
+        ] );
+      ( "buffer_pool",
+        [
+          Alcotest.test_case "hit/miss" `Quick test_pool_hit_miss;
+          Alcotest.test_case "lru eviction" `Quick test_pool_eviction_lru;
+          Alcotest.test_case "pinned not evicted" `Quick test_pool_pinned_not_evicted;
+          Alcotest.test_case "dirty write-back" `Quick test_pool_dirty_writeback;
+          Alcotest.test_case "WAL gate" `Quick test_pool_wal_gate;
+          Alcotest.test_case "flush_all" `Quick test_pool_flush_all;
+          Alcotest.test_case "nested pins" `Quick test_pool_nested_pins;
+        ] );
+      ( "lock_mgr",
+        [
+          Alcotest.test_case "grant and conflict" `Quick test_lock_grant_and_conflict;
+          Alcotest.test_case "release then grant" `Quick test_lock_release_then_grant;
+          Alcotest.test_case "upgrade" `Quick test_lock_upgrade;
+          Alcotest.test_case "upgrade blocked" `Quick test_lock_upgrade_blocked_by_other_reader;
+          Alcotest.test_case "deadlock" `Quick test_lock_deadlock_detected;
+          Alcotest.test_case "3-way deadlock" `Quick test_lock_three_way_deadlock;
+          Alcotest.test_case "fifo fairness" `Quick test_lock_fifo_fairness;
+          Alcotest.test_case "withdraw" `Quick test_lock_withdraw;
+          Alcotest.test_case "locked pages" `Quick test_lock_locked_pages;
+        ] );
+      ("properties", qsuite);
+    ]
