@@ -15,25 +15,75 @@ let separator title =
 (* Part 1: the paper's tables                                          *)
 (* ------------------------------------------------------------------ *)
 
-let run_tables () =
+(* One timed regeneration of all twelve tables through a pool; the
+   tables are the parallel unit.  Per-table wall clock overlaps when the
+   pool has more than one domain. *)
+let regenerate pool =
+  Dbm_util.Pool.map_ordered pool
+    (List.init 12 (fun i -> i + 1))
+    ~f:(fun i ->
+      let t0 = Unix.gettimeofday () in
+      let t = Dbm_core.Tables.by_id i in
+      (t, (Unix.gettimeofday () -. t0) *. 1000.0))
+
+let timed_regeneration jobs =
+  Dbm_core.Experiment.clear_cache ();
+  let t0 = Unix.gettimeofday () in
+  let tables = Dbm_util.Pool.with_pool ~jobs regenerate in
+  (tables, (Unix.gettimeofday () -. t0) *. 1000.0)
+
+let render_all tables =
+  String.concat "" (List.map (fun (t, _) -> Dbm_core.Report.to_string t) tables)
+
+type table_report = {
+  serial_ms : float;
+  parallel_ms : float;
+  jobs : int;
+  byte_identical : bool;
+  overall_score : float;
+  per_table : (string * float * float) list; (* id, shape score, wall ms *)
+}
+
+let run_tables ~jobs () =
   separator "Reproduction of Agrawal & DeWitt (1985), Tables 1-12";
   Printf.printf "(each cell: measured [paper]; all times in ms)\n";
-  let scores =
-    List.map
-      (fun t ->
+  let serial, serial_ms = timed_regeneration 1 in
+  let (tables, parallel_ms), byte_identical =
+    if jobs <= 1 then ((serial, serial_ms), true)
+    else begin
+      let parallel, parallel_ms = timed_regeneration jobs in
+      ( (parallel, parallel_ms),
+        String.equal (render_all serial) (render_all parallel) )
+    end
+  in
+  (* Per-table wall clock is taken from the serial reference run: the
+     parallel spans include blocking on shared memoized runs, so they do
+     not compare cleanly across PRs. *)
+  let per_table =
+    List.map2
+      (fun (t, _) (_, serial_wall_ms) ->
         print_newline ();
         print_string (Dbm_core.Report.to_string t);
         let score = Dbm_core.Report.mean_abs_log_ratio t in
         Printf.printf "shape score (mean |log measured/paper|): %.3f\n" score;
-        (t.Dbm_core.Report.id, score))
-      (Dbm_core.Tables.all ())
+        (t.Dbm_core.Report.id, score, serial_wall_ms))
+      tables serial
   in
   separator "Shape summary";
-  List.iter (fun (id, s) -> Printf.printf "%-9s %.3f\n" id s) scores;
-  let mean =
-    List.fold_left (fun acc (_, s) -> acc +. s) 0.0 scores /. float_of_int (List.length scores)
+  List.iter (fun (id, s, _) -> Printf.printf "%-9s %.3f\n" id s) per_table;
+  let overall_score =
+    List.fold_left (fun acc (_, s, _) -> acc +. s) 0.0 per_table
+    /. float_of_int (List.length per_table)
   in
-  Printf.printf "%-9s %.3f  (0 = exact; 0.7 ~ 2x average miss)\n" "overall" mean
+  Printf.printf "%-9s %.3f  (0 = exact; 0.7 ~ 2x average miss)\n" "overall" overall_score;
+  separator "Table regeneration wall clock";
+  Printf.printf "serial (1 job): %.0f ms\n" serial_ms;
+  if jobs > 1 then begin
+    Printf.printf "%d jobs:        %.0f ms  (%.2fx)\n" jobs parallel_ms
+      (serial_ms /. parallel_ms);
+    Printf.printf "parallel output byte-identical to serial: %b\n" byte_identical
+  end;
+  { serial_ms; parallel_ms; jobs; byte_identical; overall_score; per_table }
 
 (* Sweep shapes, at a glance. *)
 let run_charts () =
@@ -57,13 +107,13 @@ let run_charts () =
           (fun i label -> (label, cell_of 11 ~row:0 ~col:i))
           [ "bare"; "10%"; "15%"; "20%" ]))
 
-let run_ablations () =
+let run_ablations ~jobs () =
   separator "Ablations (design-choice experiments beyond the paper)";
   List.iter
     (fun t ->
       print_newline ();
       print_string (Dbm_core.Report.to_string t))
-    (Dbm_core.Ablations.all ())
+    (Dbm_util.Pool.with_pool ~jobs (fun pool -> Dbm_core.Ablations.all ~pool ()))
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks                                   *)
@@ -142,6 +192,19 @@ let bench_page_ops =
            ignore (Dbm_storage.Page.lookup p ~key:(i mod 16))
          done))
 
+(* A page holding 64 records, scanned without materializing the record
+   list: the minor-allocation estimate proves lookup allocates only the
+   result (a handful of words), not the whole record set. *)
+let lookup_page =
+  let p = Dbm_storage.Page.empty ~page_size:2048 in
+  Dbm_storage.Page.set_records p (List.init 64 (fun i -> (i, Printf.sprintf "value-%02d" i)));
+  p
+
+let bench_page_lookup =
+  Test.make ~name:"page lookup, 64-record page (alloc-free scan)"
+    (Staged.stage (fun () ->
+         ignore (Sys.opaque_identity (Dbm_storage.Page.lookup lookup_page ~key:48))))
+
 (* Table 12 (grand comparison): a whole miniature simulation run. *)
 let bench_mini_simulation =
   Test.make ~name:"table12: full machine run (5 txns)"
@@ -214,6 +277,7 @@ let benchmarks =
     bench_lru;
     bench_layout;
     bench_page_ops;
+    bench_page_lookup;
     bench_mini_simulation;
     bench_relation_select;
     bench_wal_codec;
@@ -225,14 +289,30 @@ let benchmarks =
     bench_engine (module Dbm_storage.Engine_diff);
   ]
 
+let bench_cfg () = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:(Some 200) ()
+
+(* Per-run estimate of one instance (ns or minor words) for one test. *)
+let estimate instance test =
+  let results =
+    Benchmark.all (bench_cfg ()) [ instance ]
+      (Test.make_grouped ~name:"g" ~fmt:"%s %s" [ test ])
+  in
+  let ols =
+    Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+      instance results
+  in
+  Hashtbl.fold
+    (fun _ result acc ->
+      match Analyze.OLS.estimates result with Some [ est ] -> Some est | _ -> acc)
+    ols None
+
 let run_benchmarks () =
   separator "Micro-benchmarks (Bechamel)";
-  let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:(Some 200) () in
   List.iter
     (fun test ->
       let results =
-        Benchmark.all cfg instances (Test.make_grouped ~name:"g" ~fmt:"%s %s" [ test ])
+        Benchmark.all (bench_cfg ()) Instance.[ monotonic_clock ]
+          (Test.make_grouped ~name:"g" ~fmt:"%s %s" [ test ])
       in
       let ols =
         Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
@@ -244,12 +324,82 @@ let run_benchmarks () =
           | Some [ est ] -> Printf.printf "%-55s %12.1f ns/run\n" name est
           | _ -> Printf.printf "%-55s (no estimate)\n" name)
         ols)
-    benchmarks
+    benchmarks;
+  let lookup_ns = estimate Instance.monotonic_clock bench_page_lookup in
+  let lookup_minor = estimate Instance.minor_allocated bench_page_lookup in
+  (match lookup_minor with
+  | Some words ->
+    Printf.printf "%-55s %12.1f minor words/run\n" "page lookup, 64-record page (allocation)"
+      words
+  | None -> ());
+  (lookup_ns, lookup_minor)
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_1.json: the perf trajectory record for later PRs              *)
+(* ------------------------------------------------------------------ *)
+
+let write_bench_json path (tr : table_report) (lookup_ns, lookup_minor) total_s =
+  let buf = Buffer.create 1024 in
+  let field_opt name = function
+    | None -> Printf.sprintf "  \"%s\": null" name
+    | Some v -> Printf.sprintf "  \"%s\": %.1f" name v
+  in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"bench\": 1,\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"host_cores\": %d,\n" (Dbm_util.Pool.default_jobs ()));
+  Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" tr.jobs);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"tables_serial_wall_ms\": %.1f,\n" tr.serial_ms);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"tables_parallel_wall_ms\": %.1f,\n" tr.parallel_ms);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"tables_speedup\": %.3f,\n" (tr.serial_ms /. tr.parallel_ms));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"parallel_output_byte_identical\": %b,\n" tr.byte_identical);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"overall_shape_score\": %.4f,\n" tr.overall_score);
+  Buffer.add_string buf "  \"tables\": [\n";
+  let rows =
+    List.map
+      (fun (id, score, wall_ms) ->
+        Printf.sprintf "    {\"id\": \"%s\", \"shape_score\": %.4f, \"wall_ms\": %.2f}" id
+          score wall_ms)
+      tr.per_table
+  in
+  Buffer.add_string buf (String.concat ",\n" rows);
+  Buffer.add_string buf "\n  ],\n";
+  Buffer.add_string buf (field_opt "page_lookup_ns_per_run" lookup_ns);
+  Buffer.add_string buf ",\n";
+  Buffer.add_string buf (field_opt "page_lookup_minor_words_per_run" lookup_minor);
+  Buffer.add_string buf ",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"total_wall_s\": %.1f\n" total_s);
+  Buffer.add_string buf "}\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf "wrote %s\n" path
 
 let () =
+  let jobs = ref (Dbm_util.Pool.default_jobs ()) in
+  let json_path = ref "BENCH_1.json" in
+  Arg.parse
+    [
+      ("--jobs", Arg.Set_int jobs, "N worker domains for table/ablation regeneration");
+      ("-j", Arg.Set_int jobs, "N same as --jobs");
+      ("--json", Arg.Set_string json_path, "PATH where to write the benchmark record");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "bench/main.exe [--jobs N] [--json PATH]";
+  if !jobs < 1 then begin
+    prerr_endline "--jobs must be >= 1";
+    exit 2
+  end;
   let t0 = Unix.gettimeofday () in
-  run_tables ();
+  let table_report = run_tables ~jobs:!jobs () in
   run_charts ();
-  run_ablations ();
-  run_benchmarks ();
-  Printf.printf "\ntotal wall time: %.1f s\n" (Unix.gettimeofday () -. t0)
+  run_ablations ~jobs:!jobs ();
+  let lookup_estimates = run_benchmarks () in
+  let total_s = Unix.gettimeofday () -. t0 in
+  Printf.printf "\ntotal wall time: %.1f s\n" total_s;
+  write_bench_json !json_path table_report lookup_estimates total_s

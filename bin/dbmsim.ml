@@ -38,6 +38,29 @@ let make_arch = function
   | "version-select" -> Dbm_recovery.Version_select.make_sim
   | other -> invalid_arg (Printf.sprintf "unknown architecture %S" other)
 
+(* -- parallel execution -------------------------------------------- *)
+
+let positive_int =
+  let parse s =
+    match Arg.conv_parser Arg.int s with
+    | Ok n when n >= 1 -> Ok n
+    | Ok _ -> Error (`Msg "must be >= 1")
+    | Error _ as e -> e
+  in
+  Arg.conv (parse, Arg.conv_printer Arg.int)
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt positive_int (Dbm_util.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for independent simulations (default: the number of cores). \
+           $(docv)=1 reproduces the serial execution path bit-for-bit; any $(docv) \
+           produces identical output.")
+
+let with_jobs jobs f = Dbm_util.Pool.with_pool ~jobs f
+
 (* -- table command ------------------------------------------------- *)
 
 let print_table ~csv t =
@@ -56,14 +79,16 @@ let table_cmd =
       & info [] ~docv:"N" ~doc:"Table number (1-12); all when omitted.")
   in
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of aligned text.") in
-  let run id csv =
+  let run id csv jobs =
     match id with
     | Some n -> print_table ~csv (Dbm_core.Tables.by_id n)
-    | None -> List.iter (print_table ~csv) (Dbm_core.Tables.all ())
+    | None ->
+      with_jobs jobs (fun pool ->
+          List.iter (print_table ~csv) (Dbm_core.Tables.all ~pool ()))
   in
   Cmd.v
     (Cmd.info "table" ~doc:"Regenerate one or all of the paper's Tables 1-12.")
-    Term.(const run $ id $ csv)
+    Term.(const run $ id $ csv $ jobs_arg)
 
 (* -- run command --------------------------------------------------- *)
 
@@ -124,11 +149,14 @@ let run_cmd =
 
 let ablation_cmd =
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of aligned text.") in
-  let run csv = List.iter (print_table ~csv) (Dbm_core.Ablations.all ()) in
+  let run csv jobs =
+    with_jobs jobs (fun pool ->
+        List.iter (print_table ~csv) (Dbm_core.Ablations.all ~pool ()))
+  in
   Cmd.v
     (Cmd.info "ablation"
        ~doc:"Run the ablation experiments for the design choices listed in DESIGN.md.")
-    Term.(const run $ csv)
+    Term.(const run $ csv $ jobs_arg)
 
 (* -- workload command --------------------------------------------------- *)
 
@@ -200,7 +228,7 @@ let export_cmd =
       & info [ "d"; "dir" ] ~docv:"DIR" ~doc:"Output directory (created if missing).")
   in
   let slug s = String.map (fun c -> if c = ' ' then '_' else Char.lowercase_ascii c) s in
-  let run dir =
+  let run dir jobs =
     if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
     let write (t : Dbm_core.Report.table) =
       let path = Filename.concat dir (slug t.Dbm_core.Report.id ^ ".csv") in
@@ -209,24 +237,28 @@ let export_cmd =
       close_out oc;
       Printf.printf "wrote %s\n" path
     in
-    List.iter write (Dbm_core.Tables.all ());
-    List.iter write (Dbm_core.Ablations.all ());
-    List.iter write (Dbm_core.Extensions.all ())
+    with_jobs jobs (fun pool ->
+        List.iter write (Dbm_core.Tables.all ~pool ());
+        List.iter write (Dbm_core.Ablations.all ~pool ());
+        List.iter write (Dbm_core.Extensions.all ~pool ()))
   in
   Cmd.v
     (Cmd.info "export"
        ~doc:"Write every table (paper, ablation, extension) as CSV files to a directory.")
-    Term.(const run $ dir)
+    Term.(const run $ dir $ jobs_arg)
 
 (* -- extension command ----------------------------------------------- *)
 
 let extension_cmd =
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of aligned text.") in
-  let run csv = List.iter (print_table ~csv) (Dbm_core.Extensions.all ()) in
+  let run csv jobs =
+    with_jobs jobs (fun pool ->
+        List.iter (print_table ~csv) (Dbm_core.Extensions.all ~pool ()))
+  in
   Cmd.v
     (Cmd.info "extension"
        ~doc:"Run the extension experiments (hot-spot contention, mixed transaction sizes).")
-    Term.(const run $ csv)
+    Term.(const run $ csv $ jobs_arg)
 
 (* -- recovery-time command ------------------------------------------ *)
 

@@ -312,8 +312,13 @@ let version_selection () =
       ];
   }
 
-let all () =
+let builders =
   [
-    wal_rule (); release_batching (); scratch_placement (); diff_qualify ();
-    pt_buffer_sweep (); mpl_sweep (); read_batch_sweep (); version_selection ();
+    wal_rule; release_batching; scratch_placement; diff_qualify; pt_buffer_sweep; mpl_sweep;
+    read_batch_sweep; version_selection;
   ]
+
+let all ?pool () =
+  match pool with
+  | None -> List.map (fun f -> f ()) builders
+  | Some p -> Dbm_util.Pool.map_ordered p builders ~f:(fun f -> f ())

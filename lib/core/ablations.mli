@@ -40,4 +40,6 @@ val version_selection : unit -> Report.table
     rejects it analytically in Section 4.2.5): every read transfers both
     adjacent copies. *)
 
-val all : unit -> Report.table list
+val all : ?pool:Dbm_util.Pool.t -> unit -> Report.table list
+(** All ablations, in order; with [pool] they run in parallel across its
+    domains with an identical result. *)

@@ -1,15 +1,65 @@
-let cache : (string, Dbm_machine.Results.t) Hashtbl.t = Hashtbl.create 64
+(* The memo cache is shared by every domain running experiments.  A key
+   is either [Done] or [Running] (some domain is computing it); a second
+   requester of a [Running] key blocks on [changed] instead of
+   recomputing, so the pool never duplicates the runs shared across
+   tables (the bare baselines, the common logging/shadow configurations)
+   that memoization deduplicates in the serial path.  All runs are
+   deterministic, so which domain computes a key never affects the
+   result. *)
 
-let clear_cache () = Hashtbl.reset cache
+type slot = Done of Dbm_machine.Results.t | Running
+
+let cache : (string, slot) Hashtbl.t = Hashtbl.create 64
+
+let lock = Mutex.create ()
+
+let changed = Condition.create ()
+
+let clear_cache () =
+  Mutex.lock lock;
+  (* Never discard Running markers: the computing domain would leave a
+     stale entry behind.  Dropping only Done entries keeps waiters sound. *)
+  Hashtbl.filter_map_inplace
+    (fun _ s -> match s with Done _ -> None | Running -> Some s)
+    cache;
+  Mutex.unlock lock
 
 let run ~key ~machine ~workload ~make_arch () =
-  match Hashtbl.find_opt cache key with
-  | Some r -> r
-  | None ->
-    let txns = Dbm_workload.Workload.generate workload in
-    let r = Dbm_machine.Machine.run ~config:machine ~make_arch ~workload:txns in
-    Hashtbl.replace cache key r;
-    r
+  Mutex.lock lock;
+  let rec claim () =
+    match Hashtbl.find_opt cache key with
+    | Some (Done r) ->
+      Mutex.unlock lock;
+      `Ready r
+    | Some Running ->
+      Condition.wait changed lock;
+      claim ()
+    | None ->
+      Hashtbl.replace cache key Running;
+      Mutex.unlock lock;
+      `Compute
+  in
+  match claim () with
+  | `Ready r -> r
+  | `Compute ->
+    let finish slot =
+      Mutex.lock lock;
+      (match slot with
+      | Some r -> Hashtbl.replace cache key (Done r)
+      | None -> Hashtbl.remove cache key);
+      Condition.broadcast changed;
+      Mutex.unlock lock
+    in
+    (match
+       let txns = Dbm_workload.Workload.generate workload in
+       Dbm_machine.Machine.run ~config:machine ~make_arch ~workload:txns
+     with
+    | r ->
+      finish (Some r);
+      r
+    | exception e ->
+      finish None;
+      raise e)
 
 let on_scenario ~key ?scramble scenario make_arch =
   run ~key

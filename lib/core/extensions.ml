@@ -178,4 +178,9 @@ let open_system_load () =
       ];
   }
 
-let all () = [ hotspot_contention (); mixed_size_fairness (); open_system_load () ]
+let builders = [ hotspot_contention; mixed_size_fairness; open_system_load ]
+
+let all ?pool () =
+  match pool with
+  | None -> List.map (fun f -> f ()) builders
+  | Some p -> Dbm_util.Pool.map_ordered p builders ~f:(fun f -> f ())

@@ -20,4 +20,6 @@ val open_system_load : unit -> Report.table
     response time as the offered load approaches the machine's
     capacity. *)
 
-val all : unit -> Report.table list
+val all : ?pool:Dbm_util.Pool.t -> unit -> Report.table list
+(** All extensions, in order; with [pool] they run in parallel across
+    its domains with an identical result. *)

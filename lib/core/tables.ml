@@ -404,11 +404,20 @@ let table12 () =
     notes = [];
   }
 
-let all () =
+let builders =
   [
-    table1 (); table2 (); table3 (); table4 (); table5 (); table6 (); table7 (); table8 ();
-    table9 (); table10 (); table11 (); table12 ();
+    table1; table2; table3; table4; table5; table6; table7; table8; table9; table10; table11;
+    table12;
   ]
+
+(* Each table is an independent set of seeded simulations, so tables are
+   the unit of parallelism; the memo cache they share is mutex-protected
+   and all runs are deterministic, so the result list does not depend on
+   the pool size. *)
+let all ?pool () =
+  match pool with
+  | None -> List.map (fun f -> f ()) builders
+  | Some p -> Dbm_util.Pool.map_ordered p builders ~f:(fun f -> f ())
 
 let by_id = function
   | 1 -> table1 ()

@@ -47,8 +47,10 @@ val table11 : unit -> Report.table
 val table12 : unit -> Report.table
 (** Grand comparison of all recovery architectures. *)
 
-val all : unit -> Report.table list
-(** All twelve, in order. *)
+val all : ?pool:Dbm_util.Pool.t -> unit -> Report.table list
+(** All twelve, in order.  With [pool], the tables (independent seeded
+    simulations) are regenerated in parallel across its domains; the
+    result is identical to the serial run regardless of pool size. *)
 
 val by_id : int -> Report.table
 (** @raise Invalid_argument unless [1 <= id <= 12]. *)

@@ -20,15 +20,25 @@ let scramble_coeffs seed n =
   (a, b)
 
 (* Coefficients depend only on (seed, capacity); memoize them so locating
-   a page stays O(1). *)
+   a page stays O(1).  The cache is shared by every simulation domain,
+   hence the mutex; a race on the same key just recomputes the same
+   deterministic pair. *)
 let coeff_cache : (int * int, int * int) Hashtbl.t = Hashtbl.create 8
 
+let coeff_lock = Mutex.create ()
+
 let scramble_coeffs seed n =
+  Mutex.lock coeff_lock;
   match Hashtbl.find_opt coeff_cache (seed, n) with
-  | Some c -> c
+  | Some c ->
+    Mutex.unlock coeff_lock;
+    c
   | None ->
+    Mutex.unlock coeff_lock;
     let c = scramble_coeffs seed n in
+    Mutex.lock coeff_lock;
     Hashtbl.replace coeff_cache (seed, n) c;
+    Mutex.unlock coeff_lock;
     c
 
 let physical_index params layout ~page =

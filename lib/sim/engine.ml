@@ -7,21 +7,81 @@ type event = {
 
 type event_id = event
 
+(* The agenda is a monomorphic binary min-heap inlined here: the generic
+   [Dbm_util.Heap] pays a closure call per comparison, which dominates the
+   simulator's inner loop.  Ordering is [(time, seq)] so simultaneous
+   events fire in scheduling order.  Slots at or above [size] always hold
+   [dummy] so dead events (and the closures they capture) are never
+   pinned by the slack capacity. *)
+
+let dummy = { time = neg_infinity; seq = -1; action = ignore; cancelled = true }
+
 type t = {
-  agenda : event Dbm_util.Heap.t;
+  mutable data : event array;
+  mutable size : int;
   mutable clock : float;
   mutable next_seq : int;
   mutable live : int; (* scheduled and not cancelled/fired *)
 }
 
-let compare_events a b =
-  let c = Float.compare a.time b.time in
-  if c <> 0 then c else Int.compare a.seq b.seq
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
-let create () =
-  { agenda = Dbm_util.Heap.create ~cmp:compare_events (); clock = 0.0; next_seq = 0; live = 0 }
+let create () = { data = [||]; size = 0; clock = 0.0; next_seq = 0; live = 0 }
 
 let now t = t.clock
+
+let grow t =
+  let cap = Array.length t.data in
+  if t.size = cap then begin
+    let ndata = Array.make (if cap = 0 then 16 else 2 * cap) dummy in
+    Array.blit t.data 0 ndata 0 t.size;
+    t.data <- ndata
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.data.(i) t.data.(parent) then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && before t.data.(l) t.data.(!smallest) then smallest := l;
+  if r < t.size && before t.data.(r) t.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(!smallest);
+    t.data.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let heap_push t ev =
+  grow t;
+  t.data.(t.size) <- ev;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let heap_pop t =
+  let top = t.data.(0) in
+  t.size <- t.size - 1;
+  t.data.(0) <- t.data.(t.size);
+  t.data.(t.size) <- dummy;
+  if t.size > 0 then sift_down t 0;
+  top
+
+(* Drop cancelled events sitting on top of the agenda: they must neither
+   fire nor hide what the next live event is. *)
+let rec drop_cancelled t =
+  if t.size > 0 && t.data.(0).cancelled then begin
+    ignore (heap_pop t);
+    drop_cancelled t
+  end
 
 let schedule_at t ~time action =
   if not (Float.is_finite time) then invalid_arg "Engine.schedule_at: non-finite time";
@@ -29,7 +89,7 @@ let schedule_at t ~time action =
   let ev = { time; seq = t.next_seq; action; cancelled = false } in
   t.next_seq <- t.next_seq + 1;
   t.live <- t.live + 1;
-  Dbm_util.Heap.push t.agenda ev;
+  heap_push t ev;
   ev
 
 let schedule t ~delay action =
@@ -45,18 +105,19 @@ let cancel t ev =
 
 let pending t = t.live
 
+let fire t =
+  let ev = heap_pop t in
+  t.clock <- ev.time;
+  t.live <- t.live - 1;
+  ev.action ()
+
 let step t =
-  let rec next () =
-    match Dbm_util.Heap.pop t.agenda with
-    | None -> false
-    | Some ev when ev.cancelled -> next ()
-    | Some ev ->
-      t.clock <- ev.time;
-      t.live <- t.live - 1;
-      ev.action ();
-      true
-  in
-  next ()
+  drop_cancelled t;
+  if t.size = 0 then false
+  else begin
+    fire t;
+    true
+  end
 
 let run ?until ?max_events t =
   let fired = ref 0 in
@@ -65,12 +126,15 @@ let run ?until ?max_events t =
     | None -> true
     | Some m -> !fired < m
   in
-  let within_horizon () =
-    match until, Dbm_util.Heap.peek t.agenda with
-    | _, None -> false
-    | None, Some _ -> true
-    | Some horizon, Some ev -> ev.time <= horizon || ev.cancelled
+  (* A cancelled top is drained first so a past-horizon live event behind
+     it can never fire: the horizon check always sees the next event that
+     would actually run. *)
+  let next_fires () =
+    drop_cancelled t;
+    t.size > 0
+    && match until with None -> true | Some horizon -> t.data.(0).time <= horizon
   in
-  while within_budget () && within_horizon () && step t do
+  while within_budget () && next_fires () do
+    fire t;
     incr fired
   done

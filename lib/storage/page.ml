@@ -54,12 +54,42 @@ let set_records page kvs =
       pos := !pos + 12 + String.length v)
     kvs
 
-let update page ~key ~value =
-  let kvs = records page in
-  let without = List.filter (fun (k, _) -> k <> key) kvs in
-  let kvs' = match value with None -> without | Some v -> (key, v) :: without in
-  set_records page kvs'
+(* Offset of [key]'s record header, scanning the record area directly
+   without materializing the record list.  Records are key-sorted, so the
+   scan stops early at the first larger key.  Returns [None] when absent. *)
+let find_record page ~key =
+  let len = Bytes.length page in
+  let count = Int32.to_int (Bytes.get_int32_le page header_bytes) in
+  if count < 0 then invalid_arg "Page.lookup: negative record count";
+  let rec go i pos =
+    if i = count then None
+    else begin
+      if pos + 12 > len then invalid_arg "Page.lookup: truncated record header";
+      let k = Int64.to_int (Bytes.get_int64_le page pos) in
+      let vlen = Int32.to_int (Bytes.get_int32_le page (pos + 8)) in
+      if vlen < 0 || pos + 12 + vlen > len then invalid_arg "Page.lookup: truncated value";
+      if k = key then Some (pos, vlen)
+      else if k > key then None
+      else go (i + 1) (pos + 12 + vlen)
+    end
+  in
+  go 0 (header_bytes + 4)
 
-let lookup page ~key = List.assoc_opt key (records page)
+let update page ~key ~value =
+  match value, find_record page ~key with
+  | Some v, Some (pos, vlen) when String.length v = vlen ->
+    (* Equal-length overwrite: splice the value in place instead of the
+       decode/Hashtbl/sort/re-encode round trip. *)
+    Bytes.blit_string v 0 page (pos + 12) vlen
+  | _ ->
+    let kvs = records page in
+    let without = List.filter (fun (k, _) -> k <> key) kvs in
+    let kvs' = match value with None -> without | Some v -> (key, v) :: without in
+    set_records page kvs'
+
+let lookup page ~key =
+  match find_record page ~key with
+  | None -> None
+  | Some (pos, vlen) -> Some (Bytes.sub_string page (pos + 12) vlen)
 
 let free_bytes page = Bytes.length page - header_bytes - encoded_size (records page)

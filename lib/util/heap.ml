@@ -1,6 +1,9 @@
+(* Slots above [size] always hold [None]: popping overwrites the vacated
+   slot so a long-lived heap never pins elements that have left it. *)
+
 type 'a t = {
   cmp : 'a -> 'a -> int;
-  mutable data : 'a array;
+  mutable data : 'a option array;
   mutable size : int;
 }
 
@@ -14,11 +17,13 @@ let clear t =
   t.data <- [||];
   t.size <- 0
 
-let grow t x =
+let get t i = match t.data.(i) with Some x -> x | None -> assert false
+
+let grow t =
   let cap = Array.length t.data in
   if t.size = cap then begin
     let ncap = if cap = 0 then 16 else 2 * cap in
-    let ndata = Array.make ncap x in
+    let ndata = Array.make ncap None in
     Array.blit t.data 0 ndata 0 t.size;
     t.data <- ndata
   end
@@ -26,7 +31,7 @@ let grow t x =
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if t.cmp t.data.(i) t.data.(parent) < 0 then begin
+    if t.cmp (get t i) (get t parent) < 0 then begin
       let tmp = t.data.(i) in
       t.data.(i) <- t.data.(parent);
       t.data.(parent) <- tmp;
@@ -37,8 +42,8 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.size && t.cmp t.data.(l) t.data.(!smallest) < 0 then smallest := l;
-  if r < t.size && t.cmp t.data.(r) t.data.(!smallest) < 0 then smallest := r;
+  if l < t.size && t.cmp (get t l) (get t !smallest) < 0 then smallest := l;
+  if r < t.size && t.cmp (get t r) (get t !smallest) < 0 then smallest := r;
   if !smallest <> i then begin
     let tmp = t.data.(i) in
     t.data.(i) <- t.data.(!smallest);
@@ -47,27 +52,26 @@ let rec sift_down t i =
   end
 
 let push t x =
-  grow t x;
-  t.data.(t.size) <- x;
+  grow t;
+  t.data.(t.size) <- Some x;
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
-let peek t = if t.size = 0 then None else Some t.data.(0)
+let peek t = if t.size = 0 then None else t.data.(0)
 
 let pop t =
   if t.size = 0 then None
   else begin
     let top = t.data.(0) in
     t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.data.(0) <- t.data.(t.size);
-      sift_down t 0
-    end;
-    Some top
+    t.data.(0) <- t.data.(t.size);
+    t.data.(t.size) <- None;
+    if t.size > 0 then sift_down t 0;
+    top
   end
 
 let to_sorted_list t =
-  let copy = { cmp = t.cmp; data = Array.sub t.data 0 t.size; size = t.size } in
+  let copy = { cmp = t.cmp; data = Array.copy t.data; size = t.size } in
   let rec drain acc =
     match pop copy with
     | None -> List.rev acc

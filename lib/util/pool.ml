@@ -1,0 +1,111 @@
+type t = {
+  jobs : int;
+  queue : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  work_ready : Condition.t; (* something was enqueued, or shutdown began *)
+  all_done : Condition.t; (* some map_ordered call finished its last chunk *)
+  mutable shutting_down : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && not t.shutting_down do
+    Condition.wait t.work_ready t.mutex
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.mutex (* shutting down *)
+  else begin
+    let task = Queue.pop t.queue in
+    Mutex.unlock t.mutex;
+    task ();
+    worker_loop t
+  end
+
+let create ?jobs () =
+  let jobs = match jobs with None -> default_jobs () | Some j -> j in
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    {
+      jobs;
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      all_done = Condition.create ();
+      shutting_down = false;
+      workers = [||];
+    }
+  in
+  (* The caller's own domain works too, so spawn one fewer. *)
+  if jobs > 1 then t.workers <- Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let jobs t = t.jobs
+
+(* Explicit left-to-right application: this is the serial path that
+   [--jobs 1] promises to reproduce bit-for-bit, so the evaluation order
+   must not depend on [List.map]'s. *)
+let serial_map xs ~f = List.rev (List.fold_left (fun acc x -> f x :: acc) [] xs)
+
+let map_ordered t xs ~f =
+  if t.jobs = 1 then serial_map xs ~f
+  else begin
+    let items = Array.of_list xs in
+    let n = Array.length items in
+    if n = 0 then []
+    else begin
+      let results : ('b, exn) result option array = Array.make n None in
+      let remaining = ref n in
+      let chunk = max 1 (n / (t.jobs * 4)) in
+      let run_chunk lo hi () =
+        for i = lo to hi - 1 do
+          results.(i) <- Some (try Ok (f items.(i)) with e -> Error e)
+        done;
+        Mutex.lock t.mutex;
+        remaining := !remaining - (hi - lo);
+        if !remaining = 0 then Condition.broadcast t.all_done;
+        Mutex.unlock t.mutex
+      in
+      Mutex.lock t.mutex;
+      let lo = ref 0 in
+      while !lo < n do
+        let hi = min n (!lo + chunk) in
+        Queue.add (run_chunk !lo hi) t.queue;
+        lo := hi
+      done;
+      Condition.broadcast t.work_ready;
+      (* Help drain the queue; once it is empty, wait for the in-flight
+         chunks (possibly on other domains) to settle. *)
+      while !remaining > 0 do
+        match Queue.take_opt t.queue with
+        | Some task ->
+          Mutex.unlock t.mutex;
+          task ();
+          Mutex.lock t.mutex
+        | None -> if !remaining > 0 then Condition.wait t.all_done t.mutex
+      done;
+      Mutex.unlock t.mutex;
+      let out = ref [] in
+      let first_error = ref None in
+      for i = n - 1 downto 0 do
+        match results.(i) with
+        | Some (Ok v) -> out := v :: !out
+        | Some (Error e) -> first_error := Some e
+        | None -> assert false
+      done;
+      match !first_error with None -> !out | Some e -> raise e
+    end
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.shutting_down <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.mutex;
+  Array.iter Domain.join t.workers;
+  t.workers <- [||]
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

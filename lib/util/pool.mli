@@ -1,0 +1,42 @@
+(** Fixed-size domain-based worker pool.
+
+    The pool owns [jobs - 1] worker domains pulling chunks of work off a
+    shared queue (the calling domain contributes as the [jobs]-th worker
+    while a [map_ordered] is in flight).  Results are always delivered in
+    input order, so for a pure [f] the output is independent of how the
+    chunks were interleaved across domains — parallelism never changes
+    what a caller observes, only how fast it arrives.
+
+    With [jobs = 1] no domains are spawned and [map_ordered] degenerates
+    to a plain left-to-right [List.map], reproducing the serial execution
+    path bit-for-bit.
+
+    [map_ordered] must not be called from inside a task running on the
+    same pool (no nesting); tasks that need parallelism should be
+    restructured into a flat work list. *)
+
+type t
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the pool size to use when the
+    user expressed no preference. *)
+
+val create : ?jobs:int -> unit -> t
+(** A pool of [jobs] workers (default {!default_jobs}).
+    @raise Invalid_argument when [jobs < 1]. *)
+
+val jobs : t -> int
+
+val map_ordered : t -> 'a list -> f:('a -> 'b) -> 'b list
+(** [map_ordered t xs ~f] applies [f] to every element of [xs], fanning
+    the applications out across the pool's domains, and returns the
+    results in the order of [xs].  If one or more applications raise, the
+    exception of the smallest input index is re-raised in the caller
+    after all chunks have settled. *)
+
+val shutdown : t -> unit
+(** Join the worker domains.  Idempotent; the pool is unusable after. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] on a fresh pool and shuts it down afterwards,
+    whether [f] returns or raises. *)

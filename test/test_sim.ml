@@ -60,6 +60,25 @@ let test_run_until () =
   Engine.run e;
   check Alcotest.int "resumes" 3 (List.length !fired)
 
+let test_run_until_cancelled_top () =
+  (* Regression: a cancelled event past the horizon used to count as
+     "within horizon", letting the live event behind it (also past the
+     horizon) fire during [run ~until]. *)
+  let e = Engine.create () in
+  let fired = ref [] in
+  let note d () = fired := d :: !fired in
+  ignore (Engine.schedule e ~delay:1.0 (note 1.0));
+  let cancelled = Engine.schedule e ~delay:5.0 (note 5.0) in
+  ignore (Engine.schedule e ~delay:6.0 (note 6.0));
+  Engine.cancel e cancelled;
+  Engine.run ~until:2.0 e;
+  check (Alcotest.list (Alcotest.float 1e-9)) "nothing past the horizon fires" [ 1.0 ]
+    (List.rev !fired);
+  check (Alcotest.float 1e-9) "clock at last fired event" 1.0 (Engine.now e);
+  check Alcotest.int "live event still pending" 1 (Engine.pending e);
+  Engine.run e;
+  check (Alcotest.list (Alcotest.float 1e-9)) "resumes cleanly" [ 1.0; 6.0 ] (List.rev !fired)
+
 let test_invalid_schedules () =
   let e = Engine.create () in
   Alcotest.check_raises "negative delay"
@@ -203,6 +222,7 @@ let () =
           Alcotest.test_case "cancel" `Quick test_cancel;
           Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
           Alcotest.test_case "run until" `Quick test_run_until;
+          Alcotest.test_case "run until with cancelled top" `Quick test_run_until_cancelled_top;
           Alcotest.test_case "invalid schedules" `Quick test_invalid_schedules;
           Alcotest.test_case "step" `Quick test_step;
         ] );

@@ -141,6 +141,63 @@ let test_page_duplicate_keys_last_wins () =
   check (Alcotest.option Alcotest.string) "last wins" (Some "new") (Page.lookup p ~key:1);
   check Alcotest.int "single record" 1 (List.length (Page.records p))
 
+let test_page_update_in_place () =
+  (* the equal-length overwrite fast path must agree with a full re-encode *)
+  let p = Page.empty ~page_size:256 in
+  Page.set_records p [ (1, "one"); (2, "two"); (3, "three") ];
+  Page.set_lsn p 9;
+  let free_before = Page.free_bytes p in
+  Page.update p ~key:2 ~value:(Some "TWO");
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.string))
+    "splice in place"
+    [ (1, "one"); (2, "TWO"); (3, "three") ]
+    (Page.records p);
+  check Alcotest.int "free space unchanged" free_before (Page.free_bytes p);
+  check Alcotest.int "lsn untouched" 9 (Page.get_lsn p)
+
+let test_page_lookup_allocation_bounded () =
+  (* lookup scans the record area directly: allocation per call must not
+     scale with the number of records on the page *)
+  let p = Page.empty ~page_size:4096 in
+  Page.set_records p (List.init 128 (fun i -> (i, Printf.sprintf "value-%03d" i)));
+  (* warm up so the check measures the steady state *)
+  ignore (Sys.opaque_identity (Page.lookup p ~key:100));
+  let before = Gc.minor_words () in
+  for _ = 1 to 1000 do
+    ignore (Sys.opaque_identity (Page.lookup p ~key:100))
+  done;
+  let words_per_call = (Gc.minor_words () -. before) /. 1000.0 in
+  (* the result option + a 9-byte string is ~8 words; decoding the full
+     128-record list would be thousands *)
+  if words_per_call > 64.0 then
+    Alcotest.failf "lookup allocates %.1f words/call (record list materialized?)" words_per_call
+
+let prop_page_lookup_matches_records =
+  QCheck.Test.make ~name:"lookup agrees with the decoded record list" ~count:300
+    QCheck.(
+      pair
+        (small_list (pair (int_range 0 50) (string_of_size (Gen.int_range 0 10))))
+        (int_range 0 60))
+    (fun (kvs, probe) ->
+      let p = Page.empty ~page_size:2048 in
+      Page.set_records p kvs;
+      Page.lookup p ~key:probe = List.assoc_opt probe (Page.records p))
+
+let prop_page_update_equal_length =
+  QCheck.Test.make ~name:"equal-length update behaves like set_records" ~count:300
+    QCheck.(
+      pair (small_list (pair (int_range 0 20) (string_of_size (Gen.return 4)))) (int_range 0 20))
+    (fun (kvs, key) ->
+      let fast = Page.empty ~page_size:2048 and slow = Page.empty ~page_size:2048 in
+      Page.set_records fast kvs;
+      (* canonical form: unique keys, last duplicate won *)
+      let canonical = Page.records fast in
+      QCheck.assume (List.mem_assoc key canonical);
+      Page.update fast ~key ~value:(Some "NEWV");
+      Page.set_records slow ((key, "NEWV") :: List.remove_assoc key canonical);
+      Page.records fast = Page.records slow)
+
 let prop_page_roundtrip =
   QCheck.Test.make ~name:"page records roundtrip" ~count:300
     QCheck.(small_list (pair (int_range 0 50) (string_of_size (Gen.int_range 0 10))))
@@ -401,7 +458,12 @@ let test_lock_locked_pages () =
   Lock.release_all t ~txn:1;
   check Alcotest.int "none" 0 (Lock.locked_pages t)
 
-let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_page_roundtrip; prop_wal_roundtrip ]
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_page_roundtrip; prop_page_lookup_matches_records; prop_page_update_equal_length;
+      prop_wal_roundtrip;
+    ]
 
 let () =
   Alcotest.run "dbm_storage substrate"
@@ -427,6 +489,9 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_page_roundtrip;
           Alcotest.test_case "lsn" `Quick test_page_lsn;
           Alcotest.test_case "update/lookup" `Quick test_page_update_lookup;
+          Alcotest.test_case "in-place update" `Quick test_page_update_in_place;
+          Alcotest.test_case "lookup allocation bounded" `Quick
+            test_page_lookup_allocation_bounded;
           Alcotest.test_case "page full" `Quick test_page_full;
           Alcotest.test_case "duplicate keys" `Quick test_page_duplicate_keys_last_wins;
         ] );

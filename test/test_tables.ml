@@ -170,6 +170,18 @@ let shape_checks_pass () =
     Alcotest.failf "paper conclusions violated: %s"
       (String.concat "; " (List.map (fun c -> c.Dbm_core.Shape_checks.claim) fs))
 
+let parallel_determinism () =
+  (* the paper's tables are independent seeded simulations: for a fixed
+     seed the rendered output must not depend on the pool size *)
+  Experiment.clear_cache ();
+  let serial = List.map Report.to_string (Dbm_core.Tables.all ()) in
+  Experiment.clear_cache ();
+  let parallel =
+    Dbm_util.Pool.with_pool ~jobs:4 (fun pool ->
+        List.map Report.to_string (Dbm_core.Tables.all ~pool ()))
+  in
+  check (Alcotest.list Alcotest.string) "jobs=4 output byte-identical to jobs=1" serial parallel
+
 let test_by_id_bounds () =
   match Dbm_core.Tables.by_id 13 with
   | exception Invalid_argument _ -> ()
@@ -202,6 +214,7 @@ let () =
           Alcotest.test_case "structure" `Slow table_structure;
           Alcotest.test_case "shape scores" `Slow table_shape_scores;
           Alcotest.test_case "paper conclusions hold" `Slow shape_checks_pass;
+          Alcotest.test_case "parallel determinism" `Slow parallel_determinism;
           Alcotest.test_case "by_id bounds" `Quick test_by_id_bounds;
         ] );
     ]

@@ -131,6 +131,24 @@ let test_heap_to_sorted_list () =
   check (Alcotest.list Alcotest.int) "sorted view" [ 1; 2; 3 ] (Heap.to_sorted_list h);
   check Alcotest.int "non-destructive" 3 (Heap.length h)
 
+let test_heap_pop_releases () =
+  (* popping must overwrite the vacated slot: a long-lived heap may not
+     pin elements that have left it *)
+  let h = Heap.create ~cmp:(fun a b -> Int.compare !a !b) () in
+  List.iter (fun i -> Heap.push h (ref i)) [ 3; 1; 2 ];
+  let w = Weak.create 1 in
+  (fun () ->
+    match Heap.pop h with
+    | Some r ->
+      check Alcotest.int "pops min" 1 !r;
+      Weak.set w 0 (Some r)
+    | None -> Alcotest.fail "expected an element")
+    ();
+  Gc.full_major ();
+  Gc.full_major ();
+  check Alcotest.int "rest retained" 2 (Heap.length h);
+  check Alcotest.bool "popped element is collectable" false (Weak.check w 0)
+
 let prop_heap_sorted =
   QCheck.Test.make ~name:"heap drains in sorted order" ~count:200
     QCheck.(list int)
@@ -141,6 +159,52 @@ let prop_heap_sorted =
         match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
       in
       drain [] = List.sort Int.compare input)
+
+(* --- Pool ------------------------------------------------------------ *)
+
+module Pool = Dbm_util.Pool
+
+let squares n = List.init n (fun i -> i * i)
+
+let test_pool_serial_path () =
+  Pool.with_pool ~jobs:1 (fun p ->
+      check Alcotest.int "jobs" 1 (Pool.jobs p);
+      check (Alcotest.list Alcotest.int) "maps in order" (squares 10)
+        (Pool.map_ordered p (List.init 10 (fun i -> i)) ~f:(fun x -> x * x)))
+
+let test_pool_parallel_ordering () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      check (Alcotest.list Alcotest.int) "order preserved across domains" (squares 100)
+        (Pool.map_ordered p (List.init 100 (fun i -> i)) ~f:(fun x -> x * x)))
+
+let test_pool_matches_serial () =
+  let f x = (x * 7919) mod 101 in
+  let xs = List.init 57 (fun i -> i) in
+  let serial = Pool.with_pool ~jobs:1 (fun p -> Pool.map_ordered p xs ~f) in
+  let parallel = Pool.with_pool ~jobs:3 (fun p -> Pool.map_ordered p xs ~f) in
+  check (Alcotest.list Alcotest.int) "identical results" serial parallel
+
+let test_pool_empty_and_reuse () =
+  Pool.with_pool ~jobs:2 (fun p ->
+      check (Alcotest.list Alcotest.int) "empty" [] (Pool.map_ordered p [] ~f:(fun x -> x));
+      check (Alcotest.list Alcotest.int) "first use" [ 2; 4 ]
+        (Pool.map_ordered p [ 1; 2 ] ~f:(fun x -> 2 * x));
+      check (Alcotest.list Alcotest.int) "pool is reusable" [ 3; 6 ]
+        (Pool.map_ordered p [ 1; 2 ] ~f:(fun x -> 3 * x)))
+
+let test_pool_exception () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      match
+        Pool.map_ordered p [ 1; 2; 3; 4 ] ~f:(fun x ->
+            if x mod 2 = 0 then failwith (string_of_int x) else x)
+      with
+      | exception Failure m -> check Alcotest.string "smallest failing index wins" "2" m
+      | _ -> Alcotest.fail "expected the worker exception to propagate")
+
+let test_pool_invalid_jobs () =
+  match Pool.create ~jobs:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "jobs = 0 accepted"
 
 (* --- Lru ------------------------------------------------------------- *)
 
@@ -324,6 +388,16 @@ let () =
           Alcotest.test_case "sorts" `Quick test_heap_sorts;
           Alcotest.test_case "peek/pop" `Quick test_heap_peek_pop;
           Alcotest.test_case "to_sorted_list" `Quick test_heap_to_sorted_list;
+          Alcotest.test_case "pop releases references" `Quick test_heap_pop_releases;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "serial path" `Quick test_pool_serial_path;
+          Alcotest.test_case "parallel ordering" `Quick test_pool_parallel_ordering;
+          Alcotest.test_case "matches serial" `Quick test_pool_matches_serial;
+          Alcotest.test_case "empty and reuse" `Quick test_pool_empty_and_reuse;
+          Alcotest.test_case "exception propagation" `Quick test_pool_exception;
+          Alcotest.test_case "invalid jobs" `Quick test_pool_invalid_jobs;
         ] );
       ( "lru",
         [
