@@ -2,11 +2,20 @@
 
    Part 1 regenerates every table of the paper's evaluation section
    (Tables 1-12 — the paper has no figures) and prints measured values
-   next to the paper's, with a per-table shape score.
+   next to the paper's, with a per-table shape score.  The parallel
+   regeneration schedules individual simulation runs (not whole tables)
+   across the pool, so its output is byte-identical to the serial run
+   by construction; the harness exits non-zero if it is not.
 
-   Part 2 runs Bechamel micro-benchmarks of the substrate primitives —
-   one Test.make per reproduced table, timing the dominant primitive of
-   that experiment — plus the storage engines' commit paths. *)
+   Part 2 measures the event core in steady state — events/sec and
+   minor words/event for a bare engine tick loop and for a Resource
+   service loop.  Both loops use preallocated continuations so the
+   harness itself allocates nothing per event and the numbers measure
+   the core, not the benchmark.
+
+   Part 3 runs Bechamel micro-benchmarks of the substrate primitives.
+   [--fast] skips parts that exist for reporting (charts, ablations,
+   Bechamel) and keeps the timed/validated parts — the CI smoke mode. *)
 
 let separator title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -15,59 +24,66 @@ let separator title =
 (* Part 1: the paper's tables                                          *)
 (* ------------------------------------------------------------------ *)
 
-(* One timed regeneration of all twelve tables through a pool; the
-   tables are the parallel unit.  Per-table wall clock overlaps when the
-   pool has more than one domain. *)
-let regenerate pool =
-  Dbm_util.Pool.map_ordered pool
-    (List.init 12 (fun i -> i + 1))
-    ~f:(fun i ->
-      let t0 = Unix.gettimeofday () in
-      let t = Dbm_core.Tables.by_id i in
-      (t, (Unix.gettimeofday () -. t0) *. 1000.0))
-
-let timed_regeneration jobs =
+let timed_serial () =
   Dbm_core.Experiment.clear_cache ();
   let t0 = Unix.gettimeofday () in
-  let tables = Dbm_util.Pool.with_pool ~jobs regenerate in
+  let tables =
+    List.map
+      (fun i ->
+        let t0 = Unix.gettimeofday () in
+        let t = Dbm_core.Tables.by_id i in
+        (t, (Unix.gettimeofday () -. t0) *. 1000.0))
+      (List.init 12 (fun i -> i + 1))
+  in
   (tables, (Unix.gettimeofday () -. t0) *. 1000.0)
 
-let render_all tables =
-  String.concat "" (List.map (fun (t, _) -> Dbm_core.Report.to_string t) tables)
+(* One timed regeneration through the pool: the individual runs are
+   fanned out first (filling the memo cache), the tables assembled
+   serially from cache hits. *)
+let timed_parallel pool =
+  Dbm_core.Experiment.clear_cache ();
+  let t0 = Unix.gettimeofday () in
+  let tables = Dbm_core.Tables.all ~pool () in
+  (tables, (Unix.gettimeofday () -. t0) *. 1000.0)
+
+let render_all tables = String.concat "" (List.map Dbm_core.Report.to_string tables)
 
 type table_report = {
   serial_ms : float;
-  parallel_ms : float;
-  jobs : int;
-  byte_identical : bool;
+  parallel_ms : float option;  (* None when the pool clamps to one job *)
+  jobs_requested : int;
+  jobs_effective : int;
+  byte_identical : bool option;
   overall_score : float;
   per_table : (string * float * float) list; (* id, shape score, wall ms *)
 }
 
-let run_tables ~jobs () =
+let run_tables ~jobs ~allow_oversubscribe () =
   separator "Reproduction of Agrawal & DeWitt (1985), Tables 1-12";
   Printf.printf "(each cell: measured [paper]; all times in ms)\n";
-  let serial, serial_ms = timed_regeneration 1 in
-  let (tables, parallel_ms), byte_identical =
-    if jobs <= 1 then ((serial, serial_ms), true)
-    else begin
-      let parallel, parallel_ms = timed_regeneration jobs in
-      ( (parallel, parallel_ms),
-        String.equal (render_all serial) (render_all parallel) )
-    end
+  let serial, serial_ms = timed_serial () in
+  let jobs_effective, jobs_requested, parallel =
+    Dbm_util.Pool.with_pool ~jobs ~allow_oversubscribe (fun pool ->
+        let eff = Dbm_util.Pool.jobs pool in
+        if eff <= 1 then (eff, Dbm_util.Pool.requested_jobs pool, None)
+        else (eff, Dbm_util.Pool.requested_jobs pool, Some (timed_parallel pool)))
   in
-  (* Per-table wall clock is taken from the serial reference run: the
-     parallel spans include blocking on shared memoized runs, so they do
-     not compare cleanly across PRs. *)
+  let parallel_ms = Option.map snd parallel in
+  let byte_identical =
+    Option.map
+      (fun (tables, _) ->
+        String.equal (render_all (List.map fst serial)) (render_all tables))
+      parallel
+  in
   let per_table =
-    List.map2
-      (fun (t, _) (_, serial_wall_ms) ->
+    List.map
+      (fun (t, serial_wall_ms) ->
         print_newline ();
         print_string (Dbm_core.Report.to_string t);
         let score = Dbm_core.Report.mean_abs_log_ratio t in
         Printf.printf "shape score (mean |log measured/paper|): %.3f\n" score;
         (t.Dbm_core.Report.id, score, serial_wall_ms))
-      tables serial
+      serial
   in
   separator "Shape summary";
   List.iter (fun (id, s, _) -> Printf.printf "%-9s %.3f\n" id s) per_table;
@@ -78,12 +94,18 @@ let run_tables ~jobs () =
   Printf.printf "%-9s %.3f  (0 = exact; 0.7 ~ 2x average miss)\n" "overall" overall_score;
   separator "Table regeneration wall clock";
   Printf.printf "serial (1 job): %.0f ms\n" serial_ms;
-  if jobs > 1 then begin
-    Printf.printf "%d jobs:        %.0f ms  (%.2fx)\n" jobs parallel_ms
-      (serial_ms /. parallel_ms);
-    Printf.printf "parallel output byte-identical to serial: %b\n" byte_identical
-  end;
-  { serial_ms; parallel_ms; jobs; byte_identical; overall_score; per_table }
+  (match (parallel_ms, byte_identical) with
+  | Some pms, Some identical ->
+    Printf.printf "%d jobs (of %d requested): %.0f ms  (%.2fx)\n" jobs_effective
+      jobs_requested pms (serial_ms /. pms);
+    Printf.printf "parallel output byte-identical to serial: %b\n" identical
+  | _ ->
+    if jobs_requested > jobs_effective then
+      Printf.printf
+        "%d jobs requested, clamped to %d (host cores); no parallel run measured\n"
+        jobs_requested jobs_effective);
+  { serial_ms; parallel_ms; jobs_requested; jobs_effective; byte_identical;
+    overall_score; per_table }
 
 (* Sweep shapes, at a glance. *)
 let run_charts () =
@@ -107,16 +129,83 @@ let run_charts () =
           (fun i label -> (label, cell_of 11 ~row:0 ~col:i))
           [ "bare"; "10%"; "15%"; "20%" ]))
 
-let run_ablations ~jobs () =
+let run_ablations ~jobs ~allow_oversubscribe () =
   separator "Ablations (design-choice experiments beyond the paper)";
   List.iter
     (fun t ->
       print_newline ();
       print_string (Dbm_core.Report.to_string t))
-    (Dbm_util.Pool.with_pool ~jobs (fun pool -> Dbm_core.Ablations.all ~pool ()))
+    (Dbm_util.Pool.with_pool ~jobs ~allow_oversubscribe (fun pool ->
+         Dbm_core.Ablations.all ~pool ()))
 
 (* ------------------------------------------------------------------ *)
-(* Part 2: Bechamel micro-benchmarks                                   *)
+(* Part 2: event-core steady state                                     *)
+(* ------------------------------------------------------------------ *)
+
+type event_core = {
+  tick_events_per_sec : float;
+  tick_minor_words_per_event : float;
+  resource_events_per_sec : float;
+  resource_minor_words_per_event : float;
+}
+
+let run_event_core () =
+  separator "Event core (steady state, preallocated continuations)";
+  (* A self-rescheduling chain: one live event, recycled forever.  The
+     single [tick] closure is allocated before measurement starts. *)
+  let e = Dbm_sim.Engine.create () in
+  let n = 2_000_000 in
+  let fired = ref 0 in
+  let rec tick () =
+    incr fired;
+    if !fired < n then ignore (Dbm_sim.Engine.schedule e ~delay:1.0 tick)
+  in
+  ignore (Dbm_sim.Engine.schedule e ~delay:1.0 tick);
+  let s0 = Gc.quick_stat () in
+  let t0 = Unix.gettimeofday () in
+  Dbm_sim.Engine.run e;
+  let dt = Unix.gettimeofday () -. t0 in
+  let s1 = Gc.quick_stat () in
+  let tick_events_per_sec = float_of_int n /. dt in
+  let tick_minor_words_per_event =
+    (s1.Gc.minor_words -. s0.Gc.minor_words) /. float_of_int n
+  in
+  Printf.printf "engine tick loop:    %10.0f events/s, %5.2f minor words/event\n"
+    tick_events_per_sec tick_minor_words_per_event;
+  (* Four customers cycling through a 2-server resource: exercises the
+     queue, the per-server finishers and the recycled think-time events.
+     The three continuations are allocated once, before measurement. *)
+  let e = Dbm_sim.Engine.create () in
+  let r = Dbm_sim.Resource.create e ~name:"core-bench" ~servers:2 () in
+  let target = 1_000_000 in
+  let rec submit_next () =
+    if Dbm_sim.Resource.completed r < target then
+      Dbm_sim.Resource.submit r ~service:3.0 k_done
+  and k_done () = ignore (Dbm_sim.Engine.schedule e ~delay:1.0 k_think)
+  and k_think () = submit_next () in
+  for _ = 1 to 4 do
+    submit_next ()
+  done;
+  let s0 = Gc.quick_stat () in
+  let t0 = Unix.gettimeofday () in
+  Dbm_sim.Engine.run e;
+  let dt = Unix.gettimeofday () -. t0 in
+  let s1 = Gc.quick_stat () in
+  (* one service completion plus one think-time event per job *)
+  let events = float_of_int (2 * target) in
+  let resource_events_per_sec = events /. dt in
+  let resource_minor_words_per_event = (s1.Gc.minor_words -. s0.Gc.minor_words) /. events in
+  Printf.printf "resource loop:       %10.0f events/s, %5.2f minor words/event\n"
+    resource_events_per_sec resource_minor_words_per_event;
+  {
+    tick_events_per_sec;
+    tick_minor_words_per_event;
+    resource_events_per_sec;
+    resource_minor_words_per_event;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Part 3: Bechamel micro-benchmarks                                   *)
 (* ------------------------------------------------------------------ *)
 
 open Bechamel
@@ -335,28 +424,46 @@ let run_benchmarks () =
   (lookup_ns, lookup_minor)
 
 (* ------------------------------------------------------------------ *)
-(* BENCH_1.json: the perf trajectory record for later PRs              *)
+(* BENCH_2.json: the perf trajectory record for later PRs              *)
 (* ------------------------------------------------------------------ *)
 
-let write_bench_json path (tr : table_report) (lookup_ns, lookup_minor) total_s =
+let write_bench_json path (tr : table_report) (core : event_core)
+    (lookup_ns, lookup_minor) total_s =
   let buf = Buffer.create 1024 in
   let field_opt name = function
     | None -> Printf.sprintf "  \"%s\": null" name
     | Some v -> Printf.sprintf "  \"%s\": %.1f" name v
   in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"bench\": 1,\n";
+  Buffer.add_string buf "  \"bench\": 2,\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"host_cores\": %d,\n" (Dbm_util.Pool.default_jobs ()));
-  Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" tr.jobs);
+  Buffer.add_string buf (Printf.sprintf "  \"jobs_requested\": %d,\n" tr.jobs_requested);
+  Buffer.add_string buf (Printf.sprintf "  \"jobs_effective\": %d,\n" tr.jobs_effective);
   Buffer.add_string buf
     (Printf.sprintf "  \"tables_serial_wall_ms\": %.1f,\n" tr.serial_ms);
+  Buffer.add_string buf (field_opt "tables_parallel_wall_ms" tr.parallel_ms);
+  Buffer.add_string buf ",\n";
+  (* Speedup is only meaningful when a parallel run actually happened
+     (effective jobs > 1): a clamped pool would just measure the serial
+     path twice and report noise. *)
   Buffer.add_string buf
-    (Printf.sprintf "  \"tables_parallel_wall_ms\": %.1f,\n" tr.parallel_ms);
+    (field_opt "tables_speedup"
+       (Option.map (fun pms -> tr.serial_ms /. pms) tr.parallel_ms));
+  Buffer.add_string buf ",\n";
   Buffer.add_string buf
-    (Printf.sprintf "  \"tables_speedup\": %.3f,\n" (tr.serial_ms /. tr.parallel_ms));
+    (match tr.byte_identical with
+    | None -> "  \"parallel_output_byte_identical\": null,\n"
+    | Some b -> Printf.sprintf "  \"parallel_output_byte_identical\": %b,\n" b);
   Buffer.add_string buf
-    (Printf.sprintf "  \"parallel_output_byte_identical\": %b,\n" tr.byte_identical);
+    (Printf.sprintf "  \"events_per_sec\": %.0f,\n" core.tick_events_per_sec);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"minor_words_per_event\": %.3f,\n" core.tick_minor_words_per_event);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"resource_events_per_sec\": %.0f,\n" core.resource_events_per_sec);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"resource_minor_words_per_event\": %.3f,\n"
+       core.resource_minor_words_per_event);
   Buffer.add_string buf
     (Printf.sprintf "  \"overall_shape_score\": %.4f,\n" tr.overall_score);
   Buffer.add_string buf "  \"tables\": [\n";
@@ -382,24 +489,44 @@ let write_bench_json path (tr : table_report) (lookup_ns, lookup_minor) total_s 
 
 let () =
   let jobs = ref (Dbm_util.Pool.default_jobs ()) in
-  let json_path = ref "BENCH_1.json" in
+  let json_path = ref "BENCH_2.json" in
+  let fast = ref false in
+  let allow_oversubscribe = ref false in
   Arg.parse
     [
       ("--jobs", Arg.Set_int jobs, "N worker domains for table/ablation regeneration");
       ("-j", Arg.Set_int jobs, "N same as --jobs");
       ("--json", Arg.Set_string json_path, "PATH where to write the benchmark record");
+      ("--fast", Arg.Set fast, " tables + event core only (CI smoke mode)");
+      ( "--allow-oversubscribe",
+        Arg.Set allow_oversubscribe,
+        " run more domains than cores instead of clamping" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "bench/main.exe [--jobs N] [--json PATH]";
+    "bench/main.exe [--jobs N] [--json PATH] [--fast] [--allow-oversubscribe]";
   if !jobs < 1 then begin
     prerr_endline "--jobs must be >= 1";
     exit 2
   end;
   let t0 = Unix.gettimeofday () in
-  let table_report = run_tables ~jobs:!jobs () in
-  run_charts ();
-  run_ablations ~jobs:!jobs ();
-  let lookup_estimates = run_benchmarks () in
+  let table_report =
+    run_tables ~jobs:!jobs ~allow_oversubscribe:!allow_oversubscribe ()
+  in
+  let core = run_event_core () in
+  let lookup_estimates =
+    if !fast then (None, None)
+    else begin
+      run_charts ();
+      run_ablations ~jobs:!jobs ~allow_oversubscribe:!allow_oversubscribe ();
+      run_benchmarks ()
+    end
+  in
   let total_s = Unix.gettimeofday () -. t0 in
   Printf.printf "\ntotal wall time: %.1f s\n" total_s;
-  write_bench_json !json_path table_report lookup_estimates total_s
+  write_bench_json !json_path table_report core lookup_estimates total_s;
+  (* A parallel run that does not reproduce the serial bytes is a
+     correctness failure, not a perf datum. *)
+  if table_report.byte_identical = Some false then begin
+    prerr_endline "FAIL: parallel table output differs from serial output";
+    exit 1
+  end

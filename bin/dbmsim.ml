@@ -55,9 +55,10 @@ let jobs_arg =
     & opt positive_int (Dbm_util.Pool.default_jobs ())
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
-          "Worker domains for independent simulations (default: the number of cores). \
-           $(docv)=1 reproduces the serial execution path bit-for-bit; any $(docv) \
-           produces identical output.")
+          "Worker domains for independent simulation runs (default: the number of \
+           cores, which is also the clamp — asking for more than the host has only \
+           slows every domain down). $(docv)=1 spawns no domains at all and runs \
+           inline; any $(docv) produces byte-identical output.")
 
 let with_jobs jobs f = Dbm_util.Pool.with_pool ~jobs f
 

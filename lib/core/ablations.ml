@@ -10,18 +10,18 @@ let exec (r : Results.t) = r.Results.exec_ms_per_page
 
 let extra key (r : Results.t) = Option.value (Results.find_extra r key) ~default:0.0
 
+let a1_run ~enforce =
+  Experiment.run
+    ~key:(Printf.sprintf "abl-wal/%b" enforce)
+    ~machine:Scenario.table3_machine
+    ~workload:(Scenario.table3_workload ())
+    ~make_arch:
+      (Logging.make
+         { Logging.default with Logging.mode = Logging.Physical; enforce_wal = enforce })
+    ()
+
 let wal_rule () =
-  let run ~enforce =
-    Experiment.run
-      ~key:(Printf.sprintf "abl-wal/%b" enforce)
-      ~machine:Scenario.table3_machine
-      ~workload:(Scenario.table3_workload ())
-      ~make_arch:
-        (Logging.make
-           { Logging.default with Logging.mode = Logging.Physical; enforce_wal = enforce })
-      ()
-  in
-  let on = run ~enforce:true and off = run ~enforce:false in
+  let on = a1_run ~enforce:true and off = a1_run ~enforce:false in
   {
     Report.id = "Ablation A1";
     title = "Write-ahead rule on vs off (physical logging, 1 log disk, Table 3 machine)";
@@ -56,17 +56,20 @@ let wal_rule () =
       ];
   }
 
+let a2_scenarios = [ Scenario.Parallel_random; Scenario.Parallel_sequential ]
+
+let a2_run sc ~coalesce =
+  let machine = { (Scenario.machine_config sc) with Config.drive_coalesce = coalesce } in
+  Experiment.run
+    ~key:(Printf.sprintf "abl-coalesce/%b/%s" coalesce (Scenario.name sc))
+    ~machine
+    ~workload:(Scenario.workload_config sc)
+    ~make_arch:(Logging.make Logging.default)
+    ()
+
 let release_batching () =
-  let scenarios = [ Scenario.Parallel_random; Scenario.Parallel_sequential ] in
-  let run sc ~coalesce =
-    let machine = { (Scenario.machine_config sc) with Config.drive_coalesce = coalesce } in
-    Experiment.run
-      ~key:(Printf.sprintf "abl-coalesce/%b/%s" coalesce (Scenario.name sc))
-      ~machine
-      ~workload:(Scenario.workload_config sc)
-      ~make_arch:(Logging.make Logging.default)
-      ()
-  in
+  let scenarios = a2_scenarios in
+  let run = a2_run in
   let rows =
     List.map
       (fun sc ->
@@ -95,20 +98,23 @@ let release_batching () =
       ];
   }
 
+let a3_scenarios = [ Scenario.Conventional_random; Scenario.Conventional_sequential ]
+
+let a3_run sc placement =
+  let machine = { (Scenario.machine_config sc) with Config.scratch_placement = placement } in
+  Experiment.run
+    ~key:
+      (Printf.sprintf "abl-scratch/%s/%s"
+         (match placement with Config.Adjacent -> "near" | Config.Far_end -> "far")
+         (Scenario.name sc))
+    ~machine
+    ~workload:(Scenario.workload_config sc)
+    ~make_arch:(Shadow.make Shadow.overwrite_no_undo)
+    ()
+
 let scratch_placement () =
-  let scenarios = [ Scenario.Conventional_random; Scenario.Conventional_sequential ] in
-  let run sc placement =
-    let machine = { (Scenario.machine_config sc) with Config.scratch_placement = placement } in
-    Experiment.run
-      ~key:
-        (Printf.sprintf "abl-scratch/%s/%s"
-           (match placement with Config.Adjacent -> "near" | Config.Far_end -> "far")
-           (Scenario.name sc))
-      ~machine
-      ~workload:(Scenario.workload_config sc)
-      ~make_arch:(Shadow.make Shadow.overwrite_no_undo)
-      ()
-  in
+  let scenarios = a3_scenarios in
+  let run = a3_run in
   let rows =
     List.map
       (fun sc ->
@@ -128,25 +134,27 @@ let scratch_placement () =
       [ "the data<->scratch arm travel is a large share of overwriting's penalty (4.2.4)" ];
   }
 
+let a4_probs = [ 0.15; 0.3; 0.6 ]
+
+let a4_scenarios = [ Scenario.Conventional_random; Scenario.Parallel_sequential ]
+
+let a4_run sc p =
+  Experiment.on_scenario
+    ~key:(Printf.sprintf "abl-qualify/%.2f/%s" p (Scenario.name sc))
+    sc
+    (Diff_file.make { Diff_file.default with Diff_file.qualify_prob = p })
+
 let diff_qualify () =
-  let probs = [ 0.15; 0.3; 0.6 ] in
+  let probs = a4_probs in
   let rows =
     List.map
       (fun sc ->
         {
           Report.row_label = Scenario.name sc;
           cells =
-            List.map
-              (fun p ->
-                cell
-                  (exec
-                     (Experiment.on_scenario
-                        ~key:(Printf.sprintf "abl-qualify/%.2f/%s" p (Scenario.name sc))
-                        sc
-                        (Diff_file.make { Diff_file.default with Diff_file.qualify_prob = p }))))
-              probs;
+            List.map (fun p -> cell (exec (a4_run sc p))) probs;
         })
-      [ Scenario.Conventional_random; Scenario.Parallel_sequential ]
+      a4_scenarios
   in
   {
     Report.id = "Ablation A4";
@@ -160,17 +168,20 @@ let diff_qualify () =
       ];
   }
 
+let a5_sizes = [ 1; 2; 5; 10; 25; 50; 100 ]
+
+let a5_run buf =
+  Experiment.on_scenario
+    ~key:(Printf.sprintf "abl-ptbuf/%d" buf)
+    Scenario.Conventional_random
+    (Shadow.make (Shadow.thru ~n_pt_processors:1 ~buffer_pages:buf))
+
 let pt_buffer_sweep () =
-  let sizes = [ 1; 2; 5; 10; 25; 50; 100 ] in
+  let sizes = a5_sizes in
   let rows =
     List.map
       (fun buf ->
-        let r =
-          Experiment.on_scenario
-            ~key:(Printf.sprintf "abl-ptbuf/%d" buf)
-            Scenario.Conventional_random
-            (Shadow.make (Shadow.thru ~n_pt_processors:1 ~buffer_pages:buf))
-        in
+        let r = a5_run buf in
         {
           Report.row_label = Printf.sprintf "buffer %3d" buf;
           cells =
@@ -191,22 +202,23 @@ let pt_buffer_sweep () =
     notes = [];
   }
 
+let a6_levels = [ 1; 2; 3; 4; 6; 8 ]
+
+let a6_run mpl =
+  let machine = { (Scenario.machine_config Scenario.Conventional_random) with Config.mpl } in
+  Experiment.run
+    ~key:(Printf.sprintf "abl-mpl/%d" mpl)
+    ~machine
+    ~workload:(Scenario.workload_config Scenario.Conventional_random)
+    ~make_arch:(fun _ -> Dbm_machine.Arch.bare)
+    ()
+
 let mpl_sweep () =
-  let levels = [ 1; 2; 3; 4; 6; 8 ] in
+  let levels = a6_levels in
   let rows =
     List.map
       (fun mpl ->
-        let machine =
-          { (Scenario.machine_config Scenario.Conventional_random) with Config.mpl }
-        in
-        let r =
-          Experiment.run
-            ~key:(Printf.sprintf "abl-mpl/%d" mpl)
-            ~machine
-            ~workload:(Scenario.workload_config Scenario.Conventional_random)
-            ~make_arch:(fun _ -> Dbm_machine.Arch.bare)
-            ()
-        in
+        let r = a6_run mpl in
         {
           Report.row_label = Printf.sprintf "MPL %d" mpl;
           cells =
@@ -227,34 +239,37 @@ let mpl_sweep () =
       [ "throughput saturates once the disks do; completion time keeps growing with MPL" ];
   }
 
+let a7_batches = [ 2; 4; 8; 16; 32 ]
+
+let a7_run read_batch =
+  (* queue coalescing is disabled here: with it on, the drive re-merges
+     small adjacent requests and the batch size barely matters -- itself
+     a finding (see A2) *)
+  let machine =
+    { (Scenario.machine_config Scenario.Parallel_sequential) with
+      Config.read_batch;
+      drive_coalesce = false }
+  in
+  let workload =
+    (* read-only so the read-batch effect is not drowned by the
+       (uncoalesced) single-page write-backs *)
+    {
+      (Scenario.workload_config Scenario.Parallel_sequential) with
+      Dbm_workload.Workload.write_fraction = 0.0;
+    }
+  in
+  Experiment.run
+    ~key:(Printf.sprintf "abl-batchsize/%d" read_batch)
+    ~machine ~workload
+    ~make_arch:(fun _ -> Dbm_machine.Arch.bare)
+    ()
+
 let read_batch_sweep () =
-  let batches = [ 2; 4; 8; 16; 32 ] in
+  let batches = a7_batches in
   let rows =
     List.map
       (fun read_batch ->
-        (* queue coalescing is disabled here: with it on, the drive
-           re-merges small adjacent requests and the batch size barely
-           matters -- itself a finding (see A2) *)
-        let machine =
-          { (Scenario.machine_config Scenario.Parallel_sequential) with
-            Config.read_batch;
-            drive_coalesce = false }
-        in
-        let workload =
-          (* read-only so the read-batch effect is not drowned by the
-             (uncoalesced) single-page write-backs *)
-          {
-            (Scenario.workload_config Scenario.Parallel_sequential) with
-            Dbm_workload.Workload.write_fraction = 0.0;
-          }
-        in
-        let r =
-          Experiment.run
-            ~key:(Printf.sprintf "abl-batchsize/%d" read_batch)
-            ~machine ~workload
-            ~make_arch:(fun _ -> Dbm_machine.Arch.bare)
-            ()
-        in
+        let r = a7_run read_batch in
         {
           Report.row_label = Printf.sprintf "batch %2d" read_batch;
           cells = [ cell (exec r); cell (float_of_int r.Results.data_disk_accesses) ];
@@ -278,20 +293,23 @@ let read_batch_sweep () =
 
 (* The paper rejects version selection analytically (4.2.5); measuring
    it confirms the argument and quantifies the margin. *)
+let a8_versel sc =
+  Experiment.on_scenario
+    ~key:("abl-versel/" ^ Scenario.name sc)
+    sc Dbm_recovery.Version_select.make_sim
+
+let a8_shadow sc =
+  Experiment.on_scenario
+    ~key:(Printf.sprintf "shadow/%d/%d/%s" 2 10 (Scenario.name sc))
+    sc
+    (Shadow.make (Shadow.thru ~n_pt_processors:2 ~buffer_pages:10))
+
 let version_selection () =
   let rows =
     List.map
       (fun sc ->
-        let vs =
-          Experiment.on_scenario
-            ~key:("abl-versel/" ^ Scenario.name sc)
-            sc Dbm_recovery.Version_select.make_sim
-        in
-        let pt = Experiment.on_scenario
-            ~key:(Printf.sprintf "shadow/%d/%d/%s" 2 10 (Scenario.name sc))
-            sc
-            (Shadow.make (Shadow.thru ~n_pt_processors:2 ~buffer_pages:10))
-        in
+        let vs = a8_versel sc in
+        let pt = a8_shadow sc in
         let bare = Experiment.bare sc in
         {
           Report.row_label = Scenario.name sc;
@@ -318,7 +336,41 @@ let builders =
     read_batch_sweep; version_selection;
   ]
 
+(* Flattened run-level work list (see Tables.runs): one thunk per memo
+   key, so the pool schedules individual simulations, not whole
+   ablations. *)
+let runs () : (unit -> unit) list =
+  List.concat
+    [
+      List.map (fun enforce () -> ignore (a1_run ~enforce)) [ true; false ];
+      List.concat_map
+        (fun sc -> List.map (fun coalesce () -> ignore (a2_run sc ~coalesce)) [ true; false ])
+        a2_scenarios;
+      List.concat_map
+        (fun sc ->
+          List.map (fun p () -> ignore (a3_run sc p)) [ Config.Adjacent; Config.Far_end ])
+        a3_scenarios;
+      List.concat_map (fun sc -> List.map (fun p () -> ignore (a4_run sc p)) a4_probs) a4_scenarios;
+      List.map (fun buf () -> ignore (a5_run buf)) a5_sizes;
+      List.map (fun mpl () -> ignore (a6_run mpl)) a6_levels;
+      List.map (fun b () -> ignore (a7_run b)) a7_batches;
+      List.concat_map
+        (fun sc ->
+          [
+            (fun () -> ignore (a8_versel sc));
+            (fun () -> ignore (a8_shadow sc));
+            (fun () -> ignore (Experiment.bare sc));
+          ])
+        Scenario.all;
+    ]
+
 let all ?pool () =
+  let serial () = List.map (fun f -> f ()) builders in
   match pool with
-  | None -> List.map (fun f -> f ()) builders
-  | Some p -> Dbm_util.Pool.map_ordered p builders ~f:(fun f -> f ())
+  | None -> serial ()
+  | Some p ->
+    if Dbm_util.Pool.jobs p <= 1 then serial ()
+    else begin
+      ignore (Dbm_util.Pool.map_ordered p (runs ()) ~f:(fun r -> r ()));
+      serial ()
+    end

@@ -40,6 +40,11 @@ val version_selection : unit -> Report.table
     rejects it analytically in Section 4.2.5): every read transfers both
     adjacent copies. *)
 
+val runs : unit -> (unit -> unit) list
+(** Flattened run-level work list (one thunk per memoized simulation);
+    see {!Tables.runs}. *)
+
 val all : ?pool:Dbm_util.Pool.t -> unit -> Report.table list
-(** All ablations, in order; with [pool] they run in parallel across its
-    domains with an identical result. *)
+(** All ablations, in order; with [pool] the individual runs are fanned
+    out across its domains first and the tables assembled from the memo
+    cache, with a byte-identical result. *)

@@ -24,7 +24,7 @@ let clear_cache () =
     cache;
   Mutex.unlock lock
 
-let run ~key ~machine ~workload ~make_arch () =
+let cached ~key compute =
   Mutex.lock lock;
   let rec claim () =
     match Hashtbl.find_opt cache key with
@@ -50,16 +50,18 @@ let run ~key ~machine ~workload ~make_arch () =
       Condition.broadcast changed;
       Mutex.unlock lock
     in
-    (match
-       let txns = Dbm_workload.Workload.generate workload in
-       Dbm_machine.Machine.run ~config:machine ~make_arch ~workload:txns
-     with
+    (match compute () with
     | r ->
       finish (Some r);
       r
     | exception e ->
       finish None;
       raise e)
+
+let run ~key ~machine ~workload ~make_arch () =
+  cached ~key (fun () ->
+      let txns = Dbm_workload.Workload.generate workload in
+      Dbm_machine.Machine.run ~config:machine ~make_arch ~workload:txns)
 
 let on_scenario ~key ?scramble scenario make_arch =
   run ~key

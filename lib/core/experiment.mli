@@ -5,6 +5,12 @@
     first result.  All runs are deterministic, so memoization is
     semantically transparent. *)
 
+val cached : key:string -> (unit -> Dbm_machine.Results.t) -> Dbm_machine.Results.t
+(** [cached ~key compute] returns the memoized result for [key], running
+    [compute] (exactly once across all domains; concurrent requesters
+    wait on the in-flight marker) on a miss.  [compute] must be
+    deterministic for the memoization to be transparent. *)
+
 val run :
   key:string ->
   machine:Dbm_machine.Config.t ->

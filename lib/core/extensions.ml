@@ -5,29 +5,31 @@ module Logging = Dbm_recovery.Logging
 
 let cell = Report.cell
 
-let hotspot_contention () =
+let e1_skews =
+  [
+    ("uniform", Workload.Random_access);
+    ("10% hot, 50% of accesses", Workload.Hotspot { hot_fraction = 0.10; hot_access_prob = 0.5 });
+    ("5% hot, 80% of accesses", Workload.Hotspot { hot_fraction = 0.05; hot_access_prob = 0.8 });
+    ("2% hot, 80% of accesses", Workload.Hotspot { hot_fraction = 0.02; hot_access_prob = 0.8 });
+    ("1% hot, 95% of accesses", Workload.Hotspot { hot_fraction = 0.01; hot_access_prob = 0.95 });
+  ]
+
+let e1_run ~arch_label ~make_arch (label, pattern) =
   let machine = Scenario.machine_config Scenario.Conventional_random in
-  let base_workload = Scenario.workload_config Scenario.Conventional_random in
-  let skews =
-    [
-      ("uniform", Workload.Random_access);
-      ("10% hot, 50% of accesses", Workload.Hotspot { hot_fraction = 0.10; hot_access_prob = 0.5 });
-      ("5% hot, 80% of accesses", Workload.Hotspot { hot_fraction = 0.05; hot_access_prob = 0.8 });
-      ("2% hot, 80% of accesses", Workload.Hotspot { hot_fraction = 0.02; hot_access_prob = 0.8 });
-      ("1% hot, 95% of accesses", Workload.Hotspot { hot_fraction = 0.01; hot_access_prob = 0.95 });
-    ]
+  let workload =
+    { (Scenario.workload_config Scenario.Conventional_random) with Workload.pattern }
   in
+  Experiment.run
+    ~key:(Printf.sprintf "ext-hotspot/%s/%s" arch_label label)
+    ~machine ~workload ~make_arch ()
+
+let hotspot_contention () =
   let rows =
     List.map
-      (fun (label, pattern) ->
-        let workload = { base_workload with Workload.pattern } in
-        let run arch_label make_arch =
-          Experiment.run
-            ~key:(Printf.sprintf "ext-hotspot/%s/%s" arch_label label)
-            ~machine ~workload ~make_arch ()
-        in
-        let bare = run "bare" (fun _ -> Dbm_machine.Arch.bare) in
-        let log = run "logging" (Logging.make Logging.default) in
+      (fun skew ->
+        let label, _ = skew in
+        let bare = e1_run ~arch_label:"bare" ~make_arch:(fun _ -> Dbm_machine.Arch.bare) skew in
+        let log = e1_run ~arch_label:"logging" ~make_arch:(Logging.make Logging.default) skew in
         {
           Report.row_label = label;
           cells =
@@ -40,7 +42,7 @@ let hotspot_contention () =
               cell log.Results.mean_completion_ms;
             ];
         })
-      skews
+      e1_skews
   in
   {
     Report.id = "Extension E1";
@@ -61,9 +63,12 @@ let hotspot_contention () =
       ];
   }
 
-let mixed_size_fairness () =
-  (* 20 small transactions (1-10 pages) mixed with 5 very large ones
-     (200-250 pages), interleaved in arrival order. *)
+(* 20 small transactions (1-10 pages) mixed with 5 very large ones
+   (200-250 pages), interleaved in arrival order.  The workload array is
+   hand-built, so this run goes through [Experiment.cached] directly to
+   join the run-level work list. *)
+let e2_run () =
+  Experiment.cached ~key:"ext-mixed" @@ fun () ->
   let machine = Scenario.machine_config Scenario.Conventional_random in
   let small =
     Workload.generate
@@ -93,11 +98,12 @@ let mixed_size_fairness () =
     Array.concat
       (List.concat (List.init 5 (fun i -> [ Array.sub small (4 * i) 4; [| large.(i) |] ])))
   in
-  let r =
-    Dbm_machine.Machine.run ~config:machine
-      ~make_arch:(fun _ -> Dbm_machine.Arch.bare)
-      ~workload:mixed
-  in
+  Dbm_machine.Machine.run ~config:machine
+    ~make_arch:(fun _ -> Dbm_machine.Arch.bare)
+    ~workload:mixed
+
+let mixed_size_fairness () =
+  let r = e2_run () in
   let class_mean pred =
     let xs = List.filter_map (fun (id, c) -> if pred id then Some c else None) r.Results.completions in
     match xs with
@@ -133,24 +139,24 @@ let mixed_size_fairness () =
 (* Offered load vs response time in an open system (Poisson arrivals):
    the closed-model paper reports completion under a fixed MPL; this
    sweep shows the classic response-time knee as utilization rises. *)
-let open_system_load () =
+let e3_interarrivals = [ 10_000.0; 5_000.0; 3_500.0; 3_000.0 ]
+
+let e3_run ~label ~make_arch mean =
   let machine = Scenario.machine_config Scenario.Conventional_random in
+  let machine = { machine with Config.arrivals = Config.Poisson mean } in
   let workload =
-    { (Scenario.workload_config Scenario.Conventional_random) with
-      Workload.n_transactions = 40 }
+    { (Scenario.workload_config Scenario.Conventional_random) with Workload.n_transactions = 40 }
   in
-  let interarrivals = [ 10_000.0; 5_000.0; 3_500.0; 3_000.0 ] in
+  Experiment.run
+    ~key:(Printf.sprintf "ext-open/%s/%.0f" label mean)
+    ~machine ~workload ~make_arch ()
+
+let open_system_load () =
   let rows =
     List.map
       (fun mean ->
-        let machine = { machine with Config.arrivals = Config.Poisson mean } in
-        let run label make_arch =
-          Experiment.run
-            ~key:(Printf.sprintf "ext-open/%s/%.0f" label mean)
-            ~machine ~workload ~make_arch ()
-        in
-        let bare = run "bare" (fun _ -> Dbm_machine.Arch.bare) in
-        let log = run "logging" (Logging.make Logging.default) in
+        let bare = e3_run ~label:"bare" ~make_arch:(fun _ -> Dbm_machine.Arch.bare) mean in
+        let log = e3_run ~label:"logging" ~make_arch:(Logging.make Logging.default) mean in
         let p95 (r : Results.t) =
           Dbm_util.Stats.percentile (List.map snd r.Results.completions) ~p:95.0
         in
@@ -164,7 +170,7 @@ let open_system_load () =
               cell log.Results.mean_completion_ms;
             ];
         })
-      interarrivals
+      e3_interarrivals
   in
   {
     Report.id = "Extension E3";
@@ -180,7 +186,36 @@ let open_system_load () =
 
 let builders = [ hotspot_contention; mixed_size_fairness; open_system_load ]
 
+(* Flattened run-level work list (see Tables.runs). *)
+let runs () : (unit -> unit) list =
+  List.concat
+    [
+      List.concat_map
+        (fun skew ->
+          [
+            (fun () -> ignore (e1_run ~arch_label:"bare" ~make_arch:(fun _ -> Dbm_machine.Arch.bare) skew));
+            (fun () ->
+              ignore (e1_run ~arch_label:"logging" ~make_arch:(Logging.make Logging.default) skew));
+          ])
+        e1_skews;
+      [ (fun () -> ignore (e2_run ())) ];
+      List.concat_map
+        (fun mean ->
+          [
+            (fun () -> ignore (e3_run ~label:"bare" ~make_arch:(fun _ -> Dbm_machine.Arch.bare) mean));
+            (fun () ->
+              ignore (e3_run ~label:"logging" ~make_arch:(Logging.make Logging.default) mean));
+          ])
+        e3_interarrivals;
+    ]
+
 let all ?pool () =
+  let serial () = List.map (fun f -> f ()) builders in
   match pool with
-  | None -> List.map (fun f -> f ()) builders
-  | Some p -> Dbm_util.Pool.map_ordered p builders ~f:(fun f -> f ())
+  | None -> serial ()
+  | Some p ->
+    if Dbm_util.Pool.jobs p <= 1 then serial ()
+    else begin
+      ignore (Dbm_util.Pool.map_ordered p (runs ()) ~f:(fun r -> r ()));
+      serial ()
+    end

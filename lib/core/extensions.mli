@@ -20,6 +20,11 @@ val open_system_load : unit -> Report.table
     response time as the offered load approaches the machine's
     capacity. *)
 
+val runs : unit -> (unit -> unit) list
+(** Flattened run-level work list (one thunk per memoized simulation);
+    see {!Tables.runs}. *)
+
 val all : ?pool:Dbm_util.Pool.t -> unit -> Report.table list
-(** All extensions, in order; with [pool] they run in parallel across
-    its domains with an identical result. *)
+(** All extensions, in order; with [pool] the individual runs are fanned
+    out across its domains first and the tables assembled from the memo
+    cache, with a byte-identical result. *)

@@ -51,6 +51,24 @@ let physical_index params layout ~page =
     let a, b = scramble_coeffs seed n in
     ((a * p) + b) mod n
 
+(* Resolve everything that depends only on (params, layout) once, so the
+   per-page call is pure integer arithmetic: no [loc] record, and for
+   scrambled layouts no trip through the mutex-guarded coefficient
+   cache. *)
+let cylinder_fn params layout =
+  let n = Params.total_pages params in
+  let per_cyl = Params.pages_per_cylinder params in
+  match layout with
+  | Sequential ->
+    fun page ->
+      if page < 0 then invalid_arg "Layout.locate: negative page";
+      page mod n / per_cyl
+  | Scrambled seed ->
+    let a, b = scramble_coeffs seed n in
+    fun page ->
+      if page < 0 then invalid_arg "Layout.locate: negative page";
+      ((a * (page mod n)) + b) mod n / per_cyl
+
 let locate params layout ~page =
   let p = physical_index params layout ~page in
   let per_cyl = Params.pages_per_cylinder params in
@@ -80,4 +98,15 @@ let permutation ~seed ~n x =
   else begin
     let a, b = scramble_coeffs seed n in
     ((a * x) + b) mod n
+  end
+
+let permutation_fn ~seed ~n =
+  if n <= 2 then fun x ->
+    if x < 0 || x >= n then invalid_arg "Layout.permutation: input out of range";
+    x
+  else begin
+    let a, b = scramble_coeffs seed n in
+    fun x ->
+      if x < 0 || x >= n then invalid_arg "Layout.permutation: input out of range";
+      ((a * x) + b) mod n
   end

@@ -18,6 +18,11 @@ val locate : Params.t -> t -> page:int -> loc
     capacity, so any non-negative page number is valid.
     @raise Invalid_argument on a negative page number. *)
 
+val cylinder_fn : Params.t -> t -> int -> int
+(** [cylinder_fn params layout] resolves the layout's parameters once
+    and returns a function computing [(locate params layout ~page).cylinder]
+    without allocating.  Partially apply it outside per-page loops. *)
+
 val same_cylinder : Params.t -> t -> int -> int -> bool
 
 val slot_positions : Params.t -> t -> int list -> int
@@ -32,3 +37,8 @@ val permutation : seed:int -> n:int -> int -> int
     (an affine map with a large multiplier) that scatters adjacent
     inputs far apart.  Used to scramble data pages within a zone.
     @raise Invalid_argument on inputs outside [0, n). *)
+
+val permutation_fn : seed:int -> n:int -> int -> int
+(** Same bijection as {!permutation} with the coefficients resolved
+    once at partial application, so per-input calls skip the shared
+    coefficient cache (and its lock). *)

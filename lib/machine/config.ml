@@ -93,3 +93,32 @@ let locate t ~page =
     (* Scatter within the disk's data zone only: the scratch and
        differential zones keep their physical sequentiality. *)
     (disk, Dbm_disk.Layout.permutation ~seed ~n:(data_zone_pages t) local)
+
+(* The same mapping as {!locate}, resolved once into a pair of
+   allocation-free closures for per-page loops: no result tuple, and
+   for scrambled configurations no trip through the shared permutation
+   coefficient cache. *)
+let locate_fns t =
+  let chunk_pages = Dbm_disk.Params.pages_per_cylinder t.disk in
+  let n_disks = t.n_data_disks in
+  let db_pages = t.db_pages in
+  let check page =
+    if page < 0 || page >= db_pages then invalid_arg "Config.locate: page out of range"
+  in
+  let disk_of page =
+    check page;
+    page / chunk_pages mod n_disks
+  in
+  let plain page =
+    check page;
+    let chunk = page / chunk_pages in
+    ((chunk / n_disks) * chunk_pages) + (page mod chunk_pages)
+  in
+  let local_of =
+    match t.data_scramble with
+    | None -> plain
+    | Some seed ->
+      let perm = Dbm_disk.Layout.permutation_fn ~seed ~n:(data_zone_pages t) in
+      fun page -> perm (plain page)
+  in
+  (disk_of, local_of)

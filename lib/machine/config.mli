@@ -73,3 +73,9 @@ val locate : t -> page:int -> int * int
     is striped across the disks in cylinder-sized chunks so that
     sequential runs stay physically sequential on each disk while both
     disks share the load. *)
+
+val locate_fns : t -> (int -> int) * (int -> int)
+(** [locate_fns t] is [(disk_of, local_of)] such that
+    [locate t ~page = (disk_of page, local_of page)], with the
+    geometry (and any scramble coefficients) resolved once so the
+    per-page calls allocate nothing.  Partially apply outside loops. *)

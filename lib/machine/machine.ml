@@ -22,6 +22,10 @@ let ceil_div a b = (a + b - 1) / b
 let run_gen ~trace ~config ~make_arch ~workload =
   Config.validate config;
   let engine = Engine.create () in
+  (* [emit] callers build their source/detail strings with sprintf; guard
+     every call site on [tracing] so the untraced (common) path never
+     pays for the formatting. *)
+  let tracing = trace <> None in
   let emit ~source ~tag detail =
     match trace with
     | None -> ()
@@ -115,11 +119,8 @@ let run_gen ~trace ~config ~make_arch ~workload =
     !pump_ref ()
   in
 
-  let drive_of_page page =
-    let d, local = Config.locate config ~page in
-    (drives.(d), local)
-  in
-  let disk_index_of_page page = fst (Config.locate config ~page) in
+  let disk_index_of_page, local_of_page = Config.locate_fns config in
+  let drive_of_page page = (drives.(disk_index_of_page page), local_of_page page) in
 
   let ctx =
     {
@@ -206,9 +207,10 @@ let run_gen ~trace ~config ~make_arch ~workload =
         in
         active := !active @ [ ts ];
         note_active !active;
-        emit ~source:(Printf.sprintf "txn %d" txn.Workload.id) ~tag:"admit"
-          (Printf.sprintf "%d pages, %d writes" (Array.length txn.Workload.pages)
-             (Workload.write_set_size txn));
+        if tracing then
+          emit ~source:(Printf.sprintf "txn %d" txn.Workload.id) ~tag:"admit"
+            (Printf.sprintf "%d pages, %d writes" (Array.length txn.Workload.pages)
+               (Workload.write_set_size txn));
         admit ()
     end
   in
@@ -217,8 +219,9 @@ let run_gen ~trace ~config ~make_arch ~workload =
     let now = Engine.now engine in
     Stats.Acc.add completions (now -. ts.start_time);
     completion_list := (ts.txn.Workload.id, now -. ts.start_time) :: !completion_list;
-    emit ~source:(Printf.sprintf "txn %d" ts.txn.Workload.id) ~tag:"finish"
-      (Printf.sprintf "completion %.1f ms" (now -. ts.start_time));
+    if tracing then
+      emit ~source:(Printf.sprintf "txn %d" ts.txn.Workload.id) ~tag:"finish"
+        (Printf.sprintf "completion %.1f ms" (now -. ts.start_time));
     last_done := Float.max !last_done now;
     incr done_count;
     active := List.filter (fun t -> t != ts) !active;
@@ -250,8 +253,9 @@ let run_gen ~trace ~config ~make_arch ~workload =
       && ts.processed = n
     then begin
       ts.commit_started <- true;
-      emit ~source:(Printf.sprintf "txn %d" ts.txn.Workload.id) ~tag:"commit"
-        (Printf.sprintf "%d dirty pending" ts.dirty_pending);
+      if tracing then
+        emit ~source:(Printf.sprintf "txn %d" ts.txn.Workload.id) ~tag:"commit"
+          (Printf.sprintf "%d dirty pending" ts.dirty_pending);
       arch.Arch.on_commit ~txn:ts.txn ~k:(fun () ->
           ts.commit_done <- true;
           maybe_finish ())
@@ -338,8 +342,9 @@ let run_gen ~trace ~config ~make_arch ~workload =
         let prev = Option.value (Hashtbl.find_opt groups d) ~default:[] in
         Hashtbl.replace groups d ((i, page) :: prev)
       done;
-      emit ~source:(Printf.sprintf "txn %d" ts.txn.Workload.id) ~tag:"read"
-        (Printf.sprintf "batch of %d pages from index %d" take first);
+      if tracing then
+        emit ~source:(Printf.sprintf "txn %d" ts.txn.Workload.id) ~tag:"read"
+          (Printf.sprintf "batch of %d pages from index %d" take first);
       Hashtbl.iter
         (fun d rev_group ->
           let group = List.rev rev_group in
@@ -350,9 +355,7 @@ let run_gen ~trace ~config ~make_arch ~workload =
           let proceed () =
             decr gates;
             if !gates = 0 then begin
-              let locals =
-                List.map (fun (_, page) -> snd (Config.locate config ~page)) group
-              in
+              let locals = List.map (fun (_, page) -> local_of_page page) group in
               let extra =
                 arch.Arch.extra_read_pages ~n_base:(List.length group)
               in

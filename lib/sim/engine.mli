@@ -4,12 +4,20 @@
     [(time, sequence number)]; events scheduled for the same instant fire
     in the order in which they were scheduled, which makes every run
     deterministic.  Time is a [float] in milliseconds, matching the unit
-    used throughout the paper. *)
+    used throughout the paper.
+
+    The engine recycles event records through a free-list, so a steady
+    stream of schedule/fire cycles allocates no minor words beyond the
+    caller's own closures. *)
 
 type t
 
 type event_id
-(** Handle for cancelling a scheduled event. *)
+(** Handle for cancelling a scheduled event.  Handles are
+    generation-tagged: once the event has fired or its cancellation has
+    been processed, the handle goes permanently stale and any further
+    [cancel] through it is a no-op — even after the engine recycles the
+    underlying record for a new event. *)
 
 val create : unit -> t
 
@@ -29,6 +37,9 @@ val cancel : t -> event_id -> unit
 
 val pending : t -> int
 (** Number of scheduled (uncancelled) events. *)
+
+val events_fired : t -> int
+(** Total events fired since [create] (cancelled events never count). *)
 
 val run : ?until:float -> ?max_events:int -> t -> unit
 (** Execute events in order until the agenda is empty, [until] is

@@ -1,61 +1,110 @@
+(* The completion path is shared: each server slot carries one finish
+   closure allocated at [create], and the job's continuation is parked in
+   the slot for the duration of the service.  Submitting to an idle
+   server therefore allocates nothing (beyond the caller's own
+   continuation); only jobs that actually wait are materialised as
+   records in the ring-buffer queue. *)
+
+module Ring = Dbm_util.Ring
+
 type job = { service : float; k : unit -> unit }
 
 type t = {
   engine : Engine.t;
   name : string;
   servers : int;
-  queue : job Queue.t;
+  mutable queue : job Ring.t; (* waiting jobs; swapped for a bigger ring on overflow *)
+  free_servers : int array; (* stack of idle server slots *)
+  mutable n_free : int;
+  slots : (unit -> unit) array; (* per-server parked continuation *)
+  finishers : (unit -> unit) array; (* per-server completion events, allocated once *)
   mutable busy : int;
   busy_acc : Dbm_util.Stats.Busy.t;
   qlen : Dbm_util.Stats.Timeweighted.t;
   mutable completed : int;
 }
 
-let create engine ~name ~servers () =
-  if servers <= 0 then invalid_arg "Resource.create: servers must be positive";
-  {
-    engine;
-    name;
-    servers;
-    queue = Queue.create ();
-    busy = 0;
-    busy_acc = Dbm_util.Stats.Busy.create ();
-    qlen = Dbm_util.Stats.Timeweighted.create ~t0:(Engine.now engine) ();
-    completed = 0;
-  }
-
 let name t = t.name
 let servers t = t.servers
 let busy_servers t = t.busy
-let queue_length t = Queue.length t.queue
+let queue_length t = Ring.length t.queue
 let completed t = t.completed
 
 let note_queue t =
   Dbm_util.Stats.Timeweighted.update t.qlen ~now:(Engine.now t.engine)
-    ~level:(float_of_int (Queue.length t.queue))
+    ~level:(float_of_int (Ring.length t.queue))
+
+(* Claim a server slot and schedule its (pre-allocated) finish event. *)
+let start t ~service k =
+  t.n_free <- t.n_free - 1;
+  let i = t.free_servers.(t.n_free) in
+  t.slots.(i) <- k;
+  t.busy <- t.busy + 1;
+  Dbm_util.Stats.Busy.add_busy t.busy_acc service;
+  ignore (Engine.schedule t.engine ~delay:service t.finishers.(i))
 
 let rec start_next t =
-  if t.busy < t.servers && not (Queue.is_empty t.queue) then begin
-    let job = Queue.pop t.queue in
-    note_queue t;
-    t.busy <- t.busy + 1;
-    Dbm_util.Stats.Busy.add_busy t.busy_acc job.service;
-    let finish () =
-      t.busy <- t.busy - 1;
-      t.completed <- t.completed + 1;
-      job.k ();
+  if t.n_free > 0 && not (Ring.is_empty t.queue) then begin
+    match Ring.pop t.queue with
+    | None -> ()
+    | Some job ->
+      note_queue t;
+      start t ~service:job.service job.k;
       start_next t
-    in
-    ignore (Engine.schedule t.engine ~delay:job.service finish);
-    start_next t
   end
+
+let finish t i =
+  t.busy <- t.busy - 1;
+  t.completed <- t.completed + 1;
+  let k = t.slots.(i) in
+  t.slots.(i) <- ignore;
+  (* free the server before running [k]: a submit from inside the
+     continuation sees the slot as available, as it did when the
+     bookkeeping ran before [job.k] in the per-job-closure design *)
+  t.free_servers.(t.n_free) <- i;
+  t.n_free <- t.n_free + 1;
+  k ();
+  start_next t
+
+let create engine ~name ~servers () =
+  if servers <= 0 then invalid_arg "Resource.create: servers must be positive";
+  let t =
+    {
+      engine;
+      name;
+      servers;
+      queue = Ring.create ~capacity:16 ();
+      free_servers = Array.init servers (fun i -> servers - 1 - i);
+      n_free = servers;
+      slots = Array.make servers ignore;
+      finishers = Array.make servers ignore;
+      busy = 0;
+      busy_acc = Dbm_util.Stats.Busy.create ();
+      qlen = Dbm_util.Stats.Timeweighted.create ~t0:(Engine.now engine) ();
+      completed = 0;
+    }
+  in
+  for i = 0 to servers - 1 do
+    t.finishers.(i) <- (fun () -> finish t i)
+  done;
+  t
 
 let submit t ~service k =
   if not (Float.is_finite service) || service < 0.0 then
     invalid_arg "Resource.submit: negative or non-finite service time";
-  Queue.push { service; k } t.queue;
-  note_queue t;
-  start_next t
+  if t.n_free > 0 && Ring.is_empty t.queue then begin
+    (* Fast path: a server is idle and nobody is waiting, so the job
+       never touches the queue.  The single stats update is equivalent
+       to the slow path's push-then-pop pair (both are zero-width). *)
+    note_queue t;
+    start t ~service k
+  end
+  else begin
+    if Ring.is_full t.queue then t.queue <- Ring.extend t.queue;
+    Ring.push_exn t.queue { service; k };
+    note_queue t;
+    start_next t
+  end
 
 let utilization t =
   Dbm_util.Stats.Busy.utilization t.busy_acc ~elapsed:(Engine.now t.engine) ~servers:t.servers

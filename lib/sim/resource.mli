@@ -4,7 +4,12 @@
     is free the oldest queued job is started; its callback fires when the
     service time elapses.  The pool records busy time (for utilization)
     and the time-weighted queue length, which is how the paper reports
-    processor and disk statistics (Tables 2 and 5). *)
+    processor and disk statistics (Tables 2 and 5).
+
+    The completion path is shared across jobs (one pre-allocated finish
+    closure per server) and the waiting line is a growable ring buffer,
+    so submitting to an idle server allocates nothing beyond the
+    caller's continuation. *)
 
 type t
 

@@ -1,5 +1,6 @@
 type t = {
-  jobs : int;
+  requested : int;
+  jobs : int; (* effective: clamped to host cores unless oversubscribed *)
   queue : (unit -> unit) Queue.t;
   mutex : Mutex.t;
   work_ready : Condition.t; (* something was enqueued, or shutdown began *)
@@ -23,11 +24,16 @@ let rec worker_loop t =
     worker_loop t
   end
 
-let create ?jobs () =
-  let jobs = match jobs with None -> default_jobs () | Some j -> j in
-  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+let create ?jobs ?(allow_oversubscribe = false) () =
+  let requested = match jobs with None -> default_jobs () | Some j -> j in
+  if requested < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  (* Spawning more domains than cores makes every domain slower (OCaml
+     runtime coordination scales with the domain count), so a request
+     beyond the host is clamped unless the caller explicitly insists. *)
+  let jobs = if allow_oversubscribe then requested else min requested (default_jobs ()) in
   let t =
     {
+      requested;
       jobs;
       queue = Queue.create ();
       mutex = Mutex.create ();
@@ -42,6 +48,8 @@ let create ?jobs () =
   t
 
 let jobs t = t.jobs
+
+let requested_jobs t = t.requested
 
 (* Explicit left-to-right application: this is the serial path that
    [--jobs 1] promises to reproduce bit-for-bit, so the evaluation order
@@ -106,6 +114,6 @@ let shutdown t =
   Array.iter Domain.join t.workers;
   t.workers <- [||]
 
-let with_pool ?jobs f =
-  let t = create ?jobs () in
+let with_pool ?jobs ?allow_oversubscribe f =
+  let t = create ?jobs ?allow_oversubscribe () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -18,14 +18,22 @@
 type t
 
 val default_jobs : unit -> int
-(** [Domain.recommended_domain_count ()] — the pool size to use when the
-    user expressed no preference. *)
+(** [Domain.recommended_domain_count ()] — the host core count, which is
+    both the default pool size and the clamp on requested sizes. *)
 
-val create : ?jobs:int -> unit -> t
-(** A pool of [jobs] workers (default {!default_jobs}).
+val create : ?jobs:int -> ?allow_oversubscribe:bool -> unit -> t
+(** A pool of [jobs] workers (default {!default_jobs}).  The effective
+    size is clamped to {!default_jobs} — running more domains than cores
+    only slows every domain down — unless [allow_oversubscribe] is
+    [true] (for tests that must exercise the parallel path on a small
+    host).  With an effective size of 1 no domain is ever spawned.
     @raise Invalid_argument when [jobs < 1]. *)
 
 val jobs : t -> int
+(** Effective worker count after clamping. *)
+
+val requested_jobs : t -> int
+(** The size the caller asked for, before clamping. *)
 
 val map_ordered : t -> 'a list -> f:('a -> 'b) -> 'b list
 (** [map_ordered t xs ~f] applies [f] to every element of [xs], fanning
@@ -37,6 +45,6 @@ val map_ordered : t -> 'a list -> f:('a -> 'b) -> 'b list
 val shutdown : t -> unit
 (** Join the worker domains.  Idempotent; the pool is unusable after. *)
 
-val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+val with_pool : ?jobs:int -> ?allow_oversubscribe:bool -> (t -> 'a) -> 'a
 (** [with_pool f] runs [f] on a fresh pool and shuts it down afterwards,
     whether [f] returns or raises. *)

@@ -29,6 +29,12 @@ val pop : 'a t -> 'a option
 
 val peek : 'a t -> 'a option
 
+val extend : 'a t -> 'a t
+(** A fresh ring with twice the capacity holding the same elements
+    (oldest first).  The original is untouched: bounded users keep the
+    paper's overflow semantics, growable users (e.g. a resource's job
+    queue) swap in the extension when [is_full]. *)
+
 val to_list : 'a t -> 'a list
 (** Oldest first.  Non-destructive. *)
 

@@ -89,6 +89,58 @@ let test_invalid_schedules () =
   Alcotest.check_raises "past time" (Invalid_argument "Engine.schedule_at: time in the past")
     (fun () -> ignore (Engine.schedule_at e ~time:1.0 (fun () -> ())))
 
+(* --- free-list recycling ---------------------------------------------- *)
+
+let test_recycled_record_drops_old_action () =
+  (* A cancelled record goes back to the free list when it surfaces; the
+     next schedule must reuse it with the new action only. *)
+  let e = Engine.create () in
+  let old_fired = ref false in
+  let h = Engine.schedule e ~delay:1.0 (fun () -> old_fired := true) in
+  Engine.cancel e h;
+  Engine.run e;
+  let new_fired = ref 0 in
+  for _ = 1 to 3 do
+    ignore (Engine.schedule e ~delay:1.0 (fun () -> incr new_fired));
+    Engine.run e
+  done;
+  check Alcotest.bool "cancelled action never fires" false !old_fired;
+  check Alcotest.int "recycled records fire the new action" 3 !new_fired
+
+let test_stale_cancel_misses_recycled_record () =
+  (* A handle kept across its event's firing must not cancel whatever
+     event recycled the record afterwards. *)
+  let e = Engine.create () in
+  let stale = Engine.schedule e ~delay:1.0 (fun () -> ()) in
+  Engine.run e;
+  let b_fired = ref false in
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> b_fired := true));
+  Engine.cancel e stale;
+  check Alcotest.int "stale cancel is a no-op" 1 (Engine.pending e);
+  Engine.run e;
+  check Alcotest.bool "successor still fires" true !b_fired
+
+let test_steady_state_allocation () =
+  (* One live self-rescheduling event, recycled forever: the engine must
+     not allocate a record per event.  A fresh record every time would
+     cost >10 words/event; the bound leaves room for GC noise only. *)
+  let e = Engine.create () in
+  let n = 100_000 in
+  let fired = ref 0 in
+  let rec tick () =
+    incr fired;
+    if !fired < n then ignore (Engine.schedule e ~delay:1.0 tick)
+  in
+  ignore (Engine.schedule e ~delay:1.0 tick);
+  let s0 = Gc.quick_stat () in
+  Engine.run e;
+  let s1 = Gc.quick_stat () in
+  let words_per_event = (s1.Gc.minor_words -. s0.Gc.minor_words) /. float_of_int n in
+  check Alcotest.int "all events fired" n !fired;
+  if words_per_event > 4.0 then
+    Alcotest.failf "steady-state engine allocates %.2f minor words/event (want <= 4)"
+      words_per_event
+
 let test_step () =
   let e = Engine.create () in
   let n = ref 0 in
@@ -154,6 +206,76 @@ let test_resource_queue_length () =
   check Alcotest.int "one busy" 1 (Resource.busy_servers r);
   Engine.run e;
   check Alcotest.int "drained" 0 (Resource.queue_length r)
+
+(* The ring-buffered, preallocated-finisher Resource must behave exactly
+   like the textbook model: an FCFS queue in front of [servers] identical
+   servers, each job taking the earliest-free server.  Integer-valued
+   gaps and service times keep every sum exact, so the comparison needs
+   no tolerance. *)
+let reference_model ~servers jobs =
+  let free_at = Array.make servers 0.0 in
+  List.map
+    (fun (arrival, service) ->
+      let s = ref 0 in
+      for i = 1 to servers - 1 do
+        if free_at.(i) < free_at.(!s) then s := i
+      done;
+      let start = Float.max arrival free_at.(!s) in
+      free_at.(!s) <- start +. service;
+      (start, start +. service))
+    jobs
+
+let simulate_resource ~servers jobs =
+  let e = Engine.create () in
+  let r = Resource.create e ~name:"model" ~servers () in
+  let completion = Array.make (List.length jobs) Float.nan in
+  List.iteri
+    (fun i (arrival, service) ->
+      ignore
+        (Engine.schedule e ~delay:arrival (fun () ->
+             Resource.submit r ~service (fun () -> completion.(i) <- Engine.now e))))
+    jobs;
+  Engine.run e;
+  (r, completion, Engine.now e)
+
+let prop_resource_matches_reference =
+  QCheck.Test.make ~name:"resource matches naive FCFS multi-server model" ~count:300
+    QCheck.(
+      pair (int_range 1 3)
+        (small_list (pair (int_range 0 5) (int_range 0 6))))
+    (fun (servers, raw) ->
+      (* integer gaps -> non-decreasing integer arrival times *)
+      let _, jobs =
+        List.fold_left
+          (fun (t, acc) (gap, svc) ->
+            let t = t + gap in
+            (t, (float_of_int t, float_of_int svc) :: acc))
+          (0, []) raw
+      in
+      let jobs = List.rev jobs in
+      let expected = reference_model ~servers jobs in
+      let r, completion, now = simulate_resource ~servers jobs in
+      let ok_completions =
+        List.for_all2
+          (fun (_, finish) measured -> Float.equal finish measured)
+          expected (Array.to_list completion)
+      in
+      let ok_count = Resource.completed r = List.length jobs in
+      let ok_stats =
+        now = 0.0
+        || begin
+             let busy = List.fold_left (fun a (_, s) -> a +. s) 0.0 jobs in
+             let wait =
+               List.fold_left2
+                 (fun a (arr, _) (start, _) -> a +. (start -. arr))
+                 0.0 jobs expected
+             in
+             Float.abs (Resource.utilization r -. (busy /. (float_of_int servers *. now)))
+               < 1e-9
+             && Float.abs (Resource.mean_queue_length r -. (wait /. now)) < 1e-9
+           end
+      in
+      ok_completions && ok_count && ok_stats)
 
 (* --- Trace ------------------------------------------------------------ *)
 
@@ -224,6 +346,12 @@ let () =
           Alcotest.test_case "run until" `Quick test_run_until;
           Alcotest.test_case "run until with cancelled top" `Quick test_run_until_cancelled_top;
           Alcotest.test_case "invalid schedules" `Quick test_invalid_schedules;
+          Alcotest.test_case "recycled record drops old action" `Quick
+            test_recycled_record_drops_old_action;
+          Alcotest.test_case "stale cancel misses recycled record" `Quick
+            test_stale_cancel_misses_recycled_record;
+          Alcotest.test_case "steady-state allocation bound" `Quick
+            test_steady_state_allocation;
           Alcotest.test_case "step" `Quick test_step;
         ] );
       ( "trace",
@@ -239,5 +367,6 @@ let () =
           Alcotest.test_case "utilization" `Quick test_resource_utilization;
           Alcotest.test_case "fcfs order" `Quick test_resource_fcfs;
           Alcotest.test_case "queue length" `Quick test_resource_queue_length;
+          QCheck_alcotest.to_alcotest prop_resource_matches_reference;
         ] );
     ]

@@ -172,8 +172,11 @@ let test_pool_serial_path () =
       check (Alcotest.list Alcotest.int) "maps in order" (squares 10)
         (Pool.map_ordered p (List.init 10 (fun i -> i)) ~f:(fun x -> x * x)))
 
+(* The parallel-path tests oversubscribe deliberately so they exercise
+   real domains even on a single-core host, where plain ~jobs would
+   clamp to 1 and test nothing. *)
 let test_pool_parallel_ordering () =
-  Pool.with_pool ~jobs:4 (fun p ->
+  Pool.with_pool ~jobs:4 ~allow_oversubscribe:true (fun p ->
       check (Alcotest.list Alcotest.int) "order preserved across domains" (squares 100)
         (Pool.map_ordered p (List.init 100 (fun i -> i)) ~f:(fun x -> x * x)))
 
@@ -181,11 +184,13 @@ let test_pool_matches_serial () =
   let f x = (x * 7919) mod 101 in
   let xs = List.init 57 (fun i -> i) in
   let serial = Pool.with_pool ~jobs:1 (fun p -> Pool.map_ordered p xs ~f) in
-  let parallel = Pool.with_pool ~jobs:3 (fun p -> Pool.map_ordered p xs ~f) in
+  let parallel =
+    Pool.with_pool ~jobs:3 ~allow_oversubscribe:true (fun p -> Pool.map_ordered p xs ~f)
+  in
   check (Alcotest.list Alcotest.int) "identical results" serial parallel
 
 let test_pool_empty_and_reuse () =
-  Pool.with_pool ~jobs:2 (fun p ->
+  Pool.with_pool ~jobs:2 ~allow_oversubscribe:true (fun p ->
       check (Alcotest.list Alcotest.int) "empty" [] (Pool.map_ordered p [] ~f:(fun x -> x));
       check (Alcotest.list Alcotest.int) "first use" [ 2; 4 ]
         (Pool.map_ordered p [ 1; 2 ] ~f:(fun x -> 2 * x));
@@ -193,7 +198,7 @@ let test_pool_empty_and_reuse () =
         (Pool.map_ordered p [ 1; 2 ] ~f:(fun x -> 3 * x)))
 
 let test_pool_exception () =
-  Pool.with_pool ~jobs:4 (fun p ->
+  Pool.with_pool ~jobs:4 ~allow_oversubscribe:true (fun p ->
       match
         Pool.map_ordered p [ 1; 2; 3; 4 ] ~f:(fun x ->
             if x mod 2 = 0 then failwith (string_of_int x) else x)
@@ -205,6 +210,19 @@ let test_pool_invalid_jobs () =
   match Pool.create ~jobs:0 () with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "jobs = 0 accepted"
+
+let test_pool_clamps_to_cores () =
+  let cores = Pool.default_jobs () in
+  Pool.with_pool ~jobs:(cores + 63) (fun p ->
+      check Alcotest.int "request is remembered" (cores + 63) (Pool.requested_jobs p);
+      check Alcotest.int "effective size clamps to the cores" cores (Pool.jobs p));
+  Pool.with_pool ~jobs:1 (fun p ->
+      check Alcotest.int "small requests pass through" 1 (Pool.jobs p))
+
+let test_pool_oversubscribe_escape_hatch () =
+  Pool.with_pool ~jobs:(Pool.default_jobs () + 2) ~allow_oversubscribe:true (fun p ->
+      check Alcotest.int "oversubscription honoured when asked for"
+        (Pool.default_jobs () + 2) (Pool.jobs p))
 
 (* --- Lru ------------------------------------------------------------- *)
 
@@ -398,6 +416,9 @@ let () =
           Alcotest.test_case "empty and reuse" `Quick test_pool_empty_and_reuse;
           Alcotest.test_case "exception propagation" `Quick test_pool_exception;
           Alcotest.test_case "invalid jobs" `Quick test_pool_invalid_jobs;
+          Alcotest.test_case "clamps to host cores" `Quick test_pool_clamps_to_cores;
+          Alcotest.test_case "oversubscribe escape hatch" `Quick
+            test_pool_oversubscribe_escape_hatch;
         ] );
       ( "lru",
         [
