@@ -13,7 +13,13 @@
    harness itself allocates nothing per event and the numbers measure
    the core, not the benchmark.
 
-   Part 3 runs Bechamel micro-benchmarks of the substrate primitives.
+   Part 3 exercises the content-addressed run cache: it counts how many
+   of the suite's runs collapse onto shared digests (the dedup ratio),
+   then times a cold regeneration that populates a fresh on-disk store
+   against a warm one that replays it, asserting the two renders are
+   byte-identical.
+
+   Part 4 runs Bechamel micro-benchmarks of the substrate primitives.
    [--fast] skips parts that exist for reporting (charts, ablations,
    Bechamel) and keeps the timed/validated parts — the CI smoke mode. *)
 
@@ -205,7 +211,74 @@ let run_event_core () =
   }
 
 (* ------------------------------------------------------------------ *)
-(* Part 3: Bechamel micro-benchmarks                                   *)
+(* Part 3: content-addressed run cache                                 *)
+(* ------------------------------------------------------------------ *)
+
+type cache_report = {
+  total_runs : int; (* requests across tables + ablations + extensions *)
+  unique_runs : int; (* distinct digests among them *)
+  cold_ms : float; (* tables regenerated into an empty disk cache *)
+  warm_ms : float; (* tables replayed from that disk cache *)
+  warm_disk_hits : int;
+  cache_byte_identical : bool;
+}
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let run_cache () =
+  separator "Content-addressed run cache";
+  let reqs =
+    Dbm_core.Tables.runs () @ Dbm_core.Ablations.runs () @ Dbm_core.Extensions.runs ()
+  in
+  let total_runs = List.length reqs in
+  let unique_runs = List.length (Dbm_core.Experiment.dedup reqs) in
+  Printf.printf "suite requests: %d runs, %d unique digests (%.1f%% deduped)\n"
+    total_runs unique_runs
+    (100.0 *. float_of_int (total_runs - unique_runs) /. float_of_int total_runs);
+  (* Cold vs warm regeneration through a scratch on-disk store.  Both
+     runs go through the same serial [Tables.all], so any wall-clock
+     difference is the cache, and the renders must match exactly. *)
+  let dir = Printf.sprintf "_bench_cache.%d.tmp" (Unix.getpid ()) in
+  rm_rf dir;
+  Dbm_core.Experiment.enable_disk_cache ~dir;
+  let timed_render () =
+    Dbm_core.Experiment.clear_cache ();
+    Dbm_core.Experiment.reset_counters ();
+    let t0 = Unix.gettimeofday () in
+    let tables = Dbm_core.Tables.all () in
+    let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+    (render_all tables, ms, Dbm_core.Experiment.counters ())
+  in
+  let cold_render, cold_ms, cold_counters = timed_render () in
+  let warm_render, warm_ms, warm_counters = timed_render () in
+  Dbm_core.Experiment.disable_disk_cache ();
+  Dbm_core.Experiment.clear_cache ();
+  rm_rf dir;
+  let cache_byte_identical = String.equal cold_render warm_render in
+  Printf.printf "cold regeneration (empty store): %.1f ms (%d computed)\n" cold_ms
+    cold_counters.Dbm_core.Experiment.computed;
+  Printf.printf "warm regeneration (full store):  %.1f ms (%d disk hits, %d computed)\n"
+    warm_ms warm_counters.Dbm_core.Experiment.disk_hits
+    warm_counters.Dbm_core.Experiment.computed;
+  Printf.printf "warm speedup: %.1fx; warm output byte-identical to cold: %b\n"
+    (cold_ms /. warm_ms) cache_byte_identical;
+  {
+    total_runs;
+    unique_runs;
+    cold_ms;
+    warm_ms;
+    warm_disk_hits = warm_counters.Dbm_core.Experiment.disk_hits;
+    cache_byte_identical;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Part 4: Bechamel micro-benchmarks                                   *)
 (* ------------------------------------------------------------------ *)
 
 open Bechamel
@@ -424,10 +497,10 @@ let run_benchmarks () =
   (lookup_ns, lookup_minor)
 
 (* ------------------------------------------------------------------ *)
-(* BENCH_2.json: the perf trajectory record for later PRs              *)
+(* BENCH_3.json: the perf trajectory record for later PRs              *)
 (* ------------------------------------------------------------------ *)
 
-let write_bench_json path (tr : table_report) (core : event_core)
+let write_bench_json path (tr : table_report) (core : event_core) (cr : cache_report)
     (lookup_ns, lookup_minor) total_s =
   let buf = Buffer.create 1024 in
   let field_opt name = function
@@ -435,7 +508,7 @@ let write_bench_json path (tr : table_report) (core : event_core)
     | Some v -> Printf.sprintf "  \"%s\": %.1f" name v
   in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"bench\": 2,\n";
+  Buffer.add_string buf "  \"bench\": 3,\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"host_cores\": %d,\n" (Dbm_util.Pool.default_jobs ()));
   Buffer.add_string buf (Printf.sprintf "  \"jobs_requested\": %d,\n" tr.jobs_requested);
@@ -466,11 +539,26 @@ let write_bench_json path (tr : table_report) (core : event_core)
        core.resource_minor_words_per_event);
   Buffer.add_string buf
     (Printf.sprintf "  \"overall_shape_score\": %.4f,\n" tr.overall_score);
+  Buffer.add_string buf (Printf.sprintf "  \"suite_total_runs\": %d,\n" cr.total_runs);
+  Buffer.add_string buf (Printf.sprintf "  \"suite_unique_runs\": %d,\n" cr.unique_runs);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"suite_dedup_ratio\": %.4f,\n"
+       (float_of_int cr.total_runs /. float_of_int cr.unique_runs));
+  Buffer.add_string buf (Printf.sprintf "  \"cache_cold_wall_ms\": %.4f,\n" cr.cold_ms);
+  Buffer.add_string buf (Printf.sprintf "  \"cache_warm_wall_ms\": %.4f,\n" cr.warm_ms);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"cache_warm_speedup\": %.2f,\n" (cr.cold_ms /. cr.warm_ms));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"cache_warm_disk_hits\": %d,\n" cr.warm_disk_hits);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"cache_output_byte_identical\": %b,\n" cr.cache_byte_identical);
   Buffer.add_string buf "  \"tables\": [\n";
   let rows =
     List.map
       (fun (id, score, wall_ms) ->
-        Printf.sprintf "    {\"id\": \"%s\", \"shape_score\": %.4f, \"wall_ms\": %.2f}" id
+        (* %.4f: the fastest tables regenerate in tens of microseconds,
+           which %.2f rounded to 0.00/0.01 — a useless trajectory datum. *)
+        Printf.sprintf "    {\"id\": \"%s\", \"shape_score\": %.4f, \"wall_ms\": %.4f}" id
           score wall_ms)
       tr.per_table
   in
@@ -489,7 +577,7 @@ let write_bench_json path (tr : table_report) (core : event_core)
 
 let () =
   let jobs = ref (Dbm_util.Pool.default_jobs ()) in
-  let json_path = ref "BENCH_2.json" in
+  let json_path = ref "BENCH_3.json" in
   let fast = ref false in
   let allow_oversubscribe = ref false in
   Arg.parse
@@ -513,6 +601,7 @@ let () =
     run_tables ~jobs:!jobs ~allow_oversubscribe:!allow_oversubscribe ()
   in
   let core = run_event_core () in
+  let cache_report = run_cache () in
   let lookup_estimates =
     if !fast then (None, None)
     else begin
@@ -523,10 +612,15 @@ let () =
   in
   let total_s = Unix.gettimeofday () -. t0 in
   Printf.printf "\ntotal wall time: %.1f s\n" total_s;
-  write_bench_json !json_path table_report core lookup_estimates total_s;
+  write_bench_json !json_path table_report core cache_report lookup_estimates total_s;
   (* A parallel run that does not reproduce the serial bytes is a
-     correctness failure, not a perf datum. *)
+     correctness failure, not a perf datum.  Same for a warm cache
+     replay that renders different bytes than the cold computation. *)
   if table_report.byte_identical = Some false then begin
     prerr_endline "FAIL: parallel table output differs from serial output";
+    exit 1
+  end;
+  if not cache_report.cache_byte_identical then begin
+    prerr_endline "FAIL: warm-cache table output differs from cold output";
     exit 1
   end

@@ -24,7 +24,7 @@ let () =
     (fun sc ->
       let r =
         Experiment.on_scenario
-          ~key:("cal-log/" ^ Scenario.name sc)
+          ~arch:(Dbm_recovery.Logging.descriptor Dbm_recovery.Logging.default)
           sc
           (Dbm_recovery.Logging.make Dbm_recovery.Logging.default)
       in

@@ -20,6 +20,27 @@ let arch_names =
     "overwrite"; "overwrite-no-redo"; "diff"; "diff-basic"; "version-select";
   ]
 
+(* Canonical architecture descriptors for the same names, so a CLI run
+   shares its digest (and any cached result) with the corresponding
+   table/ablation runs. *)
+let arch_descriptor = function
+  | "bare" -> "bare"
+  | "logging" -> Dbm_recovery.Logging.descriptor Dbm_recovery.Logging.default
+  | "logging-physical" ->
+    Dbm_recovery.Logging.descriptor
+      { Dbm_recovery.Logging.default with Dbm_recovery.Logging.mode = Dbm_recovery.Logging.Physical }
+  | "shadow" -> Dbm_recovery.Shadow.descriptor Dbm_recovery.Shadow.default_thru
+  | "shadow-2pt" ->
+    Dbm_recovery.Shadow.descriptor (Dbm_recovery.Shadow.thru ~n_pt_processors:2 ~buffer_pages:10)
+  | "shadow-buf50" ->
+    Dbm_recovery.Shadow.descriptor (Dbm_recovery.Shadow.thru ~n_pt_processors:1 ~buffer_pages:50)
+  | "overwrite" -> Dbm_recovery.Shadow.descriptor Dbm_recovery.Shadow.overwrite_no_undo
+  | "overwrite-no-redo" -> Dbm_recovery.Shadow.descriptor Dbm_recovery.Shadow.overwrite_no_redo
+  | "diff" -> Dbm_recovery.Diff_file.descriptor Dbm_recovery.Diff_file.default
+  | "diff-basic" -> Dbm_recovery.Diff_file.descriptor Dbm_recovery.Diff_file.basic
+  | "version-select" -> "version-select"
+  | other -> invalid_arg (Printf.sprintf "unknown architecture %S" other)
+
 let make_arch = function
   | "bare" -> fun _ -> Dbm_machine.Arch.bare
   | "logging" -> Dbm_recovery.Logging.make Dbm_recovery.Logging.default
@@ -62,6 +83,27 @@ let jobs_arg =
 
 let with_jobs jobs f = Dbm_util.Pool.with_pool ~jobs f
 
+(* -- persistent run cache ------------------------------------------- *)
+
+let cache_dir_arg =
+  Arg.(
+    value & opt string "_cache"
+    & info [ "cache" ] ~docv:"DIR"
+        ~doc:
+          "Persistent run cache: simulation results are stored under $(docv) keyed by a \
+           content digest of their full input, so a rerun (warm start) reloads them \
+           instead of recomputing.  Output is byte-identical either way; stale or \
+           corrupt entries are recomputed and overwritten.")
+
+let no_cache_arg =
+  Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the persistent run cache.")
+
+let setup_cache dir no_cache =
+  if no_cache then Dbm_core.Experiment.disable_disk_cache ()
+  else Dbm_core.Experiment.enable_disk_cache ~dir
+
+let cache_term = Term.(const setup_cache $ cache_dir_arg $ no_cache_arg)
+
 (* -- table command ------------------------------------------------- *)
 
 let print_table ~csv t =
@@ -80,7 +122,7 @@ let table_cmd =
       & info [] ~docv:"N" ~doc:"Table number (1-12); all when omitted.")
   in
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of aligned text.") in
-  let run id csv jobs =
+  let run id csv jobs () =
     match id with
     | Some n -> print_table ~csv (Dbm_core.Tables.by_id n)
     | None ->
@@ -89,7 +131,7 @@ let table_cmd =
   in
   Cmd.v
     (Cmd.info "table" ~doc:"Regenerate one or all of the paper's Tables 1-12.")
-    Term.(const run $ id $ csv $ jobs_arg)
+    Term.(const run $ id $ csv $ jobs_arg $ cache_term)
 
 (* -- run command --------------------------------------------------- *)
 
@@ -116,7 +158,7 @@ let run_cmd =
       value & opt int 0
       & info [ "trace" ] ~docv:"N" ~doc:"Print the last N machine trace events (0 = off).")
   in
-  let run scenario arch txns seed trace_n =
+  let run scenario arch txns seed trace_n () =
     let machine = Dbm_core.Scenario.machine_config scenario in
     let workload = Dbm_core.Scenario.workload_config ~n_transactions:txns ~seed scenario in
     let r =
@@ -133,10 +175,8 @@ let run_cmd =
         r
       end
       else
-        Dbm_core.Experiment.run
-          ~key:
-            (Printf.sprintf "cli/%s/%s/%d/%d" arch (Dbm_core.Scenario.name scenario) txns seed)
-          ~machine ~workload ~make_arch:(make_arch arch) ()
+        Dbm_core.Experiment.run ~arch:(arch_descriptor arch) ~machine ~workload
+          ~make_arch:(make_arch arch) ()
     in
     Format.printf "%s on %s:@.%a@." arch (Dbm_core.Scenario.name scenario)
       Dbm_machine.Results.pp r;
@@ -144,20 +184,20 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one architecture on one configuration and print the metrics.")
-    Term.(const run $ scenario $ arch $ txns $ seed $ trace_n)
+    Term.(const run $ scenario $ arch $ txns $ seed $ trace_n $ cache_term)
 
 (* -- ablation command ----------------------------------------------- *)
 
 let ablation_cmd =
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of aligned text.") in
-  let run csv jobs =
+  let run csv jobs () =
     with_jobs jobs (fun pool ->
         List.iter (print_table ~csv) (Dbm_core.Ablations.all ~pool ()))
   in
   Cmd.v
     (Cmd.info "ablation"
        ~doc:"Run the ablation experiments for the design choices listed in DESIGN.md.")
-    Term.(const run $ csv $ jobs_arg)
+    Term.(const run $ csv $ jobs_arg $ cache_term)
 
 (* -- workload command --------------------------------------------------- *)
 
@@ -201,7 +241,7 @@ let workload_cmd =
 (* -- validate command --------------------------------------------------- *)
 
 let validate_cmd =
-  let run () =
+  let run () () =
     let checks = Dbm_core.Shape_checks.all () in
     List.iter
       (fun c ->
@@ -218,7 +258,7 @@ let validate_cmd =
     (Cmd.info "validate"
        ~doc:"Check the paper's qualitative conclusions (orderings, crossovers) against the \
              regenerated tables; non-zero exit on any failure.")
-    Term.(const run $ const ())
+    Term.(const run $ const () $ cache_term)
 
 (* -- export command --------------------------------------------------- *)
 
@@ -229,7 +269,7 @@ let export_cmd =
       & info [ "d"; "dir" ] ~docv:"DIR" ~doc:"Output directory (created if missing).")
   in
   let slug s = String.map (fun c -> if c = ' ' then '_' else Char.lowercase_ascii c) s in
-  let run dir jobs =
+  let run dir jobs () =
     if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
     let write (t : Dbm_core.Report.table) =
       let path = Filename.concat dir (slug t.Dbm_core.Report.id ^ ".csv") in
@@ -246,20 +286,20 @@ let export_cmd =
   Cmd.v
     (Cmd.info "export"
        ~doc:"Write every table (paper, ablation, extension) as CSV files to a directory.")
-    Term.(const run $ dir $ jobs_arg)
+    Term.(const run $ dir $ jobs_arg $ cache_term)
 
 (* -- extension command ----------------------------------------------- *)
 
 let extension_cmd =
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of aligned text.") in
-  let run csv jobs =
+  let run csv jobs () =
     with_jobs jobs (fun pool ->
         List.iter (print_table ~csv) (Dbm_core.Extensions.all ~pool ()))
   in
   Cmd.v
     (Cmd.info "extension"
        ~doc:"Run the extension experiments (hot-spot contention, mixed transaction sizes).")
-    Term.(const run $ csv $ jobs_arg)
+    Term.(const run $ csv $ jobs_arg $ cache_term)
 
 (* -- recovery-time command ------------------------------------------ *)
 

@@ -10,15 +10,18 @@ let exec (r : Results.t) = r.Results.exec_ms_per_page
 
 let extra key (r : Results.t) = Option.value (Results.find_extra r key) ~default:0.0
 
-let a1_run ~enforce =
-  Experiment.run
-    ~key:(Printf.sprintf "abl-wal/%b" enforce)
-    ~machine:Scenario.table3_machine
-    ~workload:(Scenario.table3_workload ())
-    ~make_arch:
-      (Logging.make
-         { Logging.default with Logging.mode = Logging.Physical; enforce_wal = enforce })
-    ()
+(* Every run helper below builds a content-addressed request; the
+   ablation tables force them, and [runs] hands the same requests to
+   the pool.  Architecture descriptors make the sharing explicit:
+   e.g. A2's coalesce=true runs are the same simulations as the
+   Table 1 logging runs, and dedup collapses them. *)
+
+let a1_request ~enforce =
+  let cfg = { Logging.default with Logging.mode = Logging.Physical; enforce_wal = enforce } in
+  Experiment.request ~arch:(Logging.descriptor cfg) ~machine:Scenario.table3_machine
+    ~workload:(Scenario.table3_workload ()) ~make_arch:(Logging.make cfg)
+
+let a1_run ~enforce = Experiment.force (a1_request ~enforce)
 
 let wal_rule () =
   let on = a1_run ~enforce:true and off = a1_run ~enforce:false in
@@ -58,14 +61,12 @@ let wal_rule () =
 
 let a2_scenarios = [ Scenario.Parallel_random; Scenario.Parallel_sequential ]
 
-let a2_run sc ~coalesce =
+let a2_request sc ~coalesce =
   let machine = { (Scenario.machine_config sc) with Config.drive_coalesce = coalesce } in
-  Experiment.run
-    ~key:(Printf.sprintf "abl-coalesce/%b/%s" coalesce (Scenario.name sc))
-    ~machine
-    ~workload:(Scenario.workload_config sc)
-    ~make_arch:(Logging.make Logging.default)
-    ()
+  Experiment.request ~arch:(Logging.descriptor Logging.default) ~machine
+    ~workload:(Scenario.workload_config sc) ~make_arch:(Logging.make Logging.default)
+
+let a2_run sc ~coalesce = Experiment.force (a2_request sc ~coalesce)
 
 let release_batching () =
   let scenarios = a2_scenarios in
@@ -100,17 +101,15 @@ let release_batching () =
 
 let a3_scenarios = [ Scenario.Conventional_random; Scenario.Conventional_sequential ]
 
-let a3_run sc placement =
+let a3_request sc placement =
   let machine = { (Scenario.machine_config sc) with Config.scratch_placement = placement } in
-  Experiment.run
-    ~key:
-      (Printf.sprintf "abl-scratch/%s/%s"
-         (match placement with Config.Adjacent -> "near" | Config.Far_end -> "far")
-         (Scenario.name sc))
+  Experiment.request
+    ~arch:(Shadow.descriptor Shadow.overwrite_no_undo)
     ~machine
     ~workload:(Scenario.workload_config sc)
     ~make_arch:(Shadow.make Shadow.overwrite_no_undo)
-    ()
+
+let a3_run sc placement = Experiment.force (a3_request sc placement)
 
 let scratch_placement () =
   let scenarios = a3_scenarios in
@@ -138,11 +137,11 @@ let a4_probs = [ 0.15; 0.3; 0.6 ]
 
 let a4_scenarios = [ Scenario.Conventional_random; Scenario.Parallel_sequential ]
 
-let a4_run sc p =
-  Experiment.on_scenario
-    ~key:(Printf.sprintf "abl-qualify/%.2f/%s" p (Scenario.name sc))
-    sc
-    (Diff_file.make { Diff_file.default with Diff_file.qualify_prob = p })
+let a4_request sc p =
+  let cfg = { Diff_file.default with Diff_file.qualify_prob = p } in
+  Experiment.scenario_request ~arch:(Diff_file.descriptor cfg) sc (Diff_file.make cfg)
+
+let a4_run sc p = Experiment.force (a4_request sc p)
 
 let diff_qualify () =
   let probs = a4_probs in
@@ -170,11 +169,12 @@ let diff_qualify () =
 
 let a5_sizes = [ 1; 2; 5; 10; 25; 50; 100 ]
 
-let a5_run buf =
-  Experiment.on_scenario
-    ~key:(Printf.sprintf "abl-ptbuf/%d" buf)
-    Scenario.Conventional_random
-    (Shadow.make (Shadow.thru ~n_pt_processors:1 ~buffer_pages:buf))
+let a5_request buf =
+  let cfg = Shadow.thru ~n_pt_processors:1 ~buffer_pages:buf in
+  Experiment.scenario_request ~arch:(Shadow.descriptor cfg) Scenario.Conventional_random
+    (Shadow.make cfg)
+
+let a5_run buf = Experiment.force (a5_request buf)
 
 let pt_buffer_sweep () =
   let sizes = a5_sizes in
@@ -204,14 +204,13 @@ let pt_buffer_sweep () =
 
 let a6_levels = [ 1; 2; 3; 4; 6; 8 ]
 
-let a6_run mpl =
+let a6_request mpl =
   let machine = { (Scenario.machine_config Scenario.Conventional_random) with Config.mpl } in
-  Experiment.run
-    ~key:(Printf.sprintf "abl-mpl/%d" mpl)
-    ~machine
+  Experiment.request ~arch:"bare" ~machine
     ~workload:(Scenario.workload_config Scenario.Conventional_random)
     ~make_arch:(fun _ -> Dbm_machine.Arch.bare)
-    ()
+
+let a6_run mpl = Experiment.force (a6_request mpl)
 
 let mpl_sweep () =
   let levels = a6_levels in
@@ -241,7 +240,7 @@ let mpl_sweep () =
 
 let a7_batches = [ 2; 4; 8; 16; 32 ]
 
-let a7_run read_batch =
+let a7_request read_batch =
   (* queue coalescing is disabled here: with it on, the drive re-merges
      small adjacent requests and the batch size barely matters -- itself
      a finding (see A2) *)
@@ -258,11 +257,9 @@ let a7_run read_batch =
       Dbm_workload.Workload.write_fraction = 0.0;
     }
   in
-  Experiment.run
-    ~key:(Printf.sprintf "abl-batchsize/%d" read_batch)
-    ~machine ~workload
-    ~make_arch:(fun _ -> Dbm_machine.Arch.bare)
-    ()
+  Experiment.request ~arch:"bare" ~machine ~workload ~make_arch:(fun _ -> Dbm_machine.Arch.bare)
+
+let a7_run read_batch = Experiment.force (a7_request read_batch)
 
 let read_batch_sweep () =
   let batches = a7_batches in
@@ -293,16 +290,16 @@ let read_batch_sweep () =
 
 (* The paper rejects version selection analytically (4.2.5); measuring
    it confirms the argument and quantifies the margin. *)
-let a8_versel sc =
-  Experiment.on_scenario
-    ~key:("abl-versel/" ^ Scenario.name sc)
-    sc Dbm_recovery.Version_select.make_sim
+let a8_versel_request sc =
+  Experiment.scenario_request ~arch:"version-select" sc Dbm_recovery.Version_select.make_sim
 
-let a8_shadow sc =
-  Experiment.on_scenario
-    ~key:(Printf.sprintf "shadow/%d/%d/%s" 2 10 (Scenario.name sc))
-    sc
-    (Shadow.make (Shadow.thru ~n_pt_processors:2 ~buffer_pages:10))
+let a8_versel sc = Experiment.force (a8_versel_request sc)
+
+let a8_shadow_request sc =
+  let cfg = Shadow.thru ~n_pt_processors:2 ~buffer_pages:10 in
+  Experiment.scenario_request ~arch:(Shadow.descriptor cfg) sc (Shadow.make cfg)
+
+let a8_shadow sc = Experiment.force (a8_shadow_request sc)
 
 let version_selection () =
   let rows =
@@ -336,31 +333,28 @@ let builders =
     read_batch_sweep; version_selection;
   ]
 
-(* Flattened run-level work list (see Tables.runs): one thunk per memo
-   key, so the pool schedules individual simulations, not whole
-   ablations. *)
-let runs () : (unit -> unit) list =
+(* Flattened run-level work list (see Tables.runs): one request per
+   simulation, so the pool schedules individual runs, not whole
+   ablations.  Several entries are content-identical to table runs
+   (e.g. A2 coalesce=true = Table 1 logging, A5 buffer 10 = Table 4's
+   1-PT shadow, A6 mpl 3 = the bare baseline) — digest dedup collapses
+   them instead of relying on matching string keys. *)
+let runs () : Experiment.request list =
   List.concat
     [
-      List.map (fun enforce () -> ignore (a1_run ~enforce)) [ true; false ];
+      List.map (fun enforce -> a1_request ~enforce) [ true; false ];
       List.concat_map
-        (fun sc -> List.map (fun coalesce () -> ignore (a2_run sc ~coalesce)) [ true; false ])
+        (fun sc -> List.map (fun coalesce -> a2_request sc ~coalesce) [ true; false ])
         a2_scenarios;
       List.concat_map
-        (fun sc ->
-          List.map (fun p () -> ignore (a3_run sc p)) [ Config.Adjacent; Config.Far_end ])
+        (fun sc -> List.map (fun p -> a3_request sc p) [ Config.Adjacent; Config.Far_end ])
         a3_scenarios;
-      List.concat_map (fun sc -> List.map (fun p () -> ignore (a4_run sc p)) a4_probs) a4_scenarios;
-      List.map (fun buf () -> ignore (a5_run buf)) a5_sizes;
-      List.map (fun mpl () -> ignore (a6_run mpl)) a6_levels;
-      List.map (fun b () -> ignore (a7_run b)) a7_batches;
+      List.concat_map (fun sc -> List.map (fun p -> a4_request sc p) a4_probs) a4_scenarios;
+      List.map (fun buf -> a5_request buf) a5_sizes;
+      List.map (fun mpl -> a6_request mpl) a6_levels;
+      List.map (fun b -> a7_request b) a7_batches;
       List.concat_map
-        (fun sc ->
-          [
-            (fun () -> ignore (a8_versel sc));
-            (fun () -> ignore (a8_shadow sc));
-            (fun () -> ignore (Experiment.bare sc));
-          ])
+        (fun sc -> [ a8_versel_request sc; a8_shadow_request sc; Experiment.bare_request sc ])
         Scenario.all;
     ]
 
@@ -371,6 +365,7 @@ let all ?pool () =
   | Some p ->
     if Dbm_util.Pool.jobs p <= 1 then serial ()
     else begin
-      ignore (Dbm_util.Pool.map_ordered p (runs ()) ~f:(fun r -> r ()));
+      let work = Experiment.dedup (runs ()) in
+      ignore (Dbm_util.Pool.map_ordered p work ~f:(fun r -> ignore (Experiment.force r)));
       serial ()
     end

@@ -40,9 +40,10 @@ val version_selection : unit -> Report.table
     rejects it analytically in Section 4.2.5): every read transfers both
     adjacent copies. *)
 
-val runs : unit -> (unit -> unit) list
-(** Flattened run-level work list (one thunk per memoized simulation);
-    see {!Tables.runs}. *)
+val runs : unit -> Experiment.request list
+(** Flattened run-level work list (one request per simulation); several
+    entries are content-identical to table runs and collapse under
+    {!Experiment.dedup}.  See {!Tables.runs}. *)
 
 val all : ?pool:Dbm_util.Pool.t -> unit -> Report.table list
 (** All ablations, in order; with [pool] the individual runs are fanned

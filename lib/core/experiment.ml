@@ -5,9 +5,24 @@
    tables (the bare baselines, the common logging/shadow configurations)
    that memoization deduplicates in the serial path.  All runs are
    deterministic, so which domain computes a key never affects the
-   result. *)
+   result.
 
-type slot = Done of Dbm_machine.Results.t | Running
+   Since PR 3 the memo key is a content digest of the run's full input
+   (architecture descriptor + machine config + workload config) rather
+   than a caller-chosen label, so content-identical runs requested from
+   different tables collapse to one simulation; a second, persistent
+   level (Run_cache) survives process restarts. *)
+
+module Digest = Dbm_util.Digest
+module Run_cache = Dbm_util.Run_cache
+module Results = Dbm_machine.Results
+
+(* Bump whenever the marshalled shape of [Results.t] (or anything the
+   payload transitively contains) changes: the version string salts
+   every persistent entry, so stale formats read as misses. *)
+let schema_version = 1
+
+type slot = Done of Results.t | Running
 
 let cache : (string, slot) Hashtbl.t = Hashtbl.create 64
 
@@ -58,16 +73,126 @@ let cached ~key compute =
       finish None;
       raise e)
 
-let run ~key ~machine ~workload ~make_arch () =
-  cached ~key (fun () ->
-      let txns = Dbm_workload.Workload.generate workload in
-      Dbm_machine.Machine.run ~config:machine ~make_arch ~workload:txns)
+(* ------------------------------------------------------------------ *)
+(* Persistent store                                                    *)
+(* ------------------------------------------------------------------ *)
 
-let on_scenario ~key ?scramble scenario make_arch =
-  run ~key
+let disk : Run_cache.t option ref = ref None
+
+let enable_disk_cache ~dir =
+  disk :=
+    Some (Run_cache.create ~dir ~version:(Printf.sprintf "results-schema-%d" schema_version))
+
+let disable_disk_cache () = disk := None
+
+let disk_cache_dir () = Option.map Run_cache.dir !disk
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type request = { digest : string; compute : unit -> Results.t }
+
+let digest r = r.digest
+
+let requested_c = Atomic.make 0
+
+let computed_c = Atomic.make 0
+
+let disk_hits_c = Atomic.make 0
+
+type counters = { requested : int; computed : int; disk_hits : int }
+
+let counters () =
+  {
+    requested = Atomic.get requested_c;
+    computed = Atomic.get computed_c;
+    disk_hits = Atomic.get disk_hits_c;
+  }
+
+let reset_counters () =
+  Atomic.set requested_c 0;
+  Atomic.set computed_c 0;
+  Atomic.set disk_hits_c 0
+
+let request ~arch ~machine ~workload ~make_arch =
+  let d = Digest.create () in
+  Digest.string d "run-request";
+  Digest.string d arch;
+  Dbm_machine.Config.feed_digest d machine;
+  Dbm_workload.Workload.feed_config d workload;
+  {
+    digest = Digest.hex d;
+    compute =
+      (fun () ->
+        let txns = Dbm_workload.Workload.generate workload in
+        Dbm_machine.Machine.run ~config:machine ~make_arch ~workload:txns);
+  }
+
+let scenario_request ~arch ?scramble scenario make_arch =
+  request ~arch
     ~machine:(Scenario.machine_config ?scramble scenario)
     ~workload:(Scenario.workload_config scenario)
-    ~make_arch ()
+    ~make_arch
 
-let bare scenario =
-  on_scenario ~key:("bare/" ^ Scenario.name scenario) scenario (fun _ -> Dbm_machine.Arch.bare)
+let bare_request scenario = scenario_request ~arch:"bare" scenario (fun _ -> Dbm_machine.Arch.bare)
+
+let custom_request ~tag ~machine compute =
+  let d = Digest.create () in
+  Digest.string d "custom-request";
+  Digest.string d tag;
+  Dbm_machine.Config.feed_digest d machine;
+  { digest = Digest.hex d; compute }
+
+(* Disk lookups happen inside the memo's compute branch, so at most one
+   domain per digest touches the store, and a hit still lands in the
+   memo for later same-process requesters. *)
+let force req =
+  Atomic.incr requested_c;
+  cached ~key:req.digest (fun () ->
+      let from_disk =
+        match !disk with
+        | None -> None
+        | Some store -> (
+          match Run_cache.find store ~digest:req.digest with
+          | None -> None
+          | Some payload -> (
+            (* The checksummed header makes a bad unmarshal unlikely,
+               but the cache must never turn into an error source. *)
+            match (Marshal.from_string payload 0 : Results.t) with
+            | r ->
+              Atomic.incr disk_hits_c;
+              Some r
+            | exception _ -> None))
+      in
+      match from_disk with
+      | Some r -> r
+      | None ->
+        Atomic.incr computed_c;
+        let r = req.compute () in
+        (match !disk with
+        | None -> ()
+        | Some store -> Run_cache.store store ~digest:req.digest (Marshal.to_string r []));
+        r)
+
+let dedup reqs =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun r ->
+      if Hashtbl.mem seen r.digest then false
+      else begin
+        Hashtbl.add seen r.digest ();
+        true
+      end)
+    reqs
+
+(* ------------------------------------------------------------------ *)
+(* Forced convenience wrappers                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run ~arch ~machine ~workload ~make_arch () = force (request ~arch ~machine ~workload ~make_arch)
+
+let on_scenario ~arch ?scramble scenario make_arch =
+  force (scenario_request ~arch ?scramble scenario make_arch)
+
+let bare scenario = force (bare_request scenario)

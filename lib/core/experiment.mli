@@ -1,33 +1,124 @@
-(** Experiment runner with memoization.
+(** Content-addressed experiment runner.
 
-    A run is identified by a [key]; repeated requests for the same key
-    (e.g. the bare machine baseline shared by most tables) reuse the
-    first result.  All runs are deterministic, so memoization is
-    semantically transparent. *)
+    A run is identified by a {e digest}: a canonical serialization of
+    its full input — the architecture descriptor, every field of the
+    machine configuration and every field of the workload generator
+    configuration — hashed with {!Dbm_util.Digest}.  Runs requested
+    from different tables with content-identical inputs therefore share
+    one digest and one simulation, whatever label the call sites used.
 
-val cached : key:string -> (unit -> Dbm_machine.Results.t) -> Dbm_machine.Results.t
-(** [cached ~key compute] returns the memoized result for [key], running
-    [compute] (exactly once across all domains; concurrent requesters
-    wait on the in-flight marker) on a miss.  [compute] must be
-    deterministic for the memoization to be transparent. *)
+    Two cache levels sit behind {!force}:
+
+    - an in-process memo (digest -> result) shared by all domains, with
+      an in-flight marker so concurrent requesters of the same digest
+      wait instead of recomputing;
+    - an optional persistent store ({!Dbm_util.Run_cache}) consulted on
+      memo misses and written after computation, enabling warm-start
+      regeneration across processes.
+
+    All runs are deterministic, so both levels are semantically
+    transparent: cached output is byte-identical to recomputation. *)
+
+(** {1 Requests} *)
+
+type request
+(** A schedulable unit of work: a digest plus the deterministic
+    computation it addresses. *)
+
+val request :
+  arch:string ->
+  machine:Dbm_machine.Config.t ->
+  workload:Dbm_workload.Workload.config ->
+  make_arch:(Dbm_machine.Arch.ctx -> Dbm_machine.Arch.t) ->
+  request
+(** [arch] must be a canonical architecture descriptor (e.g. from
+    {!Dbm_recovery.Logging.descriptor}), i.e. determined by the
+    architecture's configuration alone — never by the requesting table
+    — and [make_arch] must be the architecture it describes. *)
+
+val scenario_request :
+  arch:string ->
+  ?scramble:int ->
+  Scenario.t ->
+  (Dbm_machine.Arch.ctx -> Dbm_machine.Arch.t) ->
+  request
+(** {!request} on one of the paper's four configurations. *)
+
+val bare_request : Scenario.t -> request
+(** Baseline (no recovery architecture) run of a configuration. *)
+
+val custom_request :
+  tag:string -> machine:Dbm_machine.Config.t -> (unit -> Dbm_machine.Results.t) -> request
+(** Escape hatch for runs whose workload is built by hand.  [tag] must
+    uniquely determine the computation given the machine config, and
+    must be versioned (e.g. ["ext-mixed/v1"]) so changing the
+    construction logic invalidates old persistent entries. *)
+
+val digest : request -> string
+(** The request's content digest (32 hex characters). *)
+
+val force : request -> Dbm_machine.Results.t
+(** Resolve a request: memo hit, else persistent-store hit, else
+    compute (exactly once across all domains) and populate both
+    levels. *)
+
+val dedup : request list -> request list
+(** Drop requests whose digest already appeared earlier in the list
+    (stable; keeps first occurrences).  Schedule the deduplicated list
+    and let {!force} fan the shared results back to every requester. *)
+
+(** {1 Forced convenience wrappers} *)
 
 val run :
-  key:string ->
+  arch:string ->
   machine:Dbm_machine.Config.t ->
   workload:Dbm_workload.Workload.config ->
   make_arch:(Dbm_machine.Arch.ctx -> Dbm_machine.Arch.t) ->
   unit ->
   Dbm_machine.Results.t
 
-val bare : Scenario.t -> Dbm_machine.Results.t
-(** Baseline (no recovery) run of a configuration. *)
-
 val on_scenario :
-  key:string ->
+  arch:string ->
   ?scramble:int ->
   Scenario.t ->
   (Dbm_machine.Arch.ctx -> Dbm_machine.Arch.t) ->
   Dbm_machine.Results.t
-(** Run an architecture on one of the paper's four configurations. *)
+
+val bare : Scenario.t -> Dbm_machine.Results.t
+
+(** {1 Cache control} *)
+
+val cached : key:string -> (unit -> Dbm_machine.Results.t) -> Dbm_machine.Results.t
+(** Raw memoization layer: [cached ~key compute] returns the memoized
+    result for [key], running [compute] (exactly once across all
+    domains; concurrent requesters wait on the in-flight marker) on a
+    miss.  [compute] must be deterministic. *)
 
 val clear_cache : unit -> unit
+(** Drop the in-process memo (persistent entries are untouched). *)
+
+val schema_version : int
+(** Version of the marshalled {!Dbm_machine.Results.t} payload; salts
+    every persistent entry so stale formats self-invalidate. *)
+
+val enable_disk_cache : dir:string -> unit
+(** Route {!force} through a persistent store rooted at [dir]
+    (created on demand). *)
+
+val disable_disk_cache : unit -> unit
+
+val disk_cache_dir : unit -> string option
+
+(** {1 Instrumentation} *)
+
+type counters = {
+  requested : int;  (** {!force} calls *)
+  computed : int;  (** simulations actually executed *)
+  disk_hits : int;  (** results loaded from the persistent store *)
+}
+
+val counters : unit -> counters
+(** Monotonic since process start or the last {!reset_counters};
+    memo hits are [requested - computed - disk_hits]. *)
+
+val reset_counters : unit -> unit

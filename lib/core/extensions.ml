@@ -14,22 +14,28 @@ let e1_skews =
     ("1% hot, 95% of accesses", Workload.Hotspot { hot_fraction = 0.01; hot_access_prob = 0.95 });
   ]
 
-let e1_run ~arch_label ~make_arch (label, pattern) =
+(* The workload pattern is part of the digest, so the uniform rows
+   collapse (via dedup) onto the Table 1 bare/logging runs of the same
+   machine. *)
+let e1_request ~arch ~make_arch (_label, pattern) =
   let machine = Scenario.machine_config Scenario.Conventional_random in
   let workload =
     { (Scenario.workload_config Scenario.Conventional_random) with Workload.pattern }
   in
-  Experiment.run
-    ~key:(Printf.sprintf "ext-hotspot/%s/%s" arch_label label)
-    ~machine ~workload ~make_arch ()
+  Experiment.request ~arch ~machine ~workload ~make_arch
+
+let e1_bare_request = e1_request ~arch:"bare" ~make_arch:(fun _ -> Dbm_machine.Arch.bare)
+
+let e1_logging_request =
+  e1_request ~arch:(Logging.descriptor Logging.default) ~make_arch:(Logging.make Logging.default)
 
 let hotspot_contention () =
   let rows =
     List.map
       (fun skew ->
         let label, _ = skew in
-        let bare = e1_run ~arch_label:"bare" ~make_arch:(fun _ -> Dbm_machine.Arch.bare) skew in
-        let log = e1_run ~arch_label:"logging" ~make_arch:(Logging.make Logging.default) skew in
+        let bare = Experiment.force (e1_bare_request skew) in
+        let log = Experiment.force (e1_logging_request skew) in
         {
           Report.row_label = label;
           cells =
@@ -64,12 +70,13 @@ let hotspot_contention () =
   }
 
 (* 20 small transactions (1-10 pages) mixed with 5 very large ones
-   (200-250 pages), interleaved in arrival order.  The workload array is
-   hand-built, so this run goes through [Experiment.cached] directly to
-   join the run-level work list. *)
-let e2_run () =
-  Experiment.cached ~key:"ext-mixed" @@ fun () ->
+   (200-250 pages), interleaved in arrival order.  The workload array
+   is hand-built, so this run uses a custom request whose versioned tag
+   stands in for the construction below: bump the tag when changing
+   it, or stale persistent entries would be served. *)
+let e2_request () =
   let machine = Scenario.machine_config Scenario.Conventional_random in
+  Experiment.custom_request ~tag:"ext-mixed/v1" ~machine @@ fun () ->
   let small =
     Workload.generate
       {
@@ -103,7 +110,7 @@ let e2_run () =
     ~workload:mixed
 
 let mixed_size_fairness () =
-  let r = e2_run () in
+  let r = Experiment.force (e2_request ()) in
   let class_mean pred =
     let xs = List.filter_map (fun (id, c) -> if pred id then Some c else None) r.Results.completions in
     match xs with
@@ -141,22 +148,25 @@ let mixed_size_fairness () =
    sweep shows the classic response-time knee as utilization rises. *)
 let e3_interarrivals = [ 10_000.0; 5_000.0; 3_500.0; 3_000.0 ]
 
-let e3_run ~label ~make_arch mean =
+let e3_request ~arch ~make_arch mean =
   let machine = Scenario.machine_config Scenario.Conventional_random in
   let machine = { machine with Config.arrivals = Config.Poisson mean } in
   let workload =
     { (Scenario.workload_config Scenario.Conventional_random) with Workload.n_transactions = 40 }
   in
-  Experiment.run
-    ~key:(Printf.sprintf "ext-open/%s/%.0f" label mean)
-    ~machine ~workload ~make_arch ()
+  Experiment.request ~arch ~machine ~workload ~make_arch
+
+let e3_bare_request = e3_request ~arch:"bare" ~make_arch:(fun _ -> Dbm_machine.Arch.bare)
+
+let e3_logging_request =
+  e3_request ~arch:(Logging.descriptor Logging.default) ~make_arch:(Logging.make Logging.default)
 
 let open_system_load () =
   let rows =
     List.map
       (fun mean ->
-        let bare = e3_run ~label:"bare" ~make_arch:(fun _ -> Dbm_machine.Arch.bare) mean in
-        let log = e3_run ~label:"logging" ~make_arch:(Logging.make Logging.default) mean in
+        let bare = Experiment.force (e3_bare_request mean) in
+        let log = Experiment.force (e3_logging_request mean) in
         let p95 (r : Results.t) =
           Dbm_util.Stats.percentile (List.map snd r.Results.completions) ~p:95.0
         in
@@ -187,26 +197,12 @@ let open_system_load () =
 let builders = [ hotspot_contention; mixed_size_fairness; open_system_load ]
 
 (* Flattened run-level work list (see Tables.runs). *)
-let runs () : (unit -> unit) list =
+let runs () : Experiment.request list =
   List.concat
     [
-      List.concat_map
-        (fun skew ->
-          [
-            (fun () -> ignore (e1_run ~arch_label:"bare" ~make_arch:(fun _ -> Dbm_machine.Arch.bare) skew));
-            (fun () ->
-              ignore (e1_run ~arch_label:"logging" ~make_arch:(Logging.make Logging.default) skew));
-          ])
-        e1_skews;
-      [ (fun () -> ignore (e2_run ())) ];
-      List.concat_map
-        (fun mean ->
-          [
-            (fun () -> ignore (e3_run ~label:"bare" ~make_arch:(fun _ -> Dbm_machine.Arch.bare) mean));
-            (fun () ->
-              ignore (e3_run ~label:"logging" ~make_arch:(Logging.make Logging.default) mean));
-          ])
-        e3_interarrivals;
+      List.concat_map (fun skew -> [ e1_bare_request skew; e1_logging_request skew ]) e1_skews;
+      [ e2_request () ];
+      List.concat_map (fun mean -> [ e3_bare_request mean; e3_logging_request mean ]) e3_interarrivals;
     ]
 
 let all ?pool () =
@@ -216,6 +212,7 @@ let all ?pool () =
   | Some p ->
     if Dbm_util.Pool.jobs p <= 1 then serial ()
     else begin
-      ignore (Dbm_util.Pool.map_ordered p (runs ()) ~f:(fun r -> r ()));
+      let work = Experiment.dedup (runs ()) in
+      ignore (Dbm_util.Pool.map_ordered p work ~f:(fun r -> ignore (Experiment.force r)));
       serial ()
     end

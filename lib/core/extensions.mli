@@ -20,9 +20,10 @@ val open_system_load : unit -> Report.table
     response time as the offered load approaches the machine's
     capacity. *)
 
-val runs : unit -> (unit -> unit) list
-(** Flattened run-level work list (one thunk per memoized simulation);
-    see {!Tables.runs}. *)
+val runs : unit -> Experiment.request list
+(** Flattened run-level work list (one request per simulation); the
+    uniform-skew E1 entries are content-identical to Table 1's runs and
+    collapse under {!Experiment.dedup}.  See {!Tables.runs}. *)
 
 val all : ?pool:Dbm_util.Pool.t -> unit -> Report.table list
 (** All extensions, in order; with [pool] the individual runs are fanned

@@ -9,51 +9,41 @@ let exec (r : Results.t) = r.Results.exec_ms_per_page
 
 let extra key (r : Results.t) = Option.value (Results.find_extra r key) ~default:0.0
 
-(* Shared memoized runs (same keys as Tables, so nothing reruns). *)
+(* Shared content-addressed runs (same digests as Tables, so nothing
+   reruns). *)
 let bare = Experiment.bare
 
 let logging1 sc =
-  Experiment.on_scenario ~key:("log1/" ^ Scenario.name sc) sc (Logging.make Logging.default)
+  Experiment.on_scenario ~arch:(Logging.descriptor Logging.default) sc
+    (Logging.make Logging.default)
 
 let shadow_pt ~n_pt ~buf sc =
-  Experiment.on_scenario
-    ~key:(Printf.sprintf "shadow/%d/%d/%s" n_pt buf (Scenario.name sc))
-    sc
-    (Shadow.make (Shadow.thru ~n_pt_processors:n_pt ~buffer_pages:buf))
+  let cfg = Shadow.thru ~n_pt_processors:n_pt ~buffer_pages:buf in
+  Experiment.on_scenario ~arch:(Shadow.descriptor cfg) sc (Shadow.make cfg)
 
 let scrambled sc =
-  Experiment.on_scenario
-    ~key:("shadow-scrambled/" ^ Scenario.name sc)
-    ~scramble:1009 sc
-    (Shadow.make (Shadow.thru ~n_pt_processors:1 ~buffer_pages:10))
+  let cfg = Shadow.thru ~n_pt_processors:1 ~buffer_pages:10 in
+  Experiment.on_scenario ~arch:(Shadow.descriptor cfg) ~scramble:1009 sc (Shadow.make cfg)
 
 let overwriting sc =
-  Experiment.on_scenario ~key:("overwrite/" ^ Scenario.name sc) sc
+  Experiment.on_scenario
+    ~arch:(Shadow.descriptor Shadow.overwrite_no_undo)
+    sc
     (Shadow.make Shadow.overwrite_no_undo)
 
 let diff ~strategy sc =
-  let sname = match strategy with Diff_file.Basic -> "basic" | Diff_file.Optimal -> "opt" in
-  Experiment.on_scenario
-    ~key:(Printf.sprintf "diff/%s/0.10/0.10/%s" sname (Scenario.name sc))
-    sc
-    (Diff_file.make { Diff_file.default with Diff_file.strategy })
+  let cfg = { Diff_file.default with Diff_file.strategy } in
+  Experiment.on_scenario ~arch:(Diff_file.descriptor cfg) sc (Diff_file.make cfg)
 
 let table3 ~n_log ~selection =
-  let sel_name =
-    match selection with
-    | Logging.Cyclic -> "cyclic"
-    | Logging.Random -> "random"
-    | Logging.Qp_mod -> "qp-mod"
-    | Logging.Txn_mod -> "txn-mod"
+  let cfg =
+    { Logging.default with Logging.n_log_processors = n_log; selection; mode = Logging.Physical }
   in
   Experiment.run
-    ~key:(Printf.sprintf "table3/%d/%s" n_log sel_name)
+    ~arch:(Logging.descriptor cfg)
     ~machine:Scenario.table3_machine
     ~workload:(Scenario.table3_workload ())
-    ~make_arch:
-      (Logging.make
-         { Logging.default with Logging.n_log_processors = n_log; selection;
-           mode = Logging.Physical })
+    ~make_arch:(Logging.make cfg)
     ()
 
 let all () =

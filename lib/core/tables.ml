@@ -6,36 +6,33 @@ module Diff_file = Dbm_recovery.Diff_file
 let scenarios = Scenario.all
 
 (* ---------------------------------------------------------------- *)
-(* Memoized runs shared across tables                                 *)
+(* Content-addressed runs shared across tables                        *)
 (* ---------------------------------------------------------------- *)
 
-let bare = Experiment.bare
+(* Each helper names the architecture by its canonical descriptor, so
+   two tables (or an ablation, or an extension) requesting the same
+   configuration on the same scenario share one digest — and one
+   simulation — no matter where the request came from. *)
 
-let logging1 sc =
-  Experiment.on_scenario
-    ~key:("log1/" ^ Scenario.name sc)
-    sc
+let bare_request = Experiment.bare_request
+
+let logging1_request sc =
+  Experiment.scenario_request ~arch:(Logging.descriptor Logging.default) sc
     (Logging.make Logging.default)
 
-let shadow_pt ~n_pt ~buf sc =
-  Experiment.on_scenario
-    ~key:(Printf.sprintf "shadow/%d/%d/%s" n_pt buf (Scenario.name sc))
-    sc
-    (Shadow.make (Shadow.thru ~n_pt_processors:n_pt ~buffer_pages:buf))
+let shadow_pt_request ~n_pt ~buf sc =
+  let cfg = Shadow.thru ~n_pt_processors:n_pt ~buffer_pages:buf in
+  Experiment.scenario_request ~arch:(Shadow.descriptor cfg) sc (Shadow.make cfg)
 
-let shadow_scrambled sc =
-  Experiment.on_scenario
-    ~key:("shadow-scrambled/" ^ Scenario.name sc)
-    ~scramble:1009 sc
-    (Shadow.make (Shadow.thru ~n_pt_processors:1 ~buffer_pages:10))
+let shadow_scrambled_request sc =
+  let cfg = Shadow.thru ~n_pt_processors:1 ~buffer_pages:10 in
+  Experiment.scenario_request ~arch:(Shadow.descriptor cfg) ~scramble:1009 sc (Shadow.make cfg)
 
-let overwriting sc =
-  Experiment.on_scenario
-    ~key:("overwrite/" ^ Scenario.name sc)
-    sc
-    (Shadow.make Shadow.overwrite_no_undo)
+let overwriting_request sc =
+  let cfg = Shadow.overwrite_no_undo in
+  Experiment.scenario_request ~arch:(Shadow.descriptor cfg) sc (Shadow.make cfg)
 
-let diff ?(size = 0.10) ?(out = 0.10) ~strategy sc =
+let diff_request ?(size = 0.10) ?(out = 0.10) ~strategy sc =
   let cfg =
     {
       Diff_file.default with
@@ -44,10 +41,19 @@ let diff ?(size = 0.10) ?(out = 0.10) ~strategy sc =
       strategy;
     }
   in
-  let sname = match strategy with Diff_file.Basic -> "basic" | Diff_file.Optimal -> "opt" in
-  Experiment.on_scenario
-    ~key:(Printf.sprintf "diff/%s/%.2f/%.2f/%s" sname size out (Scenario.name sc))
-    sc (Diff_file.make cfg)
+  Experiment.scenario_request ~arch:(Diff_file.descriptor cfg) sc (Diff_file.make cfg)
+
+let bare = Experiment.bare
+
+let logging1 sc = Experiment.force (logging1_request sc)
+
+let shadow_pt ~n_pt ~buf sc = Experiment.force (shadow_pt_request ~n_pt ~buf sc)
+
+let shadow_scrambled sc = Experiment.force (shadow_scrambled_request sc)
+
+let overwriting sc = Experiment.force (overwriting_request sc)
+
+let diff ?size ?out ~strategy sc = Experiment.force (diff_request ?size ?out ~strategy sc)
 
 (* ---------------------------------------------------------------- *)
 
@@ -104,25 +110,20 @@ let table2 () =
 
 (* Table 3: 75 QPs, 2 parallel-access data disks, 150 frames,
    sequential transactions, physical logging. *)
-let table3_run ~n_log ~selection =
-  let sel_name =
-    match selection with
-    | Logging.Cyclic -> "cyclic"
-    | Logging.Random -> "random"
-    | Logging.Qp_mod -> "qp-mod"
-    | Logging.Txn_mod -> "txn-mod"
-  in
-  let make_arch =
-    if n_log = 0 then fun _ -> Dbm_machine.Arch.bare
-    else
-      Logging.make
+let table3_request ~n_log ~selection =
+  let arch, make_arch =
+    if n_log = 0 then ("bare", fun _ -> Dbm_machine.Arch.bare)
+    else begin
+      let cfg =
         { Logging.default with Logging.n_log_processors = n_log; selection; mode = Logging.Physical }
+      in
+      (Logging.descriptor cfg, Logging.make cfg)
+    end
   in
-  Experiment.run
-    ~key:(Printf.sprintf "table3/%d/%s" n_log (if n_log = 0 then "bare" else sel_name))
-    ~machine:Scenario.table3_machine
-    ~workload:(Scenario.table3_workload ())
-    ~make_arch ()
+  Experiment.request ~arch ~machine:Scenario.table3_machine
+    ~workload:(Scenario.table3_workload ()) ~make_arch
+
+let table3_run ~n_log ~selection = Experiment.force (table3_request ~n_log ~selection)
 
 let selections = [ Logging.Cyclic; Logging.Random; Logging.Qp_mod; Logging.Txn_mod ]
 
@@ -410,53 +411,55 @@ let builders =
     table12;
   ]
 
-(* The flattened run-level work list: every distinct simulation the
-   twelve tables need, one thunk per memo key, most expensive first so
-   Table 3's 21 physical-logging runs never gate the tail of the pool
-   the way whole-table work units did.  Coverage drift is benign — a run
-   a builder needs but the list misses is simply computed serially
-   during assembly. *)
-let runs () : (unit -> unit) list =
+(* The flattened run-level work list: every simulation the twelve
+   tables need, one request per run, most expensive first so Table 3's
+   21 physical-logging runs never gate the tail of the pool the way
+   whole-table work units did.  Content-identical entries are fine —
+   schedulers dedup by digest first.  Coverage drift is benign: a run a
+   builder needs but the list misses is simply computed serially during
+   assembly. *)
+let runs () : Experiment.request list =
   let table3 =
     List.concat_map
       (fun (n_log, _) ->
-        if n_log = 0 then [ (fun () -> ignore (table3_run ~n_log:0 ~selection:Logging.Cyclic)) ]
-        else List.map (fun selection () -> ignore (table3_run ~n_log ~selection)) selections)
+        if n_log = 0 then [ table3_request ~n_log:0 ~selection:Logging.Cyclic ]
+        else List.map (fun selection -> table3_request ~n_log ~selection) selections)
       Paper.table3_exec
   in
   let per_scenario =
     List.concat_map
       (fun sc ->
         [
-          (fun () -> ignore (bare sc));
-          (fun () -> ignore (logging1 sc));
-          (fun () -> ignore (shadow_pt ~n_pt:1 ~buf:10 sc));
-          (fun () -> ignore (shadow_pt ~n_pt:2 ~buf:10 sc));
-          (fun () -> ignore (shadow_pt ~n_pt:1 ~buf:50 sc));
-          (fun () -> ignore (shadow_scrambled sc));
-          (fun () -> ignore (overwriting sc));
-          (fun () -> ignore (diff ~strategy:Diff_file.Basic sc));
-          (fun () -> ignore (diff ~strategy:Diff_file.Optimal sc));
-          (fun () -> ignore (diff ~out:0.20 ~strategy:Diff_file.Optimal sc));
-          (fun () -> ignore (diff ~out:0.50 ~strategy:Diff_file.Optimal sc));
-          (fun () -> ignore (diff ~size:0.15 ~strategy:Diff_file.Optimal sc));
-          (fun () -> ignore (diff ~size:0.20 ~strategy:Diff_file.Optimal sc));
+          bare_request sc;
+          logging1_request sc;
+          shadow_pt_request ~n_pt:1 ~buf:10 sc;
+          shadow_pt_request ~n_pt:2 ~buf:10 sc;
+          shadow_pt_request ~n_pt:1 ~buf:50 sc;
+          shadow_scrambled_request sc;
+          overwriting_request sc;
+          diff_request ~strategy:Diff_file.Basic sc;
+          diff_request ~strategy:Diff_file.Optimal sc;
+          diff_request ~out:0.20 ~strategy:Diff_file.Optimal sc;
+          diff_request ~out:0.50 ~strategy:Diff_file.Optimal sc;
+          diff_request ~size:0.15 ~strategy:Diff_file.Optimal sc;
+          diff_request ~size:0.20 ~strategy:Diff_file.Optimal sc;
         ])
       scenarios
   in
   let table6_extra =
     (* buffers 10 and 50 are already covered for every scenario above *)
     List.map
-      (fun sc () -> ignore (shadow_pt ~n_pt:1 ~buf:25 sc))
+      (fun sc -> shadow_pt_request ~n_pt:1 ~buf:25 sc)
       [ Scenario.Conventional_random; Scenario.Parallel_random ]
   in
   table3 @ per_scenario @ table6_extra
 
-(* The unit of parallelism is the individual run: the work list above is
-   fanned out across the pool to fill the (mutex-protected, in-flight
-   latched) memo cache, and the tables are then assembled serially from
-   cache hits — so the rendered output cannot depend on the pool size,
-   and no single slow table gates the schedule. *)
+(* The unit of parallelism is the individual run: the work list above
+   is deduplicated by digest and fanned out across the pool to fill the
+   (mutex-protected, in-flight latched) memo cache, and the tables are
+   then assembled serially from cache hits — so the rendered output
+   cannot depend on the pool size, the dedup, or the state of any
+   persistent cache, and no single slow table gates the schedule. *)
 let all ?pool () =
   let serial () = List.map (fun f -> f ()) builders in
   match pool with
@@ -464,7 +467,8 @@ let all ?pool () =
   | Some p ->
     if Dbm_util.Pool.jobs p <= 1 then serial ()
     else begin
-      ignore (Dbm_util.Pool.map_ordered p (runs ()) ~f:(fun r -> r ()));
+      let work = Experiment.dedup (runs ()) in
+      ignore (Dbm_util.Pool.map_ordered p work ~f:(fun r -> ignore (Experiment.force r)));
       serial ()
     end
 

@@ -51,7 +51,10 @@ let create engine ~params ~layout ~name ?(coalesce = true) () =
     busy = false;
     head_cylinder = 0;
     busy_acc = Dbm_util.Stats.Busy.create ();
-    qlen = Dbm_util.Stats.Timeweighted.create ~t0:(Dbm_sim.Engine.now engine) ();
+    qlen =
+      Dbm_util.Stats.Timeweighted.with_clock
+        ~clock:(Dbm_sim.Engine.clock_cell engine)
+        ~t0:(Dbm_sim.Engine.now engine) ();
     accesses = 0;
     pages = 0;
   }
@@ -83,9 +86,7 @@ let q_push t r =
   q_set t t.q_len r;
   t.q_len <- t.q_len + 1
 
-let note_queue t =
-  Dbm_util.Stats.Timeweighted.update t.qlen ~now:(Dbm_sim.Engine.now t.engine)
-    ~level:(float_of_int t.q_len)
+let note_queue t = Dbm_util.Stats.Timeweighted.tick t.qlen ~level:t.q_len
 
 (* One conventional access per page; arm position carried along.
    Serves (and consumes) the head request's whole page train. *)

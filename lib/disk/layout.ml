@@ -100,6 +100,14 @@ let permutation ~seed ~n x =
     ((a * x) + b) mod n
   end
 
+let feed_digest d t =
+  let module D = Dbm_util.Digest in
+  match t with
+  | Sequential -> D.tag d 0
+  | Scrambled seed ->
+    D.tag d 1;
+    D.int d seed
+
 let permutation_fn ~seed ~n =
   if n <= 2 then fun x ->
     if x < 0 || x >= n then invalid_arg "Layout.permutation: input out of range";

@@ -42,3 +42,6 @@ val permutation_fn : seed:int -> n:int -> int -> int
 (** Same bijection as {!permutation} with the coefficients resolved
     once at partial application, so per-input calls skip the shared
     coefficient cache (and its lock). *)
+
+val feed_digest : Dbm_util.Digest.t -> t -> unit
+(** Feed the layout (constructor and seed) into a run digest. *)

@@ -44,3 +44,18 @@ let avg_rotational_latency t = t.rotation_ms /. 2.0
 let avg_seek t =
   let mean_distance = float_of_int t.cylinders /. 3.0 in
   t.track_to_track_seek_ms +. (t.seek_ms_per_cylinder *. (mean_distance -. 1.0))
+
+(* Every field participates: two drives that differ anywhere in
+   geometry or timing must never share a run digest. *)
+let feed_digest d t =
+  let module D = Dbm_util.Digest in
+  D.string d "disk-params";
+  D.string d t.name;
+  D.int d t.cylinders;
+  D.int d t.tracks_per_cylinder;
+  D.int d t.pages_per_track;
+  D.float d t.track_to_track_seek_ms;
+  D.float d t.seek_ms_per_cylinder;
+  D.float d t.rotation_ms;
+  D.float d t.page_transfer_ms;
+  D.bool d t.parallel_access

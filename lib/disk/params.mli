@@ -47,3 +47,7 @@ val avg_rotational_latency : t -> float
 val avg_seek : t -> float
 (** Expected seek time over uniformly random start/end cylinders
     (mean distance ~ cylinders/3). *)
+
+val feed_digest : Dbm_util.Digest.t -> t -> unit
+(** Feed every field into a run digest (canonical-serialization
+    contract of {!Dbm_util.Digest}). *)

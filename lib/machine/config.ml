@@ -53,6 +53,36 @@ let table3_machine =
     read_batch = 32;
   }
 
+(* Canonical serialization for content-addressed run caching: every
+   field that can influence a simulation result is fed, in declaration
+   order, with variant constructors reduced to tags. *)
+let feed_digest d t =
+  let module D = Dbm_util.Digest in
+  D.string d "machine-config";
+  D.int d t.n_query_processors;
+  D.int d t.n_cache_frames;
+  D.int d t.n_data_disks;
+  Dbm_disk.Params.feed_digest d t.disk;
+  Dbm_disk.Layout.feed_digest d t.layout;
+  (match t.data_scramble with
+  | None -> D.tag d 0
+  | Some s ->
+    D.tag d 1;
+    D.int d s);
+  D.float d t.cpu_ms_per_page;
+  D.int d t.mpl;
+  D.int d t.read_batch;
+  D.int d t.db_pages;
+  D.int d t.page_size_bytes;
+  D.tag d (match t.scratch_placement with Adjacent -> 0 | Far_end -> 1);
+  D.bool d t.drive_coalesce;
+  (match t.arrivals with
+  | Batch -> D.tag d 0
+  | Poisson mean ->
+    D.tag d 1;
+    D.float d mean);
+  D.int d t.seed
+
 let pages_per_disk t = (t.db_pages + t.n_data_disks - 1) / t.n_data_disks
 
 (* Size of the data zone on each disk: whole cylinder-sized chunks, so

@@ -62,6 +62,10 @@ val validate : t -> unit
 (** @raise Invalid_argument when the configuration is inconsistent
     (e.g. database larger than the disks, non-positive counts). *)
 
+val feed_digest : Dbm_util.Digest.t -> t -> unit
+(** Feed every result-affecting field into a run digest, in declaration
+    order (canonical-serialization contract of {!Dbm_util.Digest}). *)
+
 val pages_per_disk : t -> int
 
 val data_zone_pages : t -> int

@@ -24,6 +24,18 @@ let default =
 
 let basic = { default with strategy = Basic }
 
+(* Call-site-independent architecture descriptor; see Logging.descriptor. *)
+let descriptor config =
+  let d = Dbm_util.Digest.create () in
+  let module D = Dbm_util.Digest in
+  D.string d "diff-file-config";
+  D.float d config.size_fraction;
+  D.float d config.output_fraction;
+  D.tag d (match config.strategy with Basic -> 0 | Optimal -> 1);
+  D.float d config.qualify_prob;
+  D.float d config.setdiff_cpu_ms;
+  "diff-file:" ^ D.hex d
+
 type txn_out = {
   mutable fill : float;  (* fraction of the current output page produced *)
   mutable outstanding : int;  (* output-page writes still in flight *)

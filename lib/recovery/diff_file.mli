@@ -42,6 +42,11 @@ val default : config
 
 val basic : config
 
+val descriptor : config -> string
+(** Canonical architecture descriptor (["diff-file:<hex>"]) for
+    content-addressed run caching; equal configs yield equal
+    descriptors regardless of the requesting call site. *)
+
 val make : config -> Dbm_machine.Arch.ctx -> Dbm_machine.Arch.t
 (** Extra statistics: ["diff_pages_read"], ["output_pages_written"],
     ["setdiff_ops"]. *)

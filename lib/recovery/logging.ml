@@ -34,6 +34,28 @@ let default =
     batch_release = true;
   }
 
+(* The descriptor names only the architecture, never the call site:
+   two tables requesting logging with identical configs must produce
+   identical run digests so the runs dedup. *)
+let descriptor config =
+  let d = Dbm_util.Digest.create () in
+  let module D = Dbm_util.Digest in
+  D.string d "logging-config";
+  D.int d config.n_log_processors;
+  D.tag d (match config.selection with Cyclic -> 0 | Random -> 1 | Qp_mod -> 2 | Txn_mod -> 3);
+  D.tag d (match config.mode with Logical -> 0 | Physical -> 1);
+  (match config.routing with
+  | Dedicated bw ->
+    D.tag d 0;
+    D.float d bw
+  | Via_cache -> D.tag d 1);
+  D.int d config.fragment_bytes;
+  Dbm_disk.Params.feed_digest d config.log_disk;
+  D.float d config.fragment_cpu_ms;
+  D.bool d config.enforce_wal;
+  D.bool d config.batch_release;
+  "logging:" ^ D.hex d
+
 (* A log processor: a log disk plus the log page being assembled. *)
 type lp = {
   drive : Drive.t;

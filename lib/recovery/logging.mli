@@ -54,6 +54,12 @@ val default : config
 (** One log processor, cyclic selection, logical logging, a dedicated
     1 MB/s interconnect, 600-byte fragments on an IBM 3350 log disk. *)
 
+val descriptor : config -> string
+(** Canonical architecture descriptor for content-addressed run
+    caching: ["logging:<hex>"] where the hex digests every config
+    field.  Equal configs yield equal descriptors regardless of which
+    table or ablation requested them. *)
+
 val make : config -> Dbm_machine.Arch.ctx -> Dbm_machine.Arch.t
 (** Extra statistics reported: ["log_disk_util"] (mean over the log
     disks), ["log_disk_util_<i>"] per disk, ["log_pages_written"], and

@@ -38,6 +38,24 @@ let overwrite_no_undo =
 
 let overwrite_no_redo = { overwrite_no_undo with variant = Overwrite_no_redo }
 
+(* Call-site-independent architecture descriptor; see Logging.descriptor. *)
+let descriptor config =
+  let d = Dbm_util.Digest.create () in
+  let module D = Dbm_util.Digest in
+  D.string d "shadow-config";
+  (match config.variant with
+  | Thru_page_table { n_pt_processors; buffer_pages } ->
+    D.tag d 0;
+    D.int d n_pt_processors;
+    D.int d buffer_pages
+  | Overwrite_no_undo -> D.tag d 1
+  | Overwrite_no_redo -> D.tag d 2);
+  Dbm_disk.Params.feed_digest d config.pt_disk;
+  D.int d config.entries_per_pt_page;
+  D.float d config.pt_lookup_cpu_ms;
+  D.int d config.pt_page_spacing;
+  "shadow:" ^ D.hex d
+
 (* ------------------------------------------------------------------ *)
 (* Thru page-table                                                     *)
 (* ------------------------------------------------------------------ *)

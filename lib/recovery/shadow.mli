@@ -45,6 +45,11 @@ val overwrite_no_undo : config
 
 val overwrite_no_redo : config
 
+val descriptor : config -> string
+(** Canonical architecture descriptor (["shadow:<hex>"]) for
+    content-addressed run caching; equal configs yield equal
+    descriptors regardless of the requesting call site. *)
+
 val make : config -> Dbm_machine.Arch.ctx -> Dbm_machine.Arch.t
 (** Extra statistics: thru page-table reports ["pt_disk_util"] (mean),
     ["pt_disk_util_<i>"], ["pt_buffer_hit_rate"], ["pt_reads"],

@@ -66,6 +66,8 @@ let create () =
 
 let now t = t.clock.(0)
 
+let clock_cell t = t.clock
+
 let pending t = t.live
 
 let events_fired t = t.fired_count

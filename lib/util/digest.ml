@@ -1,0 +1,76 @@
+(* Canonical content digest for run memoization.
+
+   Two independent 64-bit FNV-1a lanes over a tagged, length-prefixed
+   byte encoding.  The tags and length prefixes make the encoding
+   injective: no two distinct feeder sequences produce the same byte
+   stream, so a digest collision requires a collision of the hash
+   itself (~2^-128 per pair for the two lanes).  Not cryptographic —
+   the inputs are our own configuration records, not attacker data. *)
+
+type t = { mutable a : int64; mutable b : int64 }
+
+let fnv_prime = 0x100000001b3L
+
+(* Lane A uses the standard FNV-1a offset basis; lane B an arbitrary
+   distinct odd constant so the lanes decorrelate immediately. *)
+let basis_a = 0xcbf29ce484222325L
+let basis_b = 0xaf63bd4c8601b7dfL
+
+let create () = { a = basis_a; b = basis_b }
+
+let add_byte t c =
+  let c = Int64.of_int (c land 0xff) in
+  t.a <- Int64.mul (Int64.logxor t.a c) fnv_prime;
+  t.b <- Int64.mul (Int64.logxor t.b c) fnv_prime
+
+let add_int64 t x =
+  for i = 0 to 7 do
+    add_byte t (Int64.to_int (Int64.shift_right_logical x (8 * i)))
+  done
+
+(* Type tags, one byte each, so e.g. the bytes of an int can never be
+   confused with the bytes of a float or the contents of a string. *)
+let tag_int = 0x69 (* 'i' *)
+let tag_float = 0x66 (* 'f' *)
+let tag_bool = 0x62 (* 'b' *)
+let tag_string = 0x73 (* 's' *)
+let tag_variant = 0x76 (* 'v' *)
+
+let int t x =
+  add_byte t tag_int;
+  add_int64 t (Int64.of_int x)
+
+let float t x =
+  add_byte t tag_float;
+  add_int64 t (Int64.bits_of_float x)
+
+let bool t x =
+  add_byte t tag_bool;
+  add_byte t (if x then 1 else 0)
+
+let string t s =
+  add_byte t tag_string;
+  add_int64 t (Int64.of_int (String.length s));
+  String.iter (fun ch -> add_byte t (Char.code ch)) s
+
+let tag t n =
+  add_byte t tag_variant;
+  add_int64 t (Int64.of_int n)
+
+let hex t = Printf.sprintf "%016Lx%016Lx" t.a t.b
+
+let of_string s =
+  let t = create () in
+  string t s;
+  hex t
+
+(* Single-lane FNV-1a over raw bytes: the payload checksum of the
+   persistent run cache. *)
+let fnv64 s =
+  let h = ref basis_a in
+  String.iter
+    (fun ch -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code ch))) fnv_prime)
+    s;
+  !h
+
+let fnv64_hex s = Printf.sprintf "%016Lx" (fnv64 s)

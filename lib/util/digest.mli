@@ -1,0 +1,42 @@
+(** Canonical content digest for run memoization.
+
+    An accumulating 128-bit digest (two independent 64-bit FNV-1a
+    lanes) over a tagged, length-prefixed byte encoding.  Feeders tag
+    every value with its type and length-prefix strings, so the
+    encoding is injective: equal digests mean equal feeder sequences
+    (up to hash collision, ~2^-128 per pair).  Deterministic across
+    processes and platforms (64-bit ints assumed).  Not cryptographic.
+
+    Canonical-serialization contract: a producer of digestable
+    configuration (e.g. [Dbm_machine.Config.feed_digest]) must feed
+    {e every} field that affects the simulation result, in a fixed
+    order, tagging variant constructors with {!tag}.  Adding a field or
+    reordering feeds changes digests — which is the desired behaviour,
+    as stale persisted results must not be served for new semantics. *)
+
+type t
+
+val create : unit -> t
+
+val int : t -> int -> unit
+val float : t -> float -> unit
+(** Digests the IEEE-754 bit pattern, so [0.0] and [-0.0] differ. *)
+
+val bool : t -> bool -> unit
+val string : t -> string -> unit
+
+val tag : t -> int -> unit
+(** Feed a variant-constructor tag (distinct from {!int} feeds). *)
+
+val hex : t -> string
+(** The current 128-bit digest as 32 lowercase hex characters.  The
+    context remains usable (further feeds evolve the digest). *)
+
+val of_string : string -> string
+(** One-shot digest of a single string. *)
+
+val fnv64 : string -> int64
+(** Single-lane FNV-1a over the raw bytes — a plain checksum. *)
+
+val fnv64_hex : string -> string
+(** {!fnv64} as 16 lowercase hex characters. *)

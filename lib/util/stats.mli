@@ -35,9 +35,20 @@ module Timeweighted : sig
 
   val create : ?t0:float -> unit -> t
 
+  val with_clock : clock:float array -> ?t0:float -> unit -> t
+  (** An integrator bound to a one-cell clock (e.g. the simulation
+      engine's), enabling the allocation-free {!tick}.  [clock.(0)]
+      must be monotonically non-decreasing. *)
+
   val update : t -> now:float -> level:float -> unit
   (** Record that the tracked quantity has value [level] from [now]
       onwards.  [now] must be monotonically non-decreasing. *)
+
+  val tick : t -> level:int -> unit
+  (** [update] at the bound clock's current time, for integer levels
+      (queue lengths, counts).  Allocation-free: no float crosses a
+      function boundary.  Only valid on integrators built with
+      {!with_clock}. *)
 
   val level : t -> float
   (** Current level. *)

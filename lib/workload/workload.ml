@@ -26,6 +26,23 @@ let default =
     seed = 42;
   }
 
+let feed_config d c =
+  let module D = Dbm_util.Digest in
+  D.string d "workload-config";
+  D.int d c.n_transactions;
+  D.int d c.min_pages;
+  D.int d c.max_pages;
+  D.float d c.write_fraction;
+  (match c.pattern with
+  | Random_access -> D.tag d 0
+  | Sequential -> D.tag d 1
+  | Hotspot { hot_fraction; hot_access_prob } ->
+    D.tag d 2;
+    D.float d hot_fraction;
+    D.float d hot_access_prob);
+  D.int d c.db_pages;
+  D.int d c.seed
+
 let validate c =
   if c.n_transactions < 0 then invalid_arg "Workload: negative transaction count";
   if c.min_pages < 1 || c.max_pages < c.min_pages then

@@ -37,6 +37,11 @@ val default : config
 (** The paper's workload: 1-250 pages uniform, 20 % writes, random
     pattern, 50 transactions over a 16,384-page database, seed 42. *)
 
+val feed_config : Dbm_util.Digest.t -> config -> unit
+(** Feed every field of the generator configuration into a run digest,
+    in declaration order (canonical-serialization contract of
+    {!Dbm_util.Digest}). *)
+
 val generate : config -> txn array
 (** Deterministic in [config.seed].
     @raise Invalid_argument on nonsensical configurations (empty
