@@ -81,7 +81,16 @@ let jobs_arg =
            slows every domain down). $(docv)=1 spawns no domains at all and runs \
            inline; any $(docv) produces byte-identical output.")
 
-let with_jobs jobs f = Dbm_util.Pool.with_pool ~jobs f
+let oversubscribe_arg =
+  Arg.(
+    value & flag
+    & info [ "allow-oversubscribe" ]
+        ~doc:
+          "Let $(b,--jobs) exceed the host's core count instead of being clamped to it.  \
+           Output is still byte-identical; only useful for exercising the parallel path \
+           on small hosts (CI, single-core machines).")
+
+let with_jobs jobs allow_oversubscribe f = Dbm_util.Pool.with_pool ~jobs ~allow_oversubscribe f
 
 (* -- persistent run cache ------------------------------------------- *)
 
@@ -98,11 +107,33 @@ let cache_dir_arg =
 let no_cache_arg =
   Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the persistent run cache.")
 
-let setup_cache dir no_cache =
-  if no_cache then Dbm_core.Experiment.disable_disk_cache ()
-  else Dbm_core.Experiment.enable_disk_cache ~dir
+let cost_model_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cost-model" ] ~docv:"FILE"
+        ~doc:
+          "Persistent cost model: an EWMA wall-time estimate per run digest, used to \
+           schedule parallel regeneration longest-run-first (LPT).  Defaults to \
+           $(i,CACHE-DIR)/cost-model; kept in memory only under $(b,--no-cache).  A \
+           damaged or missing file means an empty model — scheduling quality, never \
+           correctness, depends on it.")
 
-let cache_term = Term.(const setup_cache $ cache_dir_arg $ no_cache_arg)
+let setup_cache dir no_cache cost_model_path =
+  if no_cache then Dbm_core.Experiment.disable_disk_cache ()
+  else Dbm_core.Experiment.enable_disk_cache ~dir;
+  let version = Printf.sprintf "cost-schema-%d" Dbm_core.Experiment.schema_version in
+  let model =
+    match cost_model_path with
+    | Some path -> Dbm_util.Cost_model.load ~path ~version
+    | None ->
+      if no_cache then Dbm_util.Cost_model.in_memory ~version
+      else Dbm_util.Cost_model.load ~path:(Filename.concat dir "cost-model") ~version
+  in
+  Dbm_core.Experiment.set_cost_model (Some model);
+  at_exit (fun () -> Dbm_util.Cost_model.save model)
+
+let cache_term = Term.(const setup_cache $ cache_dir_arg $ no_cache_arg $ cost_model_arg)
 
 (* -- table command ------------------------------------------------- *)
 
@@ -114,6 +145,27 @@ let print_table ~csv t =
       (Dbm_core.Report.mean_abs_log_ratio t)
   end
 
+(* Top-10 slowest simulations actually executed this process, with what
+   the cost model predicted for each just before it ran — the drift
+   check for --cost-model without re-running bench. *)
+let print_profile () =
+  let open Dbm_core.Experiment in
+  let obs = profile () in
+  if obs = [] then
+    print_endline "\nprofile: no simulations executed (every run was served from a cache)"
+  else begin
+    let sorted = List.sort (fun a b -> Float.compare b.wall_ms a.wall_ms) obs in
+    let top = List.filteri (fun i _ -> i < 10) sorted in
+    Printf.printf "\ntop %d slowest of %d executed runs:\n" (List.length top) (List.length obs);
+    Printf.printf "%-13s %-44s %12s %12s\n" "digest" "run" "wall ms" "est. ms";
+    List.iter
+      (fun o ->
+        Printf.printf "%-13s %-44s %12.3f %12.3f\n"
+          (String.sub o.obs_digest 0 12)
+          o.obs_label o.wall_ms o.estimate_ms)
+      top
+  end
+
 let table_cmd =
   let id =
     Arg.(
@@ -122,16 +174,26 @@ let table_cmd =
       & info [] ~docv:"N" ~doc:"Table number (1-12); all when omitted.")
   in
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of aligned text.") in
-  let run id csv jobs () =
-    match id with
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "After the tables, print the top-10 slowest runs (digest prefix, run, observed \
+             wall ms, cost-model estimate) so cost-model drift is inspectable.  Runs served \
+             from a cache executed no simulation and never appear.")
+  in
+  let run id csv profile jobs allow_oversubscribe () =
+    (match id with
     | Some n -> print_table ~csv (Dbm_core.Tables.by_id n)
     | None ->
-      with_jobs jobs (fun pool ->
-          List.iter (print_table ~csv) (Dbm_core.Tables.all ~pool ()))
+      with_jobs jobs allow_oversubscribe (fun pool ->
+          List.iter (print_table ~csv) (Dbm_core.Tables.all ~pool ())));
+    if profile then print_profile ()
   in
   Cmd.v
     (Cmd.info "table" ~doc:"Regenerate one or all of the paper's Tables 1-12.")
-    Term.(const run $ id $ csv $ jobs_arg $ cache_term)
+    Term.(const run $ id $ csv $ profile $ jobs_arg $ oversubscribe_arg $ cache_term)
 
 (* -- run command --------------------------------------------------- *)
 
@@ -190,14 +252,14 @@ let run_cmd =
 
 let ablation_cmd =
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of aligned text.") in
-  let run csv jobs () =
-    with_jobs jobs (fun pool ->
+  let run csv jobs allow_oversubscribe () =
+    with_jobs jobs allow_oversubscribe (fun pool ->
         List.iter (print_table ~csv) (Dbm_core.Ablations.all ~pool ()))
   in
   Cmd.v
     (Cmd.info "ablation"
        ~doc:"Run the ablation experiments for the design choices listed in DESIGN.md.")
-    Term.(const run $ csv $ jobs_arg $ cache_term)
+    Term.(const run $ csv $ jobs_arg $ oversubscribe_arg $ cache_term)
 
 (* -- workload command --------------------------------------------------- *)
 
@@ -269,7 +331,7 @@ let export_cmd =
       & info [ "d"; "dir" ] ~docv:"DIR" ~doc:"Output directory (created if missing).")
   in
   let slug s = String.map (fun c -> if c = ' ' then '_' else Char.lowercase_ascii c) s in
-  let run dir jobs () =
+  let run dir jobs allow_oversubscribe () =
     if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
     let write (t : Dbm_core.Report.table) =
       let path = Filename.concat dir (slug t.Dbm_core.Report.id ^ ".csv") in
@@ -278,7 +340,7 @@ let export_cmd =
       close_out oc;
       Printf.printf "wrote %s\n" path
     in
-    with_jobs jobs (fun pool ->
+    with_jobs jobs allow_oversubscribe (fun pool ->
         List.iter write (Dbm_core.Tables.all ~pool ());
         List.iter write (Dbm_core.Ablations.all ~pool ());
         List.iter write (Dbm_core.Extensions.all ~pool ()))
@@ -286,20 +348,20 @@ let export_cmd =
   Cmd.v
     (Cmd.info "export"
        ~doc:"Write every table (paper, ablation, extension) as CSV files to a directory.")
-    Term.(const run $ dir $ jobs_arg $ cache_term)
+    Term.(const run $ dir $ jobs_arg $ oversubscribe_arg $ cache_term)
 
 (* -- extension command ----------------------------------------------- *)
 
 let extension_cmd =
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of aligned text.") in
-  let run csv jobs () =
-    with_jobs jobs (fun pool ->
+  let run csv jobs allow_oversubscribe () =
+    with_jobs jobs allow_oversubscribe (fun pool ->
         List.iter (print_table ~csv) (Dbm_core.Extensions.all ~pool ()))
   in
   Cmd.v
     (Cmd.info "extension"
        ~doc:"Run the extension experiments (hot-spot contention, mixed transaction sizes).")
-    Term.(const run $ csv $ jobs_arg $ cache_term)
+    Term.(const run $ csv $ jobs_arg $ oversubscribe_arg $ cache_term)
 
 (* -- recovery-time command ------------------------------------------ *)
 

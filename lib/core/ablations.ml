@@ -366,6 +366,8 @@ let all ?pool () =
     if Dbm_util.Pool.jobs p <= 1 then serial ()
     else begin
       let work = Experiment.dedup (runs ()) in
-      ignore (Dbm_util.Pool.map_ordered p work ~f:(fun r -> ignore (Experiment.force r)));
+      ignore
+        (Dbm_util.Pool.map_ordered_weighted p work ~weight:Experiment.estimated_cost
+           ~f:(fun r -> ignore (Experiment.force r)));
       serial ()
     end

@@ -15,6 +15,7 @@
 
 module Digest = Dbm_util.Digest
 module Run_cache = Dbm_util.Run_cache
+module Cost_model = Dbm_util.Cost_model
 module Results = Dbm_machine.Results
 
 (* Bump whenever the marshalled shape of [Results.t] (or anything the
@@ -91,9 +92,78 @@ let disk_cache_dir () = Option.map Run_cache.dir !disk
 (* Requests                                                            *)
 (* ------------------------------------------------------------------ *)
 
-type request = { digest : string; compute : unit -> Results.t }
+type request = {
+  digest : string;
+  label : string; (* human-readable attribution for --profile *)
+  prior_ms : float; (* cost estimate when the model has no history *)
+  compute : unit -> Results.t;
+}
 
 let digest r = r.digest
+
+let label r = r.label
+
+(* ------------------------------------------------------------------ *)
+(* Cost model                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let cost_model_ref : Cost_model.t option ref = ref None
+
+let set_cost_model m = cost_model_ref := m
+
+let cost_model () = !cost_model_ref
+
+(* A rank prior, not a clock estimate: simulated work scales with how
+   many page references the run must push through the machine, so
+   transactions x mean pages orders cold runs usefully even though the
+   absolute milliseconds are fiction.  Open-arrival runs simulate the
+   arrival tail on top; the factor keeps them sorted above an otherwise
+   equal closed run. *)
+let default_prior_ms ~machine ~workload =
+  let mean_pages =
+    float_of_int (workload.Dbm_workload.Workload.min_pages + workload.Dbm_workload.Workload.max_pages)
+    /. 2.0
+  in
+  let refs = float_of_int workload.Dbm_workload.Workload.n_transactions *. mean_pages in
+  let arrival_factor =
+    match machine.Dbm_machine.Config.arrivals with
+    | Dbm_machine.Config.Batch -> 1.0
+    | Dbm_machine.Config.Poisson _ -> 1.25
+  in
+  refs *. arrival_factor /. 20.0
+
+let estimated_cost req =
+  match !cost_model_ref with
+  | None -> req.prior_ms
+  | Some m -> (
+    match Cost_model.estimate m ~digest:req.digest with Some e -> e | None -> req.prior_ms)
+
+(* ------------------------------------------------------------------ *)
+(* Profile log                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type observation = { obs_digest : string; obs_label : string; wall_ms : float; estimate_ms : float }
+
+let profile_mutex = Mutex.create ()
+
+let profile_log : observation list ref = ref []
+
+let record_observation ~digest ~label ~wall_ms ~estimate_ms =
+  (match !cost_model_ref with Some m -> Cost_model.observe m ~digest ~wall_ms | None -> ());
+  Mutex.lock profile_mutex;
+  profile_log := { obs_digest = digest; obs_label = label; wall_ms; estimate_ms } :: !profile_log;
+  Mutex.unlock profile_mutex
+
+let profile () =
+  Mutex.lock profile_mutex;
+  let l = List.rev !profile_log in
+  Mutex.unlock profile_mutex;
+  l
+
+let reset_profile () =
+  Mutex.lock profile_mutex;
+  profile_log := [];
+  Mutex.unlock profile_mutex
 
 let requested_c = Atomic.make 0
 
@@ -115,6 +185,33 @@ let reset_counters () =
   Atomic.set computed_c 0;
   Atomic.set disk_hits_c 0
 
+(* Generated workloads are deterministic in their config and immutable
+   once built (the machine only ever reads the page/write arrays), so
+   runs sharing a workload config — every architecture evaluated on one
+   scenario — can share one transaction array.  Workload generation
+   accounts for roughly half the major-heap words a run promotes, so
+   this domain-local cache rides the same switch as the simulation
+   arenas: disabling recycling restores the build-everything-fresh
+   behaviour the allocation benchmark compares against. *)
+let workload_cache_key :
+    (string, Dbm_workload.Workload.txn array) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let generate_workload workload =
+  if Dbm_sim.Arena.recycling_enabled () then begin
+    let tbl = Domain.DLS.get workload_cache_key in
+    let d = Digest.create () in
+    Dbm_workload.Workload.feed_config d workload;
+    let key = Digest.hex d in
+    match Hashtbl.find_opt tbl key with
+    | Some txns -> txns
+    | None ->
+      let txns = Dbm_workload.Workload.generate workload in
+      Hashtbl.add tbl key txns;
+      txns
+  end
+  else Dbm_workload.Workload.generate workload
+
 let request ~arch ~machine ~workload ~make_arch =
   let d = Digest.create () in
   Digest.string d "run-request";
@@ -123,26 +220,39 @@ let request ~arch ~machine ~workload ~make_arch =
   Dbm_workload.Workload.feed_config d workload;
   {
     digest = Digest.hex d;
+    label = arch;
+    prior_ms = default_prior_ms ~machine ~workload;
     compute =
       (fun () ->
-        let txns = Dbm_workload.Workload.generate workload in
+        let txns = generate_workload workload in
         Dbm_machine.Machine.run ~config:machine ~make_arch ~workload:txns);
   }
 
-let scenario_request ~arch ?scramble scenario make_arch =
-  request ~arch
-    ~machine:(Scenario.machine_config ?scramble scenario)
-    ~workload:(Scenario.workload_config scenario)
-    ~make_arch
+let with_label label req = { req with label }
+
+let scenario_request ?label ~arch ?scramble scenario make_arch =
+  let label =
+    match label with Some l -> l | None -> Printf.sprintf "%s @ %s" arch (Scenario.name scenario)
+  in
+  with_label label
+    (request ~arch
+       ~machine:(Scenario.machine_config ?scramble scenario)
+       ~workload:(Scenario.workload_config scenario)
+       ~make_arch)
 
 let bare_request scenario = scenario_request ~arch:"bare" scenario (fun _ -> Dbm_machine.Arch.bare)
 
-let custom_request ~tag ~machine compute =
+let custom_request ?label ?(prior_ms = 50.0) ~tag ~machine compute =
   let d = Digest.create () in
   Digest.string d "custom-request";
   Digest.string d tag;
   Dbm_machine.Config.feed_digest d machine;
-  { digest = Digest.hex d; compute }
+  {
+    digest = Digest.hex d;
+    label = (match label with Some l -> l | None -> tag);
+    prior_ms;
+    compute;
+  }
 
 (* Disk lookups happen inside the memo's compute branch, so at most one
    domain per digest touches the store, and a hit still lands in the
@@ -166,10 +276,17 @@ let force req =
             | exception _ -> None))
       in
       match from_disk with
+      (* A cache hit records NO cost observation: its near-zero wall is
+         load time, not simulation cost, and folding it into the EWMA
+         would poison the schedule of the next cold regeneration. *)
       | Some r -> r
       | None ->
         Atomic.incr computed_c;
+        let estimate_ms = estimated_cost req in
+        let t0 = Unix.gettimeofday () in
         let r = req.compute () in
+        let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+        record_observation ~digest:req.digest ~label:req.label ~wall_ms ~estimate_ms;
         (match !disk with
         | None -> ()
         | Some store -> Run_cache.store store ~digest:req.digest (Marshal.to_string r []));

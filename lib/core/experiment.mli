@@ -34,28 +34,45 @@ val request :
 (** [arch] must be a canonical architecture descriptor (e.g. from
     {!Dbm_recovery.Logging.descriptor}), i.e. determined by the
     architecture's configuration alone — never by the requesting table
-    — and [make_arch] must be the architecture it describes. *)
+    — and [make_arch] must be the architecture it describes.  The
+    profile label defaults to [arch]; see {!with_label}. *)
+
+val with_label : string -> request -> request
+(** Override the request's human-readable {!label} (used by {!profile}
+    attribution only — never part of the digest). *)
 
 val scenario_request :
+  ?label:string ->
   arch:string ->
   ?scramble:int ->
   Scenario.t ->
   (Dbm_machine.Arch.ctx -> Dbm_machine.Arch.t) ->
   request
-(** {!request} on one of the paper's four configurations. *)
+(** {!request} on one of the paper's four configurations; the default
+    label is ["<arch> @ <scenario>"]. *)
 
 val bare_request : Scenario.t -> request
 (** Baseline (no recovery architecture) run of a configuration. *)
 
 val custom_request :
-  tag:string -> machine:Dbm_machine.Config.t -> (unit -> Dbm_machine.Results.t) -> request
+  ?label:string ->
+  ?prior_ms:float ->
+  tag:string ->
+  machine:Dbm_machine.Config.t ->
+  (unit -> Dbm_machine.Results.t) ->
+  request
 (** Escape hatch for runs whose workload is built by hand.  [tag] must
     uniquely determine the computation given the machine config, and
     must be versioned (e.g. ["ext-mixed/v1"]) so changing the
-    construction logic invalidates old persistent entries. *)
+    construction logic invalidates old persistent entries.  [prior_ms]
+    (default 50) seeds the cost estimate until the model has observed
+    the digest. *)
 
 val digest : request -> string
 (** The request's content digest (32 hex characters). *)
+
+val label : request -> string
+(** Human-readable attribution (table/architecture) for profiles. *)
 
 val force : request -> Dbm_machine.Results.t
 (** Resolve a request: memo hit, else persistent-store hit, else
@@ -122,3 +139,38 @@ val counters : unit -> counters
     memo hits are [requested - computed - disk_hits]. *)
 
 val reset_counters : unit -> unit
+
+(** {1 Cost model and profile}
+
+    When a {!Dbm_util.Cost_model} is installed, {!force} folds the wall
+    time of every simulation it {e actually executes} into the model,
+    and {!estimated_cost} answers the scheduler's "how long will this
+    run take?".  Results served from the memo or the persistent store
+    record {e no} observation — their near-zero wall is cache-load
+    time, not simulation cost, and would poison the model. *)
+
+val set_cost_model : Dbm_util.Cost_model.t option -> unit
+(** Install (or remove) the process-wide cost model.  Not synchronised:
+    set it before fanning work out to a pool. *)
+
+val cost_model : unit -> Dbm_util.Cost_model.t option
+
+val estimated_cost : request -> float
+(** Estimated wall time in ms: the model's EWMA for this digest when it
+    has one, otherwise a prior derived from the request's workload
+    descriptor (transactions x mean pages, arrival-process factor).
+    Priors are rank estimates — meaningful relative to each other, not
+    as clock time. *)
+
+type observation = {
+  obs_digest : string;
+  obs_label : string;
+  wall_ms : float;  (** observed wall time of the simulation *)
+  estimate_ms : float;  (** what {!estimated_cost} said just before it ran *)
+}
+
+val profile : unit -> observation list
+(** Every simulation actually executed since process start (or
+    {!reset_profile}), in execution order.  Cache hits never appear. *)
+
+val reset_profile : unit -> unit

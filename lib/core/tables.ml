@@ -425,6 +425,9 @@ let runs () : Experiment.request list =
         if n_log = 0 then [ table3_request ~n_log:0 ~selection:Logging.Cyclic ]
         else List.map (fun selection -> table3_request ~n_log ~selection) selections)
       Paper.table3_exec
+    (* Labelled for --profile: these are the suite's dominant runs and
+       the digest alone does not say where they came from. *)
+    |> List.map (Experiment.with_label "Table 3")
   in
   let per_scenario =
     List.concat_map
@@ -459,7 +462,11 @@ let runs () : Experiment.request list =
    (mutex-protected, in-flight latched) memo cache, and the tables are
    then assembled serially from cache hits — so the rendered output
    cannot depend on the pool size, the dedup, or the state of any
-   persistent cache, and no single slow table gates the schedule. *)
+   persistent cache, and no single slow table gates the schedule.
+   The fan-out is cost-aware (LPT): runs are handed out longest-first
+   by their estimated wall time (cost-model EWMA, workload prior when
+   cold), so the 130 ms Table 3 runs start immediately instead of
+   stalling the tail of the schedule. *)
 let all ?pool () =
   let serial () = List.map (fun f -> f ()) builders in
   match pool with
@@ -468,7 +475,9 @@ let all ?pool () =
     if Dbm_util.Pool.jobs p <= 1 then serial ()
     else begin
       let work = Experiment.dedup (runs ()) in
-      ignore (Dbm_util.Pool.map_ordered p work ~f:(fun r -> ignore (Experiment.force r)));
+      ignore
+        (Dbm_util.Pool.map_ordered_weighted p work ~weight:Experiment.estimated_cost
+           ~f:(fun r -> ignore (Experiment.force r)));
       serial ()
     end
 

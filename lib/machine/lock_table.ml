@@ -9,6 +9,14 @@ type t = {
 
 let create () = { pages = Hashtbl.create 256; by_owner = Hashtbl.create 16 }
 
+(* [Hashtbl.clear] keeps the grown bucket arrays (unlike [reset]), which
+   is the point: a recycled lock table re-serves the next run without
+   re-growing.  No behaviour depends on bucket layout — the table is
+   only ever probed per key, never iterated during a run. *)
+let clear t =
+  Hashtbl.clear t.pages;
+  Hashtbl.clear t.by_owner
+
 let compatible held requested =
   match held, requested with
   | Shared, Shared -> true

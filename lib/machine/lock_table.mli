@@ -13,6 +13,11 @@ type mode = Shared | Exclusive
 
 val create : unit -> t
 
+val clear : t -> unit
+(** Drop every lock while keeping the grown hash-table storage, so a
+    per-domain arena can recycle one lock table across runs.  After
+    [clear] the table is observationally [create ()]. *)
+
 val compatible : mode -> mode -> bool
 (** [compatible held requested]: only [Shared]/[Shared] is compatible. *)
 

@@ -19,9 +19,32 @@ type txn_state = {
 
 let ceil_div a b = (a + b - 1) / b
 
+(* Machine-level scratch recycled alongside the simulator arena: the
+   lock table and arrival-time map are probed per key only (never
+   iterated during a run), so handing the next run a cleared-but-grown
+   table cannot change its behaviour — it only skips re-growing the
+   buckets on the major heap.  [Dbm_sim.Arena] cannot own these (the
+   dependency points the other way), so the machine keeps its own
+   domain-local slot, gated on the same switch. *)
+type scratch = { locks : Lock_table.t; arrival_times : (int, float) Hashtbl.t }
+
+let fresh_scratch () = { locks = Lock_table.create (); arrival_times = Hashtbl.create 16 }
+
+let scratch_key = Domain.DLS.new_key fresh_scratch
+
+let current_scratch () =
+  if Dbm_sim.Arena.recycling_enabled () then begin
+    let s = Domain.DLS.get scratch_key in
+    Lock_table.clear s.locks;
+    Hashtbl.clear s.arrival_times;
+    s
+  end
+  else fresh_scratch ()
+
 let run_gen ~trace ~config ~make_arch ~workload =
   Config.validate config;
-  let engine = Engine.create () in
+  let arena = Dbm_sim.Arena.current () in
+  let engine = Dbm_sim.Arena.begin_run arena in
   (* [emit] callers build their source/detail strings with sprintf; guard
      every call site on [tracing] so the untraced (common) path never
      pays for the formatting. *)
@@ -139,11 +162,12 @@ let run_gen ~trace ~config ~make_arch ~workload =
   let arch = make_arch ctx in
 
   let qps =
-    Resource.create engine ~name:"query-processors"
-      ~servers:config.Config.n_query_processors ()
+    Dbm_sim.Arena.resource arena ~name:"query-processors"
+      ~servers:config.Config.n_query_processors
   in
 
-  let locks = Lock_table.create () in
+  let scratch = current_scratch () in
+  let locks = scratch.locks in
   (* Closed model: the whole batch is waiting at t=0.  Open model: the
      waiting list fills as arrival events fire, and completion times
      run from each transaction's arrival. *)
@@ -151,7 +175,7 @@ let run_gen ~trace ~config ~make_arch ~workload =
     | Config.Batch -> Array.to_list workload
     | Config.Poisson _ -> [])
   in
-  let arrival_times : (int, float) Hashtbl.t = Hashtbl.create 16 in
+  let arrival_times = scratch.arrival_times in
   let active = ref [] in
   let completions = Stats.Acc.create () in
   let completion_list = ref [] in

@@ -1,0 +1,56 @@
+(** Per-domain scratch arena recycling simulator state across runs.
+
+    Building a run's engine and resource pools from scratch costs major
+    heap: the event-record pool, the SoA agenda arrays, the per-server
+    arrays and waiting rings all live past the minor collector.  An
+    arena keeps one set of these per domain (in domain-local storage)
+    and resets them between runs, so the suite's steady state allocates
+    almost nothing per run on the major heap.
+
+    Protocol, once per run, on the domain that executes the run:
+    {[
+      let arena = Arena.current () in
+      let engine = Arena.begin_run arena in
+      let qps = Arena.resource arena ~name:"query-processors" ~servers () in
+      ...
+    ]}
+
+    Determinism: {!begin_run} / {!resource} restore exactly the
+    just-created observable state ({!Engine.reset}, {!Resource.reset}),
+    and every run reinitialises everything else from its own PRNG seed,
+    so a recycled run is byte-identical to a fresh-state run. *)
+
+type t
+
+val create : unit -> t
+(** A standalone arena (not bound to any domain); {!current} is the
+    normal entry point. *)
+
+val current : unit -> t
+(** The calling domain's arena.  When recycling is disabled
+    ({!set_enabled}[ false]) this returns a fresh throwaway arena
+    instead, reproducing the build-everything-per-run behaviour. *)
+
+val begin_run : t -> Engine.t
+(** Start a run: resets the recycled engine (clock 0, empty agenda, all
+    handles stale) and rewinds the resource cursor.  Must be called
+    before {!resource}. *)
+
+val engine : t -> Engine.t
+(** The arena's engine, as last reset by {!begin_run}. *)
+
+val resource : t -> name:string -> servers:int -> Resource.t
+(** Hand out the next recycled resource pool (in first-request order),
+    reset to [name]/[servers]; creates and caches one the first time a
+    run asks for more pools than any previous run did. *)
+
+val runs_started : t -> int
+(** How many {!begin_run}s this arena has served (recycling telemetry;
+    a throwaway arena reports 1). *)
+
+val set_enabled : bool -> unit
+(** Globally enable/disable recycling (default enabled).  Disabling
+    makes {!current} return throwaway arenas so benchmarks can measure
+    the fresh-state baseline in the same process. *)
+
+val recycling_enabled : unit -> bool

@@ -64,6 +64,35 @@ let create () =
     n_free = 0;
   }
 
+(* Return the engine to its just-created state while keeping every
+   array and event record for reuse: the agenda slots are cleared to
+   [dummy] (dead actions and the closures they capture must not be
+   pinned by the slack), the clock/sequence/live counters restart at
+   zero, and the free stack is rebuilt over every record ever created
+   with its generation bumped, so all outstanding handles go stale.
+   After [reset] the engine is observationally identical to
+   [create ()]: record identities differ, but scheduling order depends
+   only on [(time, seq)], never on which record carries an event. *)
+let reset t =
+  for i = 0 to t.size - 1 do
+    t.evs.(i) <- dummy
+  done;
+  t.size <- 0;
+  t.clock.(0) <- 0.0;
+  t.next_seq <- 0;
+  t.live <- 0;
+  t.fired_count <- 0;
+  if Array.length t.free < t.n_recs then t.free <- Array.make (Array.length t.recs) 0;
+  t.n_free <- 0;
+  for i = 0 to t.n_recs - 1 do
+    let ev = t.recs.(i) in
+    ev.action <- ignore;
+    ev.cancelled <- true;
+    ev.gen <- ev.gen + 1;
+    t.free.(t.n_free) <- i;
+    t.n_free <- t.n_free + 1
+  done
+
 let now t = t.clock.(0)
 
 let clock_cell t = t.clock

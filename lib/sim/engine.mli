@@ -21,6 +21,14 @@ type event_id
 
 val create : unit -> t
 
+val reset : t -> unit
+(** Return the engine to its just-created state — clock at 0, empty
+    agenda, zero counters — while keeping the heap arrays and recycled
+    event records for the next run (no major-heap churn).  Every
+    outstanding {!event_id} goes permanently stale.  After [reset] the
+    engine behaves observationally like [create ()]: event ordering is
+    by [(time, seq)] only, so reusing records cannot change any run. *)
+
 val now : t -> float
 (** Current simulation time (ms).  Starts at [0.0]. *)
 

@@ -14,17 +14,17 @@
 
 type t = {
   engine : Engine.t;
-  name : string;
-  servers : int;
+  mutable name : string;
+  mutable servers : int;
   (* waiting jobs: circular buffer, capacity a power of two *)
   mutable q_service : float array;
   mutable q_k : (unit -> unit) array;
   mutable q_head : int;
   mutable q_len : int;
-  free_servers : int array; (* stack of idle server slots *)
+  mutable free_servers : int array; (* stack of idle server slots *)
   mutable n_free : int;
-  slots : (unit -> unit) array; (* per-server parked continuation *)
-  finishers : (unit -> unit) array; (* per-server completion events, allocated once *)
+  mutable slots : (unit -> unit) array; (* per-server parked continuation *)
+  mutable finishers : (unit -> unit) array; (* per-server completion events, allocated once *)
   mutable busy : int;
   busy_acc : Dbm_util.Stats.Busy.t;
   qlen : Dbm_util.Stats.Timeweighted.t;
@@ -119,6 +119,38 @@ let create engine ~name ~servers () =
     t.finishers.(i) <- (fun () -> finish t i)
   done;
   t
+
+(* Return the pool to its just-created state, reusing every array the
+   previous run grew.  The per-server arrays (and finish closures) are
+   rebuilt only when the server count actually changes; the waiting ring
+   keeps its capacity but unpins all parked continuations.  Callers must
+   reset the shared engine first so the statistics restart at the new
+   run's time origin. *)
+let reset t ~name ~servers =
+  if servers <= 0 then invalid_arg "Resource.reset: servers must be positive";
+  t.name <- name;
+  if servers <> t.servers then begin
+    t.servers <- servers;
+    t.free_servers <- Array.init servers (fun i -> servers - 1 - i);
+    t.slots <- Array.make servers ignore;
+    t.finishers <- Array.make servers ignore;
+    for i = 0 to servers - 1 do
+      t.finishers.(i) <- (fun () -> finish t i)
+    done
+  end
+  else
+    for i = 0 to servers - 1 do
+      t.free_servers.(i) <- servers - 1 - i;
+      t.slots.(i) <- ignore
+    done;
+  t.n_free <- servers;
+  Array.fill t.q_k 0 (Array.length t.q_k) ignore;
+  t.q_head <- 0;
+  t.q_len <- 0;
+  t.busy <- 0;
+  t.completed <- 0;
+  Dbm_util.Stats.Busy.reset t.busy_acc;
+  Dbm_util.Stats.Timeweighted.reset ~t0:(Engine.now t.engine) t.qlen
 
 let submit t ~service k =
   if not (Float.is_finite service) || service < 0.0 then

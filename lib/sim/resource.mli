@@ -16,6 +16,14 @@ type t
 val create : Engine.t -> name:string -> servers:int -> unit -> t
 (** @raise Invalid_argument if [servers <= 0]. *)
 
+val reset : t -> name:string -> servers:int -> unit
+(** Return the pool to its just-created state under a (possibly) new
+    name and server count, reusing the grown arrays: idle-server stack
+    refilled, waiting ring emptied (continuations unpinned), statistics
+    restarted at the engine's current time.  Reset the shared engine
+    {e first} so the time origin is the new run's zero.
+    @raise Invalid_argument if [servers <= 0]. *)
+
 val name : t -> string
 
 val servers : t -> int

@@ -1,0 +1,139 @@
+(* Persistent per-digest wall-time estimates.
+
+   One small flat text file, schema-versioned like [Run_cache]:
+
+     DBM-COST-MODEL 1\n
+     <version>\n
+     <entry count>\n
+     <16-hex FNV-1a checksum of the entry lines>\n
+     <digest> <ewma_ms> <observations>\n
+     ...
+
+   Estimates are an exponentially-weighted moving average of observed
+   wall times, so the model tracks drift (code changes, host changes)
+   without unbounded history.  EWMA values are written as hexadecimal
+   float literals ([%h]) so a save/load roundtrip is exact.
+
+   Anything malformed — wrong magic, wrong version, bad checksum, short
+   file, unparseable line — loads as an empty model, never an error:
+   the cost model only orders work, so losing it costs scheduling
+   quality for one regeneration, not correctness. *)
+
+type entry = { mutable ewma_ms : float; mutable observations : int }
+type t = { path : string; version : string; table : (string, entry) Hashtbl.t; mutex : Mutex.t }
+
+let magic = "DBM-COST-MODEL 1"
+
+(* Weight of the newest observation.  High enough to follow genuine
+   drift within a few runs, low enough that one noisy wall time cannot
+   invert the LPT order of two runs an order of magnitude apart. *)
+let ewma_alpha = 0.3
+
+let encode_entries t =
+  let buf = Buffer.create 256 in
+  (* Sorted for a canonical encoding: the file diffs cleanly and the
+     checksum does not depend on hash-table iteration order. *)
+  Hashtbl.fold (fun digest e acc -> (digest, e) :: acc) t.table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (digest, e) ->
+         Buffer.add_string buf (Printf.sprintf "%s %h %d\n" digest e.ewma_ms e.observations));
+  Buffer.contents buf
+
+let decode t s =
+  match
+    let e1 = String.index_from s 0 '\n' in
+    let e2 = String.index_from s (e1 + 1) '\n' in
+    let e3 = String.index_from s (e2 + 1) '\n' in
+    let e4 = String.index_from s (e3 + 1) '\n' in
+    let header lo hi = String.sub s lo (hi - lo) in
+    if header 0 e1 <> magic || header (e1 + 1) e2 <> t.version then None
+    else
+      let count = int_of_string (header (e2 + 1) e3) in
+      let body = String.sub s (e4 + 1) (String.length s - e4 - 1) in
+      if count < 0 || not (String.equal (Digest.fnv64_hex body) (header (e3 + 1) e4)) then None
+      else begin
+        let lines = String.split_on_char '\n' body in
+        let parsed = ref 0 in
+        List.iter
+          (fun line ->
+            if line <> "" then
+              match String.split_on_char ' ' line with
+              | [ digest; ewma; obs ] ->
+                let ewma_ms = float_of_string ewma in
+                let observations = int_of_string obs in
+                if not (Float.is_finite ewma_ms) || observations < 1 then failwith "bad entry";
+                Hashtbl.replace t.table digest { ewma_ms; observations };
+                incr parsed
+              | _ -> failwith "bad entry")
+          lines;
+        if !parsed <> count then None else Some ()
+      end
+  with
+  | r -> r
+  | exception _ -> None
+
+let load ~path ~version =
+  let t = { path; version; table = Hashtbl.create 128; mutex = Mutex.create () } in
+  (match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error _ -> ()
+  | s -> if decode t s = None then Hashtbl.reset t.table);
+  t
+
+let in_memory ~version = { path = ""; version; table = Hashtbl.create 128; mutex = Mutex.create () }
+
+let path t = t.path
+
+let size t =
+  Mutex.lock t.mutex;
+  let n = Hashtbl.length t.table in
+  Mutex.unlock t.mutex;
+  n
+
+let estimate t ~digest =
+  Mutex.lock t.mutex;
+  let r = match Hashtbl.find_opt t.table digest with Some e -> Some e.ewma_ms | None -> None in
+  Mutex.unlock t.mutex;
+  r
+
+let observations t ~digest =
+  Mutex.lock t.mutex;
+  let r = match Hashtbl.find_opt t.table digest with Some e -> e.observations | None -> 0 in
+  Mutex.unlock t.mutex;
+  r
+
+let observe t ~digest ~wall_ms =
+  if Float.is_finite wall_ms && wall_ms >= 0.0 then begin
+    Mutex.lock t.mutex;
+    (match Hashtbl.find_opt t.table digest with
+    | Some e ->
+      e.ewma_ms <- (ewma_alpha *. wall_ms) +. ((1.0 -. ewma_alpha) *. e.ewma_ms);
+      e.observations <- e.observations + 1
+    | None -> Hashtbl.replace t.table digest { ewma_ms = wall_ms; observations = 1 });
+    Mutex.unlock t.mutex
+  end
+
+let tmp_counter = Atomic.make 0
+
+let save t =
+  if t.path <> "" then begin
+    Mutex.lock t.mutex;
+    let body = encode_entries t in
+    let count = Hashtbl.length t.table in
+    Mutex.unlock t.mutex;
+    let s =
+      Printf.sprintf "%s\n%s\n%d\n%s\n%s" magic t.version count (Digest.fnv64_hex body) body
+    in
+    let dir = Filename.dirname t.path in
+    (if dir <> "" && not (Sys.file_exists dir) then try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+    let tmp =
+      Printf.sprintf "%s.%d.%d.tmp" t.path
+        ((Domain.self () :> int))
+        (Atomic.fetch_and_add tmp_counter 1)
+    in
+    match
+      Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc s);
+      Sys.rename tmp t.path
+    with
+    | () -> ()
+    | exception Sys_error _ -> ( try Sys.remove tmp with Sys_error _ -> ())
+  end

@@ -1,0 +1,47 @@
+(** Persistent EWMA wall-time estimates, keyed by run digest.
+
+    The scheduler ({!Pool.map_ordered_weighted}) wants to start the
+    longest runs first; this module remembers how long each run took the
+    last few times and answers "how long will this digest take?".  The
+    model lives in one small flat file next to the run cache, framed and
+    schema-versioned like {!Run_cache}: a damaged, truncated, stale or
+    missing file loads as an empty model, never an error — the cost
+    model only affects scheduling order, not results.
+
+    All operations are safe to call from any domain. *)
+
+type t
+
+val load : path:string -> version:string -> t
+(** Read the model at [path].  Any damage (wrong magic/version, bad
+    checksum, truncation, unparseable entries) yields an empty model. *)
+
+val in_memory : version:string -> t
+(** A model that is never persisted ({!save} is a no-op); for benches
+    and tests that want cost-aware scheduling without touching disk. *)
+
+val path : t -> string
+(** The backing file path ([""] for {!in_memory} models). *)
+
+val size : t -> int
+(** Number of digests with at least one observation. *)
+
+val estimate : t -> digest:string -> float option
+(** Current EWMA wall-time estimate in milliseconds, if any run with
+    this digest has ever been observed. *)
+
+val observations : t -> digest:string -> int
+(** How many observations the digest's EWMA has absorbed (0 if none). *)
+
+val observe : t -> digest:string -> wall_ms:float -> unit
+(** Fold one observed wall time into the digest's EWMA (the first
+    observation sets the estimate directly).  Non-finite or negative
+    walls are ignored. *)
+
+val save : t -> unit
+(** Atomically write the model back to its file (temp file + rename, as
+    {!Run_cache}).  I/O errors are swallowed — persistence is purely an
+    optimisation. *)
+
+val ewma_alpha : float
+(** Weight given to the newest observation (newest-biased smoothing). *)

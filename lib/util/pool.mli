@@ -42,6 +42,17 @@ val map_ordered : t -> 'a list -> f:('a -> 'b) -> 'b list
     exception of the smallest input index is re-raised in the caller
     after all chunks have settled. *)
 
+val map_ordered_weighted : t -> 'a list -> weight:('a -> float) -> f:('a -> 'b) -> 'b list
+(** Like {!map_ordered}, but cost-aware: the work list is sorted by
+    descending [weight] (LPT — longest processing time first, ties
+    broken by input order) and items are handed out one at a time from
+    an atomic cursor, so a long run never idles other domains behind a
+    chunk boundary.  Results are still returned in input order, and the
+    exception of the smallest input index is re-raised if any
+    application raises.  With [jobs = 1] this is exactly the serial
+    path — [weight] is not called at all.  Non-finite weights are
+    treated as 0. *)
+
 val shutdown : t -> unit
 (** Join the worker domains.  Idempotent; the pool is unusable after. *)
 

@@ -60,7 +60,7 @@ module Timeweighted = struct
      get flat (unboxed) stores; folding it into the mixed record below
      would box every store of [last_time]/[level]/[area]. *)
   type acc = {
-    t0 : float;
+    mutable t0 : float;
     mutable last_time : float;
     mutable level : float;
     mutable area : float;
@@ -99,6 +99,13 @@ module Timeweighted = struct
     a.last_time <- now;
     a.level <- float_of_int level
 
+  let reset ?(t0 = 0.0) t =
+    let a = t.acc in
+    a.t0 <- t0;
+    a.last_time <- t0;
+    a.level <- 0.0;
+    a.area <- 0.0
+
   let level t = t.acc.level
 
   let mean t ~now =
@@ -127,6 +134,7 @@ module Busy = struct
   type t = { mutable busy : float }
 
   let create () = { busy = 0.0 }
+  let reset t = t.busy <- 0.0
   let add_busy t d = t.busy <- t.busy +. d
   let busy_time t = t.busy
 

@@ -50,6 +50,11 @@ module Timeweighted : sig
       function boundary.  Only valid on integrators built with
       {!with_clock}. *)
 
+  val reset : ?t0:float -> t -> unit
+  (** Forget all history: level 0, empty area, interval restarting at
+      [t0] (default 0) — as freshly created, but reusing the storage.
+      Used by the per-domain arenas that recycle simulator state. *)
+
   val level : t -> float
   (** Current level. *)
 
@@ -66,6 +71,9 @@ module Busy : sig
   type t
 
   val create : unit -> t
+
+  val reset : t -> unit
+  (** Zero the accumulated busy time (fresh-state reuse). *)
 
   val add_busy : t -> float -> unit
   (** Accumulate a busy interval of the given duration. *)

@@ -322,6 +322,36 @@ let test_corrupt_entry_recomputes () =
           check Alcotest.int "healed entry hits" 1
             (Experiment.counters ()).Experiment.disk_hits))
 
+(* Cache hits must record NO cost observation: a hit's near-zero wall
+   is cache-load time, not simulation cost, and folding it into the
+   EWMA would wreck the schedule of the next cold regeneration. *)
+let test_cache_hit_records_no_observation () =
+  with_temp_dir (fun dir ->
+      with_disk_cache dir (fun () ->
+          let model = Dbm_util.Cost_model.in_memory ~version:"test" in
+          Experiment.set_cost_model (Some model);
+          Fun.protect
+            ~finally:(fun () -> Experiment.set_cost_model None)
+            (fun () ->
+              Experiment.reset_profile ();
+              let req = bare_req ~seed:13 Scenario.Conventional_random in
+              let digest = Experiment.digest req in
+              ignore (Experiment.force req);
+              check Alcotest.int "the compute was observed" 1
+                (Dbm_util.Cost_model.observations model ~digest);
+              let profiled = List.length (Experiment.profile ()) in
+              check Alcotest.int "the compute was profiled" 1 profiled;
+              (* memo hit *)
+              ignore (Experiment.force req);
+              (* disk hit *)
+              Experiment.clear_cache ();
+              ignore (Experiment.force req);
+              check Alcotest.int "memo/disk hits recorded no observation" 1
+                (Dbm_util.Cost_model.observations model ~digest);
+              check Alcotest.int "memo/disk hits were not profiled" 1
+                (List.length (Experiment.profile ()));
+              Experiment.reset_profile ())))
+
 (* Random small configurations: whatever the workload, a disk-loaded
    result is structurally identical to the fresh computation. *)
 let prop_cache_hit_identity =
@@ -392,6 +422,8 @@ let () =
         [
           Alcotest.test_case "persistent identity" `Quick test_persistent_identity;
           Alcotest.test_case "corrupt entry recomputes" `Quick test_corrupt_entry_recomputes;
+          Alcotest.test_case "cache hit records no observation" `Quick
+            test_cache_hit_records_no_observation;
           QCheck_alcotest.to_alcotest prop_cache_hit_identity;
         ] );
     ]

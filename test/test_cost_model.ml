@@ -1,0 +1,155 @@
+(* Tests for the persistent EWMA cost model: exact roundtrip through
+   the flat-file format (hex floats), the smoothing math, and the
+   failure modes — every kind of damaged file must load as an empty
+   model, never an error, because the model only orders the schedule. *)
+
+module Cost_model = Dbm_util.Cost_model
+
+let check = Alcotest.check
+
+let digest_a = String.make 32 'a'
+
+let digest_b = "0123456789abcdef0123456789abcdef"
+
+let seq = ref 0
+
+let temp_path () =
+  incr seq;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "dbm-cost-model-test-%d-%d" (Unix.getpid ()) !seq)
+
+let with_temp_file f =
+  let path = temp_path () in
+  if Sys.file_exists path then Sys.remove path;
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path) (fun () -> f path)
+
+(* --- estimates and the EWMA ------------------------------------------- *)
+
+let test_empty_model () =
+  let m = Cost_model.in_memory ~version:"v1" in
+  check Alcotest.int "empty size" 0 (Cost_model.size m);
+  check (Alcotest.option (Alcotest.float 0.0)) "unknown digest has no estimate" None
+    (Cost_model.estimate m ~digest:digest_a);
+  check Alcotest.int "unknown digest has no observations" 0
+    (Cost_model.observations m ~digest:digest_a)
+
+let test_ewma_math () =
+  let m = Cost_model.in_memory ~version:"v1" in
+  Cost_model.observe m ~digest:digest_a ~wall_ms:10.0;
+  check (Alcotest.option (Alcotest.float 1e-12)) "first observation sets the estimate"
+    (Some 10.0)
+    (Cost_model.estimate m ~digest:digest_a);
+  Cost_model.observe m ~digest:digest_a ~wall_ms:20.0;
+  let a = Cost_model.ewma_alpha in
+  check (Alcotest.option (Alcotest.float 1e-9)) "second observation smooths"
+    (Some (10.0 +. (a *. (20.0 -. 10.0))))
+    (Cost_model.estimate m ~digest:digest_a);
+  check Alcotest.int "observation count" 2 (Cost_model.observations m ~digest:digest_a)
+
+let test_bad_observations_ignored () =
+  let m = Cost_model.in_memory ~version:"v1" in
+  Cost_model.observe m ~digest:digest_a ~wall_ms:Float.nan;
+  Cost_model.observe m ~digest:digest_a ~wall_ms:Float.infinity;
+  Cost_model.observe m ~digest:digest_a ~wall_ms:(-1.0);
+  check (Alcotest.option (Alcotest.float 0.0)) "non-finite/negative walls ignored" None
+    (Cost_model.estimate m ~digest:digest_a);
+  Cost_model.observe m ~digest:digest_a ~wall_ms:5.0;
+  check (Alcotest.option (Alcotest.float 1e-12)) "valid wall still lands" (Some 5.0)
+    (Cost_model.estimate m ~digest:digest_a)
+
+let test_in_memory_save_noop () =
+  let m = Cost_model.in_memory ~version:"v1" in
+  Cost_model.observe m ~digest:digest_a ~wall_ms:1.0;
+  check Alcotest.string "no backing path" "" (Cost_model.path m);
+  Cost_model.save m (* must not raise or create a file named "" *)
+
+(* --- persistence ------------------------------------------------------- *)
+
+let test_roundtrip_exact () =
+  with_temp_file (fun path ->
+      let m = Cost_model.load ~path ~version:"v1" in
+      (* Awkward values on purpose: the hex-float encoding must
+         round-trip every bit, not just pretty decimals. *)
+      Cost_model.observe m ~digest:digest_a ~wall_ms:(1.0 /. 3.0);
+      Cost_model.observe m ~digest:digest_a ~wall_ms:0.1;
+      Cost_model.observe m ~digest:digest_b ~wall_ms:1234.5678;
+      Cost_model.save m;
+      let m' = Cost_model.load ~path ~version:"v1" in
+      check Alcotest.int "size survives" 2 (Cost_model.size m');
+      check (Alcotest.option (Alcotest.float 0.0)) "estimate bit-identical"
+        (Cost_model.estimate m ~digest:digest_a)
+        (Cost_model.estimate m' ~digest:digest_a);
+      check (Alcotest.option (Alcotest.float 0.0)) "second digest bit-identical"
+        (Cost_model.estimate m ~digest:digest_b)
+        (Cost_model.estimate m' ~digest:digest_b);
+      check Alcotest.int "observation counts survive" 2
+        (Cost_model.observations m' ~digest:digest_a))
+
+let test_missing_file_is_empty () =
+  let m = Cost_model.load ~path:(temp_path ()) ~version:"v1" in
+  check Alcotest.int "missing file loads empty" 0 (Cost_model.size m)
+
+let test_version_mismatch_is_empty () =
+  with_temp_file (fun path ->
+      let m = Cost_model.load ~path ~version:"v1" in
+      Cost_model.observe m ~digest:digest_a ~wall_ms:10.0;
+      Cost_model.save m;
+      let m' = Cost_model.load ~path ~version:"v2" in
+      check Alcotest.int "stale schema loads empty" 0 (Cost_model.size m');
+      let m'' = Cost_model.load ~path ~version:"v1" in
+      check Alcotest.int "matching schema still loads" 1 (Cost_model.size m''))
+
+let clobber path f =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let content = really_input_string ic n in
+  close_in ic;
+  let oc = open_out_bin path in
+  output_string oc (f content);
+  close_out oc
+
+let test_damage_is_empty () =
+  with_temp_file (fun path ->
+      let populate () =
+        let m = Cost_model.load ~path ~version:"v1" in
+        Cost_model.observe m ~digest:digest_a ~wall_ms:10.0;
+        Cost_model.observe m ~digest:digest_b ~wall_ms:20.0;
+        Cost_model.save m
+      in
+      let loads_empty label =
+        check Alcotest.int label 0 (Cost_model.size (Cost_model.load ~path ~version:"v1"))
+      in
+      populate ();
+      clobber path (fun s -> String.sub s 0 (String.length s - 5));
+      loads_empty "truncated file loads empty";
+      populate ();
+      clobber path (fun s ->
+          let b = Bytes.of_string s in
+          let i = Bytes.length b - 2 in
+          Bytes.set b i (if Bytes.get b i = '1' then '2' else '1');
+          Bytes.to_string b);
+      loads_empty "corrupted entry fails the checksum";
+      clobber path (fun _ -> "not a cost model at all\n");
+      loads_empty "foreign file loads empty";
+      clobber path (fun _ -> "");
+      loads_empty "empty file loads empty")
+
+let () =
+  Alcotest.run "dbm cost model"
+    [
+      ( "ewma",
+        [
+          Alcotest.test_case "empty model" `Quick test_empty_model;
+          Alcotest.test_case "smoothing math" `Quick test_ewma_math;
+          Alcotest.test_case "bad observations ignored" `Quick test_bad_observations_ignored;
+          Alcotest.test_case "in-memory save is a no-op" `Quick test_in_memory_save_noop;
+        ] );
+      ( "persistence",
+        [
+          Alcotest.test_case "exact roundtrip" `Quick test_roundtrip_exact;
+          Alcotest.test_case "missing file" `Quick test_missing_file_is_empty;
+          Alcotest.test_case "version mismatch" `Quick test_version_mismatch_is_empty;
+          Alcotest.test_case "damage loads empty" `Quick test_damage_is_empty;
+        ] );
+    ]

@@ -229,6 +229,38 @@ let test_mpl_one_serializes () =
     (r.Results.mean_completion_ms *. float_of_int r.Results.n_transactions
     <= r.Results.makespan_ms +. 1.0)
 
+(* --- arena recycling ---------------------------------------------------- *)
+
+(* Consecutive runs through one recycled domain arena must be
+   byte-identical (marshalled results) to runs on fresh state: the
+   recycled engine records, resource rings and lock/arrival scratch may
+   carry capacity from earlier runs, but never behaviour. *)
+let test_arena_recycling_byte_identical () =
+  let marshal (r : Results.t) = Marshal.to_string r [] in
+  (* A mixed sequence, so the second run inherits storage sized by a
+     differently-shaped first run. *)
+  let sequence () =
+    [ run_bare (); run_bare ~pattern:W.Sequential ~n:5 (); run_bare () ]
+  in
+  Dbm_sim.Arena.set_enabled false;
+  let fresh =
+    Fun.protect ~finally:(fun () -> Dbm_sim.Arena.set_enabled true) sequence
+  in
+  let recycled = sequence () in
+  let recycled_again = sequence () in
+  List.iteri
+    (fun i (f, r) ->
+      check Alcotest.string
+        (Printf.sprintf "arena run %d = fresh run %d" i i)
+        (marshal f) (marshal r))
+    (List.combine fresh recycled);
+  List.iteri
+    (fun i (f, r) ->
+      check Alcotest.string
+        (Printf.sprintf "second arena pass, run %d" i)
+        (marshal f) (marshal r))
+    (List.combine fresh recycled_again)
+
 (* --- metamorphic properties (tiny workloads, many configs) ------------- *)
 
 let tiny_workload seed =
@@ -325,6 +357,8 @@ let () =
           Alcotest.test_case "completions list" `Quick test_completions_list;
           Alcotest.test_case "hotspot reduces effective MPL" `Quick
             test_hotspot_reduces_effective_mpl;
+          Alcotest.test_case "arena recycling byte-identical" `Quick
+            test_arena_recycling_byte_identical;
         ] );
       ("metamorphic", metamorphic);
     ]

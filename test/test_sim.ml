@@ -151,6 +151,38 @@ let test_step () =
   check Alcotest.bool "step 2" true (Engine.step e);
   check Alcotest.bool "exhausted" false (Engine.step e)
 
+(* A fixed event script whose observable behaviour (tags and firing
+   times) must be identical on a fresh engine and on a reset one. *)
+let engine_script e =
+  let log = ref [] in
+  let note tag () = log := (tag, Engine.now e) :: !log in
+  ignore (Engine.schedule e ~delay:2.0 (note "b"));
+  let h = Engine.schedule e ~delay:5.0 (note "cancelled") in
+  ignore (Engine.schedule e ~delay:1.0 (note "a"));
+  ignore (Engine.schedule e ~delay:2.0 (note "b-tie"));
+  Engine.cancel e h;
+  Engine.run e;
+  List.rev !log
+
+let test_engine_reset () =
+  let e = Engine.create () in
+  (* Leave the engine mid-flight: a fired event, a pending one, a live
+     handle — reset must discard all of it. *)
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> ()));
+  let stale = Engine.schedule e ~delay:3.0 (fun () -> Alcotest.fail "survived reset") in
+  check Alcotest.bool "something fired" true (Engine.step e);
+  Engine.reset e;
+  check (Alcotest.float 0.0) "clock back to zero" 0.0 (Engine.now e);
+  check Alcotest.int "agenda empty" 0 (Engine.pending e);
+  check Alcotest.bool "nothing to run" false (Engine.step e);
+  let expected = engine_script (Engine.create ()) in
+  let pairs = Alcotest.list (Alcotest.pair Alcotest.string (Alcotest.float 0.0)) in
+  check pairs "reset engine replays the script exactly" expected (engine_script e);
+  (* The pre-reset handle must not touch whatever recycled its record. *)
+  Engine.cancel e stale;
+  Engine.reset e;
+  check pairs "second recycle still exact" expected (engine_script e)
+
 (* --- Resource -------------------------------------------------------- *)
 
 let test_resource_serializes () =
@@ -206,6 +238,43 @@ let test_resource_queue_length () =
   check Alcotest.int "one busy" 1 (Resource.busy_servers r);
   Engine.run e;
   check Alcotest.int "drained" 0 (Resource.queue_length r)
+
+let test_resource_reset () =
+  let e = Engine.create () in
+  let r = Resource.create e ~name:"cpu" ~servers:2 () in
+  let script servers =
+    let done_at = ref [] in
+    for _ = 1 to 2 * servers do
+      Resource.submit r ~service:10.0 (fun () -> done_at := Engine.now e :: !done_at)
+    done;
+    Engine.run e;
+    (List.rev !done_at, Resource.completed r, Resource.utilization r)
+  in
+  let first = script 2 in
+  (* the engine owning the resource must be reset first *)
+  Engine.reset e;
+  Resource.reset r ~name:"cpu" ~servers:2;
+  let second = script 2 in
+  let floats = Alcotest.list (Alcotest.float 1e-9) in
+  let check3 label (ts, n, u) (ts', n', u') =
+    check floats (label ^ ": completion times") ts ts';
+    check Alcotest.int (label ^ ": completed count") n n';
+    check (Alcotest.float 1e-9) (label ^ ": utilization") u u'
+  in
+  check3 "same servers" first second;
+  (* a different server count must rebuild the per-server state *)
+  Engine.reset e;
+  Resource.reset r ~name:"cpu" ~servers:1;
+  let serial, completed, _ = script 1 in
+  check floats "one server serializes after reset" [ 10.0; 20.0 ] serial;
+  check Alcotest.int "counters restart" 2 completed;
+  (* and back again *)
+  Engine.reset e;
+  Resource.reset r ~name:"cpu" ~servers:2;
+  check3 "restored server count" first (script 2);
+  match Resource.reset r ~name:"cpu" ~servers:0 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "servers=0 accepted"
 
 (* The ring-buffered, preallocated-finisher Resource must behave exactly
    like the textbook model: an FCFS queue in front of [servers] identical
@@ -353,6 +422,7 @@ let () =
           Alcotest.test_case "steady-state allocation bound" `Quick
             test_steady_state_allocation;
           Alcotest.test_case "step" `Quick test_step;
+          Alcotest.test_case "reset recycles deterministically" `Quick test_engine_reset;
         ] );
       ( "trace",
         [
@@ -367,6 +437,7 @@ let () =
           Alcotest.test_case "utilization" `Quick test_resource_utilization;
           Alcotest.test_case "fcfs order" `Quick test_resource_fcfs;
           Alcotest.test_case "queue length" `Quick test_resource_queue_length;
+          Alcotest.test_case "reset" `Quick test_resource_reset;
           QCheck_alcotest.to_alcotest prop_resource_matches_reference;
         ] );
     ]
