@@ -19,7 +19,13 @@
    against a warm one that replays it, asserting the two renders are
    byte-identical.
 
-   Part 4 runs Bechamel micro-benchmarks of the substrate primitives.
+   Part 4 measures the storage half (Storage_bench): per-engine
+   committed-txns/sec under the 2PL scheduler, the wakeup scheduler
+   against its pre-overhaul polling version head-to-head (with an
+   equivalence gate on the reports), recovery wall time vs log length,
+   and buffer-pool / journal microbenchmarks.
+
+   Part 5 runs Bechamel micro-benchmarks of the substrate primitives.
    [--fast] skips parts that exist for reporting (charts, ablations,
    Bechamel) and keeps the timed/validated parts — the CI smoke mode. *)
 
@@ -347,7 +353,33 @@ let run_cache () =
   }
 
 (* ------------------------------------------------------------------ *)
-(* Part 4: Bechamel micro-benchmarks                                   *)
+(* Part 4: storage-half throughput                                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_storage_bench () =
+  separator "Storage half (recovery engines, 2PL scheduler, substrate)";
+  let b = Dbm_storage.Storage_bench.run ~now:Unix.gettimeofday () in
+  let open Dbm_storage.Storage_bench in
+  Printf.printf "contended scheduler (%d scripts): polling %.2f ms -> wakeup %.2f ms (%.1fx, reports %s)\n"
+    b.sched_txns b.sched_naive_ms b.sched_opt_ms b.sched_speedup
+    (if b.sched_equivalent then "identical" else "DIVERGED");
+  Printf.printf "committed txns/sec (low | high contention):\n";
+  List.iter
+    (fun e ->
+      Printf.printf "  %-22s %10.0f | %10.0f  (%d restarts)\n" e.engine e.low_tps e.high_tps
+        e.high_restarts)
+    b.engines;
+  Printf.printf "recovery: %d records %.2f ms; %d records %.2f ms (ratio %.2f)\n"
+    b.recovery_records_l b.recovery_wall_l_ms b.recovery_records_2l b.recovery_wall_2l_ms
+    b.recovery_wall_ratio;
+  Printf.printf "buffer pool get: %.0f ns hit, %.0f ns miss\n" b.pool_hit_ns b.pool_miss_ns;
+  Printf.printf "journal: %.2fM appends/s, %.2fM appends/s with sync every 64\n"
+    (b.journal_append_per_sec /. 1e6)
+    (b.journal_append_sync_per_sec /. 1e6);
+  b
+
+(* ------------------------------------------------------------------ *)
+(* Part 5: Bechamel micro-benchmarks                                   *)
 (* ------------------------------------------------------------------ *)
 
 open Bechamel
@@ -566,7 +598,7 @@ let run_benchmarks () =
   (lookup_ns, lookup_minor)
 
 (* ------------------------------------------------------------------ *)
-(* BENCH_4.json: the perf trajectory record for later PRs              *)
+(* BENCH_5.json: the perf trajectory record for later PRs              *)
 (* ------------------------------------------------------------------ *)
 
 let json_escape s =
@@ -581,15 +613,51 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+let storage_json (b : Dbm_storage.Storage_bench.t) =
+  let open Dbm_storage.Storage_bench in
+  let engines =
+    List.map
+      (fun e ->
+        Printf.sprintf
+          "      {\"engine\": \"%s\", \"low_tps\": %.0f, \"low_restarts\": %d, \"high_tps\": \
+           %.0f, \"high_restarts\": %d}"
+          (json_escape e.engine) e.low_tps e.low_restarts e.high_tps e.high_restarts)
+      b.engines
+  in
+  String.concat ""
+    [
+      "  \"storage\": {\n";
+      Printf.sprintf "    \"scale\": %d,\n" b.scale;
+      Printf.sprintf "    \"sched_contended_scripts\": %d,\n" b.sched_txns;
+      Printf.sprintf "    \"sched_naive_wall_ms\": %.4f,\n" b.sched_naive_ms;
+      Printf.sprintf "    \"sched_opt_wall_ms\": %.4f,\n" b.sched_opt_ms;
+      Printf.sprintf "    \"sched_speedup\": %.2f,\n" b.sched_speedup;
+      Printf.sprintf "    \"sched_reports_equivalent\": %b,\n" b.sched_equivalent;
+      "    \"engines\": [\n";
+      String.concat ",\n" engines;
+      "\n    ],\n";
+      Printf.sprintf "    \"recovery_txns_l\": %d,\n" b.recovery_txns_l;
+      Printf.sprintf "    \"recovery_records_l\": %d,\n" b.recovery_records_l;
+      Printf.sprintf "    \"recovery_wall_l_ms\": %.4f,\n" b.recovery_wall_l_ms;
+      Printf.sprintf "    \"recovery_records_2l\": %d,\n" b.recovery_records_2l;
+      Printf.sprintf "    \"recovery_wall_2l_ms\": %.4f,\n" b.recovery_wall_2l_ms;
+      Printf.sprintf "    \"recovery_wall_ratio\": %.4f,\n" b.recovery_wall_ratio;
+      Printf.sprintf "    \"pool_hit_ns\": %.1f,\n" b.pool_hit_ns;
+      Printf.sprintf "    \"pool_miss_ns\": %.1f,\n" b.pool_miss_ns;
+      Printf.sprintf "    \"journal_append_per_sec\": %.0f,\n" b.journal_append_per_sec;
+      Printf.sprintf "    \"journal_append_sync_per_sec\": %.0f\n" b.journal_append_sync_per_sec;
+      "  },\n";
+    ]
+
 let write_bench_json path (tr : table_report) (core : event_core) (cr : cache_report)
-    (ar : arena_report) (lookup_ns, lookup_minor) total_s =
+    (ar : arena_report) (sb : Dbm_storage.Storage_bench.t) (lookup_ns, lookup_minor) total_s =
   let buf = Buffer.create 1024 in
   let field_opt name = function
     | None -> Printf.sprintf "  \"%s\": null" name
     | Some v -> Printf.sprintf "  \"%s\": %.1f" name v
   in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"bench\": 4,\n";
+  Buffer.add_string buf "  \"bench\": 5,\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"host_cores\": %d,\n" (Dbm_util.Pool.default_jobs ()));
   Buffer.add_string buf (Printf.sprintf "  \"jobs_requested\": %d,\n" tr.jobs_requested);
@@ -671,6 +739,7 @@ let write_bench_json path (tr : table_report) (core : event_core) (cr : cache_re
   in
   Buffer.add_string buf (String.concat ",\n" rows);
   Buffer.add_string buf "\n  ],\n";
+  Buffer.add_string buf (storage_json sb);
   Buffer.add_string buf (field_opt "page_lookup_ns_per_run" lookup_ns);
   Buffer.add_string buf ",\n";
   Buffer.add_string buf (field_opt "page_lookup_minor_words_per_run" lookup_minor);
@@ -684,7 +753,7 @@ let write_bench_json path (tr : table_report) (core : event_core) (cr : cache_re
 
 let () =
   let jobs = ref (max 2 (Dbm_util.Pool.default_jobs ())) in
-  let json_path = ref "BENCH_4.json" in
+  let json_path = ref "BENCH_5.json" in
   let fast = ref false in
   let allow_oversubscribe = ref false in
   Arg.parse
@@ -715,6 +784,8 @@ let () =
   let core = run_event_core () in
   let arena_report = run_arena_alloc () in
   let cache_report = run_cache () in
+  (* The storage half runs even under --fast: CI asserts on its metrics. *)
+  let storage_report = run_storage_bench () in
   let lookup_estimates =
     if !fast then (None, None)
     else begin
@@ -725,8 +796,8 @@ let () =
   in
   let total_s = Unix.gettimeofday () -. t0 in
   Printf.printf "\ntotal wall time: %.1f s\n" total_s;
-  write_bench_json !json_path table_report core cache_report arena_report lookup_estimates
-    total_s;
+  write_bench_json !json_path table_report core cache_report arena_report storage_report
+    lookup_estimates total_s;
   (* A parallel run that does not reproduce the serial bytes is a
      correctness failure, not a perf datum.  Same for a warm cache
      replay that renders different bytes than the cold computation. *)
@@ -736,5 +807,9 @@ let () =
   end;
   if not cache_report.cache_byte_identical then begin
     prerr_endline "FAIL: warm-cache table output differs from cold output";
+    exit 1
+  end;
+  if not storage_report.Dbm_storage.Storage_bench.sched_equivalent then begin
+    prerr_endline "FAIL: wakeup scheduler report diverged from the polling reference";
     exit 1
   end

@@ -433,6 +433,54 @@ let recovery_time_cmd =
           extension experiment beyond the paper).")
     Term.(const run $ const ())
 
+(* -- storage-bench command ------------------------------------------ *)
+
+(* The storage-half throughput suite (Storage_bench): per-engine
+   committed-txns/sec under the 2PL scheduler, the polling-vs-wakeup
+   scheduler head-to-head, recovery wall vs log length, and buffer-pool
+   / journal microbenchmarks.  bench/main folds the same numbers into
+   BENCH_5.json; this command prints them interactively. *)
+let storage_bench_cmd =
+  let open Cmdliner in
+  let scale_arg =
+    Arg.(
+      value & opt positive_int 1
+      & info [ "scale" ] ~docv:"N" ~doc:"Workload multiplier (1 = the CI smoke size).")
+  in
+  let run scale =
+    let b = Dbm_storage.Storage_bench.run ~scale ~now:Unix.gettimeofday () in
+    let open Dbm_storage.Storage_bench in
+    Printf.printf "Contended scheduler (%d scripts, hot page behind private locks):\n" b.sched_txns;
+    Printf.printf "  polling (pre-overhaul)  %8.2f ms\n" b.sched_naive_ms;
+    Printf.printf "  wakeup parking          %8.2f ms   (%.1fx, reports %s)\n\n" b.sched_opt_ms
+      b.sched_speedup
+      (if b.sched_equivalent then "identical" else "DIVERGED");
+    Printf.printf "Committed txns/sec under 2PL (low contention | high contention + restarts):\n";
+    List.iter
+      (fun e ->
+        Printf.printf "  %-22s %12.0f | %12.0f  (%d restarts)\n" e.engine e.low_tps e.high_tps
+          e.high_restarts)
+      b.engines;
+    Printf.printf "\nLogging-engine restart recovery vs durable log length:\n";
+    Printf.printf "  %6d txns  %7d records  %8.2f ms\n" b.recovery_txns_l b.recovery_records_l
+      b.recovery_wall_l_ms;
+    Printf.printf "  %6d txns  %7d records  %8.2f ms   (ratio %.2f, linear ~2)\n\n"
+      (2 * b.recovery_txns_l) b.recovery_records_2l b.recovery_wall_2l_ms b.recovery_wall_ratio;
+    Printf.printf "Buffer pool get: %.0f ns hit, %.0f ns miss\n" b.pool_hit_ns b.pool_miss_ns;
+    Printf.printf "Journal: %.2fM appends/sec, %.2fM appends/sec with sync every 64\n"
+      (b.journal_append_per_sec /. 1e6)
+      (b.journal_append_sync_per_sec /. 1e6);
+    if not b.sched_equivalent then exit 1
+  in
+  Cmd.v
+    (Cmd.info "storage-bench"
+       ~doc:
+         "Benchmark the storage half: per-engine transaction throughput under the 2PL \
+          scheduler, scheduler and lock-manager hot paths against their pre-overhaul \
+          versions, recovery wall time vs log length, buffer-pool and journal \
+          microbenchmarks.")
+    Term.(const run $ scale_arg)
+
 (* -- version-select command ---------------------------------------- *)
 
 let version_select_cmd =
@@ -456,4 +504,4 @@ let () =
   let info = Cmd.info "dbmsim" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
        [ table_cmd; run_cmd; workload_cmd; ablation_cmd; extension_cmd; export_cmd;
-         validate_cmd; recovery_time_cmd; version_select_cmd ]))
+         validate_cmd; recovery_time_cmd; storage_bench_cmd; version_select_cmd ]))

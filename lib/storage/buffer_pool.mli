@@ -35,6 +35,10 @@ val frames : t -> int
 val in_use : t -> int
 
 val pinned : t -> int
+(** Frames with at least one pin — a maintained counter, O(1). *)
+
+val dirty_frames : t -> int
+(** Resident frames whose contents differ from disk — maintained, O(1). *)
 
 val get : t -> int -> bytes
 (** [get t page] returns the frame's contents (fetching from disk on a

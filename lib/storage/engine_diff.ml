@@ -119,19 +119,19 @@ let get h k =
     | Some (s, _) when s >= stamp -> ()
     | _ -> best := Some (stamp, outcome)
   in
-  List.iter
+  Journal.iter_live
     (fun r ->
       let stamp, txn, key, value = decode_a r in
       if key = k && visible txn then consider stamp (Some value))
-    (Journal.read_live t.a_file);
-  List.iter
+    t.a_file;
+  Journal.iter_live
     (fun r ->
       let stamp, txn, key = decode_d r in
       if key = k && visible txn then consider stamp None)
-    (Journal.read_live t.d_file);
+    t.d_file;
   match !best with
   | Some (_, outcome) -> outcome
-  | None -> Page.lookup (Vdisk.read t.base (page_of t k)) ~key:k
+  | None -> Page.lookup (Vdisk.read_ro t.base (page_of t k)) ~key:k
 
 let put h k v =
   check h;
@@ -205,28 +205,30 @@ let crash_and_recover t =
    uncommitted record is lost by the truncation. *)
 let checkpoint t =
   if t.live > 0 then failwith "Engine_diff.checkpoint: merge requires no live transactions";
-  let resolve_key k =
-    let best = ref None in
-    let consider stamp outcome =
-      match !best with Some (s, _) when s >= stamp -> () | _ -> best := Some (stamp, outcome)
-    in
-    List.iter
-      (fun r ->
-        let stamp, txn, key, value = decode_a r in
-        if key = k && Hashtbl.mem t.committed txn then consider stamp (Some value))
-      (Journal.read_all t.a_file);
-    List.iter
-      (fun r ->
-        let stamp, txn, key = decode_d r in
-        if key = k && Hashtbl.mem t.committed txn then consider stamp None)
-      (Journal.read_all t.d_file);
-    !best
+  (* One pass over each file builds key -> newest committed outcome;
+     stamps are unique and monotonically issued, so newest-wins per key
+     is order-independent and matches the old per-key re-scan exactly. *)
+  let winners : (int, int * string option) Hashtbl.t = Hashtbl.create 64 in
+  let consider key stamp outcome =
+    match Hashtbl.find_opt winners key with
+    | Some (s, _) when s >= stamp -> ()
+    | _ -> Hashtbl.replace winners key (stamp, outcome)
   in
+  Journal.iter_all
+    (fun r ->
+      let stamp, txn, key, value = decode_a r in
+      if Hashtbl.mem t.committed txn then consider key stamp (Some value))
+    t.a_file;
+  Journal.iter_all
+    (fun r ->
+      let stamp, txn, key = decode_d r in
+      if Hashtbl.mem t.committed txn then consider key stamp None)
+    t.d_file;
   for p = 0 to t.n_pages - 1 do
     let page = Vdisk.read t.base p in
     let changed = ref false in
     for k = p * t.keys_per_page to min ((p + 1) * t.keys_per_page) t.n_keys - 1 do
-      match resolve_key k with
+      match Hashtbl.find_opt winners k with
       | None -> ()
       | Some (_, outcome) ->
         Page.update page ~key:k ~value:outcome;
@@ -246,16 +248,13 @@ let () =
     fun t ->
       match t.auto_merge_records with
       | Some threshold
-        when t.live = 0
-             && List.length (Journal.read_all t.a_file)
-                + List.length (Journal.read_all t.d_file)
-                >= threshold ->
+        when t.live = 0 && Journal.length t.a_file + Journal.length t.d_file >= threshold ->
         checkpoint t
       | Some _ | None -> ()
 
-let a_size t = List.length (Journal.read_all t.a_file)
+let a_size t = Journal.length t.a_file
 
-let d_size t = List.length (Journal.read_all t.d_file)
+let d_size t = Journal.length t.d_file
 
 let merges t = t.merge_count
 

@@ -2,6 +2,52 @@ type selection = Cyclic | By_txn | By_page
 
 type recovery_strategy = Sorted | Unmerged
 
+(* Growable parallel arrays of (journal seq, lsn, txn) triples — the
+   per-log-disk record index.  Appending is amortized O(1) where the old
+   [list ref] representation re-built the whole list per append. *)
+module Idx = struct
+  type t = {
+    mutable seqs : int array;
+    mutable lsns : int array;
+    mutable txns : int array;
+    mutable len : int;
+  }
+
+  let create () = { seqs = Array.make 16 0; lsns = Array.make 16 0; txns = Array.make 16 0; len = 0 }
+
+  let clear t = t.len <- 0
+
+  let push t ~seq ~lsn ~txn =
+    if t.len = Array.length t.seqs then begin
+      let grow a = Array.append a (Array.make (Array.length a) 0) in
+      t.seqs <- grow t.seqs;
+      t.lsns <- grow t.lsns;
+      t.txns <- grow t.txns
+    end;
+    t.seqs.(t.len) <- seq;
+    t.lsns.(t.len) <- lsn;
+    t.txns.(t.len) <- txn;
+    t.len <- t.len + 1
+
+  let iter f t =
+    for i = 0 to t.len - 1 do
+      f ~seq:t.seqs.(i) ~lsn:t.lsns.(i) ~txn:t.txns.(i)
+    done
+
+  (* Keep only entries with [seq >= keep_from]; entries are in ascending
+     seq order, so this drops a prefix in place. *)
+  let drop_before t ~keep_from =
+    let src = ref 0 in
+    while !src < t.len && t.seqs.(!src) < keep_from do incr src done;
+    let drop = !src in
+    if drop > 0 then begin
+      Array.blit t.seqs drop t.seqs 0 (t.len - drop);
+      Array.blit t.lsns drop t.lsns 0 (t.len - drop);
+      Array.blit t.txns drop t.txns 0 (t.len - drop);
+      t.len <- t.len - drop
+    end
+end
+
 type store = {
   n_keys : int;
   keys_per_page : int;
@@ -11,7 +57,7 @@ type store = {
   (* Per log disk: (journal sequence number, lsn, txn) of each retained
      record, oldest first — the index checkpointing needs to know how
      far each log may be truncated. *)
-  indexes : (int * int * int) list ref array;
+  indexes : Idx.t array;
   selection : selection;
   mutable next_lsn : int;
   mutable next_txn : int;
@@ -52,7 +98,7 @@ let create_with ?(n_keys = default_keys) ?(n_log_disks = 2) ?(selection = Cyclic
     page_size;
     data = Vdisk.create ~pages:n_pages ~page_size ();
     logs = Array.init n_log_disks (fun _ -> Journal.create ());
-    indexes = Array.init n_log_disks (fun _ -> ref []);
+    indexes = Array.init n_log_disks (fun _ -> Idx.create ());
     selection;
     next_lsn = 1;
     next_txn = 1;
@@ -97,7 +143,7 @@ let append_log t ~disk record =
   t.records_logged <- t.records_logged + 1;
   t.records_since_checkpoint <- t.records_since_checkpoint + 1;
   (match Wal.txn_of record with
-  | Some txn -> t.indexes.(disk) := !(t.indexes.(disk)) @ [ (seq, Wal.lsn record, txn) ]
+  | Some txn -> Idx.push t.indexes.(disk) ~seq ~lsn:(Wal.lsn record) ~txn
   | None -> ());
   seq
 
@@ -122,7 +168,8 @@ let check txn = if txn.finished || txn.born <> txn.st.epoch then raise Kv.Txn_fi
 let get txn k =
   check txn;
   check_key txn.st k;
-  Page.lookup (Vdisk.read txn.st.data (page_of txn.st k)) ~key:k
+  (* Borrowed page view: Page.lookup only reads, so skip the 1 KB copy. *)
+  Page.lookup (Vdisk.read_ro txn.st.data (page_of txn.st k)) ~key:k
 
 (* In-place update with write-ahead logging: append the before/after
    images to a log disk, then update the data page (volatile). *)
@@ -219,14 +266,17 @@ let all_durable_records t =
 let rebuild_indexes t =
   Array.iteri
     (fun d j ->
-      let base = Journal.synced j - List.length (Journal.read_all j) in
-      t.indexes.(d) <-
-        ref
-          (List.mapi
-             (fun i r ->
-               let rec_ = Wal.decode r in
-               (base + i, Wal.lsn rec_, Option.value (Wal.txn_of rec_) ~default:(-1)))
-             (Journal.read_all j)))
+      let idx = t.indexes.(d) in
+      Idx.clear idx;
+      let seq = ref (Journal.synced j - Journal.length j) in
+      Journal.iter_all
+        (fun r ->
+          let rec_ = Wal.decode r in
+          (match Wal.txn_of rec_ with
+          | Some txn -> Idx.push idx ~seq:!seq ~lsn:(Wal.lsn rec_) ~txn
+          | None -> ());
+          incr seq)
+        j)
     t.logs
 
 (* Textbook recovery: gather the distributed records, order them per
@@ -281,8 +331,8 @@ let recover_unmerged t logs committed =
         (fun r ->
           match r with
           | Wal.Update { lsn; txn; page; after; _ } when Hashtbl.mem committed txn ->
-            let current = Vdisk.read t.data page in
-            if lsn > Page.get_lsn current then Vdisk.write t.data page after
+            if lsn > Page.get_lsn (Vdisk.read_ro t.data page) then
+              Vdisk.write t.data page after
           | _ -> ())
         records)
     decoded;
@@ -297,8 +347,7 @@ let recover_unmerged t logs committed =
             match r with
             | Wal.Update { lsn; txn; page; before; _ }
               when not (Hashtbl.mem committed txn) ->
-              let current = Vdisk.read t.data page in
-              if Page.get_lsn current = lsn then begin
+              if Page.get_lsn (Vdisk.read_ro t.data page) = lsn then begin
                 Vdisk.write t.data page before;
                 progress := true
               end
@@ -345,21 +394,16 @@ let checkpoint t =
   Journal.sync t.logs.(disk);
   Array.iteri
     (fun d j ->
-      let needed =
-        List.filter_map
-          (fun (seq, _, txn) -> if List.mem txn active then Some seq else None)
-          !(t.indexes.(d))
-      in
-      let keep_from =
-        match needed with
-        | [] -> Journal.synced j
-        | seqs -> List.fold_left min max_int seqs
-      in
+      let keep_from = ref (Journal.synced j) in
+      Idx.iter
+        (fun ~seq ~lsn:_ ~txn ->
+          if List.mem txn active && seq < !keep_from then keep_from := seq)
+        t.indexes.(d);
       (* Never truncate the checkpoint record we just wrote on disk 0:
          it documents the active set for auditing. *)
-      let keep_from = if d = 0 then min keep_from (Journal.synced j - 1) else keep_from in
+      let keep_from = if d = 0 then min !keep_from (Journal.synced j - 1) else !keep_from in
       Journal.truncate j ~keep_from;
-      t.indexes.(d) := List.filter (fun (seq, _, _) -> seq >= keep_from) !(t.indexes.(d)))
+      Idx.drop_before t.indexes.(d) ~keep_from)
     t.logs;
   t.records_since_checkpoint <- 0;
   t.checkpoints <- t.checkpoints + 1
@@ -386,6 +430,6 @@ let stats t =
     ("live_txns", Hashtbl.length t.active);
     ("recoveries", t.recoveries);
     ("checkpoints", t.checkpoints);
-    ("durable_records", Array.fold_left (fun acc j -> acc + List.length (Journal.read_all j)) 0 t.logs);
+    ("durable_records", Array.fold_left (fun acc j -> acc + Journal.length j) 0 t.logs);
     ("log_syncs", Array.fold_left (fun acc j -> acc + Journal.sync_count j) 0 t.logs);
   ]

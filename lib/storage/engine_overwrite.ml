@@ -143,7 +143,8 @@ let recover t =
       if not (Hashtbl.mem resolved id) then begin
         let is_committed = Hashtbl.mem committed id in
         let copy_scratch_to_home (page, slot) =
-          Vdisk.write t.disk page (Vdisk.read t.disk (scratch_addr t slot))
+          (* Vdisk.write copies its input, so the borrowed read is safe. *)
+          Vdisk.write t.disk page (Vdisk.read_ro t.disk (scratch_addr t slot))
         in
         (match t.variant, is_committed with
         | No_undo_v, true ->
@@ -197,8 +198,8 @@ module No_undo = struct
     let p = page_of t k in
     let image =
       match staged_slot t h.id p with
-      | Some slot -> Vdisk.read t.disk (scratch_addr t slot)
-      | None -> Vdisk.read t.disk p
+      | Some slot -> Vdisk.read_ro t.disk (scratch_addr t slot)
+      | None -> Vdisk.read_ro t.disk p
     in
     Page.lookup image ~key:k
 
@@ -235,7 +236,7 @@ module No_undo = struct
     (match Hashtbl.find_opt t.staged h.id with
     | Some l ->
       List.iter
-        (fun (p, slot) -> Vdisk.write t.disk p (Vdisk.read t.disk (scratch_addr t slot)))
+        (fun (p, slot) -> Vdisk.write t.disk p (Vdisk.read_ro t.disk (scratch_addr t slot)))
         !l;
       t.installs <- t.installs + List.length !l;
       Vdisk.sync t.disk
@@ -290,7 +291,7 @@ module No_redo = struct
   let get h k =
     check h;
     check_key h.st k;
-    Page.lookup (Vdisk.read h.st.disk (page_of h.st k)) ~key:k
+    Page.lookup (Vdisk.read_ro h.st.disk (page_of h.st k)) ~key:k
 
   let update_key h k value =
     check h;
@@ -304,7 +305,7 @@ module No_redo = struct
          intention, BEFORE the home location may be overwritten. *)
       let slot = alloc_slot t in
       stage t h.id p slot;
-      Vdisk.write t.disk (scratch_addr t slot) (Vdisk.read t.disk p);
+      Vdisk.write t.disk (scratch_addr t slot) (Vdisk.read_ro t.disk p);
       Vdisk.sync t.disk;
       ignore (Journal.append t.meta (intent_record ~txn:h.id ~page:p ~slot));
       Journal.sync t.meta);
@@ -333,7 +334,7 @@ module No_redo = struct
     (match Hashtbl.find_opt t.staged h.id with
     | Some l ->
       List.iter
-        (fun (p, slot) -> Vdisk.write t.disk p (Vdisk.read t.disk (scratch_addr t slot)))
+        (fun (p, slot) -> Vdisk.write t.disk p (Vdisk.read_ro t.disk (scratch_addr t slot)))
         !l;
       Vdisk.sync t.disk
     | None -> ());

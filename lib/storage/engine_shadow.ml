@@ -57,10 +57,17 @@ let write_table_area t area table =
 
 let read_table_area t area =
   let epp = entries_per_page t.page_size in
+  (* One borrowed page read per table page, not one full-page copy per
+     logical entry. *)
+  let cur_tp = ref (-1) in
+  let cur = ref Bytes.empty in
   Array.init t.n_logical (fun logical ->
       let tp = logical / epp and i = logical mod epp in
-      let b = Vdisk.read t.disk (table_area_base t area + tp) in
-      Int64.to_int (Bytes.get_int64_le b (8 * i)))
+      if tp <> !cur_tp then begin
+        cur := Vdisk.read_ro t.disk (table_area_base t area + tp);
+        cur_tp := tp
+      end;
+      Int64.to_int (Bytes.get_int64_le !cur (8 * i)))
 
 (* --- construction -------------------------------------------------- *)
 
@@ -142,17 +149,17 @@ let begin_txn t =
 
 let check txn = if txn.finished || txn.born <> txn.st.epoch then raise Kv.Txn_finished
 
-let current_image txn p =
-  let t = txn.st in
-  let ordinal =
-    match Hashtbl.find_opt txn.delta p with Some b -> b | None -> t.table.(p)
-  in
-  Vdisk.read t.disk (block_addr t ordinal)
+let current_ordinal txn p =
+  match Hashtbl.find_opt txn.delta p with Some b -> b | None -> txn.st.table.(p)
+
+let current_image txn p = Vdisk.read txn.st.disk (block_addr txn.st (current_ordinal txn p))
 
 let get txn k =
   check txn;
   check_key txn.st k;
-  Page.lookup (current_image txn (page_of txn.st k)) ~key:k
+  (* Borrowed view: Page.lookup only reads the block. *)
+  let p = page_of txn.st k in
+  Page.lookup (Vdisk.read_ro txn.st.disk (block_addr txn.st (current_ordinal txn p))) ~key:k
 
 let update_key txn k value =
   check txn;

@@ -76,8 +76,11 @@ let check txn = if txn.finished || txn.born <> txn.st.epoch then raise Kv.Txn_fi
 (* The version-selection algorithm: read BOTH slots, keep those whose
    writer is durable-committed (writer 0 is the initial empty state) or
    is the asking transaction, select the highest version. *)
+(* Slots are borrowed views of the disk buffers: callers copy the
+   payload (slot_payload is a Bytes.sub) before mutating, and never hold
+   a slot across a write/sync of the same disk. *)
 let select t ~own p =
-  let s0 = Vdisk.read t.disk (2 * p) and s1 = Vdisk.read t.disk ((2 * p) + 1) in
+  let s0 = Vdisk.read_ro t.disk (2 * p) and s1 = Vdisk.read_ro t.disk ((2 * p) + 1) in
   let valid s =
     let w = slot_writer s in
     w = 0 || Hashtbl.mem t.committed w || w = own
@@ -102,8 +105,12 @@ let update_key txn k value =
   let current_idx, current, _ = select t ~own:txn.id p in
   let payload = slot_payload current in
   Page.update payload ~key:k ~value;
-  let s0 = Vdisk.read t.disk (2 * p) and s1 = Vdisk.read t.disk ((2 * p) + 1) in
-  let next_version = 1 + max (slot_version s0) (slot_version s1) in
+  let next_version =
+    1
+    + max
+        (slot_version (Vdisk.read_ro t.disk (2 * p)))
+        (slot_version (Vdisk.read_ro t.disk ((2 * p) + 1)))
+  in
   (* Overwrite our own earlier uncommitted version in place; otherwise
      take the slot not holding the current committed copy. *)
   let target =
@@ -142,7 +149,7 @@ let recover t =
      crashed transaction's garbage slot look live.  Scan every slot. *)
   let max_tag = ref 0 in
   for s = 0 to (2 * t.n_logical) - 1 do
-    max_tag := max !max_tag (slot_writer (Vdisk.read t.disk s))
+    max_tag := max !max_tag (slot_writer (Vdisk.read_ro t.disk s))
   done;
   Hashtbl.iter (fun id () -> max_tag := max !max_tag id) t.committed;
   t.next_txn <- !max_tag + 1;

@@ -32,6 +32,16 @@ val read_live : t -> string list
 (** Durable records followed by the still-buffered tail: the view an
     up-and-running reader has (a crash loses the tail). *)
 
+val length : t -> int
+(** Number of durable records currently retained (what
+    [List.length (read_all t)] would count) without materializing them. *)
+
+val iter_all : (string -> unit) -> t -> unit
+(** Iterate the retained durable records in append order, no list. *)
+
+val iter_live : (string -> unit) -> t -> unit
+(** Iterate durable records then the buffered tail, no list. *)
+
 val appended : t -> int
 (** Records appended so far (including unsynced ones). *)
 

@@ -7,9 +7,21 @@ type entry = {
   mutable waiters : (int * mode) list;  (* FIFO: oldest first *)
 }
 
-type t = { pages : (int, entry) Hashtbl.t }
+(* Per-transaction page sets, maintained alongside every holders/waiters
+   mutation.  [held] and [waits] let release_all, waiting and the
+   waits-for traversal touch only the pages a transaction is actually
+   involved with instead of folding the whole lock table. *)
+type txn_info = {
+  held : (int, unit) Hashtbl.t;
+  waits : (int, unit) Hashtbl.t;
+}
 
-let create () = { pages = Hashtbl.create 64 }
+type t = {
+  pages : (int, entry) Hashtbl.t;
+  txns : (int, txn_info) Hashtbl.t;
+}
+
+let create () = { pages = Hashtbl.create 64; txns = Hashtbl.create 16 }
 
 let entry t page =
   match Hashtbl.find_opt t.pages page with
@@ -18,6 +30,20 @@ let entry t page =
     let e = { holders = []; waiters = [] } in
     Hashtbl.replace t.pages page e;
     e
+
+let info t txn =
+  match Hashtbl.find_opt t.txns txn with
+  | Some i -> i
+  | None ->
+    let i = { held = Hashtbl.create 8; waits = Hashtbl.create 4 } in
+    Hashtbl.replace t.txns txn i;
+    i
+
+let prune_info t txn =
+  match Hashtbl.find_opt t.txns txn with
+  | Some i when Hashtbl.length i.held = 0 && Hashtbl.length i.waits = 0 ->
+    Hashtbl.remove t.txns txn
+  | _ -> ()
 
 let compatible held requested =
   match held, requested with
@@ -45,23 +71,30 @@ let waiters_ahead e ~txn ~mode =
 
 (* Waits-for edges implied by the recorded waiters: a waiter waits for
    every incompatible holder of its page and for every incompatible
-   waiter queued ahead of it (FIFO fairness). *)
+   waiter queued ahead of it (FIFO fairness).  Only the pages in the
+   transaction's own waits set can contribute edges. *)
 let blockers t txn =
-  Hashtbl.fold
-    (fun _page e acc ->
-      List.fold_left
-        (fun acc (w, mode) ->
-          if w = txn then
-            let from_holders =
-              List.fold_left
-                (fun acc (o, held) ->
-                  if o <> txn && not (compatible held mode) then o :: acc else acc)
-                acc e.holders
-            in
-            List.rev_append (waiters_ahead e ~txn ~mode) from_holders
-          else acc)
-        acc e.waiters)
-    t.pages []
+  match Hashtbl.find_opt t.txns txn with
+  | None -> []
+  | Some i ->
+    Hashtbl.fold
+      (fun page () acc ->
+        match Hashtbl.find_opt t.pages page with
+        | None -> acc
+        | Some e ->
+          List.fold_left
+            (fun acc (w, mode) ->
+              if w = txn then
+                let from_holders =
+                  List.fold_left
+                    (fun acc (o, held) ->
+                      if o <> txn && not (compatible held mode) then o :: acc else acc)
+                    acc e.holders
+                in
+                List.rev_append (waiters_ahead e ~txn ~mode) from_holders
+              else acc)
+            acc e.waiters)
+      i.waits []
 
 (* Would adding edge [txn -> targets] close a cycle?  DFS over the
    waits-for graph from each target looking for [txn]. *)
@@ -82,33 +115,40 @@ let find_cycle t ~txn ~targets =
     (fun acc target -> match acc with Some _ -> acc | None -> dfs [] target)
     None targets
 
-let record_waiter e ~txn ~mode =
-  if not (List.exists (fun (w, m) -> w = txn && m = mode) e.waiters) then
-    e.waiters <- e.waiters @ [ (txn, mode) ]
+(* Returns whether the waiter was newly queued: a fresh queue entry means
+   fresh waits-for edges, which is what a parking scheduler must audit
+   for deadlocks (see {!acquire_wait_info}). *)
+let record_waiter t e ~page ~txn ~mode =
+  let fresh = not (List.exists (fun (w, m) -> w = txn && m = mode) e.waiters) in
+  if fresh then e.waiters <- e.waiters @ [ (txn, mode) ];
+  Hashtbl.replace (info t txn).waits page ();
+  fresh
 
-let remove_waiter e ~txn = e.waiters <- List.filter (fun (w, _) -> w <> txn) e.waiters
+let remove_waiter t e ~page ~txn =
+  e.waiters <- List.filter (fun (w, _) -> w <> txn) e.waiters;
+  match Hashtbl.find_opt t.txns txn with
+  | Some i -> Hashtbl.remove i.waits page
+  | None -> ()
 
-let acquire t ~txn ~page ~mode =
+let acquire_wait_info t ~txn ~page ~mode =
   let e = entry t page in
   match List.assoc_opt txn e.holders with
   | Some held when held = X || mode = S ->
     (* Already held in a sufficient mode. *)
-    remove_waiter e ~txn;
-    Granted
+    remove_waiter t e ~page ~txn;
+    (Granted, false)
   | Some _ ->
     (* Upgrade S -> X: allowed when we are the only holder. *)
     if List.for_all (fun (o, _) -> o = txn) e.holders then begin
       e.holders <- [ (txn, X) ];
-      remove_waiter e ~txn;
-      Granted
+      remove_waiter t e ~page ~txn;
+      (Granted, false)
     end
     else begin
       let others = List.filter_map (fun (o, _) -> if o <> txn then Some o else None) e.holders in
       match find_cycle t ~txn ~targets:others with
-      | Some cycle -> Deadlock (txn :: cycle)
-      | None ->
-        record_waiter e ~txn ~mode;
-        Would_block
+      | Some cycle -> (Deadlock (txn :: cycle), false)
+      | None -> (Would_block, record_waiter t e ~page ~txn ~mode)
     end
   | None ->
     let conflicting = conflicts_with t ~txn ~page ~mode in
@@ -117,31 +157,49 @@ let acquire t ~txn ~page ~mode =
     let blocking_waiters = waiters_ahead e ~txn ~mode in
     if conflicting = [] && blocking_waiters = [] then begin
       e.holders <- (txn, mode) :: e.holders;
-      remove_waiter e ~txn;
-      Granted
+      remove_waiter t e ~page ~txn;
+      Hashtbl.replace (info t txn).held page ();
+      (Granted, false)
     end
     else begin
       match find_cycle t ~txn ~targets:(conflicting @ blocking_waiters) with
-      | Some cycle -> Deadlock (txn :: cycle)
-      | None ->
-        record_waiter e ~txn ~mode;
-        Would_block
+      | Some cycle -> (Deadlock (txn :: cycle), false)
+      | None -> (Would_block, record_waiter t e ~page ~txn ~mode)
     end
+
+let acquire t ~txn ~page ~mode = fst (acquire_wait_info t ~txn ~page ~mode)
 
 let withdraw t ~txn ~page =
   match Hashtbl.find_opt t.pages page with
   | None -> ()
-  | Some e -> remove_waiter e ~txn
+  | Some e ->
+    remove_waiter t e ~page ~txn;
+    prune_info t txn
 
-let release_all t ~txn =
-  let empty_pages = ref [] in
-  Hashtbl.iter
-    (fun page e ->
-      e.holders <- List.filter (fun (o, _) -> o <> txn) e.holders;
-      remove_waiter e ~txn;
-      if e.holders = [] && e.waiters = [] then empty_pages := page :: !empty_pages)
-    t.pages;
-  List.iter (Hashtbl.remove t.pages) !empty_pages
+let release_all_pages t ~txn =
+  match Hashtbl.find_opt t.txns txn with
+  | None -> []
+  | Some i ->
+    let touched = ref [] in
+    let seen = Hashtbl.create 16 in
+    let visit page =
+      if not (Hashtbl.mem seen page) then begin
+        Hashtbl.replace seen page ();
+        match Hashtbl.find_opt t.pages page with
+        | None -> ()
+        | Some e ->
+          e.holders <- List.filter (fun (o, _) -> o <> txn) e.holders;
+          e.waiters <- List.filter (fun (w, _) -> w <> txn) e.waiters;
+          if e.holders = [] && e.waiters = [] then Hashtbl.remove t.pages page;
+          touched := page :: !touched
+      end
+    in
+    Hashtbl.iter (fun page () -> visit page) i.held;
+    Hashtbl.iter (fun page () -> visit page) i.waits;
+    Hashtbl.remove t.txns txn;
+    !touched
+
+let release_all t ~txn = ignore (release_all_pages t ~txn)
 
 let holds t ~txn ~page =
   match Hashtbl.find_opt t.pages page with
@@ -152,4 +210,6 @@ let locked_pages t =
   Hashtbl.fold (fun _ e acc -> if e.holders <> [] then acc + 1 else acc) t.pages 0
 
 let waiting t ~txn =
-  Hashtbl.fold (fun _ e acc -> acc || List.exists (fun (w, _) -> w = txn) e.waiters) t.pages false
+  match Hashtbl.find_opt t.txns txn with
+  | Some i -> Hashtbl.length i.waits > 0
+  | None -> false

@@ -24,11 +24,30 @@ val acquire : t -> txn:int -> page:int -> mode:mode -> outcome
 (** Re-acquiring a held lock is granted; an upgrade (S held, X
     requested) is granted when the requester is the only holder. *)
 
+val acquire_wait_info : t -> txn:int -> page:int -> mode:mode -> outcome * bool
+(** Like {!acquire}, but on [Would_block] additionally reports whether
+    this call queued a {e new} waiter — i.e. added waits-for edges.
+    A cycle can only appear when edges are added, and not every such
+    cycle is detected by the acquire that closes it: an upgrade request
+    checks cycles against the page's other holders only, so the cycle it
+    closes through a waiter ahead of it surfaces on some {e other}
+    transaction's re-acquire.  A scheduler that parks blocked scripts
+    instead of polling must therefore re-run the blocked acquires (the
+    deadlock audit a poll performed implicitly) whenever a new edge
+    appears; a repeat block of an already-queued request adds no edges
+    and reports [false]. *)
+
 val withdraw : t -> txn:int -> page:int -> unit
 (** Forget a pending (blocked) request, removing its waits-for edges. *)
 
 val release_all : t -> txn:int -> unit
 (** Release every lock held by [txn] and any pending requests. *)
+
+val release_all_pages : t -> txn:int -> int list
+(** Like {!release_all}, but returns the pages whose lock entries were
+    touched — i.e. every page another transaction could now make
+    progress on.  Lets a scheduler wake exactly the scripts parked on
+    those pages instead of polling everyone. *)
 
 val holds : t -> txn:int -> page:int -> mode option
 

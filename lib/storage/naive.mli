@@ -1,0 +1,32 @@
+(** Pre-overhaul storage algorithms, preserved as a reference.
+
+    {!Locks} is the lock manager as it was before per-transaction page
+    sets (every release and waits-for query folds the whole table);
+    {!Sched} is the scheduler before wakeup-driven parking (every
+    blocked script re-runs its lock acquisition each turn).  They exist
+    so the benchmark can measure the overhaul's speedup head-to-head in
+    one process, and so the property tests can check that the optimized
+    versions make identical decisions.  Not used on any production
+    path. *)
+
+module Locks : sig
+  type t
+
+  val create : unit -> t
+
+  val acquire : t -> txn:int -> page:int -> mode:Lock_mgr.mode -> Lock_mgr.outcome
+
+  val withdraw : t -> txn:int -> page:int -> unit
+
+  val release_all : t -> txn:int -> unit
+
+  val holds : t -> txn:int -> page:int -> Lock_mgr.mode option
+
+  val locked_pages : t -> int
+
+  val waiting : t -> txn:int -> bool
+end
+
+module Sched (E : Kv.S) : sig
+  val run : ?max_steps:int -> E.t -> scripts:(int * Scheduler.script) list -> Scheduler.report
+end

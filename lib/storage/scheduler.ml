@@ -18,8 +18,32 @@ module Make (E : Kv.S) = struct
     mutable done_ : bool;
     mutable restart_count : int;
     mutable backoff : int;  (* scheduler turns to sit out after a restart *)
+    mutable parked_on : int option;  (* page this script is blocked on *)
+    mutable woken : bool;  (* a lock release touched that page *)
   }
 
+  (* A blocked script's retry is a pure no-op except after two kinds of
+     events, so instead of re-running the lock acquisition for every
+     blocked script every turn (the pre-overhaul polling scheduler, kept
+     in {!Naive.Sched}), scripts park on the page that blocked them and
+     are woken only when a retry could decide differently:
+
+     - a lock release touched their page ({!Lock_mgr.release_all_pages}
+       names them): the retry may now be [Granted];
+     - any script queued a new waiter, i.e. added waits-for edges: the
+       retry may now find [Deadlock].  Cycles appear only when edges are
+       added, and the closing acquire does not always see its own cycle
+       (an upgrade request checks only the page's other holders), so in
+       the polling world the victim is whichever transaction on the
+       cycle re-acquires first.  Waking every parked script on a fresh
+       edge reproduces that audit in the same round-robin order.  A
+       repeat block adds no edges, so a contended steady state parks
+       quietly instead of cascading wakes.
+
+     A parked script still counts a scheduler step each turn, and a
+     woken retry runs the identical acquire a poll would have run, so
+     [steps], [commit_order] and [restarts] are bit-identical to the
+     polling scheduler. *)
   let run ?(max_steps = 100_000) engine ~scripts =
     let ids = List.map fst scripts in
     if List.length (List.sort_uniq Int.compare ids) <> List.length ids then
@@ -37,9 +61,40 @@ module Make (E : Kv.S) = struct
             done_ = false;
             restart_count = 0;
             backoff = 0;
+            parked_on = None;
+            woken = false;
           })
         scripts
     in
+    let parked : (int, state list ref) Hashtbl.t = Hashtbl.create 32 in
+    let park st page =
+      st.parked_on <- Some page;
+      st.woken <- false;
+      match Hashtbl.find_opt parked page with
+      | Some l -> l := st :: !l
+      | None -> Hashtbl.replace parked page (ref [ st ])
+    in
+    let unpark st =
+      match st.parked_on with
+      | None -> ()
+      | Some page ->
+        st.parked_on <- None;
+        st.woken <- false;
+        (match Hashtbl.find_opt parked page with
+        | Some l ->
+          l := List.filter (fun s -> s != st) !l;
+          if !l = [] then Hashtbl.remove parked page
+        | None -> ())
+    in
+    let wake_page page =
+      match Hashtbl.find_opt parked page with
+      | Some l -> List.iter (fun s -> s.woken <- true) !l
+      | None -> ()
+    in
+    let wake_all () =
+      Hashtbl.iter (fun _ l -> List.iter (fun s -> s.woken <- true) !l) parked
+    in
+    let release_and_wake txn = List.iter wake_page (Lock_mgr.release_all_pages locks ~txn) in
     let commit_order = ref [] in
     let restarts = ref 0 in
     let steps = ref 0 in
@@ -50,7 +105,7 @@ module Make (E : Kv.S) = struct
        can livelock). *)
     let restart st =
       (match st.txn with Some t -> E.abort t | None -> ());
-      Lock_mgr.release_all locks ~txn:st.id;
+      release_and_wake st.id;
       st.txn <- None;
       st.remaining <- st.script;
       st.restart_count <- st.restart_count + 1;
@@ -68,6 +123,7 @@ module Make (E : Kv.S) = struct
     (* One scheduler step for a script: try to advance by one operation
        (or commit).  Returns true on progress. *)
     let advance st =
+      unpark st;
       match st.remaining with
       | [] ->
         (match st.txn with
@@ -75,14 +131,14 @@ module Make (E : Kv.S) = struct
         | None ->
           (* empty script: an empty transaction still commits *)
           E.commit (txn_of st));
-        Lock_mgr.release_all locks ~txn:st.id;
+        release_and_wake st.id;
         st.done_ <- true;
         commit_order := st.id :: !commit_order;
         true
       | op :: rest -> (
         let page = key_of op / E.keys_per_page engine in
-        match Lock_mgr.acquire locks ~txn:st.id ~page ~mode:(mode_of op) with
-        | Lock_mgr.Granted ->
+        match Lock_mgr.acquire_wait_info locks ~txn:st.id ~page ~mode:(mode_of op) with
+        | Lock_mgr.Granted, _ ->
           let t = txn_of st in
           (match op with
           | Get k -> ignore (E.get t k)
@@ -90,8 +146,11 @@ module Make (E : Kv.S) = struct
           | Delete k -> E.delete t k);
           st.remaining <- rest;
           true
-        | Lock_mgr.Would_block -> false
-        | Lock_mgr.Deadlock _ ->
+        | Lock_mgr.Would_block, fresh_edges ->
+          if fresh_edges then wake_all ();
+          park st page;
+          false
+        | Lock_mgr.Deadlock _, _ ->
           (* strict 2PL victim: roll back and start over *)
           restart st;
           true)
@@ -103,6 +162,7 @@ module Make (E : Kv.S) = struct
           if not st.done_ then begin
             incr steps;
             if st.backoff > 0 then st.backoff <- st.backoff - 1
+            else if st.parked_on <> None && not st.woken then ()
             else ignore (advance st)
           end)
         states

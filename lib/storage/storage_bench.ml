@@ -1,0 +1,260 @@
+(* Storage-half throughput measurements.  Pure library code: the caller
+   supplies the clock (bench/main and dbmsim pass Unix.gettimeofday), so
+   dbm_storage itself needs no unix dependency. *)
+
+type engine_tps = {
+  engine : string;
+  low_tps : float;  (* committed txns/sec, disjoint key blocks *)
+  low_restarts : int;
+  high_tps : float;  (* committed txns/sec, hot key set *)
+  high_restarts : int;
+}
+
+type t = {
+  scale : int;
+  (* Contended-scheduler head-to-head: identical workload through the
+     pre-overhaul polling scheduler (Naive) and the wakeup scheduler. *)
+  sched_txns : int;
+  sched_naive_ms : float;
+  sched_opt_ms : float;
+  sched_speedup : float;
+  sched_equivalent : bool;  (* commit order, restarts and steps all equal *)
+  engines : engine_tps list;
+  (* Logging-engine restart recovery at L and 2L committed txns. *)
+  recovery_txns_l : int;
+  recovery_records_l : int;
+  recovery_wall_l_ms : float;
+  recovery_records_2l : int;
+  recovery_wall_2l_ms : float;
+  recovery_wall_ratio : float;  (* ~linear means <= ~2.5 *)
+  pool_hit_ns : float;
+  pool_miss_ns : float;
+  journal_append_per_sec : float;
+  journal_append_sync_per_sec : float;  (* with a sync every 64 appends *)
+}
+
+let time now f =
+  let t0 = now () in
+  let r = f () in
+  (r, now () -. t0)
+
+(* --- contended scheduler: naive polling vs wakeup parking ----------- *)
+
+(* Many scripts each pin down a block of private pages, then contend on
+   one hot page.  The private locks make the lock table large, which is
+   exactly what the naive scheduler's whole-table folds pay for on every
+   poll of a blocked script; the wakeup scheduler parks the blocked
+   scripts instead. *)
+let sched_scripts ~scripts ~privates =
+  let hot = scripts * privates in
+  List.init scripts (fun i ->
+      let base = i * privates in
+      let ops =
+        List.init privates (fun j -> Scheduler.Put (base + j, "p"))
+        @ [ Scheduler.Put (hot, "h"); Scheduler.Get (hot) ]
+      in
+      (i + 1, ops))
+
+let run_sched_comparison ~now ~scale =
+  let scripts = 24 * scale and privates = 40 in
+  let n_keys = (scripts * privates) + 1 in
+  let specs = sched_scripts ~scripts ~privates in
+  let max_steps = 100_000_000 in
+  let module NSched = Naive.Sched (Kv.Model) in
+  let module OSched = Scheduler.Make (Kv.Model) in
+  let naive_engine = Kv.Model.create ~n_keys () in
+  let r_naive, naive_s = time now (fun () -> NSched.run ~max_steps naive_engine ~scripts:specs) in
+  let opt_engine = Kv.Model.create ~n_keys () in
+  let r_opt, opt_s = time now (fun () -> OSched.run ~max_steps opt_engine ~scripts:specs) in
+  let equivalent =
+    r_naive.Scheduler.commit_order = r_opt.Scheduler.commit_order
+    && r_naive.Scheduler.restarts = r_opt.Scheduler.restarts
+    && r_naive.Scheduler.steps = r_opt.Scheduler.steps
+  in
+  (scripts, naive_s *. 1000., opt_s *. 1000., equivalent)
+
+(* --- per-engine committed-txns/sec under the 2PL scheduler ---------- *)
+
+let value = "value-0123456789abcdef"
+
+(* 8 scripts on disjoint 16-key blocks: no blocking at any page granule. *)
+let low_contention_scripts =
+  List.init 8 (fun i ->
+      let base = i * 16 in
+      ( i + 1,
+        List.init 4 (fun j -> Scheduler.Put (base + j, value))
+        @ List.init 2 (fun j -> Scheduler.Get (base + j)) ))
+
+(* 8 scripts over keys 0..7 in per-script orders: lots of blocking and
+   some deadlock restarts at page or key granularity. *)
+let high_contention_scripts =
+  List.init 8 (fun i ->
+      ( i + 1,
+        [
+          Scheduler.Put ((i * 3) mod 8, value);
+          Scheduler.Get ((i * 5 + 1) mod 8);
+          Scheduler.Put ((i * 7 + 2) mod 8, value);
+          Scheduler.Get ((i + 3) mod 8);
+          Scheduler.Put ((i * 5 + 4) mod 8, value);
+        ] ))
+
+let bench_engine (module E : Kv.S) ~now ~rounds =
+  let module Sched = Scheduler.Make (E) in
+  let measure scripts =
+    let engine = E.create () in
+    let committed = ref 0 and restarts = ref 0 in
+    let _, wall_s =
+      time now (fun () ->
+          for _ = 1 to rounds do
+            let r = Sched.run engine ~scripts in
+            committed := !committed + List.length r.Scheduler.commit_order;
+            restarts := !restarts + r.Scheduler.restarts
+          done)
+    in
+    (float_of_int !committed /. wall_s, !restarts)
+  in
+  let low_tps, low_restarts = measure low_contention_scripts in
+  let high_tps, high_restarts = measure high_contention_scripts in
+  { engine = E.engine_name; low_tps; low_restarts; high_tps; high_restarts }
+
+let all_engines : (module Kv.S) list =
+  [
+    (module Engine_log);
+    (module Engine_shadow);
+    (module Engine_versel);
+    (module Engine_overwrite.No_undo);
+    (module Engine_overwrite.No_redo);
+    (module Engine_diff);
+    (module Kv.Model);
+  ]
+
+(* --- recovery wall vs durable log length ---------------------------- *)
+
+let load_log_engine ~txns =
+  let t = Engine_log.create_with ~n_keys:256 () in
+  for i = 0 to txns - 1 do
+    let txn = Engine_log.begin_txn t in
+    for j = 0 to 7 do
+      Engine_log.put txn (((i * 8) + j) mod 256) value
+    done;
+    Engine_log.commit txn
+  done;
+  t
+
+let durable_records t =
+  List.fold_left
+    (fun acc d -> acc + List.length (Engine_log.dump_log t ~disk:d))
+    0
+    (List.init (Engine_log.log_disks t) Fun.id)
+
+(* The linearity ratio wall(2L)/wall(L) is a CI gate, so it must not
+   wobble with whatever heap and machine state earlier bench sections
+   left behind.  Both engines are built first, the heap is compacted
+   once, and the two log lengths are then timed in alternation — any
+   remaining distortion hits both measurements alike and cancels in the
+   ratio.  Best of five: recovery leaves the journal intact, so repeated
+   crash-and-recover runs measure the same work. *)
+let recovery_walls ~now ~txns =
+  let t_l = load_log_engine ~txns in
+  let t_2l = load_log_engine ~txns:(2 * txns) in
+  let records_l = durable_records t_l in
+  let records_2l = durable_records t_2l in
+  Gc.compact ();
+  let best_l = ref infinity and best_2l = ref infinity in
+  for _ = 1 to 5 do
+    let (), wall_l = time now (fun () -> Engine_log.crash_and_recover t_l) in
+    if wall_l < !best_l then best_l := wall_l;
+    let (), wall_2l = time now (fun () -> Engine_log.crash_and_recover t_2l) in
+    if wall_2l < !best_2l then best_2l := wall_2l
+  done;
+  (records_l, !best_l *. 1000., records_2l, !best_2l *. 1000.)
+
+(* --- buffer pool and journal microbenchmarks ------------------------ *)
+
+let pool_ns ~now ~iters =
+  let disk = Vdisk.create ~pages:512 ~page_size:1024 () in
+  let pool = Buffer_pool.create disk ~frames:128 () in
+  for p = 0 to 127 do
+    ignore (Buffer_pool.get pool p);
+    Buffer_pool.unpin pool p
+  done;
+  let hit_iters = iters in
+  let (), hit_s =
+    time now (fun () ->
+        for i = 0 to hit_iters - 1 do
+          let p = i land 127 in
+          ignore (Buffer_pool.get pool p);
+          Buffer_pool.unpin pool p
+        done)
+  in
+  (* 384 cold pages cycled through 128 frames: every get is a miss. *)
+  let miss_iters = iters / 8 in
+  let (), miss_s =
+    time now (fun () ->
+        for i = 0 to miss_iters - 1 do
+          let p = 128 + (i mod 384) in
+          ignore (Buffer_pool.get pool p);
+          Buffer_pool.unpin pool p
+        done)
+  in
+  ( hit_s *. 1e9 /. float_of_int hit_iters,
+    miss_s *. 1e9 /. float_of_int miss_iters )
+
+let journal_throughput ~now ~iters =
+  let record = String.make 64 'r' in
+  let j1 = Journal.create () in
+  let (), append_s =
+    time now (fun () ->
+        for _ = 1 to iters do
+          ignore (Journal.append j1 record)
+        done;
+        Journal.sync j1)
+  in
+  let j2 = Journal.create () in
+  let (), append_sync_s =
+    time now (fun () ->
+        for i = 1 to iters do
+          ignore (Journal.append j2 record);
+          if i land 63 = 0 then Journal.sync j2
+        done;
+        Journal.sync j2)
+  in
+  ( float_of_int iters /. append_s,
+    float_of_int iters /. append_sync_s )
+
+(* --- entry point ---------------------------------------------------- *)
+
+let run ?(scale = 1) ~now () =
+  if scale <= 0 then invalid_arg "Storage_bench.run: scale must be positive";
+  let sched_txns, sched_naive_ms, sched_opt_ms, sched_equivalent =
+    run_sched_comparison ~now ~scale
+  in
+  let engines = List.map (fun e -> bench_engine e ~now ~rounds:(20 * scale)) all_engines in
+  let txns_l = 600 * scale in
+  let recovery_records_l, recovery_wall_l_ms, recovery_records_2l, recovery_wall_2l_ms =
+    recovery_walls ~now ~txns:txns_l
+  in
+  let pool_hit_ns, pool_miss_ns = pool_ns ~now ~iters:(200_000 * scale) in
+  let journal_append_per_sec, journal_append_sync_per_sec =
+    journal_throughput ~now ~iters:(200_000 * scale)
+  in
+  {
+    scale;
+    sched_txns;
+    sched_naive_ms;
+    sched_opt_ms;
+    sched_speedup = (if sched_opt_ms > 0. then sched_naive_ms /. sched_opt_ms else infinity);
+    sched_equivalent;
+    engines;
+    recovery_txns_l = txns_l;
+    recovery_records_l;
+    recovery_wall_l_ms;
+    recovery_records_2l;
+    recovery_wall_2l_ms;
+    recovery_wall_ratio =
+      (if recovery_wall_l_ms > 0. then recovery_wall_2l_ms /. recovery_wall_l_ms else infinity);
+    pool_hit_ns;
+    pool_miss_ns;
+    journal_append_per_sec;
+    journal_append_sync_per_sec;
+  }

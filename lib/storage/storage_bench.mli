@@ -1,0 +1,46 @@
+(** Storage-half throughput benchmark.
+
+    Measures the recovery engines and their substrate the same way the
+    simulation half is measured by bench/main: per-engine committed
+    transactions per second under the 2PL scheduler at low and high
+    contention, a head-to-head of the pre-overhaul polling scheduler
+    ({!Naive}) against the wakeup scheduler on a contended workload
+    (with an equivalence check on the reports), logging-engine restart
+    recovery wall time at two log lengths (linearity check), and
+    buffer-pool / journal microbenchmarks.
+
+    The caller supplies the wall clock so this library stays free of a
+    unix dependency; pass [Unix.gettimeofday]. *)
+
+type engine_tps = {
+  engine : string;
+  low_tps : float;  (** committed txns/sec, disjoint key blocks *)
+  low_restarts : int;
+  high_tps : float;  (** committed txns/sec, hot key set *)
+  high_restarts : int;
+}
+
+type t = {
+  scale : int;
+  sched_txns : int;  (** scripts in the contended comparison *)
+  sched_naive_ms : float;
+  sched_opt_ms : float;
+  sched_speedup : float;
+  sched_equivalent : bool;
+      (** the two schedulers agreed on commit order, restarts and steps *)
+  engines : engine_tps list;
+  recovery_txns_l : int;
+  recovery_records_l : int;
+  recovery_wall_l_ms : float;
+  recovery_records_2l : int;
+  recovery_wall_2l_ms : float;
+  recovery_wall_ratio : float;  (** wall(2L) / wall(L); ~2 when linear *)
+  pool_hit_ns : float;
+  pool_miss_ns : float;
+  journal_append_per_sec : float;
+  journal_append_sync_per_sec : float;  (** with a sync every 64 appends *)
+}
+
+val run : ?scale:int -> now:(unit -> float) -> unit -> t
+(** Run every section.  [scale] multiplies workload sizes (default 1,
+    used by CI smoke runs).  @raise Invalid_argument if [scale <= 0]. *)

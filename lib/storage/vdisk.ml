@@ -33,6 +33,11 @@ let read t p =
   | Some b -> Bytes.copy b
   | None -> Bytes.copy t.stable.(p)
 
+let read_ro t p =
+  check_page t p;
+  t.reads <- t.reads + 1;
+  match Hashtbl.find_opt t.cache p with Some b -> b | None -> t.stable.(p)
+
 let write t p b =
   check_page t p;
   if Bytes.length b <> t.page_size then

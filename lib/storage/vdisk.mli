@@ -26,6 +26,12 @@ val read : t -> int -> bytes
     write if any, else the durable image).
     @raise Invalid_argument on an out-of-range page. *)
 
+val read_ro : t -> int -> bytes
+(** Borrowed view of page [p]'s current contents — no copy.  The caller
+    must not mutate the buffer and must not hold it across a later
+    {!write}, {!sync} or {!crash} of the same disk (those may reuse or
+    overwrite it).  Counts as a read, exactly like {!read}. *)
+
 val write : t -> int -> bytes -> unit
 (** Volatile until the next {!sync}.  The buffer must be exactly
     [page_size] long.  @raise Invalid_argument otherwise. *)

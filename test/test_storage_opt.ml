@@ -1,0 +1,394 @@
+(* Equivalence tests for the storage-half data-structure overhaul.
+
+   The optimized lock manager (per-transaction page sets), scheduler
+   (wakeup parking) and buffer pool (intrusive LRU list) must make
+   decisions indistinguishable from the pre-overhaul algorithms, which
+   are preserved verbatim in Dbm_storage.Naive.  The journal's growable
+   array must behave like the reference list model under any mix of
+   append/sync/crash/truncate, including logs long enough to have blown
+   the old non-tail-recursive truncate. *)
+
+module Vdisk = Dbm_storage.Vdisk
+module Journal = Dbm_storage.Journal
+module Pool = Dbm_storage.Buffer_pool
+module Lock = Dbm_storage.Lock_mgr
+module Naive = Dbm_storage.Naive
+module Scheduler = Dbm_storage.Scheduler
+module Kv = Dbm_storage.Kv
+
+let check = Alcotest.check
+
+(* --- lock manager vs the whole-table-fold reference ------------------- *)
+
+type lock_op =
+  | Acquire of int * int * Lock.mode
+  | Withdraw of int * int
+  | Release_all of int
+
+let lock_op_print = function
+  | Acquire (t, p, Lock.S) -> Printf.sprintf "A%d:S%d" t p
+  | Acquire (t, p, Lock.X) -> Printf.sprintf "A%d:X%d" t p
+  | Withdraw (t, p) -> Printf.sprintf "W%d:%d" t p
+  | Release_all t -> Printf.sprintf "R%d" t
+
+let n_txns = 5
+let n_pages = 4
+
+let lock_op_gen =
+  QCheck.Gen.(
+    let txn = int_range 1 n_txns and page = int_range 0 (n_pages - 1) in
+    frequency
+      [
+        (5, map3 (fun t p m -> Acquire (t, p, m)) txn page (oneofl [ Lock.S; Lock.X ]));
+        (1, map2 (fun t p -> Withdraw (t, p)) txn page);
+        (2, map (fun t -> Release_all t) txn);
+      ])
+
+let outcome_tag = function
+  | Lock.Granted -> "granted"
+  | Lock.Would_block -> "would-block"
+  | Lock.Deadlock _ -> "deadlock"
+
+(* Replays a trace on both managers and demands identical observables at
+   every step: the outcome constructor of each acquire (cycle payloads
+   may legitimately list the same cycle from a different starting
+   point), then every (txn, page) hold and every waiting flag. *)
+let prop_lock_mgr_matches_naive =
+  QCheck.Test.make ~name:"lock manager matches whole-table reference" ~count:500
+    (QCheck.make
+       ~print:(fun ops -> String.concat " " (List.map lock_op_print ops))
+       QCheck.Gen.(list_size (int_range 0 40) lock_op_gen))
+    (fun ops ->
+      let opt = Lock.create () and ref_ = Naive.Locks.create () in
+      List.for_all
+        (fun op ->
+          let step_ok =
+            match op with
+            | Acquire (txn, page, mode) ->
+                let a = Lock.acquire opt ~txn ~page ~mode in
+                let b = Naive.Locks.acquire ref_ ~txn ~page ~mode in
+                outcome_tag a = outcome_tag b
+            | Withdraw (txn, page) ->
+                Lock.withdraw opt ~txn ~page;
+                Naive.Locks.withdraw ref_ ~txn ~page;
+                true
+            | Release_all txn ->
+                Lock.release_all opt ~txn;
+                Naive.Locks.release_all ref_ ~txn;
+                true
+          in
+          step_ok
+          && Lock.locked_pages opt = Naive.Locks.locked_pages ref_
+          && List.for_all
+               (fun txn ->
+                 Lock.waiting opt ~txn = Naive.Locks.waiting ref_ ~txn
+                 && List.for_all
+                      (fun page ->
+                        Lock.holds opt ~txn ~page = Naive.Locks.holds ref_ ~txn ~page)
+                      (List.init n_pages Fun.id))
+               (List.init n_txns (fun i -> i + 1)))
+        ops)
+
+(* release_all_pages must name every page whose entry the release
+   touched, so a scheduler waking exactly those pages misses nobody. *)
+let test_release_all_pages () =
+  let l = Lock.create () in
+  check (Alcotest.of_pp Fmt.nop) "t1 holds 0" Lock.Granted (Lock.acquire l ~txn:1 ~page:0 ~mode:Lock.X);
+  check (Alcotest.of_pp Fmt.nop) "t1 holds 1" Lock.Granted (Lock.acquire l ~txn:1 ~page:1 ~mode:Lock.S);
+  check (Alcotest.of_pp Fmt.nop) "t2 blocks on 0" Lock.Would_block
+    (Lock.acquire l ~txn:2 ~page:0 ~mode:Lock.S);
+  let pages = List.sort compare (Lock.release_all_pages l ~txn:1) in
+  check (Alcotest.list Alcotest.int) "released pages" [ 0; 1 ] pages;
+  check (Alcotest.of_pp Fmt.nop) "t2 now granted" Lock.Granted
+    (Lock.acquire l ~txn:2 ~page:0 ~mode:Lock.S)
+
+(* --- wakeup scheduler vs the polling reference ------------------------ *)
+
+let sched_n_keys = 8
+
+let script_print scripts =
+  String.concat "\n"
+    (List.map
+       (fun (id, ops) ->
+         Printf.sprintf "%d: %s" id
+           (String.concat ";"
+              (List.map
+                 (function
+                   | Scheduler.Get k -> Printf.sprintf "G%d" k
+                   | Scheduler.Put (k, v) -> Printf.sprintf "P%d=%s" k v
+                   | Scheduler.Delete k -> Printf.sprintf "D%d" k)
+                 ops)))
+       scripts)
+
+let scripts_gen =
+  QCheck.Gen.(
+    let op =
+      frequency
+        [
+          (3, map2 (fun k v -> Scheduler.Put (k, v)) (int_range 0 (sched_n_keys - 1))
+               (string_size (int_range 1 3)));
+          (1, map (fun k -> Scheduler.Delete k) (int_range 0 (sched_n_keys - 1)));
+          (2, map (fun k -> Scheduler.Get k) (int_range 0 (sched_n_keys - 1)));
+        ]
+    in
+    map
+      (fun opss -> List.mapi (fun i ops -> (i + 1, ops)) opss)
+      (list_size (int_range 1 6) (list_size (int_range 0 8) op)))
+
+let sched_equal_prop (module E : Kv.S) count =
+  let module NS = Naive.Sched (E) in
+  let module OS = Scheduler.Make (E) in
+  QCheck.Test.make
+    ~name:(E.engine_name ^ ": wakeup scheduler report equals polling reference")
+    ~count
+    (QCheck.make ~print:script_print scripts_gen)
+    (fun scripts ->
+      let rn = NS.run (E.create ~n_keys:sched_n_keys ()) ~scripts in
+      let ro = OS.run (E.create ~n_keys:sched_n_keys ()) ~scripts in
+      rn.Scheduler.commit_order = ro.Scheduler.commit_order
+      && rn.Scheduler.restarts = ro.Scheduler.restarts
+      && rn.Scheduler.steps = ro.Scheduler.steps)
+
+(* The bench's contended shape — many private pages plus one hot page —
+   pinned as a deterministic regression across two real engines. *)
+let test_sched_contended_shape () =
+  let scripts =
+    List.init 6 (fun i ->
+        let base = i * 4 in
+        ( i + 1,
+          List.init 4 (fun j -> Scheduler.Put (base + j, "p"))
+          @ [ Scheduler.Put (24, "h"); Scheduler.Get 24 ] ))
+  in
+  let run_both (module E : Kv.S) =
+    let module NS = Naive.Sched (E) in
+    let module OS = Scheduler.Make (E) in
+    let rn = NS.run (E.create ~n_keys:32 ()) ~scripts in
+    let ro = OS.run (E.create ~n_keys:32 ()) ~scripts in
+    check (Alcotest.list Alcotest.int)
+      (E.engine_name ^ " commit order")
+      rn.Scheduler.commit_order ro.Scheduler.commit_order;
+    check Alcotest.int (E.engine_name ^ " restarts") rn.Scheduler.restarts ro.Scheduler.restarts;
+    check Alcotest.int (E.engine_name ^ " steps") rn.Scheduler.steps ro.Scheduler.steps
+  in
+  run_both (module Kv.Model);
+  run_both (module Dbm_storage.Engine_shadow)
+
+(* --- buffer pool: intrusive list keeps seed LRU order ----------------- *)
+
+let fresh_pool ?can_evict ?before_evict ~frames () =
+  let disk = Vdisk.create ~pages:16 ~page_size:32 () in
+  (disk, Pool.create disk ~frames ?can_evict ?before_evict ())
+
+let touch pool p =
+  ignore (Pool.get pool p);
+  Pool.unpin pool p
+
+let test_pool_eviction_order () =
+  let _, pool = fresh_pool ~frames:3 () in
+  touch pool 0;
+  touch pool 1;
+  touch pool 2;
+  touch pool 0;
+  (* last-use order now 1 < 2 < 0 *)
+  touch pool 3;
+  check Alcotest.bool "page 1 evicted" false (Pool.resident pool 1);
+  check Alcotest.bool "page 0 kept" true (Pool.resident pool 0);
+  check Alcotest.bool "page 2 kept" true (Pool.resident pool 2);
+  touch pool 4;
+  (* order was 2 < 0 < 3 *)
+  check Alcotest.bool "page 2 evicted next" false (Pool.resident pool 2);
+  touch pool 0;
+  touch pool 5;
+  (* order was 3 < 4 < 0 *)
+  check Alcotest.bool "page 3 evicted after re-touch of 0" false (Pool.resident pool 3);
+  check Alcotest.bool "page 0 still resident" true (Pool.resident pool 0);
+  check Alcotest.int "three evictions" 3 (Pool.evictions pool)
+
+let test_pool_pinned_skipped () =
+  let _, pool = fresh_pool ~frames:2 () in
+  ignore (Pool.get pool 0);
+  (* page 0 stays pinned: LRU but unevictable *)
+  touch pool 1;
+  touch pool 2;
+  check Alcotest.bool "pinned page 0 kept" true (Pool.resident pool 0);
+  check Alcotest.bool "unpinned page 1 evicted" false (Pool.resident pool 1);
+  ignore (Pool.get pool 2);
+  (match Pool.get pool 3 with
+  | exception Pool.No_free_frame -> ()
+  | _ -> Alcotest.fail "all-pinned pool handed out a frame");
+  Pool.unpin pool 0;
+  Pool.unpin pool 2
+
+let test_pool_gate_refusal_skips () =
+  let gated = ref 9 in
+  let _, pool = fresh_pool ~frames:2 ~can_evict:(fun ~page ~lsn:_ -> page <> !gated) () in
+  ignore (Pool.get pool 0);
+  Pool.mark_dirty pool 0;
+  Pool.unpin pool 0;
+  touch pool 1;
+  gated := 0;
+  (* page 0 is LRU and dirty but the gate refuses it; 1 must go instead *)
+  touch pool 2;
+  check Alcotest.bool "gated dirty page kept" true (Pool.resident pool 0);
+  check Alcotest.bool "next candidate evicted" false (Pool.resident pool 1)
+
+let test_pool_counters () =
+  let _, pool = fresh_pool ~frames:3 () in
+  check Alcotest.int "no pins" 0 (Pool.pinned pool);
+  ignore (Pool.get pool 0);
+  ignore (Pool.get pool 0);
+  ignore (Pool.get pool 1);
+  check Alcotest.int "two pinned frames (nested pin counts once)" 2 (Pool.pinned pool);
+  Pool.mark_dirty pool 0;
+  Pool.mark_dirty pool 0;
+  check Alcotest.int "one dirty frame" 1 (Pool.dirty_frames pool);
+  Pool.unpin pool 0;
+  check Alcotest.int "still pinned via nested pin" 2 (Pool.pinned pool);
+  Pool.unpin pool 0;
+  Pool.unpin pool 1;
+  check Alcotest.int "all unpinned" 0 (Pool.pinned pool);
+  Pool.flush_page pool 0;
+  check Alcotest.int "flushed clean" 0 (Pool.dirty_frames pool)
+
+let test_pool_dirty_eviction_writes_back () =
+  let disk, pool = fresh_pool ~frames:1 () in
+  let b = Pool.get pool 0 in
+  Bytes.blit_string "dirty!" 0 b 0 6;
+  Pool.mark_dirty pool 0;
+  Pool.unpin pool 0;
+  touch pool 1;
+  check Alcotest.bool "page 0 evicted" false (Pool.resident pool 0);
+  check Alcotest.string "contents written back" "dirty!"
+    (Bytes.sub_string (Vdisk.read disk 0) 0 6)
+
+(* --- journal vs a list reference model -------------------------------- *)
+
+type j_op = Append of string | Sync | Crash | Truncate of int
+
+let j_op_print = function
+  | Append s -> Printf.sprintf "A%s" s
+  | Sync -> "S"
+  | Crash -> "C"
+  | Truncate k -> Printf.sprintf "T%d" k
+
+(* Truncate carries an offset interpreted against the live model state:
+   -1 probes the below-base no-op, anything beyond the durable count
+   probes the invalid_arg branch. *)
+let j_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (6, map (fun s -> Append s) (string_size ~gen:(char_range 'a' 'z') (int_range 0 5)));
+        (2, return Sync);
+        (1, return Crash);
+        (2, map (fun k -> Truncate k) (int_range (-1) 12));
+      ])
+
+type j_model = {
+  mutable m_durable : string list;  (* oldest first *)
+  mutable m_pending : string list;  (* oldest first *)
+  mutable m_base : int;
+  mutable m_syncs : int;
+}
+
+let j_model_step m j op =
+  match op with
+  | Append s ->
+      let seq = m.m_base + List.length m.m_durable + List.length m.m_pending in
+      m.m_pending <- m.m_pending @ [ s ];
+      seq = Journal.append j s
+  | Sync ->
+      m.m_durable <- m.m_durable @ m.m_pending;
+      m.m_pending <- [];
+      m.m_syncs <- m.m_syncs + 1;
+      Journal.sync j;
+      true
+  | Crash ->
+      m.m_pending <- [];
+      Journal.crash j;
+      true
+  | Truncate off ->
+      let keep_from = m.m_base + off in
+      if off < 0 then (
+        Journal.truncate j ~keep_from;
+        true)
+      else if off > List.length m.m_durable then (
+        match Journal.truncate j ~keep_from with
+        | exception Invalid_argument _ -> true
+        | () -> false)
+      else (
+        m.m_durable <- List.filteri (fun i _ -> i >= off) m.m_durable;
+        m.m_base <- keep_from;
+        Journal.truncate j ~keep_from;
+        true)
+
+let j_model_agrees m j =
+  Journal.read_all j = m.m_durable
+  && Journal.read_live j = m.m_durable @ m.m_pending
+  && Journal.length j = List.length m.m_durable
+  && Journal.synced j = m.m_base + List.length m.m_durable
+  && Journal.appended j = m.m_base + List.length m.m_durable + List.length m.m_pending
+  && Journal.sync_count j = m.m_syncs
+
+let prop_journal_matches_model =
+  QCheck.Test.make ~name:"journal matches list reference model" ~count:500
+    (QCheck.make
+       ~print:(fun ops -> String.concat " " (List.map j_op_print ops))
+       QCheck.Gen.(list_size (int_range 0 60) j_op_gen))
+    (fun ops ->
+      let j = Journal.create () in
+      let m = { m_durable = []; m_pending = []; m_base = 0; m_syncs = 0 } in
+      List.for_all (fun op -> j_model_step m j op && j_model_agrees m j) ops)
+
+(* The old truncate rebuilt the kept suffix with a non-tail-recursive
+   take: half a million records is far past where that blew the stack. *)
+let test_journal_long_log_truncate () =
+  let j = Journal.create () in
+  let n = 500_000 in
+  let r = "record" in
+  for _ = 1 to n do
+    ignore (Journal.append j r)
+  done;
+  Journal.sync j;
+  Journal.truncate j ~keep_from:10;
+  check Alcotest.int "length after small truncate" (n - 10) (Journal.length j);
+  Journal.truncate j ~keep_from:(n - 3);
+  check Alcotest.int "length after deep truncate" 3 (Journal.length j);
+  check Alcotest.int "seq numbers unchanged" n (Journal.append j r);
+  Journal.sync j;
+  check (Alcotest.list Alcotest.string) "records intact" [ r; r; r; r ] (Journal.read_all j);
+  Journal.truncate j ~keep_from:(n + 1);
+  check Alcotest.int "empty after full truncate" 0 (Journal.length j)
+
+(* --- run -------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "storage_opt"
+    [
+      ( "lock manager",
+        [
+          QCheck_alcotest.to_alcotest prop_lock_mgr_matches_naive;
+          Alcotest.test_case "release_all_pages names touched pages" `Quick
+            test_release_all_pages;
+        ] );
+      ( "scheduler",
+        [
+          QCheck_alcotest.to_alcotest (sched_equal_prop (module Kv.Model) 200);
+          QCheck_alcotest.to_alcotest (sched_equal_prop (module Dbm_storage.Engine_log) 40);
+          Alcotest.test_case "contended shape across engines" `Quick test_sched_contended_shape;
+        ] );
+      ( "buffer pool",
+        [
+          Alcotest.test_case "LRU eviction order" `Quick test_pool_eviction_order;
+          Alcotest.test_case "pinned frames skipped" `Quick test_pool_pinned_skipped;
+          Alcotest.test_case "gate refusal skips to next" `Quick test_pool_gate_refusal_skips;
+          Alcotest.test_case "pinned/dirty counters" `Quick test_pool_counters;
+          Alcotest.test_case "dirty eviction writes back" `Quick
+            test_pool_dirty_eviction_writes_back;
+        ] );
+      ( "journal",
+        [
+          QCheck_alcotest.to_alcotest prop_journal_matches_model;
+          Alcotest.test_case "long-log truncate" `Quick test_journal_long_log_truncate;
+        ] );
+    ]
