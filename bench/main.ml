@@ -23,7 +23,9 @@
    committed-txns/sec under the 2PL scheduler, the wakeup scheduler
    against its pre-overhaul polling version head-to-head (with an
    equivalence gate on the reports), recovery wall time vs log length,
-   and buffer-pool / journal microbenchmarks.
+   vs worker-domain count and vs fuzzy-checkpoint age (every recovery
+   point fingerprint-gated against the serial reference replay), and
+   buffer-pool / journal microbenchmarks.
 
    Part 5 runs Bechamel micro-benchmarks of the substrate primitives.
    [--fast] skips parts that exist for reporting (charts, ablations,
@@ -356,9 +358,12 @@ let run_cache () =
 (* Part 4: storage-half throughput                                     *)
 (* ------------------------------------------------------------------ *)
 
-let run_storage_bench () =
+let run_storage_bench ~allow_oversubscribe () =
   separator "Storage half (recovery engines, 2PL scheduler, substrate)";
-  let b = Dbm_storage.Storage_bench.run ~now:Unix.gettimeofday () in
+  let b =
+    Dbm_storage.Storage_bench.run ~jobs:[ 1; 2; 4 ] ~allow_oversubscribe
+      ~now:Unix.gettimeofday ()
+  in
   let open Dbm_storage.Storage_bench in
   Printf.printf "contended scheduler (%d scripts): polling %.2f ms -> wakeup %.2f ms (%.1fx, reports %s)\n"
     b.sched_txns b.sched_naive_ms b.sched_opt_ms b.sched_speedup
@@ -372,6 +377,24 @@ let run_storage_bench () =
   Printf.printf "recovery: %d records %.2f ms; %d records %.2f ms (ratio %.2f)\n"
     b.recovery_records_l b.recovery_wall_l_ms b.recovery_records_2l b.recovery_wall_2l_ms
     b.recovery_wall_ratio;
+  Printf.printf "parallel recovery (%d records):\n" b.recovery_records_l;
+  List.iter
+    (fun p ->
+      Printf.printf "  %d job%s%s %8.2f ms  (%s)\n" p.rj_jobs
+        (if p.rj_jobs > 1 then "s" else " ")
+        (if p.rj_oversubscribed then " [oversubscribed]" else "")
+        p.rj_wall_ms
+        (if p.rj_equivalent then "state identical to serial reference" else "STATE DIVERGED"))
+    b.recovery_jobs;
+  Printf.printf "  best parallel speedup over serial: %.2fx\n" b.recovery_parallel_speedup;
+  Printf.printf "fuzzy-checkpointed recovery (serial replay, same committed work):\n";
+  List.iter
+    (fun p ->
+      Printf.printf "  checkpoint after %3.0f%% of commits: %7d records %8.2f ms  (%s)\n"
+        (100. *. p.ck_fraction) p.ck_records p.ck_wall_ms
+        (if p.ck_equivalent then "state identical to full replay" else "STATE DIVERGED"))
+    b.recovery_ckpt;
+  Printf.printf "  newest checkpoint vs full replay: %.2fx cheaper\n" b.recovery_ckpt_speedup;
   Printf.printf "buffer pool get: %.0f ns hit, %.0f ns miss\n" b.pool_hit_ns b.pool_miss_ns;
   Printf.printf "journal: %.2fM appends/s, %.2fM appends/s with sync every 64\n"
     (b.journal_append_per_sec /. 1e6)
@@ -598,7 +621,7 @@ let run_benchmarks () =
   (lookup_ns, lookup_minor)
 
 (* ------------------------------------------------------------------ *)
-(* BENCH_5.json: the perf trajectory record for later PRs              *)
+(* BENCH_6.json: the perf trajectory record for later PRs              *)
 (* ------------------------------------------------------------------ *)
 
 let json_escape s =
@@ -642,6 +665,29 @@ let storage_json (b : Dbm_storage.Storage_bench.t) =
       Printf.sprintf "    \"recovery_records_2l\": %d,\n" b.recovery_records_2l;
       Printf.sprintf "    \"recovery_wall_2l_ms\": %.4f,\n" b.recovery_wall_2l_ms;
       Printf.sprintf "    \"recovery_wall_ratio\": %.4f,\n" b.recovery_wall_ratio;
+      "    \"recovery_jobs\": [\n";
+      String.concat ",\n"
+        (List.map
+           (fun p ->
+             Printf.sprintf
+               "      {\"jobs\": %d, \"oversubscribed\": %b, \"wall_ms\": %.4f, \
+                \"equivalent\": %b}"
+               p.rj_jobs p.rj_oversubscribed p.rj_wall_ms p.rj_equivalent)
+           b.recovery_jobs);
+      "\n    ],\n";
+      Printf.sprintf "    \"recovery_parallel_speedup\": %.4f,\n" b.recovery_parallel_speedup;
+      "    \"recovery_checkpoint\": [\n";
+      String.concat ",\n"
+        (List.map
+           (fun p ->
+             Printf.sprintf
+               "      {\"fraction\": %.2f, \"records\": %d, \"wall_ms\": %.4f, \
+                \"equivalent\": %b}"
+               p.ck_fraction p.ck_records p.ck_wall_ms p.ck_equivalent)
+           b.recovery_ckpt);
+      "\n    ],\n";
+      Printf.sprintf "    \"recovery_checkpoint_speedup\": %.4f,\n" b.recovery_ckpt_speedup;
+      Printf.sprintf "    \"recovery_equivalent\": %b,\n" b.recovery_equivalent;
       Printf.sprintf "    \"pool_hit_ns\": %.1f,\n" b.pool_hit_ns;
       Printf.sprintf "    \"pool_miss_ns\": %.1f,\n" b.pool_miss_ns;
       Printf.sprintf "    \"journal_append_per_sec\": %.0f,\n" b.journal_append_per_sec;
@@ -657,7 +703,7 @@ let write_bench_json path (tr : table_report) (core : event_core) (cr : cache_re
     | Some v -> Printf.sprintf "  \"%s\": %.1f" name v
   in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"bench\": 5,\n";
+  Buffer.add_string buf "  \"bench\": 6,\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"host_cores\": %d,\n" (Dbm_util.Pool.default_jobs ()));
   Buffer.add_string buf (Printf.sprintf "  \"jobs_requested\": %d,\n" tr.jobs_requested);
@@ -753,7 +799,7 @@ let write_bench_json path (tr : table_report) (core : event_core) (cr : cache_re
 
 let () =
   let jobs = ref (max 2 (Dbm_util.Pool.default_jobs ())) in
-  let json_path = ref "BENCH_5.json" in
+  let json_path = ref "BENCH_6.json" in
   let fast = ref false in
   let allow_oversubscribe = ref false in
   Arg.parse
@@ -785,7 +831,7 @@ let () =
   let arena_report = run_arena_alloc () in
   let cache_report = run_cache () in
   (* The storage half runs even under --fast: CI asserts on its metrics. *)
-  let storage_report = run_storage_bench () in
+  let storage_report = run_storage_bench ~allow_oversubscribe:!allow_oversubscribe () in
   let lookup_estimates =
     if !fast then (None, None)
     else begin
@@ -811,5 +857,11 @@ let () =
   end;
   if not storage_report.Dbm_storage.Storage_bench.sched_equivalent then begin
     prerr_endline "FAIL: wakeup scheduler report diverged from the polling reference";
+    exit 1
+  end;
+  (* A parallel or checkpoint-skipping restart that leaves different
+     bytes than the serial reference replay is a recovery bug. *)
+  if not storage_report.Dbm_storage.Storage_bench.recovery_equivalent then begin
+    prerr_endline "FAIL: parallel/checkpointed recovery state diverged from the serial reference";
     exit 1
   end

@@ -447,8 +447,25 @@ let storage_bench_cmd =
       value & opt positive_int 1
       & info [ "scale" ] ~docv:"N" ~doc:"Workload multiplier (1 = the CI smoke size).")
   in
-  let run scale =
-    let b = Dbm_storage.Storage_bench.run ~scale ~now:Unix.gettimeofday () in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (list positive_int) [ 1; 2; 4 ]
+      & info [ "jobs"; "j" ] ~docv:"N,..."
+          ~doc:
+            "Worker-domain counts for the parallel-recovery curve (a jobs=1 serial \
+             baseline is always included).")
+  in
+  let oversubscribe_arg =
+    Arg.(
+      value & flag
+      & info [ "allow-oversubscribe" ]
+          ~doc:"Measure requested job counts beyond the host's cores instead of skipping them.")
+  in
+  let run scale jobs allow_oversubscribe =
+    let b =
+      Dbm_storage.Storage_bench.run ~scale ~jobs ~allow_oversubscribe ~now:Unix.gettimeofday ()
+    in
     let open Dbm_storage.Storage_bench in
     Printf.printf "Contended scheduler (%d scripts, hot page behind private locks):\n" b.sched_txns;
     Printf.printf "  polling (pre-overhaul)  %8.2f ms\n" b.sched_naive_ms;
@@ -466,20 +483,40 @@ let storage_bench_cmd =
       b.recovery_wall_l_ms;
     Printf.printf "  %6d txns  %7d records  %8.2f ms   (ratio %.2f, linear ~2)\n\n"
       (2 * b.recovery_txns_l) b.recovery_records_2l b.recovery_wall_2l_ms b.recovery_wall_ratio;
+    Printf.printf "Page-partitioned parallel recovery (%d records, best of five):\n"
+      b.recovery_records_l;
+    List.iter
+      (fun p ->
+        Printf.printf "  %2d job%s%s  %8.2f ms   (%s)\n" p.rj_jobs
+          (if p.rj_jobs > 1 then "s" else " ")
+          (if p.rj_oversubscribed then " [oversubscribed]" else "")
+          p.rj_wall_ms
+          (if p.rj_equivalent then "state identical to serial reference" else "STATE DIVERGED"))
+      b.recovery_jobs;
+    Printf.printf "  best parallel speedup: %.2fx\n\n" b.recovery_parallel_speedup;
+    Printf.printf "Fuzzy-checkpointed recovery (serial replay, same committed work):\n";
+    List.iter
+      (fun p ->
+        Printf.printf "  checkpoint after %3.0f%%  %7d records  %8.2f ms   (%s)\n"
+          (100. *. p.ck_fraction) p.ck_records p.ck_wall_ms
+          (if p.ck_equivalent then "state identical to full replay" else "STATE DIVERGED"))
+      b.recovery_ckpt;
+    Printf.printf "  newest checkpoint vs full replay: %.2fx cheaper\n\n" b.recovery_ckpt_speedup;
     Printf.printf "Buffer pool get: %.0f ns hit, %.0f ns miss\n" b.pool_hit_ns b.pool_miss_ns;
     Printf.printf "Journal: %.2fM appends/sec, %.2fM appends/sec with sync every 64\n"
       (b.journal_append_per_sec /. 1e6)
       (b.journal_append_sync_per_sec /. 1e6);
-    if not b.sched_equivalent then exit 1
+    if not b.sched_equivalent then exit 1;
+    if not b.recovery_equivalent then exit 1
   in
   Cmd.v
     (Cmd.info "storage-bench"
        ~doc:
          "Benchmark the storage half: per-engine transaction throughput under the 2PL \
           scheduler, scheduler and lock-manager hot paths against their pre-overhaul \
-          versions, recovery wall time vs log length, buffer-pool and journal \
-          microbenchmarks.")
-    Term.(const run $ scale_arg)
+          versions, recovery wall time vs log length, vs worker-domain count and vs \
+          fuzzy-checkpoint age, buffer-pool and journal microbenchmarks.")
+    Term.(const run $ scale_arg $ jobs_arg $ oversubscribe_arg)
 
 (* -- version-select command ---------------------------------------- *)
 

@@ -118,8 +118,20 @@ let cost_model () = !cost_model_ref
    transactions x mean pages orders cold runs usefully even though the
    absolute milliseconds are fiction.  Open-arrival runs simulate the
    arrival tail on top; the factor keeps them sorted above an otherwise
-   equal closed run. *)
-let default_prior_ms ~machine ~workload =
+   equal closed run.
+
+   Cold runs of DIFFERENT architectures on one scenario must not
+   collapse to one flat estimate (a batch of equal priors degrades LPT
+   scheduling to arbitrary order), so the estimate also weighs the
+   architecture family — recovery machinery that simulates extra
+   per-write work ranks above the bare machine — the write fraction
+   each family is sensitive to, the access pattern, and finally a tiny
+   descriptor-hash tiebreak so two variant configs of one family stay
+   distinguishable. *)
+let arch_family arch =
+  match String.index_opt arch ':' with Some i -> String.sub arch 0 i | None -> arch
+
+let default_prior_ms ~arch ~machine ~workload =
   let mean_pages =
     float_of_int (workload.Dbm_workload.Workload.min_pages + workload.Dbm_workload.Workload.max_pages)
     /. 2.0
@@ -130,7 +142,31 @@ let default_prior_ms ~machine ~workload =
     | Dbm_machine.Config.Batch -> 1.0
     | Dbm_machine.Config.Poisson _ -> 1.25
   in
-  refs *. arrival_factor /. 20.0
+  (* [base] orders the families by how much simulated machinery each
+     reference drags along; [write_weight] scales with how much of that
+     machinery only fires on writes. *)
+  let base, write_weight =
+    match arch_family arch with
+    | "bare" -> (0.45, 0.0)
+    | "version-select" -> (0.7, 0.3)
+    | "logging" -> (1.0, 0.8)
+    | "shadow" -> (1.1, 1.0)
+    | "diff-file" -> (1.35, 1.2)
+    | _ -> (1.0, 0.5)
+  in
+  let write_factor = 1.0 +. (write_weight *. workload.Dbm_workload.Workload.write_fraction) in
+  let pattern_factor =
+    match workload.Dbm_workload.Workload.pattern with
+    | Dbm_workload.Workload.Sequential -> 0.9
+    | Dbm_workload.Workload.Random_access -> 1.0
+    | Dbm_workload.Workload.Hotspot _ -> 1.15
+  in
+  (* Deterministic in [0, 1/16): breaks ties between variant configs of
+     one family without reordering anything a real factor separates. *)
+  let tiebreak =
+    1.0 +. (float_of_int (Int64.to_int (Digest.fnv64 arch) land 0xff) /. 4096.0)
+  in
+  refs *. arrival_factor *. base *. write_factor *. pattern_factor *. tiebreak /. 20.0
 
 let estimated_cost req =
   match !cost_model_ref with
@@ -221,7 +257,7 @@ let request ~arch ~machine ~workload ~make_arch =
   {
     digest = Digest.hex d;
     label = arch;
-    prior_ms = default_prior_ms ~machine ~workload;
+    prior_ms = default_prior_ms ~arch ~machine ~workload;
     compute =
       (fun () ->
         let txns = generate_workload workload in

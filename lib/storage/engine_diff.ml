@@ -14,11 +14,19 @@ type store = {
   committed : (int, unit) Hashtbl.t;
   mutable next_txn : int;
   mutable next_stamp : int;
+  (* Exact maxima over the currently retained A/D records (0 when the
+     files are empty): what a full scan of the files would find.  Fuzzy
+     checkpoint markers persist them so recovery can skip the scan of
+     everything before the marker. *)
+  mutable max_record_stamp : int;
+  mutable max_record_txn : int;
   mutable epoch : int;
   mutable live : int;
   auto_merge_records : int option;
+  mutable recovery_pool : Dbm_util.Pool.t option;
   mutable recoveries : int;
   mutable merge_count : int;
+  mutable fuzzy_checkpoints : int;
 }
 
 type t = store
@@ -70,10 +78,14 @@ let create_with ?(n_keys = 256) ?(keys_per_page = 4) ?auto_merge_records () =
     auto_merge_records;
     next_txn = 1;
     next_stamp = 1;
+    max_record_stamp = 0;
+    max_record_txn = 0;
     epoch = 0;
     live = 0;
+    recovery_pool = None;
     recoveries = 0;
     merge_count = 0;
+    fuzzy_checkpoints = 0;
   }
 
 let create ?n_keys () = create_with ?n_keys ()
@@ -133,17 +145,25 @@ let get h k =
   | Some (_, outcome) -> outcome
   | None -> Page.lookup (Vdisk.read_ro t.base (page_of t k)) ~key:k
 
+let note_record t ~stamp ~txn =
+  if stamp > t.max_record_stamp then t.max_record_stamp <- stamp;
+  if txn > t.max_record_txn then t.max_record_txn <- txn
+
 let put h k v =
   check h;
   check_key h.st k;
   let t = h.st in
-  ignore (Journal.append t.a_file (encode_a ~stamp:(stamp t) ~txn:h.id ~key:k ~value:v))
+  let s = stamp t in
+  ignore (Journal.append t.a_file (encode_a ~stamp:s ~txn:h.id ~key:k ~value:v));
+  note_record t ~stamp:s ~txn:h.id
 
 let delete h k =
   check h;
   check_key h.st k;
   let t = h.st in
-  ignore (Journal.append t.d_file (encode_d ~stamp:(stamp t) ~txn:h.id ~key:k))
+  let s = stamp t in
+  ignore (Journal.append t.d_file (encode_d ~stamp:s ~txn:h.id ~key:k));
+  note_record t ~stamp:s ~txn:h.id
 
 let finish h =
   h.finished <- true;
@@ -169,9 +189,120 @@ let abort h =
   finish h;
   !maybe_auto_merge h.st
 
+(* Fuzzy checkpoint markers ride in the commits journal:
+   "F <a_mark> <d_mark> <max_stamp> <max_txn>" — the A/D sequence
+   numbers everything before which was durable at marker time, plus the
+   exact record-stamp/txn maxima of that durable prefix.  Recovery only
+   scans records at or after the newest marker's marks; the floors
+   stand in for the skipped prefix. *)
+let encode_marker t =
+  Printf.sprintf "F %d %d %d %d" (Journal.synced t.a_file) (Journal.synced t.d_file)
+    t.max_record_stamp t.max_record_txn
+
+type marker = { a_mark : int; d_mark : int; stamp_floor : int; txn_floor : int }
+
+let is_marker r = String.length r > 0 && r.[0] = 'F'
+
+let decode_marker r =
+  match String.split_on_char ' ' r with
+  | [ "F"; a_mark; d_mark; stamp_floor; txn_floor ] ->
+    {
+      a_mark = int_of_string a_mark;
+      d_mark = int_of_string d_mark;
+      stamp_floor = int_of_string stamp_floor;
+      txn_floor = int_of_string txn_floor;
+    }
+  | _ -> invalid_arg ("Engine_diff: corrupt checkpoint marker " ^ r)
+
+(* Rebuild [committed] from the commit markers; the newest durable
+   fuzzy-checkpoint marker (if any) rides back too. *)
+let read_commits t =
+  let marker = ref None in
+  List.iter
+    (fun r ->
+      if is_marker r then marker := Some (decode_marker r)
+      else Hashtbl.replace t.committed (int_of_string r) ())
+    (Journal.read_all t.commits);
+  !marker
+
+(* Max (stamp, txn) over the durable records of [journal] with sequence
+   number >= [from_seq], chunk-scanned across the pool. *)
+let scan_max ?pool journal ~from_seq ~decode =
+  let raw = Journal.to_array journal in
+  let base = Journal.synced journal - Journal.length journal in
+  let lo = max 0 (from_seq - base) in
+  let len = Array.length raw in
+  if lo >= len then (0, 0)
+  else begin
+    let pieces = match pool with None -> 1 | Some p -> 4 * Dbm_util.Pool.jobs p in
+    Replay.map_list ?pool
+      (Replay.chunk_ranges ~len:(len - lo) ~pieces)
+      ~f:(fun (clo, chi) ->
+        let ms = ref 0 and mt = ref 0 in
+        for i = lo + clo to lo + chi - 1 do
+          let s, txn = decode raw.(i) in
+          if s > !ms then ms := s;
+          if txn > !mt then mt := txn
+        done;
+        (!ms, !mt))
+    |> List.fold_left (fun (ams, amt) (ms, mt) -> (max ams ms, max amt mt)) (0, 0)
+  end
+
+(* Shared recovery epilogue: re-seed the counters from the computed
+   record maxima plus the committed ids. *)
+let finish_recovery t ~max_stamp ~record_txn =
+  t.max_record_stamp <- max_stamp;
+  t.max_record_txn <- record_txn;
+  let max_txn = Hashtbl.fold (fun id () acc -> max acc id) t.committed record_txn in
+  t.next_txn <- max_txn + 1;
+  t.next_stamp <- max_stamp + 1;
+  t.live <- 0;
+  t.recoveries <- t.recoveries + 1
+
 let recover t =
   Hashtbl.reset t.committed;
-  List.iter (fun r -> Hashtbl.replace t.committed (int_of_string r) ()) (Journal.read_all t.commits);
+  let marker = read_commits t in
+  let a_from, d_from, stamp_floor, txn_floor =
+    match marker with
+    | None -> (0, 0, 0, 0)
+    | Some m -> (m.a_mark, m.d_mark, m.stamp_floor, m.txn_floor)
+  in
+  let pool = t.recovery_pool in
+  let a_stamp, a_txn =
+    scan_max ?pool t.a_file ~from_seq:a_from ~decode:(fun r ->
+        let s, txn, _, _ = decode_a r in
+        (s, txn))
+  in
+  let d_stamp, d_txn =
+    scan_max ?pool t.d_file ~from_seq:d_from ~decode:(fun r ->
+        let s, txn, _ = decode_d r in
+        (s, txn))
+  in
+  finish_recovery t
+    ~max_stamp:(max stamp_floor (max a_stamp d_stamp))
+    ~record_txn:(max txn_floor (max a_txn d_txn))
+
+let crash_and_recover t =
+  Vdisk.crash t.base;
+  Journal.crash t.a_file;
+  Journal.crash t.d_file;
+  Journal.crash t.commits;
+  t.epoch <- t.epoch + 1;
+  recover t
+
+(* The pre-parallelization recovery, preserved: one thread, full scan
+   of both differential files, no marker shortcuts (markers are parsed
+   only to be skipped).  [crash_and_recover] must reach the same
+   fingerprint — the marker floors are defined as exactly what the full
+   scan finds in the skipped prefix. *)
+let crash_and_recover_reference t =
+  Vdisk.crash t.base;
+  Journal.crash t.a_file;
+  Journal.crash t.d_file;
+  Journal.crash t.commits;
+  t.epoch <- t.epoch + 1;
+  Hashtbl.reset t.committed;
+  ignore (read_commits t);
   let max_txn = ref 0 and max_stamp = ref 0 in
   List.iter
     (fun r ->
@@ -185,19 +316,47 @@ let recover t =
       max_stamp := max !max_stamp s;
       max_txn := max !max_txn txn)
     (Journal.read_all t.d_file);
-  Hashtbl.iter (fun id () -> max_txn := max !max_txn id) t.committed;
-  t.next_txn <- !max_txn + 1;
-  t.next_stamp <- !max_stamp + 1;
-  t.live <- 0;
-  t.recoveries <- t.recoveries + 1
+  finish_recovery t ~max_stamp:!max_stamp ~record_txn:!max_txn
 
-let crash_and_recover t =
-  Vdisk.crash t.base;
-  Journal.crash t.a_file;
-  Journal.crash t.d_file;
-  Journal.crash t.commits;
-  t.epoch <- t.epoch + 1;
-  recover t
+(* Fuzzy checkpoint: force the differential files (making every record
+   before the recorded marks durable), then append one marker carrying
+   the exact prefix maxima.  No quiescence, no base write, no
+   truncation — cost is two journal forces regardless of load.
+   [sync:false] leaves the marker volatile for the
+   crash-during-checkpoint tests: losing it falls back to the previous
+   marker or a full scan, never to a wrong state. *)
+let checkpoint_fuzzy ?(sync = true) t =
+  Journal.sync t.a_file;
+  Journal.sync t.d_file;
+  ignore (Journal.append t.commits (encode_marker t));
+  if sync then Journal.sync t.commits;
+  t.fuzzy_checkpoints <- t.fuzzy_checkpoints + 1
+
+let set_recovery_pool t pool = t.recovery_pool <- pool
+
+let recovery_pool t = t.recovery_pool
+
+(* Digest of everything recovery is responsible for: base pages,
+   retained differential records, the committed set and the re-seeded
+   counters.  Journal sequence positions are included via the synced
+   counts so a truncation-shifted-but-equal state cannot alias. *)
+let state_fingerprint t =
+  let d = Dbm_util.Digest.create () in
+  for p = 0 to t.n_pages - 1 do
+    Dbm_util.Digest.string d (Bytes.to_string (Vdisk.read_ro t.base p))
+  done;
+  let feed_journal j =
+    Dbm_util.Digest.int d (Journal.synced j);
+    List.iter (Dbm_util.Digest.string d) (Journal.read_all j)
+  in
+  feed_journal t.a_file;
+  feed_journal t.d_file;
+  Hashtbl.fold (fun id () acc -> id :: acc) t.committed []
+  |> List.sort Int.compare
+  |> List.iter (Dbm_util.Digest.int d);
+  Dbm_util.Digest.int d t.next_stamp;
+  Dbm_util.Digest.int d t.next_txn;
+  Dbm_util.Digest.hex d
 
 (* Merge the committed differential records into the base file and
    truncate A and D — the periodic reorganization the paper notes must
@@ -241,6 +400,14 @@ let checkpoint t =
   Vdisk.sync t.base;
   Journal.truncate t.a_file ~keep_from:(Journal.synced t.a_file);
   Journal.truncate t.d_file ~keep_from:(Journal.synced t.d_file);
+  (* The truncation empties the retained windows, so the record maxima a
+     full scan would find drop to zero — and every older checkpoint
+     marker's floors are now stale.  Record the empty state durably so
+     recovery never trusts one. *)
+  t.max_record_stamp <- 0;
+  t.max_record_txn <- 0;
+  ignore (Journal.append t.commits (encode_marker t));
+  Journal.sync t.commits;
   t.merge_count <- t.merge_count + 1
 
 let () =
@@ -268,4 +435,5 @@ let stats t =
     ("live_txns", t.live);
     ("recoveries", t.recoveries);
     ("merges", t.merge_count);
+    ("fuzzy_checkpoints", t.fuzzy_checkpoints);
   ]

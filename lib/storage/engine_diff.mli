@@ -24,6 +24,36 @@ val create_with : ?n_keys:int -> ?keys_per_page:int -> ?auto_merge_records:int -
     hold at least that many records — the periodic reorganization the
     paper says must bound their size (Section 4.3.3). *)
 
+val checkpoint_fuzzy : ?sync:bool -> t -> unit
+(** Fuzzy checkpoint: force the differential files, then append one
+    marker to the commit journal recording how far they were durable
+    and the exact stamp/txn maxima of that durable prefix.  Restart
+    recovery then scans only the records past the newest marker instead
+    of the whole files.  Needs no quiescence (unlike {!checkpoint}'s
+    merge), writes nothing to the base, truncates nothing.  [sync]
+    (default [true]) forces the marker; [sync:false] leaves it
+    volatile, so a crash simply loses it and recovery falls back to the
+    previous marker or a full scan — never to a wrong state. *)
+
+val set_recovery_pool : t -> Dbm_util.Pool.t option -> unit
+(** Domain pool for restart recovery (default [None] = serial): the
+    differential-file suffix scans are chunked across the pool's
+    domains.  Recovered state is identical for any pool size.  The
+    engine does not own the pool. *)
+
+val recovery_pool : t -> Dbm_util.Pool.t option
+
+val state_fingerprint : t -> string
+(** 128-bit hex digest of base pages, retained differential records,
+    the committed set and the stamp/txn counters — everything restart
+    recovery is responsible for.  The equivalence gate compares it
+    after [crash_and_recover] vs {!crash_and_recover_reference}. *)
+
+val crash_and_recover_reference : t -> unit
+(** Crash, then recover along the preserved pre-parallelization path:
+    single-threaded full scan of both differential files, checkpoint
+    markers ignored (parsed only to be skipped). *)
+
 val a_size : t -> int
 (** Records currently in the additions file. *)
 

@@ -63,15 +63,22 @@ type store = {
   mutable next_txn : int;
   mutable cyclic : int;
   mutable epoch : int;
-  active : (int, (int, bytes) Hashtbl.t) Hashtbl.t;
-      (* txn -> page -> before image of the txn's first update *)
+  active : (int, (int, bytes * int) Hashtbl.t) Hashtbl.t;
+      (* txn -> page -> (before image, lsn) of the txn's first update *)
   used_logs : (int, (int, unit) Hashtbl.t) Hashtbl.t;  (* txn -> log disks used *)
+  dirty_rec : (int, int) Hashtbl.t;
+      (* The dirty-page table: page -> recovery LSN, i.e. the LSN of the
+         earliest update the page's durable image is missing.  An entry
+         appears when a volatile write first moves a page ahead of its
+         durable image and disappears when the data disk is synced. *)
+  mutable recovery_pool : Dbm_util.Pool.t option;
   mutable records_logged : int;
   mutable records_since_checkpoint : int;
   auto_checkpoint_records : int option;
   mutable strategy : recovery_strategy;
   mutable recoveries : int;
   mutable checkpoints : int;
+  mutable fuzzy_checkpoints : int;
 }
 
 type t = store
@@ -106,12 +113,15 @@ let create_with ?(n_keys = default_keys) ?(n_log_disks = 2) ?(selection = Cyclic
     epoch = 0;
     active = Hashtbl.create 8;
     used_logs = Hashtbl.create 8;
+    dirty_rec = Hashtbl.create 32;
+    recovery_pool = None;
     records_logged = 0;
     records_since_checkpoint = 0;
     auto_checkpoint_records;
     strategy = Sorted;
     recoveries = 0;
     checkpoints = 0;
+    fuzzy_checkpoints = 0;
   }
 
 let create ?n_keys () = create_with ?n_keys ()
@@ -188,10 +198,14 @@ let update_key txn k value =
   (match Hashtbl.find_opt t.used_logs txn.id with
   | Some set -> Hashtbl.replace set disk ()
   | None -> assert false);
-  (* Remember the first before image per page for in-flight abort. *)
+  (* Remember the first (before image, lsn) per page for in-flight abort
+     and for the fuzzy checkpoint's dirty-page table. *)
   (match Hashtbl.find_opt t.active txn.id with
-  | Some firsts -> if not (Hashtbl.mem firsts p) then Hashtbl.replace firsts p before
+  | Some firsts -> if not (Hashtbl.mem firsts p) then Hashtbl.replace firsts p (before, lsn)
   | None -> assert false);
+  (* The page becomes dirty at the LSN of the first update its durable
+     image misses. *)
+  if not (Hashtbl.mem t.dirty_rec p) then Hashtbl.replace t.dirty_rec p lsn;
   Vdisk.write t.data p after
 
 let put txn k v = update_key txn k (Some v)
@@ -240,11 +254,21 @@ let abort txn =
   (match Hashtbl.find_opt t.active txn.id with
   | Some firsts ->
     Hashtbl.iter
-      (fun p before ->
+      (fun p (before, first_lsn) ->
         let lsn = fresh_lsn t in
         let restored = Bytes.copy before in
         Page.set_lsn restored lsn;
-        Vdisk.write t.data p restored)
+        Vdisk.write t.data p restored;
+        (* The restore itself is not logged, so a mid-log replay must
+           still scan back to the loser's first update on this page to
+           reproduce the undo — the dirty entry keeps (or regains) that
+           LSN, never the restore's fresh one. *)
+        let rec_ =
+          match Hashtbl.find_opt t.dirty_rec p with
+          | Some existing -> min existing first_lsn
+          | None -> first_lsn
+        in
+        Hashtbl.replace t.dirty_rec p rec_)
       firsts
   | None -> ());
   let disk = select_log t ~txn:txn.id ~page:0 in
@@ -254,59 +278,27 @@ let abort txn =
 
 let flush t =
   Array.iter Journal.sync t.logs;
-  Vdisk.sync t.data
+  Vdisk.sync t.data;
+  (* Every page image is durable now; nothing is dirty. *)
+  Hashtbl.reset t.dirty_rec
 
 (* --- restart recovery --------------------------------------------- *)
 
-let all_durable_records t =
-  Array.to_list t.logs
-  |> List.concat_map (fun j -> List.map Wal.decode (Journal.read_all j))
-
-(* Rebuild the per-disk index from the durable journals. *)
-let rebuild_indexes t =
+(* Rebuild the per-disk index from peeked record metadata (LSN and txn
+   id load at fixed offsets, no decode needed); element [i] of disk
+   [d]'s array carries journal sequence number [synced - length + i]. *)
+let rebuild_indexes t (meta : Replay.meta) =
   Array.iteri
-    (fun d j ->
+    (fun d txns ->
       let idx = t.indexes.(d) in
       Idx.clear idx;
-      let seq = ref (Journal.synced j - Journal.length j) in
-      Journal.iter_all
-        (fun r ->
-          let rec_ = Wal.decode r in
-          (match Wal.txn_of rec_ with
-          | Some txn -> Idx.push idx ~seq:!seq ~lsn:(Wal.lsn rec_) ~txn
-          | None -> ());
-          incr seq)
-        j)
-    t.logs
-
-(* Textbook recovery: gather the distributed records, order them per
-   page, and rebuild: last committed after-image wins; a page touched
-   only by losers reverts to the before image of its earliest retained
-   update. *)
-let recover_sorted t records committed =
-  let by_page : (int, (int * int * bytes * bytes) list) Hashtbl.t = Hashtbl.create 64 in
-  List.iter
-    (fun r ->
-      match r with
-      | Wal.Update { lsn; txn; page; before; after } ->
-        let prev = Option.value (Hashtbl.find_opt by_page page) ~default:[] in
-        Hashtbl.replace by_page page ((lsn, txn, before, after) :: prev)
-      | _ -> ())
-    records;
-  Hashtbl.iter
-    (fun page updates ->
-      let ordered = List.sort (fun (a, _, _, _) (b, _, _, _) -> Int.compare a b) updates in
-      let state =
-        List.fold_left
-          (fun acc (_, txn, before, after) ->
-            if Hashtbl.mem committed txn then Some after
-            else match acc with None -> Some before | Some _ -> acc)
-          None ordered
-      in
-      match state with
-      | Some image -> Vdisk.write t.data page image
-      | None -> ())
-    by_page
+      let j = t.logs.(d) in
+      let base = Journal.synced j - Journal.length j in
+      let lsns = meta.Replay.lsns.(d) in
+      Array.iteri
+        (fun i txn -> if txn >= 0 then Idx.push idx ~seq:(base + i) ~lsn:lsns.(i) ~txn)
+        txns)
+    meta.Replay.txns
 
 (* The companion algorithm [13]: no merging, no global sort.  Each log
    disk is processed independently.
@@ -322,12 +314,11 @@ let recover_sorted t records committed =
    record's before image peels one loser write off; repeating to a
    fixpoint (a loser may have updated the same page several times)
    leaves either the last committed image or the pre-history state. *)
-let recover_unmerged t logs committed =
-  let decoded = Array.map (fun j -> List.map Wal.decode (Journal.read_all j)) logs in
+let recover_unmerged t (decoded : Wal.record array array) committed =
   (* Redo, one log at a time, no coordination between them. *)
   Array.iter
     (fun records ->
-      List.iter
+      Array.iter
         (fun r ->
           match r with
           | Wal.Update { lsn; txn; page; after; _ } when Hashtbl.mem committed txn ->
@@ -342,7 +333,7 @@ let recover_unmerged t logs committed =
     progress := false;
     Array.iter
       (fun records ->
-        List.iter
+        Array.iter
           (fun r ->
             match r with
             | Wal.Update { lsn; txn; page; before; _ }
@@ -356,26 +347,53 @@ let recover_unmerged t logs committed =
       decoded
   done
 
-let recover t =
-  let records = all_durable_records t in
-  let committed = Hashtbl.create 16 in
-  List.iter
-    (fun r -> match r with Wal.Commit { txn; _ } -> Hashtbl.replace committed txn () | _ -> ())
-    records;
-  (match t.strategy with
-  | Sorted -> recover_sorted t records committed
-  | Unmerged -> recover_unmerged t t.logs committed);
+(* Shared epilogue of every recovery path: force the rebuilt data disk,
+   re-seed the LSN/txn counters past everything the log has seen, clear
+   the volatile transaction state and rebuild the per-disk index. *)
+let finish_recovery t (meta : Replay.meta) =
   Vdisk.sync t.data;
-  let max_lsn = List.fold_left (fun acc r -> max acc (Wal.lsn r)) 0 records in
-  let max_txn =
-    List.fold_left (fun acc r -> max acc (Option.value (Wal.txn_of r) ~default:0)) 0 records
-  in
-  t.next_lsn <- max_lsn + 1;
-  t.next_txn <- max max_txn t.next_txn + 1;
+  let max_lsn = ref 0 and max_txn = ref 0 in
+  Array.iter (Array.iter (fun l -> if l > !max_lsn then max_lsn := l)) meta.Replay.lsns;
+  Array.iter (Array.iter (fun x -> if x > !max_txn then max_txn := x)) meta.Replay.txns;
+  t.next_lsn <- !max_lsn + 1;
+  (* From the log alone, not [max ... t.next_txn]: ids the volatile
+     counter handed to transactions that never logged a record are dead
+     after a crash and safe to reuse, and deriving both counters purely
+     from durable state makes repeated recovery idempotent — which is
+     what lets the bench fingerprint-compare recoveries run back to
+     back. *)
+  t.next_txn <- !max_txn + 1;
   Hashtbl.reset t.active;
   Hashtbl.reset t.used_logs;
-  rebuild_indexes t;
+  Hashtbl.reset t.dirty_rec;
+  rebuild_indexes t meta;
   t.recoveries <- t.recoveries + 1
+
+let recover t =
+  let pool = t.recovery_pool in
+  let raws = Array.map Journal.to_array t.logs in
+  let meta = Replay.scan raws in
+  (match t.strategy with
+  | Sorted ->
+    (* The partitioned parallel path.  The newest durable fuzzy
+       checkpoint is located by tag peek, each journal is binary-searched
+       for its replay suffix, and only that suffix is decoded — the
+       skipped prefix never pays the checksum pass, which is where the
+       checkpoint's saving lives (indexes and counter maxima come from
+       the peeked [meta] instead).  With no pool (or a 1-job pool) this
+       is the serial sorted replay, record for record. *)
+    let start_lsn = Replay.replay_start_raw raws in
+    let lo = Replay.suffix_starts meta ~start_lsn in
+    let records = Replay.decode_from ?pool raws ~lo in
+    Replay.recover_sorted ?pool ~records ~start_lsn
+      ~write:(fun ~page image -> Vdisk.write t.data page image)
+      ()
+  | Unmerged ->
+    (* The companion algorithm keys redo off page LSNs, not off a start
+       point, so it always decodes and walks the full log. *)
+    let records = Replay.decode_from ?pool raws ~lo:(Array.map (fun _ -> 0) raws) in
+    recover_unmerged t records (Replay.committed ~start_lsn:0 records));
+  finish_recovery t meta
 
 let crash_and_recover t =
   Vdisk.crash t.data;
@@ -383,11 +401,30 @@ let crash_and_recover t =
   t.epoch <- t.epoch + 1;
   recover t
 
-(* Fuzzy checkpoint: force logs and data, then truncate every log disk
+(* Crash, then recover along the preserved pre-parallelization path
+   (Naive.Log_replay): single-threaded decode, from-zero sorted replay,
+   fuzzy-checkpoint records ignored.  The epilogue is the same
+   [finish_recovery], so [state_fingerprint] after this must equal the
+   fingerprint after [crash_and_recover] on the same durable state —
+   the equivalence the property tests and the bench gate on. *)
+let crash_and_recover_reference t =
+  Vdisk.crash t.data;
+  Array.iter Journal.crash t.logs;
+  t.epoch <- t.epoch + 1;
+  let decoded =
+    Array.map (fun j -> Array.of_list (List.map Wal.decode (Journal.read_all j))) t.logs
+  in
+  let records = Array.to_list decoded |> List.concat_map Array.to_list in
+  Naive.Log_replay.recover_sorted ~records
+    ~write:(fun ~page image -> Vdisk.write t.data page image);
+  finish_recovery t (Replay.scan (Array.map Journal.to_array t.logs))
+
+(* Sharp checkpoint: force logs and data, then truncate every log disk
    up to the earliest record still needed by a live transaction. *)
 let checkpoint t =
   Array.iter Journal.sync t.logs;
   Vdisk.sync t.data;
+  Hashtbl.reset t.dirty_rec;
   let active = Hashtbl.fold (fun id _ acc -> id :: acc) t.active [] in
   let disk = 0 in
   ignore (append_log t ~disk (Wal.Checkpoint { lsn = fresh_lsn t; active }));
@@ -407,6 +444,59 @@ let checkpoint t =
     t.logs;
   t.records_since_checkpoint <- 0;
   t.checkpoints <- t.checkpoints + 1
+
+(* Fuzzy checkpoint (the paper's low-interference flavor): no data-disk
+   force, no truncation, no quiescing — one log force and one record.
+   The record names where a later replay may start:
+
+     start_lsn = min( next_lsn,
+                      every active transaction's earliest update LSN,
+                      every dirty page's recovery LSN )
+
+   Every update below start_lsn belongs to a finished transaction AND
+   sits on a page whose durable image already includes it, so replay
+   loses nothing by skipping it; DESIGN.md B.2 has the full argument.
+   [sync:false] leaves the record volatile — the crash-during-checkpoint
+   tests use it to check that a lost checkpoint record merely falls back
+   to the previous start point. *)
+let checkpoint_fuzzy ?(sync = true) t =
+  Array.iter Journal.sync t.logs;
+  let start = ref t.next_lsn in
+  Hashtbl.iter
+    (fun _ firsts ->
+      Hashtbl.iter (fun _ (_, lsn) -> if lsn < !start then start := lsn) firsts)
+    t.active;
+  Hashtbl.iter (fun _ rec_ -> if rec_ < !start then start := rec_) t.dirty_rec;
+  let active = Hashtbl.fold (fun id _ acc -> id :: acc) t.active [] |> List.sort Int.compare in
+  let dirty =
+    Hashtbl.fold (fun p rec_ acc -> (p, rec_) :: acc) t.dirty_rec []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  let disk = 0 in
+  ignore
+    (append_log t ~disk
+       (Wal.Fuzzy_checkpoint { lsn = fresh_lsn t; start_lsn = !start; active; dirty }));
+  if sync then Journal.sync t.logs.(disk);
+  t.records_since_checkpoint <- 0;
+  t.fuzzy_checkpoints <- t.fuzzy_checkpoints + 1
+
+let set_recovery_pool t pool = t.recovery_pool <- pool
+
+let recovery_pool t = t.recovery_pool
+
+(* Injective digest of everything restart recovery is responsible for:
+   every data page image plus the re-seeded LSN/txn counters.  Disk
+   operation counters are deliberately excluded — checkpoint-aware
+   replay legitimately touches fewer pages than full-log replay; that
+   saving is the feature, not a divergence. *)
+let state_fingerprint t =
+  let d = Dbm_util.Digest.create () in
+  for p = 0 to Vdisk.pages t.data - 1 do
+    Dbm_util.Digest.string d (Bytes.to_string (Vdisk.read_ro t.data p))
+  done;
+  Dbm_util.Digest.int d t.next_lsn;
+  Dbm_util.Digest.int d t.next_txn;
+  Dbm_util.Digest.hex d
 
 let () =
   maybe_auto_checkpoint :=
@@ -430,6 +520,8 @@ let stats t =
     ("live_txns", Hashtbl.length t.active);
     ("recoveries", t.recoveries);
     ("checkpoints", t.checkpoints);
+    ("fuzzy_checkpoints", t.fuzzy_checkpoints);
+    ("dirty_pages", Hashtbl.length t.dirty_rec);
     ("durable_records", Array.fold_left (fun acc j -> acc + Journal.length j) 0 t.logs);
     ("log_syncs", Array.fold_left (fun acc j -> acc + Journal.sync_count j) 0 t.logs);
   ]

@@ -25,7 +25,7 @@ val create_with :
   t
 (** [create] is [create_with] with 2 log disks, cyclic selection,
     4 keys per page and no automatic checkpointing.
-    [auto_checkpoint_records], when set, runs a fuzzy checkpoint at the
+    [auto_checkpoint_records], when set, runs a sharp checkpoint at the
     first transaction boundary after that many log records have
     accumulated since the last checkpoint, bounding both the log size
     and the restart-recovery work. *)
@@ -62,6 +62,44 @@ val set_recovery_strategy : t -> recovery_strategy -> unit
 (** Default [Sorted].  Takes effect at the next [crash_and_recover]. *)
 
 val recovery_strategy : t -> recovery_strategy
+
+val set_recovery_pool : t -> Dbm_util.Pool.t option -> unit
+(** Domain pool for restart recovery (default [None] = serial).  With a
+    pool, log decoding fans contiguous record chunks across the domains
+    and the [Sorted] strategy replays page-hash partitions in parallel
+    (see {!Replay}); the rebuilt state is bit-identical for any pool
+    size — [None] and a 1-job pool are literally the serial path.  The
+    engine does not own the pool; the caller shuts it down. *)
+
+val recovery_pool : t -> Dbm_util.Pool.t option
+
+val checkpoint_fuzzy : ?sync:bool -> t -> unit
+(** Fuzzy checkpoint: force the log disks and append one
+    {!Wal.Fuzzy_checkpoint} record naming the LSN a future replay may
+    start from (the minimum over every active transaction's earliest
+    update LSN and every dirty page's recovery LSN) plus the dirty-page
+    table.  Unlike {!checkpoint} it does not force the data disk, does
+    not truncate, and does not care who is running — its cost is one
+    log force regardless of the data state.  [sync] (default [true])
+    forces the checkpoint record itself; [sync:false] leaves it in the
+    volatile tail, where a crash simply loses it (recovery falls back
+    to the previous checkpoint or to record 0 — never to a wrong
+    state). *)
+
+val state_fingerprint : t -> string
+(** 128-bit hex digest of every data page image plus the LSN/txn
+    counters — the state restart recovery is responsible for.  Disk
+    operation counters are excluded: checkpoint-aware replay writes
+    fewer pages by design.  Equal fingerprints after
+    [crash_and_recover] and [crash_and_recover_reference] are the
+    parallel path's correctness gate. *)
+
+val crash_and_recover_reference : t -> unit
+(** Crash, then recover along the preserved pre-parallelization path
+    ({!Naive.Log_replay}): serial decode, from-zero sorted replay,
+    fuzzy-checkpoint records ignored.  Reference for equivalence tests
+    and the bench baseline; same counter-reset epilogue as
+    [crash_and_recover]. *)
 
 val log_disks : t -> int
 

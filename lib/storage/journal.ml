@@ -76,6 +76,8 @@ let read_live t =
   done;
   !acc
 
+let to_array t = Array.sub t.buf t.start t.durable
+
 let appended t = t.base + t.durable + t.pending
 
 let synced t = t.base + t.durable

@@ -42,6 +42,11 @@ val iter_all : (string -> unit) -> t -> unit
 val iter_live : (string -> unit) -> t -> unit
 (** Iterate durable records then the buffered tail, no list. *)
 
+val to_array : t -> string array
+(** The retained durable records in append order, as a fresh array —
+    the random-access view chunked (parallel) recovery scans need.
+    Element [i] has sequence number [synced t - length t + i]. *)
+
 val appended : t -> int
 (** Records appended so far (including unsynced ones). *)
 

@@ -163,6 +163,49 @@ module Locks = struct
       t.pages false
 end
 
+(* The pre-parallelization restart recovery of the logging engine,
+   verbatim: one thread gathers every durable record, groups the updates
+   per page in one hash table and folds each page's LSN-sorted history.
+   Always replays from record 0 — fuzzy-checkpoint records are inert
+   history to it.  The partitioned Replay module must produce the same
+   final images on any job count; the property tests and the bench gate
+   enforce it. *)
+module Log_replay = struct
+  let committed records =
+    let committed = Hashtbl.create 16 in
+    List.iter
+      (fun r ->
+        match r with Wal.Commit { txn; _ } -> Hashtbl.replace committed txn () | _ -> ())
+      records;
+    committed
+
+  let recover_sorted ~records ~write =
+    let committed = committed records in
+    let by_page : (int, (int * int * bytes * bytes) list) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun r ->
+        match r with
+        | Wal.Update { lsn; txn; page; before; after } ->
+          let prev = Option.value (Hashtbl.find_opt by_page page) ~default:[] in
+          Hashtbl.replace by_page page ((lsn, txn, before, after) :: prev)
+        | _ -> ())
+      records;
+    Hashtbl.iter
+      (fun page updates ->
+        let ordered = List.sort (fun (a, _, _, _) (b, _, _, _) -> Int.compare a b) updates in
+        let state =
+          List.fold_left
+            (fun acc (_, txn, before, after) ->
+              if Hashtbl.mem committed txn then Some after
+              else match acc with None -> Some before | Some _ -> acc)
+            None ordered
+        in
+        match state with
+        | Some image -> write ~page image
+        | None -> ())
+      by_page
+end
+
 (* The pre-overhaul scheduler: every turn round-robin-polls every
    unfinished script, re-running the lock acquisition for blocked ones. *)
 module Sched (E : Kv.S) = struct

@@ -30,3 +30,18 @@ end
 module Sched (E : Kv.S) : sig
   val run : ?max_steps:int -> E.t -> scripts:(int * Scheduler.script) list -> Scheduler.report
 end
+
+(** The logging engine's restart recovery as it was before the
+    page-partitioned parallel {!Replay} module: a single-threaded
+    full-log sorted replay (gather, group per page, fold in LSN order).
+    It ignores fuzzy-checkpoint records entirely — replay always starts
+    at record 0 — which is exactly what makes it the reference: the
+    partitioned, checkpoint-seeking path must reach the same state. *)
+module Log_replay : sig
+  val committed : Wal.record list -> (int, unit) Hashtbl.t
+  (** Transactions with a durable commit record anywhere in the log. *)
+
+  val recover_sorted : records:Wal.record list -> write:(page:int -> bytes -> unit) -> unit
+  (** Calls [write] once per touched page with its final image, in the
+      reference's (hash-table) iteration order. *)
+end

@@ -1,0 +1,183 @@
+(* Page-partitioned parallel log replay.  See replay.mli for the phase
+   breakdown and the equivalence argument; DESIGN.md B.2 carries the
+   full correctness discussion. *)
+
+module Pool = Dbm_util.Pool
+
+let pieces_of_pool = function None -> 1 | Some p -> Pool.jobs p
+
+(* [map_list] is the one parallel primitive every phase uses: input
+   order in, result order out, so a 1-job pool (or no pool) IS the
+   serial path — Pool.map_ordered with jobs = 1 is documented to be a
+   plain left-to-right List.map. *)
+let map_list ?pool xs ~f =
+  match pool with None -> List.map f xs | Some p -> Pool.map_ordered p xs ~f
+
+(* Contiguous [lo, hi) ranges covering [0, len), at most [pieces] of
+   them, sizes differing by at most one. *)
+let chunk_ranges ~len ~pieces =
+  if len <= 0 then []
+  else begin
+    let pieces = max 1 (min pieces len) in
+    let base = len / pieces and extra = len mod pieces in
+    let rec go i lo acc =
+      if i = pieces then List.rev acc
+      else
+        let hi = lo + base + (if i < extra then 1 else 0) in
+        go (i + 1) hi ((lo, hi) :: acc)
+    in
+    go 0 0 []
+  end
+
+(* Decode-phase work list: contiguous chunks of each disk's raw suffix
+   [lo.(disk), len), oversplit 4x so a chunk of cheap records (commits)
+   does not leave a domain idle behind a chunk of update records with
+   full page images. *)
+let decode_from ?pool (raws : string array array) ~(lo : int array) : Wal.record array array =
+  let pieces = 4 * pieces_of_pool pool in
+  let work =
+    List.concat
+      (List.init (Array.length raws) (fun disk ->
+           List.map
+             (fun (o, h) -> (disk, lo.(disk) + o, lo.(disk) + h))
+             (chunk_ranges ~len:(Array.length raws.(disk) - lo.(disk)) ~pieces)))
+  in
+  let out =
+    Array.mapi
+      (fun disk raw ->
+        Array.make (Array.length raw - lo.(disk)) (Wal.Commit { lsn = 0; txn = 0 }))
+      raws
+  in
+  let chunks =
+    map_list ?pool work ~f:(fun (disk, l, h) ->
+        let raw = raws.(disk) in
+        (disk, l, Array.init (h - l) (fun i -> Wal.decode raw.(l + i))))
+  in
+  List.iter
+    (fun (disk, l, decoded) -> Array.blit decoded 0 out.(disk) (l - lo.(disk)) (Array.length decoded))
+    chunks;
+  out
+
+let decode ?pool (logs : Journal.t array) : Wal.record array array =
+  let raws = Array.map Journal.to_array logs in
+  decode_from ?pool raws ~lo:(Array.map (fun _ -> 0) raws)
+
+(* --- peeked metadata ------------------------------------------------ *)
+
+type meta = { lsns : int array array; txns : int array array }
+
+(* Two fixed-offset loads per record and no checksum pass, so even a
+   full-log scan is cheap next to decoding one page image; recovery
+   rebuilds its indexes and epilogue maxima from this instead of from
+   the decoded prefix it no longer has. *)
+let scan raws =
+  {
+    lsns = Array.map (Array.map Wal.peek_lsn) raws;
+    txns =
+      Array.map
+        (Array.map (fun s -> match Wal.peek_txn s with Some t -> t | None -> -1))
+        raws;
+  }
+
+let replay_start_raw raws =
+  let best = ref 0 and best_lsn = ref (-1) in
+  Array.iter
+    (Array.iter (fun s ->
+         if Wal.peek_is_fuzzy_checkpoint s then begin
+           let lsn = Wal.peek_lsn s in
+           if lsn > !best_lsn then
+             (* Only checkpoint candidates pay for a checked decode. *)
+             match Wal.decode s with
+             | Wal.Fuzzy_checkpoint { start_lsn; _ } ->
+               best_lsn := lsn;
+               best := start_lsn
+             | _ -> ()
+         end))
+    raws;
+  !best
+
+(* LSNs are issued globally and appended in issue order, so they
+   strictly increase within each journal: binary search finds the first
+   retained record at or past the replay start. *)
+let suffix_starts meta ~start_lsn =
+  Array.map
+    (fun lsns ->
+      let lo = ref 0 and hi = ref (Array.length lsns) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if lsns.(mid) >= start_lsn then hi := mid else lo := mid + 1
+      done;
+      !lo)
+    meta.lsns
+
+let replay_start records =
+  let best = ref 0 and best_lsn = ref (-1) in
+  Array.iter
+    (Array.iter (fun r ->
+         match r with
+         | Wal.Fuzzy_checkpoint { lsn; start_lsn; _ } when lsn > !best_lsn ->
+           best_lsn := lsn;
+           best := start_lsn
+         | _ -> ()))
+    records;
+  !best
+
+let committed ~start_lsn records =
+  let committed = Hashtbl.create 64 in
+  Array.iter
+    (Array.iter (fun r ->
+         match r with
+         | Wal.Commit { lsn; txn } when lsn >= start_lsn -> Hashtbl.replace committed txn ()
+         | _ -> ()))
+    records;
+  committed
+
+(* The per-page fold, verbatim from the serial algorithm (preserved as
+   Naive.Log_replay): last committed after-image wins; a page touched
+   only by losers reverts to the before image of its earliest retained
+   update.  LSNs are globally unique, so the sort is a total order. *)
+let page_state committed updates =
+  let ordered = List.sort (fun (a, _, _, _) (b, _, _, _) -> Int.compare a b) updates in
+  List.fold_left
+    (fun acc (_, txn, before, after) ->
+      if Hashtbl.mem committed txn then Some after
+      else match acc with None -> Some before | Some _ -> acc)
+    None ordered
+
+let recover_sorted ?pool ~(records : Wal.record array array) ~start_lsn ~write () =
+  let committed = committed ~start_lsn records in
+  let nparts = pieces_of_pool pool in
+  let buckets = Array.make nparts [] in
+  Array.iter
+    (Array.iter (fun r ->
+         match r with
+         | Wal.Update { lsn; txn; page; before; after } when lsn >= start_lsn ->
+           let b = page mod nparts in
+           buckets.(b) <- (lsn, txn, page, before, after) :: buckets.(b)
+         | _ -> ()))
+    records;
+  let images =
+    map_list ?pool (List.init nparts Fun.id) ~f:(fun b ->
+        (* Group this partition's records per page; the committed table
+           is frozen before the fan-out, so concurrent reads are safe. *)
+        let by_page : (int, (int * int * bytes * bytes) list) Hashtbl.t = Hashtbl.create 64 in
+        List.iter
+          (fun (lsn, txn, page, before, after) ->
+            let prev = Option.value (Hashtbl.find_opt by_page page) ~default:[] in
+            Hashtbl.replace by_page page ((lsn, txn, before, after) :: prev))
+          buckets.(b);
+        let pages =
+          Hashtbl.fold
+            (fun page updates acc ->
+              match page_state committed updates with
+              | Some image -> (page, image) :: acc
+              | None -> acc)
+            by_page []
+        in
+        List.sort (fun (a, _) (b, _) -> Int.compare a b) pages)
+  in
+  (* Partitions hold disjoint page sets, so a merge by ascending page is
+     a plain sort; each page is written exactly once. *)
+  List.concat images
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.iter (fun (page, image) -> write ~page image)

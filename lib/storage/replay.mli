@@ -1,0 +1,106 @@
+(** Page-partitioned parallel log replay (the tentpole of the multicore
+    recovery work).
+
+    Restart recovery over a set of distributed log journals decomposes
+    into three phases, each of which parallelizes without changing the
+    result:
+
+    {ol
+    {- {b decode} — every durable record is length-checked, checksummed
+       and decoded.  Records are independent, so the per-disk record
+       arrays are cut into contiguous chunks and decoded across the
+       {!Dbm_util.Pool} domains; chunk results are reassembled in input
+       order, so the decoded arrays are identical to a serial decode.}
+    {- {b partition} — update records at or after the replay start LSN
+       are hash-partitioned by page ([page mod partitions]).  Every
+       record of one page lands in exactly one partition, so partitions
+       touch disjoint page sets.}
+    {- {b merge/replay} — each partition independently groups its
+       records per page, sorts them by LSN (the global total order the
+       engines issue), filters through the committed-transaction set and
+       folds to a final image per page: the last committed after-image
+       wins, and a page touched only by losers reverts to the before
+       image of its earliest retained update.  Because the fold is per
+       page and pages do not straddle partitions, the images are
+       independent of the partition count and of worker interleaving.}}
+
+    Final images are handed to the caller in ascending page order, once
+    per page, so disk write counts and contents are identical for any
+    job count — [pool = None] (or a 1-job pool) reproduces the serial
+    path exactly. *)
+
+val map_list : ?pool:Dbm_util.Pool.t -> 'a list -> f:('a -> 'b) -> 'b list
+(** The one parallel primitive every phase uses: input order in, result
+    order out.  [pool = None] is [List.map]; a 1-job pool is documented
+    by {!Dbm_util.Pool.map_ordered} to be a plain left-to-right map, so
+    both ARE the serial path. *)
+
+val chunk_ranges : len:int -> pieces:int -> (int * int) list
+(** Contiguous [(lo, hi)] ranges covering [0, len), at most [pieces] of
+    them, sizes differing by at most one.  Empty for [len <= 0]. *)
+
+val replay_start : Wal.record array array -> int
+(** The replay start LSN announced by the newest durable
+    {!Wal.Fuzzy_checkpoint} record across all logs, or [0] when no
+    checkpoint record survives (full-log replay). *)
+
+val decode : ?pool:Dbm_util.Pool.t -> Journal.t array -> Wal.record array array
+(** Decode every retained durable record of every journal, fanning
+    contiguous chunks across the pool.  Output order per disk is append
+    order, bit-identical for any pool size.
+    @raise Wal.Corrupt as a serial decode would. *)
+
+(** {2 Prefix skipping}
+
+    Decoding is the dominant recovery cost (a checksum pass over every
+    page image), so a fuzzy checkpoint only pays off if the prefix it
+    licenses skipping is never decoded at all.  The helpers below work
+    on the raw encoded strings ([Journal.to_array]) via the O(1)
+    {!Wal.peek_lsn}/{!Wal.peek_txn} loads: find the newest checkpoint,
+    binary-search each journal for the replay suffix, decode only that,
+    and rebuild indexes / epilogue maxima from peeked metadata. *)
+
+type meta = {
+  lsns : int array array;  (** peeked LSN of every retained record *)
+  txns : int array array;  (** peeked txn id, [-1] for checkpoint records *)
+}
+
+val scan : string array array -> meta
+(** Peek LSN and txn id of every retained record — two fixed-offset
+    loads per record, no checksum pass. *)
+
+val replay_start_raw : string array array -> int
+(** {!replay_start} over raw encodings: checkpoint candidates are found
+    by tag byte and only those pay for a checked decode.  [0] when no
+    fuzzy checkpoint record survives. *)
+
+val suffix_starts : meta -> start_lsn:int -> int array
+(** Per-journal index of the first retained record with
+    [lsn >= start_lsn] (journal LSNs strictly increase, so this is a
+    binary search).  Everything before it may skip decoding. *)
+
+val decode_from :
+  ?pool:Dbm_util.Pool.t -> string array array -> lo:int array -> Wal.record array array
+(** Decode only the suffix [lo.(disk) ..] of each journal's raw record
+    array, fanning contiguous chunks across the pool.  [decode] is this
+    with [lo] all zero.
+    @raise Wal.Corrupt as a serial decode would. *)
+
+val committed : start_lsn:int -> Wal.record array array -> (int, unit) Hashtbl.t
+(** Transactions with a durable commit record at [lsn >= start_lsn].
+    Any transaction owning an update record in the replay range has its
+    commit record (when durable at all) in the range too, because commit
+    LSNs are issued after every update LSN of the transaction — so the
+    range-restricted set is exactly the set full-log replay would
+    compute for the transactions replay will encounter. *)
+
+val recover_sorted :
+  ?pool:Dbm_util.Pool.t ->
+  records:Wal.record array array ->
+  start_lsn:int ->
+  write:(page:int -> bytes -> unit) ->
+  unit ->
+  unit
+(** The sorted-replay strategy over the partitioned plan described
+    above.  [write] receives each touched page's final image exactly
+    once, in ascending page order, from the calling domain. *)

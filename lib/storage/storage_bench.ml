@@ -10,6 +10,20 @@ type engine_tps = {
   high_restarts : int;
 }
 
+type recovery_jobs_point = {
+  rj_jobs : int;
+  rj_oversubscribed : bool;  (* pool larger than the host's cores *)
+  rj_wall_ms : float;
+  rj_equivalent : bool;  (* fingerprint equals the serial reference recovery *)
+}
+
+type recovery_ckpt_point = {
+  ck_fraction : float;  (* commits preceding the checkpoint; 0 = none *)
+  ck_records : int;
+  ck_wall_ms : float;
+  ck_equivalent : bool;
+}
+
 type t = {
   scale : int;
   (* Contended-scheduler head-to-head: identical workload through the
@@ -27,6 +41,16 @@ type t = {
   recovery_records_2l : int;
   recovery_wall_2l_ms : float;
   recovery_wall_ratio : float;  (* ~linear means <= ~2.5 *)
+  (* Parallel restart recovery: wall vs worker-domain count on one
+     fixed log, every point fingerprint-checked against the serial
+     reference replay. *)
+  recovery_jobs : recovery_jobs_point list;
+  recovery_parallel_speedup : float;  (* serial wall / best parallel wall *)
+  (* Fuzzy checkpoints: wall vs checkpoint age on same-length logs,
+     replayed serially so the saving isolates the skipped prefix. *)
+  recovery_ckpt : recovery_ckpt_point list;
+  recovery_ckpt_speedup : float;  (* full-replay wall / newest-checkpoint wall *)
+  recovery_equivalent : bool;  (* every point above matched the reference *)
   pool_hit_ns : float;
   pool_miss_ns : float;
   journal_append_per_sec : float;
@@ -130,9 +154,18 @@ let all_engines : (module Kv.S) list =
 
 (* --- recovery wall vs durable log length ---------------------------- *)
 
-let load_log_engine ~txns =
+(* [checkpoint_after]: after that many committed transactions the engine
+   flushes (the page cleaner catching up) and takes a fuzzy checkpoint;
+   the remaining transactions dirty pages again on top of it, so the
+   checkpoint ages as the log keeps growing. *)
+let load_log_engine ?checkpoint_after ~txns () =
   let t = Engine_log.create_with ~n_keys:256 () in
   for i = 0 to txns - 1 do
+    (match checkpoint_after with
+    | Some c when i = c ->
+      Engine_log.flush t;
+      Engine_log.checkpoint_fuzzy t
+    | _ -> ());
     let txn = Engine_log.begin_txn t in
     for j = 0 to 7 do
       Engine_log.put txn (((i * 8) + j) mod 256) value
@@ -155,8 +188,8 @@ let durable_records t =
    ratio.  Best of five: recovery leaves the journal intact, so repeated
    crash-and-recover runs measure the same work. *)
 let recovery_walls ~now ~txns =
-  let t_l = load_log_engine ~txns in
-  let t_2l = load_log_engine ~txns:(2 * txns) in
+  let t_l = load_log_engine ~txns () in
+  let t_2l = load_log_engine ~txns:(2 * txns) () in
   let records_l = durable_records t_l in
   let records_2l = durable_records t_2l in
   Gc.compact ();
@@ -168,6 +201,102 @@ let recovery_walls ~now ~txns =
     if wall_2l < !best_2l then best_2l := wall_2l
   done;
   (records_l, !best_l *. 1000., records_2l, !best_2l *. 1000.)
+
+(* --- parallel recovery: wall vs worker domains ---------------------- *)
+
+module Pool = Dbm_util.Pool
+
+(* Best-of-five crash-and-recover wall; recovery leaves the durable
+   journal intact, so repeated runs measure the same work.  Returns the
+   wall and the post-recovery fingerprint for the equivalence check. *)
+let timed_recovery ~now t =
+  let best = ref infinity in
+  for _ = 1 to 5 do
+    let (), w = time now (fun () -> Engine_log.crash_and_recover t) in
+    if w < !best then best := w
+  done;
+  (!best *. 1000., Engine_log.state_fingerprint t)
+
+(* One fixed uncheckpointed log replayed at each domain count; every
+   point's restart state must fingerprint-equal the serial reference
+   replay (Naive.Log_replay), which is measured first on the same
+   engine.  A 1-core host would leave no parallel point at all, so an
+   oversubscribed 2-domain run stands in (and is flagged as such) —
+   mirroring the table-regeneration fallback in bench/main. *)
+let recovery_vs_jobs ~now ~jobs ~allow_oversubscribe ~txns =
+  let host = Pool.default_jobs () in
+  let requested = List.sort_uniq Int.compare (1 :: jobs) in
+  let kept =
+    if allow_oversubscribe then requested
+    else List.filter (fun j -> j <= host) requested
+  in
+  let kept = if List.exists (fun j -> j > 1) kept then kept else kept @ [ 2 ] in
+  let t = load_log_engine ~txns () in
+  Gc.compact ();
+  Engine_log.crash_and_recover_reference t;
+  let ref_fp = Engine_log.state_fingerprint t in
+  let points =
+    List.map
+      (fun j ->
+        let pool =
+          if j = 1 then None else Some (Pool.create ~jobs:j ~allow_oversubscribe:true ())
+        in
+        Engine_log.set_recovery_pool t pool;
+        let wall_ms, fp = timed_recovery ~now t in
+        Engine_log.set_recovery_pool t None;
+        Option.iter Pool.shutdown pool;
+        {
+          rj_jobs = j;
+          rj_oversubscribed = j > host;
+          rj_wall_ms = wall_ms;
+          rj_equivalent = String.equal fp ref_fp;
+        })
+      kept
+  in
+  let serial = List.find (fun p -> p.rj_jobs = 1) points in
+  let best_parallel =
+    List.fold_left
+      (fun acc p -> if p.rj_jobs > 1 then Float.min acc p.rj_wall_ms else acc)
+      infinity points
+  in
+  (points, serial.rj_wall_ms /. best_parallel)
+
+(* --- fuzzy checkpoints: wall vs checkpoint age ---------------------- *)
+
+(* Same committed work at every point; only where (and whether) the
+   fuzzy checkpoint record sits in the log varies.  Replay is serial
+   (no pool), so any saving is the skipped prefix — the records before
+   the checkpoint's start LSN that recovery never decodes — and not
+   parallelism.  Each point's restart state is fingerprint-checked
+   against the from-zero serial reference on the same engine. *)
+let recovery_vs_checkpoint_age ~now ~txns =
+  let fractions = [ 0.0; 0.5; 0.9 ] in
+  let engines =
+    List.map
+      (fun frac ->
+        let checkpoint_after =
+          if frac <= 0.0 then None else Some (int_of_float (frac *. float_of_int txns))
+        in
+        (frac, load_log_engine ?checkpoint_after ~txns ()))
+      fractions
+  in
+  Gc.compact ();
+  let points =
+    List.map
+      (fun (frac, t) ->
+        let wall_ms, fp = timed_recovery ~now t in
+        Engine_log.crash_and_recover_reference t;
+        let equivalent = String.equal fp (Engine_log.state_fingerprint t) in
+        {
+          ck_fraction = frac;
+          ck_records = durable_records t;
+          ck_wall_ms = wall_ms;
+          ck_equivalent = equivalent;
+        })
+      engines
+  in
+  let wall_at f = (List.find (fun p -> p.ck_fraction = f) points).ck_wall_ms in
+  (points, wall_at 0.0 /. wall_at 0.9)
 
 (* --- buffer pool and journal microbenchmarks ------------------------ *)
 
@@ -224,8 +353,10 @@ let journal_throughput ~now ~iters =
 
 (* --- entry point ---------------------------------------------------- *)
 
-let run ?(scale = 1) ~now () =
+let run ?(scale = 1) ?(jobs = [ 1; 2; 4 ]) ?(allow_oversubscribe = false) ~now () =
   if scale <= 0 then invalid_arg "Storage_bench.run: scale must be positive";
+  if List.exists (fun j -> j < 1) jobs then
+    invalid_arg "Storage_bench.run: jobs must all be >= 1";
   let sched_txns, sched_naive_ms, sched_opt_ms, sched_equivalent =
     run_sched_comparison ~now ~scale
   in
@@ -234,6 +365,10 @@ let run ?(scale = 1) ~now () =
   let recovery_records_l, recovery_wall_l_ms, recovery_records_2l, recovery_wall_2l_ms =
     recovery_walls ~now ~txns:txns_l
   in
+  let recovery_jobs, recovery_parallel_speedup =
+    recovery_vs_jobs ~now ~jobs ~allow_oversubscribe ~txns:txns_l
+  in
+  let recovery_ckpt, recovery_ckpt_speedup = recovery_vs_checkpoint_age ~now ~txns:txns_l in
   let pool_hit_ns, pool_miss_ns = pool_ns ~now ~iters:(200_000 * scale) in
   let journal_append_per_sec, journal_append_sync_per_sec =
     journal_throughput ~now ~iters:(200_000 * scale)
@@ -253,6 +388,13 @@ let run ?(scale = 1) ~now () =
     recovery_wall_2l_ms;
     recovery_wall_ratio =
       (if recovery_wall_l_ms > 0. then recovery_wall_2l_ms /. recovery_wall_l_ms else infinity);
+    recovery_jobs;
+    recovery_parallel_speedup;
+    recovery_ckpt;
+    recovery_ckpt_speedup;
+    recovery_equivalent =
+      List.for_all (fun p -> p.rj_equivalent) recovery_jobs
+      && List.for_all (fun p -> p.ck_equivalent) recovery_ckpt;
     pool_hit_ns;
     pool_miss_ns;
     journal_append_per_sec;

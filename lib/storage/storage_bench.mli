@@ -6,8 +6,10 @@
     contention, a head-to-head of the pre-overhaul polling scheduler
     ({!Naive}) against the wakeup scheduler on a contended workload
     (with an equivalence check on the reports), logging-engine restart
-    recovery wall time at two log lengths (linearity check), and
-    buffer-pool / journal microbenchmarks.
+    recovery wall time at two log lengths (linearity check), restart
+    recovery wall against worker-domain count and against fuzzy
+    checkpoint age (each point fingerprint-checked against the serial
+    reference replay), and buffer-pool / journal microbenchmarks.
 
     The caller supplies the wall clock so this library stays free of a
     unix dependency; pass [Unix.gettimeofday]. *)
@@ -18,6 +20,23 @@ type engine_tps = {
   low_restarts : int;
   high_tps : float;  (** committed txns/sec, hot key set *)
   high_restarts : int;
+}
+
+type recovery_jobs_point = {
+  rj_jobs : int;  (** worker domains used for restart recovery *)
+  rj_oversubscribed : bool;  (** pool larger than the host's cores *)
+  rj_wall_ms : float;  (** best-of-five crash-and-recover wall *)
+  rj_equivalent : bool;
+      (** restart state fingerprint equals the serial reference replay *)
+}
+
+type recovery_ckpt_point = {
+  ck_fraction : float;
+      (** fraction of commits preceding the fuzzy checkpoint; [0.] = no
+          checkpoint, full-log replay *)
+  ck_records : int;  (** durable log records at crash *)
+  ck_wall_ms : float;
+  ck_equivalent : bool;
 }
 
 type t = {
@@ -35,12 +54,38 @@ type t = {
   recovery_records_2l : int;
   recovery_wall_2l_ms : float;
   recovery_wall_ratio : float;  (** wall(2L) / wall(L); ~2 when linear *)
+  recovery_jobs : recovery_jobs_point list;
+      (** one fixed uncheckpointed log replayed at each domain count;
+          always includes the jobs = 1 serial baseline *)
+  recovery_parallel_speedup : float;
+      (** serial wall / best parallel wall (infinite on hosts where no
+          parallel point ran, which cannot happen: a 1-core host gets an
+          oversubscribed 2-domain point instead) *)
+  recovery_ckpt : recovery_ckpt_point list;
+      (** same committed work per point, serial replay; the saving at
+          [ck_fraction > 0] is the log prefix recovery never decodes *)
+  recovery_ckpt_speedup : float;
+      (** full-replay wall / wall with the newest checkpoint *)
+  recovery_equivalent : bool;
+      (** every recovery point fingerprint-matched the serial reference *)
   pool_hit_ns : float;
   pool_miss_ns : float;
   journal_append_per_sec : float;
   journal_append_sync_per_sec : float;  (** with a sync every 64 appends *)
 }
 
-val run : ?scale:int -> now:(unit -> float) -> unit -> t
+val run :
+  ?scale:int ->
+  ?jobs:int list ->
+  ?allow_oversubscribe:bool ->
+  now:(unit -> float) ->
+  unit ->
+  t
 (** Run every section.  [scale] multiplies workload sizes (default 1,
-    used by CI smoke runs).  @raise Invalid_argument if [scale <= 0]. *)
+    used by CI smoke runs).  [jobs] (default [[1; 2; 4]]) lists the
+    domain counts for the recovery-vs-cores curve; counts beyond the
+    host's cores are skipped unless [allow_oversubscribe] (default
+    false), and a jobs = 1 point is always included.  On a 1-core host
+    an oversubscribed 2-domain point stands in so the curve never comes
+    back empty.
+    @raise Invalid_argument if [scale <= 0] or any job count is [< 1]. *)

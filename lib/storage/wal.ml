@@ -5,13 +5,21 @@ type record =
   | Commit of { lsn : int; txn : int }
   | Abort of { lsn : int; txn : int }
   | Checkpoint of { lsn : int; active : int list }
+  | Fuzzy_checkpoint of {
+      lsn : int;
+      start_lsn : int;
+      active : int list;
+      dirty : (int * int) list;  (* (page, rec_lsn), ascending by page *)
+    }
 
 let lsn = function
-  | Update { lsn; _ } | Commit { lsn; _ } | Abort { lsn; _ } | Checkpoint { lsn; _ } -> lsn
+  | Update { lsn; _ } | Commit { lsn; _ } | Abort { lsn; _ } | Checkpoint { lsn; _ }
+  | Fuzzy_checkpoint { lsn; _ } ->
+    lsn
 
 let txn_of = function
   | Update { txn; _ } | Commit { txn; _ } | Abort { txn; _ } -> Some txn
-  | Checkpoint _ -> None
+  | Checkpoint _ | Fuzzy_checkpoint _ -> None
 
 (* --- binary encoding ---------------------------------------------- *)
 
@@ -51,11 +59,45 @@ let encode r =
     Buffer.add_char buf 'K';
     add_int buf lsn;
     add_int buf (List.length active);
-    List.iter (add_int buf) active);
+    List.iter (add_int buf) active
+  | Fuzzy_checkpoint { lsn; start_lsn; active; dirty } ->
+    Buffer.add_char buf 'F';
+    add_int buf lsn;
+    add_int buf start_lsn;
+    add_int buf (List.length active);
+    List.iter (add_int buf) active;
+    add_int buf (List.length dirty);
+    List.iter
+      (fun (page, rec_lsn) ->
+        add_int buf page;
+        add_int buf rec_lsn)
+      dirty);
   let body = Buffer.contents buf in
   let tail = Bytes.create 8 in
   Bytes.set_int64_le tail 0 (Int64.of_int (checksum body));
   body ^ Bytes.to_string tail
+
+(* --- unchecked peeks ----------------------------------------------- *)
+
+(* Every record shape places its LSN at bytes 1-8 (after the tag) and —
+   for the transaction-bearing shapes U/C/A — its txn id at bytes 9-16,
+   so both read with two loads and no checksum pass.  Safe only on
+   records the engine itself appended (the in-memory journals hold
+   exactly what [encode] produced); [decode] remains the checked path. *)
+
+let peek_lsn s =
+  if String.length s < 17 then raise (Corrupt "record too short");
+  Int64.to_int (String.get_int64_le s 1)
+
+let peek_txn s =
+  if String.length s < 17 then raise (Corrupt "record too short");
+  match s.[0] with
+  | 'U' | 'C' | 'A' ->
+    if String.length s < 25 then raise (Corrupt "record too short");
+    Some (Int64.to_int (String.get_int64_le s 9))
+  | _ -> None
+
+let peek_is_fuzzy_checkpoint s = String.length s > 0 && s.[0] = 'F'
 
 type cursor = { s : string; mutable pos : int }
 
@@ -100,6 +142,21 @@ let decode s =
     if n < 0 then raise (Corrupt "negative active count");
     let active = List.init n (fun _ -> take_int c) in
     Checkpoint { lsn; active }
+  | 'F' ->
+    let lsn = take_int c in
+    let start_lsn = take_int c in
+    let n = take_int c in
+    if n < 0 then raise (Corrupt "negative active count");
+    let active = List.init n (fun _ -> take_int c) in
+    let d = take_int c in
+    if d < 0 then raise (Corrupt "negative dirty count");
+    let dirty =
+      List.init d (fun _ ->
+          let page = take_int c in
+          let rec_lsn = take_int c in
+          (page, rec_lsn))
+    in
+    Fuzzy_checkpoint { lsn; start_lsn; active; dirty }
   | tag -> raise (Corrupt (Printf.sprintf "unknown tag %C" tag))
 
 let pp ppf = function
@@ -109,3 +166,7 @@ let pp ppf = function
   | Checkpoint { lsn; active } ->
     Format.fprintf ppf "Checkpoint(lsn=%d active=[%s])" lsn
       (String.concat ";" (List.map string_of_int active))
+  | Fuzzy_checkpoint { lsn; start_lsn; active; dirty } ->
+    Format.fprintf ppf "FuzzyCkpt(lsn=%d start=%d active=[%s] dirty=[%s])" lsn start_lsn
+      (String.concat ";" (List.map string_of_int active))
+      (String.concat ";" (List.map (fun (p, l) -> Printf.sprintf "%d@%d" p l) dirty))

@@ -12,6 +12,23 @@ type record =
   | Commit of { lsn : int; txn : int }
   | Abort of { lsn : int; txn : int }
   | Checkpoint of { lsn : int; active : int list }
+  | Fuzzy_checkpoint of {
+      lsn : int;
+      start_lsn : int;
+          (** replay may start at the first durable record with
+              [lsn >= start_lsn]: everything older is already reflected
+              in the durable data image or belongs to a transaction that
+              had finished — and been undone where needed — before the
+              checkpoint *)
+      active : int list;  (** transactions live at checkpoint time *)
+      dirty : (int * int) list;
+          (** the dirty-page table: [(page, rec_lsn)] for every data
+              page whose volatile image was ahead of its durable image,
+              with the LSN of the earliest update it is missing *)
+    }
+      (** A fuzzy checkpoint: nothing is forced to the data disk and no
+          log is truncated — the record only tells restart recovery how
+          far into the log it may skip. *)
 
 val lsn : record -> int
 
@@ -24,5 +41,25 @@ val encode : record -> string
 val decode : string -> record
 (** @raise Corrupt on a damaged or truncated encoding (checksum
     mismatch, bad tag, short buffer). *)
+
+(** {2 Unchecked peeks}
+
+    Every record shape stores its LSN at a fixed offset right after the
+    tag byte, and the transaction-bearing shapes store their txn id just
+    past it, so both read in O(1) without the checksum pass [decode]
+    pays.  These trust the framing: they are only safe on records the
+    engine itself appended (the in-memory journals hold exactly what
+    [encode] produced).  Recovery uses them to locate the replay suffix
+    and rebuild indexes without decoding — and checksumming — the log
+    prefix a fuzzy checkpoint lets it skip. *)
+
+val peek_lsn : string -> int
+(** The encoded record's LSN, without checksum verification. *)
+
+val peek_txn : string -> int option
+(** The encoded record's txn id; [None] for checkpoint records. *)
+
+val peek_is_fuzzy_checkpoint : string -> bool
+(** Tag test: does this encoding hold a {!Fuzzy_checkpoint}? *)
 
 val pp : Format.formatter -> record -> unit

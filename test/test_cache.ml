@@ -153,6 +153,37 @@ let test_request_digest_sensitivity () =
             Dbm_machine.Arch.bare))
     <> Experiment.digest logging_req)
 
+(* BENCH_5 regression: with no cost model loaded every run of a scenario
+   got the same flat prior (the formula only looked at the workload), so
+   LPT scheduling of a cold suite degenerated to arbitrary order — the
+   bench's top_runs all claimed 313.75 ms.  The prior must now separate
+   the architecture families, and distinct configs within one family. *)
+let test_cold_priors_differentiate () =
+  Experiment.set_cost_model None;
+  let sc = Scenario.Conventional_random in
+  let machine = Scenario.machine_config sc in
+  let workload = small_workload sc in
+  let prior arch =
+    Experiment.estimated_cost
+      (Experiment.request ~arch ~machine ~workload ~make_arch:(fun _ -> Dbm_machine.Arch.bare))
+  in
+  let archs =
+    [
+      "bare";
+      "version-select";
+      Logging.descriptor Logging.default;
+      Dbm_recovery.Shadow.descriptor Dbm_recovery.Shadow.overwrite_no_undo;
+      Dbm_recovery.Diff_file.descriptor Dbm_recovery.Diff_file.default;
+    ]
+  in
+  let priors = List.map prior archs in
+  check Alcotest.int "cold priors pairwise distinct" (List.length archs)
+    (List.length (List.sort_uniq compare priors));
+  check Alcotest.bool "variant configs of one family differ" true
+    (prior (Logging.descriptor Logging.default)
+    <> prior
+         (Logging.descriptor { Logging.default with Logging.n_log_processors = 7 }))
+
 let test_dedup_keeps_first_occurrences () =
   let a = bare_req Scenario.Conventional_random in
   let b = bare_req ~seed:8 Scenario.Conventional_random in
@@ -408,6 +439,7 @@ let () =
         [
           Alcotest.test_case "stable + golden" `Quick test_request_digest_stable;
           Alcotest.test_case "sensitivity" `Quick test_request_digest_sensitivity;
+          Alcotest.test_case "cold priors differentiate" `Quick test_cold_priors_differentiate;
           Alcotest.test_case "dedup order" `Quick test_dedup_keeps_first_occurrences;
           Alcotest.test_case "cross-suite overlap" `Quick test_cross_suite_dedup;
         ] );

@@ -1,0 +1,395 @@
+(* Tests for the page-partitioned parallel recovery path (Replay), the
+   fuzzy checkpoints of Engine_log and Engine_diff, and the Journal
+   truncation boundary cases that feed it.
+
+   The load-bearing property is a THREE-way equivalence over random
+   histories: an engine recovering through the partitioned parallel
+   path (4 oversubscribed domains, checkpoint-seeking) and an identical
+   twin recovering through the preserved serial from-zero reference
+   must land on the same state fingerprint after every crash, and both
+   must show the executable specification's (Kv.Model) visible state. *)
+
+module Kv = Dbm_storage.Kv
+module Engine_log = Dbm_storage.Engine_log
+module Engine_diff = Dbm_storage.Engine_diff
+module Journal = Dbm_storage.Journal
+module Replay = Dbm_storage.Replay
+module Wal = Dbm_storage.Wal
+module Pool = Dbm_util.Pool
+
+let check = Alcotest.check
+
+(* Oversubscribed so the parallel path crosses real domain boundaries
+   even on a 1-core CI host. *)
+let pool = lazy (Pool.create ~jobs:4 ~allow_oversubscribe:true ())
+
+let () = at_exit (fun () -> if Lazy.is_val pool then Pool.shutdown (Lazy.force pool))
+
+let n_keys = 64
+
+(* --- random-history equivalence --------------------------------------- *)
+
+type op =
+  | Put of int * string
+  | Delete of int
+  | Commit
+  | Abort
+  | Crash
+  | Fuzzy of bool  (* force the checkpoint record? [false] leaves it volatile *)
+  | Sharp
+
+let op_print = function
+  | Put (k, v) -> Printf.sprintf "Put(%d,%S)" k v
+  | Delete k -> Printf.sprintf "Del(%d)" k
+  | Commit -> "Commit"
+  | Abort -> "Abort"
+  | Crash -> "Crash"
+  | Fuzzy true -> "FuzzyCkpt"
+  | Fuzzy false -> "FuzzyCkpt-nosync"
+  | Sharp -> "SharpCkpt"
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (6, map2 (fun k v -> Put (k, v)) (int_range 0 (n_keys - 1)) (string_size (int_range 0 12)));
+        (2, map (fun k -> Delete k) (int_range 0 (n_keys - 1)));
+        (3, return Commit);
+        (1, return Abort);
+        (2, return Crash);
+        (2, map (fun b -> Fuzzy b) bool);
+        (1, return Sharp);
+      ])
+
+let ops_arbitrary =
+  QCheck.make
+    ~print:(fun ops -> String.concat ";" (List.map op_print ops))
+    (QCheck.Gen.list_size (QCheck.Gen.int_range 0 80) op_gen)
+
+(* What the equivalence harness needs beyond Kv.S — both converted
+   engines provide exactly this. *)
+module type CONVERTED = sig
+  include Kv.S
+
+  val flush : t -> unit
+
+  val checkpoint_fuzzy : ?sync:bool -> t -> unit
+
+  val set_recovery_pool : t -> Pool.t option -> unit
+
+  val state_fingerprint : t -> string
+
+  val crash_and_recover_reference : t -> unit
+end
+
+module Equiv_harness (E : CONVERTED) = struct
+  (* [a] recovers via the parallel checkpoint-seeking path, its twin
+     [b] via the serial from-zero reference; [m] is the spec.  Every
+     operation is applied to all three, so any fingerprint divergence
+     is recovery's fault alone. *)
+  let run_ops ops =
+    let a = E.create ~n_keys () and b = E.create ~n_keys () and m = Kv.Model.create ~n_keys () in
+    E.set_recovery_pool a (Some (Lazy.force pool));
+    let live = ref None in
+    let ensure_live () =
+      match !live with
+      | Some triple -> triple
+      | None ->
+        let triple = (E.begin_txn a, E.begin_txn b, Kv.Model.begin_txn m) in
+        live := Some triple;
+        triple
+    in
+    let ok = ref true in
+    (* Fingerprints first (reads only), then the visible state — the
+       probe transactions are begun and aborted on [a] and [b] alike so
+       the twins' counters stay in lock-step. *)
+    let assert_equal () =
+      if E.state_fingerprint a <> E.state_fingerprint b then ok := false;
+      let ta = E.begin_txn a and tb = E.begin_txn b and tm = Kv.Model.begin_txn m in
+      for k = 0 to n_keys - 1 do
+        let expect = Kv.Model.get tm k in
+        if E.get ta k <> expect then ok := false;
+        if E.get tb k <> expect then ok := false
+      done;
+      E.abort ta;
+      E.abort tb;
+      Kv.Model.abort tm
+    in
+    List.iter
+      (fun op ->
+        match op with
+        | Put (k, v) ->
+          let ta, tb, tm = ensure_live () in
+          E.put ta k v;
+          E.put tb k v;
+          Kv.Model.put tm k v
+        | Delete k ->
+          let ta, tb, tm = ensure_live () in
+          E.delete ta k;
+          E.delete tb k;
+          Kv.Model.delete tm k
+        | Commit ->
+          (match !live with
+          | Some (ta, tb, tm) ->
+            E.commit ta;
+            E.commit tb;
+            Kv.Model.commit tm;
+            live := None
+          | None -> ())
+        | Abort ->
+          (match !live with
+          | Some (ta, tb, tm) ->
+            E.abort ta;
+            E.abort tb;
+            Kv.Model.abort tm;
+            live := None
+          | None -> ())
+        | Crash ->
+          E.crash_and_recover a;
+          E.crash_and_recover_reference b;
+          Kv.Model.crash_and_recover m;
+          live := None;
+          assert_equal ()
+        | Fuzzy sync ->
+          (* No quiescence needed: fuzzy checkpoints run mid-transaction. *)
+          E.checkpoint_fuzzy ~sync a;
+          E.checkpoint_fuzzy ~sync b
+        | Sharp ->
+          (* Sharp checkpoints/merges require quiescence in some engines;
+             exercise them only between transactions. *)
+          if !live = None then begin
+            E.checkpoint a;
+            E.checkpoint b;
+            Kv.Model.checkpoint m
+          end)
+      ops;
+    (match !live with
+    | Some (ta, tb, tm) ->
+      E.commit ta;
+      E.commit tb;
+      Kv.Model.commit tm;
+      live := None
+    | None -> ());
+    E.crash_and_recover a;
+    E.crash_and_recover_reference b;
+    Kv.Model.crash_and_recover m;
+    assert_equal ();
+    !ok
+
+  let property count =
+    QCheck.Test.make
+      ~name:(E.engine_name ^ ": parallel recovery = serial reference = model")
+      ~count ops_arbitrary run_ops
+end
+
+
+(* --- crash during a fuzzy checkpoint ----------------------------------- *)
+
+(* A crash after the checkpoint record is appended but before the next
+   log force must recover to the same state as replay-from-zero: the
+   volatile record is simply lost, never half-trusted. *)
+let crash_during_checkpoint (module E : CONVERTED) () =
+  let seed e =
+    let t = E.begin_txn e in
+    E.put t 1 "one";
+    E.put t 9 "nine";
+    E.commit t;
+    let t = E.begin_txn e in
+    E.put t 2 "two";
+    E.commit t;
+    (* an in-flight loser holds page state while the checkpoint runs *)
+    let t = E.begin_txn e in
+    E.put t 1 "loser";
+    E.checkpoint_fuzzy ~sync:false e;
+    (* appended, NOT forced *)
+    E.put t 3 "loser3"
+  in
+  let a = E.create ~n_keys () and b = E.create ~n_keys () in
+  E.set_recovery_pool a (Some (Lazy.force pool));
+  seed a;
+  seed b;
+  E.crash_and_recover a;
+  (* the tail — and the checkpoint record with it — is gone *)
+  E.crash_and_recover_reference b;
+  check Alcotest.string "fingerprint matches from-zero replay" (E.state_fingerprint b)
+    (E.state_fingerprint a);
+  let t = E.begin_txn a in
+  check (Alcotest.option Alcotest.string) "committed value survives" (Some "one") (E.get t 1);
+  check (Alcotest.option Alcotest.string) "committed value survives (2)" (Some "two") (E.get t 2);
+  check (Alcotest.option Alcotest.string) "loser write invisible" None (E.get t 3);
+  E.abort t
+
+(* The durable-record flavor: same history, but the checkpoint record
+   IS forced; recovery starts mid-log and must still match. *)
+let durable_checkpoint_matches (module E : CONVERTED) () =
+  let seed e =
+    let t = E.begin_txn e in
+    E.put t 1 "one";
+    E.commit t;
+    E.flush e;
+    (* data durable: the checkpoint can actually skip the prefix *)
+    E.checkpoint_fuzzy e;
+    let t = E.begin_txn e in
+    E.put t 2 "two";
+    E.commit t;
+    let t = E.begin_txn e in
+    E.put t 1 "loser"
+  in
+  let a = E.create ~n_keys () and b = E.create ~n_keys () in
+  E.set_recovery_pool a (Some (Lazy.force pool));
+  seed a;
+  seed b;
+  E.crash_and_recover a;
+  E.crash_and_recover_reference b;
+  check Alcotest.string "mid-log replay = from-zero replay" (E.state_fingerprint b)
+    (E.state_fingerprint a);
+  let t = E.begin_txn a in
+  check (Alcotest.option Alcotest.string) "pre-checkpoint commit" (Some "one") (E.get t 1);
+  check (Alcotest.option Alcotest.string) "post-checkpoint commit" (Some "two") (E.get t 2);
+  E.abort t
+
+(* Engine_diff has no [flush] in its extras beyond Kv.S — adapt both
+   engines through first-class modules with the common signature. *)
+module Log_c : CONVERTED with type t = Engine_log.t = struct
+  include Engine_log
+end
+
+module Diff_c : CONVERTED with type t = Engine_diff.t = struct
+  include Engine_diff
+
+  (* Writes never touch the base outside the merge (which forces it),
+     and commit already forces the differential files: nothing volatile
+     to flush. *)
+  let flush _ = ()
+end
+
+module Log_equiv = Equiv_harness (Log_c)
+module Diff_equiv = Equiv_harness (Diff_c)
+
+(* --- the checkpoint actually moves the replay start -------------------- *)
+
+let test_replay_start_advances () =
+  let e = Engine_log.create ~n_keys () in
+  let t = Engine_log.begin_txn e in
+  Engine_log.put t 1 "one";
+  Engine_log.put t 2 "two";
+  Engine_log.commit t;
+  Engine_log.flush e;
+  (* clean data, no live txns: the checkpoint may skip everything *)
+  Engine_log.checkpoint_fuzzy e;
+  let decoded =
+    Array.init (Engine_log.log_disks e) (fun d ->
+        Array.of_list (Engine_log.dump_log e ~disk:d))
+  in
+  check Alcotest.bool "start LSN advanced past zero" true (Replay.replay_start decoded > 0);
+  (* and the engine still recovers to the right values through it *)
+  let t = Engine_log.begin_txn e in
+  Engine_log.put t 3 "three";
+  Engine_log.commit t;
+  Engine_log.crash_and_recover e;
+  let t = Engine_log.begin_txn e in
+  check (Alcotest.option Alcotest.string) "pre-checkpoint value" (Some "one") (Engine_log.get t 1);
+  check (Alcotest.option Alcotest.string) "post-checkpoint value" (Some "three")
+    (Engine_log.get t 3);
+  Engine_log.abort t
+
+(* --- chunk_ranges ------------------------------------------------------ *)
+
+let prop_chunk_ranges_cover =
+  QCheck.Test.make ~name:"chunk_ranges covers [0,len) contiguously" ~count:500
+    QCheck.(pair (int_range 0 200) (int_range 1 40))
+    (fun (len, pieces) ->
+      let ranges = Replay.chunk_ranges ~len ~pieces in
+      if len = 0 then ranges = []
+      else begin
+        let sizes_ok = List.for_all (fun (lo, hi) -> hi > lo) ranges in
+        let contiguous =
+          let rec go expect = function
+            | [] -> expect = len
+            | (lo, hi) :: rest -> lo = expect && go hi rest
+          in
+          go 0 ranges
+        in
+        let count_ok = List.length ranges <= min pieces len in
+        let balanced =
+          let szs = List.map (fun (lo, hi) -> hi - lo) ranges in
+          List.fold_left max 0 szs - List.fold_left min max_int szs <= 1
+        in
+        sizes_ok && contiguous && count_ok && balanced
+      end)
+
+(* --- Journal.truncate on exact chunk boundaries ------------------------ *)
+
+(* Truncation that lands exactly on a decode chunk boundary (or on the
+   retained window's own edges) must leave iteration AND the parallel
+   decode/replay agreeing with a plain list model: an off-by-one in the
+   base/start arithmetic would drop or duplicate a record right at the
+   seam. *)
+let prop_truncate_chunk_boundary =
+  let gen = QCheck.Gen.(triple (int_range 1 120) (int_range 1 16) (int_range 0 16)) in
+  QCheck.Test.make ~name:"truncate on chunk boundary: iter_live + replay = model" ~count:300
+    (QCheck.make
+       ~print:(fun (n, pieces, pick) -> Printf.sprintf "n=%d pieces=%d pick=%d" n pieces pick)
+       gen)
+    (fun (n, pieces, pick) ->
+      let j = Journal.create () in
+      let record i = Wal.encode (Wal.Commit { lsn = i + 1; txn = i + 1 }) in
+      let model = ref [] in
+      for i = 0 to n - 1 do
+        ignore (Journal.append j (record i));
+        model := record i :: !model
+      done;
+      Journal.sync j;
+      let model = List.rev !model in
+      (* boundaries of a [pieces]-way decode of the current log, plus
+         both edges of the retained window *)
+      let boundaries =
+        0 :: n :: List.concat_map (fun (lo, hi) -> [ lo; hi ]) (Replay.chunk_ranges ~len:n ~pieces)
+        |> List.sort_uniq Int.compare
+      in
+      let keep_from = List.nth boundaries (pick mod List.length boundaries) in
+      Journal.truncate j ~keep_from;
+      let kept = List.filteri (fun i _ -> i >= keep_from) model in
+      (* a pending (unsynced) tail must ride along untouched *)
+      let tail = Wal.encode (Wal.Commit { lsn = n + 1; txn = n + 1 }) in
+      ignore (Journal.append j tail);
+      let live = ref [] in
+      Journal.iter_live (fun r -> live := r :: !live) j;
+      let iter_ok = List.rev !live = kept @ [ tail ] in
+      let read_ok = Journal.read_all j = kept in
+      (* checkpoint replay over the truncated journal: the parallel
+         decode must see exactly the kept records, in order *)
+      let serial = List.map Wal.decode kept in
+      let parallel =
+        Replay.decode ~pool:(Lazy.force pool) [| j |] |> fun a -> Array.to_list a.(0)
+      in
+      iter_ok && read_ok && parallel = serial)
+
+(* --- run --------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "parallel replay"
+    [
+      ( "equivalence",
+        [
+          QCheck_alcotest.to_alcotest (Log_equiv.property 60);
+          QCheck_alcotest.to_alcotest (Diff_equiv.property 60);
+        ] );
+      ( "fuzzy checkpoints",
+        [
+          Alcotest.test_case "log: crash during checkpoint" `Quick
+            (crash_during_checkpoint (module Log_c));
+          Alcotest.test_case "diff: crash during checkpoint" `Quick
+            (crash_during_checkpoint (module Diff_c));
+          Alcotest.test_case "log: durable checkpoint matches" `Quick
+            (durable_checkpoint_matches (module Log_c));
+          Alcotest.test_case "diff: durable checkpoint matches" `Quick
+            (durable_checkpoint_matches (module Diff_c));
+          Alcotest.test_case "log: replay start advances" `Quick test_replay_start_advances;
+        ] );
+      ( "partitioning",
+        [
+          QCheck_alcotest.to_alcotest prop_chunk_ranges_cover;
+          QCheck_alcotest.to_alcotest prop_truncate_chunk_boundary;
+        ] );
+    ]
