@@ -24,8 +24,12 @@
    against its pre-overhaul polling version head-to-head (with an
    equivalence gate on the reports), recovery wall time vs log length,
    vs worker-domain count and vs fuzzy-checkpoint age (every recovery
-   point fingerprint-gated against the serial reference replay), and
-   buffer-pool / journal microbenchmarks.
+   point fingerprint-gated against the serial reference replay), the
+   open-loop transaction server (Poisson offered-load sweep through the
+   group-commit pipeline, tail latency and sustained throughput, plus a
+   grouped-vs-eager head-to-head gated on a >= 2x speedup and on
+   recovered-state equivalence), and buffer-pool / journal
+   microbenchmarks.
 
    Part 5 runs Bechamel micro-benchmarks of the substrate primitives.
    [--fast] skips parts that exist for reporting (charts, ablations,
@@ -395,6 +399,25 @@ let run_storage_bench ~allow_oversubscribe () =
         (if p.ck_equivalent then "state identical to full replay" else "STATE DIVERGED"))
     b.recovery_ckpt;
   Printf.printf "  newest checkpoint vs full replay: %.2fx cheaper\n" b.recovery_ckpt_speedup;
+  Printf.printf "open-loop server (simulated time, group commit, mpl 64):\n";
+  List.iter
+    (fun s ->
+      Printf.printf "  %s:\n" s.sv_engine;
+      List.iter
+        (fun p ->
+          Printf.printf
+            "    offered %8.0f tps -> sustained %8.0f tps  p50 %8.1f us  p99 %9.1f us  \
+             p999 %9.1f us  (%d forces, %d restarts, queue peak %d)\n"
+            p.sv_offered_tps p.sv_sustained_tps p.sv_p50_us p.sv_p99_us p.sv_p999_us
+            p.sv_forces p.sv_restarts p.sv_max_queued)
+        s.sv_sweep;
+      Printf.printf
+        "    top load head-to-head: eager %8.0f tps (p99 %9.1f us) -> grouped %8.0f tps \
+         (p99 %9.1f us)  %.1fx, recovery %s\n"
+        s.sv_eager_tps s.sv_eager_p99_us s.sv_grouped_tps s.sv_grouped_p99_us s.sv_speedup
+        (if s.sv_equivalent then "equivalent" else "DIVERGED"))
+    b.server;
+  Printf.printf "  worst grouped/eager speedup across engines: %.2fx\n" b.server_speedup;
   Printf.printf "buffer pool get: %.0f ns hit, %.0f ns miss\n" b.pool_hit_ns b.pool_miss_ns;
   Printf.printf "journal: %.2fM appends/s, %.2fM appends/s with sync every 64\n"
     (b.journal_append_per_sec /. 1e6)
@@ -621,7 +644,7 @@ let run_benchmarks () =
   (lookup_ns, lookup_minor)
 
 (* ------------------------------------------------------------------ *)
-(* BENCH_6.json: the perf trajectory record for later PRs              *)
+(* BENCH_7.json: the perf trajectory record for later PRs              *)
 (* ------------------------------------------------------------------ *)
 
 let json_escape s =
@@ -688,6 +711,38 @@ let storage_json (b : Dbm_storage.Storage_bench.t) =
       "\n    ],\n";
       Printf.sprintf "    \"recovery_checkpoint_speedup\": %.4f,\n" b.recovery_ckpt_speedup;
       Printf.sprintf "    \"recovery_equivalent\": %b,\n" b.recovery_equivalent;
+      "    \"server\": [\n";
+      String.concat ",\n"
+        (List.map
+           (fun s ->
+             String.concat ""
+               [
+                 Printf.sprintf "      {\"engine\": \"%s\",\n" (json_escape s.sv_engine);
+                 "       \"sweep\": [\n";
+                 String.concat ",\n"
+                   (List.map
+                      (fun p ->
+                        Printf.sprintf
+                          "        {\"offered_tps\": %.0f, \"sustained_tps\": %.1f, \
+                           \"completed\": %d, \"p50_us\": %.2f, \"p99_us\": %.2f, \
+                           \"p999_us\": %.2f, \"mean_us\": %.2f, \"max_us\": %.2f, \
+                           \"restarts\": %d, \"forces\": %d, \"max_queued\": %d}"
+                          p.sv_offered_tps p.sv_sustained_tps p.sv_completed p.sv_p50_us
+                          p.sv_p99_us p.sv_p999_us p.sv_mean_us p.sv_max_us p.sv_restarts
+                          p.sv_forces p.sv_max_queued)
+                      s.sv_sweep);
+                 "\n       ],\n";
+                 Printf.sprintf "       \"eager_tps\": %.1f,\n" s.sv_eager_tps;
+                 Printf.sprintf "       \"grouped_tps\": %.1f,\n" s.sv_grouped_tps;
+                 Printf.sprintf "       \"group_commit_speedup\": %.2f,\n" s.sv_speedup;
+                 Printf.sprintf "       \"eager_p99_us\": %.2f,\n" s.sv_eager_p99_us;
+                 Printf.sprintf "       \"grouped_p99_us\": %.2f,\n" s.sv_grouped_p99_us;
+                 Printf.sprintf "       \"equivalent\": %b}" s.sv_equivalent;
+               ])
+           b.server);
+      "\n    ],\n";
+      Printf.sprintf "    \"server_group_commit_speedup\": %.2f,\n" b.server_speedup;
+      Printf.sprintf "    \"server_equivalent\": %b,\n" b.server_equivalent;
       Printf.sprintf "    \"pool_hit_ns\": %.1f,\n" b.pool_hit_ns;
       Printf.sprintf "    \"pool_miss_ns\": %.1f,\n" b.pool_miss_ns;
       Printf.sprintf "    \"journal_append_per_sec\": %.0f,\n" b.journal_append_per_sec;
@@ -703,7 +758,7 @@ let write_bench_json path (tr : table_report) (core : event_core) (cr : cache_re
     | Some v -> Printf.sprintf "  \"%s\": %.1f" name v
   in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"bench\": 6,\n";
+  Buffer.add_string buf "  \"bench\": 7,\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"host_cores\": %d,\n" (Dbm_util.Pool.default_jobs ()));
   Buffer.add_string buf (Printf.sprintf "  \"jobs_requested\": %d,\n" tr.jobs_requested);
@@ -799,7 +854,7 @@ let write_bench_json path (tr : table_report) (core : event_core) (cr : cache_re
 
 let () =
   let jobs = ref (max 2 (Dbm_util.Pool.default_jobs ())) in
-  let json_path = ref "BENCH_6.json" in
+  let json_path = ref "BENCH_7.json" in
   let fast = ref false in
   let allow_oversubscribe = ref false in
   Arg.parse
@@ -863,5 +918,17 @@ let () =
      bytes than the serial reference replay is a recovery bug. *)
   if not storage_report.Dbm_storage.Storage_bench.recovery_equivalent then begin
     prerr_endline "FAIL: parallel/checkpointed recovery state diverged from the serial reference";
+    exit 1
+  end;
+  (* Group commit is only worth its durability window if it buys real
+     throughput, and only sound if a crash mid-batch recovers to the
+     same state the eager path would. *)
+  if not storage_report.Dbm_storage.Storage_bench.server_equivalent then begin
+    prerr_endline "FAIL: grouped-commit recovered state diverged from the eager reference";
+    exit 1
+  end;
+  if storage_report.Dbm_storage.Storage_bench.server_speedup < 2.0 then begin
+    Printf.eprintf "FAIL: group-commit speedup %.2fx below the 2x floor\n"
+      storage_report.Dbm_storage.Storage_bench.server_speedup;
     exit 1
   end

@@ -518,6 +518,163 @@ let storage_bench_cmd =
           fuzzy-checkpoint age, buffer-pool and journal microbenchmarks.")
     Term.(const run $ scale_arg $ jobs_arg $ oversubscribe_arg)
 
+(* -- serve-bench command -------------------------------------------- *)
+
+(* The open-loop transaction server, interactively: offered-load sweep
+   on a chosen engine through the group-commit pipeline (or per-txn
+   sync under --eager), printing sustained throughput and the latency
+   tail at each load.  Entirely simulated time — the numbers depend on
+   the cost knobs and the seed, never on the host. *)
+let serve_bench_cmd =
+  let open Cmdliner in
+  let loads_arg =
+    Arg.(
+      value
+      & opt (list float) [ 2_000.0; 10_000.0; 40_000.0; 160_000.0; 400_000.0 ]
+      & info [ "load" ] ~docv:"TPS,..."
+          ~doc:"Offered arrival rates (transactions per second) to sweep, in order.")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt positive_int 32
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Group-commit batch size: force the log once every $(docv) commits.")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 1000.0
+      & info [ "timeout-us" ] ~docv:"US"
+          ~doc:
+            "Group-commit timeout: a pending batch is forced at most $(docv) simulated \
+             microseconds after its first commit, full or not.")
+  in
+  let engine_arg =
+    Arg.(
+      value
+      & opt (enum [ ("logging", `Logging); ("diff", `Diff) ]) `Logging
+      & info [ "engine" ] ~docv:"ENGINE" ~doc:"Storage engine: logging | diff.")
+  in
+  let mpl_arg =
+    Arg.(
+      value & opt positive_int 64
+      & info [ "mpl" ] ~docv:"N"
+          ~doc:"Multiprogramming limit: admission control holds arrivals beyond $(docv) \
+                in-flight transactions in a FIFO queue.")
+  in
+  let txns_arg =
+    Arg.(
+      value & opt positive_int 800
+      & info [ "n"; "transactions" ] ~docv:"N" ~doc:"Transactions per load point.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 20_250 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload/arrival seed.")
+  in
+  let arrival_arg =
+    Arg.(
+      value
+      & opt (enum [ ("poisson", `Poisson); ("bursty", `Bursty) ]) `Poisson
+      & info [ "arrival" ] ~docv:"PROCESS"
+          ~doc:
+            "Arrival process: poisson | bursty (on/off phases of 10 ms mean at double \
+             rate / silence, same long-run offered load).")
+  in
+  let eager_arg =
+    Arg.(
+      value & flag
+      & info [ "eager" ]
+          ~doc:"Sync the log on every commit instead of group-committing (the baseline \
+                the group-commit pipeline is measured against).")
+  in
+  let op_cost_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "op-cost-us" ] ~docv:"US" ~doc:"Simulated cost of one scheduler turn.")
+  in
+  let sync_cost_arg =
+    Arg.(
+      value & opt float 100.0
+      & info [ "sync-cost-us" ] ~docv:"US" ~doc:"Simulated cost of one log force.")
+  in
+  let run engine loads batch timeout_us mpl txns seed arrival eager op_cost sync_cost =
+    let module W = Dbm_workload.Workload in
+    let module Hist = Dbm_util.Stats.Histogram in
+    let module Sch = Dbm_storage.Scheduler in
+    let scripts =
+      let cfg =
+        {
+          W.n_transactions = txns;
+          min_pages = 2;
+          max_pages = 8;
+          write_fraction = 0.7;
+          pattern = W.Random_access;
+          db_pages = 1024;
+          seed;
+        }
+      in
+      Array.map
+        (fun t ->
+          List.init (Array.length t.W.pages) (fun i ->
+              let k = t.W.pages.(i) * 4 in
+              if t.W.writes.(i) then Sch.Put (k, "serve-bench-value") else Sch.Get k))
+        (W.generate cfg)
+    in
+    let process rate =
+      match arrival with
+      | `Poisson -> W.Poisson { rate }
+      | `Bursty ->
+        W.Bursty { on_rate = 2.0 *. rate; off_rate = 0.0; mean_on = 0.01; mean_off = 0.01 }
+    in
+    let arrivals rate =
+      let rng = Dbm_util.Prng.create (seed + int_of_float rate) in
+      Array.map (fun s -> s *. 1e6) (W.gen_arrival_times rng (process rate) ~n:txns)
+    in
+    let mode =
+      if eager then Dbm_storage.Commit_pipeline.Eager
+      else Dbm_storage.Commit_pipeline.Grouped { batch; timeout_us }
+    in
+    let sweep (type a) (module E : Dbm_storage.Server.ENGINE with type t = a) name =
+      let module Srv = Dbm_storage.Server.Make (E) in
+      Printf.printf
+        "open-loop server: engine %s, %s commits%s, mpl %d, %d txns/point, %s arrivals\n\
+         (simulated time: %.1f us/turn, %.1f us/force)\n\n"
+        name
+        (if eager then "eager" else "grouped")
+        (if eager then "" else Printf.sprintf " (batch %d, timeout %.0f us)" batch timeout_us)
+        mpl txns
+        (match arrival with `Poisson -> "poisson" | `Bursty -> "bursty")
+        op_cost sync_cost;
+      Printf.printf "%12s %12s %10s %10s %10s %10s %8s %8s %8s\n" "offered/s" "sustained/s"
+        "p50 us" "p99 us" "p999 us" "max us" "forces" "restarts" "queue";
+      List.iter
+        (fun rate ->
+          let e = E.create ~n_keys:4096 () in
+          let r =
+            Srv.run ~mpl ~op_cost_us:op_cost ~sync_cost_us:sync_cost ~mode
+              ~arrivals_us:(arrivals rate) ~scripts e
+          in
+          let h = r.Dbm_storage.Server.latency_us in
+          Printf.printf "%12.0f %12.0f %10.1f %10.1f %10.1f %10.1f %8d %8d %8d\n" rate
+            r.Dbm_storage.Server.sustained_tps (Hist.p50 h) (Hist.p99 h) (Hist.p999 h)
+            (Hist.max h) r.Dbm_storage.Server.forces r.Dbm_storage.Server.restarts
+            r.Dbm_storage.Server.max_queued)
+        loads
+    in
+    match engine with
+    | `Logging -> sweep (module Dbm_storage.Engine_log) "logging"
+    | `Diff -> sweep (module Dbm_storage.Engine_diff) "differential-file"
+  in
+  Cmd.v
+    (Cmd.info "serve-bench"
+       ~doc:
+         "Drive the open-loop transaction server: Poisson or bursty arrivals at each \
+          $(b,--load), admission control at $(b,--mpl), commits batched by the \
+          group-commit pipeline ($(b,--batch) / $(b,--timeout-us)) or synced per \
+          transaction under $(b,--eager); prints sustained throughput and the \
+          arrival-to-durable-ack latency tail per load point.")
+    Term.(
+      const run $ engine_arg $ loads_arg $ batch_arg $ timeout_arg $ mpl_arg $ txns_arg
+      $ seed_arg $ arrival_arg $ eager_arg $ op_cost_arg $ sync_cost_arg)
+
 (* -- version-select command ---------------------------------------- *)
 
 let version_select_cmd =
@@ -541,4 +698,5 @@ let () =
   let info = Cmd.info "dbmsim" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
        [ table_cmd; run_cmd; workload_cmd; ablation_cmd; extension_cmd; export_cmd;
-         validate_cmd; recovery_time_cmd; storage_bench_cmd; version_select_cmd ]))
+         validate_cmd; recovery_time_cmd; storage_bench_cmd; serve_bench_cmd;
+         version_select_cmd ]))

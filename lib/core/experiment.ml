@@ -160,6 +160,9 @@ let default_prior_ms ~arch ~machine ~workload =
     | Dbm_workload.Workload.Sequential -> 0.9
     | Dbm_workload.Workload.Random_access -> 1.0
     | Dbm_workload.Workload.Hotspot _ -> 1.15
+    (* Skewed like a hotspot, and the rejection sampling on hot pages
+       costs a little more generator time. *)
+    | Dbm_workload.Workload.Zipfian _ -> 1.15
   in
   (* Deterministic in [0, 1/16): breaks ties between variant configs of
      one family without reordering anything a real factor separates. *)

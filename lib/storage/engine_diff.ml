@@ -182,6 +182,31 @@ let commit h =
   finish h;
   !maybe_auto_merge t
 
+(* Group commit: the commit marker is appended but not forced, and the
+   differential files are not forced either — the whole transaction
+   becomes durable at the next [force_commits] (or any eager [commit],
+   whose three syncs cover every pending record: the A/D/commits files
+   are single shared journals, so one force is inherently global).
+   Until then the transaction is committed in memory (visible to
+   readers) but a crash loses it — the group-commit durability
+   window.  Housekeeping (the auto-merge check) is deferred to
+   [force_commits]. *)
+let commit_group h =
+  check h;
+  let t = h.st in
+  ignore (Journal.append t.commits (string_of_int h.id));
+  Hashtbl.replace t.committed h.id ();
+  finish h
+
+(* Records before markers: the A/D files are forced before the commits
+   journal so a durable commit id can never precede the records it
+   promises. *)
+let force_commits t =
+  Journal.sync t.a_file;
+  Journal.sync t.d_file;
+  Journal.sync t.commits;
+  !maybe_auto_merge t
+
 let abort h =
   check h;
   (* Appended records of an uncommitted transaction are never visible:

@@ -24,6 +24,20 @@ val create_with : ?n_keys:int -> ?keys_per_page:int -> ?auto_merge_records:int -
     hold at least that many records — the periodic reorganization the
     paper says must bound their size (Section 4.3.3). *)
 
+val commit_group : txn -> unit
+(** Group commit: append the commit marker but force nothing.  The
+    transaction is committed in memory (immediately visible to
+    readers) and becomes durable at the next {!force_commits} — or any
+    eager [commit], whose syncs of the shared A/D/commits journals
+    inherently cover every pending record; a crash before that loses
+    it.  The group-commit durability window, amortizing the three
+    per-commit forces across a batch. *)
+
+val force_commits : t -> unit
+(** Force the differential files and then the commit journal (records
+    before markers): every group-committed transaction becomes
+    durable.  Also runs the deferred auto-merge housekeeping check. *)
+
 val checkpoint_fuzzy : ?sync:bool -> t -> unit
 (** Fuzzy checkpoint: force the differential files, then append one
     marker to the commit journal recording how far they were durable

@@ -66,6 +66,16 @@ type store = {
   active : (int, (int, bytes * int) Hashtbl.t) Hashtbl.t;
       (* txn -> page -> (before image, lsn) of the txn's first update *)
   used_logs : (int, (int, unit) Hashtbl.t) Hashtbl.t;  (* txn -> log disks used *)
+  group_deps : (int, unit) Hashtbl.t array;
+      (* Per log disk [d]: the set of disks holding update records of
+         transactions whose {e pending} (appended, unforced) group-commit
+         record sits on [d].  Forcing [d] makes those commit records
+         durable, so the listed disks must be co-forced first — the
+         dependency closure that keeps partial (per-used-disk) commit
+         forcing sound in the presence of group commit.  Cleared
+         whenever a disk is forced (its pending commits are durable,
+         dependencies discharged) and on crash (its pending commits are
+         gone). *)
   dirty_rec : (int, int) Hashtbl.t;
       (* The dirty-page table: page -> recovery LSN, i.e. the LSN of the
          earliest update the page's durable image is missing.  An entry
@@ -113,6 +123,7 @@ let create_with ?(n_keys = default_keys) ?(n_log_disks = 2) ?(selection = Cyclic
     epoch = 0;
     active = Hashtbl.create 8;
     used_logs = Hashtbl.create 8;
+    group_deps = Array.init n_log_disks (fun _ -> Hashtbl.create 4);
     dirty_rec = Hashtbl.create 32;
     recovery_pool = None;
     records_logged = 0;
@@ -217,34 +228,78 @@ let finish txn =
   Hashtbl.remove txn.st.active txn.id;
   Hashtbl.remove txn.st.used_logs txn.id
 
+(* Force every log disk and discharge all group-commit dependencies:
+   everything appended anywhere is durable now. *)
+let sync_all_logs t =
+  Array.iter Journal.sync t.logs;
+  Array.iter Hashtbl.reset t.group_deps
+
+(* Force [seeds] plus their transitive group-commit dependency closure.
+   Forcing a disk makes durable every {e pending} group-commit record
+   on it, and each of those transactions needs its update disks durable
+   too (WAL atomicity) — which may in turn carry pending commit records
+   of their own, hence the closure.  Dependency sets of forced disks
+   are cleared: their pending commits are durable, nothing depends on a
+   further force. *)
+let sync_closure t seeds =
+  let forced = Hashtbl.create 4 in
+  let rec visit d =
+    if not (Hashtbl.mem forced d) then begin
+      Hashtbl.replace forced d ();
+      Hashtbl.iter (fun dep () -> visit dep) t.group_deps.(d)
+    end
+  in
+  List.iter visit seeds;
+  Hashtbl.iter
+    (fun d () ->
+      Journal.sync t.logs.(d);
+      Hashtbl.reset t.group_deps.(d))
+    forced
+
 let commit txn =
   check txn;
   let t = txn.st in
-  (* WAL commit rule: every log disk is forced before the commit record
-     is appended and forced.  Forcing ALL the disks (not just the ones
-     this transaction used) is what makes group commit sound: a pending
-     group-committed transaction can never have its commit record made
-     durable by someone else's force while its update records on another
-     log disk are still volatile — the partial-durability window that
-     would let recovery apply half a transaction. *)
-  Array.iter Journal.sync t.logs;
+  (* WAL commit rule: the disks holding THIS transaction's update
+     records are forced before its commit record is appended and
+     forced — not every disk.  (The pre-PR-7 path forced all N disks
+     per commit; a transaction that fragmented its log over k < N disks
+     pays k+1 forces now, which is what the sync-count test pins.)
+     What made force-everything load-bearing was group commit: forcing
+     a disk can make a {e pending} group-commit record durable while
+     that transaction's update records on another disk are still
+     volatile — the partial-durability window that would let recovery
+     apply half a transaction.  [sync_closure] closes the window
+     precisely instead of maximally, by co-forcing exactly the disks
+     the pending commits on a forced disk depend on. *)
+  let used =
+    match Hashtbl.find_opt t.used_logs txn.id with
+    | Some set -> Hashtbl.fold (fun d () acc -> d :: acc) set []
+    | None -> []
+  in
+  sync_closure t used;
   let disk = select_log t ~txn:txn.id ~page:0 in
   ignore (append_log t ~disk (Wal.Commit { lsn = fresh_lsn t; txn = txn.id }));
-  Journal.sync t.logs.(disk);
+  sync_closure t [ disk ];
   finish txn;
   !maybe_auto_checkpoint t
 
 (* Group commit: the commit record is appended but the force is left
    to a later [force_commits]; until then the transaction is committed
-   in memory but not durable. *)
+   in memory but not durable.  The commit disk inherits a dependency on
+   the transaction's update disks so that any force reaching it (an
+   eager committer's [sync_closure], not just [force_commits]) makes
+   the whole transaction durable atomically. *)
 let commit_group txn =
   check txn;
   let t = txn.st in
   let disk = select_log t ~txn:txn.id ~page:0 in
   ignore (append_log t ~disk (Wal.Commit { lsn = fresh_lsn t; txn = txn.id }));
+  (match Hashtbl.find_opt t.used_logs txn.id with
+  | Some set -> Hashtbl.iter (fun d () -> if d <> disk then Hashtbl.replace t.group_deps.(disk) d ()) set
+  | None -> ());
   finish txn
 
-let force_commits t = Array.iter Journal.sync t.logs
+let force_commits t = sync_all_logs t
 
 let abort txn =
   check txn;
@@ -277,7 +332,7 @@ let abort txn =
   !maybe_auto_checkpoint t
 
 let flush t =
-  Array.iter Journal.sync t.logs;
+  sync_all_logs t;
   Vdisk.sync t.data;
   (* Every page image is durable now; nothing is dirty. *)
   Hashtbl.reset t.dirty_rec
@@ -366,6 +421,9 @@ let finish_recovery t (meta : Replay.meta) =
   Hashtbl.reset t.active;
   Hashtbl.reset t.used_logs;
   Hashtbl.reset t.dirty_rec;
+  (* The crash dropped every pending (unforced) group-commit record, so
+     no force owes anyone a co-force anymore. *)
+  Array.iter Hashtbl.reset t.group_deps;
   rebuild_indexes t meta;
   t.recoveries <- t.recoveries + 1
 
@@ -422,7 +480,7 @@ let crash_and_recover_reference t =
 (* Sharp checkpoint: force logs and data, then truncate every log disk
    up to the earliest record still needed by a live transaction. *)
 let checkpoint t =
-  Array.iter Journal.sync t.logs;
+  sync_all_logs t;
   Vdisk.sync t.data;
   Hashtbl.reset t.dirty_rec;
   let active = Hashtbl.fold (fun id _ acc -> id :: acc) t.active [] in
@@ -460,7 +518,7 @@ let checkpoint t =
    tests use it to check that a lost checkpoint record merely falls back
    to the previous start point. *)
 let checkpoint_fuzzy ?(sync = true) t =
-  Array.iter Journal.sync t.logs;
+  sync_all_logs t;
   let start = ref t.next_lsn in
   Hashtbl.iter
     (fun _ firsts ->
@@ -479,6 +537,50 @@ let checkpoint_fuzzy ?(sync = true) t =
   if sync then Journal.sync t.logs.(disk);
   t.records_since_checkpoint <- 0;
   t.fuzzy_checkpoints <- t.fuzzy_checkpoints + 1
+
+(* Checkpoint-aware log truncation: once a fuzzy checkpoint record is
+   durable, every record below its replay-start LSN is dead weight —
+   replay will binary-search past it without decoding — so each journal
+   may drop its durable prefix below that LSN.  The checkpoint record
+   itself survives (its own LSN is >= the start LSN it carries).
+
+   One exception is retained: the newest record carrying the maximal
+   txn id.  Recovery re-seeds [next_txn] from the retained records, and
+   the highest-id transaction may be long finished with all its pages
+   durable — entirely below the replay start.  Keeping its newest
+   record (always a commit/abort record for a finished transaction,
+   harmless to both replay strategies) pins the counter so recovery
+   after truncation fingerprint-equals recovery on the untruncated
+   log. *)
+let truncate_to_checkpoint t =
+  let raws = Array.map Journal.to_array t.logs in
+  let start_lsn = Replay.replay_start_raw raws in
+  if start_lsn > 0 then begin
+    let meta = Replay.scan raws in
+    let lo = Replay.suffix_starts meta ~start_lsn in
+    let keep_txn_d = ref (-1) and keep_txn_i = ref (-1) in
+    let best_txn = ref (-1) and best_lsn = ref (-1) in
+    Array.iteri
+      (fun d txns ->
+        let lsns = meta.Replay.lsns.(d) in
+        Array.iteri
+          (fun i txn ->
+            if txn > !best_txn || (txn = !best_txn && lsns.(i) > !best_lsn) then begin
+              best_txn := txn;
+              best_lsn := lsns.(i);
+              keep_txn_d := d;
+              keep_txn_i := i
+            end)
+          txns)
+      meta.Replay.txns;
+    Array.iteri
+      (fun d j ->
+        let cut = if d = !keep_txn_d then min lo.(d) !keep_txn_i else lo.(d) in
+        let keep_from = Journal.synced j - Journal.length j + cut in
+        Journal.truncate j ~keep_from;
+        Idx.drop_before t.indexes.(d) ~keep_from)
+      t.logs
+  end
 
 let set_recovery_pool t pool = t.recovery_pool <- pool
 

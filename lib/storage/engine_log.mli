@@ -33,13 +33,25 @@ val create_with :
 val commit_group : txn -> unit
 (** Group commit: append the commit record but do {e not} force the
     log.  The transaction becomes durable at the next {!force_commits}
-    (or any other log force); a crash before that loses it — exactly
-    the group-commit durability window.  Amortizes the per-commit log
+    (or any other force reaching its commit disk — the engine tracks a
+    per-disk dependency set so any such force co-forces the disks
+    holding the transaction's update records, keeping the WAL
+    atomicity invariant); a crash before that loses it — exactly the
+    group-commit durability window.  Amortizes the per-commit log
     force across a batch of transactions. *)
 
 val force_commits : t -> unit
 (** Force every log disk: all group-committed transactions become
     durable. *)
+
+val truncate_to_checkpoint : t -> unit
+(** Drop each journal's durable prefix below the newest durable fuzzy
+    checkpoint's replay-start LSN — the records replay skips without
+    decoding anyway.  A no-op when no durable fuzzy checkpoint exists.
+    The checkpoint record survives, and so does the newest record of
+    the highest-id transaction (it re-seeds the txn counter), so
+    recovery after truncation reaches a state fingerprint-identical to
+    recovery on the untruncated log under either strategy. *)
 
 val flush : t -> unit
 (** Force the log disks and then the data disk: the "steal" path (a

@@ -9,18 +9,180 @@ let key_of = function Get k -> k | Put (k, _) -> k | Delete k -> k
 let mode_of = function Get _ -> Lock_mgr.S | Put _ | Delete _ -> Lock_mgr.X
 
 module Make (E : Kv.S) = struct
-  type state = {
-    id : int;
-    index : int;  (* position among the scripts, for distinct backoffs *)
-    script : script;
-    mutable remaining : script;
-    mutable txn : E.txn option;
-    mutable done_ : bool;
-    mutable restart_count : int;
-    mutable backoff : int;  (* scheduler turns to sit out after a restart *)
-    mutable parked_on : int option;  (* page this script is blocked on *)
-    mutable woken : bool;  (* a lock release touched that page *)
-  }
+  (* The execution core, shared by the closed-loop [run] below and the
+     open-loop {!Server}: one lock manager, a set of script tasks, and a
+     single-step advance.  The commit sink is pluggable so a server can
+     route commits through a group-commit pipeline instead of the
+     engine's eager [commit]; with the default sink the closed-loop
+     driver is bit-identical to the pre-split scheduler (a CI gate
+     checks it against {!Naive.Sched}). *)
+  module Exec = struct
+    type task = {
+      id : int;
+      index : int;  (* distinct small index, for distinct backoffs *)
+      script : script;
+      mutable remaining : script;
+      mutable txn : E.txn option;
+      mutable done_ : bool;
+      mutable restart_count : int;
+      mutable backoff : int;  (* scheduler turns to sit out after a restart *)
+      mutable parked_on : int option;  (* page this script is blocked on *)
+      mutable woken : bool;  (* a lock release touched that page *)
+    }
+
+    type t = {
+      engine : E.t;
+      commit : id:int -> E.txn -> unit;
+      locks : Lock_mgr.t;
+      parked : (int, task list ref) Hashtbl.t;
+      mutable commit_order : int list;  (* reversed *)
+      mutable restarts : int;
+      mutable steps : int;
+    }
+
+    type outcome =
+      | Skipped  (* backoff ticked down, or parked and not woken *)
+      | Blocked  (* ran the acquire, would block: parked *)
+      | Advanced  (* executed one operation *)
+      | Restarted  (* deadlock victim: rolled back *)
+      | Committed
+
+    let create ?commit engine =
+      let commit = match commit with Some f -> f | None -> fun ~id:_ t -> E.commit t in
+      {
+        engine;
+        commit;
+        locks = Lock_mgr.create ();
+        parked = Hashtbl.create 32;
+        commit_order = [];
+        restarts = 0;
+        steps = 0;
+      }
+
+    let spawn _t ~index ~id script =
+      {
+        id;
+        index;
+        script;
+        remaining = script;
+        txn = None;
+        done_ = false;
+        restart_count = 0;
+        backoff = 0;
+        parked_on = None;
+        woken = false;
+      }
+
+    let finished st = st.done_
+
+    let commit_order t = List.rev t.commit_order
+
+    let restarts t = t.restarts
+
+    let steps t = t.steps
+
+    let park t st page =
+      st.parked_on <- Some page;
+      st.woken <- false;
+      match Hashtbl.find_opt t.parked page with
+      | Some l -> l := st :: !l
+      | None -> Hashtbl.replace t.parked page (ref [ st ])
+
+    let unpark t st =
+      match st.parked_on with
+      | None -> ()
+      | Some page ->
+        st.parked_on <- None;
+        st.woken <- false;
+        (match Hashtbl.find_opt t.parked page with
+        | Some l ->
+          l := List.filter (fun s -> s != st) !l;
+          if !l = [] then Hashtbl.remove t.parked page
+        | None -> ())
+
+    let wake_page t page =
+      match Hashtbl.find_opt t.parked page with
+      | Some l -> List.iter (fun s -> s.woken <- true) !l
+      | None -> ()
+
+    let wake_all t =
+      Hashtbl.iter (fun _ l -> List.iter (fun s -> s.woken <- true) !l) t.parked
+
+    let release_and_wake t txn =
+      List.iter (wake_page t) (Lock_mgr.release_all_pages t.locks ~txn)
+
+    (* Deadlock victims back off before retrying.  The backoff grows
+       with the script's restart count and differs per script (via its
+       [index]), so two scripts that keep colliding under deterministic
+       round-robin eventually desynchronize (without this, repeated
+       mutual restarts can livelock). *)
+    let restart t st =
+      (match st.txn with Some tx -> E.abort tx | None -> ());
+      release_and_wake t st.id;
+      st.txn <- None;
+      st.remaining <- st.script;
+      st.restart_count <- st.restart_count + 1;
+      st.backoff <- st.restart_count * (st.index + 1);
+      t.restarts <- t.restarts + 1
+
+    let txn_of t st =
+      match st.txn with
+      | Some tx -> tx
+      | None ->
+        let tx = E.begin_txn t.engine in
+        st.txn <- Some tx;
+        tx
+
+    (* One advance attempt for a runnable task: execute one operation,
+       or commit.  Locks are released at commit time regardless of what
+       the commit sink does about durability (strict 2PL ends when the
+       commit record is {e appended}; group commit only defers the
+       force). *)
+    let advance t st =
+      unpark t st;
+      match st.remaining with
+      | [] ->
+        (match st.txn with
+        | Some tx -> t.commit ~id:st.id tx
+        | None ->
+          (* empty script: an empty transaction still commits *)
+          t.commit ~id:st.id (txn_of t st));
+        release_and_wake t st.id;
+        st.done_ <- true;
+        st.txn <- None;
+        t.commit_order <- st.id :: t.commit_order;
+        Committed
+      | op :: rest -> (
+        let page = key_of op / E.keys_per_page t.engine in
+        match Lock_mgr.acquire_wait_info t.locks ~txn:st.id ~page ~mode:(mode_of op) with
+        | Lock_mgr.Granted, _ ->
+          let tx = txn_of t st in
+          (match op with
+          | Get k -> ignore (E.get tx k)
+          | Put (k, v) -> E.put tx k v
+          | Delete k -> E.delete tx k);
+          st.remaining <- rest;
+          Advanced
+        | Lock_mgr.Would_block, fresh_edges ->
+          if fresh_edges then wake_all t;
+          park t st page;
+          Blocked
+        | Lock_mgr.Deadlock _, _ ->
+          (* strict 2PL victim: roll back and start over *)
+          restart t st;
+          Restarted)
+
+    (* One scheduler turn for a task: counts a step, serves the backoff,
+       skips a parked-and-unwoken task, otherwise advances. *)
+    let step t st =
+      t.steps <- t.steps + 1;
+      if st.backoff > 0 then begin
+        st.backoff <- st.backoff - 1;
+        Skipped
+      end
+      else if st.parked_on <> None && not st.woken then Skipped
+      else advance t st
+  end
 
   (* A blocked script's retry is a pure no-op except after two kinds of
      events, so instead of re-running the lock acquisition for every
@@ -48,125 +210,12 @@ module Make (E : Kv.S) = struct
     let ids = List.map fst scripts in
     if List.length (List.sort_uniq Int.compare ids) <> List.length ids then
       invalid_arg "Scheduler.run: duplicate script ids";
-    let locks = Lock_mgr.create () in
-    let states =
-      List.mapi
-        (fun index (id, script) ->
-          {
-            id;
-            index;
-            script;
-            remaining = script;
-            txn = None;
-            done_ = false;
-            restart_count = 0;
-            backoff = 0;
-            parked_on = None;
-            woken = false;
-          })
-        scripts
-    in
-    let parked : (int, state list ref) Hashtbl.t = Hashtbl.create 32 in
-    let park st page =
-      st.parked_on <- Some page;
-      st.woken <- false;
-      match Hashtbl.find_opt parked page with
-      | Some l -> l := st :: !l
-      | None -> Hashtbl.replace parked page (ref [ st ])
-    in
-    let unpark st =
-      match st.parked_on with
-      | None -> ()
-      | Some page ->
-        st.parked_on <- None;
-        st.woken <- false;
-        (match Hashtbl.find_opt parked page with
-        | Some l ->
-          l := List.filter (fun s -> s != st) !l;
-          if !l = [] then Hashtbl.remove parked page
-        | None -> ())
-    in
-    let wake_page page =
-      match Hashtbl.find_opt parked page with
-      | Some l -> List.iter (fun s -> s.woken <- true) !l
-      | None -> ()
-    in
-    let wake_all () =
-      Hashtbl.iter (fun _ l -> List.iter (fun s -> s.woken <- true) !l) parked
-    in
-    let release_and_wake txn = List.iter wake_page (Lock_mgr.release_all_pages locks ~txn) in
-    let commit_order = ref [] in
-    let restarts = ref 0 in
-    let steps = ref 0 in
-    (* Deadlock victims back off before retrying.  The backoff grows
-       with the script's restart count and differs per script, so two
-       scripts that keep colliding under deterministic round-robin
-       eventually desynchronize (without this, repeated mutual restarts
-       can livelock). *)
-    let restart st =
-      (match st.txn with Some t -> E.abort t | None -> ());
-      release_and_wake st.id;
-      st.txn <- None;
-      st.remaining <- st.script;
-      st.restart_count <- st.restart_count + 1;
-      st.backoff <- st.restart_count * (st.index + 1);
-      incr restarts
-    in
-    let txn_of st =
-      match st.txn with
-      | Some t -> t
-      | None ->
-        let t = E.begin_txn engine in
-        st.txn <- Some t;
-        t
-    in
-    (* One scheduler step for a script: try to advance by one operation
-       (or commit).  Returns true on progress. *)
-    let advance st =
-      unpark st;
-      match st.remaining with
-      | [] ->
-        (match st.txn with
-        | Some t -> E.commit t
-        | None ->
-          (* empty script: an empty transaction still commits *)
-          E.commit (txn_of st));
-        release_and_wake st.id;
-        st.done_ <- true;
-        commit_order := st.id :: !commit_order;
-        true
-      | op :: rest -> (
-        let page = key_of op / E.keys_per_page engine in
-        match Lock_mgr.acquire_wait_info locks ~txn:st.id ~page ~mode:(mode_of op) with
-        | Lock_mgr.Granted, _ ->
-          let t = txn_of st in
-          (match op with
-          | Get k -> ignore (E.get t k)
-          | Put (k, v) -> E.put t k v
-          | Delete k -> E.delete t k);
-          st.remaining <- rest;
-          true
-        | Lock_mgr.Would_block, fresh_edges ->
-          if fresh_edges then wake_all ();
-          park st page;
-          false
-        | Lock_mgr.Deadlock _, _ ->
-          (* strict 2PL victim: roll back and start over *)
-          restart st;
-          true)
-    in
-    let all_done () = List.for_all (fun st -> st.done_) states in
-    while (not (all_done ())) && !steps < max_steps do
-      List.iter
-        (fun st ->
-          if not st.done_ then begin
-            incr steps;
-            if st.backoff > 0 then st.backoff <- st.backoff - 1
-            else if st.parked_on <> None && not st.woken then ()
-            else ignore (advance st)
-          end)
-        states
+    let ex = Exec.create engine in
+    let tasks = List.mapi (fun index (id, script) -> Exec.spawn ex ~index ~id script) scripts in
+    let all_done () = List.for_all Exec.finished tasks in
+    while (not (all_done ())) && Exec.steps ex < max_steps do
+      List.iter (fun st -> if not (Exec.finished st) then ignore (Exec.step ex st)) tasks
     done;
     if not (all_done ()) then failwith "Scheduler.run: scripts did not complete (livelock?)";
-    { commit_order = List.rev !commit_order; restarts = !restarts; steps = !steps }
+    { commit_order = Exec.commit_order ex; restarts = Exec.restarts ex; steps = Exec.steps ex }
 end

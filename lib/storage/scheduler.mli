@@ -11,7 +11,13 @@
     Because acquisition is incremental and the victim restarts from the
     beginning, every run is serializable: the committed scripts are
     equivalent to executing them serially in commit order (a property
-    the test suite checks against the model). *)
+    the test suite checks against the model).
+
+    The module is split into an execution core ({!Make.Exec}: tasks,
+    locks, single-step advance, pluggable commit sink) and the
+    closed-loop driver {!Make.run} built on it.  The open-loop
+    {!Server} drives the same core with arrivals from a clock and
+    commits routed through a {!Commit_pipeline}. *)
 
 type op =
   | Get of int
@@ -27,9 +33,54 @@ type report = {
 }
 
 module Make (E : Kv.S) : sig
+  (** The admission-independent execution core: who holds which page
+      lock, who is parked on what, and how one scheduler turn advances
+      one task.  Callers own the driving loop — which tasks exist, in
+      what order they get turns, and what time a turn costs. *)
+  module Exec : sig
+    type t
+
+    type task
+
+    type outcome =
+      | Skipped  (** backoff ticked down, or parked and not woken *)
+      | Blocked  (** ran the lock acquire and parked on the page *)
+      | Advanced  (** executed one operation *)
+      | Restarted  (** deadlock victim: rolled back, will retry *)
+      | Committed
+
+    val create : ?commit:(id:int -> E.txn -> unit) -> E.t -> t
+    (** [commit] is the commit sink, called exactly once per finishing
+        task with the script id and the open transaction; it must
+        commit (eagerly or via {!Kv} group commit).  Default:
+        [E.commit].  Locks are released right after the sink returns —
+        strict 2PL ends when the commit record is appended; a deferred
+        force does not extend lock hold times. *)
+
+    val spawn : t -> index:int -> id:int -> script -> task
+    (** Register a task.  [id] must be unique among live tasks (it keys
+        the lock table); [index] should be small and distinct among
+        concurrent tasks — it scales the post-restart backoff. *)
+
+    val step : t -> task -> outcome
+    (** One scheduler turn: count a step, serve backoff, skip a parked
+        task that nothing woke, otherwise try to advance one
+        operation. *)
+
+    val finished : task -> bool
+
+    val commit_order : t -> int list
+
+    val restarts : t -> int
+
+    val steps : t -> int
+  end
+
   val run : ?max_steps:int -> E.t -> scripts:(int * script) list -> report
-  (** Run the scripts to completion, round-robin.  Script ids must be
-      distinct.
+  (** Run the scripts to completion, round-robin, committing eagerly.
+      Script ids must be distinct.  Bit-identical ([steps],
+      [commit_order], [restarts]) to the pre-split scheduler and to
+      {!Naive.Sched} (a CI gate holds this).
       @raise Failure if the scripts have not all committed within
       [max_steps] scheduler steps (default 100,000). *)
 end

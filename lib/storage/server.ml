@@ -1,0 +1,136 @@
+module Histogram = Dbm_util.Stats.Histogram
+
+module type ENGINE = sig
+  include Kv.S
+
+  val commit_group : txn -> unit
+
+  val force_commits : t -> unit
+end
+
+type result = {
+  completed : int;
+  makespan_us : float;
+  sustained_tps : float;
+  restarts : int;
+  forces : int;
+  max_inflight : int;
+  max_queued : int;
+  latency_us : Histogram.t;
+}
+
+(* After this many consecutive round-robin passes with no task
+   advancing, restarting or committing — only backoff ticks and parked
+   skips — the run is declared livelocked.  Backoffs are bounded by
+   [restart_count * mpl], so a healthy contended run drains its idle
+   passes far below this. *)
+let idle_pass_limit = 1_000_000
+
+module Make (E : ENGINE) = struct
+  module Sch = Scheduler.Make (E)
+  module Pipe = Commit_pipeline.Make (E)
+
+  let run ?(mpl = 64) ?(op_cost_us = 1.0) ?(sync_cost_us = 100.0) ~mode ~arrivals_us ~scripts
+      engine =
+    if mpl < 1 then invalid_arg "Server.run: mpl must be >= 1";
+    if not (op_cost_us >= 0.0 && Float.is_finite op_cost_us) then
+      invalid_arg "Server.run: op_cost_us must be non-negative and finite";
+    let n = Array.length arrivals_us in
+    if Array.length scripts <> n then
+      invalid_arg "Server.run: arrivals and scripts must have equal length";
+    Array.iteri
+      (fun i a ->
+        if not (Float.is_finite a && a >= 0.0 && (i = 0 || a >= arrivals_us.(i - 1))) then
+          invalid_arg "Server.run: arrival times must be finite, non-negative, non-decreasing")
+      arrivals_us;
+    let now = ref 0.0 in
+    let hist = Histogram.create () in
+    let acked = ref 0 in
+    let pipe =
+      Pipe.create ~sync_cost_us
+        ~on_ack:(fun ~id ~now ->
+          Histogram.add hist (Float.max 0.0 (now -. arrivals_us.(id)));
+          incr acked)
+        mode engine
+    in
+    (* The commit sink: every finishing task commits through the shared
+       pipeline, on the server clock. *)
+    let ex = Sch.Exec.create ~commit:(fun ~id txn -> now := Pipe.submit pipe ~now:!now ~id txn) engine in
+    let waitq : int Queue.t = Queue.create () in
+    let runq : Sch.Exec.task Queue.t = Queue.create () in
+    let next = ref 0 in
+    let spawned = ref 0 in
+    let max_inflight = ref 0 in
+    let max_queued = ref 0 in
+    let idle_passes = ref 0 in
+    (* Admission control: a transaction is in flight from admission
+       until its durable ack; at most [mpl] may be in flight, and the
+       overflow waits in an unbounded FIFO — arrivals are delayed, never
+       dropped. *)
+    let in_flight () = !spawned - !acked in
+    let pump_arrivals () =
+      while !next < n && arrivals_us.(!next) <= !now do
+        Queue.push !next waitq;
+        incr next;
+        if Queue.length waitq > !max_queued then max_queued := Queue.length waitq
+      done
+    in
+    let admit () =
+      while (not (Queue.is_empty waitq)) && in_flight () < mpl do
+        let id = Queue.pop waitq in
+        Queue.push (Sch.Exec.spawn ex ~index:(!spawned mod mpl) ~id scripts.(id)) runq;
+        incr spawned;
+        if in_flight () > !max_inflight then max_inflight := in_flight ()
+      done
+    in
+    while !acked < n do
+      pump_arrivals ();
+      now := Pipe.poll pipe ~now:!now;
+      admit ();
+      (* One round-robin pass.  A turn that did work (an operation, a
+         restart's rollback, a commit append) costs [op_cost_us]; the
+         sink charges sync latency inside [step] when it forces. *)
+      let progressed = ref false in
+      for _ = 1 to Queue.length runq do
+        let task = Queue.pop runq in
+        (match Sch.Exec.step ex task with
+        | Sch.Exec.Advanced | Sch.Exec.Restarted | Sch.Exec.Committed ->
+          now := !now +. op_cost_us;
+          progressed := true
+        | Sch.Exec.Blocked | Sch.Exec.Skipped -> ());
+        if not (Sch.Exec.finished task) then Queue.push task runq
+      done;
+      if !progressed then idle_passes := 0
+      else begin
+        (* Nothing ran.  Jump the clock to the next event — the pending
+           batch's timeout or the next arrival — and only if there is
+           none, spin the backoff/wake machinery under a livelock
+           guard. *)
+        let next_event =
+          let d = match Pipe.deadline pipe with Some d -> d | None -> Float.infinity in
+          let a = if !next < n then arrivals_us.(!next) else Float.infinity in
+          Float.min d a
+        in
+        if next_event > !now && Float.is_finite next_event then begin
+          now := next_event;
+          idle_passes := 0
+        end
+        else begin
+          incr idle_passes;
+          if !idle_passes > idle_pass_limit then
+            failwith "Server.run: no progress (livelock or undetected deadlock)"
+        end
+      end
+    done;
+    let makespan_us = !now in
+    {
+      completed = !acked;
+      makespan_us;
+      sustained_tps = (if makespan_us > 0.0 then float_of_int n /. makespan_us *. 1e6 else Float.infinity);
+      restarts = Sch.Exec.restarts ex;
+      forces = Pipe.forces pipe;
+      max_inflight = !max_inflight;
+      max_queued = !max_queued;
+      latency_us = hist;
+    }
+end

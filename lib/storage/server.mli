@@ -1,0 +1,66 @@
+(** The open-loop transaction server.
+
+    The closed-loop {!Scheduler.Make.run} admits the next script when a
+    previous one finishes, so it can never build a queue; this server
+    is the open-loop counterpart the paper's throughput discussion
+    implies: transactions {e arrive} on a simulated clock
+    (microseconds) that does not care how busy the server is, an
+    admission front end bounds the multiprogramming level, and all
+    commits flow through one shared {!Commit_pipeline}.  Offered load
+    beyond capacity shows up as queueing delay and tail latency — the
+    regime where group commit pays.
+
+    Decomposition: {!Scheduler.Make.Exec} executes operations under
+    strict 2PL (admission-independent core); this module owns the
+    clock, the arrival queue and the admission bound; the pipeline owns
+    durability.  Costs are simulated — [op_cost_us] per executed
+    operation (or rollback, or commit append), [sync_cost_us] per log
+    force — so runs are deterministic and machine-independent.
+
+    Backpressure never drops work: an arrival that finds [mpl]
+    transactions in flight waits in an unbounded FIFO, and a
+    transaction is in flight from admission until its durable ack, so
+    [completed] always reaches the arrival count.  Per-transaction
+    latency is measured arrival → durable ack (admission wait, lock
+    waits, restarts, and the group-commit window all included). *)
+
+module type ENGINE = sig
+  include Kv.S
+
+  val commit_group : txn -> unit
+
+  val force_commits : t -> unit
+end
+
+type result = {
+  completed : int;  (** transactions durably acknowledged (= arrivals) *)
+  makespan_us : float;  (** clock instant of the last ack *)
+  sustained_tps : float;  (** completed per second of simulated time *)
+  restarts : int;  (** deadlock-victim restarts *)
+  forces : int;  (** log forces (eager commits count one each) *)
+  max_inflight : int;  (** peak concurrent in-flight transactions *)
+  max_queued : int;  (** peak admission-queue depth *)
+  latency_us : Dbm_util.Stats.Histogram.t;
+      (** arrival-to-ack latency of every transaction, µs *)
+}
+
+module Make (E : ENGINE) : sig
+  val run :
+    ?mpl:int ->
+    ?op_cost_us:float ->
+    ?sync_cost_us:float ->
+    mode:Commit_pipeline.mode ->
+    arrivals_us:float array ->
+    scripts:Scheduler.script array ->
+    E.t ->
+    result
+  (** Serve [scripts.(i)] arriving at [arrivals_us.(i)] (finite,
+      non-negative, non-decreasing) to completion.  Defaults: [mpl] 64,
+      [op_cost_us] 1.0, [sync_cost_us] 100.0 — a log force two orders
+      of magnitude above an in-memory operation, the ratio that makes
+      the force the dominant latency term.  Deterministic in its
+      arguments.
+      @raise Invalid_argument on bad parameters.
+      @raise Failure on livelock (no progress for a bounded number of
+      scheduler passes). *)
+end

@@ -24,6 +24,33 @@ type recovery_ckpt_point = {
   ck_equivalent : bool;
 }
 
+type server_point = {
+  sv_offered_tps : float;  (* open-loop Poisson arrival rate *)
+  sv_sustained_tps : float;  (* completed / makespan, simulated time *)
+  sv_completed : int;
+  sv_p50_us : float;  (* arrival-to-durable-ack latency percentiles *)
+  sv_p99_us : float;
+  sv_p999_us : float;
+  sv_mean_us : float;
+  sv_max_us : float;
+  sv_restarts : int;
+  sv_forces : int;
+  sv_max_queued : int;  (* peak admission-queue depth *)
+}
+
+type server_engine = {
+  sv_engine : string;
+  sv_sweep : server_point list;  (* group-commit pipeline, rising load *)
+  sv_eager_tps : float;  (* per-txn-sync sustained tps at the top load *)
+  sv_grouped_tps : float;  (* group-commit sustained tps at the top load *)
+  sv_speedup : float;  (* grouped / eager *)
+  sv_eager_p99_us : float;
+  sv_grouped_p99_us : float;
+  sv_equivalent : bool;
+      (* recovered fingerprint of a grouped commit sequence (with a
+         crash between append and force) equals the eager reference *)
+}
+
 type t = {
   scale : int;
   (* Contended-scheduler head-to-head: identical workload through the
@@ -51,6 +78,12 @@ type t = {
   recovery_ckpt : recovery_ckpt_point list;
   recovery_ckpt_speedup : float;  (* full-replay wall / newest-checkpoint wall *)
   recovery_equivalent : bool;  (* every point above matched the reference *)
+  (* Open-loop transaction server: offered-load sweep through the
+     group-commit pipeline plus an eager-vs-grouped head-to-head at the
+     top load, per engine, all in simulated time. *)
+  server : server_engine list;
+  server_speedup : float;  (* worst grouped/eager ratio across engines *)
+  server_equivalent : bool;  (* every engine's equivalence check passed *)
   pool_hit_ns : float;
   pool_miss_ns : float;
   journal_append_per_sec : float;
@@ -351,6 +384,146 @@ let journal_throughput ~now ~iters =
   ( float_of_int iters /. append_s,
     float_of_int iters /. append_sync_s )
 
+(* --- open-loop server: group commit vs per-transaction sync --------- *)
+
+module W = Dbm_workload.Workload
+module Hist = Dbm_util.Stats.Histogram
+
+module type SERVER_ENGINE = sig
+  include Server.ENGINE
+
+  val state_fingerprint : t -> string
+end
+
+(* Random-access transactions from the workload generator, one key per
+   referenced page so lock conflicts stay at the paper's page granule. *)
+let server_scripts ~n ~seed =
+  let cfg =
+    {
+      W.n_transactions = n;
+      min_pages = 2;
+      max_pages = 8;
+      write_fraction = 0.7;
+      pattern = W.Random_access;
+      db_pages = 1024;
+      seed;
+    }
+  in
+  Array.map
+    (fun t ->
+      List.init (Array.length t.W.pages) (fun i ->
+          let k = t.W.pages.(i) * 4 in
+          if t.W.writes.(i) then Scheduler.Put (k, value) else Scheduler.Get k))
+    (W.generate cfg)
+
+(* Deterministic serial equivalence check: a grouped commit sequence —
+   forces between batches and a crash {e between append and force} on
+   the middle batch — must recover to the same fingerprint as an eager
+   run of exactly the surviving transactions. *)
+let grouped_equivalent (type a) (module E : SERVER_ENGINE with type t = a) =
+  let value_of i = Printf.sprintf "v%d" i in
+  let run_grouped () =
+    let e = E.create ~n_keys:64 () in
+    let durable = ref [] and volatile = ref [] in
+    let txn i =
+      let t = E.begin_txn e in
+      E.put t (i * 3 mod 64) (value_of i);
+      E.commit_group t;
+      volatile := (i * 3 mod 64, value_of i) :: !volatile
+    in
+    for i = 0 to 9 do
+      txn i
+    done;
+    E.force_commits e;
+    durable := !volatile @ !durable;
+    volatile := [];
+    (* commit records appended, never forced: the crash must lose
+       exactly this batch *)
+    for i = 10 to 14 do
+      txn i
+    done;
+    E.crash_and_recover e;
+    volatile := [];
+    for i = 15 to 19 do
+      txn i
+    done;
+    E.force_commits e;
+    durable := !volatile @ !durable;
+    E.crash_and_recover e;
+    (E.state_fingerprint e, List.rev !durable)
+  in
+  let fp_grouped, survivors = run_grouped () in
+  let r = E.create ~n_keys:64 () in
+  List.iter
+    (fun (k, v) ->
+      let t = E.begin_txn r in
+      E.put t k v;
+      E.commit t)
+    survivors;
+  E.crash_and_recover r;
+  String.equal fp_grouped (E.state_fingerprint r)
+
+let server_bench_engine (type a) (module E : SERVER_ENGINE with type t = a) ~loads ~n ~seed =
+  let module Srv = Server.Make (E) in
+  let scripts = server_scripts ~n ~seed in
+  let arrivals rate =
+    let rng = Dbm_util.Prng.create (seed + int_of_float rate) in
+    Array.map (fun s -> s *. 1e6) (W.gen_arrival_times rng (W.Poisson { rate }) ~n)
+  in
+  let grouped_mode = Commit_pipeline.Grouped { batch = 32; timeout_us = 1000.0 } in
+  let point ~mode rate =
+    let e = E.create ~n_keys:4096 () in
+    Srv.run ~mpl:64 ~op_cost_us:1.0 ~sync_cost_us:100.0 ~mode ~arrivals_us:(arrivals rate)
+      ~scripts e
+  in
+  let sweep =
+    List.map
+      (fun rate ->
+        let r = point ~mode:grouped_mode rate in
+        {
+          sv_offered_tps = rate;
+          sv_sustained_tps = r.Server.sustained_tps;
+          sv_completed = r.Server.completed;
+          sv_p50_us = Hist.p50 r.Server.latency_us;
+          sv_p99_us = Hist.p99 r.Server.latency_us;
+          sv_p999_us = Hist.p999 r.Server.latency_us;
+          sv_mean_us = Hist.mean r.Server.latency_us;
+          sv_max_us = Hist.max r.Server.latency_us;
+          sv_restarts = r.Server.restarts;
+          sv_forces = r.Server.forces;
+          sv_max_queued = r.Server.max_queued;
+        })
+      loads
+  in
+  let top = List.fold_left Float.max 0.0 loads in
+  let eager = point ~mode:Commit_pipeline.Eager top in
+  let grouped = point ~mode:grouped_mode top in
+  {
+    sv_engine = E.engine_name;
+    sv_sweep = sweep;
+    sv_eager_tps = eager.Server.sustained_tps;
+    sv_grouped_tps = grouped.Server.sustained_tps;
+    sv_speedup =
+      (if eager.Server.sustained_tps > 0. then
+         grouped.Server.sustained_tps /. eager.Server.sustained_tps
+       else infinity);
+    sv_eager_p99_us = Hist.p99 eager.Server.latency_us;
+    sv_grouped_p99_us = Hist.p99 grouped.Server.latency_us;
+    sv_equivalent = grouped_equivalent (module E);
+  }
+
+(* Offered loads spanning both engines' saturation points: eager
+   capacity is ~1/(sync + ops) ~ 9k tps, grouped ~1/(ops + sync/batch)
+   — the top points drive both pipelines well past saturation. *)
+let server_loads = [ 2_000.0; 10_000.0; 40_000.0; 160_000.0; 400_000.0 ]
+
+let server_bench ~scale =
+  let n = 800 * scale and seed = 20_250 in
+  [
+    server_bench_engine (module Engine_log) ~loads:server_loads ~n ~seed;
+    server_bench_engine (module Engine_diff) ~loads:server_loads ~n ~seed;
+  ]
+
 (* --- entry point ---------------------------------------------------- *)
 
 let run ?(scale = 1) ?(jobs = [ 1; 2; 4 ]) ?(allow_oversubscribe = false) ~now () =
@@ -369,6 +542,11 @@ let run ?(scale = 1) ?(jobs = [ 1; 2; 4 ]) ?(allow_oversubscribe = false) ~now (
     recovery_vs_jobs ~now ~jobs ~allow_oversubscribe ~txns:txns_l
   in
   let recovery_ckpt, recovery_ckpt_speedup = recovery_vs_checkpoint_age ~now ~txns:txns_l in
+  let server = server_bench ~scale in
+  let server_speedup =
+    List.fold_left (fun acc s -> Float.min acc s.sv_speedup) infinity server
+  in
+  let server_equivalent = List.for_all (fun s -> s.sv_equivalent) server in
   let pool_hit_ns, pool_miss_ns = pool_ns ~now ~iters:(200_000 * scale) in
   let journal_append_per_sec, journal_append_sync_per_sec =
     journal_throughput ~now ~iters:(200_000 * scale)
@@ -395,6 +573,9 @@ let run ?(scale = 1) ?(jobs = [ 1; 2; 4 ]) ?(allow_oversubscribe = false) ~now (
     recovery_equivalent =
       List.for_all (fun p -> p.rj_equivalent) recovery_jobs
       && List.for_all (fun p -> p.ck_equivalent) recovery_ckpt;
+    server;
+    server_speedup;
+    server_equivalent;
     pool_hit_ns;
     pool_miss_ns;
     journal_append_per_sec;

@@ -39,6 +39,33 @@ type recovery_ckpt_point = {
   ck_equivalent : bool;
 }
 
+type server_point = {
+  sv_offered_tps : float;  (** open-loop Poisson arrival rate *)
+  sv_sustained_tps : float;  (** completed / makespan, simulated time *)
+  sv_completed : int;
+  sv_p50_us : float;  (** arrival-to-durable-ack latency percentiles *)
+  sv_p99_us : float;
+  sv_p999_us : float;
+  sv_mean_us : float;
+  sv_max_us : float;
+  sv_restarts : int;
+  sv_forces : int;
+  sv_max_queued : int;  (** peak admission-queue depth *)
+}
+
+type server_engine = {
+  sv_engine : string;
+  sv_sweep : server_point list;  (** group-commit pipeline, rising load *)
+  sv_eager_tps : float;  (** per-txn-sync sustained tps at the top load *)
+  sv_grouped_tps : float;  (** group-commit sustained tps at the top load *)
+  sv_speedup : float;  (** grouped / eager *)
+  sv_eager_p99_us : float;
+  sv_grouped_p99_us : float;
+  sv_equivalent : bool;
+      (** recovered fingerprint of a grouped commit sequence (with a
+          crash between append and force) equals the eager reference *)
+}
+
 type t = {
   scale : int;
   sched_txns : int;  (** scripts in the contended comparison *)
@@ -68,6 +95,14 @@ type t = {
       (** full-replay wall / wall with the newest checkpoint *)
   recovery_equivalent : bool;
       (** every recovery point fingerprint-matched the serial reference *)
+  server : server_engine list;
+      (** open-loop transaction server ({!Server}) on the logging and
+          differential engines: a Poisson offered-load sweep through the
+          group-commit pipeline, plus an eager-vs-grouped head-to-head
+          at the top load.  Entirely simulated time — deterministic and
+          machine-independent. *)
+  server_speedup : float;  (** worst grouped/eager ratio across engines *)
+  server_equivalent : bool;  (** every engine's equivalence check passed *)
   pool_hit_ns : float;
   pool_miss_ns : float;
   journal_append_per_sec : float;

@@ -2,6 +2,7 @@ type pattern =
   | Random_access
   | Sequential
   | Hotspot of { hot_fraction : float; hot_access_prob : float }
+  | Zipfian of { theta : float }
 
 type txn = { id : int; pages : int array; writes : bool array }
 
@@ -39,7 +40,10 @@ let feed_config d c =
   | Hotspot { hot_fraction; hot_access_prob } ->
     D.tag d 2;
     D.float d hot_fraction;
-    D.float d hot_access_prob);
+    D.float d hot_access_prob
+  | Zipfian { theta } ->
+    D.tag d 3;
+    D.float d theta);
   D.int d c.db_pages;
   D.int d c.seed
 
@@ -58,13 +62,59 @@ let validate c =
       invalid_arg "Workload: hot_access_prob out of [0,1]";
     if int_of_float (hot_fraction *. float_of_int c.db_pages) < c.max_pages then
       invalid_arg "Workload: hot region smaller than max_pages"
+  | Zipfian { theta } ->
+    if theta <= 0.0 || not (Float.is_finite theta) then
+      invalid_arg "Workload: zipfian theta must be positive and finite"
   | Random_access | Sequential -> ()
 
-let gen_txn rng c id =
+(* Unnormalized Zipf CDF over page ranks: cdf.(r) = sum_{i<=r} 1/(i+1)^theta.
+   Page 0 is the hottest; a draw is a binary search for the first rank
+   whose cumulative weight exceeds a uniform draw on [0, total). *)
+let zipf_cdf ~theta ~n =
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for r = 0 to n - 1 do
+    acc := !acc +. (1.0 /. Float.pow (float_of_int (r + 1)) theta);
+    cdf.(r) <- !acc
+  done;
+  cdf
+
+let zipf_draw rng cdf =
+  let n = Array.length cdf in
+  let u = Dbm_util.Prng.float rng cdf.(n - 1) in
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cdf.(mid) > u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let gen_txn ?zipf rng c id =
   let n = Dbm_util.Prng.int_in rng ~lo:c.min_pages ~hi:c.max_pages in
   let pages =
     match c.pattern with
     | Random_access -> Dbm_util.Prng.sample_distinct rng ~n ~lo:0 ~hi:(c.db_pages - 1)
+    | Zipfian _ ->
+      (* Skewed draws with duplicate rejection, as with Hotspot: the
+         reference string stays a set.  The CDF is precomputed once per
+         [generate], not per transaction. *)
+      let cdf =
+        match zipf with
+        | Some cdf -> cdf
+        | None -> assert false (* [generate] always precomputes it *)
+      in
+      let seen = Hashtbl.create (2 * n) in
+      let out = Array.make n 0 in
+      let filled = ref 0 in
+      while !filled < n do
+        let p = zipf_draw rng cdf in
+        if not (Hashtbl.mem seen p) then begin
+          Hashtbl.add seen p ();
+          out.(!filled) <- p;
+          incr filled
+        end
+      done;
+      out
     | Sequential ->
       let start = Dbm_util.Prng.int rng (c.db_pages - n + 1) in
       Array.init n (fun i -> start + i)
@@ -103,7 +153,90 @@ let gen_txn rng c id =
 let generate c =
   validate c;
   let rng = Dbm_util.Prng.create c.seed in
-  Array.init c.n_transactions (fun id -> gen_txn rng c id)
+  let zipf =
+    match c.pattern with
+    | Zipfian { theta } -> Some (zipf_cdf ~theta ~n:c.db_pages)
+    | Random_access | Sequential | Hotspot _ -> None
+  in
+  Array.init c.n_transactions (fun id -> gen_txn ?zipf rng c id)
+
+(* --- open-loop arrival processes ----------------------------------- *)
+
+type arrival =
+  | Poisson of { rate : float }
+  | Bursty of { on_rate : float; off_rate : float; mean_on : float; mean_off : float }
+
+let validate_arrival = function
+  | Poisson { rate } ->
+    if rate <= 0.0 || not (Float.is_finite rate) then
+      invalid_arg "Workload: poisson rate must be positive and finite"
+  | Bursty { on_rate; off_rate; mean_on; mean_off } ->
+    if on_rate <= 0.0 || not (Float.is_finite on_rate) then
+      invalid_arg "Workload: bursty on_rate must be positive and finite";
+    if off_rate < 0.0 || not (Float.is_finite off_rate) then
+      invalid_arg "Workload: bursty off_rate must be non-negative and finite";
+    if mean_on <= 0.0 || mean_off <= 0.0 then
+      invalid_arg "Workload: bursty phase lengths must be positive"
+
+let feed_arrival d a =
+  let module D = Dbm_util.Digest in
+  D.string d "workload-arrival";
+  match a with
+  | Poisson { rate } ->
+    D.tag d 0;
+    D.float d rate
+  | Bursty { on_rate; off_rate; mean_on; mean_off } ->
+    D.tag d 1;
+    D.float d on_rate;
+    D.float d off_rate;
+    D.float d mean_on;
+    D.float d mean_off
+
+let mean_rate = function
+  | Poisson { rate } -> rate
+  | Bursty { on_rate; off_rate; mean_on; mean_off } ->
+    ((on_rate *. mean_on) +. (off_rate *. mean_off)) /. (mean_on +. mean_off)
+
+let gen_arrival_times rng a ~n =
+  validate_arrival a;
+  if n < 0 then invalid_arg "Workload.gen_arrival_times: negative count";
+  let out = Array.make n 0.0 in
+  (match a with
+  | Poisson { rate } ->
+    let t = ref 0.0 in
+    for i = 0 to n - 1 do
+      t := !t +. Dbm_util.Prng.exponential rng ~mean:(1.0 /. rate);
+      out.(i) <- !t
+    done
+  | Bursty { on_rate; off_rate; mean_on; mean_off } ->
+    (* Alternating exponential on/off phases.  At a phase boundary the
+       partial interarrival draw is discarded and redrawn at the new
+       phase's rate — exactly right for exponential interarrivals
+       (memorylessness), not an approximation. *)
+    let t = ref 0.0 in
+    let on = ref true in
+    let phase_end = ref (Dbm_util.Prng.exponential rng ~mean:mean_on) in
+    let switch () =
+      t := !phase_end;
+      on := not !on;
+      phase_end :=
+        !phase_end +. Dbm_util.Prng.exponential rng ~mean:(if !on then mean_on else mean_off)
+    in
+    let i = ref 0 in
+    while !i < n do
+      let rate = if !on then on_rate else off_rate in
+      if rate <= 0.0 then switch () (* silent phase: skip to its end *)
+      else begin
+        let dt = Dbm_util.Prng.exponential rng ~mean:(1.0 /. rate) in
+        if !t +. dt > !phase_end then switch ()
+        else begin
+          t := !t +. dt;
+          out.(!i) <- !t;
+          incr i
+        end
+      end
+    done);
+  out
 
 let read_set_size t = Array.length t.pages
 

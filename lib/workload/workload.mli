@@ -16,6 +16,11 @@ type pattern =
           receives [hot_access_prob] of the accesses (e.g. 0.05/0.8 for
           a 5%% region drawing 80%% of references), producing the page
           lock contention a uniform reference string never shows *)
+  | Zipfian of { theta : float }
+      (** extension beyond the paper: page [p] is referenced with
+          probability proportional to [1/(p+1)^theta] (page 0 hottest),
+          the skew standard benchmarks use ([theta] ~ 0.99 for
+          YCSB-like traffic).  Larger [theta] = sharper skew. *)
 
 type txn = {
   id : int;
@@ -69,3 +74,38 @@ val to_string : txn array -> string
 val of_string : string -> txn array
 (** Inverse of {!to_string}.  @raise Invalid_argument on malformed
     input. *)
+
+(** {2 Open-loop arrival processes}
+
+    Closed-loop scripts (the scheduler's world) admit the next
+    transaction when the previous one finishes; an {e open-loop} server
+    receives arrivals on a clock that does not care how busy the
+    server is — the regime where queueing delay and tail latency
+    appear.  Times are in seconds; all randomness flows through
+    {!Dbm_util.Prng}, so an arrival trace is exactly reproducible from
+    its seed and digest-able for the run cache. *)
+
+type arrival =
+  | Poisson of { rate : float }
+      (** memoryless arrivals at [rate] per second (exponential
+          interarrivals with mean [1/rate]) *)
+  | Bursty of { on_rate : float; off_rate : float; mean_on : float; mean_off : float }
+      (** an on/off (interrupted-Poisson) process: alternating
+          exponentially-long phases of mean [mean_on] / [mean_off]
+          seconds, arriving at [on_rate] during on-phases and
+          [off_rate] (may be 0) during off-phases *)
+
+val validate_arrival : arrival -> unit
+(** @raise Invalid_argument on non-positive rates or phase lengths
+    ([off_rate] alone may be 0). *)
+
+val feed_arrival : Dbm_util.Digest.t -> arrival -> unit
+(** Canonical digest feed, tagged per constructor. *)
+
+val mean_rate : arrival -> float
+(** Long-run average arrivals per second (the offered load). *)
+
+val gen_arrival_times : Dbm_util.Prng.t -> arrival -> n:int -> float array
+(** The first [n] arrival instants, in seconds, strictly increasing
+    from 0.  Deterministic in the generator state.
+    @raise Invalid_argument on a bad process or negative [n]. *)

@@ -1,0 +1,416 @@
+(* Tests for the open-loop server stack: the commit pipeline, the
+   admission front end, group-commit equivalence on both recovery
+   engines, per-used-disk commit forcing, and checkpoint-aware log
+   truncation. *)
+
+module Kv = Dbm_storage.Kv
+module Scheduler = Dbm_storage.Scheduler
+module Server = Dbm_storage.Server
+module Commit_pipeline = Dbm_storage.Commit_pipeline
+module Engine_log = Dbm_storage.Engine_log
+module Engine_diff = Dbm_storage.Engine_diff
+
+let check = Alcotest.check
+
+(* --- grouped-vs-eager equivalence property ------------------------ *)
+
+(* Random programs of group-committed transactions, forces and crashes.
+   Every transaction commits through [commit_group]; a transaction
+   survives iff a [force_commits] ran after it and before the next
+   crash.  The reference engine eagerly commits exactly the surviving
+   transactions: after a final force and crash on both sides the state
+   fingerprints must be identical — group commit changes {e when}
+   durability happens, never {e what} is durable.  Because recovery
+   re-seeds the LSN and txn counters from the durable log, the
+   surviving records on the grouped side are LSN/id-continuous exactly
+   like the reference's, so even the counters agree. *)
+
+type gev = T of int | F | X
+
+let gev_gen =
+  QCheck.Gen.(
+    frequency [ (5, map (fun k -> T k) (int_range 0 15)); (2, return F); (2, return X) ])
+
+let gev_print evs =
+  String.concat ";"
+    (List.map (function T k -> Printf.sprintf "T%d" k | F -> "F" | X -> "X") evs)
+
+module Grouped_equiv (E : sig
+  include Kv.S
+
+  val commit_group : txn -> unit
+
+  val force_commits : t -> unit
+
+  val crash_and_recover : t -> unit
+
+  val state_fingerprint : t -> string
+
+  val create_fresh : unit -> t
+end) =
+struct
+  let run_program evs =
+    let g = E.create_fresh () in
+    let durable = ref [] and volatile = ref [] in
+    List.iteri
+      (fun i ev ->
+        match ev with
+        | T k ->
+          let t = E.begin_txn g in
+          E.put t k (Printf.sprintf "v%d" i);
+          E.commit_group t;
+          volatile := (k, Printf.sprintf "v%d" i) :: !volatile
+        | F ->
+          E.force_commits g;
+          durable := !volatile @ !durable;
+          volatile := []
+        | X ->
+          E.crash_and_recover g;
+          volatile := [])
+      evs;
+    E.force_commits g;
+    durable := !volatile @ !durable;
+    E.crash_and_recover g;
+    let r = E.create_fresh () in
+    List.iter
+      (fun (k, v) ->
+        let t = E.begin_txn r in
+        E.put t k v;
+        E.commit t)
+      (List.rev !durable);
+    E.crash_and_recover r;
+    (E.state_fingerprint g, E.state_fingerprint r)
+
+  let prop name =
+    QCheck.Test.make ~name ~count:150
+      (QCheck.make ~print:gev_print QCheck.Gen.(list_size (int_range 0 40) gev_gen))
+      (fun evs ->
+        let fp_grouped, fp_ref = run_program evs in
+        fp_grouped = fp_ref)
+end
+
+module Equiv_log = Grouped_equiv (struct
+  include Engine_log
+
+  let create_fresh () = create_with ~n_keys:16 ~n_log_disks:3 ~selection:Cyclic ()
+end)
+
+module Equiv_diff = Grouped_equiv (struct
+  include Engine_diff
+
+  let create_fresh () = create_with ~n_keys:16 ()
+end)
+
+let prop_equiv_log = Equiv_log.prop "grouped = eager reference after crash (engine_log)"
+
+let prop_equiv_diff = Equiv_diff.prop "grouped = eager reference after crash (engine_diff)"
+
+(* --- per-used-disk commit forcing (and its dependency closure) ----- *)
+
+let log_syncs e = List.assoc "log_syncs" (Engine_log.stats e)
+
+let test_commit_forces_only_used_disks () =
+  (* By_txn on 4 disks puts all of a transaction's records (updates and
+     commit) on one disk: an eager commit needs exactly two forces (one
+     for the updates under the WAL rule, one for the commit record),
+     not one per log disk. *)
+  let e = Engine_log.create_with ~n_keys:32 ~n_log_disks:4 ~selection:Engine_log.By_txn () in
+  let before = log_syncs e in
+  let t = Engine_log.begin_txn e in
+  Engine_log.put t 0 "a";
+  Engine_log.put t 5 "b";
+  Engine_log.commit t;
+  check Alcotest.int "two syncs, not one per disk" 2 (log_syncs e - before);
+  (* and it really is durable *)
+  Engine_log.crash_and_recover e;
+  let t = Engine_log.begin_txn e in
+  check (Alcotest.option Alcotest.string) "durable" (Some "a") (Engine_log.get t 0);
+  Engine_log.abort t
+
+let test_partial_force_closure () =
+  (* By_page on 2 disks: txn A's update goes to disk 1 but its group
+     commit record to disk 0.  A later eager committer touching only
+     disk 0 must drag disk 1 along (the recorded dependency), otherwise
+     A's commit record would be durable without A's update — a torn
+     transaction after the crash. *)
+  let e =
+    Engine_log.create_with ~n_keys:32 ~n_log_disks:2 ~selection:Engine_log.By_page
+      ~keys_per_page:4 ()
+  in
+  let a = Engine_log.begin_txn e in
+  Engine_log.put a 4 "atomic" (* page 1 -> disk 1 *);
+  Engine_log.commit_group a (* commit record: page 0 -> disk 0 *);
+  let b = Engine_log.begin_txn e in
+  Engine_log.put b 0 "forcing" (* page 0 -> disk 0 *);
+  Engine_log.commit b (* forces disk 0 and, via the dependency, disk 1 *);
+  Engine_log.crash_and_recover e;
+  let t = Engine_log.begin_txn e in
+  check (Alcotest.option Alcotest.string) "group txn durable atomically" (Some "atomic")
+    (Engine_log.get t 4);
+  check (Alcotest.option Alcotest.string) "eager txn durable" (Some "forcing")
+    (Engine_log.get t 0);
+  Engine_log.abort t
+
+(* --- checkpoint-aware log truncation ------------------------------- *)
+
+let durable_records e =
+  let n = ref 0 in
+  for d = 0 to Engine_log.log_disks e - 1 do
+    n := !n + List.length (Engine_log.dump_log e ~disk:d)
+  done;
+  !n
+
+let fill e ~first ~count =
+  for i = first to first + count - 1 do
+    let t = Engine_log.begin_txn e in
+    Engine_log.put t (i mod 24) (Printf.sprintf "t%d" i);
+    Engine_log.put t ((i + 7) mod 24) (Printf.sprintf "u%d" i);
+    Engine_log.commit t
+  done
+
+let truncation_pair strategy =
+  let mk () =
+    let e = Engine_log.create_with ~n_keys:24 ~n_log_disks:2 () in
+    Engine_log.set_recovery_strategy e strategy;
+    e
+  in
+  let a = mk () and b = mk () in
+  List.iter
+    (fun e ->
+      fill e ~first:0 ~count:20;
+      Engine_log.flush e (* clean pages: the fuzzy checkpoint's replay start is its own LSN *);
+      Engine_log.checkpoint_fuzzy e;
+      fill e ~first:20 ~count:10)
+    [ a; b ];
+  (a, b)
+
+let test_truncate_matches_reference strategy () =
+  let a, b = truncation_pair strategy in
+  let before = durable_records a in
+  Engine_log.truncate_to_checkpoint a;
+  let after = durable_records a in
+  check Alcotest.bool "truncation dropped records" true (after < before);
+  (* more traffic after truncating, including an unforced group commit
+     that the crash must lose on both sides identically *)
+  List.iter
+    (fun e ->
+      fill e ~first:30 ~count:5;
+      let t = Engine_log.begin_txn e in
+      Engine_log.put t 3 "windowed";
+      Engine_log.commit_group t)
+    [ a; b ];
+  Engine_log.crash_and_recover a;
+  Engine_log.crash_and_recover b;
+  check Alcotest.string "truncated recovery = untruncated reference"
+    (Engine_log.state_fingerprint b) (Engine_log.state_fingerprint a)
+
+let test_truncate_then_reference_replay () =
+  (* The naive from-zero replay must also survive truncation: records
+     below the replay-start LSN are exactly those whose effects are
+     already on the flushed pages. *)
+  let a, b = truncation_pair Engine_log.Sorted in
+  Engine_log.truncate_to_checkpoint a;
+  Engine_log.crash_and_recover_reference a;
+  Engine_log.crash_and_recover_reference b;
+  check Alcotest.string "reference replay agrees after truncation"
+    (Engine_log.state_fingerprint b) (Engine_log.state_fingerprint a)
+
+let test_truncate_without_checkpoint_is_noop () =
+  let e = Engine_log.create_with ~n_keys:24 ~n_log_disks:2 () in
+  fill e ~first:0 ~count:8;
+  let before = durable_records e in
+  Engine_log.truncate_to_checkpoint e;
+  check Alcotest.int "no durable fuzzy checkpoint: nothing dropped" before (durable_records e)
+
+let test_truncate_idempotent () =
+  let a, b = truncation_pair Engine_log.Sorted in
+  Engine_log.truncate_to_checkpoint a;
+  let once = durable_records a in
+  Engine_log.truncate_to_checkpoint a;
+  check Alcotest.int "second truncation drops nothing" once (durable_records a);
+  Engine_log.crash_and_recover a;
+  Engine_log.crash_and_recover b;
+  check Alcotest.string "still equivalent" (Engine_log.state_fingerprint b)
+    (Engine_log.state_fingerprint a)
+
+(* --- the open-loop server ------------------------------------------ *)
+
+module Log_server = Server.Make (Engine_log)
+module Diff_server = Server.Make (Engine_diff)
+
+let burst_scripts n = Array.init n (fun i -> [ Scheduler.Put (i mod 32, Printf.sprintf "s%d" i) ])
+
+let grouped = Commit_pipeline.Grouped { batch = 4; timeout_us = 200.0 }
+
+let test_backpressure_never_drops () =
+  let n = 200 in
+  let e = Engine_log.create_with ~n_keys:32 () in
+  let r =
+    Log_server.run ~mpl:8 ~mode:grouped ~arrivals_us:(Array.make n 0.0)
+      ~scripts:(burst_scripts n) e
+  in
+  check Alcotest.int "every arrival acked" n r.Server.completed;
+  check Alcotest.int "every latency recorded" n
+    (Dbm_util.Stats.Histogram.count r.Server.latency_us);
+  check Alcotest.bool "admission bound respected" true (r.Server.max_inflight <= 8);
+  check Alcotest.bool "the burst queued" true (r.Server.max_queued >= n - 8);
+  let p50 = Dbm_util.Stats.Histogram.p50 r.Server.latency_us in
+  let p99 = Dbm_util.Stats.Histogram.p99 r.Server.latency_us in
+  let p999 = Dbm_util.Stats.Histogram.p999 r.Server.latency_us in
+  check Alcotest.bool "tail ordering" true
+    (p50 <= p99 && p99 <= p999 && Float.is_finite p999 && p50 > 0.0)
+
+let test_acked_means_durable () =
+  let n = 64 in
+  let e = Engine_log.create_with ~n_keys:64 () in
+  let scripts = Array.init n (fun i -> [ Scheduler.Put (i, Printf.sprintf "d%d" i) ]) in
+  let r = Log_server.run ~mpl:16 ~mode:grouped ~arrivals_us:(Array.make n 0.0) ~scripts e in
+  check Alcotest.int "all acked" n r.Server.completed;
+  Engine_log.crash_and_recover e;
+  let t = Engine_log.begin_txn e in
+  for i = 0 to n - 1 do
+    check (Alcotest.option Alcotest.string)
+      (Printf.sprintf "acked txn %d survived the crash" i)
+      (Some (Printf.sprintf "d%d" i))
+      (Engine_log.get t i)
+  done;
+  Engine_log.abort t
+
+let test_grouped_beats_eager () =
+  let n = 256 in
+  let run mode =
+    let e = Engine_log.create_with ~n_keys:32 () in
+    Log_server.run ~mpl:32 ~op_cost_us:1.0 ~sync_cost_us:100.0 ~mode
+      ~arrivals_us:(Array.make n 0.0) ~scripts:(burst_scripts n) e
+  in
+  let eager = run Commit_pipeline.Eager in
+  let batched = run (Commit_pipeline.Grouped { batch = 32; timeout_us = 1000.0 }) in
+  check Alcotest.bool "fewer forces" true (batched.Server.forces * 4 < eager.Server.forces);
+  check Alcotest.bool "at least 2x sustained throughput" true
+    (batched.Server.sustained_tps >= 2.0 *. eager.Server.sustained_tps)
+
+let test_server_deterministic () =
+  let n = 128 in
+  let rng = Dbm_util.Prng.create 7 in
+  let arrivals = Array.init n (fun i -> float_of_int i *. 40.0) in
+  let scripts =
+    Array.init n (fun _ ->
+        [
+          Scheduler.Put (Dbm_util.Prng.int_in rng ~lo:0 ~hi:31, "w");
+          Scheduler.Get (Dbm_util.Prng.int_in rng ~lo:0 ~hi:31);
+        ])
+  in
+  let run () =
+    let e = Engine_log.create_with ~n_keys:32 () in
+    Log_server.run ~mpl:8 ~mode:grouped ~arrivals_us:arrivals ~scripts e
+  in
+  let r1 = run () and r2 = run () in
+  check (Alcotest.float 0.0) "same makespan" r1.Server.makespan_us r2.Server.makespan_us;
+  check Alcotest.int "same forces" r1.Server.forces r2.Server.forces;
+  check (Alcotest.float 0.0) "same p99"
+    (Dbm_util.Stats.Histogram.p99 r1.Server.latency_us)
+    (Dbm_util.Stats.Histogram.p99 r2.Server.latency_us)
+
+let test_server_contention_completes () =
+  (* every transaction updates the same hot page: heavy parking and
+     deadlock restarts, but the server must still drain the queue *)
+  let n = 96 in
+  let scripts =
+    Array.init n (fun i -> [ Scheduler.Put (0, Printf.sprintf "h%d" i); Scheduler.Put (1 + (i mod 3), "x") ])
+  in
+  let e = Engine_log.create_with ~n_keys:8 () in
+  let r = Log_server.run ~mpl:6 ~mode:grouped ~arrivals_us:(Array.make n 0.0) ~scripts e in
+  check Alcotest.int "hot-page burst drains" n r.Server.completed
+
+let test_server_diff_engine () =
+  let n = 80 in
+  let e = Engine_diff.create_with ~n_keys:64 () in
+  let scripts = Array.init n (fun i -> [ Scheduler.Put (i mod 64, Printf.sprintf "d%d" i) ]) in
+  let r = Diff_server.run ~mpl:8 ~mode:grouped ~arrivals_us:(Array.make n 0.0) ~scripts e in
+  check Alcotest.int "diff engine serves the burst" n r.Server.completed;
+  Engine_diff.crash_and_recover e;
+  let t = Engine_diff.begin_txn e in
+  check (Alcotest.option Alcotest.string) "acked write durable" (Some (Printf.sprintf "d%d" (n - 1)))
+    (Engine_diff.get t ((n - 1) mod 64));
+  Engine_diff.abort t
+
+let test_open_loop_idle_gaps () =
+  (* arrivals far apart: the server must jump its clock across idle
+     gaps, and each lone transaction pays the batch timeout before its
+     force — the group-commit latency floor at low load *)
+  let n = 10 in
+  let e = Engine_log.create_with ~n_keys:32 () in
+  let arrivals = Array.init n (fun i -> float_of_int i *. 100_000.0) in
+  let r =
+    Log_server.run ~mpl:4
+      ~mode:(Commit_pipeline.Grouped { batch = 64; timeout_us = 500.0 })
+      ~arrivals_us:arrivals ~scripts:(burst_scripts n) e
+  in
+  check Alcotest.int "all served" n r.Server.completed;
+  check Alcotest.bool "makespan spans the arrival horizon" true
+    (r.Server.makespan_us >= 900_000.0);
+  let p50 = Dbm_util.Stats.Histogram.p50 r.Server.latency_us in
+  check Alcotest.bool "lone txns wait out the batch timeout" true (p50 >= 500.0)
+
+let test_server_validation () =
+  let e = Engine_log.create_with ~n_keys:8 () in
+  let raises f =
+    match f () with exception Invalid_argument _ -> true | _ -> false
+  in
+  check Alcotest.bool "mpl >= 1" true
+    (raises (fun () ->
+         Log_server.run ~mpl:0 ~mode:Commit_pipeline.Eager ~arrivals_us:[| 0.0 |]
+           ~scripts:[| [] |] e));
+  check Alcotest.bool "length mismatch" true
+    (raises (fun () ->
+         Log_server.run ~mode:Commit_pipeline.Eager ~arrivals_us:[| 0.0; 1.0 |]
+           ~scripts:[| [] |] e));
+  check Alcotest.bool "decreasing arrivals" true
+    (raises (fun () ->
+         Log_server.run ~mode:Commit_pipeline.Eager ~arrivals_us:[| 5.0; 1.0 |]
+           ~scripts:[| []; [] |] e));
+  check Alcotest.bool "bad batch" true
+    (raises (fun () ->
+         Log_server.run
+           ~mode:(Commit_pipeline.Grouped { batch = 0; timeout_us = 1.0 })
+           ~arrivals_us:[| 0.0 |] ~scripts:[| [] |] e))
+
+let () =
+  Alcotest.run "dbm_storage open-loop server"
+    [
+      ( "grouped vs eager equivalence",
+        [
+          QCheck_alcotest.to_alcotest prop_equiv_log;
+          QCheck_alcotest.to_alcotest prop_equiv_diff;
+        ] );
+      ( "per-used-disk forcing",
+        [
+          Alcotest.test_case "commit forces only used disks" `Quick
+            test_commit_forces_only_used_disks;
+          Alcotest.test_case "partial force closes dependencies" `Quick
+            test_partial_force_closure;
+        ] );
+      ( "log truncation",
+        [
+          Alcotest.test_case "matches reference (sorted)" `Quick
+            (test_truncate_matches_reference Engine_log.Sorted);
+          Alcotest.test_case "matches reference (unmerged)" `Quick
+            (test_truncate_matches_reference Engine_log.Unmerged);
+          Alcotest.test_case "naive replay agrees" `Quick test_truncate_then_reference_replay;
+          Alcotest.test_case "no checkpoint: no-op" `Quick
+            test_truncate_without_checkpoint_is_noop;
+          Alcotest.test_case "idempotent" `Quick test_truncate_idempotent;
+        ] );
+      ( "open-loop server",
+        [
+          Alcotest.test_case "backpressure never drops" `Quick test_backpressure_never_drops;
+          Alcotest.test_case "acked means durable" `Quick test_acked_means_durable;
+          Alcotest.test_case "grouped beats eager" `Quick test_grouped_beats_eager;
+          Alcotest.test_case "deterministic" `Quick test_server_deterministic;
+          Alcotest.test_case "hot-page contention completes" `Quick
+            test_server_contention_completes;
+          Alcotest.test_case "differential engine" `Quick test_server_diff_engine;
+          Alcotest.test_case "idle gaps and timeout floor" `Quick test_open_loop_idle_gaps;
+          Alcotest.test_case "validation" `Quick test_server_validation;
+        ] );
+    ]

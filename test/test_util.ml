@@ -434,9 +434,98 @@ let prop_percentile_bounds =
       and mx = List.fold_left Float.max neg_infinity xs in
       v >= mn -. 1e-9 && v <= mx +. 1e-9)
 
+(* --- streaming histogram ------------------------------------------- *)
+
+module H = Stats.Histogram
+
+let test_hist_small_n_exact () =
+  (* below the exact-prefix limit the histogram must reproduce
+     Stats.percentile bit-for-bit, interpolation included *)
+  let rng = Dbm_util.Prng.create 11 in
+  let xs = List.init 100 (fun _ -> Dbm_util.Prng.float rng 5_000.0 +. 0.001) in
+  let h = H.create () in
+  List.iter (H.add h) xs;
+  List.iter
+    (fun p ->
+      check (Alcotest.float 1e-12)
+        (Printf.sprintf "p%g exact on small n" p)
+        (Stats.percentile xs ~p) (H.percentile h ~p))
+    [ 0.0; 50.0; 90.0; 99.0; 99.9; 100.0 ]
+
+let test_hist_large_n_bounded_error () =
+  let rng = Dbm_util.Prng.create 12 in
+  let xs = Array.init 50_000 (fun _ -> Dbm_util.Prng.exponential rng ~mean:800.0 +. 1.0) in
+  let h = H.create () in
+  Array.iter (H.add h) xs;
+  let exact = Array.copy xs in
+  Array.sort Float.compare exact;
+  List.iter
+    (fun p ->
+      let truth = Stats.percentile (Array.to_list exact) ~p in
+      let est = H.percentile h ~p in
+      check Alcotest.bool
+        (Printf.sprintf "p%g within 2%%" p)
+        true
+        (Float.abs (est -. truth) /. truth < 0.02))
+    [ 50.0; 99.0; 99.9 ];
+  check (Alcotest.float 1e-9) "max is exact" (Array.fold_left Float.max 0.0 xs) (H.max h);
+  check Alcotest.bool "p100 never exceeds the true max" true
+    (H.percentile h ~p:100.0 <= H.max h);
+  check Alcotest.int "count" 50_000 (H.count h);
+  check (Alcotest.float 1e-6) "mean"
+    (Array.fold_left ( +. ) 0.0 xs /. 50_000.0)
+    (H.mean h)
+
+let test_hist_monotone_and_range () =
+  let h = H.create () in
+  List.iter (H.add h) [ 1e-9; 0.5; 3.0; 1e6; 1e12 ];
+  let last = ref neg_infinity in
+  for p = 0 to 100 do
+    let v = H.percentile h ~p:(float_of_int p) in
+    check Alcotest.bool "percentile monotone in p" true (v >= !last);
+    last := v
+  done;
+  check Alcotest.bool "extreme magnitudes bracketed" true
+    (H.percentile h ~p:0.0 <= 1e-8 && H.percentile h ~p:100.0 >= 1e11)
+
+let test_hist_validation () =
+  let h = H.create () in
+  (match H.percentile h ~p:50.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty histogram accepted");
+  H.add h 1.0;
+  (match H.percentile h ~p:101.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "p out of range accepted");
+  match H.add h Float.nan with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "NaN accepted"
+
+let prop_hist_relative_error =
+  QCheck.Test.make ~name:"histogram percentile within bucket error of exact" ~count:100
+    QCheck.(list_of_size (Gen.int_range 600 900) (float_range 0.001 1e7))
+    (fun xs ->
+      (* above the exact prefix: every estimate within the ~0.8%
+         bucket-midpoint bound (with slack), and never above the max *)
+      let h = H.create () in
+      List.iter (H.add h) xs;
+      let a = Array.of_list xs in
+      Array.sort Float.compare a;
+      let n = Array.length a in
+      List.for_all
+        (fun p ->
+          (* the estimate shares a log-scale bucket with the rank-th
+             order statistic, so it sits within the bucket's ~0.8%
+             half-width of it (and never above the exact max) *)
+          let rank = Stdlib.max 1 (int_of_float (Float.ceil (p /. 100.0 *. float_of_int n))) in
+          let v = a.(rank - 1) in
+          let est = H.percentile h ~p in
+          est <= H.max h +. 1e-9 && Float.abs (est -. v) <= (0.015 *. v) +. 1e-9)
+        [ 1.0; 25.0; 50.0; 75.0; 99.0; 100.0 ])
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_heap_sorted; prop_lru_capacity; prop_percentile_bounds ]
+    [ prop_heap_sorted; prop_lru_capacity; prop_percentile_bounds; prop_hist_relative_error ]
 
 let () =
   Alcotest.run "dbm_util"
@@ -504,6 +593,11 @@ let () =
           Alcotest.test_case "timeweighted" `Quick test_timeweighted;
           Alcotest.test_case "busy utilization" `Quick test_busy_utilization;
           Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "histogram small-n exact" `Quick test_hist_small_n_exact;
+          Alcotest.test_case "histogram large-n error bound" `Quick
+            test_hist_large_n_bounded_error;
+          Alcotest.test_case "histogram monotone + range" `Quick test_hist_monotone_and_range;
+          Alcotest.test_case "histogram validation" `Quick test_hist_validation;
         ] );
       ("properties", qsuite);
     ]

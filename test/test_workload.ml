@@ -162,6 +162,160 @@ let test_empty_workload () =
   check Alcotest.int "no transactions" 0
     (Array.length (W.generate { cfg with W.n_transactions = 0 }))
 
+(* --- Zipfian access pattern ---------------------------------------- *)
+
+let zipf_cfg = { cfg with W.pattern = W.Zipfian { theta = 0.99 }; db_pages = 1024 }
+
+let test_zipfian_skew () =
+  (* the hottest 1% of pages must draw far more than 1% of accesses
+     (small read sets: duplicate rejection barely perturbs the skew) *)
+  let txns =
+    W.generate { zipf_cfg with W.n_transactions = 400; min_pages = 1; max_pages = 8 }
+  in
+  let total = ref 0 and hot = ref 0 in
+  Array.iter
+    (fun t ->
+      Array.iter
+        (fun p ->
+          incr total;
+          if p < zipf_cfg.W.db_pages / 100 then incr hot)
+        t.W.pages)
+    txns;
+  let frac = float_of_int !hot /. float_of_int !total in
+  if frac < 0.10 then Alcotest.failf "zipfian skew too weak: hot fraction %.3f" frac
+
+let test_zipfian_pages_distinct () =
+  Array.iter
+    (fun t ->
+      let sorted = List.sort_uniq Int.compare (Array.to_list t.W.pages) in
+      check Alcotest.int "pages distinct within a txn" (Array.length t.W.pages)
+        (List.length sorted))
+    (W.generate zipf_cfg)
+
+let test_zipfian_validation () =
+  List.iter
+    (fun theta ->
+      match W.generate { zipf_cfg with W.pattern = W.Zipfian { theta } } with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "theta %f accepted" theta)
+    [ 0.0; -1.0; Float.nan; Float.infinity ]
+
+let test_zipfian_digest_distinct () =
+  let dg pattern =
+    let d = Dbm_util.Digest.create () in
+    W.feed_config d { cfg with W.pattern };
+    Dbm_util.Digest.hex d
+  in
+  let all =
+    [
+      dg W.Random_access;
+      dg (W.Hotspot { hot_fraction = 0.05; hot_access_prob = 0.8 });
+      dg (W.Zipfian { theta = 0.99 });
+      dg (W.Zipfian { theta = 1.2 });
+    ]
+  in
+  check Alcotest.int "patterns digest distinctly" 4 (List.length (List.sort_uniq compare all))
+
+(* --- open-loop arrival processes ----------------------------------- *)
+
+let test_arrival_deterministic () =
+  let gen seed a = W.gen_arrival_times (Dbm_util.Prng.create seed) a ~n:50 in
+  let a = W.Poisson { rate = 100.0 } in
+  check Alcotest.bool "same seed same trace" true (gen 3 a = gen 3 a);
+  check Alcotest.bool "different seed differs" true (gen 3 a <> gen 4 a)
+
+let test_arrival_increasing () =
+  List.iter
+    (fun a ->
+      let ts = W.gen_arrival_times (Dbm_util.Prng.create 9) a ~n:200 in
+      check Alcotest.int "n arrivals" 200 (Array.length ts);
+      Array.iteri
+        (fun i t ->
+          if t <= 0.0 then Alcotest.failf "arrival %d not positive" i;
+          if i > 0 && t <= ts.(i - 1) then Alcotest.failf "arrival %d not increasing" i)
+        ts)
+    [
+      W.Poisson { rate = 500.0 };
+      W.Bursty { on_rate = 900.0; off_rate = 0.0; mean_on = 0.01; mean_off = 0.02 };
+      W.Bursty { on_rate = 800.0; off_rate = 50.0; mean_on = 0.05; mean_off = 0.01 };
+    ]
+
+let test_poisson_mean_rate () =
+  let rate = 1000.0 in
+  let n = 20_000 in
+  let ts = W.gen_arrival_times (Dbm_util.Prng.create 21) (W.Poisson { rate }) ~n in
+  let observed = float_of_int n /. ts.(n - 1) in
+  if Float.abs (observed -. rate) /. rate > 0.05 then
+    Alcotest.failf "poisson rate off: asked %.0f observed %.1f" rate observed;
+  check (Alcotest.float 1e-9) "mean_rate is the rate" rate (W.mean_rate (W.Poisson { rate }))
+
+let test_bursty_mean_rate () =
+  let a = W.Bursty { on_rate = 2000.0; off_rate = 0.0; mean_on = 0.02; mean_off = 0.02 } in
+  check (Alcotest.float 1e-9) "duty-cycle weighted" 1000.0 (W.mean_rate a);
+  let n = 20_000 in
+  let ts = W.gen_arrival_times (Dbm_util.Prng.create 22) a ~n in
+  let observed = float_of_int n /. ts.(n - 1) in
+  if Float.abs (observed -. 1000.0) /. 1000.0 > 0.10 then
+    Alcotest.failf "bursty long-run rate off: observed %.1f" observed
+
+let test_bursty_is_bursty () =
+  (* interarrival variance of an on/off process must exceed Poisson's at
+     the same mean rate (coefficient of variation > 1) *)
+  let n = 10_000 in
+  let gaps a seed =
+    let ts = W.gen_arrival_times (Dbm_util.Prng.create seed) a ~n in
+    Array.init (n - 1) (fun i -> ts.(i + 1) -. ts.(i))
+  in
+  let cv g =
+    let m = Array.fold_left ( +. ) 0.0 g /. float_of_int (Array.length g) in
+    let v =
+      Array.fold_left (fun acc x -> acc +. (((x -. m) /. m) ** 2.0)) 0.0 g
+      /. float_of_int (Array.length g)
+    in
+    sqrt v
+  in
+  let bursty =
+    cv (gaps (W.Bursty { on_rate = 5000.0; off_rate = 0.0; mean_on = 0.01; mean_off = 0.04 }) 31)
+  in
+  let poisson = cv (gaps (W.Poisson { rate = 1000.0 }) 31) in
+  if bursty <= poisson *. 1.3 then
+    Alcotest.failf "bursty cv %.2f not above poisson cv %.2f" bursty poisson
+
+let test_arrival_validation () =
+  List.iter
+    (fun a ->
+      match W.validate_arrival a with
+      | exception Invalid_argument _ -> ()
+      | () -> Alcotest.fail "bad arrival accepted")
+    [
+      W.Poisson { rate = 0.0 };
+      W.Poisson { rate = -5.0 };
+      W.Poisson { rate = Float.nan };
+      W.Bursty { on_rate = 0.0; off_rate = 0.0; mean_on = 0.1; mean_off = 0.1 };
+      W.Bursty { on_rate = 100.0; off_rate = -1.0; mean_on = 0.1; mean_off = 0.1 };
+      W.Bursty { on_rate = 100.0; off_rate = 0.0; mean_on = 0.0; mean_off = 0.1 };
+    ];
+  match W.gen_arrival_times (Dbm_util.Prng.create 1) (W.Poisson { rate = 1.0 }) ~n:(-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative n accepted"
+
+let test_arrival_digest_distinct () =
+  let dg a =
+    let d = Dbm_util.Digest.create () in
+    W.feed_arrival d a;
+    Dbm_util.Digest.hex d
+  in
+  let all =
+    [
+      dg (W.Poisson { rate = 100.0 });
+      dg (W.Poisson { rate = 200.0 });
+      dg (W.Bursty { on_rate = 100.0; off_rate = 0.0; mean_on = 0.1; mean_off = 0.1 });
+      dg (W.Bursty { on_rate = 100.0; off_rate = 0.0; mean_on = 0.1; mean_off = 0.2 });
+    ]
+  in
+  check Alcotest.int "arrival processes digest distinctly" 4
+    (List.length (List.sort_uniq compare all))
+
 let () =
   Alcotest.run "dbm_workload"
     [
@@ -186,5 +340,19 @@ let () =
           Alcotest.test_case "serialization rejects garbage" `Quick
             test_serialization_rejects_garbage;
           Alcotest.test_case "empty workload" `Quick test_empty_workload;
+          Alcotest.test_case "zipfian skew" `Quick test_zipfian_skew;
+          Alcotest.test_case "zipfian distinct pages" `Quick test_zipfian_pages_distinct;
+          Alcotest.test_case "zipfian validation" `Quick test_zipfian_validation;
+          Alcotest.test_case "zipfian digests distinctly" `Quick test_zipfian_digest_distinct;
+        ] );
+      ( "arrivals",
+        [
+          Alcotest.test_case "deterministic" `Quick test_arrival_deterministic;
+          Alcotest.test_case "strictly increasing" `Quick test_arrival_increasing;
+          Alcotest.test_case "poisson mean rate" `Quick test_poisson_mean_rate;
+          Alcotest.test_case "bursty mean rate" `Quick test_bursty_mean_rate;
+          Alcotest.test_case "bursty is bursty" `Quick test_bursty_is_bursty;
+          Alcotest.test_case "validation" `Quick test_arrival_validation;
+          Alcotest.test_case "digests distinctly" `Quick test_arrival_digest_distinct;
         ] );
     ]
