@@ -25,6 +25,10 @@
    equivalence gate on the reports), recovery wall time vs log length,
    vs worker-domain count and vs fuzzy-checkpoint age (every recovery
    point fingerprint-gated against the serial reference replay), the
+   log-format head-to-head (physical full-image vs delta vs operation
+   logging: log bytes per committed txn, append cost, replay wall, all
+   gated on cross-format fingerprint equivalence and a >= 2x delta
+   log-volume reduction), the
    open-loop transaction server (Poisson offered-load sweep through the
    group-commit pipeline, tail latency and sustained throughput, plus a
    grouped-vs-eager head-to-head gated on a >= 2x speedup and on
@@ -399,6 +403,19 @@ let run_storage_bench ~allow_oversubscribe () =
         (if p.ck_equivalent then "state identical to full replay" else "STATE DIVERGED"))
     b.recovery_ckpt;
   Printf.printf "  newest checkpoint vs full replay: %.2fx cheaper\n" b.recovery_ckpt_speedup;
+  Printf.printf "log formats (same committed workload; %d txns):\n"
+    (match b.log_formats with p :: _ -> p.lf_committed_txns | [] -> 0);
+  List.iter
+    (fun p ->
+      Printf.printf
+        "  %-9s %8d records %10d bytes  %8.1f B/txn  append %7.0f ns/rec  replay %7.2f ms \
+         serial, %7.2f ms parallel  (%s)\n"
+        p.lf_format p.lf_records p.lf_log_bytes p.lf_bytes_per_txn p.lf_append_ns_per_record
+        p.lf_replay_wall_ms p.lf_replay_parallel_ms
+        (if p.lf_equivalent then "state identical to physical reference" else "STATE DIVERGED"))
+    b.log_formats;
+  Printf.printf "  log volume reduction over physical: delta %.1fx, oplog %.1fx\n"
+    b.log_delta_reduction b.log_oplog_reduction;
   Printf.printf "open-loop server (simulated time, group commit, mpl 64):\n";
   List.iter
     (fun s ->
@@ -711,6 +728,23 @@ let storage_json (b : Dbm_storage.Storage_bench.t) =
       "\n    ],\n";
       Printf.sprintf "    \"recovery_checkpoint_speedup\": %.4f,\n" b.recovery_ckpt_speedup;
       Printf.sprintf "    \"recovery_equivalent\": %b,\n" b.recovery_equivalent;
+      "    \"log_formats\": [\n";
+      String.concat ",\n"
+        (List.map
+           (fun p ->
+             Printf.sprintf
+               "      {\"format\": \"%s\", \"committed_txns\": %d, \"records\": %d, \
+                \"log_bytes\": %d, \"log_bytes_per_txn\": %.2f, \"append_ns_per_record\": \
+                %.1f, \"replay_wall_ms\": %.4f, \"replay_parallel_ms\": %.4f, \
+                \"equivalent\": %b}"
+               (json_escape p.lf_format) p.lf_committed_txns p.lf_records p.lf_log_bytes
+               p.lf_bytes_per_txn p.lf_append_ns_per_record p.lf_replay_wall_ms
+               p.lf_replay_parallel_ms p.lf_equivalent)
+           b.log_formats);
+      "\n    ],\n";
+      Printf.sprintf "    \"log_delta_reduction\": %.2f,\n" b.log_delta_reduction;
+      Printf.sprintf "    \"log_oplog_reduction\": %.2f,\n" b.log_oplog_reduction;
+      Printf.sprintf "    \"log_format_equivalent\": %b,\n" b.log_format_equivalent;
       "    \"server\": [\n";
       String.concat ",\n"
         (List.map
@@ -758,7 +792,7 @@ let write_bench_json path (tr : table_report) (core : event_core) (cr : cache_re
     | Some v -> Printf.sprintf "  \"%s\": %.1f" name v
   in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"bench\": 7,\n";
+  Buffer.add_string buf "  \"bench\": 8,\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"host_cores\": %d,\n" (Dbm_util.Pool.default_jobs ()));
   Buffer.add_string buf (Printf.sprintf "  \"jobs_requested\": %d,\n" tr.jobs_requested);
@@ -854,7 +888,7 @@ let write_bench_json path (tr : table_report) (core : event_core) (cr : cache_re
 
 let () =
   let jobs = ref (max 2 (Dbm_util.Pool.default_jobs ())) in
-  let json_path = ref "BENCH_7.json" in
+  let json_path = ref "BENCH_8.json" in
   let fast = ref false in
   let allow_oversubscribe = ref false in
   Arg.parse
@@ -931,4 +965,24 @@ let () =
     Printf.eprintf "FAIL: group-commit speedup %.2fx below the 2x floor\n"
       storage_report.Dbm_storage.Storage_bench.server_speedup;
     exit 1
-  end
+  end;
+  (* The slimmer log formats are only an optimization if they recover to
+     byte-identical state — at every worker-domain count — and actually
+     shrink the log. *)
+  if not storage_report.Dbm_storage.Storage_bench.log_format_equivalent then begin
+    prerr_endline "FAIL: a log format recovered to different state than the physical reference";
+    exit 1
+  end;
+  if storage_report.Dbm_storage.Storage_bench.log_delta_reduction < 2.0 then begin
+    Printf.eprintf "FAIL: delta log reduction %.2fx below the 2x floor\n"
+      storage_report.Dbm_storage.Storage_bench.log_delta_reduction;
+    exit 1
+  end;
+  List.iter
+    (fun p ->
+      let open Dbm_storage.Storage_bench in
+      if not (Float.is_finite p.lf_append_ns_per_record && p.lf_append_ns_per_record > 0.) then begin
+        Printf.eprintf "FAIL: %s append throughput came back null\n" p.lf_format;
+        exit 1
+      end)
+    storage_report.Dbm_storage.Storage_bench.log_formats

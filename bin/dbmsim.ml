@@ -462,9 +462,20 @@ let storage_bench_cmd =
       & info [ "allow-oversubscribe" ]
           ~doc:"Measure requested job counts beyond the host's cores instead of skipping them.")
   in
-  let run scale jobs allow_oversubscribe =
+  let log_formats_arg =
+    Arg.(
+      value
+      & opt (list (enum [ ("physical", "physical"); ("delta", "delta"); ("oplog", "oplog") ]))
+          [ "physical"; "delta"; "oplog" ]
+      & info [ "log-format" ] ~docv:"FMT,..."
+          ~doc:
+            "Log formats for the physical-vs-delta-vs-oplog head-to-head: physical | delta \
+             | oplog (the physical baseline always runs).")
+  in
+  let run scale jobs allow_oversubscribe log_formats =
     let b =
-      Dbm_storage.Storage_bench.run ~scale ~jobs ~allow_oversubscribe ~now:Unix.gettimeofday ()
+      Dbm_storage.Storage_bench.run ~scale ~jobs ~allow_oversubscribe ~log_formats
+        ~now:Unix.gettimeofday ()
     in
     let open Dbm_storage.Storage_bench in
     Printf.printf "Contended scheduler (%d scripts, hot page behind private locks):\n" b.sched_txns;
@@ -502,12 +513,26 @@ let storage_bench_cmd =
           (if p.ck_equivalent then "state identical to full replay" else "STATE DIVERGED"))
       b.recovery_ckpt;
     Printf.printf "  newest checkpoint vs full replay: %.2fx cheaper\n\n" b.recovery_ckpt_speedup;
+    Printf.printf "Log formats (same committed workload):\n";
+    List.iter
+      (fun p ->
+        Printf.printf
+          "  %-9s %7d records %10d bytes  %8.1f B/txn  append %6.0f ns/rec  replay %7.2f \
+           ms  (%s)\n"
+          p.lf_format p.lf_records p.lf_log_bytes p.lf_bytes_per_txn p.lf_append_ns_per_record
+          p.lf_replay_wall_ms
+          (if p.lf_equivalent then "state identical to physical reference"
+           else "STATE DIVERGED"))
+      b.log_formats;
+    Printf.printf "  log volume reduction over physical: delta %.1fx, oplog %.1fx\n\n"
+      b.log_delta_reduction b.log_oplog_reduction;
     Printf.printf "Buffer pool get: %.0f ns hit, %.0f ns miss\n" b.pool_hit_ns b.pool_miss_ns;
     Printf.printf "Journal: %.2fM appends/sec, %.2fM appends/sec with sync every 64\n"
       (b.journal_append_per_sec /. 1e6)
       (b.journal_append_sync_per_sec /. 1e6);
     if not b.sched_equivalent then exit 1;
-    if not b.recovery_equivalent then exit 1
+    if not b.recovery_equivalent then exit 1;
+    if not b.log_format_equivalent then exit 1
   in
   Cmd.v
     (Cmd.info "storage-bench"
@@ -515,8 +540,9 @@ let storage_bench_cmd =
          "Benchmark the storage half: per-engine transaction throughput under the 2PL \
           scheduler, scheduler and lock-manager hot paths against their pre-overhaul \
           versions, recovery wall time vs log length, vs worker-domain count and vs \
-          fuzzy-checkpoint age, buffer-pool and journal microbenchmarks.")
-    Term.(const run $ scale_arg $ jobs_arg $ oversubscribe_arg)
+          fuzzy-checkpoint age, the physical-vs-delta-vs-oplog log-format head-to-head \
+          ($(b,--log-format)), buffer-pool and journal microbenchmarks.")
+    Term.(const run $ scale_arg $ jobs_arg $ oversubscribe_arg $ log_formats_arg)
 
 (* -- serve-bench command -------------------------------------------- *)
 
@@ -553,6 +579,16 @@ let serve_bench_cmd =
       value
       & opt (enum [ ("logging", `Logging); ("diff", `Diff) ]) `Logging
       & info [ "engine" ] ~docv:"ENGINE" ~doc:"Storage engine: logging | diff.")
+  in
+  let log_format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("physical", `Physical); ("delta", `Delta); ("oplog", `Oplog) ]) `Physical
+      & info [ "log-format" ] ~docv:"FORMAT"
+          ~doc:
+            "Log-record granularity for the logging engine: physical (full page \
+             images), delta (changed byte ranges) or oplog (operation logging). The \
+             diff engine keeps its own format and accepts only physical.")
   in
   let mpl_arg =
     Arg.(
@@ -595,7 +631,8 @@ let serve_bench_cmd =
       value & opt float 100.0
       & info [ "sync-cost-us" ] ~docv:"US" ~doc:"Simulated cost of one log force.")
   in
-  let run engine loads batch timeout_us mpl txns seed arrival eager op_cost sync_cost =
+  let run engine log_format loads batch timeout_us mpl txns seed arrival eager op_cost
+      sync_cost =
     let module W = Dbm_workload.Workload in
     let module Hist = Dbm_util.Stats.Histogram in
     let module Sch = Dbm_storage.Scheduler in
@@ -659,9 +696,19 @@ let serve_bench_cmd =
             r.Dbm_storage.Server.max_queued)
         loads
     in
-    match engine with
-    | `Logging -> sweep (module Dbm_storage.Engine_log) "logging"
-    | `Diff -> sweep (module Dbm_storage.Engine_diff) "differential-file"
+    let module Engine_log_delta = struct
+      include Dbm_storage.Engine_log
+
+      let create ?n_keys () = create_with ?n_keys ~log_format:Delta ()
+    end in
+    match (engine, log_format) with
+    | `Logging, `Physical -> sweep (module Dbm_storage.Engine_log) "logging"
+    | `Logging, `Delta -> sweep (module Engine_log_delta) "logging-delta"
+    | `Logging, `Oplog -> sweep (module Dbm_storage.Engine_oplog) "operation-logging"
+    | `Diff, `Physical -> sweep (module Dbm_storage.Engine_diff) "differential-file"
+    | `Diff, (`Delta | `Oplog) ->
+      prerr_endline "serve-bench: --engine diff supports only --log-format physical";
+      exit 2
   in
   Cmd.v
     (Cmd.info "serve-bench"
@@ -669,11 +716,13 @@ let serve_bench_cmd =
          "Drive the open-loop transaction server: Poisson or bursty arrivals at each \
           $(b,--load), admission control at $(b,--mpl), commits batched by the \
           group-commit pipeline ($(b,--batch) / $(b,--timeout-us)) or synced per \
-          transaction under $(b,--eager); prints sustained throughput and the \
-          arrival-to-durable-ack latency tail per load point.")
+          transaction under $(b,--eager); the logging engine can write physical, delta \
+          or operation-logging records ($(b,--log-format)); prints sustained throughput \
+          and the arrival-to-durable-ack latency tail per load point.")
     Term.(
-      const run $ engine_arg $ loads_arg $ batch_arg $ timeout_arg $ mpl_arg $ txns_arg
-      $ seed_arg $ arrival_arg $ eager_arg $ op_cost_arg $ sync_cost_arg)
+      const run $ engine_arg $ log_format_arg $ loads_arg $ batch_arg $ timeout_arg
+      $ mpl_arg $ txns_arg $ seed_arg $ arrival_arg $ eager_arg $ op_cost_arg
+      $ sync_cost_arg)
 
 (* -- version-select command ---------------------------------------- *)
 

@@ -1,7 +1,9 @@
-(* A record: "stamp txn key value" (value base64-free: we store the raw
-   value after a length prefix to keep parsing unambiguous).
-   D record: "stamp txn key".  Commit marker journal: txn ids.  Stamps
-   are globally ordered so (B u A) - D resolves by newest-wins. *)
+(* Records ride the shared codec framing (Wal_codec): tag byte, varint
+   fields, FNV-64 checksum trailer.  The tags are private to this
+   engine's journals — 'A' add/update (stamp, txn, key, value),
+   'D' delete (stamp, txn, key), 'C' commit id (txn), 'M' fuzzy
+   checkpoint marker.  Stamps are globally ordered so (B u A) - D
+   resolves by newest-wins. *)
 
 type store = {
   n_keys : int;
@@ -11,6 +13,7 @@ type store = {
   a_file : Journal.t;
   d_file : Journal.t;
   commits : Journal.t;
+  enc : Wal_codec.Enc.t;
   committed : (int, unit) Hashtbl.t;
   mutable next_txn : int;
   mutable next_stamp : int;
@@ -37,27 +40,56 @@ let engine_name = "differential-file"
 
 let page_size = 1024
 
-let encode_a ~stamp ~txn ~key ~value =
-  Printf.sprintf "%d %d %d %d:%s" stamp txn key (String.length value) value
+let corrupt what r =
+  raise
+    (Wal_codec.Corrupt
+       (Printf.sprintf "Engine_diff: corrupt %s record (%d bytes)" what (String.length r)))
 
-let encode_d ~stamp ~txn ~key = Printf.sprintf "%d %d %d" stamp txn key
+let encode_a enc ~stamp ~txn ~key ~value =
+  Wal_codec.Enc.reset enc ~tag:'A';
+  Wal_codec.Enc.varint enc stamp;
+  Wal_codec.Enc.varint enc txn;
+  Wal_codec.Enc.varint enc key;
+  Wal_codec.Enc.string enc value;
+  Wal_codec.Enc.finish enc
+
+let encode_d enc ~stamp ~txn ~key =
+  Wal_codec.Enc.reset enc ~tag:'D';
+  Wal_codec.Enc.varint enc stamp;
+  Wal_codec.Enc.varint enc txn;
+  Wal_codec.Enc.varint enc key;
+  Wal_codec.Enc.finish enc
 
 let decode_a r =
-  match String.index_opt r ':' with
-  | None -> invalid_arg ("Engine_diff: corrupt A record " ^ r)
-  | Some colon ->
-    let head = String.sub r 0 colon in
-    (match String.split_on_char ' ' head with
-    | [ stamp; txn; key; len ] ->
-      let len = int_of_string len in
-      let value = String.sub r (colon + 1) len in
-      (int_of_string stamp, int_of_string txn, int_of_string key, value)
-    | _ -> invalid_arg ("Engine_diff: corrupt A record " ^ r))
+  if Wal_codec.Dec.tag r <> 'A' then corrupt "A" r;
+  let d = Wal_codec.Dec.start r in
+  let stamp = Wal_codec.Dec.varint d in
+  let txn = Wal_codec.Dec.varint d in
+  let key = Wal_codec.Dec.varint d in
+  let value = Wal_codec.Dec.string d in
+  if not (Wal_codec.Dec.finished d) then corrupt "A" r;
+  (stamp, txn, key, value)
 
 let decode_d r =
-  match String.split_on_char ' ' r with
-  | [ stamp; txn; key ] -> (int_of_string stamp, int_of_string txn, int_of_string key)
-  | _ -> invalid_arg ("Engine_diff: corrupt D record " ^ r)
+  if Wal_codec.Dec.tag r <> 'D' then corrupt "D" r;
+  let d = Wal_codec.Dec.start r in
+  let stamp = Wal_codec.Dec.varint d in
+  let txn = Wal_codec.Dec.varint d in
+  let key = Wal_codec.Dec.varint d in
+  if not (Wal_codec.Dec.finished d) then corrupt "D" r;
+  (stamp, txn, key)
+
+let encode_commit enc ~txn =
+  Wal_codec.Enc.reset enc ~tag:'C';
+  Wal_codec.Enc.varint enc txn;
+  Wal_codec.Enc.finish enc
+
+let decode_commit r =
+  if Wal_codec.Dec.tag r <> 'C' then corrupt "commit" r;
+  let d = Wal_codec.Dec.start r in
+  let txn = Wal_codec.Dec.varint d in
+  if not (Wal_codec.Dec.finished d) then corrupt "commit" r;
+  txn
 
 let create_with ?(n_keys = 256) ?(keys_per_page = 4) ?auto_merge_records () =
   if n_keys <= 0 then invalid_arg "Engine_diff.create: need at least one key";
@@ -74,6 +106,7 @@ let create_with ?(n_keys = 256) ?(keys_per_page = 4) ?auto_merge_records () =
     a_file = Journal.create ();
     d_file = Journal.create ();
     commits = Journal.create ();
+    enc = Wal_codec.Enc.create ~size:256 ();
     committed = Hashtbl.create 32;
     auto_merge_records;
     next_txn = 1;
@@ -154,7 +187,7 @@ let put h k v =
   check_key h.st k;
   let t = h.st in
   let s = stamp t in
-  ignore (Journal.append t.a_file (encode_a ~stamp:s ~txn:h.id ~key:k ~value:v));
+  ignore (Journal.append t.a_file (encode_a t.enc ~stamp:s ~txn:h.id ~key:k ~value:v));
   note_record t ~stamp:s ~txn:h.id
 
 let delete h k =
@@ -162,7 +195,7 @@ let delete h k =
   check_key h.st k;
   let t = h.st in
   let s = stamp t in
-  ignore (Journal.append t.d_file (encode_d ~stamp:s ~txn:h.id ~key:k));
+  ignore (Journal.append t.d_file (encode_d t.enc ~stamp:s ~txn:h.id ~key:k));
   note_record t ~stamp:s ~txn:h.id
 
 let finish h =
@@ -176,7 +209,7 @@ let commit h =
      commit marker. *)
   Journal.sync t.a_file;
   Journal.sync t.d_file;
-  ignore (Journal.append t.commits (string_of_int h.id));
+  ignore (Journal.append t.commits (encode_commit t.enc ~txn:h.id));
   Journal.sync t.commits;
   Hashtbl.replace t.committed h.id ();
   finish h;
@@ -194,7 +227,7 @@ let commit h =
 let commit_group h =
   check h;
   let t = h.st in
-  ignore (Journal.append t.commits (string_of_int h.id));
+  ignore (Journal.append t.commits (encode_commit t.enc ~txn:h.id));
   Hashtbl.replace t.committed h.id ();
   finish h
 
@@ -214,30 +247,32 @@ let abort h =
   finish h;
   !maybe_auto_merge h.st
 
-(* Fuzzy checkpoint markers ride in the commits journal:
-   "F <a_mark> <d_mark> <max_stamp> <max_txn>" — the A/D sequence
+(* Fuzzy checkpoint markers ride in the commits journal — tag 'M' with
+   varints (a_mark, d_mark, max_stamp, max_txn): the A/D sequence
    numbers everything before which was durable at marker time, plus the
    exact record-stamp/txn maxima of that durable prefix.  Recovery only
    scans records at or after the newest marker's marks; the floors
    stand in for the skipped prefix. *)
 let encode_marker t =
-  Printf.sprintf "F %d %d %d %d" (Journal.synced t.a_file) (Journal.synced t.d_file)
-    t.max_record_stamp t.max_record_txn
+  Wal_codec.Enc.reset t.enc ~tag:'M';
+  Wal_codec.Enc.varint t.enc (Journal.synced t.a_file);
+  Wal_codec.Enc.varint t.enc (Journal.synced t.d_file);
+  Wal_codec.Enc.varint t.enc t.max_record_stamp;
+  Wal_codec.Enc.varint t.enc t.max_record_txn;
+  Wal_codec.Enc.finish t.enc
 
 type marker = { a_mark : int; d_mark : int; stamp_floor : int; txn_floor : int }
 
-let is_marker r = String.length r > 0 && r.[0] = 'F'
+let is_marker r = String.length r > 0 && r.[0] = 'M'
 
 let decode_marker r =
-  match String.split_on_char ' ' r with
-  | [ "F"; a_mark; d_mark; stamp_floor; txn_floor ] ->
-    {
-      a_mark = int_of_string a_mark;
-      d_mark = int_of_string d_mark;
-      stamp_floor = int_of_string stamp_floor;
-      txn_floor = int_of_string txn_floor;
-    }
-  | _ -> invalid_arg ("Engine_diff: corrupt checkpoint marker " ^ r)
+  let d = Wal_codec.Dec.start r in
+  let a_mark = Wal_codec.Dec.varint d in
+  let d_mark = Wal_codec.Dec.varint d in
+  let stamp_floor = Wal_codec.Dec.varint d in
+  let txn_floor = Wal_codec.Dec.varint d in
+  if not (Wal_codec.Dec.finished d) then corrupt "checkpoint marker" r;
+  { a_mark; d_mark; stamp_floor; txn_floor }
 
 (* Rebuild [committed] from the commit markers; the newest durable
    fuzzy-checkpoint marker (if any) rides back too. *)
@@ -246,7 +281,7 @@ let read_commits t =
   List.iter
     (fun r ->
       if is_marker r then marker := Some (decode_marker r)
-      else Hashtbl.replace t.committed (int_of_string r) ())
+      else Hashtbl.replace t.committed (decode_commit r) ())
     (Journal.read_all t.commits);
   !marker
 

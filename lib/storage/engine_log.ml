@@ -2,6 +2,8 @@ type selection = Cyclic | By_txn | By_page
 
 type recovery_strategy = Sorted | Unmerged
 
+type log_format = Physical | Delta
+
 (* Growable parallel arrays of (journal seq, lsn, txn) triples — the
    per-log-disk record index.  Appending is amortized O(1) where the old
    [list ref] representation re-built the whole list per append. *)
@@ -81,6 +83,14 @@ type store = {
          earliest update the page's durable image is missing.  An entry
          appears when a volatile write first moves a page ahead of its
          durable image and disappears when the data disk is synced. *)
+  log_format : log_format;
+  (* Reusable scratch for record encoding: fields are blitted straight
+     into it and the journal's string is the only per-append
+     allocation.  Engines are single-domain, so one scratch is safe. *)
+  enc : Wal_codec.Enc.t;
+  (* A delta record is emitted only when both slices together fit in
+     this many bytes; past it a full image costs less bookkeeping. *)
+  delta_threshold : int;
   mutable recovery_pool : Dbm_util.Pool.t option;
   mutable records_logged : int;
   mutable records_since_checkpoint : int;
@@ -100,7 +110,7 @@ let engine_name = "logging"
 let default_keys = 256
 
 let create_with ?(n_keys = default_keys) ?(n_log_disks = 2) ?(selection = Cyclic)
-    ?(keys_per_page = 4) ?auto_checkpoint_records () =
+    ?(keys_per_page = 4) ?auto_checkpoint_records ?(log_format = Physical) () =
   (match auto_checkpoint_records with
   | Some n when n <= 0 -> invalid_arg "Engine_log.create: bad auto_checkpoint_records"
   | _ -> ());
@@ -125,6 +135,9 @@ let create_with ?(n_keys = default_keys) ?(n_log_disks = 2) ?(selection = Cyclic
     used_logs = Hashtbl.create 8;
     group_deps = Array.init n_log_disks (fun _ -> Hashtbl.create 4);
     dirty_rec = Hashtbl.create 32;
+    log_format;
+    enc = Wal_codec.Enc.create ~size:(2 * page_size + 64) ();
+    delta_threshold = page_size;
     recovery_pool = None;
     records_logged = 0;
     records_since_checkpoint = 0;
@@ -145,6 +158,14 @@ let log_disks t = Array.length t.logs
 
 let records_logged t = t.records_logged
 
+let log_format t = t.log_format
+
+(* Durable log volume in bytes — what the format head-to-head meters. *)
+let log_bytes t =
+  let total = ref 0 in
+  Array.iter (Journal.iter_all (fun s -> total := !total + String.length s)) t.logs;
+  !total
+
 let page_of t key = key / t.keys_per_page
 
 let check_key t k =
@@ -160,7 +181,7 @@ let select_log t ~txn ~page =
   | By_page -> page mod Array.length t.logs
 
 let append_log t ~disk record =
-  let seq = Journal.append t.logs.(disk) (Wal.encode record) in
+  let seq = Journal.append t.logs.(disk) (Wal.encode_with t.enc record) in
   t.records_logged <- t.records_logged + 1;
   t.records_since_checkpoint <- t.records_since_checkpoint + 1;
   (match Wal.txn_of record with
@@ -199,13 +220,24 @@ let update_key txn k value =
   check_key txn.st k;
   let t = txn.st in
   let p = page_of t k in
+  (* Whether the durable image is current, read before this update
+     dirties the page: a delta-mode clean->dirty transition logs a full
+     image, anchoring the page's record chain for replay. *)
+  let was_clean = not (Hashtbl.mem t.dirty_rec p) in
   let before = Vdisk.read t.data p in
   let after = Bytes.copy before in
   Page.update after ~key:k ~value;
   let lsn = fresh_lsn t in
   Page.set_lsn after lsn;
   let disk = select_log t ~txn:txn.id ~page:p in
-  ignore (append_log t ~disk (Wal.Update { lsn; txn = txn.id; page = p; before; after }));
+  let record =
+    match t.log_format with
+    | Physical -> Wal.Update { lsn; txn = txn.id; page = p; before; after }
+    | Delta when was_clean -> Wal.Update { lsn; txn = txn.id; page = p; before; after }
+    | Delta ->
+      Wal.delta_update ~threshold:t.delta_threshold ~lsn ~txn:txn.id ~page:p ~before ~after
+  in
+  ignore (append_log t ~disk record);
   (match Hashtbl.find_opt t.used_logs txn.id with
   | Some set -> Hashtbl.replace set disk ()
   | None -> assert false);
@@ -313,11 +345,29 @@ let abort txn =
         let lsn = fresh_lsn t in
         let restored = Bytes.copy before in
         Page.set_lsn restored lsn;
+        (* Delta replay reconstructs page images by chaining slices, so
+           every volatile page change must be logged — including this
+           restore (physical mode leaves it implicit: full images make
+           the fold order-insensitive without it).  The record reuses
+           the LSN the restore burns in either mode, keeping the two
+           formats' LSN streams — and hence their recovered
+           fingerprints — identical. *)
+        (match t.log_format with
+        | Physical -> ()
+        | Delta ->
+          let current = Vdisk.read t.data p in
+          let disk = select_log t ~txn:txn.id ~page:p in
+          ignore
+            (append_log t ~disk
+               (Wal.delta_update ~threshold:t.delta_threshold ~lsn ~txn:txn.id ~page:p
+                  ~before:current ~after:restored)));
         Vdisk.write t.data p restored;
-        (* The restore itself is not logged, so a mid-log replay must
-           still scan back to the loser's first update on this page to
-           reproduce the undo — the dirty entry keeps (or regains) that
-           LSN, never the restore's fresh one. *)
+        (* In [Physical] mode the restore itself is not logged, so a
+           mid-log replay must still scan back to the loser's first
+           update on this page to reproduce the undo — the dirty entry
+           keeps (or regains) that LSN, never the restore's fresh one.
+           ([Delta] mode logs the restore above, but keeps the same
+           conservative entry: replay wants the loser's whole chain.) *)
         let rec_ =
           match Hashtbl.find_opt t.dirty_rec p with
           | Some existing -> min existing first_lsn
@@ -431,7 +481,11 @@ let recover t =
   let pool = t.recovery_pool in
   let raws = Array.map Journal.to_array t.logs in
   let meta = Replay.scan raws in
-  (match t.strategy with
+  (* The unmerged companion strategy keys redo off full-page images; a
+     delta log always replays along the sorted path, which knows how to
+     expand slice chains. *)
+  let strategy = match t.log_format with Delta -> Sorted | Physical -> t.strategy in
+  (match strategy with
   | Sorted ->
     (* The partitioned parallel path.  The newest durable fuzzy
        checkpoint is located by tag peek, each journal is binary-searched
@@ -443,7 +497,9 @@ let recover t =
     let start_lsn = Replay.replay_start_raw raws in
     let lo = Replay.suffix_starts meta ~start_lsn in
     let records = Replay.decode_from ?pool raws ~lo in
-    Replay.recover_sorted ?pool ~records ~start_lsn
+    Replay.recover_sorted ?pool
+      ~read:(fun ~page -> Vdisk.read t.data page)
+      ~records ~start_lsn
       ~write:(fun ~page image -> Vdisk.write t.data page image)
       ()
   | Unmerged ->
@@ -473,8 +529,14 @@ let crash_and_recover_reference t =
     Array.map (fun j -> Array.of_list (List.map Wal.decode (Journal.read_all j))) t.logs
   in
   let records = Array.to_list decoded |> List.concat_map Array.to_list in
-  Naive.Log_replay.recover_sorted ~records
-    ~write:(fun ~page image -> Vdisk.write t.data page image);
+  (match t.log_format with
+  | Physical ->
+    Naive.Log_replay.recover_sorted ~records
+      ~write:(fun ~page image -> Vdisk.write t.data page image)
+  | Delta ->
+    Naive.Log_replay.recover_sorted_delta ~records
+      ~read:(fun ~page -> Vdisk.read t.data page)
+      ~write:(fun ~page image -> Vdisk.write t.data page image));
   finish_recovery t (Replay.scan (Array.map Journal.to_array t.logs))
 
 (* Sharp checkpoint: force logs and data, then truncate every log disk

@@ -15,20 +15,42 @@ include Kv.S
 
 type selection = Cyclic | By_txn | By_page
 
+type log_format =
+  | Physical  (** full before/after page images per update (the paper's logging) *)
+  | Delta
+      (** {!Wal.Delta} records carrying only each update's changed byte
+          range (common-prefix/suffix diff), with full images logged at
+          every clean->dirty page transition (the chain anchor replay
+          needs) and past the size threshold.  Abort restores are
+          logged too — reusing the LSN the restore burns in physical
+          mode, so both formats issue identical LSN streams and recover
+          to identical fingerprints.  Replay expands each page's slice
+          chain back to full images against the durable base
+          ({!Replay.expand_page}) and then runs the unchanged
+          winner/loser fold. *)
+
 val create_with :
   ?n_keys:int ->
   ?n_log_disks:int ->
   ?selection:selection ->
   ?keys_per_page:int ->
   ?auto_checkpoint_records:int ->
+  ?log_format:log_format ->
   unit ->
   t
 (** [create] is [create_with] with 2 log disks, cyclic selection,
-    4 keys per page and no automatic checkpointing.
+    4 keys per page, no automatic checkpointing and [Physical] log
+    records.
     [auto_checkpoint_records], when set, runs a sharp checkpoint at the
     first transaction boundary after that many log records have
     accumulated since the last checkpoint, bounding both the log size
     and the restart-recovery work. *)
+
+val log_format : t -> log_format
+
+val log_bytes : t -> int
+(** Total durable log volume in bytes across all log disks — what the
+    physical / delta / logical head-to-head meters. *)
 
 val commit_group : txn -> unit
 (** Group commit: append the commit record but do {e not} force the
@@ -71,7 +93,9 @@ type recovery_strategy =
           it on random crash histories. *)
 
 val set_recovery_strategy : t -> recovery_strategy -> unit
-(** Default [Sorted].  Takes effect at the next [crash_and_recover]. *)
+(** Default [Sorted].  Takes effect at the next [crash_and_recover].
+    A [Delta]-format engine always recovers along the [Sorted] path
+    (the companion algorithm keys redo off full-page images). *)
 
 val recovery_strategy : t -> recovery_strategy
 

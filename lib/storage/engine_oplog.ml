@@ -1,0 +1,248 @@
+(* Operation-logging (logical) recovery engine.  See engine_oplog.mli. *)
+
+type store = {
+  n_keys : int;
+  keys_per_page : int;
+  data : Vdisk.t;
+  log : Journal.t;
+  enc : Wal_codec.Enc.t;
+  mutable next_lsn : int;
+  mutable next_txn : int;
+  mutable epoch : int;
+  (* txn -> page -> the page's pre-transaction image: the volatile undo
+     information an abort needs.  Never logged — no-steal means an
+     uncommitted change can never reach the durable image, so restart
+     recovery has nothing to undo. *)
+  active : (int, (int, bytes) Hashtbl.t) Hashtbl.t;
+  mutable recovery_pool : Dbm_util.Pool.t option;
+  mutable records_logged : int;
+  mutable recoveries : int;
+  mutable checkpoints : int;
+}
+
+type t = store
+
+type txn = { st : store; id : int; born : int; mutable finished : bool }
+
+let engine_name = "oplog"
+
+let default_keys = 256
+
+let create_with ?(n_keys = default_keys) ?(keys_per_page = 4) () =
+  if n_keys <= 0 then invalid_arg "Engine_oplog.create: need at least one key";
+  if keys_per_page <= 0 then invalid_arg "Engine_oplog.create: bad keys_per_page";
+  let n_pages = (n_keys + keys_per_page - 1) / keys_per_page in
+  let page_size = 1024 in
+  {
+    n_keys;
+    keys_per_page;
+    data = Vdisk.create ~pages:n_pages ~page_size ();
+    log = Journal.create ();
+    enc = Wal_codec.Enc.create ~size:128 ();
+    next_lsn = 1;
+    next_txn = 1;
+    epoch = 0;
+    active = Hashtbl.create 8;
+    recovery_pool = None;
+    records_logged = 0;
+    recoveries = 0;
+    checkpoints = 0;
+  }
+
+let create ?n_keys () = create_with ?n_keys ()
+
+let max_keys t = t.n_keys
+
+let keys_per_page t = t.keys_per_page
+
+let records_logged t = t.records_logged
+
+let log_bytes t =
+  let total = ref 0 in
+  Journal.iter_all (fun s -> total := !total + String.length s) t.log;
+  !total
+
+let page_of t key = key / t.keys_per_page
+
+let check_key t k =
+  if k < 0 || k >= t.n_keys then invalid_arg (Printf.sprintf "key %d out of range" k)
+
+let fresh_lsn t =
+  let l = t.next_lsn in
+  t.next_lsn <- l + 1;
+  l
+
+let append_log t record =
+  ignore (Journal.append t.log (Wal.encode_with t.enc record));
+  t.records_logged <- t.records_logged + 1
+
+let begin_txn t =
+  let id = t.next_txn in
+  t.next_txn <- id + 1;
+  Hashtbl.replace t.active id (Hashtbl.create 4);
+  { st = t; id; born = t.epoch; finished = false }
+
+let check txn = if txn.finished || txn.born <> txn.st.epoch then raise Kv.Txn_finished
+
+let get txn k =
+  check txn;
+  check_key txn.st k;
+  Page.lookup (Vdisk.read_ro txn.st.data (page_of txn.st k)) ~key:k
+
+let update_key txn k value =
+  check txn;
+  check_key txn.st k;
+  let t = txn.st in
+  let p = page_of t k in
+  (* First touch of this page by this transaction: save its image for
+     the volatile undo an abort performs. *)
+  (match Hashtbl.find_opt t.active txn.id with
+  | Some firsts -> if not (Hashtbl.mem firsts p) then Hashtbl.replace firsts p (Vdisk.read t.data p)
+  | None -> assert false);
+  let img = Vdisk.read t.data p in
+  Page.update img ~key:k ~value;
+  let lsn = fresh_lsn t in
+  Page.set_lsn img lsn;
+  (* The whole log record: which operation ran, under which LSN.  No
+     images — replay re-executes. *)
+  append_log t (Wal.Op { lsn; txn = txn.id; key = k; value });
+  Vdisk.write t.data p img
+
+let put txn k v = update_key txn k (Some v)
+
+let delete txn k = update_key txn k None
+
+let finish txn =
+  txn.finished <- true;
+  Hashtbl.remove txn.st.active txn.id
+
+let commit txn =
+  check txn;
+  let t = txn.st in
+  append_log t (Wal.Commit { lsn = fresh_lsn t; txn = txn.id });
+  (* One journal holds every record of the transaction, so a single
+     force is the whole WAL protocol. *)
+  Journal.sync t.log;
+  finish txn
+
+let commit_group txn =
+  check txn;
+  let t = txn.st in
+  append_log t (Wal.Commit { lsn = fresh_lsn t; txn = txn.id });
+  finish txn
+
+let force_commits t = Journal.sync t.log
+
+let abort txn =
+  check txn;
+  let t = txn.st in
+  (* Volatile undo from the saved pre-transaction images; the fresh LSN
+     per restored page mirrors the physical engine's restore, keeping
+     the two engines' LSN streams aligned. *)
+  (match Hashtbl.find_opt t.active txn.id with
+  | Some firsts ->
+    Hashtbl.iter
+      (fun p image ->
+        let lsn = fresh_lsn t in
+        let restored = Bytes.copy image in
+        Page.set_lsn restored lsn;
+        Vdisk.write t.data p restored)
+      firsts
+  | None -> ());
+  append_log t (Wal.Abort { lsn = fresh_lsn t; txn = txn.id });
+  finish txn
+
+(* No-steal gate: the data disk may only be forced when no live
+   transaction has uncommitted page writes — otherwise a dirty
+   uncommitted image would become durable with no undo record anywhere
+   to peel it back off. *)
+let can_sync_data t =
+  Hashtbl.fold (fun _ firsts acc -> acc && Hashtbl.length firsts = 0) t.active true
+
+let flush t =
+  Journal.sync t.log;
+  if can_sync_data t then Vdisk.sync t.data
+
+let checkpoint t =
+  Journal.sync t.log;
+  let quiescent = can_sync_data t in
+  if quiescent then Vdisk.sync t.data;
+  let active = Hashtbl.fold (fun id _ acc -> id :: acc) t.active [] in
+  append_log t (Wal.Checkpoint { lsn = fresh_lsn t; active });
+  Journal.sync t.log;
+  (* When the no-steal gate let the data force run, every retained
+     operation is reflected in the durable image: drop the prefix (the
+     checkpoint record survives to re-seed the LSN counter).  This is
+     what bounds the operation log — and it mirrors the physical
+     engine's sharp-checkpoint truncation, keeping the two engines'
+     post-crash counter re-seeds (and so their fingerprints) aligned. *)
+  if quiescent then Journal.truncate t.log ~keep_from:(Journal.synced t.log - 1);
+  t.checkpoints <- t.checkpoints + 1
+
+(* --- restart recovery ---------------------------------------------- *)
+
+let finish_recovery t meta =
+  Vdisk.sync t.data;
+  let max_lsn = ref 0 and max_txn = ref 0 in
+  Array.iter (Array.iter (fun l -> if l > !max_lsn then max_lsn := l)) meta.Replay.lsns;
+  Array.iter (Array.iter (fun x -> if x > !max_txn then max_txn := x)) meta.Replay.txns;
+  t.next_lsn <- !max_lsn + 1;
+  t.next_txn <- !max_txn + 1;
+  Hashtbl.reset t.active;
+  t.recoveries <- t.recoveries + 1
+
+let recover t =
+  let pool = t.recovery_pool in
+  let raws = [| Journal.to_array t.log |] in
+  let meta = Replay.scan raws in
+  let records = Replay.decode_from ?pool raws ~lo:[| 0 |] in
+  Replay.recover_logical ?pool ~records ~start_lsn:0
+    ~page_of:(fun k -> k / t.keys_per_page)
+    ~read:(fun ~page -> Vdisk.read t.data page)
+    ~write:(fun ~page image -> Vdisk.write t.data page image)
+    ();
+  finish_recovery t meta
+
+let crash_and_recover t =
+  Vdisk.crash t.data;
+  Journal.crash t.log;
+  t.epoch <- t.epoch + 1;
+  recover t
+
+let crash_and_recover_reference t =
+  Vdisk.crash t.data;
+  Journal.crash t.log;
+  t.epoch <- t.epoch + 1;
+  let records = List.map Wal.decode (Journal.read_all t.log) in
+  Naive.Log_replay.recover_logical ~records
+    ~page_of:(fun k -> k / t.keys_per_page)
+    ~read:(fun ~page -> Vdisk.read t.data page)
+    ~write:(fun ~page image -> Vdisk.write t.data page image);
+  finish_recovery t (Replay.scan [| Journal.to_array t.log |])
+
+let set_recovery_pool t pool = t.recovery_pool <- pool
+
+let recovery_pool t = t.recovery_pool
+
+let state_fingerprint t =
+  let d = Dbm_util.Digest.create () in
+  for p = 0 to Vdisk.pages t.data - 1 do
+    Dbm_util.Digest.string d (Bytes.to_string (Vdisk.read_ro t.data p))
+  done;
+  Dbm_util.Digest.int d t.next_lsn;
+  Dbm_util.Digest.int d t.next_txn;
+  Dbm_util.Digest.hex d
+
+let dump_log t = List.map Wal.decode (Journal.read_all t.log)
+
+let stats t =
+  [
+    ("disk_reads", Vdisk.reads t.data);
+    ("disk_writes", Vdisk.writes t.data);
+    ("records_logged", t.records_logged);
+    ("live_txns", Hashtbl.length t.active);
+    ("recoveries", t.recoveries);
+    ("checkpoints", t.checkpoints);
+    ("durable_records", Journal.length t.log);
+    ("log_syncs", Journal.sync_count t.log);
+  ]

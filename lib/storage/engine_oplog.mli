@@ -1,0 +1,84 @@
+(** The operation-logging (logical) recovery engine — ROADMAP item 5
+    made concrete: log {e what was done} ([insert(k,v)]/[delete(k)]),
+    not what the pages looked like.
+
+    A {b no-steal / no-force} design: updates are applied volatile
+    in place after a tiny {!Wal.Op} record is appended (the whole log
+    record is the operation — no images at all), commit is one log
+    force, and the data disk is only ever forced when no live
+    transaction has uncommitted page writes (the no-steal gate), so an
+    uncommitted change can never become durable.  That makes restart
+    recovery {b REDO-only}: committed operations re-execute in LSN
+    order onto the durable images behind the page-header LSN guard
+    ({!Replay.recover_logical}), and there is nothing to undo — loser
+    operations never reached the disk.  Abort undo uses volatile
+    pre-transaction images kept in memory, never logged.
+
+    Log records are an order of magnitude smaller than the physical
+    engine's full-image records on the same workload, which is the
+    whole argument (Lomet's performance-competitive logical recovery,
+    PAPERS.md); the bench meters the ratio.  LSN issue order mirrors
+    {!Engine_log}'s (one per update, one per commit/abort, one per
+    abort-restored page), so on identical committed histories the two
+    engines recover to identical {!state_fingerprint}s — the
+    cross-architecture equivalence gate.
+
+    Satisfies {!Kv.S}; extras below. *)
+
+include Kv.S
+
+val create_with : ?n_keys:int -> ?keys_per_page:int -> unit -> t
+(** [create] is [create_with] with 4 keys per page (1 KB pages, one log
+    journal). *)
+
+val commit_group : txn -> unit
+(** Group commit: append the commit record but leave the force to the
+    next {!force_commits} (or any eager {!commit}, which forces the one
+    shared journal).  A crash before the force loses the transaction —
+    the group-commit durability window. *)
+
+val force_commits : t -> unit
+(** Force the log journal: every group-committed transaction becomes
+    durable. *)
+
+val flush : t -> unit
+(** Force the log, then the data disk — but the data force is skipped
+    whenever a live transaction holds uncommitted page writes (the
+    no-steal gate; stealing would strand an undo-less uncommitted image
+    on disk).
+
+    [checkpoint] (from {!Kv.S}) is the sharp form: force the log, force
+    the data disk when the no-steal gate allows it, append a
+    {!Wal.Checkpoint} record — and, when the data force ran, truncate
+    the log down to that record (every retained operation is then
+    reflected in the durable image).  The truncation is what bounds the
+    operation log, and it mirrors {!Engine_log}'s sharp-checkpoint
+    truncation so the two engines' post-crash counter re-seeds stay
+    fingerprint-aligned. *)
+
+val set_recovery_pool : t -> Dbm_util.Pool.t option -> unit
+(** Domain pool for restart recovery (default [None] = serial): log
+    decoding and per-page re-execution fan out across the domains, with
+    bit-identical results at any pool size.  The engine does not own
+    the pool. *)
+
+val recovery_pool : t -> Dbm_util.Pool.t option
+
+val state_fingerprint : t -> string
+(** 128-bit hex digest of every data page image plus the LSN/txn
+    counters — comparable across engines (same digest layout as
+    {!Engine_log.state_fingerprint}). *)
+
+val crash_and_recover_reference : t -> unit
+(** Crash, then recover along the serial reference
+    ({!Naive.Log_replay.recover_logical}): one global LSN-sorted pass,
+    no partitioning.  Same epilogue as [crash_and_recover]; equal
+    fingerprints are the parallel path's correctness gate. *)
+
+val records_logged : t -> int
+
+val log_bytes : t -> int
+(** Total durable log volume in bytes. *)
+
+val dump_log : t -> Wal.record list
+(** Durable records of the log journal, for inspection and tests. *)

@@ -204,6 +204,101 @@ module Log_replay = struct
         | Some image -> write ~page image
         | None -> ())
       by_page
+
+  (* Serial reference for delta logs, written independently of
+     Replay.expand_page (the parallel path the property tests compare
+     against): expand every page's Update/Delta chain to full images by
+     replaying slices forward from the chain state the durable base
+     image pins, then run the fold above verbatim. *)
+  let recover_sorted_delta ~records ~read ~write =
+    let by_page : (int, Wal.record list) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun r ->
+        match r with
+        | Wal.Update { page; _ } | Wal.Delta { page; _ } ->
+          let prev = Option.value (Hashtbl.find_opt by_page page) ~default:[] in
+          Hashtbl.replace by_page page (r :: prev)
+        | _ -> ())
+      records;
+    let expanded = ref [] in
+    Hashtbl.iter
+      (fun page recs ->
+        let ordered = List.sort (fun a b -> Int.compare (Wal.lsn a) (Wal.lsn b)) recs in
+        let base = read ~page in
+        let plsn = Page.get_lsn base in
+        (* Rewind the base image to the chain's first state: undo, newest
+           first, every record the durable image already contains. *)
+        let s0 = Bytes.copy base in
+        List.iter
+          (fun r ->
+            match r with
+            | Wal.Update { before; _ } -> Bytes.blit before 0 s0 0 (Bytes.length before)
+            | Wal.Delta { off; before_slice; prev_lsn; _ } ->
+              Wal.apply_slice s0 ~off before_slice;
+              Page.set_lsn s0 prev_lsn
+            | _ -> ())
+          (List.rev (List.filter (fun r -> Wal.lsn r <= plsn) ordered));
+        (* Forward: materialize each record's full before/after pair. *)
+        let cur = ref s0 in
+        List.iter
+          (fun r ->
+            match r with
+            | Wal.Update { lsn; txn; page = p; before; after } ->
+              cur := after;
+              expanded := Wal.Update { lsn; txn; page = p; before; after } :: !expanded
+            | Wal.Delta { lsn; txn; page = p; off; after_slice; _ } ->
+              let before = !cur in
+              let after = Bytes.copy before in
+              Wal.apply_slice after ~off after_slice;
+              Page.set_lsn after lsn;
+              cur := after;
+              expanded := Wal.Update { lsn; txn; page = p; before; after } :: !expanded
+            | _ -> ())
+          ordered)
+      by_page;
+    (* Commit/abort records pass through untouched; the fold only needs
+       the commit set and the update images. *)
+    let passthrough =
+      List.filter (function Wal.Update _ | Wal.Delta _ -> false | _ -> true) records
+    in
+    recover_sorted ~records:(passthrough @ !expanded) ~write
+
+  (* Serial reference for operation logs: committed operations in one
+     global LSN-sorted list, re-executed onto the durable images behind
+     the page-header LSN guard — the textbook one-thread formulation of
+     Replay.recover_logical. *)
+  let recover_logical ~records ~page_of ~read ~write =
+    let committed = committed records in
+    let ops =
+      List.filter_map
+        (fun r ->
+          match r with
+          | Wal.Op { lsn; txn; key; value } when Hashtbl.mem committed txn ->
+            Some (lsn, key, value)
+          | _ -> None)
+        records
+      |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
+    in
+    let images : (int, bytes) Hashtbl.t = Hashtbl.create 64 in
+    let dirty : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun (lsn, key, value) ->
+        let page = page_of key in
+        let img =
+          match Hashtbl.find_opt images page with
+          | Some img -> img
+          | None ->
+            let img = read ~page in
+            Hashtbl.replace images page img;
+            img
+        in
+        if lsn > Page.get_lsn img then begin
+          Page.update img ~key ~value;
+          Page.set_lsn img lsn;
+          Hashtbl.replace dirty page ()
+        end)
+      ops;
+    Hashtbl.iter (fun page () -> write ~page (Hashtbl.find images page)) dirty
 end
 
 (* The pre-overhaul scheduler: every turn round-robin-polls every

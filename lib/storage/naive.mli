@@ -44,4 +44,26 @@ module Log_replay : sig
   val recover_sorted : records:Wal.record list -> write:(page:int -> bytes -> unit) -> unit
   (** Calls [write] once per touched page with its final image, in the
       reference's (hash-table) iteration order. *)
+
+  val recover_sorted_delta :
+    records:Wal.record list ->
+    read:(page:int -> bytes) ->
+    write:(page:int -> bytes -> unit) ->
+    unit
+  (** [recover_sorted] for logs holding {!Wal.Delta} records: each
+      page's Update/Delta chain is expanded to full images against the
+      durable base image [read] supplies (an implementation independent
+      of {!Replay.expand_page}, which the property tests compare it
+      to), then folded exactly as [recover_sorted]. *)
+
+  val recover_logical :
+    records:Wal.record list ->
+    page_of:(int -> int) ->
+    read:(page:int -> bytes) ->
+    write:(page:int -> bytes -> unit) ->
+    unit
+  (** Serial reference for operation logs: committed {!Wal.Op} records
+      in one global LSN-sorted pass, re-executed onto the durable
+      images behind the page-header LSN guard.  Pages whose image was
+      already current are not written. *)
 end

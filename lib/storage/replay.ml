@@ -144,31 +144,110 @@ let page_state committed updates =
       else match acc with None -> Some before | Some _ -> acc)
     None ordered
 
-let recover_sorted ?pool ~(records : Wal.record array array) ~start_lsn ~write () =
+(* --- delta expansion ------------------------------------------------ *)
+
+(* Reconstruct full (lsn, txn, before, after) images for one page's
+   mixed Update/Delta record chain, [recs] ascending by LSN.
+
+   Delta-mode engines log {e every} volatile change to a page — updates
+   and abort restores alike — so the retained records for a page form an
+   unbroken chain of states s_0 -> s_1 -> ... -> s_n, and the durable
+   disk image [base] is one of those states (the one at the page's
+   header LSN, written by the last data sync).  Records at or below
+   that LSN are walked {e backward} from the base (patching each
+   before-slice over the image) to recover s_0; the forward pass then
+   rebuilds every record's full images, resetting the chain at any full
+   Update record it meets (the engine logs one whenever a page turns
+   dirty, anchoring every replay window).  Delta slices never cover the
+   page-header LSN: it is restored from the record itself — [prev_lsn]
+   rewinding, [lsn] going forward.  DESIGN.md B.3 carries the full
+   argument. *)
+let expand_page ~base recs =
+  let plsn = Page.get_lsn base in
+  let img = Bytes.copy base in
+  (* Backward to s_0 over the records the disk image already holds. *)
+  let covered = List.filter (fun r -> Wal.lsn r <= plsn) recs in
+  List.iter
+    (fun r ->
+      match r with
+      | Wal.Update { before; _ } -> Bytes.blit before 0 img 0 (Bytes.length before)
+      | Wal.Delta { off; before_slice; prev_lsn; _ } ->
+        Wal.apply_slice img ~off before_slice;
+        Page.set_lsn img prev_lsn
+      | _ -> ())
+    (List.rev covered);
+  (* Forward, snapshotting each state exactly once: entry i's after
+     image IS entry i+1's before image, never mutated after creation. *)
+  let cur = ref img in
+  List.map
+    (fun r ->
+      match r with
+      | Wal.Update { lsn; txn; before; after; _ } ->
+        cur := after;
+        (lsn, txn, before, after)
+      | Wal.Delta { lsn; txn; off; after_slice; _ } ->
+        let before = !cur in
+        let after = Bytes.copy before in
+        Wal.apply_slice after ~off after_slice;
+        Page.set_lsn after lsn;
+        cur := after;
+        (lsn, txn, before, after)
+      | _ -> assert false)
+    recs
+
+let recover_sorted ?pool ?read ~(records : Wal.record array array) ~start_lsn ~write () =
   let committed = committed ~start_lsn records in
   let nparts = pieces_of_pool pool in
   let buckets = Array.make nparts [] in
+  let delta_pages = Hashtbl.create 16 in
   Array.iter
     (Array.iter (fun r ->
          match r with
-         | Wal.Update { lsn; txn; page; before; after } when lsn >= start_lsn ->
+         | Wal.Update { lsn; page; _ } when lsn >= start_lsn ->
            let b = page mod nparts in
-           buckets.(b) <- (lsn, txn, page, before, after) :: buckets.(b)
+           buckets.(b) <- (page, r) :: buckets.(b)
+         | Wal.Delta { lsn; page; _ } when lsn >= start_lsn ->
+           let b = page mod nparts in
+           buckets.(b) <- (page, r) :: buckets.(b);
+           Hashtbl.replace delta_pages page ()
          | _ -> ()))
     records;
+  (* Pages with delta records need their durable base image; snapshot
+     them serially on the calling domain, before the fan-out, so worker
+     domains never touch the disk (or its operation counters). *)
+  let bases : (int, bytes) Hashtbl.t = Hashtbl.create (Hashtbl.length delta_pages) in
+  (match read with
+  | Some read -> Hashtbl.iter (fun page () -> Hashtbl.replace bases page (read ~page)) delta_pages
+  | None ->
+    if Hashtbl.length delta_pages > 0 then
+      raise (Wal.Corrupt "delta records in the log but no base-image reader"));
   let images =
     map_list ?pool (List.init nparts Fun.id) ~f:(fun b ->
-        (* Group this partition's records per page; the committed table
-           is frozen before the fan-out, so concurrent reads are safe. *)
-        let by_page : (int, (int * int * bytes * bytes) list) Hashtbl.t = Hashtbl.create 64 in
+        (* Group this partition's records per page; the committed and
+           base tables are frozen before the fan-out, so concurrent
+           reads are safe. *)
+        let by_page : (int, Wal.record list) Hashtbl.t = Hashtbl.create 64 in
         List.iter
-          (fun (lsn, txn, page, before, after) ->
+          (fun (page, r) ->
             let prev = Option.value (Hashtbl.find_opt by_page page) ~default:[] in
-            Hashtbl.replace by_page page ((lsn, txn, before, after) :: prev))
+            Hashtbl.replace by_page page (r :: prev))
           buckets.(b);
         let pages =
           Hashtbl.fold
-            (fun page updates acc ->
+            (fun page recs acc ->
+              let ordered =
+                List.sort (fun a b -> Int.compare (Wal.lsn a) (Wal.lsn b)) recs
+              in
+              let updates =
+                if List.exists (function Wal.Delta _ -> true | _ -> false) ordered then
+                  expand_page ~base:(Hashtbl.find bases page) ordered
+                else
+                  List.map
+                    (function
+                      | Wal.Update { lsn; txn; before; after; _ } -> (lsn, txn, before, after)
+                      | _ -> assert false)
+                    ordered
+              in
               match page_state committed updates with
               | Some image -> (page, image) :: acc
               | None -> acc)
@@ -178,6 +257,68 @@ let recover_sorted ?pool ~(records : Wal.record array array) ~start_lsn ~write (
   in
   (* Partitions hold disjoint page sets, so a merge by ascending page is
      a plain sort; each page is written exactly once. *)
+  List.concat images
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.iter (fun (page, image) -> write ~page image)
+
+(* --- logical (operation-log) replay --------------------------------- *)
+
+(* REDO-only re-execution for the no-steal operation-logging engine:
+   committed operations, grouped per page (the key -> page map is
+   static), re-executed in global LSN order onto the durable page image,
+   guarded by the page header LSN so already-applied operations are
+   skipped (idempotence).  Loser operations are ignored outright —
+   no-steal means an uncommitted change never reached the durable image,
+   so there is nothing to undo. *)
+let recover_logical ?pool ~(records : Wal.record array array) ~start_lsn ~page_of ~read ~write
+    () =
+  let committed = committed ~start_lsn records in
+  let nparts = pieces_of_pool pool in
+  let buckets = Array.make nparts [] in
+  let touched = Hashtbl.create 64 in
+  Array.iter
+    (Array.iter (fun r ->
+         match r with
+         | Wal.Op { lsn; txn; key; value } when lsn >= start_lsn && Hashtbl.mem committed txn ->
+           let page = page_of key in
+           let b = page mod nparts in
+           buckets.(b) <- (page, lsn, key, value) :: buckets.(b);
+           Hashtbl.replace touched page ()
+         | _ -> ()))
+    records;
+  let bases : (int, bytes) Hashtbl.t = Hashtbl.create (Hashtbl.length touched) in
+  Hashtbl.iter (fun page () -> Hashtbl.replace bases page (read ~page)) touched;
+  let images =
+    map_list ?pool (List.init nparts Fun.id) ~f:(fun b ->
+        let by_page : (int, (int * int * string option) list) Hashtbl.t = Hashtbl.create 64 in
+        List.iter
+          (fun (page, lsn, key, value) ->
+            let prev = Option.value (Hashtbl.find_opt by_page page) ~default:[] in
+            Hashtbl.replace by_page page ((lsn, key, value) :: prev))
+          buckets.(b);
+        let pages =
+          Hashtbl.fold
+            (fun page ops acc ->
+              let img = Hashtbl.find bases page in
+              let plsn = Page.get_lsn img in
+              let ordered = List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b) ops in
+              let applied = ref false in
+              (* [ordered] ascends, so [lsn > plsn] holds for a suffix:
+                 the first re-executed operation is the first one the
+                 durable image is missing. *)
+              List.iter
+                (fun (lsn, key, value) ->
+                  if lsn > plsn then begin
+                    Page.update img ~key ~value;
+                    Page.set_lsn img lsn;
+                    applied := true
+                  end)
+                ordered;
+              if !applied then (page, img) :: acc else acc)
+            by_page []
+        in
+        List.sort (fun (a, _) (b, _) -> Int.compare a b) pages)
+  in
   List.concat images
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
   |> List.iter (fun (page, image) -> write ~page image)

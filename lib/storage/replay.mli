@@ -94,8 +94,21 @@ val committed : start_lsn:int -> Wal.record array array -> (int, unit) Hashtbl.t
     range-restricted set is exactly the set full-log replay would
     compute for the transactions replay will encounter. *)
 
+val expand_page : base:bytes -> Wal.record list -> (int * int * bytes * bytes) list
+(** Reconstruct full [(lsn, txn, before, after)] images for one page's
+    mixed {!Wal.Update}/{!Wal.Delta} chain ([recs] ascending by LSN,
+    [base] the page's durable disk image).  Delta-mode engines log every
+    volatile page change (updates {e and} abort restores), so the
+    records form an unbroken chain of page states with [base] one of
+    them (at the page's header LSN): records at or below that LSN are
+    walked backward from the base to the chain's first state, and the
+    forward pass rebuilds each record's images, re-anchoring at any
+    full Update record.  Exposed for the property tests; replay calls
+    it per page inside {!recover_sorted}. *)
+
 val recover_sorted :
   ?pool:Dbm_util.Pool.t ->
+  ?read:(page:int -> bytes) ->
   records:Wal.record array array ->
   start_lsn:int ->
   write:(page:int -> bytes -> unit) ->
@@ -103,4 +116,30 @@ val recover_sorted :
   unit
 (** The sorted-replay strategy over the partitioned plan described
     above.  [write] receives each touched page's final image exactly
-    once, in ascending page order, from the calling domain. *)
+    once, in ascending page order, from the calling domain.
+
+    When the log holds {!Wal.Delta} records, [read] must supply each
+    page's durable base image; bases are snapshotted serially before
+    the fan-out (worker domains never touch the disk) and each page's
+    chain is expanded to full images with {!expand_page} before the
+    unchanged winner/loser fold runs.  Physical-only logs never invoke
+    [read].
+    @raise Wal.Corrupt on delta records without a [read]. *)
+
+val recover_logical :
+  ?pool:Dbm_util.Pool.t ->
+  records:Wal.record array array ->
+  start_lsn:int ->
+  page_of:(int -> int) ->
+  read:(page:int -> bytes) ->
+  write:(page:int -> bytes -> unit) ->
+  unit ->
+  unit
+(** REDO-only re-execution for the no-steal operation-logging engine:
+    committed {!Wal.Op} records are partitioned by page ([page_of] is
+    the engine's static key layout), each page's operations re-execute
+    in LSN order onto its durable base image, and the page-header LSN
+    guard skips operations the image already holds (idempotence).
+    Loser operations are ignored — no-steal means they never reached
+    the durable image.  [write] semantics as in {!recover_sorted};
+    pages whose image was already current are not rewritten. *)

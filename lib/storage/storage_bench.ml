@@ -24,6 +24,18 @@ type recovery_ckpt_point = {
   ck_equivalent : bool;
 }
 
+type log_format_point = {
+  lf_format : string;  (* "physical" | "delta" | "oplog" *)
+  lf_committed_txns : int;
+  lf_records : int;
+  lf_log_bytes : int;
+  lf_bytes_per_txn : float;
+  lf_append_ns_per_record : float;  (* full append path, load wall / records *)
+  lf_replay_wall_ms : float;  (* best-of-five serial crash-and-recover *)
+  lf_replay_parallel_ms : float;  (* best wall across the parallel job counts *)
+  lf_equivalent : bool;  (* equals the physical serial reference, at every job count *)
+}
+
 type server_point = {
   sv_offered_tps : float;  (* open-loop Poisson arrival rate *)
   sv_sustained_tps : float;  (* completed / makespan, simulated time *)
@@ -78,6 +90,13 @@ type t = {
   recovery_ckpt : recovery_ckpt_point list;
   recovery_ckpt_speedup : float;  (* full-replay wall / newest-checkpoint wall *)
   recovery_equivalent : bool;  (* every point above matched the reference *)
+  (* Log-format head-to-head: the same committed workload through
+     physical full-image logging, delta logging and operation logging;
+     all three must recover to the physical reference fingerprint. *)
+  log_formats : log_format_point list;
+  log_delta_reduction : float;  (* physical bytes/txn over delta's *)
+  log_oplog_reduction : float;
+  log_format_equivalent : bool;
   (* Open-loop transaction server: offered-load sweep through the
      group-commit pipeline plus an eager-vs-grouped head-to-head at the
      top load, per engine, all in simulated time. *)
@@ -256,14 +275,22 @@ let timed_recovery ~now t =
    engine.  A 1-core host would leave no parallel point at all, so an
    oversubscribed 2-domain run stands in (and is flagged as such) —
    mirroring the table-regeneration fallback in bench/main. *)
-let recovery_vs_jobs ~now ~jobs ~allow_oversubscribe ~txns =
+(* The domain counts a recovery curve actually runs: the request list
+   plus the jobs = 1 baseline, capped at the host's cores unless
+   oversubscription is allowed, with a 2-domain stand-in when nothing
+   parallel survives (1-core hosts). *)
+let kept_jobs ~jobs ~allow_oversubscribe =
   let host = Pool.default_jobs () in
   let requested = List.sort_uniq Int.compare (1 :: jobs) in
   let kept =
     if allow_oversubscribe then requested
     else List.filter (fun j -> j <= host) requested
   in
-  let kept = if List.exists (fun j -> j > 1) kept then kept else kept @ [ 2 ] in
+  if List.exists (fun j -> j > 1) kept then kept else kept @ [ 2 ]
+
+let recovery_vs_jobs ~now ~jobs ~allow_oversubscribe ~txns =
+  let host = Pool.default_jobs () in
+  let kept = kept_jobs ~jobs ~allow_oversubscribe in
   let t = load_log_engine ~txns () in
   Gc.compact ();
   Engine_log.crash_and_recover_reference t;
@@ -330,6 +357,134 @@ let recovery_vs_checkpoint_age ~now ~txns =
   in
   let wall_at f = (List.find (fun p -> p.ck_fraction = f) points).ck_wall_ms in
   (points, wall_at 0.0 /. wall_at 0.9)
+
+(* --- log formats: physical vs delta vs operation logging ------------ *)
+
+(* What the head-to-head needs from an engine; Engine_log (under either
+   log format) and Engine_oplog both satisfy it. *)
+module type FORMAT_ENGINE = sig
+  type t
+
+  type txn
+
+  val begin_txn : t -> txn
+
+  val put : txn -> int -> string -> unit
+
+  val commit : txn -> unit
+
+  val crash_and_recover : t -> unit
+
+  val state_fingerprint : t -> string
+
+  val set_recovery_pool : t -> Pool.t option -> unit
+
+  val log_bytes : t -> int
+
+  val records_logged : t -> int
+end
+
+(* Exactly [load_log_engine]'s committed workload, format-generic: the
+   engines issue identical LSN streams on it, so their recovered states
+   must fingerprint-match the physical reference byte for byte. *)
+let load_format (type a) (module E : FORMAT_ENGINE with type t = a) (e : a) ~txns =
+  for i = 0 to txns - 1 do
+    let txn = E.begin_txn e in
+    for j = 0 to 7 do
+      E.put txn (((i * 8) + j) mod 256) value
+    done;
+    E.commit txn
+  done
+
+let format_point (type a) (module E : FORMAT_ENGINE with type t = a) ~now ~name ~txns
+    ~par_jobs ~ref_fp (e : a) =
+  Gc.compact ();
+  let (), load_s = time now (fun () -> load_format (module E) e ~txns) in
+  let records = E.records_logged e in
+  let bytes = E.log_bytes e in
+  let timed () =
+    let best = ref infinity in
+    for _ = 1 to 5 do
+      let (), w = time now (fun () -> E.crash_and_recover e) in
+      if w < !best then best := w
+    done;
+    (!best *. 1000., E.state_fingerprint e)
+  in
+  let serial_ms, serial_fp = timed () in
+  let par =
+    List.map
+      (fun j ->
+        let pool = Pool.create ~jobs:j ~allow_oversubscribe:true () in
+        E.set_recovery_pool e (Some pool);
+        let ms, fp = timed () in
+        E.set_recovery_pool e None;
+        Pool.shutdown pool;
+        (ms, fp))
+      par_jobs
+  in
+  {
+    lf_format = name;
+    lf_committed_txns = txns;
+    lf_records = records;
+    lf_log_bytes = bytes;
+    lf_bytes_per_txn = float_of_int bytes /. float_of_int txns;
+    lf_append_ns_per_record = load_s *. 1e9 /. float_of_int (max 1 records);
+    lf_replay_wall_ms = serial_ms;
+    lf_replay_parallel_ms =
+      List.fold_left (fun acc (ms, _) -> Float.min acc ms) infinity par;
+    lf_equivalent =
+      String.equal serial_fp ref_fp
+      && List.for_all (fun (_, fp) -> String.equal fp ref_fp) par;
+  }
+
+let known_formats = [ "physical"; "delta"; "oplog" ]
+
+let log_format_bench ~now ~jobs ~allow_oversubscribe ~formats ~txns =
+  List.iter
+    (fun f ->
+      if not (List.mem f known_formats) then
+        invalid_arg (Printf.sprintf "Storage_bench.run: unknown log format %S" f))
+    formats;
+  let want f = List.mem f formats in
+  let par_jobs = List.filter (fun j -> j > 1) (kept_jobs ~jobs ~allow_oversubscribe) in
+  (* The cross-format reference: the physical engine's serial reference
+     replay (Naive.Log_replay) on the same workload. *)
+  let ref_fp =
+    let t = load_log_engine ~txns () in
+    Engine_log.crash_and_recover_reference t;
+    Engine_log.state_fingerprint t
+  in
+  let physical =
+    format_point
+      (module Engine_log)
+      ~now ~name:"physical" ~txns ~par_jobs ~ref_fp
+      (Engine_log.create_with ~n_keys:256 ())
+  in
+  let delta =
+    if not (want "delta") then None
+    else
+      Some
+        (format_point
+           (module Engine_log)
+           ~now ~name:"delta" ~txns ~par_jobs ~ref_fp
+           (Engine_log.create_with ~n_keys:256 ~log_format:Engine_log.Delta ()))
+  in
+  let oplog =
+    if not (want "oplog") then None
+    else
+      Some
+        (format_point
+           (module Engine_oplog)
+           ~now ~name:"oplog" ~txns ~par_jobs ~ref_fp
+           (Engine_oplog.create_with ~n_keys:256 ()))
+  in
+  (* A format the caller excluded scores [infinity]: "no bytes spent". *)
+  let reduction = function
+    | Some pt when pt.lf_bytes_per_txn > 0. -> physical.lf_bytes_per_txn /. pt.lf_bytes_per_txn
+    | Some _ | None -> infinity
+  in
+  let points = physical :: List.filter_map Fun.id [ delta; oplog ] in
+  (points, reduction delta, reduction oplog, List.for_all (fun p -> p.lf_equivalent) points)
 
 (* --- buffer pool and journal microbenchmarks ------------------------ *)
 
@@ -517,16 +672,28 @@ let server_bench_engine (type a) (module E : SERVER_ENGINE with type t = a) ~loa
    — the top points drive both pipelines well past saturation. *)
 let server_loads = [ 2_000.0; 10_000.0; 40_000.0; 160_000.0; 400_000.0 ]
 
+(* The logging engine on the slimmed (delta) log: the BENCH_7 server
+   sweep re-run over far fewer log bytes per commit. *)
+module Engine_log_delta = struct
+  include Engine_log
+
+  let engine_name = "logging-delta"
+
+  let create ?n_keys () = create_with ?n_keys ~log_format:Delta ()
+end
+
 let server_bench ~scale =
   let n = 800 * scale and seed = 20_250 in
   [
     server_bench_engine (module Engine_log) ~loads:server_loads ~n ~seed;
+    server_bench_engine (module Engine_log_delta) ~loads:server_loads ~n ~seed;
     server_bench_engine (module Engine_diff) ~loads:server_loads ~n ~seed;
   ]
 
 (* --- entry point ---------------------------------------------------- *)
 
-let run ?(scale = 1) ?(jobs = [ 1; 2; 4 ]) ?(allow_oversubscribe = false) ~now () =
+let run ?(scale = 1) ?(jobs = [ 1; 2; 4 ]) ?(allow_oversubscribe = false)
+    ?(log_formats = known_formats) ~now () =
   if scale <= 0 then invalid_arg "Storage_bench.run: scale must be positive";
   if List.exists (fun j -> j < 1) jobs then
     invalid_arg "Storage_bench.run: jobs must all be >= 1";
@@ -542,6 +709,9 @@ let run ?(scale = 1) ?(jobs = [ 1; 2; 4 ]) ?(allow_oversubscribe = false) ~now (
     recovery_vs_jobs ~now ~jobs ~allow_oversubscribe ~txns:txns_l
   in
   let recovery_ckpt, recovery_ckpt_speedup = recovery_vs_checkpoint_age ~now ~txns:txns_l in
+  let log_formats, log_delta_reduction, log_oplog_reduction, log_format_equivalent =
+    log_format_bench ~now ~jobs ~allow_oversubscribe ~formats:log_formats ~txns:txns_l
+  in
   let server = server_bench ~scale in
   let server_speedup =
     List.fold_left (fun acc s -> Float.min acc s.sv_speedup) infinity server
@@ -573,6 +743,10 @@ let run ?(scale = 1) ?(jobs = [ 1; 2; 4 ]) ?(allow_oversubscribe = false) ~now (
     recovery_equivalent =
       List.for_all (fun p -> p.rj_equivalent) recovery_jobs
       && List.for_all (fun p -> p.ck_equivalent) recovery_ckpt;
+    log_formats;
+    log_delta_reduction;
+    log_oplog_reduction;
+    log_format_equivalent;
     server;
     server_speedup;
     server_equivalent;

@@ -9,7 +9,10 @@
     recovery wall time at two log lengths (linearity check), restart
     recovery wall against worker-domain count and against fuzzy
     checkpoint age (each point fingerprint-checked against the serial
-    reference replay), and buffer-pool / journal microbenchmarks.
+    reference replay), a log-format head-to-head (physical full-image
+    vs delta vs operation logging: log bytes per committed transaction,
+    append cost, replay wall, cross-format fingerprint equivalence),
+    and buffer-pool / journal microbenchmarks.
 
     The caller supplies the wall clock so this library stays free of a
     unix dependency; pass [Unix.gettimeofday]. *)
@@ -37,6 +40,25 @@ type recovery_ckpt_point = {
   ck_records : int;  (** durable log records at crash *)
   ck_wall_ms : float;
   ck_equivalent : bool;
+}
+
+type log_format_point = {
+  lf_format : string;  (** ["physical"], ["delta"] or ["oplog"] *)
+  lf_committed_txns : int;
+  lf_records : int;  (** durable log records after the load *)
+  lf_log_bytes : int;  (** durable log volume in bytes *)
+  lf_bytes_per_txn : float;
+  lf_append_ns_per_record : float;
+      (** load wall over records logged — the whole append path (page
+          update, diff/encode, journal append, commit force), not the
+          codec alone *)
+  lf_replay_wall_ms : float;  (** best-of-five serial crash-and-recover *)
+  lf_replay_parallel_ms : float;
+      (** best wall across the parallel job counts (the same list as
+          the recovery-vs-cores curve); [infinity] when none ran *)
+  lf_equivalent : bool;
+      (** recovered fingerprint equals the physical engine's serial
+          reference replay — serially and at every job count *)
 }
 
 type server_point = {
@@ -95,11 +117,23 @@ type t = {
       (** full-replay wall / wall with the newest checkpoint *)
   recovery_equivalent : bool;
       (** every recovery point fingerprint-matched the serial reference *)
+  log_formats : log_format_point list;
+      (** the same committed workload through the three logging
+          granularities — full page images ({!Engine_log} physical),
+          changed-byte-range deltas ({!Engine_log} delta) and operation
+          logging ({!Engine_oplog}) — metering durable log volume,
+          append cost and replay wall; all three recover to the
+          physical engine's reference fingerprint *)
+  log_delta_reduction : float;
+      (** physical log bytes per committed txn over delta's *)
+  log_oplog_reduction : float;  (** same, over the operation log's *)
+  log_format_equivalent : bool;  (** every format point passed *)
   server : server_engine list;
-      (** open-loop transaction server ({!Server}) on the logging and
-          differential engines: a Poisson offered-load sweep through the
-          group-commit pipeline, plus an eager-vs-grouped head-to-head
-          at the top load.  Entirely simulated time — deterministic and
+      (** open-loop transaction server ({!Server}) on the logging
+          engine (physical and delta log formats) and the differential
+          engine: a Poisson offered-load sweep through the group-commit
+          pipeline, plus an eager-vs-grouped head-to-head at the top
+          load.  Entirely simulated time — deterministic and
           machine-independent. *)
   server_speedup : float;  (** worst grouped/eager ratio across engines *)
   server_equivalent : bool;  (** every engine's equivalence check passed *)
@@ -113,6 +147,7 @@ val run :
   ?scale:int ->
   ?jobs:int list ->
   ?allow_oversubscribe:bool ->
+  ?log_formats:string list ->
   now:(unit -> float) ->
   unit ->
   t
@@ -122,5 +157,10 @@ val run :
     host's cores are skipped unless [allow_oversubscribe] (default
     false), and a jobs = 1 point is always included.  On a 1-core host
     an oversubscribed 2-domain point stands in so the curve never comes
-    back empty.
-    @raise Invalid_argument if [scale <= 0] or any job count is [< 1]. *)
+    back empty.  [log_formats] (default all of ["physical"], ["delta"],
+    ["oplog"]) restricts the log-format head-to-head; the physical
+    baseline is always measured (it is the reference the others are
+    fingerprint-checked against), and an excluded format reports an
+    [infinity] reduction.
+    @raise Invalid_argument if [scale <= 0], any job count is [< 1], or
+    a log format name is unknown. *)

@@ -1,7 +1,17 @@
-exception Corrupt of string
+exception Corrupt = Wal_codec.Corrupt
 
 type record =
   | Update of { lsn : int; txn : int; page : int; before : bytes; after : bytes }
+  | Delta of {
+      lsn : int;
+      txn : int;
+      page : int;
+      off : int;
+      prev_lsn : int;
+      before_slice : string;
+      after_slice : string;
+    }
+  | Op of { lsn : int; txn : int; key : int; value : string option }
   | Commit of { lsn : int; txn : int }
   | Abort of { lsn : int; txn : int }
   | Checkpoint of { lsn : int; active : int list }
@@ -13,77 +23,159 @@ type record =
     }
 
 let lsn = function
-  | Update { lsn; _ } | Commit { lsn; _ } | Abort { lsn; _ } | Checkpoint { lsn; _ }
-  | Fuzzy_checkpoint { lsn; _ } ->
+  | Update { lsn; _ } | Delta { lsn; _ } | Op { lsn; _ } | Commit { lsn; _ }
+  | Abort { lsn; _ } | Checkpoint { lsn; _ } | Fuzzy_checkpoint { lsn; _ } ->
     lsn
 
 let txn_of = function
-  | Update { txn; _ } | Commit { txn; _ } | Abort { txn; _ } -> Some txn
+  | Update { txn; _ } | Delta { txn; _ } | Op { txn; _ } | Commit { txn; _ } | Abort { txn; _ } ->
+    Some txn
   | Checkpoint _ | Fuzzy_checkpoint _ -> None
 
-(* --- binary encoding ---------------------------------------------- *)
+(* --- delta computation / application ------------------------------- *)
 
-let add_int buf v =
-  let b = Bytes.create 8 in
-  Bytes.set_int64_le b 0 (Int64.of_int v);
-  Buffer.add_bytes buf b
+(* Common-prefix/suffix diff: the smallest single [off, off+len) range
+   outside which [before] and [after] agree.  [None] when identical. *)
+let diff_range ~before ~after =
+  let n = Bytes.length before in
+  if Bytes.length after <> n then invalid_arg "Wal.diff_range: length mismatch";
+  let p = ref 0 in
+  while !p < n && Bytes.unsafe_get before !p = Bytes.unsafe_get after !p do incr p done;
+  if !p = n then None
+  else begin
+    let q = ref (n - 1) in
+    while Bytes.unsafe_get before !q = Bytes.unsafe_get after !q do decr q done;
+    Some (!p, !q + 1 - !p)
+  end
 
-let add_bytes buf s =
-  add_int buf (Bytes.length s);
-  Buffer.add_bytes buf s
+(* The page's 8-byte LSN header (Page.header_bytes) changes on every
+   update, so a whole-page diff would always start at byte 0 and span to
+   the changed record — position-dependent and near-useless for keys
+   late in the page.  Delta records therefore slice the {e body} only
+   (off >= 8): the header is reproduced from the record itself — [lsn]
+   going forward, [prev_lsn] going backward. *)
+let header_bytes = 8
 
-let checksum s =
-  let h = ref 0 in
-  String.iter (fun c -> h := ((!h * 31) + Char.code c) land 0x3FFFFFFF) s;
-  !h
+let delta_update ~threshold ~lsn ~txn ~page ~before ~after =
+  let n = Bytes.length before in
+  if Bytes.length after <> n then invalid_arg "Wal.delta_update: length mismatch";
+  if n < header_bytes + 1 then Update { lsn; txn; page; before; after }
+  else begin
+    if Int64.to_int (Bytes.get_int64_le after 0) <> lsn then
+      invalid_arg "Wal.delta_update: after image header is not at the record LSN";
+    let prev_lsn = Int64.to_int (Bytes.get_int64_le before 0) in
+    (* Common-prefix/suffix diff over the body alone. *)
+    let p = ref header_bytes in
+    while !p < n && Bytes.unsafe_get before !p = Bytes.unsafe_get after !p do incr p done;
+    let off, len =
+      if !p = n then (header_bytes, 0)
+      else begin
+        let q = ref (n - 1) in
+        while Bytes.unsafe_get before !q = Bytes.unsafe_get after !q do decr q done;
+        (!p, !q + 1 - !p)
+      end
+    in
+    if 2 * len <= threshold then
+      Delta
+        {
+          lsn;
+          txn;
+          page;
+          off;
+          prev_lsn;
+          before_slice = Bytes.sub_string before off len;
+          after_slice = Bytes.sub_string after off len;
+        }
+    else Update { lsn; txn; page; before; after }
+  end
 
-let encode r =
-  let buf = Buffer.create 64 in
+let apply_slice image ~off slice =
+  let len = String.length slice in
+  if off < 0 || off + len > Bytes.length image then raise (Corrupt "delta slice out of range");
+  Bytes.blit_string slice 0 image off len
+
+(* --- binary encoding ------------------------------------------------ *)
+
+(* v2 framing (Wal_codec): tag byte, then the fixed 8-byte LSN — and,
+   for the transaction-bearing shapes, the fixed 8-byte txn id — so the
+   unchecked peeks below keep their O(1) offsets; everything after the
+   fixed header is varint-framed; word-at-a-time FNV checksum trailer.
+
+   v2 tags are lowercase.  The uppercase tags of the pre-codec format
+   (fixed 8-byte fields throughout, 31-polynomial checksum) remain
+   decodable below, so journals holding old encodings still replay. *)
+
+let encode_with enc r =
+  let open Wal_codec.Enc in
   (match r with
   | Update { lsn; txn; page; before; after } ->
-    Buffer.add_char buf 'U';
-    add_int buf lsn;
-    add_int buf txn;
-    add_int buf page;
-    add_bytes buf before;
-    add_bytes buf after
+    reset enc ~tag:'u';
+    int64 enc lsn;
+    int64 enc txn;
+    varint enc page;
+    bytes enc before;
+    bytes enc after
+  | Delta { lsn; txn; page; off; prev_lsn; before_slice; after_slice } ->
+    if String.length before_slice <> String.length after_slice then
+      invalid_arg "Wal.encode: delta slice length mismatch";
+    reset enc ~tag:'d';
+    int64 enc lsn;
+    int64 enc txn;
+    varint enc page;
+    varint enc off;
+    varint enc prev_lsn;
+    varint enc (String.length before_slice);
+    (* One shared length prefix; the two slices are the same size by
+       construction (they cover the same byte range). *)
+    substring enc before_slice ~pos:0 ~len:(String.length before_slice);
+    substring enc after_slice ~pos:0 ~len:(String.length after_slice)
+  | Op { lsn; txn; key; value } ->
+    reset enc ~tag:'o';
+    int64 enc lsn;
+    int64 enc txn;
+    varint enc key;
+    (match value with
+    | None -> byte enc 0
+    | Some v ->
+      byte enc 1;
+      string enc v)
   | Commit { lsn; txn } ->
-    Buffer.add_char buf 'C';
-    add_int buf lsn;
-    add_int buf txn
+    reset enc ~tag:'c';
+    int64 enc lsn;
+    int64 enc txn
   | Abort { lsn; txn } ->
-    Buffer.add_char buf 'A';
-    add_int buf lsn;
-    add_int buf txn
+    reset enc ~tag:'a';
+    int64 enc lsn;
+    int64 enc txn
   | Checkpoint { lsn; active } ->
-    Buffer.add_char buf 'K';
-    add_int buf lsn;
-    add_int buf (List.length active);
-    List.iter (add_int buf) active
+    reset enc ~tag:'k';
+    int64 enc lsn;
+    varint enc (List.length active);
+    List.iter (varint enc) active
   | Fuzzy_checkpoint { lsn; start_lsn; active; dirty } ->
-    Buffer.add_char buf 'F';
-    add_int buf lsn;
-    add_int buf start_lsn;
-    add_int buf (List.length active);
-    List.iter (add_int buf) active;
-    add_int buf (List.length dirty);
+    reset enc ~tag:'f';
+    int64 enc lsn;
+    varint enc start_lsn;
+    varint enc (List.length active);
+    List.iter (varint enc) active;
+    varint enc (List.length dirty);
     List.iter
       (fun (page, rec_lsn) ->
-        add_int buf page;
-        add_int buf rec_lsn)
+        varint enc page;
+        varint enc rec_lsn)
       dirty);
-  let body = Buffer.contents buf in
-  let tail = Bytes.create 8 in
-  Bytes.set_int64_le tail 0 (Int64.of_int (checksum body));
-  body ^ Bytes.to_string tail
+  finish enc
 
-(* --- unchecked peeks ----------------------------------------------- *)
+let encode r = encode_with (Wal_codec.Enc.create ()) r
+
+(* --- unchecked peeks ------------------------------------------------ *)
 
 (* Every record shape places its LSN at bytes 1-8 (after the tag) and —
-   for the transaction-bearing shapes U/C/A — its txn id at bytes 9-16,
-   so both read with two loads and no checksum pass.  Safe only on
-   records the engine itself appended (the in-memory journals hold
-   exactly what [encode] produced); [decode] remains the checked path. *)
+   for the transaction-bearing shapes — its txn id at bytes 9-16, in
+   both the legacy and v2 framings, so both read with two loads and no
+   checksum pass.  Safe only on records the engine itself appended (the
+   in-memory journals hold exactly what [encode] produced); [decode]
+   remains the checked path. *)
 
 let peek_lsn s =
   if String.length s < 17 then raise (Corrupt "record too short");
@@ -92,35 +184,121 @@ let peek_lsn s =
 let peek_txn s =
   if String.length s < 17 then raise (Corrupt "record too short");
   match s.[0] with
-  | 'U' | 'C' | 'A' ->
+  | 'U' | 'C' | 'A' | 'u' | 'd' | 'o' | 'c' | 'a' ->
     if String.length s < 25 then raise (Corrupt "record too short");
     Some (Int64.to_int (String.get_int64_le s 9))
   | _ -> None
 
-let peek_is_fuzzy_checkpoint s = String.length s > 0 && s.[0] = 'F'
+let peek_is_fuzzy_checkpoint s =
+  String.length s > 0 && (s.[0] = 'f' || s.[0] = 'F')
 
-type cursor = { s : string; mutable pos : int }
+(* --- v2 decode ------------------------------------------------------ *)
+
+let decode_v2 s =
+  let open Wal_codec.Dec in
+  let c = start s in
+  let r =
+    match Wal_codec.Dec.tag s with
+    | 'u' ->
+      let lsn = int64 c in
+      let txn = int64 c in
+      let page = varint c in
+      let before = bytes c in
+      let after = bytes c in
+      Update { lsn; txn; page; before; after }
+    | 'd' ->
+      let lsn = int64 c in
+      let txn = int64 c in
+      let page = varint c in
+      let off = varint c in
+      let prev_lsn = varint c in
+      let len = varint c in
+      let before_slice = string c in
+      let after_slice = string c in
+      if off < header_bytes then raise (Corrupt "delta slice overlaps the page header");
+      if String.length before_slice <> len || String.length after_slice <> len then
+        raise (Corrupt "delta slice length mismatch");
+      Delta { lsn; txn; page; off; prev_lsn; before_slice; after_slice }
+    | 'o' ->
+      let lsn = int64 c in
+      let txn = int64 c in
+      let key = varint c in
+      let value =
+        match byte c with
+        | 0 -> None
+        | 1 -> Some (string c)
+        | _ -> raise (Corrupt "bad op flag")
+      in
+      Op { lsn; txn; key; value }
+    | 'c' ->
+      let lsn = int64 c in
+      let txn = int64 c in
+      Commit { lsn; txn }
+    | 'a' ->
+      let lsn = int64 c in
+      let txn = int64 c in
+      Abort { lsn; txn }
+    | 'k' ->
+      let lsn = int64 c in
+      let n = varint c in
+      let active = List.init n (fun _ -> varint c) in
+      Checkpoint { lsn; active }
+    | 'f' ->
+      let lsn = int64 c in
+      let start_lsn = varint c in
+      let n = varint c in
+      let active = List.init n (fun _ -> varint c) in
+      let d = varint c in
+      let dirty =
+        List.init d (fun _ ->
+            let page = varint c in
+            let rec_lsn = varint c in
+            (page, rec_lsn))
+      in
+      Fuzzy_checkpoint { lsn; start_lsn; active; dirty }
+    | tag -> raise (Corrupt (Printf.sprintf "unknown tag %C" tag))
+  in
+  if not (finished c) then raise (Corrupt "trailing bytes");
+  r
+
+(* --- legacy decode -------------------------------------------------- *)
+
+(* The pre-codec format: uppercase tags, every integer a fixed 8-byte
+   field, 31-polynomial checksum.  Kept so journals written before the
+   codec change (persisted fixtures, mixed-version tests) still
+   decode; [encode] never emits it. *)
+
+let legacy_checksum s stop =
+  let h = ref 0 in
+  for i = 0 to stop - 1 do
+    h := ((!h * 31) + Char.code (String.unsafe_get s i)) land 0x3FFFFFFF
+  done;
+  !h
+
+type legacy_cursor = { ls : string; mutable lpos : int; llimit : int }
 
 let take_int c =
-  if c.pos + 8 > String.length c.s then raise (Corrupt "truncated integer");
-  let v = Int64.to_int (String.get_int64_le c.s c.pos) in
-  c.pos <- c.pos + 8;
+  if c.lpos + 8 > c.llimit then raise (Corrupt "truncated integer");
+  let v = Int64.to_int (String.get_int64_le c.ls c.lpos) in
+  c.lpos <- c.lpos + 8;
   v
 
 let take_bytes c =
   let len = take_int c in
-  if len < 0 || c.pos + len > String.length c.s then raise (Corrupt "truncated payload");
-  let b = Bytes.of_string (String.sub c.s c.pos len) in
-  c.pos <- c.pos + len;
+  if len < 0 || c.lpos + len > c.llimit then raise (Corrupt "truncated payload");
+  (* Single copy (the old path went String.sub then Bytes.of_string). *)
+  let b = Bytes.create len in
+  Bytes.blit_string c.ls c.lpos b 0 len;
+  c.lpos <- c.lpos + len;
   b
 
-let decode s =
+let decode_legacy s =
   if String.length s < 9 then raise (Corrupt "record too short");
-  let body = String.sub s 0 (String.length s - 8) in
-  let stored = Int64.to_int (String.get_int64_le s (String.length s - 8)) in
-  if checksum body <> stored then raise (Corrupt "checksum mismatch");
-  let c = { s = body; pos = 1 } in
-  match body.[0] with
+  let body = String.length s - 8 in
+  let stored = Int64.to_int (String.get_int64_le s body) in
+  if legacy_checksum s body <> stored then raise (Corrupt "checksum mismatch");
+  let c = { ls = s; lpos = 1; llimit = body } in
+  match s.[0] with
   | 'U' ->
     let lsn = take_int c in
     let txn = take_int c in
@@ -159,8 +337,70 @@ let decode s =
     Fuzzy_checkpoint { lsn; start_lsn; active; dirty }
   | tag -> raise (Corrupt (Printf.sprintf "unknown tag %C" tag))
 
+let encode_legacy r =
+  let buf = Buffer.create 64 in
+  let add_int v =
+    let b = Bytes.create 8 in
+    Bytes.set_int64_le b 0 (Int64.of_int v);
+    Buffer.add_bytes buf b
+  in
+  let add_bytes s =
+    add_int (Bytes.length s);
+    Buffer.add_bytes buf s
+  in
+  (match r with
+  | Update { lsn; txn; page; before; after } ->
+    Buffer.add_char buf 'U';
+    add_int lsn;
+    add_int txn;
+    add_int page;
+    add_bytes before;
+    add_bytes after
+  | Commit { lsn; txn } ->
+    Buffer.add_char buf 'C';
+    add_int lsn;
+    add_int txn
+  | Abort { lsn; txn } ->
+    Buffer.add_char buf 'A';
+    add_int lsn;
+    add_int txn
+  | Checkpoint { lsn; active } ->
+    Buffer.add_char buf 'K';
+    add_int lsn;
+    add_int (List.length active);
+    List.iter add_int active
+  | Fuzzy_checkpoint { lsn; start_lsn; active; dirty } ->
+    Buffer.add_char buf 'F';
+    add_int lsn;
+    add_int start_lsn;
+    add_int (List.length active);
+    List.iter add_int active;
+    add_int (List.length dirty);
+    List.iter
+      (fun (page, rec_lsn) ->
+        add_int page;
+        add_int rec_lsn)
+      dirty
+  | Delta _ | Op _ -> invalid_arg "Wal.encode_legacy: no legacy framing for this shape");
+  let body = Buffer.contents buf in
+  let tail = Bytes.create 8 in
+  Bytes.set_int64_le tail 0 (Int64.of_int (legacy_checksum body (String.length body)));
+  body ^ Bytes.to_string tail
+
+let decode s =
+  if String.length s = 0 then raise (Corrupt "empty record");
+  match s.[0] with
+  | 'U' | 'C' | 'A' | 'K' | 'F' -> decode_legacy s
+  | _ -> decode_v2 s
+
 let pp ppf = function
   | Update { lsn; txn; page; _ } -> Format.fprintf ppf "Update(lsn=%d txn=%d page=%d)" lsn txn page
+  | Delta { lsn; txn; page; off; prev_lsn; before_slice; _ } ->
+    Format.fprintf ppf "Delta(lsn=%d prev=%d txn=%d page=%d [%d,%d))" lsn prev_lsn txn page off
+      (off + String.length before_slice)
+  | Op { lsn; txn; key; value } ->
+    Format.fprintf ppf "Op(lsn=%d txn=%d %s)" lsn txn
+      (match value with Some v -> Printf.sprintf "put %d=%S" key v | None -> Printf.sprintf "del %d" key)
   | Commit { lsn; txn } -> Format.fprintf ppf "Commit(lsn=%d txn=%d)" lsn txn
   | Abort { lsn; txn } -> Format.fprintf ppf "Abort(lsn=%d txn=%d)" lsn txn
   | Checkpoint { lsn; active } ->

@@ -1,14 +1,47 @@
 (** Write-ahead log records and their binary encoding.
 
-    Update records carry full before and after images of the page, as
-    in the paper's physical logging; LSNs are globally ordered across
-    all log disks, which is what lets recovery proceed without merging
-    the distributed logs into one physical log (Section 3.1, [13]). *)
+    Three logging granularities share one record type and one framing
+    layer ({!Wal_codec}):
+
+    - {b physical}: {!Update} carries full before and after images of
+      the page, as in the paper's logging architecture; LSNs are
+      globally ordered across all log disks, which is what lets
+      recovery proceed without merging the distributed logs into one
+      physical log (Section 3.1, [13]);
+    - {b delta}: {!Delta} carries only the changed byte range of the
+      page (a common-prefix/suffix diff of the two images), applied at
+      replay by patching an image in place — far smaller records for
+      small in-place value updates;
+    - {b logical}: {!Op} carries the operation itself
+      ([insert(k,v)]/[delete(k)]); replay re-executes it instead of
+      restoring images (Lomet's logical recovery, ROADMAP item 5b). *)
 
 exception Corrupt of string
 
 type record =
   | Update of { lsn : int; txn : int; page : int; before : bytes; after : bytes }
+  | Delta of {
+      lsn : int;
+      txn : int;
+      page : int;
+      off : int;
+      prev_lsn : int;
+      before_slice : string;
+      after_slice : string;
+    }
+      (** The page {e body} changed only in [off, off + length
+          before_slice): [before_slice]/[after_slice] are the old and
+          new bytes of that range (equal length by construction).  The
+          8-byte page-header LSN — which changes on every update and
+          would otherwise drag the diff range back to byte 0 — is never
+          sliced ([off >= 8]); replay reproduces it from the record
+          itself: [lsn] applying forward, [prev_lsn] (the header of the
+          before image) applying backward.  Carrying both slices keeps
+          the record invertible, so replay can walk a page's chain in
+          either direction. *)
+  | Op of { lsn : int; txn : int; key : int; value : string option }
+      (** Operation logging: [Some v] is [insert/put key v], [None] is
+          [delete key].  No images at all — replay re-executes. *)
   | Commit of { lsn : int; txn : int }
   | Abort of { lsn : int; txn : int }
   | Checkpoint of { lsn : int; active : int list }
@@ -35,23 +68,68 @@ val lsn : record -> int
 val txn_of : record -> int option
 (** [None] for checkpoints. *)
 
+(** {2 Delta computation}
+
+    The diff that decides between {!Delta} and a full {!Update}. *)
+
+val diff_range : before:bytes -> after:bytes -> (int * int) option
+(** The smallest single [(off, len)] range outside which the two
+    images agree (common-prefix/suffix diff); [None] when identical.
+    @raise Invalid_argument on images of different length. *)
+
+val delta_update :
+  threshold:int -> lsn:int -> txn:int -> page:int -> before:bytes -> after:bytes -> record
+(** A {!Delta} when the changed {e body} range is small enough that
+    both slices together fit in [threshold] bytes
+    ([2 * len <= threshold]); a full {!Update} past the threshold (a
+    near-total rewrite gains nothing from slicing) or when the images
+    are too small to carry the 8-byte page header.  The diff skips the
+    header: [prev_lsn] is read from the before image, and the after
+    image's header must already hold [lsn] (the engine stamps it before
+    logging).
+    @raise Invalid_argument on images of different length, or when the
+    after image's header is not at [lsn]. *)
+
+val apply_slice : bytes -> off:int -> string -> unit
+(** Patch [slice] into the image at [off] — how replay applies one side
+    of a {!Delta}.  @raise Corrupt when the range exceeds the image. *)
+
+(** {2 Encoding} *)
+
 val encode : record -> string
-(** Binary encoding with a trailing checksum. *)
+(** Binary encoding with a trailing checksum ({!Wal_codec} framing).
+    Allocates a fresh scratch per call; engines on a hot append path
+    use {!encode_with} with a reusable one. *)
+
+val encode_with : Wal_codec.Enc.t -> record -> string
+(** {!encode} through the caller's scratch buffer: fields are blitted
+    straight into it and the returned string is the single allocation
+    (the journal's copy of the record). *)
 
 val decode : string -> record
-(** @raise Corrupt on a damaged or truncated encoding (checksum
-    mismatch, bad tag, short buffer). *)
+(** Checked decode, one payload copy.  Dispatches on the tag byte:
+    lowercase tags are the {!Wal_codec} framing, uppercase tags the
+    pre-codec legacy format (fixed-width fields, 31-polynomial
+    checksum), so journals written before the codec change still
+    decode.
+    @raise Corrupt on a damaged or truncated encoding (checksum
+    mismatch, bad tag, short buffer, trailing bytes). *)
+
+val encode_legacy : record -> string
+(** The pre-codec encoding, kept for mixed-version round-trip tests.
+    @raise Invalid_argument on {!Delta}/{!Op}, which postdate it. *)
 
 (** {2 Unchecked peeks}
 
     Every record shape stores its LSN at a fixed offset right after the
     tag byte, and the transaction-bearing shapes store their txn id just
-    past it, so both read in O(1) without the checksum pass [decode]
-    pays.  These trust the framing: they are only safe on records the
-    engine itself appended (the in-memory journals hold exactly what
-    [encode] produced).  Recovery uses them to locate the replay suffix
-    and rebuild indexes without decoding — and checksumming — the log
-    prefix a fuzzy checkpoint lets it skip. *)
+    past it — in the legacy and codec framings both — so both read in
+    O(1) without the checksum pass [decode] pays.  These trust the
+    framing: they are only safe on records the engine itself appended
+    (the in-memory journals hold exactly what [encode] produced).
+    Recovery uses them to locate the replay suffix and rebuild indexes
+    without decoding — and checksumming — the log prefix a fuzzy
+    checkpoint lets it skip. *)
 
 val peek_lsn : string -> int
 (** The encoded record's LSN, without checksum verification. *)

@@ -40,3 +40,10 @@ val fnv64 : string -> int64
 
 val fnv64_hex : string -> string
 (** {!fnv64} as 16 lowercase hex characters. *)
+
+val fnv64_words : string -> pos:int -> len:int -> int64
+(** Word-at-a-time FNV-1a over [s.[pos .. pos+len)]: folds 8 bytes per
+    multiply, ~8x cheaper than {!fnv64} on page-sized payloads.  A
+    {e different} function than {!fnv64} (fold width changes the value);
+    mixes the trailing partial word and the length.  The WAL codec's
+    record checksum.  @raise Invalid_argument on a bad range. *)

@@ -9,6 +9,7 @@
 
 module Kv = Dbm_storage.Kv
 module Engine_log = Dbm_storage.Engine_log
+module Engine_oplog = Dbm_storage.Engine_oplog
 module Engine_shadow = Dbm_storage.Engine_shadow
 module Engine_versel = Dbm_storage.Engine_versel
 module Engine_overwrite = Dbm_storage.Engine_overwrite
@@ -274,6 +275,14 @@ module Log_unmerged = Crash_harness (struct
     e
 end)
 
+module Log_delta = Crash_harness (struct
+  include Engine_log
+
+  let engine_name = "logging-delta-records"
+  let create ?n_keys () = create_with ?n_keys ~log_format:Engine_log.Delta ()
+end)
+
+module Oplog_h = Crash_harness (Engine_oplog)
 module Shadow_h = Crash_harness (Engine_shadow)
 module Versel_h = Crash_harness (Engine_versel)
 module No_undo_h = Crash_harness (Engine_overwrite.No_undo)
@@ -645,6 +654,186 @@ let test_diff_newest_wins () =
   check (Alcotest.option Alcotest.string) "A beats older D" (Some "second") (Engine_diff.get t 0);
   Engine_diff.abort t
 
+(* --- log-format head-to-head: physical / delta / logical -------------- *)
+
+(* The three formats' LSN streams are aligned by construction (one LSN
+   per update, one per commit/abort, one per abort-restored page), so on
+   the same history they must recover to identical state fingerprints —
+   page images, header LSNs and re-seeded counters alike.  Run the same
+   random op script against two engines and compare the fingerprint
+   after every crash, after the final crash, and after the serial
+   reference recovery. *)
+module type Fp_engine = sig
+  include Kv.S
+
+  val crash_and_recover_reference : t -> unit
+  val state_fingerprint : t -> string
+end
+
+module Fp_harness (E : Fp_engine) = struct
+  let run ops =
+    let e = E.create ~n_keys () in
+    let live = ref None in
+    let fps = ref [] in
+    let ensure () =
+      match !live with
+      | Some t -> t
+      | None ->
+        let t = E.begin_txn e in
+        live := Some t;
+        t
+    in
+    List.iter
+      (fun op ->
+        match op with
+        | Put (k, v) -> E.put (ensure ()) k v
+        | Delete k -> E.delete (ensure ()) k
+        | Commit ->
+          (match !live with
+          | Some t ->
+            E.commit t;
+            live := None
+          | None -> ())
+        | Abort ->
+          (match !live with
+          | Some t ->
+            E.abort t;
+            live := None
+          | None -> ())
+        | Crash ->
+          live := None;
+          E.crash_and_recover e;
+          fps := E.state_fingerprint e :: !fps
+        | Checkpoint -> if !live = None then E.checkpoint e)
+      ops;
+    (match !live with
+    | Some t ->
+      E.commit t;
+      live := None
+    | None -> ());
+    E.crash_and_recover e;
+    fps := E.state_fingerprint e :: !fps;
+    E.crash_and_recover_reference e;
+    fps := E.state_fingerprint e :: !fps;
+    List.rev !fps
+end
+
+module Fp_physical = Fp_harness (Engine_log)
+
+module Fp_delta = Fp_harness (struct
+  include Engine_log
+
+  let create ?n_keys () = create_with ?n_keys ~log_format:Engine_log.Delta ()
+end)
+
+module Fp_oplog = Fp_harness (Engine_oplog)
+
+let prop_delta_fingerprint_parity =
+  QCheck.Test.make ~name:"delta log recovers to the physical fingerprint" ~count:100
+    ops_arbitrary (fun ops -> Fp_physical.run ops = Fp_delta.run ops)
+
+let prop_oplog_fingerprint_parity =
+  QCheck.Test.make ~name:"operation log recovers to the physical fingerprint" ~count:100
+    ops_arbitrary (fun ops -> Fp_physical.run ops = Fp_oplog.run ops)
+
+let test_delta_steal_then_crash_matches_physical () =
+  (* a steal (flush with a live loser) is the sharpest delta-chain test:
+     the durable base holds the loser's bytes and replay must unwind
+     through delta records to reproduce the rollback *)
+  let build fmt =
+    let e = Engine_log.create_with ~log_format:fmt () in
+    let t = Engine_log.begin_txn e in
+    Engine_log.put t 1 "committed-1";
+    Engine_log.put t 9 "committed-9";
+    Engine_log.commit t;
+    let t = Engine_log.begin_txn e in
+    Engine_log.put t 1 "churn-a";
+    Engine_log.put t 1 "churn-b";
+    Engine_log.commit t;
+    let loser = Engine_log.begin_txn e in
+    Engine_log.put loser 1 "loser";
+    Engine_log.put loser 5 "loser";
+    Engine_log.flush e;
+    (* steal: loser pages durable *)
+    Engine_log.crash_and_recover e;
+    e
+  in
+  let p = build Engine_log.Physical and d = build Engine_log.Delta in
+  check Alcotest.string "fingerprints equal after steal+crash"
+    (Engine_log.state_fingerprint p) (Engine_log.state_fingerprint d);
+  let t = Engine_log.begin_txn d in
+  check (Alcotest.option Alcotest.string) "winner survived" (Some "churn-b") (Engine_log.get t 1);
+  check (Alcotest.option Alcotest.string) "stolen loser page rolled back" None
+    (Engine_log.get t 5);
+  Engine_log.abort t
+
+let test_delta_log_diet () =
+  (* repeated small in-place updates: delta records must at least halve
+     the log volume relative to full before/after images *)
+  let run fmt =
+    let e = Engine_log.create_with ~log_format:fmt () in
+    for i = 0 to 199 do
+      let t = Engine_log.begin_txn e in
+      Engine_log.put t (i mod 8) (Printf.sprintf "v%03d" i);
+      Engine_log.commit t
+    done;
+    e
+  in
+  let p = run Engine_log.Physical and d = run Engine_log.Delta in
+  let pb = Engine_log.log_bytes p and db = Engine_log.log_bytes d in
+  check Alcotest.bool
+    (Printf.sprintf "delta log at most half the physical log (%d vs %d bytes)" db pb)
+    true
+    (2 * db <= pb);
+  Engine_log.crash_and_recover p;
+  Engine_log.crash_and_recover d;
+  check Alcotest.string "same recovered fingerprint" (Engine_log.state_fingerprint p)
+    (Engine_log.state_fingerprint d)
+
+let test_oplog_log_diet () =
+  let run_log () =
+    let e = Engine_log.create () in
+    for i = 0 to 199 do
+      let t = Engine_log.begin_txn e in
+      Engine_log.put t (i mod 8) (Printf.sprintf "v%03d" i);
+      Engine_log.commit t
+    done;
+    Engine_log.log_bytes e
+  in
+  let run_oplog () =
+    let e = Engine_oplog.create () in
+    for i = 0 to 199 do
+      let t = Engine_oplog.begin_txn e in
+      Engine_oplog.put t (i mod 8) (Printf.sprintf "v%03d" i);
+      Engine_oplog.commit t
+    done;
+    Engine_oplog.log_bytes e
+  in
+  let pb = run_log () and ob = run_oplog () in
+  check Alcotest.bool
+    (Printf.sprintf "operation log an order of magnitude smaller (%d vs %d bytes)" ob pb)
+    true
+    (10 * ob <= pb)
+
+let test_oplog_no_steal_gate () =
+  (* flush with a live writer must not force the dirty page to the
+     durable image: a crash right after may not surface the uncommitted
+     value *)
+  let e = Engine_oplog.create () in
+  let t = Engine_oplog.begin_txn e in
+  Engine_oplog.put t 1 "committed";
+  Engine_oplog.commit t;
+  Engine_oplog.flush e;
+  let loser = Engine_oplog.begin_txn e in
+  Engine_oplog.put loser 1 "uncommitted";
+  Engine_oplog.flush e;
+  (* gated: no data force *)
+  Engine_oplog.crash_and_recover e;
+  let t2 = Engine_oplog.begin_txn e in
+  check (Alcotest.option Alcotest.string) "uncommitted never durable" (Some "committed")
+    (Engine_oplog.get t2 1);
+  Engine_oplog.abort t2
+
 let specific =
   [
     Alcotest.test_case "log: WAL order" `Quick test_log_wal_order;
@@ -679,6 +868,13 @@ let specific =
     Alcotest.test_case "diff: auto-merge bounds files" `Quick test_diff_auto_merge_bounds_files;
     Alcotest.test_case "diff: merge needs quiescence" `Quick test_diff_merge_requires_quiescence;
     Alcotest.test_case "diff: newest wins" `Quick test_diff_newest_wins;
+    Alcotest.test_case "delta: steal then crash matches physical" `Quick
+      test_delta_steal_then_crash_matches_physical;
+    Alcotest.test_case "delta: log diet >= 2x" `Quick test_delta_log_diet;
+    Alcotest.test_case "oplog: log diet >= 10x" `Quick test_oplog_log_diet;
+    Alcotest.test_case "oplog: no-steal gate" `Quick test_oplog_no_steal_gate;
+    QCheck_alcotest.to_alcotest prop_delta_fingerprint_parity;
+    QCheck_alcotest.to_alcotest prop_oplog_fingerprint_parity;
   ]
 
 let () =
@@ -689,6 +885,8 @@ let () =
       Log3_by_txn.suite;
       Log_by_page.suite;
       Log_unmerged.suite;
+      Log_delta.suite;
+      Oplog_h.suite;
       Shadow_h.suite;
       Versel_h.suite;
       No_undo_h.suite;

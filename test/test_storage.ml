@@ -220,7 +220,19 @@ let sample_records =
     Wal.Abort { lsn = 9; txn = 4 };
     Wal.Checkpoint { lsn = 10; active = [ 5; 6 ] };
     Wal.Checkpoint { lsn = 11; active = [] };
+    Wal.Delta
+      { lsn = 12; txn = 5; page = 2; off = 17; prev_lsn = 4; before_slice = "old"; after_slice = "new" };
+    Wal.Delta { lsn = 13; txn = 5; page = 0; off = 8; prev_lsn = 0; before_slice = ""; after_slice = "" };
+    Wal.Op { lsn = 14; txn = 6; key = 31; value = Some "payload" };
+    Wal.Op { lsn = 15; txn = 6; key = 0; value = None };
+    Wal.Fuzzy_checkpoint { lsn = 16; start_lsn = 3; active = [ 1; 2 ]; dirty = [ (0, 3); (7, 9) ] };
+    Wal.Fuzzy_checkpoint { lsn = 17; start_lsn = 17; active = []; dirty = [] };
   ]
+
+(* Every record shape that predates the codec; [encode_legacy] still
+   produces the old fixed-width framing for them. *)
+let legacy_shapes =
+  List.filter (function Wal.Delta _ | Wal.Op _ -> false | _ -> true) sample_records
 
 let test_wal_roundtrip () =
   List.iter
@@ -243,34 +255,219 @@ let test_wal_truncated () =
   | exception Wal.Corrupt _ -> ()
   | _ -> Alcotest.fail "truncated record accepted"
 
+let test_wal_legacy_roundtrip () =
+  (* journals written before the codec change must still decode: the
+     uppercase-tag legacy framing is dispatched on the tag byte *)
+  List.iter
+    (fun r ->
+      let r' = Wal.decode (Wal.encode_legacy r) in
+      if r <> r' then
+        Alcotest.failf "legacy roundtrip failed for %s" (Format.asprintf "%a" Wal.pp r))
+    legacy_shapes;
+  match Wal.encode_legacy (Wal.Op { lsn = 1; txn = 1; key = 0; value = None }) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "legacy encoding of a post-codec shape accepted"
+
+let test_wal_peeks_agree_across_framings () =
+  List.iter
+    (fun r ->
+      let s = Wal.encode r in
+      check Alcotest.int "peek_lsn (codec)" (Wal.lsn r) (Wal.peek_lsn s);
+      check (Alcotest.option Alcotest.int) "peek_txn (codec)" (Wal.txn_of r) (Wal.peek_txn s);
+      check Alcotest.bool "peek fuzzy (codec)"
+        (match r with Wal.Fuzzy_checkpoint _ -> true | _ -> false)
+        (Wal.peek_is_fuzzy_checkpoint s))
+    sample_records;
+  List.iter
+    (fun r ->
+      let s = Wal.encode_legacy r in
+      check Alcotest.int "peek_lsn (legacy)" (Wal.lsn r) (Wal.peek_lsn s);
+      check (Alcotest.option Alcotest.int) "peek_txn (legacy)" (Wal.txn_of r) (Wal.peek_txn s))
+    legacy_shapes
+
+let test_wal_encode_allocation_bounded () =
+  (* the scratch-buffer encoder's one allocation per record is the
+     returned string: ~(record size / 8) words.  The old Buffer path
+     (8-byte boxes per int, body-then-checksum concat) was several
+     times that. *)
+  let page = 1024 in
+  let r =
+    Wal.Update
+      { lsn = 123456; txn = 789; page = 42; before = Bytes.make page 'b'; after = Bytes.make page 'a' }
+  in
+  let enc = Dbm_storage.Wal_codec.Enc.create ~size:(2 * page + 64) () in
+  ignore (Sys.opaque_identity (Wal.encode_with enc r));
+  let before = Gc.minor_words () in
+  for _ = 1 to 1000 do
+    ignore (Sys.opaque_identity (Wal.encode_with enc r))
+  done;
+  let words_per_call = (Gc.minor_words () -. before) /. 1000.0 in
+  (* the two 1024-byte images encode to ~2080 bytes = ~261 words *)
+  if words_per_call > 320.0 then
+    Alcotest.failf "encode_with allocates %.0f words/call (want ~261: result string only)"
+      words_per_call
+
+let test_wal_decode_allocation_bounded () =
+  (* decode extracts each image with exactly one copy; the old cursor
+     path copied every payload twice *)
+  let page = 1024 in
+  let s =
+    Wal.encode
+      (Wal.Update
+         { lsn = 123456; txn = 789; page = 42; before = Bytes.make page 'b'; after = Bytes.make page 'a' })
+  in
+  ignore (Sys.opaque_identity (Wal.decode s));
+  let before = Gc.minor_words () in
+  for _ = 1 to 1000 do
+    ignore (Sys.opaque_identity (Wal.decode s))
+  done;
+  let words_per_call = (Gc.minor_words () -. before) /. 1000.0 in
+  (* two 1024-byte images = ~258 words + the record block; double-copy
+     would be ~520+ *)
+  if words_per_call > 340.0 then
+    Alcotest.failf "decode allocates %.0f words/call (payloads copied twice?)" words_per_call
+
 let test_wal_accessors () =
   check Alcotest.int "lsn" 8 (Wal.lsn (Wal.Commit { lsn = 8; txn = 3 }));
   check (Alcotest.option Alcotest.int) "txn" (Some 3) (Wal.txn_of (Wal.Commit { lsn = 8; txn = 3 }));
   check (Alcotest.option Alcotest.int) "checkpoint has no txn" None
     (Wal.txn_of (Wal.Checkpoint { lsn = 1; active = [] }))
 
+(* Generator over every record shape the codec frames. *)
+let wal_record_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map2 (fun lsn txn -> Wal.Commit { lsn; txn }) (int_range 0 1000) (int_range 0 1000);
+        map2 (fun lsn txn -> Wal.Abort { lsn; txn }) (int_range 0 1000) (int_range 0 1000);
+        map
+          (fun (lsn, txn, page, b, a) ->
+            Wal.Update
+              { lsn; txn; page; before = Bytes.of_string b; after = Bytes.of_string a })
+          (tup5 (int_range 0 1000) (int_range 0 1000) (int_range 0 1000)
+             (string_size (int_range 0 40))
+             (string_size (int_range 0 40)));
+        (int_range 0 30 >>= fun n ->
+         map
+           (fun (lsn, txn, page, off, prev_lsn, (b, a)) ->
+             Wal.Delta { lsn; txn; page; off; prev_lsn; before_slice = b; after_slice = a })
+           (tup6 (int_range 0 1000) (int_range 0 1000) (int_range 0 1000)
+              (* slices never overlap the 8-byte page header *)
+              (int_range 8 2000) (int_range 0 1000)
+              (tup2 (string_size (return n)) (string_size (return n)))));
+        map
+          (fun (lsn, txn, key, value) -> Wal.Op { lsn; txn; key; value })
+          (tup4 (int_range 0 1000) (int_range 0 1000) (int_range 0 1000)
+             (option (string_size (int_range 0 40))));
+        map2
+          (fun lsn active -> Wal.Checkpoint { lsn; active })
+          (int_range 0 1000)
+          (small_list (int_range 0 100));
+        map
+          (fun (lsn, start_lsn, active, dirty) ->
+            Wal.Fuzzy_checkpoint { lsn; start_lsn; active; dirty })
+          (tup4 (int_range 0 1000) (int_range 0 1000)
+             (small_list (int_range 0 100))
+             (small_list (pair (int_range 0 100) (int_range 0 1000))));
+      ])
+
+let wal_arbitrary =
+  QCheck.make ~print:(fun r -> Format.asprintf "%a" Wal.pp r) wal_record_gen
+
 let prop_wal_roundtrip =
+  (* roundtrip through a reused scratch encoder — the hot append path:
+     the buffer must not leak one record's bytes into the next *)
+  let enc = Dbm_storage.Wal_codec.Enc.create () in
+  QCheck.Test.make ~name:"wal encode/decode roundtrip (all shapes, shared scratch)" ~count:500
+    wal_arbitrary (fun r -> Wal.decode (Wal.encode_with enc r) = r)
+
+let prop_wal_injective =
+  QCheck.Test.make ~name:"wal encoding is injective" ~count:500
+    (QCheck.pair wal_arbitrary wal_arbitrary) (fun (r1, r2) ->
+      r1 = r2 || Wal.encode r1 <> Wal.encode r2)
+
+let prop_wal_truncation_corrupt =
+  QCheck.Test.make ~name:"any truncation decodes as Corrupt" ~count:500
+    (QCheck.pair wal_arbitrary (QCheck.int_range 0 10_000))
+    (fun (r, cut) ->
+      let s = Wal.encode r in
+      let cut = cut mod String.length s in
+      match Wal.decode (String.sub s 0 cut) with
+      | exception Wal.Corrupt _ -> true
+      | _ -> false)
+
+let prop_wal_bitflip_corrupt =
+  (* the checksum step [h <- (h xor word) * prime] is injective in [h]
+     for fixed input, so a single flipped bit always changes the
+     trailer: every one-bit corruption must be detected *)
+  QCheck.Test.make ~name:"any single bit-flip decodes as Corrupt" ~count:500
+    (QCheck.pair wal_arbitrary (QCheck.pair (QCheck.int_range 0 10_000) (QCheck.int_range 0 7)))
+    (fun (r, (pos, bit)) ->
+      let s = Wal.encode r in
+      let b = Bytes.of_string s in
+      let pos = pos mod Bytes.length b in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+      match Wal.decode (Bytes.to_string b) with
+      | exception Wal.Corrupt _ -> true
+      | _ -> false)
+
+let prop_wal_delta_apply =
+  (* delta_update on random page pairs: applying the after slice (plus
+     the record's lsn in the header) to the before image must reproduce
+     the after image exactly, and the before slice plus [prev_lsn] must
+     invert it — whatever side of the threshold the diff lands on.
+     Images are page-shaped: an 8-byte LSN header, then a random body;
+     the after header holds the record's LSN (the engine stamps it
+     before logging — delta_update's contract). *)
+  let lsn = 77 in
   let gen =
     QCheck.Gen.(
-      oneof
-        [
-          map2 (fun lsn txn -> Wal.Commit { lsn; txn }) (int_range 0 1000) (int_range 0 1000);
-          map2 (fun lsn txn -> Wal.Abort { lsn; txn }) (int_range 0 1000) (int_range 0 1000);
-          map
-            (fun (lsn, txn, page, b, a) ->
-              Wal.Update
-                { lsn; txn; page; before = Bytes.of_string b; after = Bytes.of_string a })
-            (tup5 (int_range 0 1000) (int_range 0 1000) (int_range 0 1000)
-               (string_size (int_range 0 40))
-               (string_size (int_range 0 40)));
-          map2
-            (fun lsn active -> Wal.Checkpoint { lsn; active })
-            (int_range 0 1000)
-            (small_list (int_range 0 100));
-        ])
+      int_range 1 64 >>= fun n ->
+      tup3 (int_range 0 1000) (string_size (return n)) (string_size (return n)))
   in
-  QCheck.Test.make ~name:"wal encode/decode roundtrip" ~count:500 (QCheck.make gen) (fun r ->
-      Wal.decode (Wal.encode r) = r)
+  let page_of ~hdr body =
+    let img = Bytes.create (8 + String.length body) in
+    Bytes.set_int64_le img 0 (Int64.of_int hdr);
+    Bytes.blit_string body 0 img 8 (String.length body);
+    img
+  in
+  QCheck.Test.make ~name:"delta encode/apply = full-image restore" ~count:500
+    (QCheck.make ~print:(fun (p, b, a) -> Printf.sprintf "hdr=%d %S -> %S" p b a) gen)
+    (fun (prev, b, a) ->
+      let before = page_of ~hdr:prev b and after = page_of ~hdr:lsn a in
+      match Wal.delta_update ~threshold:32 ~lsn ~txn:1 ~page:0 ~before ~after with
+      | Wal.Delta { off; prev_lsn; before_slice; after_slice; _ } ->
+        let fwd = Bytes.copy before in
+        Wal.apply_slice fwd ~off after_slice;
+        Bytes.set_int64_le fwd 0 (Int64.of_int lsn);
+        let bwd = Bytes.copy after in
+        Wal.apply_slice bwd ~off before_slice;
+        Bytes.set_int64_le bwd 0 (Int64.of_int prev_lsn);
+        prev_lsn = prev && Bytes.equal fwd after && Bytes.equal bwd before
+      | Wal.Update { before = b'; after = a'; _ } ->
+        (* fallback path: full images, verbatim *)
+        Bytes.equal b' before && Bytes.equal a' after
+      | _ -> false)
+
+let prop_wal_diff_range =
+  QCheck.Test.make ~name:"diff_range bounds the disagreement exactly" ~count:500
+    QCheck.(
+      make
+        Gen.(
+          int_range 0 48 >>= fun n ->
+          tup2 (string_size (return n)) (string_size (return n))))
+    (fun (b, a) ->
+      let before = Bytes.of_string b and after = Bytes.of_string a in
+      match Wal.diff_range ~before ~after with
+      | None -> Bytes.equal before after
+      | Some (off, len) ->
+        len > 0 && off >= 0
+        && off + len <= Bytes.length before
+        && Bytes.sub before 0 off = Bytes.sub after 0 off
+        && Bytes.sub before (off + len) (Bytes.length before - off - len)
+           = Bytes.sub after (off + len) (Bytes.length after - off - len)
+        && Bytes.get before off <> Bytes.get after off
+        && Bytes.get before (off + len - 1) <> Bytes.get after (off + len - 1))
 
 (* --- Buffer_pool ------------------------------------------------------------ *)
 
@@ -462,7 +659,8 @@ let qsuite =
   List.map QCheck_alcotest.to_alcotest
     [
       prop_page_roundtrip; prop_page_lookup_matches_records; prop_page_update_equal_length;
-      prop_wal_roundtrip;
+      prop_wal_roundtrip; prop_wal_injective; prop_wal_truncation_corrupt;
+      prop_wal_bitflip_corrupt; prop_wal_delta_apply; prop_wal_diff_range;
     ]
 
 let () =
@@ -498,9 +696,16 @@ let () =
       ( "wal",
         [
           Alcotest.test_case "roundtrip" `Quick test_wal_roundtrip;
+          Alcotest.test_case "legacy roundtrip" `Quick test_wal_legacy_roundtrip;
+          Alcotest.test_case "peeks agree across framings" `Quick
+            test_wal_peeks_agree_across_framings;
           Alcotest.test_case "checksum" `Quick test_wal_checksum_detects_corruption;
           Alcotest.test_case "truncated" `Quick test_wal_truncated;
           Alcotest.test_case "accessors" `Quick test_wal_accessors;
+          Alcotest.test_case "encode allocation bounded" `Quick
+            test_wal_encode_allocation_bounded;
+          Alcotest.test_case "decode allocation bounded" `Quick
+            test_wal_decode_allocation_bounded;
         ] );
       ( "buffer_pool",
         [
