@@ -435,6 +435,31 @@ let run_storage_bench ~allow_oversubscribe () =
         (if s.sv_equivalent then "equivalent" else "DIVERGED"))
     b.server;
   Printf.printf "  worst grouped/eager speedup across engines: %.2fx\n" b.server_speedup;
+  Printf.printf "read-heavy snapshot sweep (eager commits, Zipfian pages, simulated time):\n";
+  List.iter
+    (fun e ->
+      Printf.printf "  %s:\n" e.re_engine;
+      List.iter
+        (fun p ->
+          Printf.printf "    read fraction %.2f%s:\n" p.rf_read_frac
+            (if p.rf_heavy_tail then " [Pareto sizes]" else "");
+          List.iter
+            (fun m ->
+              Printf.printf
+                "      %-8s %8.0f tps  %6d locks  %3d restarts (%d ro)  ro p50/p99 %8.1f/%9.1f us  \
+                 rw p50/p99 %8.1f/%9.1f us\n"
+                m.rm_mode m.rm_sustained_tps m.rm_lock_acquires m.rm_restarts m.rm_ro_restarts
+                m.rm_ro_p50_us m.rm_ro_p99_us m.rm_rw_p50_us m.rm_rw_p99_us)
+            p.rf_modes;
+          Printf.printf "      snapshot over xlock: %.2fx, recovered scans %s\n"
+            p.rf_snapshot_speedup
+            (if p.rf_equivalent then "identical across modes" else "DIVERGED"))
+        e.re_points)
+    b.read_heavy;
+  Printf.printf
+    "  worst snapshot/xlock speedup near read fraction 0.9: %.2fx (%d ro restarts on the \
+     snapshot path)\n"
+    b.read_speedup b.read_ro_restarts;
   Printf.printf "buffer pool get: %.0f ns hit, %.0f ns miss\n" b.pool_hit_ns b.pool_miss_ns;
   Printf.printf "journal: %.2fM appends/s, %.2fM appends/s with sync every 64\n"
     (b.journal_append_per_sec /. 1e6)
@@ -777,6 +802,49 @@ let storage_json (b : Dbm_storage.Storage_bench.t) =
       "\n    ],\n";
       Printf.sprintf "    \"server_group_commit_speedup\": %.2f,\n" b.server_speedup;
       Printf.sprintf "    \"server_equivalent\": %b,\n" b.server_equivalent;
+      "    \"read_heavy\": [\n";
+      String.concat ",\n"
+        (List.map
+           (fun e ->
+             String.concat ""
+               [
+                 Printf.sprintf "      {\"engine\": \"%s\",\n" (json_escape e.re_engine);
+                 "       \"points\": [\n";
+                 String.concat ",\n"
+                   (List.map
+                      (fun p ->
+                        String.concat ""
+                          [
+                            Printf.sprintf
+                              "        {\"read_frac\": %.2f, \"heavy_tail\": %b,\n"
+                              p.rf_read_frac p.rf_heavy_tail;
+                            "         \"modes\": [\n";
+                            String.concat ",\n"
+                              (List.map
+                                 (fun m ->
+                                   Printf.sprintf
+                                     "          {\"mode\": \"%s\", \"sustained_tps\": %.1f, \
+                                      \"restarts\": %d, \"ro_restarts\": %d, \
+                                      \"lock_acquires\": %d, \"ro_p50_us\": %.2f, \
+                                      \"ro_p99_us\": %.2f, \"rw_p50_us\": %.2f, \
+                                      \"rw_p99_us\": %.2f}"
+                                     (json_escape m.rm_mode) m.rm_sustained_tps m.rm_restarts
+                                     m.rm_ro_restarts m.rm_lock_acquires m.rm_ro_p50_us
+                                     m.rm_ro_p99_us m.rm_rw_p50_us m.rm_rw_p99_us)
+                                 p.rf_modes);
+                            "\n         ],\n";
+                            Printf.sprintf "         \"snapshot_speedup\": %.2f,\n"
+                              p.rf_snapshot_speedup;
+                            Printf.sprintf "         \"equivalent\": %b}" p.rf_equivalent;
+                          ])
+                      e.re_points);
+                 "\n       ]}";
+               ])
+           b.read_heavy);
+      "\n    ],\n";
+      Printf.sprintf "    \"read_snapshot_speedup\": %.2f,\n" b.read_speedup;
+      Printf.sprintf "    \"read_ro_restarts\": %d,\n" b.read_ro_restarts;
+      Printf.sprintf "    \"read_equivalent\": %b,\n" b.read_equivalent;
       Printf.sprintf "    \"pool_hit_ns\": %.1f,\n" b.pool_hit_ns;
       Printf.sprintf "    \"pool_miss_ns\": %.1f,\n" b.pool_miss_ns;
       Printf.sprintf "    \"journal_append_per_sec\": %.0f,\n" b.journal_append_per_sec;
@@ -792,7 +860,7 @@ let write_bench_json path (tr : table_report) (core : event_core) (cr : cache_re
     | Some v -> Printf.sprintf "  \"%s\": %.1f" name v
   in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"bench\": 8,\n";
+  Buffer.add_string buf "  \"bench\": 9,\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"host_cores\": %d,\n" (Dbm_util.Pool.default_jobs ()));
   Buffer.add_string buf (Printf.sprintf "  \"jobs_requested\": %d,\n" tr.jobs_requested);
@@ -888,7 +956,7 @@ let write_bench_json path (tr : table_report) (core : event_core) (cr : cache_re
 
 let () =
   let jobs = ref (max 2 (Dbm_util.Pool.default_jobs ())) in
-  let json_path = ref "BENCH_8.json" in
+  let json_path = ref "BENCH_9.json" in
   let fast = ref false in
   let allow_oversubscribe = ref false in
   Arg.parse
@@ -976,6 +1044,24 @@ let () =
   if storage_report.Dbm_storage.Storage_bench.log_delta_reduction < 2.0 then begin
     Printf.eprintf "FAIL: delta log reduction %.2fx below the 2x floor\n"
       storage_report.Dbm_storage.Storage_bench.log_delta_reduction;
+    exit 1
+  end;
+  (* The snapshot read path is only an optimization if it actually beats
+     the lock-everything baseline on read-heavy load, never restarts a
+     read-only transaction, and every lock regime crash-recovers to the
+     same data. *)
+  if not storage_report.Dbm_storage.Storage_bench.read_equivalent then begin
+    prerr_endline "FAIL: a read-lock regime recovered to different data than its peers";
+    exit 1
+  end;
+  if storage_report.Dbm_storage.Storage_bench.read_ro_restarts <> 0 then begin
+    Printf.eprintf "FAIL: %d read-only restarts on the snapshot path (must be 0)\n"
+      storage_report.Dbm_storage.Storage_bench.read_ro_restarts;
+    exit 1
+  end;
+  if storage_report.Dbm_storage.Storage_bench.read_speedup < 2.0 then begin
+    Printf.eprintf "FAIL: snapshot read speedup %.2fx below the 2x floor\n"
+      storage_report.Dbm_storage.Storage_bench.read_speedup;
     exit 1
   end;
   List.iter

@@ -472,10 +472,21 @@ let storage_bench_cmd =
             "Log formats for the physical-vs-delta-vs-oplog head-to-head: physical | delta \
              | oplog (the physical baseline always runs).")
   in
-  let run scale jobs allow_oversubscribe log_formats =
+  let read_fracs_arg =
+    Arg.(
+      value
+      & opt (list float) Dbm_storage.Storage_bench.default_read_fracs
+      & info [ "read-frac" ] ~docv:"F,..."
+          ~doc:
+            "Read fractions (each in [0,1]) for the MVCC snapshot sweep; at each one the \
+             same Zipfian workload runs under exclusive-lock reads, S/X shared reads and \
+             the lock-free snapshot read-only class.  A Pareto-size heavy-tail point at \
+             read fraction 0.9 is always appended.")
+  in
+  let run scale jobs allow_oversubscribe log_formats read_fracs =
     let b =
       Dbm_storage.Storage_bench.run ~scale ~jobs ~allow_oversubscribe ~log_formats
-        ~now:Unix.gettimeofday ()
+        ~read_fracs ~now:Unix.gettimeofday ()
     in
     let open Dbm_storage.Storage_bench in
     Printf.printf "Contended scheduler (%d scripts, hot page behind private locks):\n" b.sched_txns;
@@ -526,13 +537,40 @@ let storage_bench_cmd =
       b.log_formats;
     Printf.printf "  log volume reduction over physical: delta %.1fx, oplog %.1fx\n\n"
       b.log_delta_reduction b.log_oplog_reduction;
+    Printf.printf "MVCC snapshot reads (eager commits, Zipfian pages, simulated time):\n";
+    List.iter
+      (fun e ->
+        Printf.printf "  %s:\n" e.re_engine;
+        List.iter
+          (fun p ->
+            Printf.printf "    read fraction %.2f%s:\n" p.rf_read_frac
+              (if p.rf_heavy_tail then " [Pareto sizes]" else "");
+            List.iter
+              (fun m ->
+                Printf.printf
+                  "      %-8s %9.0f tps  %6d locks  %3d restarts (%d ro)  ro p99 %9.1f us  \
+                   rw p99 %9.1f us\n"
+                  m.rm_mode m.rm_sustained_tps m.rm_lock_acquires m.rm_restarts
+                  m.rm_ro_restarts m.rm_ro_p99_us m.rm_rw_p99_us)
+              p.rf_modes;
+            Printf.printf "      snapshot over xlock: %.2fx, recovered scans %s\n"
+              p.rf_snapshot_speedup
+              (if p.rf_equivalent then "identical across modes" else "DIVERGED"))
+          e.re_points)
+      b.read_heavy;
+    Printf.printf
+      "  worst snapshot/xlock speedup near read fraction 0.9: %.2fx (%d ro restarts on \
+       the snapshot path)\n\n"
+      b.read_speedup b.read_ro_restarts;
     Printf.printf "Buffer pool get: %.0f ns hit, %.0f ns miss\n" b.pool_hit_ns b.pool_miss_ns;
     Printf.printf "Journal: %.2fM appends/sec, %.2fM appends/sec with sync every 64\n"
       (b.journal_append_per_sec /. 1e6)
       (b.journal_append_sync_per_sec /. 1e6);
     if not b.sched_equivalent then exit 1;
     if not b.recovery_equivalent then exit 1;
-    if not b.log_format_equivalent then exit 1
+    if not b.log_format_equivalent then exit 1;
+    if not b.read_equivalent then exit 1;
+    if b.read_ro_restarts <> 0 then exit 1
   in
   Cmd.v
     (Cmd.info "storage-bench"
@@ -541,8 +579,11 @@ let storage_bench_cmd =
           scheduler, scheduler and lock-manager hot paths against their pre-overhaul \
           versions, recovery wall time vs log length, vs worker-domain count and vs \
           fuzzy-checkpoint age, the physical-vs-delta-vs-oplog log-format head-to-head \
-          ($(b,--log-format)), buffer-pool and journal microbenchmarks.")
-    Term.(const run $ scale_arg $ jobs_arg $ oversubscribe_arg $ log_formats_arg)
+          ($(b,--log-format)), the MVCC snapshot-read sweep ($(b,--read-frac)), \
+          buffer-pool and journal microbenchmarks.")
+    Term.(
+      const run $ scale_arg $ jobs_arg $ oversubscribe_arg $ log_formats_arg
+      $ read_fracs_arg)
 
 (* -- serve-bench command -------------------------------------------- *)
 
@@ -577,8 +618,8 @@ let serve_bench_cmd =
   let engine_arg =
     Arg.(
       value
-      & opt (enum [ ("logging", `Logging); ("diff", `Diff) ]) `Logging
-      & info [ "engine" ] ~docv:"ENGINE" ~doc:"Storage engine: logging | diff.")
+      & opt (enum [ ("logging", `Logging); ("diff", `Diff); ("versel", `Versel) ]) `Logging
+      & info [ "engine" ] ~docv:"ENGINE" ~doc:"Storage engine: logging | diff | versel.")
   in
   let log_format_arg =
     Arg.(
@@ -631,12 +672,34 @@ let serve_bench_cmd =
       value & opt float 100.0
       & info [ "sync-cost-us" ] ~docv:"US" ~doc:"Simulated cost of one log force.")
   in
+  let read_frac_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "read-frac" ] ~docv:"F"
+          ~doc:
+            "Make each transaction read-only (its whole write set cleared) with \
+             probability $(docv) in [0,1].")
+  in
+  let snapshot_arg =
+    Arg.(
+      value & flag
+      & info [ "snapshot" ]
+          ~doc:
+            "Run read-only transactions lock-free over pinned MVCC snapshots instead of \
+             the locked path; they bypass the commit pipeline and can never restart.  \
+             Needs a version-retaining engine: diff, versel, or logging with \
+             $(b,--log-format oplog).")
+  in
   let run engine log_format loads batch timeout_us mpl txns seed arrival eager op_cost
-      sync_cost =
+      sync_cost read_frac use_snapshot =
+    if not (Float.is_finite read_frac && read_frac >= 0.0 && read_frac <= 1.0) then begin
+      prerr_endline "serve-bench: --read-frac must be in [0,1]";
+      exit 2
+    end;
     let module W = Dbm_workload.Workload in
     let module Hist = Dbm_util.Stats.Histogram in
     let module Sch = Dbm_storage.Scheduler in
-    let scripts =
+    let txns_w =
       let cfg =
         {
           W.n_transactions = txns;
@@ -648,12 +711,19 @@ let serve_bench_cmd =
           seed;
         }
       in
+      W.apply_read_fraction
+        (Dbm_util.Prng.create (seed lxor 0x5eed))
+        ~read_frac (W.generate cfg)
+    in
+    let read_only = Array.map (fun t -> W.write_set_size t = 0) txns_w in
+    let n_ro = Array.fold_left (fun a ro -> if ro then a + 1 else a) 0 read_only in
+    let scripts =
       Array.map
         (fun t ->
           List.init (Array.length t.W.pages) (fun i ->
               let k = t.W.pages.(i) * 4 in
               if t.W.writes.(i) then Sch.Put (k, "serve-bench-value") else Sch.Get k))
-        (W.generate cfg)
+        txns_w
     in
     let process rate =
       match arrival with
@@ -669,15 +739,20 @@ let serve_bench_cmd =
       if eager then Dbm_storage.Commit_pipeline.Eager
       else Dbm_storage.Commit_pipeline.Grouped { batch; timeout_us }
     in
-    let sweep (type a) (module E : Dbm_storage.Server.ENGINE with type t = a) name =
+    let sweep (type a) ?snapshot_of (module E : Dbm_storage.Server.ENGINE with type t = a)
+        name =
       let module Srv = Dbm_storage.Server.Make (E) in
       Printf.printf
-        "open-loop server: engine %s, %s commits%s, mpl %d, %d txns/point, %s arrivals\n\
+        "open-loop server: engine %s, %s commits%s, mpl %d, %d txns/point%s, %s arrivals\n\
          (simulated time: %.1f us/turn, %.1f us/force)\n\n"
         name
         (if eager then "eager" else "grouped")
         (if eager then "" else Printf.sprintf " (batch %d, timeout %.0f us)" batch timeout_us)
         mpl txns
+        (if read_frac > 0.0 then
+           Printf.sprintf " (%d read-only%s)" n_ro
+             (if snapshot_of <> None then ", lock-free snapshot reads" else "")
+         else "")
         (match arrival with `Poisson -> "poisson" | `Bursty -> "bursty")
         op_cost sync_cost;
       Printf.printf "%12s %12s %10s %10s %10s %10s %8s %8s %8s\n" "offered/s" "sustained/s"
@@ -685,9 +760,10 @@ let serve_bench_cmd =
       List.iter
         (fun rate ->
           let e = E.create ~n_keys:4096 () in
+          let snapshot = Option.map (fun f () -> f e) snapshot_of in
           let r =
-            Srv.run ~mpl ~op_cost_us:op_cost ~sync_cost_us:sync_cost ~mode
-              ~arrivals_us:(arrivals rate) ~scripts e
+            Srv.run ?snapshot ~read_only ~mpl ~op_cost_us:op_cost ~sync_cost_us:sync_cost
+              ~mode ~arrivals_us:(arrivals rate) ~scripts e
           in
           let h = r.Dbm_storage.Server.latency_us in
           Printf.printf "%12.0f %12.0f %10.1f %10.1f %10.1f %10.1f %8d %8d %8d\n" rate
@@ -701,13 +777,62 @@ let serve_bench_cmd =
 
       let create ?n_keys () = create_with ?n_keys ~log_format:Delta ()
     end in
+    (* A snapshot view factory over any Kv.SNAPSHOT engine, in the
+       engine-agnostic shape the scheduler consumes. *)
+    let reject_snapshot what =
+      if use_snapshot then begin
+        Printf.eprintf "serve-bench: --snapshot is not supported by %s\n" what;
+        exit 2
+      end;
+      None
+    in
     match (engine, log_format) with
-    | `Logging, `Physical -> sweep (module Dbm_storage.Engine_log) "logging"
-    | `Logging, `Delta -> sweep (module Engine_log_delta) "logging-delta"
-    | `Logging, `Oplog -> sweep (module Dbm_storage.Engine_oplog) "operation-logging"
-    | `Diff, `Physical -> sweep (module Dbm_storage.Engine_diff) "differential-file"
+    | `Logging, `Physical ->
+      sweep
+        ?snapshot_of:(reject_snapshot "the physical logging engine (try --log-format oplog)")
+        (module Dbm_storage.Engine_log) "logging"
+    | `Logging, `Delta ->
+      sweep
+        ?snapshot_of:(reject_snapshot "the delta logging engine (try --log-format oplog)")
+        (module Engine_log_delta) "logging-delta"
+    | `Logging, `Oplog ->
+      let snapshot_of e =
+        let s = Dbm_storage.Engine_oplog.snapshot e in
+        {
+          Sch.view_get = (fun k -> Dbm_storage.Engine_oplog.snapshot_get s k);
+          view_close = (fun () -> Dbm_storage.Engine_oplog.snapshot_release s);
+        }
+      in
+      sweep
+        ?snapshot_of:(if use_snapshot then Some snapshot_of else None)
+        (module Dbm_storage.Engine_oplog) "operation-logging"
+    | `Diff, `Physical ->
+      let snapshot_of e =
+        let s = Dbm_storage.Engine_diff.snapshot e in
+        {
+          Sch.view_get = (fun k -> Dbm_storage.Engine_diff.snapshot_get s k);
+          view_close = (fun () -> Dbm_storage.Engine_diff.snapshot_release s);
+        }
+      in
+      sweep
+        ?snapshot_of:(if use_snapshot then Some snapshot_of else None)
+        (module Dbm_storage.Engine_diff) "differential-file"
+    | `Versel, `Physical ->
+      let snapshot_of e =
+        let s = Dbm_storage.Engine_versel.snapshot e in
+        {
+          Sch.view_get = (fun k -> Dbm_storage.Engine_versel.snapshot_get s k);
+          view_close = (fun () -> Dbm_storage.Engine_versel.snapshot_release s);
+        }
+      in
+      sweep
+        ?snapshot_of:(if use_snapshot then Some snapshot_of else None)
+        (module Dbm_storage.Engine_versel) "version-select"
     | `Diff, (`Delta | `Oplog) ->
       prerr_endline "serve-bench: --engine diff supports only --log-format physical";
+      exit 2
+    | `Versel, (`Delta | `Oplog) ->
+      prerr_endline "serve-bench: --engine versel supports only --log-format physical";
       exit 2
   in
   Cmd.v
@@ -717,12 +842,14 @@ let serve_bench_cmd =
           $(b,--load), admission control at $(b,--mpl), commits batched by the \
           group-commit pipeline ($(b,--batch) / $(b,--timeout-us)) or synced per \
           transaction under $(b,--eager); the logging engine can write physical, delta \
-          or operation-logging records ($(b,--log-format)); prints sustained throughput \
-          and the arrival-to-durable-ack latency tail per load point.")
+          or operation-logging records ($(b,--log-format)); a $(b,--read-frac) share of \
+          transactions runs read-only, lock-free over pinned MVCC snapshots under \
+          $(b,--snapshot); prints sustained throughput and the arrival-to-durable-ack \
+          latency tail per load point.")
     Term.(
       const run $ engine_arg $ log_format_arg $ loads_arg $ batch_arg $ timeout_arg
       $ mpl_arg $ txns_arg $ seed_arg $ arrival_arg $ eager_arg $ op_cost_arg
-      $ sync_cost_arg)
+      $ sync_cost_arg $ read_frac_arg $ snapshot_arg)
 
 (* -- version-select command ---------------------------------------- *)
 

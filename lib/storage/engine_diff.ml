@@ -14,7 +14,16 @@ type store = {
   d_file : Journal.t;
   commits : Journal.t;
   enc : Wal_codec.Enc.t;
-  committed : (int, unit) Hashtbl.t;
+  (* txn id -> commit sequence number.  Seqs order commits totally (the
+     order of the commit-journal records), which is what pins a
+     snapshot: a record is visible to a snapshot iff its writer's seq
+     is at or below the snapshot's horizon. *)
+  committed : (int, int) Hashtbl.t;
+  mutable next_seq : int;
+  (* live snapshot id -> pinned horizon; the reclamation watermark is
+     the minimum over this table (infinite when empty) *)
+  snaps : (int, int) Hashtbl.t;
+  mutable next_snap : int;
   mutable next_txn : int;
   mutable next_stamp : int;
   (* Exact maxima over the currently retained A/D records (0 when the
@@ -108,6 +117,9 @@ let create_with ?(n_keys = 256) ?(keys_per_page = 4) ?auto_merge_records () =
     commits = Journal.create ();
     enc = Wal_codec.Enc.create ~size:256 ();
     committed = Hashtbl.create 32;
+    next_seq = 1;
+    snaps = Hashtbl.create 8;
+    next_snap = 0;
     auto_merge_records;
     next_txn = 1;
     next_stamp = 1;
@@ -202,6 +214,11 @@ let finish h =
   h.finished <- true;
   h.st.live <- h.st.live - 1
 
+let commit_seq t =
+  let s = t.next_seq in
+  t.next_seq <- s + 1;
+  s
+
 let commit h =
   check h;
   let t = h.st in
@@ -211,7 +228,7 @@ let commit h =
   Journal.sync t.d_file;
   ignore (Journal.append t.commits (encode_commit t.enc ~txn:h.id));
   Journal.sync t.commits;
-  Hashtbl.replace t.committed h.id ();
+  Hashtbl.replace t.committed h.id (commit_seq t);
   finish h;
   !maybe_auto_merge t
 
@@ -228,7 +245,7 @@ let commit_group h =
   check h;
   let t = h.st in
   ignore (Journal.append t.commits (encode_commit t.enc ~txn:h.id));
-  Hashtbl.replace t.committed h.id ();
+  Hashtbl.replace t.committed h.id (commit_seq t);
   finish h
 
 (* Records before markers: the A/D files are forced before the commits
@@ -278,11 +295,18 @@ let decode_marker r =
    fuzzy-checkpoint marker (if any) rides back too. *)
 let read_commits t =
   let marker = ref None in
+  let seq = ref 0 in
   List.iter
     (fun r ->
       if is_marker r then marker := Some (decode_marker r)
-      else Hashtbl.replace t.committed (decode_commit r) ())
+      else begin
+        (* Commit seqs rebuild from durable commit-record order — the
+           order they were assigned in (appends happen at commit). *)
+        incr seq;
+        Hashtbl.replace t.committed (decode_commit r) !seq
+      end)
     (Journal.read_all t.commits);
+  t.next_seq <- !seq + 1;
   !marker
 
 (* Max (stamp, txn) over the durable records of [journal] with sequence
@@ -313,7 +337,7 @@ let scan_max ?pool journal ~from_seq ~decode =
 let finish_recovery t ~max_stamp ~record_txn =
   t.max_record_stamp <- max_stamp;
   t.max_record_txn <- record_txn;
-  let max_txn = Hashtbl.fold (fun id () acc -> max acc id) t.committed record_txn in
+  let max_txn = Hashtbl.fold (fun id _ acc -> max acc id) t.committed record_txn in
   t.next_txn <- max_txn + 1;
   t.next_stamp <- max_stamp + 1;
   t.live <- 0;
@@ -347,6 +371,7 @@ let crash_and_recover t =
   Journal.crash t.a_file;
   Journal.crash t.d_file;
   Journal.crash t.commits;
+  Hashtbl.reset t.snaps;
   t.epoch <- t.epoch + 1;
   recover t
 
@@ -360,6 +385,7 @@ let crash_and_recover_reference t =
   Journal.crash t.a_file;
   Journal.crash t.d_file;
   Journal.crash t.commits;
+  Hashtbl.reset t.snaps;
   t.epoch <- t.epoch + 1;
   Hashtbl.reset t.committed;
   ignore (read_commits t);
@@ -411,12 +437,82 @@ let state_fingerprint t =
   in
   feed_journal t.a_file;
   feed_journal t.d_file;
-  Hashtbl.fold (fun id () acc -> id :: acc) t.committed []
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.committed []
   |> List.sort Int.compare
   |> List.iter (Dbm_util.Digest.int d);
   Dbm_util.Digest.int d t.next_stamp;
   Dbm_util.Digest.int d t.next_txn;
   Dbm_util.Digest.hex d
+
+(* --- MVCC snapshots ------------------------------------------------- *)
+
+(* A snapshot is just a pinned horizon: the commit seq of the newest
+   commit at pin time.  Reads decide visibility per record against it —
+   no copies, no locks.  The store tracks live horizons so the merge
+   below never folds away (and the truncation never drops) a version
+   some live snapshot can still see. *)
+
+type snapshot = {
+  s_st : store;
+  s_id : int;
+  s_horizon : int;
+  s_born : int;
+  mutable s_released : bool;
+}
+
+(* Oldest horizon any live snapshot is pinned to; commits at or below
+   it are visible to every live snapshot. *)
+let watermark t = Hashtbl.fold (fun _ h acc -> min h acc) t.snaps max_int
+
+let snapshot t =
+  let id = t.next_snap in
+  t.next_snap <- id + 1;
+  let horizon = t.next_seq - 1 in
+  Hashtbl.replace t.snaps id horizon;
+  { s_st = t; s_id = id; s_horizon = horizon; s_born = t.epoch; s_released = false }
+
+let snapshot_release s =
+  if not s.s_released then begin
+    s.s_released <- true;
+    (* After a crash the table was already reset; nothing to remove. *)
+    if s.s_born = s.s_st.epoch then Hashtbl.remove s.s_st.snaps s.s_id
+  end
+
+let live_snapshots t = Hashtbl.length t.snaps
+
+(* Same (B u A) - D resolution as [get], with visibility pinned to the
+   horizon: a record counts iff its writer committed at or before the
+   pin.  The base is always visible — merges only ever fold records
+   every live snapshot could see (and any snapshot taken later can see
+   everything the merge folded). *)
+let snapshot_get s k =
+  if s.s_released || s.s_born <> s.s_st.epoch then raise Kv.Txn_finished;
+  let t = s.s_st in
+  check_key t k;
+  let visible txn =
+    match Hashtbl.find_opt t.committed txn with
+    | Some seq -> seq <= s.s_horizon
+    | None -> false
+  in
+  let best = ref None in
+  let consider stamp outcome =
+    match !best with
+    | Some (st, _) when st >= stamp -> ()
+    | _ -> best := Some (stamp, outcome)
+  in
+  Journal.iter_live
+    (fun r ->
+      let stamp, txn, key, value = decode_a r in
+      if key = k && visible txn then consider stamp (Some value))
+    t.a_file;
+  Journal.iter_live
+    (fun r ->
+      let stamp, txn, key = decode_d r in
+      if key = k && visible txn then consider stamp None)
+    t.d_file;
+  match !best with
+  | Some (_, outcome) -> outcome
+  | None -> Page.lookup (Vdisk.read_ro t.base (page_of t k)) ~key:k
 
 (* Merge the committed differential records into the base file and
    truncate A and D — the periodic reorganization the paper notes must
@@ -424,6 +520,37 @@ let state_fingerprint t =
    uncommitted record is lost by the truncation. *)
 let checkpoint t =
   if t.live > 0 then failwith "Engine_diff.checkpoint: merge requires no live transactions";
+  (* Snapshot fence: the merge may fold into the base — and drop — only
+     records every live snapshot can already see.  Stamps are issued
+     monotonically and records appended immediately, so each file is
+     stamp-ordered and the droppable set is the stamp prefix strictly
+     before the earliest-stamped record whose writer committed past the
+     watermark.  (A prefix cut per stamp, not per seq: a snapshot must
+     keep finding the newest visible record for a key in the journals
+     whenever any journal record for that key survives, so no record
+     may be dropped while an older-stamped one for the same key is
+     retained.)  With no live snapshots the fence is infinite and this
+     is the full merge. *)
+  let fence = ref max_int in
+  if Hashtbl.length t.snaps > 0 then begin
+    let wm = watermark t in
+    let consider stamp txn =
+      match Hashtbl.find_opt t.committed txn with
+      | Some seq when seq > wm -> if stamp < !fence then fence := stamp
+      | Some _ | None -> ()
+    in
+    Journal.iter_all
+      (fun r ->
+        let stamp, txn, _, _ = decode_a r in
+        consider stamp txn)
+      t.a_file;
+    Journal.iter_all
+      (fun r ->
+        let stamp, txn, _ = decode_d r in
+        consider stamp txn)
+      t.d_file
+  end;
+  let fence = !fence in
   (* One pass over each file builds key -> newest committed outcome;
      stamps are unique and monotonically issued, so newest-wins per key
      is order-independent and matches the old per-key re-scan exactly. *)
@@ -436,12 +563,12 @@ let checkpoint t =
   Journal.iter_all
     (fun r ->
       let stamp, txn, key, value = decode_a r in
-      if Hashtbl.mem t.committed txn then consider key stamp (Some value))
+      if stamp < fence && Hashtbl.mem t.committed txn then consider key stamp (Some value))
     t.a_file;
   Journal.iter_all
     (fun r ->
       let stamp, txn, key = decode_d r in
-      if Hashtbl.mem t.committed txn then consider key stamp None)
+      if stamp < fence && Hashtbl.mem t.committed txn then consider key stamp None)
     t.d_file;
   for p = 0 to t.n_pages - 1 do
     let page = Vdisk.read t.base p in
@@ -458,14 +585,45 @@ let checkpoint t =
   (* Base durable first; replaying the (idempotent) records after a
      badly-timed crash is harmless, losing base pages is not. *)
   Vdisk.sync t.base;
-  Journal.truncate t.a_file ~keep_from:(Journal.synced t.a_file);
-  Journal.truncate t.d_file ~keep_from:(Journal.synced t.d_file);
-  (* The truncation empties the retained windows, so the record maxima a
-     full scan would find drop to zero — and every older checkpoint
-     marker's floors are now stale.  Record the empty state durably so
-     recovery never trusts one. *)
-  t.max_record_stamp <- 0;
-  t.max_record_txn <- 0;
+  (* Drop each file's sub-fence stamp prefix; with no live snapshots
+     that is every durable record, exactly the old full truncation. *)
+  let cut journal stamp_of =
+    let raw = Journal.to_array journal in
+    let base = Journal.synced journal - Journal.length journal in
+    let n = Array.length raw in
+    let i = ref 0 in
+    while !i < n && stamp_of raw.(!i) < fence do
+      incr i
+    done;
+    Journal.truncate journal ~keep_from:(base + !i)
+  in
+  cut t.a_file (fun r ->
+      let s, _, _, _ = decode_a r in
+      s);
+  cut t.d_file (fun r ->
+      let s, _, _ = decode_d r in
+      s);
+  (* The record maxima a full durable scan would now find — zero after
+     a full truncation — and every older checkpoint marker's floors are
+     stale either way.  Record the new state durably so recovery never
+     trusts one. *)
+  let ms = ref 0 and mt = ref 0 in
+  let note s txn =
+    if s > !ms then ms := s;
+    if txn > !mt then mt := txn
+  in
+  Journal.iter_all
+    (fun r ->
+      let s, txn, _, _ = decode_a r in
+      note s txn)
+    t.a_file;
+  Journal.iter_all
+    (fun r ->
+      let s, txn, _ = decode_d r in
+      note s txn)
+    t.d_file;
+  t.max_record_stamp <- !ms;
+  t.max_record_txn <- !mt;
   ignore (Journal.append t.commits (encode_marker t));
   Journal.sync t.commits;
   t.merge_count <- t.merge_count + 1

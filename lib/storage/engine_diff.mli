@@ -14,9 +14,17 @@
     paper mentions (folding committed A/D records into the base and
     truncating the differential files), which requires quiescence.
 
-    Satisfies {!Kv.S}; extras below. *)
+    MVCC snapshot reads ({!Kv.SNAPSHOT}): the differential files
+    retain every committed version until a merge folds it away, so a
+    snapshot is just a pinned commit point — a record is visible iff
+    its writer's commit (ordered by the commit journal) is at or below
+    the pin.  The merge respects the snapshot horizon: it folds and
+    truncates only the stamp prefix every live snapshot can already
+    see, so no read through a live snapshot ever changes.
 
-include Kv.S
+    Satisfies {!Kv.SNAPSHOT}; extras below. *)
+
+include Kv.SNAPSHOT
 
 val create_with : ?n_keys:int -> ?keys_per_page:int -> ?auto_merge_records:int -> unit -> t
 (** [auto_merge_records], when set, runs the merge automatically at the

@@ -1,5 +1,16 @@
 (* Operation-logging (logical) recovery engine.  See engine_oplog.mli. *)
 
+(* Volatile per-transaction state.  [firsts] maps each touched page to
+   its pre-transaction image: the undo information an abort needs.
+   Never logged — no-steal means an uncommitted change can never reach
+   the durable image, so restart recovery has nothing to undo.  [wset]
+   is the last value written per key, consumed at commit to extend the
+   snapshot version chains. *)
+type live_txn = {
+  firsts : (int, bytes) Hashtbl.t;
+  wset : (int, string option) Hashtbl.t;
+}
+
 type store = {
   n_keys : int;
   keys_per_page : int;
@@ -9,11 +20,19 @@ type store = {
   mutable next_lsn : int;
   mutable next_txn : int;
   mutable epoch : int;
-  (* txn -> page -> the page's pre-transaction image: the volatile undo
-     information an abort needs.  Never logged — no-steal means an
-     uncommitted change can never reach the durable image, so restart
-     recovery has nothing to undo. *)
-  active : (int, (int, bytes) Hashtbl.t) Hashtbl.t;
+  active : (int, live_txn) Hashtbl.t;
+  (* commit sequence numbers, only consumed by snapshot visibility *)
+  mutable next_seq : int;
+  (* live snapshot id -> pinned horizon *)
+  snaps : (int, int) Hashtbl.t;
+  mutable next_snap : int;
+  (* key -> newest-first [(commit seq, value)] version chain.  Pages are
+     overwritten in place here, so old versions survive only in these
+     bounded in-memory chains: a chain exists for a key only while
+     snapshots are live and some commit has since written the key; it is
+     trimmed past the snapshot watermark at every push and the whole
+     table is dropped when the last snapshot releases (and on crash). *)
+  chains : (int, (int * string option) list) Hashtbl.t;
   mutable recovery_pool : Dbm_util.Pool.t option;
   mutable records_logged : int;
   mutable recoveries : int;
@@ -43,6 +62,10 @@ let create_with ?(n_keys = default_keys) ?(keys_per_page = 4) () =
     next_txn = 1;
     epoch = 0;
     active = Hashtbl.create 8;
+    next_seq = 1;
+    snaps = Hashtbl.create 8;
+    next_snap = 0;
+    chains = Hashtbl.create 16;
     recovery_pool = None;
     records_logged = 0;
     recoveries = 0;
@@ -79,7 +102,7 @@ let append_log t record =
 let begin_txn t =
   let id = t.next_txn in
   t.next_txn <- id + 1;
-  Hashtbl.replace t.active id (Hashtbl.create 4);
+  Hashtbl.replace t.active id { firsts = Hashtbl.create 4; wset = Hashtbl.create 4 };
   { st = t; id; born = t.epoch; finished = false }
 
 let check txn = if txn.finished || txn.born <> txn.st.epoch then raise Kv.Txn_finished
@@ -97,7 +120,9 @@ let update_key txn k value =
   (* First touch of this page by this transaction: save its image for
      the volatile undo an abort performs. *)
   (match Hashtbl.find_opt t.active txn.id with
-  | Some firsts -> if not (Hashtbl.mem firsts p) then Hashtbl.replace firsts p (Vdisk.read t.data p)
+  | Some lt ->
+    if not (Hashtbl.mem lt.firsts p) then Hashtbl.replace lt.firsts p (Vdisk.read t.data p);
+    Hashtbl.replace lt.wset k value
   | None -> assert false);
   let img = Vdisk.read t.data p in
   Page.update img ~key:k ~value;
@@ -116,6 +141,53 @@ let finish txn =
   txn.finished <- true;
   Hashtbl.remove txn.st.active txn.id
 
+(* Oldest horizon any live snapshot is pinned to. *)
+let watermark t = Hashtbl.fold (fun _ h acc -> min h acc) t.snaps max_int
+
+let commit_seq t =
+  let s = t.next_seq in
+  t.next_seq <- s + 1;
+  s
+
+(* Drop the chain suffix no live snapshot can reach: everything
+   strictly older than the newest entry at or below the watermark. *)
+let trim_chain wm chain =
+  let rec cut = function
+    | ((seq, _) as keep) :: rest -> keep :: (if seq <= wm then [] else cut rest)
+    | [] -> []
+  in
+  cut chain
+
+(* Commit-time snapshot bookkeeping: push (seq, value) for every key
+   the transaction wrote.  A key's chain is seeded on its first
+   committed write while snapshots are live, with the pre-transaction
+   committed value read from the undo image — tagged seq 0, correct
+   because that value was necessarily committed at or before every
+   horizon still live (any later commit to the key would itself have
+   seeded or extended the chain).  No snapshots live = no work. *)
+let extend_chains t txn seq =
+  if Hashtbl.length t.snaps > 0 then
+    match Hashtbl.find_opt t.active txn.id with
+    | None -> ()
+    | Some lt ->
+      let wm = watermark t in
+      Hashtbl.iter
+        (fun k value ->
+          let chain =
+            match Hashtbl.find_opt t.chains k with
+            | Some c -> c
+            | None ->
+              let p = k / t.keys_per_page in
+              let pre =
+                match Hashtbl.find_opt lt.firsts p with
+                | Some img -> Page.lookup img ~key:k
+                | None -> None
+              in
+              [ (0, pre) ]
+          in
+          Hashtbl.replace t.chains k (trim_chain wm ((seq, value) :: chain)))
+        lt.wset
+
 let commit txn =
   check txn;
   let t = txn.st in
@@ -123,12 +195,14 @@ let commit txn =
   (* One journal holds every record of the transaction, so a single
      force is the whole WAL protocol. *)
   Journal.sync t.log;
+  extend_chains t txn (commit_seq t);
   finish txn
 
 let commit_group txn =
   check txn;
   let t = txn.st in
   append_log t (Wal.Commit { lsn = fresh_lsn t; txn = txn.id });
+  extend_chains t txn (commit_seq t);
   finish txn
 
 let force_commits t = Journal.sync t.log
@@ -140,14 +214,14 @@ let abort txn =
      per restored page mirrors the physical engine's restore, keeping
      the two engines' LSN streams aligned. *)
   (match Hashtbl.find_opt t.active txn.id with
-  | Some firsts ->
+  | Some lt ->
     Hashtbl.iter
       (fun p image ->
         let lsn = fresh_lsn t in
         let restored = Bytes.copy image in
         Page.set_lsn restored lsn;
         Vdisk.write t.data p restored)
-      firsts
+      lt.firsts
   | None -> ());
   append_log t (Wal.Abort { lsn = fresh_lsn t; txn = txn.id });
   finish txn
@@ -157,7 +231,7 @@ let abort txn =
    uncommitted image would become durable with no undo record anywhere
    to peel it back off. *)
 let can_sync_data t =
-  Hashtbl.fold (fun _ firsts acc -> acc && Hashtbl.length firsts = 0) t.active true
+  Hashtbl.fold (fun _ lt acc -> acc && Hashtbl.length lt.firsts = 0) t.active true
 
 let flush t =
   Journal.sync t.log;
@@ -206,12 +280,16 @@ let recover t =
 let crash_and_recover t =
   Vdisk.crash t.data;
   Journal.crash t.log;
+  Hashtbl.reset t.snaps;
+  Hashtbl.reset t.chains;
   t.epoch <- t.epoch + 1;
   recover t
 
 let crash_and_recover_reference t =
   Vdisk.crash t.data;
   Journal.crash t.log;
+  Hashtbl.reset t.snaps;
+  Hashtbl.reset t.chains;
   t.epoch <- t.epoch + 1;
   let records = List.map Wal.decode (Journal.read_all t.log) in
   Naive.Log_replay.recover_logical ~records
@@ -234,6 +312,75 @@ let state_fingerprint t =
   Dbm_util.Digest.hex d
 
 let dump_log t = List.map Wal.decode (Journal.read_all t.log)
+
+(* --- MVCC snapshots ------------------------------------------------- *)
+
+type snapshot = {
+  s_st : store;
+  s_id : int;
+  s_horizon : int;
+  s_born : int;
+  mutable s_released : bool;
+}
+
+let snapshot t =
+  let id = t.next_snap in
+  t.next_snap <- id + 1;
+  let horizon = t.next_seq - 1 in
+  Hashtbl.replace t.snaps id horizon;
+  { s_st = t; s_id = id; s_horizon = horizon; s_born = t.epoch; s_released = false }
+
+let snapshot_release s =
+  if not s.s_released then begin
+    s.s_released <- true;
+    if s.s_born = s.s_st.epoch then begin
+      let t = s.s_st in
+      Hashtbl.remove t.snaps s.s_id;
+      if Hashtbl.length t.snaps = 0 then Hashtbl.reset t.chains
+      else begin
+        (* Re-trim every chain against the advanced watermark. *)
+        let wm = watermark t in
+        let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.chains [] in
+        List.iter
+          (fun k ->
+            match Hashtbl.find_opt t.chains k with
+            | Some chain -> Hashtbl.replace t.chains k (trim_chain wm chain)
+            | None -> ())
+          keys
+      end
+    end
+  end
+
+let live_snapshots t = Hashtbl.length t.snaps
+
+(* The committed image of a page: pages are overwritten in place, so if
+   a live transaction has dirtied the page its pre-transaction undo
+   image is the committed copy (page access is serialized by the
+   caller, so at most one live writer holds it). *)
+let committed_page_image t p =
+  let dirty = ref None in
+  Hashtbl.iter
+    (fun _ lt -> match Hashtbl.find_opt lt.firsts p with Some img -> dirty := Some img | None -> ())
+    t.active;
+  match !dirty with Some img -> img | None -> Vdisk.read_ro t.data p
+
+(* A key with no chain has not been committed-to since the snapshot was
+   pinned (chains exist exactly for keys written under live snapshots),
+   so its current committed value is the pinned value; otherwise the
+   newest chain entry at or below the horizon is. *)
+let snapshot_get s k =
+  if s.s_released || s.s_born <> s.s_st.epoch then raise Kv.Txn_finished;
+  let t = s.s_st in
+  check_key t k;
+  match Hashtbl.find_opt t.chains k with
+  | None -> Page.lookup (committed_page_image t (page_of t k)) ~key:k
+  | Some chain -> (
+    match List.find_opt (fun (seq, _) -> seq <= s.s_horizon) chain with
+    | Some (_, v) -> v
+    | None ->
+      (* Unreachable: trimming always keeps an entry at or below the
+         watermark, and live horizons are at or above it. *)
+      Page.lookup (committed_page_image t (page_of t k)) ~key:k)
 
 let stats t =
   [

@@ -23,9 +23,23 @@
     engines recover to identical {!state_fingerprint}s — the
     cross-architecture equivalence gate.
 
-    Satisfies {!Kv.S}; extras below. *)
+    MVCC snapshot reads ({!Kv.SNAPSHOT}): pages here are overwritten in
+    place, so old versions survive only in bounded in-memory version
+    chains, maintained per key {e only while snapshots are live}.  A
+    chain is seeded at a key's first committed write under a live
+    snapshot (pre-image taken from the committing transaction's undo
+    image) and extended at each commit with the commit's sequence
+    number; a snapshot pinned at horizon [h] reads the newest entry at
+    or below [h], falling back to the committed page image (the undo
+    image when a live writer has the page dirty) for keys never
+    committed-to since the pin.  Chains are trimmed past the snapshot
+    watermark at every push and release, and dropped entirely when the
+    last snapshot closes or on crash — with no snapshots the engine
+    runs exactly as before.
 
-include Kv.S
+    Satisfies {!Kv.SNAPSHOT}; extras below. *)
+
+include Kv.SNAPSHOT
 
 val create_with : ?n_keys:int -> ?keys_per_page:int -> unit -> t
 (** [create] is [create_with] with 4 keys per page (1 KB pages, one log

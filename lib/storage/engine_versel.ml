@@ -5,13 +5,33 @@ let payload_size = 1024
 
 let slot_size = 16 + payload_size
 
+(* An old committed slot image displaced by an overwrite while some
+   live snapshot could still need it.  [rv_shadow] is the commit seq of
+   the version that displaced it: a snapshot pinned at horizon [h]
+   needs this entry only while [h < rv_shadow] (at [h >= rv_shadow] the
+   displacing version is visible and newer). *)
+type retained_version = {
+  rv_version : int;
+  rv_writer : int;
+  rv_payload : Bytes.t;
+  rv_shadow : int;
+}
+
 type store = {
   n_keys : int;
   keys_per_page : int;
   n_logical : int;
   disk : Vdisk.t;
   commit_list : Journal.t;
-  committed : (int, unit) Hashtbl.t;
+  (* txn id -> commit sequence number (commit-list append order) *)
+  committed : (int, int) Hashtbl.t;
+  mutable next_seq : int;
+  (* live snapshot id -> pinned horizon *)
+  snaps : (int, int) Hashtbl.t;
+  mutable next_snap : int;
+  (* logical page -> displaced committed versions live snapshots may
+     still select; pruned as snapshots release *)
+  retained : (int, retained_version list) Hashtbl.t;
   mutable next_txn : int;
   mutable epoch : int;
   mutable live : int;
@@ -35,6 +55,10 @@ let create_with ?(n_keys = 256) ?(keys_per_page = 4) () =
     disk = Vdisk.create ~pages:(2 * n_logical) ~page_size:slot_size ();
     commit_list = Journal.create ();
     committed = Hashtbl.create 32;
+    next_seq = 1;
+    snaps = Hashtbl.create 8;
+    next_snap = 0;
+    retained = Hashtbl.create 16;
     next_txn = 1;
     epoch = 0;
     live = 0;
@@ -97,6 +121,40 @@ let get txn k =
   let _, current, _ = select txn.st ~own:txn.id (page_of txn.st k) in
   Page.lookup (slot_payload current) ~key:k
 
+(* Oldest horizon any live snapshot is pinned to. *)
+let watermark t = Hashtbl.fold (fun _ h acc -> min h acc) t.snaps max_int
+
+(* The commit seq of a writer tag: the initial writer 0 predates every
+   commit (seq 0); an id missing from the committed list is uncommitted
+   garbage. *)
+let seq_of t w = if w = 0 then Some 0 else Hashtbl.find_opt t.committed w
+
+(* About to overwrite slot [idx] of page [p]: if it holds a committed
+   version some live snapshot can still select — its displacing version
+   (the current committed slot) commits past the watermark — copy it
+   into the retained side-table before it is destroyed.  This is the
+   only copy on the write path, and it happens at most once per
+   displaced committed version while snapshots are live. *)
+let retain_displaced t p ~target_idx ~shadow_writer =
+  if Hashtbl.length t.snaps > 0 then begin
+    let old_slot = Vdisk.read_ro t.disk ((2 * p) + target_idx) in
+    let tw = slot_writer old_slot in
+    if tw <> 0 then
+      match (Hashtbl.find_opt t.committed tw, seq_of t shadow_writer) with
+      | Some _, Some shadow when shadow > watermark t ->
+        let entry =
+          {
+            rv_version = slot_version old_slot;
+            rv_writer = tw;
+            rv_payload = slot_payload old_slot;
+            rv_shadow = shadow;
+          }
+        in
+        let prior = Option.value (Hashtbl.find_opt t.retained p) ~default:[] in
+        Hashtbl.replace t.retained p (entry :: prior)
+      | _ -> ()
+  end
+
 let update_key txn k value =
   check txn;
   check_key txn.st k;
@@ -116,6 +174,8 @@ let update_key txn k value =
   let target =
     if slot_writer current = txn.id then current_idx else 1 - current_idx
   in
+  if target <> current_idx then
+    retain_displaced t p ~target_idx:target ~shadow_writer:(slot_writer current);
   Vdisk.write t.disk ((2 * p) + target) (make_slot ~version:next_version ~writer:txn.id payload)
 
 let put txn k v = update_key txn k (Some v)
@@ -126,6 +186,11 @@ let finish txn =
   txn.finished <- true;
   txn.st.live <- txn.st.live - 1
 
+let commit_seq t =
+  let s = t.next_seq in
+  t.next_seq <- s + 1;
+  s
+
 let commit txn =
   check txn;
   let t = txn.st in
@@ -134,8 +199,26 @@ let commit txn =
   Vdisk.sync t.disk;
   ignore (Journal.append t.commit_list (string_of_int txn.id));
   Journal.sync t.commit_list;
-  Hashtbl.replace t.committed txn.id ();
+  Hashtbl.replace t.committed txn.id (commit_seq t);
   finish txn
+
+(* Group commit: append the commit id but force nothing.  The
+   transaction is committed in memory (its slots select) and becomes
+   durable at the next [force_commits] — or any eager [commit], whose
+   disk + commit-list syncs cover every pending slot and id; a crash
+   before that loses it (the group-commit durability window). *)
+let commit_group txn =
+  check txn;
+  let t = txn.st in
+  ignore (Journal.append t.commit_list (string_of_int txn.id));
+  Hashtbl.replace t.committed txn.id (commit_seq t);
+  finish txn
+
+(* Slots before ids, as in eager commit: a durable commit id must never
+   precede the slots it promises. *)
+let force_commits t =
+  Vdisk.sync t.disk;
+  Journal.sync t.commit_list
 
 let abort txn =
   check txn;
@@ -144,14 +227,22 @@ let abort txn =
 
 let recover t =
   Hashtbl.reset t.committed;
-  List.iter (fun r -> Hashtbl.replace t.committed (int_of_string r) ()) (Journal.read_all t.commit_list);
+  (* Commit seqs rebuild from durable commit-list order — the order
+     they were assigned in (appends happen at commit). *)
+  let seq = ref 0 in
+  List.iter
+    (fun r ->
+      incr seq;
+      Hashtbl.replace t.committed (int_of_string r) !seq)
+    (Journal.read_all t.commit_list);
+  t.next_seq <- !seq + 1;
   (* Transaction ids must never be reused: a recycled id would make a
      crashed transaction's garbage slot look live.  Scan every slot. *)
   let max_tag = ref 0 in
   for s = 0 to (2 * t.n_logical) - 1 do
     max_tag := max !max_tag (slot_writer (Vdisk.read_ro t.disk s))
   done;
-  Hashtbl.iter (fun id () -> max_tag := max !max_tag id) t.committed;
+  Hashtbl.iter (fun id _ -> max_tag := max !max_tag id) t.committed;
   t.next_txn <- !max_tag + 1;
   t.live <- 0;
   t.recoveries <- t.recoveries + 1
@@ -159,10 +250,89 @@ let recover t =
 let crash_and_recover t =
   Vdisk.crash t.disk;
   Journal.crash t.commit_list;
+  Hashtbl.reset t.snaps;
+  Hashtbl.reset t.retained;
   t.epoch <- t.epoch + 1;
   recover t
 
 let checkpoint _ = ()
+
+(* --- MVCC snapshots ------------------------------------------------- *)
+
+type snapshot = {
+  s_st : store;
+  s_id : int;
+  s_horizon : int;
+  s_born : int;
+  mutable s_released : bool;
+}
+
+let snapshot t =
+  let id = t.next_snap in
+  t.next_snap <- id + 1;
+  let horizon = t.next_seq - 1 in
+  Hashtbl.replace t.snaps id horizon;
+  { s_st = t; s_id = id; s_horizon = horizon; s_born = t.epoch; s_released = false }
+
+(* Drop retained versions no remaining snapshot can need: an entry is
+   needed only by horizons strictly below its displacing commit. *)
+let prune_retained t =
+  if Hashtbl.length t.snaps = 0 then Hashtbl.reset t.retained
+  else begin
+    let wm = watermark t in
+    let stale = ref [] in
+    Hashtbl.iter
+      (fun p entries ->
+        let kept = List.filter (fun rv -> rv.rv_shadow > wm) entries in
+        if kept = [] then stale := p :: !stale
+        else if List.length kept < List.length entries then Hashtbl.replace t.retained p kept)
+      t.retained;
+    List.iter (Hashtbl.remove t.retained) !stale
+  end
+
+let snapshot_release s =
+  if not s.s_released then begin
+    s.s_released <- true;
+    if s.s_born = s.s_st.epoch then begin
+      Hashtbl.remove s.s_st.snaps s.s_id;
+      prune_retained s.s_st
+    end
+  end
+
+let live_snapshots t = Hashtbl.length t.snaps
+
+(* Version selection pinned to the horizon: among both disk slots plus
+   the page's retained versions, those whose writer committed at or
+   before the pin (writer 0 = the initial empty state, seq 0), the
+   highest version wins.  Nothing visible = the page was empty at the
+   pin. *)
+let snapshot_get s k =
+  if s.s_released || s.s_born <> s.s_st.epoch then raise Kv.Txn_finished;
+  let t = s.s_st in
+  check_key t k;
+  let p = page_of t k in
+  let best_v = ref (-1) in
+  let best = ref None in
+  let consider ~version ~writer payload =
+    if version > !best_v then
+      match seq_of t writer with
+      | Some seq when seq <= s.s_horizon ->
+        best_v := version;
+        best := Some payload
+      | Some _ | None -> ()
+  in
+  let slot i =
+    let sl = Vdisk.read_ro t.disk ((2 * p) + i) in
+    consider ~version:(slot_version sl) ~writer:(slot_writer sl) (slot_payload sl)
+  in
+  slot 0;
+  slot 1;
+  List.iter
+    (fun rv -> consider ~version:rv.rv_version ~writer:rv.rv_writer rv.rv_payload)
+    (Option.value (Hashtbl.find_opt t.retained p) ~default:[]);
+  match !best with
+  | Some payload -> Page.lookup payload ~key:k
+  | None -> Page.lookup (Page.empty ~page_size:payload_size) ~key:k
 
 let committed_count t = Hashtbl.length t.committed
 

@@ -17,11 +17,31 @@
     read transfers two blocks, disk space doubles) is visible here as
     the two-slot layout and the double read in [select].
 
-    Satisfies {!Kv.S}; extras below. *)
+    MVCC snapshot reads ({!Kv.SNAPSHOT}): the two slots of a page are
+    two versions, so a snapshot pinned to a commit point (commit-list
+    order) selects per page the highest version whose writer committed
+    at or before the pin.  When an overwrite would destroy a committed
+    slot image some live snapshot can still select, that single slot is
+    copied into a retained side-table first; entries are pruned as
+    snapshots release (and the table emptied when none remain), so with
+    no live snapshots the engine runs exactly as before — zero copies.
 
-include Kv.S
+    Satisfies {!Kv.SNAPSHOT}; extras below. *)
+
+include Kv.SNAPSHOT
 
 val create_with : ?n_keys:int -> ?keys_per_page:int -> unit -> t
+
+val commit_group : txn -> unit
+(** Group commit: append the commit id but force nothing.  The
+    transaction is committed in memory (its slots select immediately)
+    and becomes durable at the next {!force_commits} — or any eager
+    [commit], whose disk and commit-list syncs cover every pending slot
+    and id; a crash before that loses it. *)
+
+val force_commits : t -> unit
+(** Sync the data slots, then the committed list (slots before ids):
+    every group-committed transaction becomes durable. *)
 
 val committed_count : t -> int
 

@@ -21,6 +21,17 @@ module type S = sig
   val stats : t -> (string * int) list
 end
 
+module type SNAPSHOT = sig
+  include S
+
+  type snapshot
+
+  val snapshot : t -> snapshot
+  val snapshot_get : snapshot -> int -> string option
+  val snapshot_release : snapshot -> unit
+  val live_snapshots : t -> int
+end
+
 module Model : S = struct
   type t = {
     n_keys : int;

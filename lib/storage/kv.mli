@@ -63,6 +63,37 @@ module type S = sig
       table flips, ...). *)
 end
 
+(** Engines that retain old committed versions can expose them as MVCC
+    snapshots: a {!SNAPSHOT.snapshot} is a consistent read-only view
+    pinned to the commit point at which it was taken.  Reads through it
+    see exactly the committed state of that instant — never a later
+    commit, never uncommitted work — without taking any lock and
+    without copying the store.  Old versions are reclaimed only once
+    every snapshot that could see them has been released (the snapshot
+    horizon), so merge/checkpoint/truncation never frees a version a
+    live snapshot still needs. *)
+module type SNAPSHOT = sig
+  include S
+
+  type snapshot
+
+  val snapshot : t -> snapshot
+  (** Pin a read-only view to the current commit point.  O(1): no data
+      is copied; visibility is decided per read against the commit
+      ordering the engine already maintains. *)
+
+  val snapshot_get : snapshot -> int -> string option
+  (** Read through the pinned view.  Lock-free and non-blocking.
+      @raise Txn_finished after {!snapshot_release} or a crash. *)
+
+  val snapshot_release : snapshot -> unit
+  (** Close the view and advance the reclamation watermark.  Idempotent
+      after a crash (crashes drop every snapshot). *)
+
+  val live_snapshots : t -> int
+  (** Snapshots taken and not yet released (crashes reset it to 0). *)
+end
+
 module Model : S
 (** Executable specification: an in-memory store with perfect
     transactional semantics (commit durable, uncommitted work lost on

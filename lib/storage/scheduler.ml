@@ -4,9 +4,13 @@ type script = op list
 
 type report = { commit_order : int list; restarts : int; steps : int }
 
+type view = { view_get : int -> string option; view_close : unit -> unit }
+
 let key_of = function Get k -> k | Put (k, _) -> k | Delete k -> k
 
-let mode_of = function Get _ -> Lock_mgr.S | Put _ | Delete _ -> Lock_mgr.X
+let mode_of read_mode = function
+  | Get _ -> read_mode
+  | Put _ | Delete _ -> Lock_mgr.X
 
 module Make (E : Kv.S) = struct
   (* The execution core, shared by the closed-loop [run] below and the
@@ -21,8 +25,10 @@ module Make (E : Kv.S) = struct
       id : int;
       index : int;  (* distinct small index, for distinct backoffs *)
       script : script;
+      read_only : bool;
       mutable remaining : script;
       mutable txn : E.txn option;
+      mutable view : view option;  (* open snapshot view (read-only tasks) *)
       mutable done_ : bool;
       mutable restart_count : int;
       mutable backoff : int;  (* scheduler turns to sit out after a restart *)
@@ -33,11 +39,14 @@ module Make (E : Kv.S) = struct
     type t = {
       engine : E.t;
       commit : id:int -> E.txn -> unit;
+      snapshot : (unit -> view) option;
+      read_mode : Lock_mgr.mode;
       locks : Lock_mgr.t;
       parked : (int, task list ref) Hashtbl.t;
       mutable commit_order : int list;  (* reversed *)
       mutable restarts : int;
       mutable steps : int;
+      mutable lock_acquires : int;
     }
 
     type outcome =
@@ -47,25 +56,36 @@ module Make (E : Kv.S) = struct
       | Restarted  (* deadlock victim: rolled back *)
       | Committed
 
-    let create ?commit engine =
+    let create ?commit ?snapshot ?(read_mode = Lock_mgr.S) engine =
       let commit = match commit with Some f -> f | None -> fun ~id:_ t -> E.commit t in
       {
         engine;
         commit;
+        snapshot;
+        read_mode;
         locks = Lock_mgr.create ();
         parked = Hashtbl.create 32;
         commit_order = [];
         restarts = 0;
         steps = 0;
+        lock_acquires = 0;
       }
 
-    let spawn _t ~index ~id script =
+    let spawn t ?(read_only = false) ~index ~id script =
+      if read_only && t.snapshot <> None then
+        List.iter
+          (function
+            | Get _ -> ()
+            | Put _ | Delete _ -> invalid_arg "Scheduler.Exec.spawn: write in read-only script")
+          script;
       {
         id;
         index;
         script;
+        read_only;
         remaining = script;
         txn = None;
+        view = None;
         done_ = false;
         restart_count = 0;
         backoff = 0;
@@ -75,11 +95,15 @@ module Make (E : Kv.S) = struct
 
     let finished st = st.done_
 
+    let task_restarts st = st.restart_count
+
     let commit_order t = List.rev t.commit_order
 
     let restarts t = t.restarts
 
     let steps t = t.steps
+
+    let lock_acquires t = t.lock_acquires
 
     let park t st page =
       st.parked_on <- Some page;
@@ -133,12 +157,43 @@ module Make (E : Kv.S) = struct
         st.txn <- Some tx;
         tx
 
+    (* The lock-free path for a read-only task when a snapshot factory
+       is installed: every Get reads through a view pinned at the
+       task's first read, no lock is ever requested, so the task can
+       neither block nor be a deadlock victim — it advances every turn
+       it gets and commits by closing the view.  Without a factory,
+       read-only tasks run the ordinary locked path. *)
+    let advance_snapshot t st =
+      match st.remaining with
+      | [] ->
+        (match st.view with Some v -> v.view_close () | None -> ());
+        st.view <- None;
+        st.done_ <- true;
+        t.commit_order <- st.id :: t.commit_order;
+        Committed
+      | op :: rest ->
+        let v =
+          match st.view with
+          | Some v -> v
+          | None ->
+            let v = (Option.get t.snapshot) () in
+            st.view <- Some v;
+            v
+        in
+        (match op with
+        | Get k -> ignore (v.view_get k)
+        | Put _ | Delete _ -> invalid_arg "Scheduler: write in read-only script");
+        st.remaining <- rest;
+        Advanced
+
     (* One advance attempt for a runnable task: execute one operation,
        or commit.  Locks are released at commit time regardless of what
        the commit sink does about durability (strict 2PL ends when the
        commit record is {e appended}; group commit only defers the
        force). *)
     let advance t st =
+      if st.read_only && t.snapshot <> None then advance_snapshot t st
+      else begin
       unpark t st;
       match st.remaining with
       | [] ->
@@ -153,8 +208,11 @@ module Make (E : Kv.S) = struct
         t.commit_order <- st.id :: t.commit_order;
         Committed
       | op :: rest -> (
+        t.lock_acquires <- t.lock_acquires + 1;
         let page = key_of op / E.keys_per_page t.engine in
-        match Lock_mgr.acquire_wait_info t.locks ~txn:st.id ~page ~mode:(mode_of op) with
+        match
+          Lock_mgr.acquire_wait_info t.locks ~txn:st.id ~page ~mode:(mode_of t.read_mode op)
+        with
         | Lock_mgr.Granted, _ ->
           let tx = txn_of t st in
           (match op with
@@ -171,6 +229,7 @@ module Make (E : Kv.S) = struct
           (* strict 2PL victim: roll back and start over *)
           restart t st;
           Restarted)
+      end
 
     (* One scheduler turn for a task: counts a step, serves the backoff,
        skips a parked-and-unwoken task, otherwise advances. *)

@@ -32,6 +32,16 @@ type report = {
   steps : int;  (** scheduler steps taken *)
 }
 
+(** A pinned read-only view of an engine, as the scheduler consumes it:
+    how to read a key and how to close the view.  Engine-agnostic so
+    the execution core does not require {!Kv.SNAPSHOT} — callers build
+    one from an engine's [snapshot]/[snapshot_get]/[snapshot_release]
+    and install the factory via {!Make.Exec.create}. *)
+type view = {
+  view_get : int -> string option;
+  view_close : unit -> unit;
+}
+
 module Make (E : Kv.S) : sig
   (** The admission-independent execution core: who holds which page
       lock, who is parked on what, and how one scheduler turn advances
@@ -49,18 +59,42 @@ module Make (E : Kv.S) : sig
       | Restarted  (** deadlock victim: rolled back, will retry *)
       | Committed
 
-    val create : ?commit:(id:int -> E.txn -> unit) -> E.t -> t
+    val create :
+      ?commit:(id:int -> E.txn -> unit) ->
+      ?snapshot:(unit -> view) ->
+      ?read_mode:Lock_mgr.mode ->
+      E.t ->
+      t
     (** [commit] is the commit sink, called exactly once per finishing
         task with the script id and the open transaction; it must
         commit (eagerly or via {!Kv} group commit).  Default:
         [E.commit].  Locks are released right after the sink returns —
         strict 2PL ends when the commit record is appended; a deferred
-        force does not extend lock hold times. *)
+        force does not extend lock hold times.
 
-    val spawn : t -> index:int -> id:int -> script -> task
+        [snapshot] is the MVCC view factory.  When present, tasks
+        spawned [~read_only:true] execute lock-free: a view is pinned
+        at the task's first read and every Get goes through it, so the
+        task never touches {!Lock_mgr} — it cannot block, cannot
+        deadlock, never restarts.  Absent (the default), read-only
+        tasks run the ordinary locked path.
+
+        [read_mode] is the lock mode Gets acquire (default
+        {!Lock_mgr.S}).  [Lock_mgr.X] turns the scheduler into the
+        exclusive-only baseline — every read serializes against every
+        other access to its page — which is what the snapshot bench
+        compares against.  Defaults reproduce the pre-MVCC scheduler
+        bit-identically. *)
+
+    val spawn : t -> ?read_only:bool -> index:int -> id:int -> script -> task
     (** Register a task.  [id] must be unique among live tasks (it keys
         the lock table); [index] should be small and distinct among
-        concurrent tasks — it scales the post-restart backoff. *)
+        concurrent tasks — it scales the post-restart backoff.
+        [read_only] (default [false]) selects the lock-free snapshot
+        path when the factory is installed; the script must then be all
+        Gets.
+        @raise Invalid_argument on a read-only script containing a
+        write while a snapshot factory is installed. *)
 
     val step : t -> task -> outcome
     (** One scheduler turn: count a step, serve backoff, skip a parked
@@ -69,11 +103,19 @@ module Make (E : Kv.S) : sig
 
     val finished : task -> bool
 
+    val task_restarts : task -> int
+    (** Deadlock-victim restarts suffered by this task alone. *)
+
     val commit_order : t -> int list
 
     val restarts : t -> int
 
     val steps : t -> int
+
+    val lock_acquires : t -> int
+    (** Lock acquisition attempts issued to {!Lock_mgr} (grants, blocks
+        and deadlocks alike).  Snapshot-path reads issue none — the
+        read-only bench pins this at zero. *)
   end
 
   val run : ?max_steps:int -> E.t -> scripts:(int * script) list -> report

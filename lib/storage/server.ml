@@ -13,10 +13,14 @@ type result = {
   makespan_us : float;
   sustained_tps : float;
   restarts : int;
+  ro_restarts : int;
   forces : int;
   max_inflight : int;
   max_queued : int;
+  lock_acquires : int;
   latency_us : Histogram.t;
+  ro_latency_us : Histogram.t;
+  rw_latency_us : Histogram.t;
 }
 
 (* After this many consecutive round-robin passes with no task
@@ -30,34 +34,49 @@ module Make (E : ENGINE) = struct
   module Sch = Scheduler.Make (E)
   module Pipe = Commit_pipeline.Make (E)
 
-  let run ?(mpl = 64) ?(op_cost_us = 1.0) ?(sync_cost_us = 100.0) ~mode ~arrivals_us ~scripts
-      engine =
+  let run ?(mpl = 64) ?(op_cost_us = 1.0) ?(sync_cost_us = 100.0) ?snapshot ?read_mode
+      ?read_only ~mode ~arrivals_us ~scripts engine =
     if mpl < 1 then invalid_arg "Server.run: mpl must be >= 1";
     if not (op_cost_us >= 0.0 && Float.is_finite op_cost_us) then
       invalid_arg "Server.run: op_cost_us must be non-negative and finite";
     let n = Array.length arrivals_us in
     if Array.length scripts <> n then
       invalid_arg "Server.run: arrivals and scripts must have equal length";
+    (match read_only with
+    | Some ro when Array.length ro <> n ->
+      invalid_arg "Server.run: read_only and scripts must have equal length"
+    | _ -> ());
     Array.iteri
       (fun i a ->
         if not (Float.is_finite a && a >= 0.0 && (i = 0 || a >= arrivals_us.(i - 1))) then
           invalid_arg "Server.run: arrival times must be finite, non-negative, non-decreasing")
       arrivals_us;
+    let is_ro id = match read_only with Some ro -> ro.(id) | None -> false in
     let now = ref 0.0 in
-    let hist = Histogram.create () in
+    let ro_hist = Histogram.create () in
+    let rw_hist = Histogram.create () in
     let acked = ref 0 in
     let pipe =
       Pipe.create ~sync_cost_us
         ~on_ack:(fun ~id ~now ->
-          Histogram.add hist (Float.max 0.0 (now -. arrivals_us.(id)));
+          (* Locked-path read-only transactions still commit through the
+             pipeline; route their latency to their class. *)
+          Histogram.add (if is_ro id then ro_hist else rw_hist) (Float.max 0.0 (now -. arrivals_us.(id)));
           incr acked)
         mode engine
     in
     (* The commit sink: every finishing task commits through the shared
-       pipeline, on the server clock. *)
-    let ex = Sch.Exec.create ~commit:(fun ~id txn -> now := Pipe.submit pipe ~now:!now ~id txn) engine in
+       pipeline, on the server clock.  Snapshot-path read-only tasks
+       never reach it — they have no transaction and nothing needing
+       durability; their ack is their final step (below). *)
+    let ex =
+      Sch.Exec.create
+        ~commit:(fun ~id txn -> now := Pipe.submit pipe ~now:!now ~id txn)
+        ?snapshot ?read_mode engine
+    in
     let waitq : int Queue.t = Queue.create () in
-    let runq : Sch.Exec.task Queue.t = Queue.create () in
+    let runq : (Sch.Exec.task * int) Queue.t = Queue.create () in
+    let ro_tasks : Sch.Exec.task list ref = ref [] in
     let next = ref 0 in
     let spawned = ref 0 in
     let max_inflight = ref 0 in
@@ -78,11 +97,18 @@ module Make (E : ENGINE) = struct
     let admit () =
       while (not (Queue.is_empty waitq)) && in_flight () < mpl do
         let id = Queue.pop waitq in
-        Queue.push (Sch.Exec.spawn ex ~index:(!spawned mod mpl) ~id scripts.(id)) runq;
+        let task =
+          Sch.Exec.spawn ex ~read_only:(is_ro id) ~index:(!spawned mod mpl) ~id scripts.(id)
+        in
+        if is_ro id then ro_tasks := task :: !ro_tasks;
+        Queue.push (task, id) runq;
         incr spawned;
         if in_flight () > !max_inflight then max_inflight := in_flight ()
       done
     in
+    (* A snapshot-path read-only commit is its ack: no transaction, no
+       pipeline, latency is arrival to final step. *)
+    let snapshot_path = snapshot <> None in
     while !acked < n do
       pump_arrivals ();
       now := Pipe.poll pipe ~now:!now;
@@ -92,13 +118,20 @@ module Make (E : ENGINE) = struct
          sink charges sync latency inside [step] when it forces. *)
       let progressed = ref false in
       for _ = 1 to Queue.length runq do
-        let task = Queue.pop runq in
+        let task, id = Queue.pop runq in
         (match Sch.Exec.step ex task with
-        | Sch.Exec.Advanced | Sch.Exec.Restarted | Sch.Exec.Committed ->
+        | Sch.Exec.Committed ->
+          now := !now +. op_cost_us;
+          progressed := true;
+          if snapshot_path && is_ro id then begin
+            Histogram.add ro_hist (Float.max 0.0 (!now -. arrivals_us.(id)));
+            incr acked
+          end
+        | Sch.Exec.Advanced | Sch.Exec.Restarted ->
           now := !now +. op_cost_us;
           progressed := true
         | Sch.Exec.Blocked | Sch.Exec.Skipped -> ());
-        if not (Sch.Exec.finished task) then Queue.push task runq
+        if not (Sch.Exec.finished task) then Queue.push (task, id) runq
       done;
       if !progressed then idle_passes := 0
       else begin
@@ -128,9 +161,13 @@ module Make (E : ENGINE) = struct
       makespan_us;
       sustained_tps = (if makespan_us > 0.0 then float_of_int n /. makespan_us *. 1e6 else Float.infinity);
       restarts = Sch.Exec.restarts ex;
+      ro_restarts = List.fold_left (fun acc t -> acc + Sch.Exec.task_restarts t) 0 !ro_tasks;
       forces = Pipe.forces pipe;
       max_inflight = !max_inflight;
       max_queued = !max_queued;
-      latency_us = hist;
+      lock_acquires = Sch.Exec.lock_acquires ex;
+      latency_us = Histogram.merge rw_hist ro_hist;
+      ro_latency_us = ro_hist;
+      rw_latency_us = rw_hist;
     }
 end

@@ -33,15 +33,24 @@ module type ENGINE = sig
 end
 
 type result = {
-  completed : int;  (** transactions durably acknowledged (= arrivals) *)
+  completed : int;  (** transactions acknowledged (= arrivals) *)
   makespan_us : float;  (** clock instant of the last ack *)
   sustained_tps : float;  (** completed per second of simulated time *)
   restarts : int;  (** deadlock-victim restarts *)
+  ro_restarts : int;
+      (** restarts suffered by read-only transactions (always 0 on the
+          snapshot path — they never touch the lock manager) *)
   forces : int;  (** log forces (eager commits count one each) *)
   max_inflight : int;  (** peak concurrent in-flight transactions *)
   max_queued : int;  (** peak admission-queue depth *)
+  lock_acquires : int;  (** lock acquisition attempts issued *)
   latency_us : Dbm_util.Stats.Histogram.t;
-      (** arrival-to-ack latency of every transaction, µs *)
+      (** arrival-to-ack latency of every transaction, µs (the merge of
+          the two class histograms below) *)
+  ro_latency_us : Dbm_util.Stats.Histogram.t;
+      (** read-only transactions only *)
+  rw_latency_us : Dbm_util.Stats.Histogram.t;
+      (** read-write transactions only *)
 }
 
 module Make (E : ENGINE) : sig
@@ -49,6 +58,9 @@ module Make (E : ENGINE) : sig
     ?mpl:int ->
     ?op_cost_us:float ->
     ?sync_cost_us:float ->
+    ?snapshot:(unit -> Scheduler.view) ->
+    ?read_mode:Lock_mgr.mode ->
+    ?read_only:bool array ->
     mode:Commit_pipeline.mode ->
     arrivals_us:float array ->
     scripts:Scheduler.script array ->
@@ -60,6 +72,16 @@ module Make (E : ENGINE) : sig
       of magnitude above an in-memory operation, the ratio that makes
       the force the dominant latency term.  Deterministic in its
       arguments.
+
+      [read_only.(i)] marks script [i] as a read-only transaction (all
+      Gets; default none).  With [snapshot] installed (see
+      {!Scheduler.Make.Exec.create}) read-only transactions execute
+      lock-free over pinned MVCC views, bypass the commit pipeline
+      (nothing to make durable — the ack is the final step), and can
+      never restart; without it they run the ordinary locked path and
+      commit through the pipeline.  [read_mode] sets the lock mode of
+      Gets on the locked path ({!Lock_mgr.X} = the exclusive-only
+      baseline the snapshot bench compares against).
       @raise Invalid_argument on bad parameters.
       @raise Failure on livelock (no progress for a bounded number of
       scheduler passes). *)

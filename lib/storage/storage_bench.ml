@@ -63,6 +63,28 @@ type server_engine = {
          crash between append and force) equals the eager reference *)
 }
 
+type read_mode_point = {
+  rm_mode : string;  (* "xlock" | "slock" | "snapshot" *)
+  rm_sustained_tps : float;
+  rm_restarts : int;
+  rm_ro_restarts : int;
+  rm_lock_acquires : int;
+  rm_ro_p50_us : float;
+  rm_ro_p99_us : float;
+  rm_rw_p50_us : float;
+  rm_rw_p99_us : float;
+}
+
+type read_frac_point = {
+  rf_read_frac : float;
+  rf_heavy_tail : bool;  (* Pareto transaction sizes at this point *)
+  rf_modes : read_mode_point list;
+  rf_snapshot_speedup : float;  (* snapshot tps / exclusive-lock tps *)
+  rf_equivalent : bool;  (* post-crash scan digests equal across modes *)
+}
+
+type read_engine = { re_engine : string; re_points : read_frac_point list }
+
 type t = {
   scale : int;
   (* Contended-scheduler head-to-head: identical workload through the
@@ -103,6 +125,13 @@ type t = {
   server : server_engine list;
   server_speedup : float;  (* worst grouped/eager ratio across engines *)
   server_equivalent : bool;  (* every engine's equivalence check passed *)
+  (* MVCC snapshot reads: read-heavy open-loop sweep per
+     snapshot-capable engine, exclusive-lock baseline vs S/X locked
+     reads vs snapshot read-only class. *)
+  read_heavy : read_engine list;
+  read_speedup : float;  (* worst snapshot/xlock tps ratio at ~0.9 *)
+  read_ro_restarts : int;  (* total snapshot-mode read-only restarts *)
+  read_equivalent : bool;  (* every point's cross-mode scan check passed *)
   pool_hit_ns : float;
   pool_miss_ns : float;
   journal_append_per_sec : float;
@@ -690,13 +719,204 @@ let server_bench ~scale =
     server_bench_engine (module Engine_diff) ~loads:server_loads ~n ~seed;
   ]
 
+(* --- MVCC snapshot reads: read-heavy head-to-head ------------------- *)
+
+(* What the read-heavy sweep needs: a {!Server.ENGINE} whose engine can
+   also pin MVCC snapshots.  Engine_diff, Engine_versel and
+   Engine_oplog all satisfy it. *)
+module type SNAPSHOT_SERVER_ENGINE = sig
+  include Server.ENGINE
+
+  type snapshot
+
+  val snapshot : t -> snapshot
+
+  val snapshot_get : snapshot -> int -> string option
+
+  val snapshot_release : snapshot -> unit
+
+  val live_snapshots : t -> int
+end
+
+let snapshot_engines : (module SNAPSHOT_SERVER_ENGINE) list =
+  [ (module Engine_diff); (module Engine_versel); (module Engine_oplog) ]
+
+(* Zipfian-page transactions with a read-only class carved out: each
+   transaction's whole write set is cleared with probability
+   [read_frac].  One key per referenced page keeps conflicts at the
+   page granule; the heavy-tail variant draws Pareto sizes (satellite:
+   mostly-small, occasionally-huge transaction mixes). *)
+let read_heavy_scripts ~n ~seed ~read_frac ~heavy =
+  let cfg =
+    {
+      W.n_transactions = n;
+      min_pages = 2;
+      max_pages = (if heavy then 32 else 8);
+      write_fraction = 0.6;
+      pattern = W.Zipfian { theta = 0.99 };
+      db_pages = 256;
+      seed;
+    }
+  in
+  let size_dist = if heavy then W.Pareto_size { alpha = 1.5 } else W.Uniform_size in
+  let txns = W.generate_with ~size_dist cfg in
+  let rng = Dbm_util.Prng.create (seed lxor 0x5eed) in
+  let txns = W.apply_read_fraction rng ~read_frac txns in
+  let read_only = Array.map (fun t -> W.write_set_size t = 0) txns in
+  let scripts =
+    Array.map
+      (fun t ->
+        List.init (Array.length t.W.pages) (fun i ->
+            let k = t.W.pages.(i) * 4 in
+            if t.W.writes.(i) then Scheduler.Put (k, value) else Scheduler.Get k))
+      txns
+  in
+  (scripts, read_only)
+
+(* The committed data, as data: crash-recover, then digest a full key
+   scan through a fresh transaction.  Every put writes the one constant
+   [value], so the recovered store is independent of commit order and
+   the three lock modes must scan identically — unlike the engines'
+   [state_fingerprint]s, whose counters legitimately differ across
+   modes. *)
+let read_scan_digest (type a) (module E : SNAPSHOT_SERVER_ENGINE with type t = a) (e : a) =
+  E.crash_and_recover e;
+  let d = Dbm_util.Digest.create () in
+  let txn = E.begin_txn e in
+  for k = 0 to E.max_keys e - 1 do
+    Dbm_util.Digest.int d k;
+    match E.get txn k with
+    | Some v ->
+      Dbm_util.Digest.int d 1;
+      Dbm_util.Digest.string d v
+    | None -> Dbm_util.Digest.int d 0
+  done;
+  E.abort txn;
+  Dbm_util.Digest.hex d
+
+let pctl h p = if Hist.count h = 0 then 0.0 else Hist.percentile h ~p
+
+(* One server run of the workload under one read-lock regime, through
+   the eager (per-commit-force) pipeline: in the locked modes {e every}
+   transaction — read-only ones included — appends a commit record and
+   pays the force; the snapshot read-only class has nothing to make
+   durable and bypasses the pipeline, which together with the absent
+   lock waits is where its throughput headroom comes from.  Returns
+   the point and the post-crash scan digest (plus a snapshot-leak
+   check: every view must be closed by the end). *)
+let read_mode_run (type a) (module E : SNAPSHOT_SERVER_ENGINE with type t = a) ~mode_name
+    ~arrivals_us ~scripts ~read_only =
+  let module Srv = Server.Make (E) in
+  let e = E.create ~n_keys:1024 () in
+  let snapshot =
+    if not (String.equal mode_name "snapshot") then None
+    else
+      Some
+        (fun () ->
+          let s = E.snapshot e in
+          {
+            Scheduler.view_get = (fun k -> E.snapshot_get s k);
+            view_close = (fun () -> E.snapshot_release s);
+          })
+  in
+  let read_mode = if String.equal mode_name "xlock" then Some Lock_mgr.X else None in
+  let r =
+    Srv.run ?snapshot ?read_mode ~read_only ~mpl:64 ~op_cost_us:1.0 ~sync_cost_us:100.0
+      ~mode:Commit_pipeline.Eager ~arrivals_us ~scripts e
+  in
+  let leaked = E.live_snapshots e in
+  let point =
+    {
+      rm_mode = mode_name;
+      rm_sustained_tps = r.Server.sustained_tps;
+      rm_restarts = r.Server.restarts;
+      rm_ro_restarts = r.Server.ro_restarts;
+      rm_lock_acquires = r.Server.lock_acquires;
+      rm_ro_p50_us = pctl r.Server.ro_latency_us 50.0;
+      rm_ro_p99_us = pctl r.Server.ro_latency_us 99.0;
+      rm_rw_p50_us = pctl r.Server.rw_latency_us 50.0;
+      rm_rw_p99_us = pctl r.Server.rw_latency_us 99.0;
+    }
+  in
+  (point, read_scan_digest (module E) e, leaked = 0)
+
+let read_frac_point (module E : SNAPSHOT_SERVER_ENGINE) ~n ~seed ~read_frac ~heavy =
+  let scripts, read_only = read_heavy_scripts ~n ~seed ~read_frac ~heavy in
+  (* Offered load well above the eager baseline's ~9.5k tps capacity
+     (one 100 µs force per commit), so the locked modes are
+     capacity-bound and sustained tps measures capacity, not the
+     arrival rate. *)
+  let arrivals_us =
+    let rng = Dbm_util.Prng.create (seed + int_of_float (read_frac *. 1000.0)) in
+    Array.map (fun s -> s *. 1e6) (W.gen_arrival_times rng (W.Poisson { rate = 160_000.0 }) ~n)
+  in
+  let run name = read_mode_run (module E) ~mode_name:name ~arrivals_us ~scripts ~read_only in
+  let xlock, fp_x, ok_x = run "xlock" in
+  let slock, fp_s, ok_s = run "slock" in
+  let snap, fp_n, ok_n = run "snapshot" in
+  {
+    rf_read_frac = read_frac;
+    rf_heavy_tail = heavy;
+    rf_modes = [ xlock; slock; snap ];
+    rf_snapshot_speedup =
+      (if xlock.rm_sustained_tps > 0. then snap.rm_sustained_tps /. xlock.rm_sustained_tps
+       else infinity);
+    rf_equivalent =
+      String.equal fp_x fp_s && String.equal fp_x fp_n && ok_x && ok_s && ok_n;
+  }
+
+let read_heavy_bench ~scale ~read_fracs =
+  let n = 400 * scale and seed = 90_125 in
+  List.map
+    (fun (module E : SNAPSHOT_SERVER_ENGINE) ->
+      let points =
+        List.map (fun rf -> read_frac_point (module E) ~n ~seed ~read_frac:rf ~heavy:false) read_fracs
+        @ [ read_frac_point (module E) ~n ~seed ~read_frac:0.9 ~heavy:true ]
+      in
+      { re_engine = E.engine_name; re_points = points })
+    snapshot_engines
+
+(* The gate point: among each engine's uniform-size points, the one
+   closest to read fraction 0.9 (exactly 0.9 on default sweeps). *)
+let read_gate_speedup read_heavy =
+  List.fold_left
+    (fun acc re ->
+      let uniform = List.filter (fun p -> not p.rf_heavy_tail) re.re_points in
+      match uniform with
+      | [] -> acc
+      | _ ->
+        let best =
+          List.fold_left
+            (fun (d, sp) p ->
+              let d' = Float.abs (p.rf_read_frac -. 0.9) in
+              if d' < d then (d', p.rf_snapshot_speedup) else (d, sp))
+            (infinity, infinity) uniform
+        in
+        Float.min acc (snd best))
+    infinity read_heavy
+
+let snapshot_mode_ro_restarts read_heavy =
+  List.fold_left
+    (fun acc re ->
+      List.fold_left
+        (fun acc p ->
+          List.fold_left
+            (fun acc m -> if String.equal m.rm_mode "snapshot" then acc + m.rm_ro_restarts else acc)
+            acc p.rf_modes)
+        acc re.re_points)
+    0 read_heavy
+
 (* --- entry point ---------------------------------------------------- *)
 
+let default_read_fracs = [ 0.5; 0.9; 0.99 ]
+
 let run ?(scale = 1) ?(jobs = [ 1; 2; 4 ]) ?(allow_oversubscribe = false)
-    ?(log_formats = known_formats) ~now () =
+    ?(log_formats = known_formats) ?(read_fracs = default_read_fracs) ~now () =
   if scale <= 0 then invalid_arg "Storage_bench.run: scale must be positive";
   if List.exists (fun j -> j < 1) jobs then
     invalid_arg "Storage_bench.run: jobs must all be >= 1";
+  if read_fracs = [] || List.exists (fun f -> not (f >= 0.0 && f <= 1.0)) read_fracs then
+    invalid_arg "Storage_bench.run: read_fracs must be non-empty, each in [0,1]";
   let sched_txns, sched_naive_ms, sched_opt_ms, sched_equivalent =
     run_sched_comparison ~now ~scale
   in
@@ -717,6 +937,10 @@ let run ?(scale = 1) ?(jobs = [ 1; 2; 4 ]) ?(allow_oversubscribe = false)
     List.fold_left (fun acc s -> Float.min acc s.sv_speedup) infinity server
   in
   let server_equivalent = List.for_all (fun s -> s.sv_equivalent) server in
+  let read_heavy = read_heavy_bench ~scale ~read_fracs in
+  let read_equivalent =
+    List.for_all (fun re -> List.for_all (fun p -> p.rf_equivalent) re.re_points) read_heavy
+  in
   let pool_hit_ns, pool_miss_ns = pool_ns ~now ~iters:(200_000 * scale) in
   let journal_append_per_sec, journal_append_sync_per_sec =
     journal_throughput ~now ~iters:(200_000 * scale)
@@ -750,6 +974,10 @@ let run ?(scale = 1) ?(jobs = [ 1; 2; 4 ]) ?(allow_oversubscribe = false)
     server;
     server_speedup;
     server_equivalent;
+    read_heavy;
+    read_speedup = read_gate_speedup read_heavy;
+    read_ro_restarts = snapshot_mode_ro_restarts read_heavy;
+    read_equivalent;
     pool_hit_ns;
     pool_miss_ns;
     journal_append_per_sec;

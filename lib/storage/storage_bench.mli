@@ -88,6 +88,36 @@ type server_engine = {
           crash between append and force) equals the eager reference *)
 }
 
+type read_mode_point = {
+  rm_mode : string;
+      (** ["xlock"] — every Get takes an exclusive page lock (the
+          reads-block-reads baseline); ["slock"] — S/X locking, reads
+          share; ["snapshot"] — S/X plus the lock-free read-only class
+          over pinned MVCC views *)
+  rm_sustained_tps : float;
+  rm_restarts : int;  (** deadlock-victim restarts, all classes *)
+  rm_ro_restarts : int;  (** restarts of read-only transactions *)
+  rm_lock_acquires : int;
+  rm_ro_p50_us : float;  (** read-only class latency percentiles *)
+  rm_ro_p99_us : float;
+  rm_rw_p50_us : float;  (** read-write class latency percentiles *)
+  rm_rw_p99_us : float;
+}
+
+type read_frac_point = {
+  rf_read_frac : float;  (** fraction of transactions made read-only *)
+  rf_heavy_tail : bool;
+      (** Pareto transaction sizes at this point (the heavy-tailed
+          generator), uniform sizes otherwise *)
+  rf_modes : read_mode_point list;  (** xlock, slock, snapshot *)
+  rf_snapshot_speedup : float;  (** snapshot tps over xlock tps *)
+  rf_equivalent : bool;
+      (** all three modes crash-recover to the same full-scan data
+          digest, and no mode leaked an open snapshot *)
+}
+
+type read_engine = { re_engine : string; re_points : read_frac_point list }
+
 type t = {
   scale : int;
   sched_txns : int;  (** scripts in the contended comparison *)
@@ -137,17 +167,39 @@ type t = {
           machine-independent. *)
   server_speedup : float;  (** worst grouped/eager ratio across engines *)
   server_equivalent : bool;  (** every engine's equivalence check passed *)
+  read_heavy : read_engine list;
+      (** MVCC snapshot reads: a read-heavy open-loop sweep over
+          Zipfian pages for every snapshot-capable engine
+          ({!Engine_diff}, {!Engine_versel}, {!Engine_oplog}).  At each
+          read fraction the same workload runs under three read-lock
+          regimes — exclusive-lock reads, S/X shared reads, and the
+          snapshot read-only class — plus one heavy-tailed
+          (Pareto-size) point at read fraction 0.9.  Simulated time:
+          deterministic and machine-independent. *)
+  read_speedup : float;
+      (** worst snapshot-over-xlock throughput ratio across engines at
+          the uniform-size point nearest read fraction 0.9 (a CI gate
+          holds this at >= 2) *)
+  read_ro_restarts : int;
+      (** snapshot-mode read-only restarts summed over every point —
+          the lock-free path makes this identically 0 (CI gate) *)
+  read_equivalent : bool;  (** every point's cross-mode scan check *)
   pool_hit_ns : float;
   pool_miss_ns : float;
   journal_append_per_sec : float;
   journal_append_sync_per_sec : float;  (** with a sync every 64 appends *)
 }
 
+val default_read_fracs : float list
+(** [[0.5; 0.9; 0.99]] — the read fractions the snapshot sweep visits
+    by default. *)
+
 val run :
   ?scale:int ->
   ?jobs:int list ->
   ?allow_oversubscribe:bool ->
   ?log_formats:string list ->
+  ?read_fracs:float list ->
   now:(unit -> float) ->
   unit ->
   t
@@ -161,6 +213,8 @@ val run :
     ["oplog"]) restricts the log-format head-to-head; the physical
     baseline is always measured (it is the reference the others are
     fingerprint-checked against), and an excluded format reports an
-    [infinity] reduction.
-    @raise Invalid_argument if [scale <= 0], any job count is [< 1], or
-    a log format name is unknown. *)
+    [infinity] reduction.  [read_fracs] (default {!default_read_fracs})
+    lists the read fractions of the snapshot sweep; a Pareto-size
+    heavy-tail point at read fraction 0.9 is always appended.
+    @raise Invalid_argument if [scale <= 0], any job count is [< 1], a
+    log format name is unknown, or a read fraction is outside [0,1]. *)

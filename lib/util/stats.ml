@@ -236,6 +236,32 @@ module Histogram = struct
   let p99 t = percentile t ~p:99.0
 
   let p999 t = percentile t ~p:99.9
+
+  (* Merging is exact with respect to quantiles: the bucket counts add
+     elementwise (the bucketed path sees the same cumulative walk as a
+     histogram that recorded the union), and the raw prefix is kept
+     only while it is complete — the merged [exact_limit] is the min of
+     the two, so whenever the merged count still fits, both inputs'
+     prefixes necessarily held every one of their samples.  The exact
+     path sorts before interpolating, so concatenation order cannot
+     show through. *)
+  let merge a b =
+    let exact_limit = Stdlib.min a.exact_limit b.exact_limit in
+    let t = create ~exact_limit () in
+    Array.iteri (fun i c -> t.counts.(i) <- c + b.counts.(i)) a.counts;
+    t.count <- a.count + b.count;
+    t.total <- a.total +. b.total;
+    t.max <- Float.max a.max b.max;
+    let filled = ref 0 in
+    let take (src : t) =
+      let avail = Stdlib.min src.count src.exact_limit in
+      let n = Stdlib.min avail (exact_limit - !filled) in
+      Array.blit src.exact 0 t.exact !filled n;
+      filled := !filled + n
+    in
+    take a;
+    take b;
+    t
 end
 
 let percentile xs ~p =

@@ -106,6 +106,14 @@ module Histogram : sig
 
   val p999 : t -> float
   (** The 99.9th percentile — the tail the open-loop bench reports. *)
+
+  val merge : t -> t -> t
+  (** [merge a b] is a fresh histogram equivalent to one that recorded
+      every sample of [a] and [b]: bucket counts add, count/total add,
+      the maximum is exact, and quantiles match a union recording bit
+      for bit (the merged [exact_limit] is the min of the inputs', so
+      the exact small-sample path only fires while both raw prefixes
+      were complete).  Neither input is modified. *)
 end
 
 val percentile : float list -> p:float -> float

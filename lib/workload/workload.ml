@@ -89,8 +89,52 @@ let zipf_draw rng cdf =
   done;
   !lo
 
-let gen_txn ?zipf rng c id =
-  let n = Dbm_util.Prng.int_in rng ~lo:c.min_pages ~hi:c.max_pages in
+(* --- transaction-size distributions -------------------------------- *)
+
+type size_dist =
+  | Uniform_size
+  | Pareto_size of { alpha : float }
+  | Lognormal_size of { mu : float; sigma : float }
+
+let validate_size_dist = function
+  | Uniform_size -> ()
+  | Pareto_size { alpha } ->
+    if alpha <= 0.0 || not (Float.is_finite alpha) then
+      invalid_arg "Workload: pareto alpha must be positive and finite"
+  | Lognormal_size { mu; sigma } ->
+    if not (Float.is_finite mu) then invalid_arg "Workload: lognormal mu must be finite";
+    if sigma <= 0.0 || not (Float.is_finite sigma) then
+      invalid_arg "Workload: lognormal sigma must be positive and finite"
+
+let feed_size_dist d s =
+  let module D = Dbm_util.Digest in
+  D.string d "workload-size-dist";
+  match s with
+  | Uniform_size -> D.tag d 0
+  | Pareto_size { alpha } ->
+    D.tag d 1;
+    D.float d alpha
+  | Lognormal_size { mu; sigma } ->
+    D.tag d 2;
+    D.float d mu;
+    D.float d sigma
+
+(* Draw a transaction size in [min_pages, max_pages].  The heavy-tailed
+   draws are clamped into the configured range, so the tail mass piles
+   up at max_pages instead of escaping the database. *)
+let draw_size rng c = function
+  | Uniform_size -> Dbm_util.Prng.int_in rng ~lo:c.min_pages ~hi:c.max_pages
+  | Pareto_size { alpha } ->
+    (* Classic Pareto with scale = min_pages: size = min * U^(-1/alpha). *)
+    let u = 1.0 -. Dbm_util.Prng.float rng 1.0 in
+    let x = float_of_int c.min_pages *. Float.pow u (-1.0 /. alpha) in
+    min c.max_pages (max c.min_pages (int_of_float (Float.round x)))
+  | Lognormal_size { mu; sigma } ->
+    let x = Float.exp (Dbm_util.Prng.gaussian rng ~mean:mu ~stddev:sigma) in
+    min c.max_pages (max c.min_pages (int_of_float (Float.round x)))
+
+let gen_txn ?zipf ?(size_dist = Uniform_size) rng c id =
+  let n = draw_size rng c size_dist in
   let pages =
     match c.pattern with
     | Random_access -> Dbm_util.Prng.sample_distinct rng ~n ~lo:0 ~hi:(c.db_pages - 1)
@@ -150,15 +194,33 @@ let gen_txn ?zipf rng c id =
   Array.iter (fun i -> writes.(i) <- true) positions;
   { id; pages; writes }
 
-let generate c =
+let generate_with ?(size_dist = Uniform_size) c =
   validate c;
+  validate_size_dist size_dist;
   let rng = Dbm_util.Prng.create c.seed in
   let zipf =
     match c.pattern with
     | Zipfian { theta } -> Some (zipf_cdf ~theta ~n:c.db_pages)
     | Random_access | Sequential | Hotspot _ -> None
   in
-  Array.init c.n_transactions (fun id -> gen_txn ?zipf rng c id)
+  Array.init c.n_transactions (fun id -> gen_txn ?zipf ~size_dist rng c id)
+
+let generate c = generate_with c
+
+(* A read-only transaction class carved out of a generated workload:
+   each transaction independently becomes read-only (every write flag
+   cleared) with probability [read_frac].  Separate from
+   [write_fraction], which thins writes *within* a transaction — a
+   server's transaction classes differ per transaction, not per page. *)
+let apply_read_fraction rng ~read_frac txns =
+  if read_frac < 0.0 || read_frac > 1.0 then
+    invalid_arg "Workload.apply_read_fraction: read_frac out of [0,1]";
+  Array.map
+    (fun t ->
+      if Dbm_util.Prng.bool rng ~p:read_frac then
+        { t with writes = Array.make (Array.length t.writes) false }
+      else t)
+    txns
 
 (* --- open-loop arrival processes ----------------------------------- *)
 

@@ -53,6 +53,44 @@ val generate : config -> txn array
     database, [max_pages > db_pages], bad hotspot parameters,
     negative sizes, ...). *)
 
+(** {2 Transaction-size distributions}
+
+    The paper's workload draws transaction sizes uniformly; real
+    transaction mixes are heavy-tailed — mostly small transactions with
+    a long tail of big batch jobs.  A {!size_dist} replaces the uniform
+    draw; the page-count range of the {!config} still clips every draw,
+    so the tail mass accumulates at [max_pages]. *)
+
+type size_dist =
+  | Uniform_size  (** the paper's draw: uniform on [\[min_pages, max_pages\]] *)
+  | Pareto_size of { alpha : float }
+      (** power-law sizes: [min_pages * U^(-1/alpha)] clamped to the
+          range.  Smaller [alpha] = heavier tail; [alpha ~ 1.5] gives
+          the classic mostly-small / occasionally-huge mix *)
+  | Lognormal_size of { mu : float; sigma : float }
+      (** [round (exp (Normal(mu, sigma)))] clamped to the range *)
+
+val validate_size_dist : size_dist -> unit
+(** @raise Invalid_argument on non-positive [alpha]/[sigma] or a
+    non-finite parameter. *)
+
+val feed_size_dist : Dbm_util.Digest.t -> size_dist -> unit
+(** Canonical digest feed, tagged per constructor. *)
+
+val generate_with : ?size_dist:size_dist -> config -> txn array
+(** {!generate} with the uniform size draw replaced by [size_dist]
+    (default {!Uniform_size}, which makes [generate_with] and
+    {!generate} identical streams).
+    @raise Invalid_argument as {!generate}, or on a bad [size_dist]. *)
+
+val apply_read_fraction :
+  Dbm_util.Prng.t -> read_frac:float -> txn array -> txn array
+(** Carve a read-only transaction class out of a workload: each
+    transaction independently has its whole write set cleared with
+    probability [read_frac] (the rest keep their writes).  Returns a
+    fresh array; the input is not modified.
+    @raise Invalid_argument if [read_frac] is outside [\[0,1\]]. *)
+
 val read_set_size : txn -> int
 
 val write_set_size : txn -> int
