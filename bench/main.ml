@@ -460,6 +460,30 @@ let run_storage_bench ~allow_oversubscribe () =
     "  worst snapshot/xlock speedup near read fraction 0.9: %.2fx (%d ro restarts on the \
      snapshot path)\n"
     b.read_speedup b.read_ro_restarts;
+  Printf.printf "sharded execution (zero-cross workload, group commit, simulated time):\n";
+  List.iter
+    (fun p ->
+      Printf.printf
+        "  %d shard%s%s %8.0f tps  makespan %10.0f us  p99 %9.1f us  (%d restarts, %d in \
+         doubt, scan %s%s)\n"
+        p.sh_shards
+        (if p.sh_shards > 1 then "s" else " ")
+        (if p.sh_oversubscribed then " [oversubscribed]" else "")
+        p.sh_sustained_tps p.sh_makespan_us p.sh_p99_us p.sh_restarts p.sh_in_doubt
+        (if p.sh_scan_equal then "identical" else "DIVERGED")
+        (if p.sh_shards = 1 then
+           if p.sh_serial_identical then ", bit-identical to Server.run" else ", SERIAL DRIFT"
+         else ""))
+    b.shard.sb_points;
+  Printf.printf "  scaling at the top shard count: %.2fx over 1 shard\n" b.shard.sb_scaling;
+  Printf.printf "cross-shard fraction sweep (two-phase commit at the top shard count):\n";
+  List.iter
+    (fun c ->
+      Printf.printf
+        "  cross %.2f: %4d cross txns  %8.0f tps  cross p99 %9.1f us  (%d in doubt, scan %s)\n"
+        c.cf_cross_frac c.cf_cross_txns c.cf_sustained_tps c.cf_p99_cross_us c.cf_in_doubt
+        (if c.cf_scan_equal then "identical" else "DIVERGED"))
+    b.shard.sb_cross;
   Printf.printf "buffer pool get: %.0f ns hit, %.0f ns miss\n" b.pool_hit_ns b.pool_miss_ns;
   Printf.printf "journal: %.2fM appends/s, %.2fM appends/s with sync every 64\n"
     (b.journal_append_per_sec /. 1e6)
@@ -845,6 +869,33 @@ let storage_json (b : Dbm_storage.Storage_bench.t) =
       Printf.sprintf "    \"read_snapshot_speedup\": %.2f,\n" b.read_speedup;
       Printf.sprintf "    \"read_ro_restarts\": %d,\n" b.read_ro_restarts;
       Printf.sprintf "    \"read_equivalent\": %b,\n" b.read_equivalent;
+      "    \"shard\": {\n";
+      "      \"points\": [\n";
+      String.concat ",\n"
+        (List.map
+           (fun (p : Dbm_storage.Storage_bench.shard_point) ->
+             Printf.sprintf
+               "        {\"shards\": %d, \"oversubscribed\": %b, \"sustained_tps\": %.1f, \
+                \"makespan_us\": %.1f, \"p99_us\": %.2f, \"restarts\": %d, \
+                \"serial_identical\": %b, \"scan_equal\": %b, \"in_doubt\": %d}"
+               p.sh_shards p.sh_oversubscribed p.sh_sustained_tps p.sh_makespan_us p.sh_p99_us
+               p.sh_restarts p.sh_serial_identical p.sh_scan_equal p.sh_in_doubt)
+           b.shard.sb_points);
+      "\n      ],\n";
+      Printf.sprintf "      \"scaling\": %.2f,\n" b.shard.sb_scaling;
+      "      \"cross\": [\n";
+      String.concat ",\n"
+        (List.map
+           (fun (c : Dbm_storage.Storage_bench.cross_point) ->
+             Printf.sprintf
+               "        {\"cross_frac\": %.2f, \"cross_txns\": %d, \"sustained_tps\": %.1f, \
+                \"p99_cross_us\": %.2f, \"scan_equal\": %b, \"in_doubt\": %d}"
+               c.cf_cross_frac c.cf_cross_txns c.cf_sustained_tps c.cf_p99_cross_us
+               c.cf_scan_equal c.cf_in_doubt)
+           b.shard.sb_cross);
+      "\n      ],\n";
+      Printf.sprintf "      \"equivalent\": %b\n" b.shard.sb_equivalent;
+      "    },\n";
       Printf.sprintf "    \"pool_hit_ns\": %.1f,\n" b.pool_hit_ns;
       Printf.sprintf "    \"pool_miss_ns\": %.1f,\n" b.pool_miss_ns;
       Printf.sprintf "    \"journal_append_per_sec\": %.0f,\n" b.journal_append_per_sec;
@@ -860,7 +911,7 @@ let write_bench_json path (tr : table_report) (core : event_core) (cr : cache_re
     | Some v -> Printf.sprintf "  \"%s\": %.1f" name v
   in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"bench\": 9,\n";
+  Buffer.add_string buf "  \"bench\": 10,\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"host_cores\": %d,\n" (Dbm_util.Pool.default_jobs ()));
   Buffer.add_string buf (Printf.sprintf "  \"jobs_requested\": %d,\n" tr.jobs_requested);
@@ -956,7 +1007,7 @@ let write_bench_json path (tr : table_report) (core : event_core) (cr : cache_re
 
 let () =
   let jobs = ref (max 2 (Dbm_util.Pool.default_jobs ())) in
-  let json_path = ref "BENCH_9.json" in
+  let json_path = ref "BENCH_10.json" in
   let fast = ref false in
   let allow_oversubscribe = ref false in
   Arg.parse
@@ -1071,4 +1122,40 @@ let () =
         Printf.eprintf "FAIL: %s append throughput came back null\n" p.lf_format;
         exit 1
       end)
-    storage_report.Dbm_storage.Storage_bench.log_formats
+    storage_report.Dbm_storage.Storage_bench.log_formats;
+  (* Sharded execution is only sound if every shard count and cross
+     fraction crash-recovers to the serial engine's data with no
+     transaction left in doubt — and only a perf win if the top shard
+     count actually scales (skipped when the host can't give each shard
+     a real core). *)
+  let shard = storage_report.Dbm_storage.Storage_bench.shard in
+  if not shard.Dbm_storage.Storage_bench.sb_equivalent then begin
+    prerr_endline "FAIL: a sharded run diverged from the serial reference after recovery";
+    exit 1
+  end;
+  let in_doubt =
+    List.fold_left
+      (fun acc p -> acc + p.Dbm_storage.Storage_bench.sh_in_doubt)
+      0 shard.Dbm_storage.Storage_bench.sb_points
+    + List.fold_left
+        (fun acc c -> acc + c.Dbm_storage.Storage_bench.cf_in_doubt)
+        0 shard.Dbm_storage.Storage_bench.sb_cross
+  in
+  if in_doubt <> 0 then begin
+    Printf.eprintf "FAIL: %d transactions left in doubt after sharded recovery (must be 0)\n"
+      in_doubt;
+    exit 1
+  end;
+  let top_oversubscribed =
+    List.exists
+      (fun p -> p.Dbm_storage.Storage_bench.sh_oversubscribed)
+      shard.Dbm_storage.Storage_bench.sb_points
+  in
+  if top_oversubscribed then
+    Printf.printf
+      "note: shard scaling gate skipped (more shards than cores on this host)\n"
+  else if shard.Dbm_storage.Storage_bench.sb_scaling < 1.5 then begin
+    Printf.eprintf "FAIL: shard scaling %.2fx below the 1.5x floor\n"
+      shard.Dbm_storage.Storage_bench.sb_scaling;
+    exit 1
+  end

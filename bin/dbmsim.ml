@@ -483,10 +483,29 @@ let storage_bench_cmd =
              the lock-free snapshot read-only class.  A Pareto-size heavy-tail point at \
              read fraction 0.9 is always appended.")
   in
-  let run scale jobs allow_oversubscribe log_formats read_fracs =
+  let shard_counts_arg =
+    Arg.(
+      value
+      & opt (list positive_int) Dbm_storage.Storage_bench.default_shard_counts
+      & info [ "shard-counts" ] ~docv:"N,..."
+          ~doc:
+            "Shard counts for the sharded-execution sweep (a 1-shard serial baseline is \
+             always included; the workload is generated against the largest count so \
+             every smaller count serves the identical transactions).")
+  in
+  let cross_fracs_arg =
+    Arg.(
+      value
+      & opt (list float) Dbm_storage.Storage_bench.default_cross_fracs
+      & info [ "cross-fracs" ] ~docv:"F,..."
+          ~doc:
+            "Cross-shard transaction fractions (each in [0,1]) for the two-phase-commit \
+             sweep at the largest shard count.")
+  in
+  let run scale jobs allow_oversubscribe log_formats read_fracs shard_counts cross_fracs =
     let b =
       Dbm_storage.Storage_bench.run ~scale ~jobs ~allow_oversubscribe ~log_formats
-        ~read_fracs ~now:Unix.gettimeofday ()
+        ~read_fracs ~shard_counts ~cross_fracs ~now:Unix.gettimeofday ()
     in
     let open Dbm_storage.Storage_bench in
     Printf.printf "Contended scheduler (%d scripts, hot page behind private locks):\n" b.sched_txns;
@@ -562,6 +581,32 @@ let storage_bench_cmd =
       "  worst snapshot/xlock speedup near read fraction 0.9: %.2fx (%d ro restarts on \
        the snapshot path)\n\n"
       b.read_speedup b.read_ro_restarts;
+    Printf.printf "Sharded execution (domain per shard, grouped commits, simulated time):\n";
+    List.iter
+      (fun p ->
+        Printf.printf
+          "  %d shard%s%s  %10.0f tps  makespan %9.0f us  p99 %9.1f us  %3d restarts  \
+           %d in doubt  (scan %s%s)\n"
+          p.sh_shards
+          (if p.sh_shards > 1 then "s" else " ")
+          (if p.sh_oversubscribed then " [oversubscribed]" else "")
+          p.sh_sustained_tps p.sh_makespan_us p.sh_p99_us p.sh_restarts p.sh_in_doubt
+          (if p.sh_scan_equal then "identical" else "DIVERGED")
+          (if p.sh_shards = 1 then
+             if p.sh_serial_identical then ", bit-identical to Server.run"
+             else ", SERIAL DRIFT"
+           else ""))
+      b.shard.sb_points;
+    Printf.printf "  scaling at the top shard count: %.2fx over 1 shard\n" b.shard.sb_scaling;
+    List.iter
+      (fun c ->
+        Printf.printf
+          "  cross %.2f: %4d cross txns  %10.0f tps  cross p99 %9.1f us  %d in doubt  \
+           (scan %s)\n"
+          c.cf_cross_frac c.cf_cross_txns c.cf_sustained_tps c.cf_p99_cross_us c.cf_in_doubt
+          (if c.cf_scan_equal then "identical" else "DIVERGED"))
+      b.shard.sb_cross;
+    Printf.printf "\n";
     Printf.printf "Buffer pool get: %.0f ns hit, %.0f ns miss\n" b.pool_hit_ns b.pool_miss_ns;
     Printf.printf "Journal: %.2fM appends/sec, %.2fM appends/sec with sync every 64\n"
       (b.journal_append_per_sec /. 1e6)
@@ -570,7 +615,8 @@ let storage_bench_cmd =
     if not b.recovery_equivalent then exit 1;
     if not b.log_format_equivalent then exit 1;
     if not b.read_equivalent then exit 1;
-    if b.read_ro_restarts <> 0 then exit 1
+    if b.read_ro_restarts <> 0 then exit 1;
+    if not b.shard.sb_equivalent then exit 1
   in
   Cmd.v
     (Cmd.info "storage-bench"
@@ -579,11 +625,12 @@ let storage_bench_cmd =
           scheduler, scheduler and lock-manager hot paths against their pre-overhaul \
           versions, recovery wall time vs log length, vs worker-domain count and vs \
           fuzzy-checkpoint age, the physical-vs-delta-vs-oplog log-format head-to-head \
-          ($(b,--log-format)), the MVCC snapshot-read sweep ($(b,--read-frac)), \
+          ($(b,--log-format)), the MVCC snapshot-read sweep ($(b,--read-frac)), the \
+          sharded-execution sweep ($(b,--shard-counts) / $(b,--cross-fracs)), \
           buffer-pool and journal microbenchmarks.")
     Term.(
       const run $ scale_arg $ jobs_arg $ oversubscribe_arg $ log_formats_arg
-      $ read_fracs_arg)
+      $ read_fracs_arg $ shard_counts_arg $ cross_fracs_arg)
 
 (* -- serve-bench command -------------------------------------------- *)
 
@@ -690,10 +737,37 @@ let serve_bench_cmd =
              Needs a version-retaining engine: diff, versel, or logging with \
              $(b,--log-format oplog).")
   in
+  let shards_arg =
+    Arg.(
+      value & opt positive_int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Partition the key space page-wise across $(docv) engine shards, each \
+             served by its own domain; transactions spanning shards commit by \
+             two-phase commit through a coordinator decision log.  Needs an engine \
+             with a durable prepare vote: logging, any $(b,--log-format).")
+  in
+  let cross_frac_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "cross-frac" ] ~docv:"F"
+          ~doc:
+            "Re-home workload pages so a $(docv) fraction of transactions in [0,1] \
+             spans two shards and the rest stay confined to one.  Only meaningful \
+             with $(b,--shards) > 1.")
+  in
   let run engine log_format loads batch timeout_us mpl txns seed arrival eager op_cost
-      sync_cost read_frac use_snapshot =
+      sync_cost read_frac use_snapshot shards cross_frac =
     if not (Float.is_finite read_frac && read_frac >= 0.0 && read_frac <= 1.0) then begin
       prerr_endline "serve-bench: --read-frac must be in [0,1]";
+      exit 2
+    end;
+    if not (Float.is_finite cross_frac && cross_frac >= 0.0 && cross_frac <= 1.0) then begin
+      prerr_endline "serve-bench: --cross-frac must be in [0,1]";
+      exit 2
+    end;
+    if cross_frac > 0.0 && shards = 1 then begin
+      prerr_endline "serve-bench: --cross-frac needs --shards > 1";
       exit 2
     end;
     let module W = Dbm_workload.Workload in
@@ -714,6 +788,18 @@ let serve_bench_cmd =
       W.apply_read_fraction
         (Dbm_util.Prng.create (seed lxor 0x5eed))
         ~read_frac (W.generate cfg)
+    in
+    (* Sharded runs re-home pages so exactly the requested fraction of
+       transactions spans two shards; shards = 1 leaves the workload
+       byte-identical to the serial path. *)
+    let txns_w =
+      if shards = 1 then txns_w
+      else
+        W.apply_cross_fraction
+          (Dbm_util.Prng.create (seed lxor 0xc105))
+          ~cross_frac ~classes:shards
+          ~class_of:(fun p -> Dbm_storage.Shard_router.shard_of_page ~shards p)
+          ~db_pages:1024 txns_w
     in
     let read_only = Array.map (fun t -> W.write_set_size t = 0) txns_w in
     let n_ro = Array.fold_left (fun a ro -> if ro then a + 1 else a) 0 read_only in
@@ -786,7 +872,72 @@ let serve_bench_cmd =
       end;
       None
     in
-    match (engine, log_format) with
+    (* One domain per shard, cross-shard commits through the 2PC
+       coordinator; [wire] lets an engine family share process-global
+       state across the shard engines before the run. *)
+    let sweep_sharded (type a) ?(wire = fun (_ : a array) -> ())
+        (module E : Dbm_storage.Shard.ENGINE with type t = a) name =
+      let module Shd = Dbm_storage.Shard.Make (E) in
+      Printf.printf
+        "sharded server: engine %s, %d shards, cross fraction %.2f, %s commits%s, mpl %d \
+         per shard, %d txns/point%s, %s arrivals\n\
+         (simulated time: %.1f us/turn, %.1f us/force)\n\n"
+        name shards cross_frac
+        (if eager then "eager" else "grouped")
+        (if eager then "" else Printf.sprintf " (batch %d, timeout %.0f us)" batch timeout_us)
+        mpl txns
+        (if read_frac > 0.0 then Printf.sprintf " (%d read-only)" n_ro else "")
+        (match arrival with `Poisson -> "poisson" | `Bursty -> "bursty")
+        op_cost sync_cost;
+      Printf.printf "%12s %12s %10s %10s %12s %8s %8s %8s\n" "offered/s" "sustained/s"
+        "p50 us" "p99 us" "cross p99" "forces" "restarts" "cross";
+      List.iter
+        (fun rate ->
+          let engines = Array.init shards (fun _ -> E.create ~n_keys:4096 ()) in
+          wire engines;
+          let coordinator = Dbm_storage.Coordinator_log.create () in
+          let r =
+            Shd.run ~mpl ~op_cost_us:op_cost ~sync_cost_us:sync_cost ~mode
+              ~arrivals_us:(arrivals rate) ~scripts ~coordinator engines
+          in
+          let h = r.Dbm_storage.Shard.latency_us in
+          let xh = r.Dbm_storage.Shard.cross_latency_us in
+          Printf.printf "%12.0f %12.0f %10.1f %10.1f %12.1f %8d %8d %8d%s\n" rate
+            r.Dbm_storage.Shard.sustained_tps (Hist.p50 h) (Hist.p99 h)
+            (if Hist.count xh = 0 then 0.0 else Hist.p99 xh)
+            r.Dbm_storage.Shard.forces r.Dbm_storage.Shard.restarts
+            r.Dbm_storage.Shard.cross_committed
+            (if r.Dbm_storage.Shard.oversubscribed then "  (oversubscribed)" else ""))
+        loads
+    in
+    if shards > 1 then begin
+      if use_snapshot then begin
+        prerr_endline "serve-bench: --snapshot is not supported with --shards > 1";
+        exit 2
+      end;
+      match (engine, log_format) with
+      | `Logging, `Physical -> sweep_sharded (module Dbm_storage.Engine_log) "logging"
+      | `Logging, `Delta -> sweep_sharded (module Engine_log_delta) "logging-delta"
+      | `Logging, `Oplog ->
+        sweep_sharded
+          ~wire:(fun engines ->
+            (* One process-global commit-sequence source so snapshot
+               horizons order commits consistently across the shards. *)
+            let seq = Atomic.make 0 in
+            Array.iter
+              (fun e ->
+                Dbm_storage.Engine_oplog.set_seq_source e
+                  (Some (fun () -> Atomic.fetch_and_add seq 1)))
+              engines)
+          (module Dbm_storage.Engine_oplog) "operation-logging"
+      | (`Diff | `Versel), _ ->
+        prerr_endline
+          "serve-bench: --shards > 1 needs an engine with a durable prepare vote \
+           (--engine logging, any --log-format)";
+        exit 2
+    end
+    else
+      match (engine, log_format) with
     | `Logging, `Physical ->
       sweep
         ?snapshot_of:(reject_snapshot "the physical logging engine (try --log-format oplog)")
@@ -844,12 +995,14 @@ let serve_bench_cmd =
           transaction under $(b,--eager); the logging engine can write physical, delta \
           or operation-logging records ($(b,--log-format)); a $(b,--read-frac) share of \
           transactions runs read-only, lock-free over pinned MVCC snapshots under \
-          $(b,--snapshot); prints sustained throughput and the arrival-to-durable-ack \
-          latency tail per load point.")
+          $(b,--snapshot); $(b,--shards) partitions the key space across domain-parallel \
+          engine shards with two-phase commit for the $(b,--cross-frac) share of \
+          transactions that spans two of them; prints sustained throughput and the \
+          arrival-to-durable-ack latency tail per load point.")
     Term.(
       const run $ engine_arg $ log_format_arg $ loads_arg $ batch_arg $ timeout_arg
       $ mpl_arg $ txns_arg $ seed_arg $ arrival_arg $ eager_arg $ op_cost_arg
-      $ sync_cost_arg $ read_frac_arg $ snapshot_arg)
+      $ sync_cost_arg $ read_frac_arg $ snapshot_arg $ shards_arg $ cross_frac_arg)
 
 (* -- version-select command ---------------------------------------- *)
 

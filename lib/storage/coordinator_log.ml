@@ -1,0 +1,58 @@
+(* The 2PC coordinator's decision log.  See coordinator_log.mli. *)
+
+type t = {
+  j : Journal.t;
+  (* gid -> decision, rebuilt from the durable journal on crash. *)
+  table : (int, bool) Hashtbl.t;
+  mutable decisions : int;
+}
+
+(* One record per decision: tag byte ('C' commit / 'A' abort), 8-byte
+   little-endian gid.  The journal's own length-prefix-and-checksum
+   framing handles torn-tail detection, so no further checksum here. *)
+let encode ~gid ~commit =
+  let b = Bytes.create 9 in
+  Bytes.set b 0 (if commit then 'C' else 'A');
+  Bytes.set_int64_le b 1 (Int64.of_int gid);
+  Bytes.unsafe_to_string b
+
+let decode s =
+  if String.length s <> 9 then invalid_arg "Coordinator_log: bad record";
+  let commit =
+    match s.[0] with
+    | 'C' -> true
+    | 'A' -> false
+    | _ -> invalid_arg "Coordinator_log: bad tag"
+  in
+  (Int64.to_int (String.get_int64_le s 1), commit)
+
+let create () = { j = Journal.create (); table = Hashtbl.create 16; decisions = 0 }
+
+let decide t ~gid ~commit =
+  if Hashtbl.mem t.table gid then invalid_arg "Coordinator_log.decide: duplicate gid";
+  ignore (Journal.append t.j (encode ~gid ~commit));
+  (* The decision record IS the commit point of a cross-shard
+     transaction: it is forced before any participant learns the
+     outcome. *)
+  Journal.sync t.j;
+  Hashtbl.replace t.table gid commit;
+  t.decisions <- t.decisions + 1
+
+let decision t ~gid = Hashtbl.find_opt t.table gid
+
+let resolve t ~gid = match decision t ~gid with Some d -> d | None -> false
+
+let decisions t = t.decisions
+
+let log_syncs t = Journal.sync_count t.j
+
+let crash_and_recover t =
+  Journal.crash t.j;
+  Hashtbl.reset t.table;
+  t.decisions <- 0;
+  Journal.iter_all
+    (fun s ->
+      let gid, commit = decode s in
+      Hashtbl.replace t.table gid commit;
+      t.decisions <- t.decisions + 1)
+    t.j

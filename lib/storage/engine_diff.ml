@@ -520,6 +520,16 @@ let snapshot_get s k =
    uncommitted record is lost by the truncation. *)
 let checkpoint t =
   if t.live > 0 then failwith "Engine_diff.checkpoint: merge requires no live transactions";
+  (* Force the files first: the fold, the truncation and the recomputed
+     marker floors below all walk the durable window only, yet a record
+     still pending here (an aborted writer's, or a group-committed one
+     awaiting [force_commits]) would be synced below a *later* marker's
+     mark by the next fuzzy checkpoint — which would then publish this
+     merge's floors as if they covered it.  Recovery seeded from that
+     marker re-issues the record's stamp and newest-wins reads go wrong.
+     With the sync there is no pending tail and the floors are exact. *)
+  Journal.sync t.a_file;
+  Journal.sync t.d_file;
   (* Snapshot fence: the merge may fold into the base — and drop — only
      records every live snapshot can already see.  Stamps are issued
      monotonically and records appended immediately, so each file is

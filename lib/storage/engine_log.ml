@@ -333,6 +333,29 @@ let commit_group txn =
 
 let force_commits t = sync_all_logs t
 
+(* Two-phase commit, participant side.  The prepare is the durable vote:
+   update disks are forced (plus closure, exactly as an eager commit
+   would), then the Prepare record itself is appended and forced.  The
+   transaction stays active — its undo state and locks survive — until
+   the coordinator's decision arrives: [commit_group] (the decision
+   record may stay unforced, recovery resolves in-doubt transactions
+   from the coordinator log) or [abort]. *)
+let prepare txn ~gid =
+  check txn;
+  let t = txn.st in
+  let used =
+    match Hashtbl.find_opt t.used_logs txn.id with
+    | Some set -> Hashtbl.fold (fun d () acc -> d :: acc) set []
+    | None -> []
+  in
+  sync_closure t used;
+  let disk = select_log t ~txn:txn.id ~page:0 in
+  ignore (append_log t ~disk (Wal.Prepare { lsn = fresh_lsn t; txn = txn.id; gid }));
+  sync_closure t [ disk ]
+
+(* Prepared-but-undecided transactions in the durable logs. *)
+let in_doubt t = Replay.in_doubt (Array.map Journal.to_array t.logs)
+
 let abort txn =
   check txn;
   let t = txn.st in
@@ -477,10 +500,17 @@ let finish_recovery t (meta : Replay.meta) =
   rebuild_indexes t meta;
   t.recoveries <- t.recoveries + 1
 
-let recover t =
+let recover_with ~resolve t =
   let pool = t.recovery_pool in
   let raws = Array.map Journal.to_array t.logs in
   let meta = Replay.scan raws in
+  (* In-doubt transactions (durably prepared, no durable decision) are
+     resolved from the coordinator: committed iff [resolve ~gid] says
+     so, presumed abort without a resolver.  Resolution records are
+     appended after replay so the next restart needs no coordinator. *)
+  let doubt = Replay.in_doubt raws in
+  let decide ~gid = match resolve with Some f -> f ~gid | None -> false in
+  let also_committed = List.filter_map (fun (txn, gid) -> if decide ~gid then Some txn else None) doubt in
   (* The unmerged companion strategy keys redo off full-page images; a
      delta log always replays along the sorted path, which knows how to
      expand slice chains. *)
@@ -499,21 +529,43 @@ let recover t =
     let records = Replay.decode_from ?pool raws ~lo in
     Replay.recover_sorted ?pool
       ~read:(fun ~page -> Vdisk.read t.data page)
-      ~records ~start_lsn
+      ~also_committed ~records ~start_lsn
       ~write:(fun ~page image -> Vdisk.write t.data page image)
       ()
   | Unmerged ->
     (* The companion algorithm keys redo off page LSNs, not off a start
        point, so it always decodes and walks the full log. *)
     let records = Replay.decode_from ?pool raws ~lo:(Array.map (fun _ -> 0) raws) in
-    recover_unmerged t records (Replay.committed ~start_lsn:0 records));
-  finish_recovery t meta
+    recover_unmerged t records (Replay.committed ~also:also_committed ~start_lsn:0 records));
+  finish_recovery t meta;
+  if doubt <> [] then begin
+    List.iter
+      (fun (txn, gid) ->
+        let disk = select_log t ~txn ~page:0 in
+        let lsn = fresh_lsn t in
+        let r =
+          if decide ~gid then Wal.Commit { lsn; txn } else Wal.Abort { lsn; txn }
+        in
+        ignore (append_log t ~disk r))
+      doubt;
+    sync_all_logs t
+  end
+
+let recover t = recover_with ~resolve:None t
 
 let crash_and_recover t =
   Vdisk.crash t.data;
   Array.iter Journal.crash t.logs;
   t.epoch <- t.epoch + 1;
   recover t
+
+(* Crash, then recover with in-doubt transactions resolved from the
+   coordinator's decision log. *)
+let crash_and_recover_resolved ~resolve t =
+  Vdisk.crash t.data;
+  Array.iter Journal.crash t.logs;
+  t.epoch <- t.epoch + 1;
+  recover_with ~resolve:(Some resolve) t
 
 (* Crash, then recover along the preserved pre-parallelization path
    (Naive.Log_replay): single-threaded decode, from-zero sorted replay,

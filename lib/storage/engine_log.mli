@@ -66,6 +66,36 @@ val force_commits : t -> unit
 (** Force every log disk: all group-committed transactions become
     durable. *)
 
+(** {2 Two-phase commit (participant side)}
+
+    The hooks the {!Shard} layer drives.  A cross-shard transaction
+    runs [prepare] on every participant (each makes its effects and
+    vote durable), the coordinator logs the decision
+    ({!Coordinator_log}), and each participant then applies it:
+    {!commit_group} — the local decision record may stay unforced
+    because restart recovery resolves in-doubt transactions from the
+    coordinator — or {!Kv.S.abort}. *)
+
+val prepare : txn -> gid:int -> unit
+(** Durable vote for global transaction [gid]: force the disks holding
+    this transaction's update records (plus group-commit closure,
+    exactly as an eager commit would), then append and force a
+    {!Wal.Prepare} record.  The transaction stays active — undo state
+    and locks survive — until the decision. *)
+
+val in_doubt : t -> (int * int) list
+(** [(txn, gid)] for every durably prepared transaction with no durable
+    decision record, ascending by txn id.  Empty after a
+    [crash_and_recover_resolved] (resolution records are appended), and
+    always empty for an engine that never prepared. *)
+
+val crash_and_recover_resolved : resolve:(gid:int -> bool) -> t -> unit
+(** {!Kv.S.crash_and_recover} with in-doubt transactions resolved from
+    the coordinator: an in-doubt transaction replays as committed iff
+    [resolve ~gid] holds (plain [crash_and_recover] presumes abort).
+    After replay a Commit/Abort resolution record is appended and
+    forced for each, so the next restart needs no coordinator. *)
+
 val truncate_to_checkpoint : t -> unit
 (** Drop each journal's durable prefix below the newest durable fuzzy
     checkpoint's replay-start LSN — the records replay skips without

@@ -33,6 +33,11 @@ type store = {
      trimmed past the snapshot watermark at every push and the whole
      table is dropped when the last snapshot releases (and on crash). *)
   chains : (int, (int * string option) list) Hashtbl.t;
+  (* When set, commit sequence numbers are drawn from this shared
+     source instead of [next_seq] — the Shard layer installs one
+     process-global atomic counter across every shard's engine so
+     snapshot horizons order commits consistently machine-wide. *)
+  mutable seq_source : (unit -> int) option;
   mutable recovery_pool : Dbm_util.Pool.t option;
   mutable records_logged : int;
   mutable recoveries : int;
@@ -66,6 +71,7 @@ let create_with ?(n_keys = default_keys) ?(keys_per_page = 4) () =
     snaps = Hashtbl.create 8;
     next_snap = 0;
     chains = Hashtbl.create 16;
+    seq_source = None;
     recovery_pool = None;
     records_logged = 0;
     recoveries = 0;
@@ -145,9 +151,20 @@ let finish txn =
 let watermark t = Hashtbl.fold (fun _ h acc -> min h acc) t.snaps max_int
 
 let commit_seq t =
-  let s = t.next_seq in
-  t.next_seq <- s + 1;
-  s
+  match t.seq_source with
+  | None ->
+    let s = t.next_seq in
+    t.next_seq <- s + 1;
+    s
+  | Some src ->
+    let s = src () in
+    (* Keep the local counter ahead of every sequence this shard has
+       seen, so snapshot horizons ([next_seq - 1]) still bound all
+       locally visible commits. *)
+    if s + 1 > t.next_seq then t.next_seq <- s + 1;
+    s
+
+let set_seq_source t src = t.seq_source <- src
 
 (* Drop the chain suffix no live snapshot can reach: everything
    strictly older than the newest entry at or below the watermark. *)
@@ -207,6 +224,19 @@ let commit_group txn =
 
 let force_commits t = Journal.sync t.log
 
+(* Two-phase commit, participant side: the durable vote.  One journal
+   holds every record of the transaction, so one force after the
+   Prepare record makes both the effects and the vote durable.  The
+   transaction stays active (undo images and the write set survive)
+   until the coordinator's decision: [commit_group] or [abort]. *)
+let prepare txn ~gid =
+  check txn;
+  let t = txn.st in
+  append_log t (Wal.Prepare { lsn = fresh_lsn t; txn = txn.id; gid });
+  Journal.sync t.log
+
+let in_doubt t = Replay.in_doubt [| Journal.to_array t.log |]
+
 let abort txn =
   check txn;
   let t = txn.st in
@@ -265,17 +295,33 @@ let finish_recovery t meta =
   Hashtbl.reset t.active;
   t.recoveries <- t.recoveries + 1
 
-let recover t =
+let recover_with ~resolve t =
   let pool = t.recovery_pool in
   let raws = [| Journal.to_array t.log |] in
   let meta = Replay.scan raws in
+  let doubt = Replay.in_doubt raws in
+  let decide ~gid = match resolve with Some f -> f ~gid | None -> false in
+  let also_committed =
+    List.filter_map (fun (txn, gid) -> if decide ~gid then Some txn else None) doubt
+  in
   let records = Replay.decode_from ?pool raws ~lo:[| 0 |] in
-  Replay.recover_logical ?pool ~records ~start_lsn:0
+  Replay.recover_logical ?pool ~also_committed ~records ~start_lsn:0
     ~page_of:(fun k -> k / t.keys_per_page)
     ~read:(fun ~page -> Vdisk.read t.data page)
     ~write:(fun ~page image -> Vdisk.write t.data page image)
     ();
-  finish_recovery t meta
+  finish_recovery t meta;
+  (* Resolution records: the next restart needs no coordinator. *)
+  if doubt <> [] then begin
+    List.iter
+      (fun (txn, gid) ->
+        let lsn = fresh_lsn t in
+        append_log t (if decide ~gid then Wal.Commit { lsn; txn } else Wal.Abort { lsn; txn }))
+      doubt;
+    Journal.sync t.log
+  end
+
+let recover t = recover_with ~resolve:None t
 
 let crash_and_recover t =
   Vdisk.crash t.data;
@@ -284,6 +330,14 @@ let crash_and_recover t =
   Hashtbl.reset t.chains;
   t.epoch <- t.epoch + 1;
   recover t
+
+let crash_and_recover_resolved ~resolve t =
+  Vdisk.crash t.data;
+  Journal.crash t.log;
+  Hashtbl.reset t.snaps;
+  Hashtbl.reset t.chains;
+  t.epoch <- t.epoch + 1;
+  recover_with ~resolve:(Some resolve) t
 
 let crash_and_recover_reference t =
   Vdisk.crash t.data;

@@ -55,6 +55,35 @@ val force_commits : t -> unit
 (** Force the log journal: every group-committed transaction becomes
     durable. *)
 
+(** {2 Two-phase commit (participant side)}
+
+    Same protocol as {!Engine_log}: [prepare] is the durable vote (one
+    force covers the operations and the {!Wal.Prepare} record — one
+    journal holds everything), the transaction stays active until the
+    coordinator's decision ({!commit_group} or abort), and restart
+    recovery resolves in-doubt transactions from the coordinator. *)
+
+val prepare : txn -> gid:int -> unit
+(** Durable vote for global transaction [gid]. *)
+
+val in_doubt : t -> (int * int) list
+(** [(txn, gid)] for every durably prepared transaction with no durable
+    decision record, ascending by txn id. *)
+
+val crash_and_recover_resolved : resolve:(gid:int -> bool) -> t -> unit
+(** Crash-and-recover with in-doubt transactions committed iff
+    [resolve ~gid] holds (plain [crash_and_recover] presumes abort);
+    resolution records are appended and forced so the next restart
+    needs no coordinator. *)
+
+val set_seq_source : t -> (unit -> int) option -> unit
+(** Draw commit sequence numbers from a shared source instead of the
+    private counter — a sharded driver ({!Shard} callers such as
+    [dbmsim serve-bench --shards]) installs one process-global atomic
+    counter across every shard's engine so snapshot horizons order
+    commits consistently machine-wide.  [None] restores the private
+    counter. *)
+
 val flush : t -> unit
 (** Force the log, then the data disk — but the data force is skipped
     whenever a live transaction holds uncommitted page writes (the

@@ -122,7 +122,7 @@ let replay_start records =
     records;
   !best
 
-let committed ~start_lsn records =
+let committed ?(also = []) ~start_lsn records =
   let committed = Hashtbl.create 64 in
   Array.iter
     (Array.iter (fun r ->
@@ -130,7 +130,40 @@ let committed ~start_lsn records =
          | Wal.Commit { lsn; txn } when lsn >= start_lsn -> Hashtbl.replace committed txn ()
          | _ -> ()))
     records;
+  (* Externally-resolved transactions (2PC in-doubt winners whose local
+     commit record was lost): replay treats them as committed even
+     though no Commit record survives. *)
+  List.iter (fun txn -> Hashtbl.replace committed txn ()) also;
   committed
+
+(* --- in-doubt detection --------------------------------------------- *)
+
+(* Prepared-but-undecided transactions, straight off the raw encodings:
+   a Prepare record whose transaction has no later Commit/Abort record
+   anywhere in the logs.  Prepares are rare (cross-shard transactions
+   only), so only they pay for a checked decode — decision records are
+   recognized by tag byte and peeked. *)
+let in_doubt (raws : string array array) : (int * int) list =
+  let prepared : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let decided : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter
+    (Array.iter (fun s ->
+         if String.length s > 0 then
+           match s.[0] with
+           | 'p' -> (
+             match Wal.decode s with
+             | Wal.Prepare { txn; gid; _ } -> Hashtbl.replace prepared txn gid
+             | _ -> ())
+           | 'c' | 'a' | 'C' | 'A' -> (
+             match Wal.peek_txn s with
+             | Some txn -> Hashtbl.replace decided txn ()
+             | None -> ())
+           | _ -> ()))
+    raws;
+  Hashtbl.fold
+    (fun txn gid acc -> if Hashtbl.mem decided txn then acc else (txn, gid) :: acc)
+    prepared []
+  |> List.sort compare
 
 (* The per-page fold, verbatim from the serial algorithm (preserved as
    Naive.Log_replay): last committed after-image wins; a page touched
@@ -195,8 +228,9 @@ let expand_page ~base recs =
       | _ -> assert false)
     recs
 
-let recover_sorted ?pool ?read ~(records : Wal.record array array) ~start_lsn ~write () =
-  let committed = committed ~start_lsn records in
+let recover_sorted ?pool ?read ?(also_committed = []) ~(records : Wal.record array array)
+    ~start_lsn ~write () =
+  let committed = committed ~also:also_committed ~start_lsn records in
   let nparts = pieces_of_pool pool in
   let buckets = Array.make nparts [] in
   let delta_pages = Hashtbl.create 16 in
@@ -270,9 +304,9 @@ let recover_sorted ?pool ?read ~(records : Wal.record array array) ~start_lsn ~w
    skipped (idempotence).  Loser operations are ignored outright —
    no-steal means an uncommitted change never reached the durable image,
    so there is nothing to undo. *)
-let recover_logical ?pool ~(records : Wal.record array array) ~start_lsn ~page_of ~read ~write
-    () =
-  let committed = committed ~start_lsn records in
+let recover_logical ?pool ?(also_committed = []) ~(records : Wal.record array array) ~start_lsn
+    ~page_of ~read ~write () =
+  let committed = committed ~also:also_committed ~start_lsn records in
   let nparts = pieces_of_pool pool in
   let buckets = Array.make nparts [] in
   let touched = Hashtbl.create 64 in

@@ -86,13 +86,23 @@ val decode_from :
     with [lo] all zero.
     @raise Wal.Corrupt as a serial decode would. *)
 
-val committed : start_lsn:int -> Wal.record array array -> (int, unit) Hashtbl.t
+val committed : ?also:int list -> start_lsn:int -> Wal.record array array -> (int, unit) Hashtbl.t
 (** Transactions with a durable commit record at [lsn >= start_lsn].
     Any transaction owning an update record in the replay range has its
     commit record (when durable at all) in the range too, because commit
     LSNs are issued after every update LSN of the transaction — so the
     range-restricted set is exactly the set full-log replay would
-    compute for the transactions replay will encounter. *)
+    compute for the transactions replay will encounter.  [also] adds
+    transactions committed by external resolution (2PC in-doubt winners
+    whose local — unforced — commit record did not survive the crash but
+    whose coordinator decision did). *)
+
+val in_doubt : string array array -> (int * int) list
+(** Prepared-but-undecided transactions in the raw durable logs
+    ([Journal.to_array]): [(txn, gid)] for every {!Wal.Prepare} record
+    whose transaction has no Commit/Abort record anywhere, ascending by
+    txn id.  Only prepare records pay for a checked decode; decision
+    records are recognized by tag byte and peeked. *)
 
 val expand_page : base:bytes -> Wal.record list -> (int * int * bytes * bytes) list
 (** Reconstruct full [(lsn, txn, before, after)] images for one page's
@@ -109,6 +119,7 @@ val expand_page : base:bytes -> Wal.record list -> (int * int * bytes * bytes) l
 val recover_sorted :
   ?pool:Dbm_util.Pool.t ->
   ?read:(page:int -> bytes) ->
+  ?also_committed:int list ->
   records:Wal.record array array ->
   start_lsn:int ->
   write:(page:int -> bytes -> unit) ->
@@ -128,6 +139,7 @@ val recover_sorted :
 
 val recover_logical :
   ?pool:Dbm_util.Pool.t ->
+  ?also_committed:int list ->
   records:Wal.record array array ->
   start_lsn:int ->
   page_of:(int -> int) ->

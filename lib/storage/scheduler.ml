@@ -39,6 +39,7 @@ module Make (E : Kv.S) = struct
     type t = {
       engine : E.t;
       commit : id:int -> E.txn -> unit;
+      hold : id:int -> bool;
       snapshot : (unit -> view) option;
       read_mode : Lock_mgr.mode;
       locks : Lock_mgr.t;
@@ -56,11 +57,13 @@ module Make (E : Kv.S) = struct
       | Restarted  (* deadlock victim: rolled back *)
       | Committed
 
-    let create ?commit ?snapshot ?(read_mode = Lock_mgr.S) engine =
+    let create ?commit ?hold ?snapshot ?(read_mode = Lock_mgr.S) engine =
       let commit = match commit with Some f -> f | None -> fun ~id:_ t -> E.commit t in
+      let hold = match hold with Some f -> f | None -> fun ~id:_ -> false in
       {
         engine;
         commit;
+        hold;
         snapshot;
         read_mode;
         locks = Lock_mgr.create ();
@@ -135,6 +138,8 @@ module Make (E : Kv.S) = struct
     let release_and_wake t txn =
       List.iter (wake_page t) (Lock_mgr.release_all_pages t.locks ~txn)
 
+    let release_locks t ~id = release_and_wake t id
+
     (* Deadlock victims back off before retrying.  The backoff grows
        with the script's restart count and differs per script (via its
        [index]), so two scripts that keep colliding under deterministic
@@ -202,7 +207,12 @@ module Make (E : Kv.S) = struct
         | None ->
           (* empty script: an empty transaction still commits *)
           t.commit ~id:st.id (txn_of t st));
-        release_and_wake t st.id;
+        (* A held task (a 2PC participant slice that just prepared)
+           keeps its page locks past the sink: strict 2PL must extend
+           to the coordinator's decision, or another transaction could
+           read a value whose fate is still open.  The driver releases
+           with [release_locks] when the decision arrives. *)
+        if not (t.hold ~id:st.id) then release_and_wake t st.id;
         st.done_ <- true;
         st.txn <- None;
         t.commit_order <- st.id :: t.commit_order;

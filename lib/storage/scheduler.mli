@@ -61,6 +61,7 @@ module Make (E : Kv.S) : sig
 
     val create :
       ?commit:(id:int -> E.txn -> unit) ->
+      ?hold:(id:int -> bool) ->
       ?snapshot:(unit -> view) ->
       ?read_mode:Lock_mgr.mode ->
       E.t ->
@@ -71,6 +72,14 @@ module Make (E : Kv.S) : sig
         [E.commit].  Locks are released right after the sink returns —
         strict 2PL ends when the commit record is appended; a deferred
         force does not extend lock hold times.
+
+        [hold] (default: never) is consulted at that point: a held task
+        keeps its page locks after the sink returns — the {!Shard}
+        layer holds 2PC participant slices, whose sink {e prepares}
+        rather than commits, until the coordinator's decision; the
+        driver then calls {!release_locks}.  A held task never requests
+        another lock (its script is exhausted), so it can never be a
+        deadlock victim.
 
         [snapshot] is the MVCC view factory.  When present, tasks
         spawned [~read_only:true] execute lock-free: a view is pinned
@@ -116,6 +125,11 @@ module Make (E : Kv.S) : sig
     (** Lock acquisition attempts issued to {!Lock_mgr} (grants, blocks
         and deadlocks alike).  Snapshot-path reads issue none — the
         read-only bench pins this at zero. *)
+
+    val release_locks : t -> id:int -> unit
+    (** Release every page lock task [id] still holds and wake the
+        scripts parked on those pages — the deferred half of commit for
+        a task the [hold] predicate kept locked. *)
   end
 
   val run : ?max_steps:int -> E.t -> scripts:(int * script) list -> report

@@ -1,0 +1,47 @@
+(* Key-space partitioning for the Shard layer.  See shard_router.mli. *)
+
+(* Fibonacci-hash mixing (a golden-ratio-style odd multiplier, trimmed
+   to OCaml's 63-bit int range) before the mod: bench workloads address
+   pages in arithmetic patterns (key = 4*page, sequential page scans),
+   and a bare [page mod shards] would map such strides onto a single
+   shard.  The multiply-shift spreads any stride across the whole ring;
+   [land max_int] clears the sign bit after the wrapping multiply. *)
+let mix p = (p * 0x1E3779B97F4A7C15) land max_int
+
+let shard_of_page ~shards page =
+  if shards <= 0 then invalid_arg "Shard_router.shard_of_page: shards must be positive";
+  if shards = 1 then 0 else mix page lsr 31 mod shards
+
+(* Pages are the lock and replay granule, so routing must be
+   page-aligned: every key of a page lands on the page's shard. *)
+let shard_of_key ~shards ~keys_per_page k =
+  if keys_per_page <= 0 then invalid_arg "Shard_router.shard_of_key: bad keys_per_page";
+  shard_of_page ~shards (k / keys_per_page)
+
+let key_of = function Scheduler.Get k | Scheduler.Put (k, _) | Scheduler.Delete k -> k
+
+let participants ~shards ~keys_per_page (script : Scheduler.script) =
+  let seen = Array.make shards false in
+  List.iter
+    (fun op -> seen.(shard_of_key ~shards ~keys_per_page (key_of op)) <- true)
+    script;
+  let acc = ref [] in
+  for s = shards - 1 downto 0 do
+    if seen.(s) then acc := s :: !acc
+  done;
+  !acc
+
+let split ~shards ~keys_per_page (script : Scheduler.script) =
+  let slices = Array.make shards [] in
+  List.iter
+    (fun op ->
+      let s = shard_of_key ~shards ~keys_per_page (key_of op) in
+      slices.(s) <- op :: slices.(s))
+    script;
+  let acc = ref [] in
+  for s = shards - 1 downto 0 do
+    match slices.(s) with
+    | [] -> ()
+    | ops -> acc := (s, List.rev ops) :: !acc
+  done;
+  !acc

@@ -1,0 +1,30 @@
+(** Key-space partitioning for the {!Shard} layer.
+
+    A pure, stateless router: shard assignment is a function of the
+    page number alone (Fibonacci-hash mixed before the mod, so the
+    arithmetic key strides bench workloads use spread across the ring
+    instead of aliasing onto one shard).  Routing is {e page}-aligned —
+    pages are the lock and replay granule, so every key of a page lands
+    on the same shard.  The property tests pin coverage (every key on
+    exactly one shard) and determinism. *)
+
+val shard_of_page : shards:int -> int -> int
+(** The shard owning a page; in [0, shards).  [shards = 1] maps
+    everything to shard 0.
+    @raise Invalid_argument on [shards <= 0]. *)
+
+val shard_of_key : shards:int -> keys_per_page:int -> int -> int
+(** The shard owning a key: its page's shard. *)
+
+val participants : shards:int -> keys_per_page:int -> Scheduler.script -> int list
+(** The distinct shards a script touches, ascending.  A singleton means
+    the transaction is single-shard (no cross-shard coordination);
+    two or more participants make it a 2PC transaction. *)
+
+val split :
+  shards:int -> keys_per_page:int -> Scheduler.script -> (int * Scheduler.script) list
+(** Partition a script into per-shard slices, ascending by shard, each
+    slice preserving the script's operation order.  Concatenating the
+    slices back in any interleaving that respects per-slice order is a
+    reordering only across shards — operations on different shards
+    touch different pages, so the slices commute. *)

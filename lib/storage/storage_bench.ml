@@ -85,6 +85,38 @@ type read_frac_point = {
 
 type read_engine = { re_engine : string; re_points : read_frac_point list }
 
+type shard_point = {
+  sh_shards : int;
+  sh_oversubscribed : bool;  (* more shard domains than host cores *)
+  sh_sustained_tps : float;  (* simulated time; machine-independent *)
+  sh_makespan_us : float;
+  sh_p99_us : float;
+  sh_restarts : int;
+  sh_serial_identical : bool;
+      (* shards = 1 only: the Shard layer's result is field-for-field
+         the plain Server.run result (vacuously true elsewhere) *)
+  sh_scan_equal : bool;  (* crash-recovered scan equals the serial reference *)
+  sh_in_doubt : int;  (* prepared-but-unresolved txns after recovery: must be 0 *)
+}
+
+type cross_point = {
+  cf_cross_frac : float;  (* requested cross-shard transaction fraction *)
+  cf_cross_txns : int;  (* transactions actually spanning >= 2 shards *)
+  cf_sustained_tps : float;
+  cf_p99_cross_us : float;  (* cross-shard class latency tail (0 when none) *)
+  cf_scan_equal : bool;
+  cf_in_doubt : int;
+}
+
+type shard_bench = {
+  sb_points : shard_point list;  (* zero-cross workload, rising shard count *)
+  sb_scaling : float;  (* top-shard-count tps / 1-shard tps *)
+  sb_cross : cross_point list;  (* top shard count, rising cross fraction *)
+  sb_equivalent : bool;
+      (* every scan matched the serial reference, shards = 1 was
+         bit-identical, and no transaction stayed in doubt *)
+}
+
 type t = {
   scale : int;
   (* Contended-scheduler head-to-head: identical workload through the
@@ -132,6 +164,10 @@ type t = {
   read_speedup : float;  (* worst snapshot/xlock tps ratio at ~0.9 *)
   read_ro_restarts : int;  (* total snapshot-mode read-only restarts *)
   read_equivalent : bool;  (* every point's cross-mode scan check passed *)
+  (* Sharded multicore execution: tps vs shard count on a fully
+     partitionable workload, plus a cross-shard-fraction sweep at the
+     top shard count through two-phase commit. *)
+  shard : shard_bench;
   pool_hit_ns : float;
   pool_miss_ns : float;
   journal_append_per_sec : float;
@@ -655,15 +691,23 @@ let server_bench_engine (type a) (module E : SERVER_ENGINE with type t = a) ~loa
     Array.map (fun s -> s *. 1e6) (W.gen_arrival_times rng (W.Poisson { rate }) ~n)
   in
   let grouped_mode = Commit_pipeline.Grouped { batch = 32; timeout_us = 1000.0 } in
-  let point ~mode rate =
+  let point ?ro_hist ?rw_hist ~mode rate =
     let e = E.create ~n_keys:4096 () in
-    Srv.run ~mpl:64 ~op_cost_us:1.0 ~sync_cost_us:100.0 ~mode ~arrivals_us:(arrivals rate)
-      ~scripts e
+    Srv.run ?ro_hist ?rw_hist ~mpl:64 ~op_cost_us:1.0 ~sync_cost_us:100.0 ~mode
+      ~arrivals_us:(arrivals rate) ~scripts e
   in
+  (* One histogram pair for the whole sweep, cleared between points:
+     every point's scalars are extracted before the next run, so the
+     ~6k-bucket arrays need not be reallocated per load.  The
+     eager-vs-grouped head-to-head below still takes fresh histograms —
+     it reads both results after both runs. *)
+  let ro_h = Hist.create () and rw_h = Hist.create () in
   let sweep =
     List.map
       (fun rate ->
-        let r = point ~mode:grouped_mode rate in
+        Hist.clear ro_h;
+        Hist.clear rw_h;
+        let r = point ~ro_hist:ro_h ~rw_hist:rw_h ~mode:grouped_mode rate in
         {
           sv_offered_tps = rate;
           sv_sustained_tps = r.Server.sustained_tps;
@@ -906,17 +950,206 @@ let snapshot_mode_ro_restarts read_heavy =
         acc re.re_points)
     0 read_heavy
 
+(* --- sharded multicore execution: tps vs shards, cross-shard 2PC ---- *)
+
+module Sharded_log = Shard.Make (Engine_log)
+module Serial_log = Server.Make (Engine_log)
+
+let shard_db_pages = 1024
+
+let shard_n_keys = shard_db_pages * 4 (* 4 keys per page *)
+
+(* Workload with an exact cross-shard fraction carved against the {e
+   top} shard count's router.  The router's class at [top] refines its
+   class at every divisor (x mod 2 is determined by x mod 4), so when
+   the swept counts all divide the top one, a zero-cross workload stays
+   single-shard at {e every} count — the fully-parallel regime the
+   scaling gate measures. *)
+let shard_scripts ~n ~seed ~cross_frac ~top =
+  let cfg =
+    {
+      W.n_transactions = n;
+      min_pages = 2;
+      max_pages = 8;
+      write_fraction = 0.7;
+      pattern = W.Random_access;
+      db_pages = shard_db_pages;
+      seed;
+    }
+  in
+  let txns = W.generate cfg in
+  let rng = Dbm_util.Prng.create (seed lxor 0xc105) in
+  let txns =
+    W.apply_cross_fraction rng ~cross_frac ~classes:top
+      ~class_of:(fun p -> Shard_router.shard_of_page ~shards:top p)
+      ~db_pages:shard_db_pages txns
+  in
+  Array.map
+    (fun t ->
+      List.init (Array.length t.W.pages) (fun i ->
+          let k = t.W.pages.(i) * 4 in
+          if t.W.writes.(i) then Scheduler.Put (k, value) else Scheduler.Get k))
+    txns
+
+(* Offered load far above a single serial server's capacity, so tps
+   measures capacity and the shard sweep exposes the parallel
+   headroom.  Simulated time: the curve is machine-independent. *)
+let shard_arrivals ~n ~seed =
+  let rng = Dbm_util.Prng.create (seed + 77) in
+  Array.map (fun s -> s *. 1e6) (W.gen_arrival_times rng (W.Poisson { rate = 400_000.0 }) ~n)
+
+(* The committed data as data (as in the snapshot sweep): every put
+   writes the one constant [value], so any serializable execution of
+   the same transaction set scans identically after crash recovery —
+   the cross-shard-count and cross-fraction equality gate. *)
+let shard_scan_digest ~shards engines =
+  let keys_per_page = Engine_log.keys_per_page engines.(0) in
+  let d = Dbm_util.Digest.create () in
+  for k = 0 to shard_n_keys - 1 do
+    let s = Shard_router.shard_of_key ~shards ~keys_per_page k in
+    let t = Engine_log.begin_txn engines.(s) in
+    Dbm_util.Digest.int d k;
+    (match Engine_log.get t k with
+    | Some v ->
+      Dbm_util.Digest.int d 1;
+      Dbm_util.Digest.string d v
+    | None -> Dbm_util.Digest.int d 0);
+    Engine_log.abort t
+  done;
+  Dbm_util.Digest.hex d
+
+let shard_mode = Commit_pipeline.Grouped { batch = 32; timeout_us = 1000.0 }
+
+(* One sharded point: fresh engines and coordinator, serve the whole
+   workload, then crash everything and run coordinator-resolved restart
+   recovery on every shard.  Returns the result, the recovered scan
+   digest, and the number of transactions still in doubt (must be 0:
+   resolution records are forced during recovery). *)
+let shard_run ~shards ~arrivals_us ~scripts =
+  let engines =
+    Array.init shards (fun _ -> Engine_log.create_with ~n_keys:shard_n_keys ~n_log_disks:2 ())
+  in
+  let coordinator = Coordinator_log.create () in
+  let r =
+    Sharded_log.run ~mpl:64 ~op_cost_us:1.0 ~sync_cost_us:100.0 ~mode:shard_mode ~arrivals_us
+      ~scripts ~coordinator engines
+  in
+  Coordinator_log.crash_and_recover coordinator;
+  Array.iter
+    (Engine_log.crash_and_recover_resolved ~resolve:(fun ~gid ->
+         Coordinator_log.resolve coordinator ~gid))
+    engines;
+  let in_doubt =
+    Array.fold_left (fun acc e -> acc + List.length (Engine_log.in_doubt e)) 0 engines
+  in
+  (r, shard_scan_digest ~shards engines, in_doubt)
+
+(* The serial reference for a workload: the PR 9 server on one engine,
+   plain restart recovery, same scan digest. *)
+let shard_serial_reference ~arrivals_us ~scripts =
+  let e = Engine_log.create_with ~n_keys:shard_n_keys ~n_log_disks:2 () in
+  let r =
+    Serial_log.run ~mpl:64 ~op_cost_us:1.0 ~sync_cost_us:100.0 ~mode:shard_mode ~arrivals_us
+      ~scripts e
+  in
+  Engine_log.crash_and_recover e;
+  (r, shard_scan_digest ~shards:1 [| e |])
+
+let shard_serial_identical (r : Shard.result) (direct : Server.result) =
+  match r.Shard.serial with
+  | None -> false
+  | Some s ->
+    s.Server.completed = direct.Server.completed
+    && s.Server.makespan_us = direct.Server.makespan_us
+    && s.Server.restarts = direct.Server.restarts
+    && s.Server.forces = direct.Server.forces
+    && s.Server.max_inflight = direct.Server.max_inflight
+    && s.Server.max_queued = direct.Server.max_queued
+    && s.Server.lock_acquires = direct.Server.lock_acquires
+    && Hist.count s.Server.latency_us = Hist.count direct.Server.latency_us
+    && Hist.total s.Server.latency_us = Hist.total direct.Server.latency_us
+    && Hist.max s.Server.latency_us = Hist.max direct.Server.latency_us
+
+let shard_section ~scale ~shard_counts ~cross_fracs =
+  let n = 600 * scale and seed = 31_850 in
+  let counts = List.sort_uniq Int.compare (1 :: shard_counts) in
+  let top = List.fold_left Stdlib.max 1 counts in
+  let arrivals_us = shard_arrivals ~n ~seed in
+  (* tps vs shard count on the zero-cross workload *)
+  let scripts0 = shard_scripts ~n ~seed ~cross_frac:0.0 ~top in
+  let direct, reference = shard_serial_reference ~arrivals_us ~scripts:scripts0 in
+  let points =
+    List.map
+      (fun shards ->
+        let r, digest, in_doubt = shard_run ~shards ~arrivals_us ~scripts:scripts0 in
+        {
+          sh_shards = shards;
+          sh_oversubscribed = r.Shard.oversubscribed;
+          sh_sustained_tps = r.Shard.sustained_tps;
+          sh_makespan_us = r.Shard.makespan_us;
+          sh_p99_us = Hist.p99 r.Shard.latency_us;
+          sh_restarts = r.Shard.restarts;
+          sh_serial_identical = (shards <> 1 || shard_serial_identical r direct);
+          sh_scan_equal = String.equal digest reference;
+          sh_in_doubt = in_doubt;
+        })
+      counts
+  in
+  let tps_of c =
+    List.fold_left (fun acc p -> if p.sh_shards = c then p.sh_sustained_tps else acc) 0.0 points
+  in
+  let scaling = if tps_of 1 > 0.0 then tps_of top /. tps_of 1 else infinity in
+  (* cross-shard fraction sweep at the top shard count, each fraction
+     gated against its own serial reference *)
+  let cross =
+    List.map
+      (fun cf ->
+        let scripts = shard_scripts ~n ~seed ~cross_frac:cf ~top in
+        let _, reference = shard_serial_reference ~arrivals_us ~scripts in
+        let r, digest, in_doubt = shard_run ~shards:top ~arrivals_us ~scripts in
+        {
+          cf_cross_frac = cf;
+          cf_cross_txns = r.Shard.cross_committed;
+          cf_sustained_tps = r.Shard.sustained_tps;
+          cf_p99_cross_us =
+            (if Hist.count r.Shard.cross_latency_us = 0 then 0.0
+             else Hist.p99 r.Shard.cross_latency_us);
+          cf_scan_equal = String.equal digest reference;
+          cf_in_doubt = in_doubt;
+        })
+      cross_fracs
+  in
+  {
+    sb_points = points;
+    sb_scaling = scaling;
+    sb_cross = cross;
+    sb_equivalent =
+      List.for_all
+        (fun p -> p.sh_scan_equal && p.sh_serial_identical && p.sh_in_doubt = 0)
+        points
+      && List.for_all (fun c -> c.cf_scan_equal && c.cf_in_doubt = 0) cross;
+  }
+
 (* --- entry point ---------------------------------------------------- *)
+
+let default_shard_counts = [ 1; 2; 4 ]
+
+let default_cross_fracs = [ 0.0; 0.05; 0.2 ]
 
 let default_read_fracs = [ 0.5; 0.9; 0.99 ]
 
 let run ?(scale = 1) ?(jobs = [ 1; 2; 4 ]) ?(allow_oversubscribe = false)
-    ?(log_formats = known_formats) ?(read_fracs = default_read_fracs) ~now () =
+    ?(log_formats = known_formats) ?(read_fracs = default_read_fracs)
+    ?(shard_counts = default_shard_counts) ?(cross_fracs = default_cross_fracs) ~now () =
   if scale <= 0 then invalid_arg "Storage_bench.run: scale must be positive";
   if List.exists (fun j -> j < 1) jobs then
     invalid_arg "Storage_bench.run: jobs must all be >= 1";
   if read_fracs = [] || List.exists (fun f -> not (f >= 0.0 && f <= 1.0)) read_fracs then
     invalid_arg "Storage_bench.run: read_fracs must be non-empty, each in [0,1]";
+  if shard_counts = [] || List.exists (fun s -> s < 1) shard_counts then
+    invalid_arg "Storage_bench.run: shard_counts must be non-empty, each >= 1";
+  if List.exists (fun f -> not (f >= 0.0 && f <= 1.0)) cross_fracs then
+    invalid_arg "Storage_bench.run: cross_fracs must each be in [0,1]";
   let sched_txns, sched_naive_ms, sched_opt_ms, sched_equivalent =
     run_sched_comparison ~now ~scale
   in
@@ -941,6 +1174,7 @@ let run ?(scale = 1) ?(jobs = [ 1; 2; 4 ]) ?(allow_oversubscribe = false)
   let read_equivalent =
     List.for_all (fun re -> List.for_all (fun p -> p.rf_equivalent) re.re_points) read_heavy
   in
+  let shard = shard_section ~scale ~shard_counts ~cross_fracs in
   let pool_hit_ns, pool_miss_ns = pool_ns ~now ~iters:(200_000 * scale) in
   let journal_append_per_sec, journal_append_sync_per_sec =
     journal_throughput ~now ~iters:(200_000 * scale)
@@ -978,6 +1212,7 @@ let run ?(scale = 1) ?(jobs = [ 1; 2; 4 ]) ?(allow_oversubscribe = false)
     read_speedup = read_gate_speedup read_heavy;
     read_ro_restarts = snapshot_mode_ro_restarts read_heavy;
     read_equivalent;
+    shard;
     pool_hit_ns;
     pool_miss_ns;
     journal_append_per_sec;

@@ -118,6 +118,51 @@ type read_frac_point = {
 
 type read_engine = { re_engine : string; re_points : read_frac_point list }
 
+type shard_point = {
+  sh_shards : int;
+  sh_oversubscribed : bool;
+      (** more shard domains than host cores (wall time suffered;
+          simulated results did not) *)
+  sh_sustained_tps : float;  (** simulated time; machine-independent *)
+  sh_makespan_us : float;
+  sh_p99_us : float;
+  sh_restarts : int;
+  sh_serial_identical : bool;
+      (** shards = 1 only: the {!Shard} layer's result was
+          field-for-field the plain {!Server.Make.run} result,
+          histograms included (vacuously true at other counts) *)
+  sh_scan_equal : bool;
+      (** crash-recovered full-scan digest equals the serial server's *)
+  sh_in_doubt : int;
+      (** prepared-but-unresolved transactions left after
+          coordinator-resolved restart recovery; must be 0 *)
+}
+
+type cross_point = {
+  cf_cross_frac : float;  (** requested cross-shard transaction fraction *)
+  cf_cross_txns : int;  (** transactions actually spanning >= 2 shards *)
+  cf_sustained_tps : float;
+  cf_p99_cross_us : float;
+      (** cross-shard class arrival-to-decision tail (0 when none ran) *)
+  cf_scan_equal : bool;  (** against this fraction's own serial reference *)
+  cf_in_doubt : int;
+}
+
+type shard_bench = {
+  sb_points : shard_point list;
+      (** zero-cross workload at each swept shard count (always
+          includes the shards = 1 serial baseline) *)
+  sb_scaling : float;  (** top-shard-count tps over 1-shard tps *)
+  sb_cross : cross_point list;
+      (** top shard count at each swept cross-shard fraction, every
+          transaction committed via two-phase commit when it spans
+          shards *)
+  sb_equivalent : bool;
+      (** every scan matched its serial reference, shards = 1 was
+          bit-identical to {!Server.Make.run}, and no transaction
+          stayed in doubt after resolved recovery *)
+}
+
 type t = {
   scale : int;
   sched_txns : int;  (** scripts in the contended comparison *)
@@ -184,6 +229,13 @@ type t = {
       (** snapshot-mode read-only restarts summed over every point —
           the lock-free path makes this identically 0 (CI gate) *)
   read_equivalent : bool;  (** every point's cross-mode scan check *)
+  shard : shard_bench;
+      (** sharded multicore execution ({!Shard} on {!Engine_log}): a
+          tps-vs-shard-count sweep on a fully partitionable (zero
+          cross-shard) workload, plus a cross-shard-fraction sweep at
+          the top shard count through the two-phase commit path.  All
+          simulated time; every point gated on crash-recovered scan
+          equality with the serial server. *)
   pool_hit_ns : float;
   pool_miss_ns : float;
   journal_append_per_sec : float;
@@ -194,12 +246,24 @@ val default_read_fracs : float list
 (** [[0.5; 0.9; 0.99]] — the read fractions the snapshot sweep visits
     by default. *)
 
+val default_shard_counts : int list
+(** [[1; 2; 4]] — the shard counts the sharded sweep visits by
+    default.  Counts should divide the largest one: the router's class
+    at the top count then refines its class at every other, so the
+    zero-cross workload stays single-shard at every point. *)
+
+val default_cross_fracs : float list
+(** [[0.; 0.05; 0.2]] — the cross-shard fractions swept at the top
+    shard count. *)
+
 val run :
   ?scale:int ->
   ?jobs:int list ->
   ?allow_oversubscribe:bool ->
   ?log_formats:string list ->
   ?read_fracs:float list ->
+  ?shard_counts:int list ->
+  ?cross_fracs:float list ->
   now:(unit -> float) ->
   unit ->
   t
@@ -216,5 +280,10 @@ val run :
     [infinity] reduction.  [read_fracs] (default {!default_read_fracs})
     lists the read fractions of the snapshot sweep; a Pareto-size
     heavy-tail point at read fraction 0.9 is always appended.
+    [shard_counts] (default {!default_shard_counts}) lists the shard
+    counts of the sharded sweep (a shards = 1 baseline is always
+    included); [cross_fracs] (default {!default_cross_fracs}) the
+    cross-shard fractions swept at the largest count.
     @raise Invalid_argument if [scale <= 0], any job count is [< 1], a
-    log format name is unknown, or a read fraction is outside [0,1]. *)
+    log format name is unknown, a read or cross fraction is outside
+    [0,1], or a shard count is [< 1]. *)

@@ -14,6 +14,7 @@ type record =
   | Op of { lsn : int; txn : int; key : int; value : string option }
   | Commit of { lsn : int; txn : int }
   | Abort of { lsn : int; txn : int }
+  | Prepare of { lsn : int; txn : int; gid : int }
   | Checkpoint of { lsn : int; active : int list }
   | Fuzzy_checkpoint of {
       lsn : int;
@@ -24,11 +25,13 @@ type record =
 
 let lsn = function
   | Update { lsn; _ } | Delta { lsn; _ } | Op { lsn; _ } | Commit { lsn; _ }
-  | Abort { lsn; _ } | Checkpoint { lsn; _ } | Fuzzy_checkpoint { lsn; _ } ->
+  | Abort { lsn; _ } | Prepare { lsn; _ } | Checkpoint { lsn; _ }
+  | Fuzzy_checkpoint { lsn; _ } ->
     lsn
 
 let txn_of = function
-  | Update { txn; _ } | Delta { txn; _ } | Op { txn; _ } | Commit { txn; _ } | Abort { txn; _ } ->
+  | Update { txn; _ } | Delta { txn; _ } | Op { txn; _ } | Commit { txn; _ } | Abort { txn; _ }
+  | Prepare { txn; _ } ->
     Some txn
   | Checkpoint _ | Fuzzy_checkpoint _ -> None
 
@@ -147,6 +150,11 @@ let encode_with enc r =
     reset enc ~tag:'a';
     int64 enc lsn;
     int64 enc txn
+  | Prepare { lsn; txn; gid } ->
+    reset enc ~tag:'p';
+    int64 enc lsn;
+    int64 enc txn;
+    varint enc gid
   | Checkpoint { lsn; active } ->
     reset enc ~tag:'k';
     int64 enc lsn;
@@ -184,7 +192,7 @@ let peek_lsn s =
 let peek_txn s =
   if String.length s < 17 then raise (Corrupt "record too short");
   match s.[0] with
-  | 'U' | 'C' | 'A' | 'u' | 'd' | 'o' | 'c' | 'a' ->
+  | 'U' | 'C' | 'A' | 'u' | 'd' | 'o' | 'c' | 'a' | 'p' ->
     if String.length s < 25 then raise (Corrupt "record too short");
     Some (Int64.to_int (String.get_int64_le s 9))
   | _ -> None
@@ -238,6 +246,11 @@ let decode_v2 s =
       let lsn = int64 c in
       let txn = int64 c in
       Abort { lsn; txn }
+    | 'p' ->
+      let lsn = int64 c in
+      let txn = int64 c in
+      let gid = varint c in
+      Prepare { lsn; txn; gid }
     | 'k' ->
       let lsn = int64 c in
       let n = varint c in
@@ -381,7 +394,7 @@ let encode_legacy r =
         add_int page;
         add_int rec_lsn)
       dirty
-  | Delta _ | Op _ -> invalid_arg "Wal.encode_legacy: no legacy framing for this shape");
+  | Delta _ | Op _ | Prepare _ -> invalid_arg "Wal.encode_legacy: no legacy framing for this shape");
   let body = Buffer.contents buf in
   let tail = Bytes.create 8 in
   Bytes.set_int64_le tail 0 (Int64.of_int (legacy_checksum body (String.length body)));
@@ -403,6 +416,7 @@ let pp ppf = function
       (match value with Some v -> Printf.sprintf "put %d=%S" key v | None -> Printf.sprintf "del %d" key)
   | Commit { lsn; txn } -> Format.fprintf ppf "Commit(lsn=%d txn=%d)" lsn txn
   | Abort { lsn; txn } -> Format.fprintf ppf "Abort(lsn=%d txn=%d)" lsn txn
+  | Prepare { lsn; txn; gid } -> Format.fprintf ppf "Prepare(lsn=%d txn=%d gid=%d)" lsn txn gid
   | Checkpoint { lsn; active } ->
     Format.fprintf ppf "Checkpoint(lsn=%d active=[%s])" lsn
       (String.concat ";" (List.map string_of_int active))

@@ -44,6 +44,14 @@ type record =
           [delete key].  No images at all — replay re-executes. *)
   | Commit of { lsn : int; txn : int }
   | Abort of { lsn : int; txn : int }
+  | Prepare of { lsn : int; txn : int; gid : int }
+      (** Two-phase commit vote: the transaction's effects are durable on
+          this participant and it will commit iff the coordinator's
+          decision record for global transaction [gid] says so.  A
+          prepared transaction with no later {!Commit}/{!Abort} record is
+          {e in doubt} at restart: recovery resolves it from the
+          coordinator log (presumed abort when the coordinator has no
+          decision). *)
   | Checkpoint of { lsn : int; active : int list }
   | Fuzzy_checkpoint of {
       lsn : int;

@@ -222,6 +222,75 @@ let apply_read_fraction rng ~read_frac txns =
       else t)
     txns
 
+(* A cross-class transaction mix carved out of a generated workload,
+   for the sharded server: [class_of] partitions the pages (in practice
+   the shard router), and each transaction is remapped to either stay
+   inside one class or deliberately span at least two.  Pages are
+   re-homed by linear probing from their original value, so the remap
+   preserves the workload's shape (sizes, write positions, rough
+   locality) while making the cross-class population exact: with
+   [cross_frac = 0.] the output has {e zero} cross-class transactions,
+   which is what lets a sharded run stay deterministic. *)
+let apply_cross_fraction rng ~cross_frac ~classes ~class_of ~db_pages txns =
+  if cross_frac < 0.0 || cross_frac > 1.0 then
+    invalid_arg "Workload.apply_cross_fraction: cross_frac out of [0,1]";
+  if classes < 1 then invalid_arg "Workload.apply_cross_fraction: classes must be >= 1";
+  if db_pages < 1 then invalid_arg "Workload.apply_cross_fraction: db_pages must be >= 1";
+  (* First page q >= probe start (mod db_pages) in class [c] not already
+     used by this transaction. *)
+  let rehome used ~start ~c =
+    let q = ref (((start mod db_pages) + db_pages) mod db_pages) in
+    let tries = ref 0 in
+    while !tries < db_pages && not (class_of !q = c && not (Hashtbl.mem used !q)) do
+      q := (!q + 1) mod db_pages;
+      incr tries
+    done;
+    if !tries >= db_pages then
+      invalid_arg "Workload.apply_cross_fraction: class has too few free pages";
+    Hashtbl.add used !q ();
+    !q
+  in
+  Array.map
+    (fun t ->
+      let n = Array.length t.pages in
+      let cross = Dbm_util.Prng.bool rng ~p:cross_frac && n >= 2 && classes >= 2 in
+      if cross then begin
+        let spans =
+          n > 0
+          && Array.exists (fun p -> class_of p <> class_of t.pages.(0)) t.pages
+        in
+        if spans then t
+        else begin
+          (* Confined to one class: re-home the last page into the next
+             class over, keeping the rest in place. *)
+          let used = Hashtbl.create (2 * n) in
+          Array.iteri (fun i p -> if i < n - 1 then Hashtbl.add used p ()) t.pages;
+          let c = (class_of t.pages.(0) + 1) mod classes in
+          let pages = Array.copy t.pages in
+          pages.(n - 1) <- rehome used ~start:pages.(n - 1) ~c;
+          { t with pages }
+        end
+      end
+      else begin
+        let c = if n = 0 then 0 else class_of t.pages.(0) in
+        if Array.for_all (fun p -> class_of p = c) t.pages then t
+        else begin
+          let used = Hashtbl.create (2 * n) in
+          let pages =
+            Array.map
+              (fun p ->
+                if class_of p = c && not (Hashtbl.mem used p) then begin
+                  Hashtbl.add used p ();
+                  p
+                end
+                else rehome used ~start:p ~c)
+              t.pages
+          in
+          { t with pages }
+        end
+      end)
+    txns
+
 (* --- open-loop arrival processes ----------------------------------- *)
 
 type arrival =

@@ -91,6 +91,30 @@ val apply_read_fraction :
     fresh array; the input is not modified.
     @raise Invalid_argument if [read_frac] is outside [\[0,1\]]. *)
 
+val apply_cross_fraction :
+  Dbm_util.Prng.t ->
+  cross_frac:float ->
+  classes:int ->
+  class_of:(int -> int) ->
+  db_pages:int ->
+  txn array ->
+  txn array
+(** Carve an exact cross-class transaction mix out of a workload for
+    the sharded server.  [class_of] maps a page to its class in
+    [\[0, classes)] (in practice {!Dbm_storage.Shard_router.shard_of_page}); each
+    transaction is independently selected cross-class with probability
+    [cross_frac] and remapped so that selected transactions span at
+    least two classes while unselected ones are confined to the class
+    of their first page (pages are re-homed by linear probing from
+    their original value, preserving sizes and write positions).
+    Transactions with fewer than two pages, or with [classes = 1],
+    can never be cross-class.  With [cross_frac = 0.] the output has
+    zero cross-class transactions — the property that keeps a sharded
+    run deterministic.  Returns a fresh array.
+    @raise Invalid_argument on [cross_frac] outside [\[0,1\]], a
+    non-positive [classes]/[db_pages], or a class with too few pages to
+    re-home into. *)
+
 val read_set_size : txn -> int
 
 val write_set_size : txn -> int

@@ -233,6 +233,73 @@ let test_truncate_idempotent () =
   check Alcotest.string "still equivalent" (Engine_log.state_fingerprint b)
     (Engine_log.state_fingerprint a)
 
+(* --- pipeline edges: exact-timeout boundary, batch of one ---------- *)
+
+module Log_pipe = Commit_pipeline.Make (Engine_log)
+
+(* [poll] forces exactly when the deadline has been {e reached}, not
+   only once it is strictly past: a server that jumps its idle clock to
+   [deadline] must flush on that very poll, or the batch waits for the
+   next unrelated event. *)
+let test_pipeline_exact_timeout_boundary () =
+  let e = Engine_log.create_with ~n_keys:8 () in
+  let acks = ref [] in
+  let p =
+    Log_pipe.create ~sync_cost_us:100.0
+      ~on_ack:(fun ~id ~now -> acks := (id, now) :: !acks)
+      (Commit_pipeline.Grouped { batch = 8; timeout_us = 50.0 })
+      e
+  in
+  let t = Engine_log.begin_txn e in
+  Engine_log.put t 0 "x";
+  let now = Log_pipe.submit p ~now:10.0 ~id:0 t in
+  check (Alcotest.float 0.0) "submit does not advance the clock" 10.0 now;
+  check (Alcotest.option (Alcotest.float 0.0)) "deadline armed" (Some 60.0)
+    (Log_pipe.deadline p);
+  let now = Log_pipe.poll p ~now:59.999 in
+  check (Alcotest.float 0.0) "just before the deadline: no force" 59.999 now;
+  check Alcotest.int "still pending" 1 (Log_pipe.pending p);
+  let now = Log_pipe.poll p ~now:60.0 in
+  check (Alcotest.float 0.0) "at the deadline: forced, sync charged" 160.0 now;
+  check Alcotest.int "drained" 0 (Log_pipe.pending p);
+  check Alcotest.int "one force" 1 (Log_pipe.forces p);
+  check (Alcotest.list (Alcotest.pair Alcotest.int (Alcotest.float 0.0)))
+    "acked at the post-force instant" [ (0, 160.0) ] !acks;
+  check (Alcotest.option (Alcotest.float 0.0)) "deadline disarmed" None (Log_pipe.deadline p)
+
+(* Grouped with [batch = 1] degenerates to eager cadence — every submit
+   forces inside the submit — while still driving the group-commit
+   engine path ([commit_group] + [force_commits]). *)
+let test_pipeline_batch_of_one () =
+  let e = Engine_log.create_with ~n_keys:8 () in
+  let p =
+    Log_pipe.create ~sync_cost_us:100.0
+      (Commit_pipeline.Grouped { batch = 1; timeout_us = 1000.0 })
+      e
+  in
+  let now = ref 0.0 in
+  for i = 0 to 2 do
+    let t = Engine_log.begin_txn e in
+    Engine_log.put t i (Printf.sprintf "b%d" i);
+    now := Log_pipe.submit p ~now:!now ~id:i t;
+    check (Alcotest.float 0.0)
+      (Printf.sprintf "submit %d forced immediately" i)
+      (float_of_int (i + 1) *. 100.0)
+      !now;
+    check Alcotest.int "nothing pending" 0 (Log_pipe.pending p);
+    check (Alcotest.option (Alcotest.float 0.0)) "no deadline" None (Log_pipe.deadline p)
+  done;
+  check Alcotest.int "one force per submit" 3 (Log_pipe.forces p);
+  check Alcotest.int "all acked" 3 (Log_pipe.acked p);
+  (* durable without any flush: batch-1 leaves no window *)
+  Engine_log.crash_and_recover e;
+  let t = Engine_log.begin_txn e in
+  for i = 0 to 2 do
+    check (Alcotest.option Alcotest.string) "survived" (Some (Printf.sprintf "b%d" i))
+      (Engine_log.get t i)
+  done;
+  Engine_log.abort t
+
 (* --- the open-loop server ------------------------------------------ *)
 
 module Log_server = Server.Make (Engine_log)
@@ -400,6 +467,13 @@ let () =
           Alcotest.test_case "no checkpoint: no-op" `Quick
             test_truncate_without_checkpoint_is_noop;
           Alcotest.test_case "idempotent" `Quick test_truncate_idempotent;
+        ] );
+      ( "pipeline edges",
+        [
+          Alcotest.test_case "exact-timeout boundary" `Quick
+            test_pipeline_exact_timeout_boundary;
+          Alcotest.test_case "batch of one degenerates to eager cadence" `Quick
+            test_pipeline_batch_of_one;
         ] );
       ( "open-loop server",
         [
